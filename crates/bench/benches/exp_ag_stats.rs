@@ -1,0 +1,79 @@
+//! E3 + E6: the §4.1 statistics table for both real AGs (the paper's
+//! "VHDL AG" vs "expr AG" comparison), including the §4.2 claim that
+//! implicit rules are more than half of all rules, and the LALR table
+//! sizes of both grammars.
+
+use ag_core::{analyze, plan, AgStats};
+use vhdl_sem::expr_ag::ExprAg;
+use vhdl_sem::principal_ag::PrincipalAg;
+use vhdl_syntax::PrincipalGrammar;
+
+fn main() {
+    let pg = PrincipalGrammar::new();
+    let pag = PrincipalAg::build(&pg);
+    let xag = ExprAg::build();
+
+    let visits = |ag: &ag_core::AttrGrammar<vhdl_sem::value::Value>| -> (String, Option<ag_core::Plans>) {
+        match analyze(ag) {
+            Ok(an) => match plan(ag, &an) {
+                Ok(p) => (p.overall_max_visits().to_string(), Some(p)),
+                Err(e) => (format!("n/a ({e})"), None),
+            },
+            Err(e) => (format!("n/a ({e})"), None),
+        }
+    };
+
+    let (pv, pplan) = visits(&pag.ag);
+    let (xv, xplan) = visits(&xag.ag);
+
+    let pstats = |ag: &ag_core::AttrGrammar<vhdl_sem::value::Value>,
+                  plans: &Option<ag_core::Plans>| match plans {
+        Some(p) => {
+            let an = analyze(ag).expect("checked");
+            AgStats::gather(ag, &an, p)
+        }
+        None => AgStats {
+            productions: ag.grammar().n_user_prods(),
+            symbols: ag.grammar().n_symbols() - 2,
+            attributes: ag.n_attributes(),
+            rules: ag.n_rules(),
+            implicit_rules: ag.n_implicit_rules(),
+            max_visits: 0,
+        },
+    };
+    let ps = pstats(&pag.ag, &pplan);
+    let xs = pstats(&xag.ag, &xplan);
+
+    println!("# E3 — AG statistics (paper §4.1 table)");
+    println!();
+    println!("|                 | VHDL AG | expr AG |   (paper: 503/160 …)");
+    println!("|-----------------|---------|---------|");
+    println!("| productions     | {:>7} | {:>7} |   paper: 503 / 160", ps.productions, xs.productions);
+    println!("| symbols         | {:>7} | {:>7} |   paper: 355 / 101", ps.symbols, xs.symbols);
+    println!("| attributes      | {:>7} | {:>7} |   paper: 3509 / 446", ps.attributes, xs.attributes);
+    println!(
+        "| rules(implicit) | {:>4}({:>4}) | {:>4}({:>4}) |   paper: 8862(6349) / 2132(1061)",
+        ps.rules, ps.implicit_rules, xs.rules, xs.implicit_rules
+    );
+    println!("| max visits      | {:>7} | {:>7} |   paper: 3 / 4", pv, xv);
+    println!();
+    println!("# E6 — implicit-rule share (paper §4.2: \"more than half\")");
+    println!(
+        "principal AG: {:.1}% implicit; expression AG: {:.1}% implicit",
+        ps.implicit_fraction() * 100.0,
+        xs.implicit_fraction() * 100.0
+    );
+    assert!(ps.implicit_fraction() > 0.5, "principal AG majority implicit");
+    println!();
+    println!("# LALR table sizes");
+    println!(
+        "principal grammar: {} states, {} non-error actions",
+        pg.table().n_states(),
+        pg.table().n_nonerror_actions()
+    );
+    println!(
+        "expression grammar: {} states, {} non-error actions",
+        xag.table.n_states(),
+        xag.table.n_nonerror_actions()
+    );
+}

@@ -1,0 +1,72 @@
+//! E1 — Figure 1: organization of the VHDL compiler.
+//!
+//! Drives the real pipeline over a sample design and prints the component
+//! dataflow with the size of each intermediate artifact, demonstrating
+//! that every box of the paper's figure exists and is exercised:
+//! scanner → LALR parser → principal AG evaluator (+ symbol table as VIF,
+//! exprEval cascade) → VIF to/from the library → code generation → target
+//! virtual machine.
+
+use vhdl_driver::Compiler;
+use vhdl_syntax::lexer::lex;
+
+fn main() {
+    let src = ag_bench::gen_design(3, 2);
+    let compiler = Compiler::in_memory();
+
+    let toks = lex(&src).expect("lexes");
+    let cst = compiler
+        .analyzer
+        .grammar
+        .parse_str(&src)
+        .expect("parses");
+    let r = compiler.compile(&src).expect("compiles");
+    assert!(r.ok(), "{}", r.msgs());
+    let traffic = r.traffic;
+    let (program, c_text) = compiler.elaborate("ent0", None, None).expect("elaborates");
+    let insns: usize = program
+        .processes
+        .iter()
+        .map(|p| p.code.len())
+        .sum::<usize>()
+        + program.functions.iter().map(|f| f.code.len()).sum::<usize>();
+
+    println!("# E1 — Figure 1: organization of the VHDL compiler");
+    println!();
+    println!("VHDL source ({} lines, {} tokens)", r.lines, toks.len());
+    println!("  |  scanner + LALR(1) parser (principal grammar)");
+    println!("  v");
+    println!("parse tree ({} nodes)", cst.size());
+    println!("  |  principal AG evaluator (demand-driven)");
+    println!("  |    - symbol table = applicative ENV in the VIF");
+    println!(
+        "  |    - exprEval cascade: {} maximal expressions re-parsed by the expression AG",
+        r.units.iter().map(|u| u.expr_evals).sum::<u64>()
+    );
+    println!("  v");
+    println!(
+        "VIF ({} units written, {} bytes; {} units read back, {} bytes)",
+        traffic.units_written, traffic.bytes_written, traffic.units_read, traffic.bytes_read
+    );
+    println!("  |  elaboration + code generation");
+    println!("  v");
+    println!(
+        "target virtual machine program ({} signals, {} processes, {} functions, {} instructions)",
+        program.signals.len(),
+        program.processes.len(),
+        program.functions.len(),
+        insns
+    );
+    println!("  |  C rendition (the paper's actual output format)");
+    println!("  v");
+    println!("generated C: {} lines", c_text.lines().count());
+    println!();
+    println!("virtual machine modules (§2.1): Simulation Kernel, Runtime Support, VHDL I/O, Name Server");
+    let mut sim = sim_kernel::Simulator::new(program);
+    sim.run_until(sim_kernel::Time::fs(50_000_000)).expect("simulates");
+    let st = sim.stats();
+    println!(
+        "smoke simulation to 50ns: {} cycles, {} events, {} instructions executed",
+        st.cycles, st.events, st.insns
+    );
+}

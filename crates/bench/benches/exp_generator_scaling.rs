@@ -1,0 +1,68 @@
+//! E8 — §5.2: "if AG1 is twice as large as AG2 then AG1 will need more
+//! than twice as much time to be processed" — the evaluator generator
+//! contains "expensive, non-linear algorithms" (LALR table construction
+//! and dependency analysis).
+//!
+//! Times the full generation pipeline (LALR tables + dependency analysis +
+//! visit sequences) over synthetic AGs of doubling size, and over the two
+//! real AGs.
+
+use std::time::Instant;
+
+fn gen_time(n: usize) -> std::time::Duration {
+    let t0 = Instant::now();
+    let (g, ag) = ag_bench::synth_ag(n);
+    let _table = ag_lalr::ParseTable::build(&g).expect("LALR");
+    let an = ag_core::analyze(&ag).expect("acyclic");
+    let _plans = ag_core::plan(&ag, &an).expect("ordered");
+    t0.elapsed()
+}
+
+fn main() {
+    println!("# E8 — AG processing time vs AG size (paper §5.2)");
+    println!();
+    println!("| nonterminals | productions | time (ms) | time ratio vs half size |");
+    println!("|-------------:|------------:|----------:|------------------------:|");
+    let sizes = [25usize, 50, 100, 200, 400];
+    let mut prev: Option<f64> = None;
+    for n in sizes {
+        // Median of 3 runs.
+        let mut ts: Vec<f64> = (0..3).map(|_| gen_time(n).as_secs_f64() * 1e3).collect();
+        ts.sort_by(f64::total_cmp);
+        let t = ts[1];
+        let ratio = prev.map(|p| t / p);
+        println!(
+            "| {n:>12} | {:>11} | {t:>9.2} | {} |",
+            2 * n - 1,
+            match ratio {
+                Some(r) => format!("{r:>22.2}x"),
+                None => "                       —".to_string(),
+            }
+        );
+        prev = Some(t);
+    }
+    println!();
+    println!("(doubling the AG should cost *more* than 2x — the paper's superlinearity claim)");
+    println!();
+    // The real grammars, for scale.
+    let t0 = Instant::now();
+    let pg = vhdl_syntax::PrincipalGrammar::new();
+    let t_pg = t0.elapsed();
+    let t0 = Instant::now();
+    let pag = vhdl_sem::principal_ag::PrincipalAg::build(&pg);
+    let an = ag_core::analyze(&pag.ag).expect("acyclic");
+    let _ = ag_core::plan(&pag.ag, &an).expect("ordered");
+    let t_pag = t0.elapsed();
+    let t0 = Instant::now();
+    let xag = vhdl_sem::expr_ag::ExprAg::build();
+    let an = ag_core::analyze(&xag.ag).expect("acyclic");
+    let _ = ag_core::plan(&xag.ag, &an).expect("ordered");
+    let t_xag = t0.elapsed();
+    println!(
+        "real grammars: principal tables {:.1} ms; principal AG analysis {:.1} ms; \
+         expression AG build+analysis {:.1} ms",
+        t_pg.as_secs_f64() * 1e3,
+        t_pag.as_secs_f64() * 1e3,
+        t_xag.as_secs_f64() * 1e3
+    );
+}

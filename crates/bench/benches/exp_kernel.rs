@@ -1,0 +1,157 @@
+//! E11 — supporting benchmarks of the target virtual machine (§2.1).
+//!
+//! The paper reports no simulator numbers (it cites the companion CompCon
+//! '88 paper), so these Criterion benches characterize our kernel:
+//! event throughput, delta-cycle chains, and resolution-function overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use sim_kernel::{FnDecl, Insn, Op, Program, Simulator, Time, Val, VarAddr};
+
+/// A free-running oscillator program.
+fn oscillator() -> Program {
+    let mut p = Program::default();
+    let clk = p.add_signal("clk", Val::Int(0));
+    p.add_process(
+        "osc",
+        0,
+        vec![
+            Insn::LoadSig(clk),
+            Insn::Unop(Op::Not),
+            Insn::PushInt(1_000),
+            Insn::Sched {
+                sig: clk,
+                transport: false,
+            },
+            Insn::Wait {
+                sens: Rc::new(vec![clk]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+            Insn::Jump(0),
+        ],
+    );
+    p
+}
+
+/// A chain of `n` delta-coupled repeaters driven by an oscillator.
+fn delta_chain(n: usize) -> Program {
+    let mut p = oscillator();
+    let mut prev = sim_kernel::SigId(0);
+    for i in 0..n {
+        let s = p.add_signal(format!("s{i}"), Val::Int(0));
+        p.add_process(
+            format!("r{i}"),
+            0,
+            vec![
+                Insn::LoadSig(prev),
+                Insn::PushInt(-1),
+                Insn::Sched {
+                    sig: s,
+                    transport: false,
+                },
+                Insn::Wait {
+                    sens: Rc::new(vec![prev]),
+                    with_timeout: false,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+        prev = s;
+    }
+    p
+}
+
+fn bench_events(c: &mut Criterion) {
+    c.bench_function("kernel_oscillator_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(oscillator());
+            sim.run_until(Time::fs(100_000 * 1_000)).expect("runs");
+            assert!(sim.stats().events >= 100_000);
+            black_box(sim.stats())
+        });
+    });
+}
+
+fn bench_delta_chains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_delta_chain");
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(delta_chain(n));
+                sim.run_until(Time::fs(200 * 1_000)).expect("runs");
+                black_box(sim.stats())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    // Two drivers on a wired-or bus toggling against each other.
+    let mut p = Program::default();
+    let res = p.add_function(FnDecl {
+        name: "wired_or".into(),
+        n_params: 1,
+        n_locals: 1,
+        code: Rc::new(vec![
+            // or of exactly two drivers
+            Insn::LoadVar(VarAddr { depth: 0, slot: 0 }),
+            Insn::PushInt(0),
+            Insn::Index,
+            Insn::LoadVar(VarAddr { depth: 0, slot: 0 }),
+            Insn::PushInt(1),
+            Insn::Index,
+            Insn::Binop(Op::Or),
+            Insn::Ret { has_value: true },
+        ]),
+        level: 1,
+    });
+    let bus = p.add_signal("bus", Val::Int(0));
+    p.signals[bus.0 as usize].resolution = Some(res);
+    for (name, phase) in [("d1", 1_000i64), ("d2", 1_700)] {
+        p.add_process(
+            name,
+            1,
+            vec![
+                // v := not v; bus <= v after phase.
+                Insn::LoadVar(VarAddr { depth: 0, slot: 0 }),
+                Insn::Unop(Op::Not),
+                Insn::Dup,
+                Insn::StoreVar(VarAddr { depth: 0, slot: 0 }),
+                Insn::PushInt(phase),
+                Insn::Sched {
+                    sig: bus,
+                    transport: false,
+                },
+                Insn::PushInt(phase),
+                Insn::Wait {
+                    sens: Rc::new(vec![]),
+                    with_timeout: true,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    c.bench_function("kernel_resolved_bus_10k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(p.clone());
+            sim.run_until(Time::fs(10_000 * 1_000)).expect("runs");
+            black_box(sim.stats())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_events, bench_delta_chains, bench_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,545 @@
+//! Elaboration: turning analyzed units into a kernel [`Program`].
+//!
+//! Walks the design hierarchy from a top entity/architecture (or a
+//! configuration unit), resolving component bindings in the §3.3
+//! precedence order — explicit configuration unit, configuration
+//! specification in the architecture, then the default rules, including
+//! the *latest compiled architecture* drawn from the library usage
+//! history.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sim_kernel::{Insn, Program, SigId, Val};
+use vhdl_sem::analyze::UnitLoader;
+use vhdl_vif::{LibrarySet, VifNode, VifValue};
+
+use crate::lower::{default_value, static_value, CgError, FnLower, LowerCtx, Storage};
+
+/// Elaboration errors.
+#[derive(Debug)]
+pub enum ElabError {
+    /// A unit is missing from the libraries.
+    NotFound(String),
+    /// Lowering failed.
+    Cg(CgError),
+    /// A binding could not be resolved.
+    Binding(String),
+}
+
+impl std::fmt::Display for ElabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElabError::NotFound(u) => write!(f, "unit not found: {u}"),
+            ElabError::Cg(e) => write!(f, "code generation: {e}"),
+            ElabError::Binding(m) => write!(f, "binding: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+impl From<CgError> for ElabError {
+    fn from(e: CgError) -> Self {
+        ElabError::Cg(e)
+    }
+}
+
+/// A resolved component binding.
+#[derive(Clone, Debug)]
+struct CfgBind {
+    /// `all`, `others`, or instance labels.
+    insts: InstSel,
+    /// Component name it applies to.
+    comp: String,
+    /// Bound entity name (empty = open: leave unbound).
+    entity: String,
+    /// Bound architecture name (empty = latest).
+    arch: String,
+}
+
+#[derive(Clone, Debug)]
+enum InstSel {
+    All,
+    Others,
+    Names(Vec<String>),
+}
+
+impl InstSel {
+    fn matches(&self, label: &str, already: bool) -> bool {
+        match self {
+            InstSel::All => true,
+            InstSel::Others => !already,
+            InstSel::Names(ns) => ns.iter().any(|n| n == label),
+        }
+    }
+}
+
+/// Elaborates `entity(arch)` into a runnable program. `arch = None` uses
+/// the latest compiled architecture (the default-binding rule).
+pub fn elaborate(
+    libs: &Rc<LibrarySet>,
+    entity: &str,
+    arch: Option<&str>,
+) -> Result<Program, ElabError> {
+    let mut e = Elab::new(libs);
+    e.collect_pkg_subprogs();
+    let arch_name = match arch {
+        Some(a) => a.to_string(),
+        None => libs
+            .latest_architecture(entity)
+            .ok_or_else(|| ElabError::NotFound(format!("architecture of {entity}")))?,
+    };
+    e.instantiate(entity, &arch_name, entity, &HashMap::new(), &HashMap::new(), &[])?;
+    Ok(e.program)
+}
+
+/// Elaborates via a configuration unit.
+pub fn elaborate_config(libs: &Rc<LibrarySet>, config: &str) -> Result<Program, ElabError> {
+    let cfg = libs
+        .load_unit("work", &format!("config.{config}"))
+        .ok_or_else(|| ElabError::NotFound(format!("configuration {config}")))?;
+    let entity = cfg.str_field("entity_name").unwrap_or("").to_string();
+    let arch = cfg.str_field("arch_name").unwrap_or("").to_string();
+    let mut e = Elab::new(libs);
+    e.collect_pkg_subprogs();
+    let binds: Vec<CfgBind> = cfg
+        .list_field("bindings")
+        .iter()
+        .filter_map(|b| b.as_node())
+        .map(|b| decode_cfgbind(b))
+        .collect();
+    e.instantiate(&entity, &arch, &entity, &HashMap::new(), &HashMap::new(), &binds)?;
+    Ok(e.program)
+}
+
+fn decode_cfgbind(b: &VifNode) -> CfgBind {
+    let comp = b.str_field("comp").unwrap_or("").to_string();
+    let insts = decode_insts(b.field("insts"));
+    let (entity, arch) = decode_binding(b.field("binding"));
+    CfgBind {
+        insts,
+        comp,
+        entity,
+        arch,
+    }
+}
+
+fn decode_insts(v: Option<&VifValue>) -> InstSel {
+    let Some(VifValue::List(parts)) = v else {
+        return InstSel::All;
+    };
+    match parts.first().and_then(|v| v.as_str()) {
+        Some("others") => InstSel::Others,
+        Some("all") => InstSel::All,
+        Some("ids") => {
+            let names = match parts.get(1) {
+                Some(VifValue::List(ids)) => ids
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            InstSel::Names(names)
+        }
+        _ => InstSel::All,
+    }
+}
+
+/// Decodes a binding-indication bundle (`["entity", name-strings, arch,
+/// maps]` / `["config", …]` / `["open"]` / `["default"]`).
+fn decode_binding(v: Option<&VifValue>) -> (String, String) {
+    let Some(VifValue::List(parts)) = v else {
+        return (String::new(), String::new());
+    };
+    match parts.first().and_then(|v| v.as_str()) {
+        Some("entity") => {
+            let name = match parts.get(1) {
+                Some(VifValue::List(segs)) => segs
+                    .iter()
+                    .filter_map(|v| v.as_str())
+                    .filter(|s| *s != "." && *s != "work")
+                    .next_back()
+                    .unwrap_or("")
+                    .to_string(),
+                _ => String::new(),
+            };
+            let arch = parts
+                .get(2)
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string();
+            (name, arch)
+        }
+        _ => (String::new(), String::new()),
+    }
+}
+
+struct Elab<'a> {
+    libs: &'a Rc<LibrarySet>,
+    ctx: LowerCtx,
+    program: Program,
+}
+
+impl<'a> Elab<'a> {
+    fn new(libs: &'a Rc<LibrarySet>) -> Elab<'a> {
+        Elab {
+            libs,
+            ctx: LowerCtx::new(),
+            program: Program::default(),
+        }
+    }
+
+    /// Indexes every subprogram in every package of the work library (and
+    /// their bodies) so calls can be compiled on demand.
+    fn collect_pkg_subprogs(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        let keys: Vec<String> = self
+            .libs
+            .work()
+            .history()
+            .into_iter()
+            .filter(|k| seen.insert(k.clone()))
+            .collect();
+        for key in keys {
+            if !(key.starts_with("pkg.") || key.starts_with("pkgbody.")) {
+                continue;
+            }
+            if let Some(unit) = self.libs.load_unit("work", &key) {
+                for d in unit.list_field("decls") {
+                    if let Some(n) = d.as_node() {
+                        if n.kind() == "subprog" {
+                            self.ctx.add_subprog(&Rc::clone(n));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn instantiate(
+        &mut self,
+        entity_name: &str,
+        arch_name: &str,
+        path: &str,
+        port_actuals: &HashMap<String, SigId>,
+        generic_actuals: &HashMap<String, Val>,
+        cfg_binds: &[CfgBind],
+    ) -> Result<(), ElabError> {
+        // Each instance gets its own storage scope: the same architecture
+        // instantiated twice binds its objects to different signals, and
+        // position-derived uids from different units must not clash.
+        let saved_storage = self.ctx.storage.clone();
+        let result = self.instantiate_scoped(
+            entity_name,
+            arch_name,
+            path,
+            port_actuals,
+            generic_actuals,
+            cfg_binds,
+        );
+        self.ctx.storage = saved_storage;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn instantiate_scoped(
+        &mut self,
+        entity_name: &str,
+        arch_name: &str,
+        path: &str,
+        port_actuals: &HashMap<String, SigId>,
+        generic_actuals: &HashMap<String, Val>,
+        cfg_binds: &[CfgBind],
+    ) -> Result<(), ElabError> {
+        let entity = self
+            .libs
+            .load_unit("work", &format!("entity.{entity_name}"))
+            .ok_or_else(|| ElabError::NotFound(format!("entity {entity_name}")))?;
+        let arch = self
+            .libs
+            .load_unit("work", &format!("arch.{entity_name}.{arch_name}"))
+            .ok_or_else(|| {
+                ElabError::NotFound(format!("architecture {entity_name}({arch_name})"))
+            })?;
+
+        // Generics: actual, or default initializer.
+        for g in entity.list_field("generics") {
+            let Some(gn) = g.as_node() else { continue };
+            let name = gn.name().unwrap_or("?");
+            let uid = gn.str_field("uid").unwrap_or("?").to_string();
+            let v = match generic_actuals.get(name) {
+                Some(v) => v.clone(),
+                None => match gn.node_field("init") {
+                    Some(init) => static_value(&self.ctx, init)?,
+                    None => {
+                        return Err(ElabError::Binding(format!(
+                            "generic `{name}` of {path} has no value"
+                        )))
+                    }
+                },
+            };
+            self.ctx.storage.insert(uid, Storage::Const(v));
+        }
+        // Ports: bind to actuals or fresh local signals.
+        for p in entity.list_field("ports") {
+            let Some(pn) = p.as_node() else { continue };
+            let name = pn.name().unwrap_or("?");
+            let uid = pn.str_field("uid").unwrap_or("?").to_string();
+            let sig = match port_actuals.get(name) {
+                Some(s) => *s,
+                None => {
+                    let ty = pn.node_field("ty").expect("typed port");
+                    let init = match pn.node_field("init") {
+                        Some(i) => static_value(&self.ctx, i)?,
+                        None => default_value(ty),
+                    };
+                    self.program.add_signal(format!("{path}.{name}"), init)
+                }
+            };
+            self.ctx.storage.insert(uid, Storage::Signal(sig));
+        }
+        // Declarations of the entity and architecture.
+        for d in entity
+            .list_field("decls")
+            .iter()
+            .chain(arch.list_field("decls"))
+        {
+            let Some(dn) = d.as_node() else { continue };
+            self.declare(dn, path)?;
+        }
+        // Configuration specs local to the architecture.
+        let mut local_binds: Vec<CfgBind> = Vec::new();
+        for c in arch.list_field("cfgs") {
+            if let VifValue::List(parts) = c {
+                let insts = decode_insts(parts.first());
+                let comp = match parts.get(1) {
+                    Some(VifValue::List(segs)) => segs
+                        .iter()
+                        .filter_map(|v| v.as_str())
+                        .filter(|s| *s != ".")
+                        .next_back()
+                        .unwrap_or("")
+                        .to_string(),
+                    _ => String::new(),
+                };
+                let (entity, arch) = decode_binding(parts.get(2));
+                local_binds.push(CfgBind {
+                    insts,
+                    comp,
+                    entity,
+                    arch,
+                });
+            }
+        }
+        // Concurrent statements.
+        let mut bound_insts: Vec<String> = Vec::new();
+        let concs: Vec<Rc<VifNode>> = arch
+            .list_field("concs")
+            .iter()
+            .filter_map(|v| v.as_node().cloned())
+            .collect();
+        for conc in concs {
+            self.conc(&conc, path, cfg_binds, &local_binds, &mut bound_insts)?;
+        }
+        Ok(())
+    }
+
+    /// Declares one architecture/entity/block declaration at `path`.
+    fn declare(&mut self, dn: &Rc<VifNode>, path: &str) -> Result<(), ElabError> {
+        match dn.kind() {
+            "obj" if dn.str_field("class") == Some("signal") => {
+                let ty = dn.node_field("ty").expect("typed signal");
+                let init = match dn.node_field("init") {
+                    Some(i) => static_value(&self.ctx, i)?,
+                    None => default_value(ty),
+                };
+                let name = dn.name().unwrap_or("?");
+                let sig = self.program.add_signal(format!("{path}.{name}"), init);
+                // Resolution function from the subtype.
+                if let Some(res) = vhdl_sem::types::resolution_of(ty) {
+                    let uid = res.str_field("uid").unwrap_or("?").to_string();
+                    self.ctx.add_subprog(&res);
+                    let mut fl = FnLower::new(&mut self.ctx, &mut self.program, 1);
+                    let f = fl.compile_subprog(&uid)?;
+                    self.program.signals[sig.0 as usize].resolution = Some(f);
+                }
+                self.ctx
+                    .storage
+                    .insert(dn.str_field("uid").unwrap_or("?").to_string(), Storage::Signal(sig));
+            }
+            "subprog" => self.ctx.add_subprog(dn),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn conc(
+        &mut self,
+        conc: &Rc<VifNode>,
+        path: &str,
+        cfg_binds: &[CfgBind],
+        local_binds: &[CfgBind],
+        bound: &mut Vec<String>,
+    ) -> Result<(), ElabError> {
+        match conc.kind() {
+            "process" => self.lower_process(conc, path)?,
+            "block" => {
+                // Guard signal + guard-update process, then nested
+                // concurrency.
+                let bpath = format!("{path}.{}", conc.name().unwrap_or("blk"));
+                if let (Some(gobj), Some(gexpr)) =
+                    (conc.node_field("guard_sig"), conc.node_field("guard_expr"))
+                {
+                    let sig = self.program.add_signal(format!("{bpath}.guard"), Val::Int(0));
+                    self.ctx.storage.insert(
+                        gobj.str_field("uid").unwrap_or("?").to_string(),
+                        Storage::Signal(sig),
+                    );
+                    self.lower_guard_process(&bpath, sig, gexpr)?;
+                }
+                for d in conc.list_field("decls") {
+                    if let Some(dn) = d.as_node() {
+                        self.declare(dn, &bpath)?;
+                    }
+                }
+                let mut inner_bound = Vec::new();
+                let inner: Vec<Rc<VifNode>> = conc
+                    .list_field("concs")
+                    .iter()
+                    .filter_map(|v| v.as_node().cloned())
+                    .collect();
+                for c in inner {
+                    self.conc(&c, &bpath, cfg_binds, local_binds, &mut inner_bound)?;
+                }
+            }
+            "inst" => {
+                let label = conc.name().unwrap_or("u").to_string();
+                let comp = conc.node_field("comp").expect("component");
+                let comp_name = comp.name().unwrap_or("?").to_string();
+                // Binding precedence: configuration unit, then local spec,
+                // then defaults (§3.3).
+                let find = |binds: &[CfgBind]| -> Option<(String, String)> {
+                    binds
+                        .iter()
+                        .find(|b| b.comp == comp_name && b.insts.matches(&label, false))
+                        .map(|b| (b.entity.clone(), b.arch.clone()))
+                };
+                let (entity, arch) = find(cfg_binds)
+                    .or_else(|| find(local_binds))
+                    .unwrap_or_default();
+                let entity = if entity.is_empty() { comp_name.clone() } else { entity };
+                let arch = if arch.is_empty() {
+                    self.libs.latest_architecture(&entity).ok_or_else(|| {
+                        ElabError::Binding(format!(
+                            "no architecture for `{entity}` (instance {path}.{label})"
+                        ))
+                    })?
+                } else {
+                    arch
+                };
+                bound.push(label.clone());
+                // Map actuals.
+                let mut ports = HashMap::new();
+                let mut generics = HashMap::new();
+                for a in conc.list_field("port_map") {
+                    let Some(an) = a.as_node() else { continue };
+                    let formal = an.str_field("formal").unwrap_or("?").to_string();
+                    if let Some(actual) = an.node_field("actual") {
+                        let sig = self.signal_of_actual(actual).ok_or_else(|| {
+                            ElabError::Binding(format!(
+                                "port `{formal}` of {path}.{label}: actual is not a signal"
+                            ))
+                        })?;
+                        ports.insert(formal, sig);
+                    }
+                }
+                for a in conc.list_field("generic_map") {
+                    let Some(an) = a.as_node() else { continue };
+                    let formal = an.str_field("formal").unwrap_or("?").to_string();
+                    if let Some(actual) = an.node_field("actual") {
+                        generics.insert(formal, static_value(&self.ctx, actual)?);
+                    }
+                }
+                let child_path = format!("{path}.{label}");
+                self.instantiate(&entity, &arch, &child_path, &ports, &generics, cfg_binds)?;
+            }
+            k => {
+                return Err(ElabError::Cg(CgError::Unsupported(format!(
+                    "concurrent {k}"
+                ))))
+            }
+        }
+        Ok(())
+    }
+
+    fn signal_of_actual(&self, actual: &VifNode) -> Option<SigId> {
+        if actual.kind() != "e.ref" {
+            return None;
+        }
+        let uid = actual.node_field("obj")?.str_field("uid")?;
+        match self.ctx.storage.get(uid) {
+            Some(Storage::Signal(s)) => Some(*s),
+            _ => None,
+        }
+    }
+
+    fn lower_process(&mut self, proc: &Rc<VifNode>, path: &str) -> Result<(), ElabError> {
+        let name = format!("{path}.{}", proc.name().unwrap_or("proc"));
+        let mut fl = FnLower::new(&mut self.ctx, &mut self.program, 0);
+        // Declarations: variables get slots + init code; nested subprograms
+        // register for on-demand compilation.
+        for d in proc.list_field("decls") {
+            let Some(dn) = d.as_node() else { continue };
+            match dn.kind() {
+                "obj" => {
+                    let slot = fl.alloc(dn.str_field("uid").unwrap_or("?"));
+                    fl.lower_var_init(&Rc::clone(dn), slot)?;
+                }
+                "subprog" => fl.ctx.add_subprog(&Rc::clone(dn)),
+                _ => {}
+            }
+        }
+        let body_start = fl.code.len() as u32;
+        for s in proc.list_field("body") {
+            if let Some(sn) = s.as_node() {
+                fl.stmt(sn)?;
+            }
+        }
+        // The process statement list repeats forever.
+        fl.code.push(Insn::Jump(body_start));
+        let (code, n_locals) = (fl.code, fl.next_slot);
+        self.program.add_process(name, n_locals, code);
+        Ok(())
+    }
+
+    /// The implicit process maintaining a block's GUARD signal.
+    fn lower_guard_process(
+        &mut self,
+        path: &str,
+        sig: SigId,
+        expr: &Rc<VifNode>,
+    ) -> Result<(), ElabError> {
+        let mut fl = FnLower::new(&mut self.ctx, &mut self.program, 0);
+        let mut sens = Vec::new();
+        crate::lower::collect_signals(&mut fl, expr, &mut sens)?;
+        sens.sort();
+        sens.dedup();
+        fl.expr(expr)?;
+        fl.code.push(Insn::PushInt(-1));
+        fl.code.push(Insn::Sched {
+            sig,
+            transport: false,
+        });
+        fl.code.push(Insn::Wait {
+            sens: Rc::new(sens),
+            with_timeout: false,
+        });
+        fl.code.push(Insn::Pop);
+        fl.code.push(Insn::Jump(0));
+        let (code, n_locals) = (fl.code, fl.next_slot);
+        self.program.add_process(format!("{path}.guardproc"), n_locals, code);
+        Ok(())
+    }
+}

@@ -1,0 +1,531 @@
+//! Attribute declarations, attribute classes, and semantic rules.
+//!
+//! An [`AttrGrammar`] decorates an [`ag_lalr::Grammar`] with:
+//!
+//! - **attribute classes** — a named attribute (`MSGS`, `ENV`, `LEVEL`, …)
+//!   with a fixed direction (inherited or synthesized) that can be attached
+//!   to many symbols and *"denotes essentially the same thing for each of
+//!   them"* (paper §4.2),
+//! - **semantic rules** — functions defining one attribute occurrence of a
+//!   production from other occurrences and token values,
+//! - **implicit rules** — copy, unit-element, and merge-function rules
+//!   synthesized for occurrences the author left undefined, exactly the
+//!   three kinds described in the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use ag_lalr::{Grammar, ProdId, SymbolId};
+
+use crate::implicit;
+
+/// Direction of an attribute class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttrDir {
+    /// Flows downward: defined by the parent production.
+    Inherited,
+    /// Flows upward: defined by the node's own production.
+    Synthesized,
+}
+
+/// Identifies an attribute class within one [`AttrGrammar`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// What the engine may do when a required occurrence of the class has no
+/// explicit rule (paper §4.2's three kinds of implicit rule).
+#[derive(Clone)]
+pub enum Implicit<V> {
+    /// No implicit rules: every occurrence must be defined explicitly.
+    None,
+    /// Copy rules only (`X.A = Y.A`).
+    Copy,
+    /// Copy rules plus a unit element for zero-source synthesized
+    /// occurrences (`X.A = u`).
+    Unit(V),
+    /// Copy, unit element (if given), and an associative dyadic merge
+    /// function for multi-source synthesized occurrences
+    /// (`X.A = m(Y.A, m(W.A, … Z.A) …)`).
+    Merge {
+        /// Value when no source occurrence exists.
+        unit: Option<V>,
+        /// The merge function.
+        f: Rc<dyn Fn(&V, &V) -> V>,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Debug for Implicit<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Implicit::None => write!(f, "None"),
+            Implicit::Copy => write!(f, "Copy"),
+            Implicit::Unit(v) => write!(f, "Unit({v:?})"),
+            Implicit::Merge { unit, .. } => write!(f, "Merge {{ unit: {unit:?}, .. }}"),
+        }
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct ClassInfo<V> {
+    pub name: String,
+    pub dir: AttrDir,
+    pub implicit: Implicit<V>,
+}
+
+/// A dependency of a semantic rule: either an attribute occurrence or the
+/// token value of a terminal occurrence (Linguist's mechanism for
+/// "incorporating values associated with tokens into attribute evaluation").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dep {
+    /// Attribute `class` of occurrence `occ` (0 = LHS, `i ≥ 1` = `i`-th RHS
+    /// symbol).
+    Attr(usize, ClassId),
+    /// Token value of the terminal at RHS position `occ ≥ 1`.
+    Token(usize),
+}
+
+impl Dep {
+    /// Shorthand for [`Dep::Attr`].
+    pub fn attr(occ: usize, class: ClassId) -> Dep {
+        Dep::Attr(occ, class)
+    }
+
+    /// Shorthand for [`Dep::Token`].
+    pub fn token(occ: usize) -> Dep {
+        Dep::Token(occ)
+    }
+}
+
+/// How a rule came to exist — explicit (written by the AG author) or one of
+/// the three implicit kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuleOrigin {
+    /// Written by the author.
+    Explicit,
+    /// Synthesized copy rule `X.A = Y.A`.
+    ImplicitCopy,
+    /// Synthesized constant rule `X.A = u`.
+    ImplicitUnit,
+    /// Synthesized fold `X.A = m(Y.A, m(…))`.
+    ImplicitMerge,
+}
+
+impl RuleOrigin {
+    /// `true` for any of the implicit kinds.
+    pub fn is_implicit(self) -> bool {
+        self != RuleOrigin::Explicit
+    }
+}
+
+/// A semantic rule: defines attribute `class` of occurrence `target_occ`
+/// from `deps`.
+#[derive(Clone)]
+pub struct Rule<V> {
+    /// Occurrence being defined (0 = LHS, `i ≥ 1` = RHS position).
+    pub target_occ: usize,
+    /// Class being defined.
+    pub class: ClassId,
+    /// Dependencies, in the order the function receives them.
+    pub deps: Vec<Dep>,
+    /// The semantic function.
+    pub func: Rc<dyn Fn(&[V]) -> V>,
+    /// Provenance (explicit vs the implicit kinds).
+    pub origin: RuleOrigin,
+}
+
+impl<V> fmt::Debug for Rule<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rule")
+            .field("target_occ", &self.target_occ)
+            .field("class", &self.class)
+            .field("deps", &self.deps)
+            .field("origin", &self.origin)
+            .finish()
+    }
+}
+
+/// Errors detected while building an [`AttrGrammar`].
+#[derive(Clone, Debug)]
+pub enum AgError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// A class was attached to a terminal.
+    AttachToTerminal { class: String, symbol: String },
+    /// A rule's target is not a defining occurrence (synthesized targets
+    /// must be the LHS, inherited targets must be RHS positions).
+    BadTarget {
+        /// Production label.
+        prod: String,
+        /// Occurrence index.
+        occ: usize,
+        /// Class name.
+        class: String,
+    },
+    /// Two rules define the same occurrence.
+    DuplicateRule {
+        /// Production label.
+        prod: String,
+        /// Occurrence index.
+        occ: usize,
+        /// Class name.
+        class: String,
+    },
+    /// A rule references an attribute of a symbol the class is not attached
+    /// to, or a token of a nonterminal occurrence.
+    BadDep {
+        /// Production label.
+        prod: String,
+        /// Offending dependency.
+        dep: String,
+    },
+    /// A required occurrence has no explicit rule and no implicit rule can
+    /// be synthesized.
+    MissingRule {
+        /// Production label.
+        prod: String,
+        /// Occurrence index.
+        occ: usize,
+        /// Class name.
+        class: String,
+        /// Why synthesis failed.
+        why: String,
+    },
+    /// An occurrence index is out of range for the production.
+    BadOccurrence {
+        /// Production label.
+        prod: String,
+        /// Occurrence index.
+        occ: usize,
+    },
+}
+
+impl fmt::Display for AgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgError::DuplicateClass(n) => write!(f, "duplicate attribute class `{n}`"),
+            AgError::AttachToTerminal { class, symbol } => {
+                write!(f, "class `{class}` attached to terminal `{symbol}`")
+            }
+            AgError::BadTarget { prod, occ, class } => {
+                write!(f, "rule in [{prod}] targets non-defining occurrence {occ}.{class}")
+            }
+            AgError::DuplicateRule { prod, occ, class } => {
+                write!(f, "duplicate rule for {occ}.{class} in [{prod}]")
+            }
+            AgError::BadDep { prod, dep } => write!(f, "bad dependency {dep} in [{prod}]"),
+            AgError::MissingRule {
+                prod,
+                occ,
+                class,
+                why,
+            } => write!(
+                f,
+                "no rule for {occ}.{class} in [{prod}] and no implicit rule applies: {why}"
+            ),
+            AgError::BadOccurrence { prod, occ } => {
+                write!(f, "occurrence {occ} out of range in [{prod}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgError {}
+
+/// Builds an [`AttrGrammar`] over an existing context-free grammar.
+pub struct AgBuilder<V> {
+    pub(crate) grammar: Rc<Grammar>,
+    pub(crate) classes: Vec<ClassInfo<V>>,
+    pub(crate) class_by_name: HashMap<String, ClassId>,
+    /// Classes attached to each symbol, in attach order.
+    pub(crate) attrs_of: Vec<Vec<ClassId>>,
+    pub(crate) rules: Vec<Vec<Rule<V>>>,
+}
+
+impl<V: Clone + 'static> AgBuilder<V> {
+    /// Starts building an attribute grammar over `grammar`.
+    pub fn new(grammar: Rc<Grammar>) -> Self {
+        let n_sym = grammar.n_symbols();
+        let n_prod = grammar.n_prods();
+        AgBuilder {
+            grammar,
+            classes: Vec::new(),
+            class_by_name: HashMap::new(),
+            attrs_of: vec![Vec::new(); n_sym],
+            rules: vec![Vec::new(); n_prod],
+        }
+    }
+
+    /// Declares an attribute class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate class name (a bug in the AG author's code).
+    pub fn class(&mut self, name: &str, dir: AttrDir, implicit: Implicit<V>) -> ClassId {
+        assert!(
+            !self.class_by_name.contains_key(name),
+            "duplicate attribute class `{name}`"
+        );
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassInfo {
+            name: name.to_string(),
+            dir,
+            implicit,
+        });
+        self.class_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares an inherited class with copy-rule synthesis — the common
+    /// case for context attributes like `ENV` or `LEVEL`.
+    pub fn inh(&mut self, name: &str) -> ClassId {
+        self.class(name, AttrDir::Inherited, Implicit::Copy)
+    }
+
+    /// Declares a synthesized class with copy-rule synthesis.
+    pub fn syn(&mut self, name: &str) -> ClassId {
+        self.class(name, AttrDir::Synthesized, Implicit::Copy)
+    }
+
+    /// Declares a synthesized class with unit element and merge function —
+    /// the `MSGS`-style bucket-brigade class of §4.2.
+    pub fn syn_merge(
+        &mut self,
+        name: &str,
+        unit: V,
+        f: impl Fn(&V, &V) -> V + 'static,
+    ) -> ClassId {
+        self.class(
+            name,
+            AttrDir::Synthesized,
+            Implicit::Merge {
+                unit: Some(unit),
+                f: Rc::new(f),
+            },
+        )
+    }
+
+    /// Attaches `class` to `symbol`, giving the symbol an attribute of that
+    /// class. Attaching twice is a no-op.
+    pub fn attach(&mut self, class: ClassId, symbol: SymbolId) {
+        let list = &mut self.attrs_of[symbol.index()];
+        if !list.contains(&class) {
+            list.push(class);
+        }
+    }
+
+    /// Attaches `class` to every symbol in `symbols` — the macro-processor
+    /// "attribute group" idiom from §4.2.
+    pub fn attach_all(&mut self, class: ClassId, symbols: impl IntoIterator<Item = SymbolId>) {
+        for s in symbols {
+            self.attach(class, s);
+        }
+    }
+
+    /// Adds an explicit semantic rule to `prod`: occurrence
+    /// `target_occ.class = func(deps…)`.
+    pub fn rule(
+        &mut self,
+        prod: ProdId,
+        target_occ: usize,
+        class: ClassId,
+        deps: Vec<Dep>,
+        func: impl Fn(&[V]) -> V + 'static,
+    ) {
+        self.rules[prod.index()].push(Rule {
+            target_occ,
+            class,
+            deps,
+            func: Rc::new(func),
+            origin: RuleOrigin::Explicit,
+        });
+    }
+
+    /// Validates the grammar, synthesizes implicit rules, and freezes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AgError`] found (bad targets, duplicate or
+    /// missing rules, bad dependencies).
+    pub fn build(self) -> Result<AttrGrammar<V>, AgError> {
+        implicit::complete(self)
+    }
+}
+
+/// A frozen attribute grammar: grammar + classes + rules (explicit and
+/// implicit), ready for dependency analysis and evaluation.
+pub struct AttrGrammar<V> {
+    pub(crate) grammar: Rc<Grammar>,
+    pub(crate) classes: Vec<ClassInfo<V>>,
+    pub(crate) class_by_name: HashMap<String, ClassId>,
+    pub(crate) attrs_of: Vec<Vec<ClassId>>,
+    /// Slot of (symbol, class) in a node's attribute vector.
+    pub(crate) slot: HashMap<(SymbolId, ClassId), usize>,
+    /// Rules per production, and an index from (prod, occ, class).
+    pub(crate) rules: Vec<Vec<Rule<V>>>,
+    pub(crate) rule_of: HashMap<(ProdId, usize, ClassId), usize>,
+    pub(crate) n_explicit: usize,
+    pub(crate) n_implicit: usize,
+}
+
+impl<V> fmt::Debug for AttrGrammar<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttrGrammar")
+            .field("classes", &self.classes.len())
+            .field("n_explicit", &self.n_explicit)
+            .field("n_implicit", &self.n_implicit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: Clone + 'static> AttrGrammar<V> {
+    /// The underlying context-free grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Shared handle to the underlying grammar.
+    pub fn grammar_rc(&self) -> Rc<Grammar> {
+        Rc::clone(&self.grammar)
+    }
+
+    /// Number of declared attribute classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Name of a class.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.classes[c.index()].name
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// Direction of a class.
+    pub fn dir(&self, c: ClassId) -> AttrDir {
+        self.classes[c.index()].dir
+    }
+
+    /// Classes attached to `symbol`, in attach order.
+    pub fn attrs_of(&self, symbol: SymbolId) -> &[ClassId] {
+        &self.attrs_of[symbol.index()]
+    }
+
+    /// `true` if `class` is attached to `symbol`.
+    pub fn has_attr(&self, symbol: SymbolId, class: ClassId) -> bool {
+        self.slot.contains_key(&(symbol, class))
+    }
+
+    /// Attribute-vector slot of `(symbol, class)`.
+    pub fn slot(&self, symbol: SymbolId, class: ClassId) -> Option<usize> {
+        self.slot.get(&(symbol, class)).copied()
+    }
+
+    /// All rules of a production (explicit and implicit).
+    pub fn rules(&self, prod: ProdId) -> &[Rule<V>] {
+        &self.rules[prod.index()]
+    }
+
+    /// The rule defining `(occ, class)` in `prod`, if any.
+    pub fn rule_for(&self, prod: ProdId, occ: usize, class: ClassId) -> Option<&Rule<V>> {
+        self.rule_of
+            .get(&(prod, occ, class))
+            .map(|&i| &self.rules[prod.index()][i])
+    }
+
+    /// Number of explicit (author-written) rules.
+    pub fn n_explicit_rules(&self) -> usize {
+        self.n_explicit
+    }
+
+    /// Number of implicitly synthesized rules.
+    pub fn n_implicit_rules(&self) -> usize {
+        self.n_implicit
+    }
+
+    /// Total rules.
+    pub fn n_rules(&self) -> usize {
+        self.n_explicit + self.n_implicit
+    }
+
+    /// Total attribute count: sum over symbols of attached classes —
+    /// the "attributes" row of the paper's §4.1 statistics table.
+    pub fn n_attributes(&self) -> usize {
+        self.attrs_of.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_lalr::GrammarBuilder;
+
+    fn toy_grammar() -> Rc<Grammar> {
+        let mut g = GrammarBuilder::new();
+        let a = g.terminal("a");
+        let s = g.nonterminal("s");
+        let t = g.nonterminal("t");
+        g.prod(s, &[t.into(), a.into()], "s_ta");
+        g.prod(t, &[a.into()], "t_a");
+        g.start(s);
+        Rc::new(g.build().unwrap())
+    }
+
+    #[test]
+    fn declare_attach_query() {
+        let g = toy_grammar();
+        let s = g.symbol("s").unwrap();
+        let t = g.symbol("t").unwrap();
+        let mut ab = AgBuilder::<i64>::new(Rc::clone(&g));
+        let env = ab.inh("ENV");
+        let val = ab.syn("VAL");
+        ab.attach(env, t);
+        ab.attach(val, s);
+        ab.attach(val, t);
+        ab.attach(val, t); // idempotent
+        // Provide required rules: s_ta needs s.VAL, t.ENV; t_a needs t.VAL.
+        let p_s = g.prod_by_label("s_ta").unwrap();
+        let p_t = g.prod_by_label("t_a").unwrap();
+        ab.rule(p_s, 0, val, vec![Dep::attr(1, val)], |d| d[0] + 1);
+        ab.rule(p_s, 1, env, vec![], |_| 7);
+        ab.rule(p_t, 0, val, vec![Dep::attr(0, env)], |d| d[0] * 2);
+        let ag = ab.build().unwrap();
+        assert_eq!(ag.n_classes(), 2);
+        assert_eq!(ag.class_name(env), "ENV");
+        assert_eq!(ag.dir(env), AttrDir::Inherited);
+        assert!(ag.has_attr(t, env));
+        assert!(!ag.has_attr(s, env));
+        assert_eq!(ag.attrs_of(t).len(), 2);
+        assert_eq!(ag.n_attributes(), 3);
+        assert_eq!(ag.n_explicit_rules(), 3);
+        assert_eq!(ag.n_implicit_rules(), 0);
+        assert!(ag.rule_for(p_t, 0, val).is_some());
+        assert!(ag.rule_for(p_t, 0, env).is_none());
+        assert_eq!(ag.class_by_name("VAL"), Some(val));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute class")]
+    fn duplicate_class_panics() {
+        let g = toy_grammar();
+        let mut ab = AgBuilder::<i64>::new(g);
+        ab.inh("ENV");
+        ab.inh("ENV");
+    }
+}

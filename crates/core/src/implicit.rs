@@ -1,0 +1,476 @@
+//! Implicit semantic rule synthesis (paper §4.2).
+//!
+//! For every production, every *defining occurrence* — a synthesized
+//! attribute of the LHS or an inherited attribute of a RHS nonterminal —
+//! must have a rule. Occurrences the author left undefined get one of the
+//! three implicit rule kinds, "based on whether the attribute is inherited
+//! or synthesized and on information supplied in the definition of the
+//! class":
+//!
+//! - **copy rule** `X.A = Y.A` — for an inherited occurrence, copy from the
+//!   LHS; for a synthesized occurrence, copy from the single RHS occurrence
+//!   of the same class;
+//! - **unit rule** `X.A = u` — when no source occurrence exists;
+//! - **merge rule** `X.A = m(Y.A, m(W.A, … Z.A)…)` — a fold of the class's
+//!   associative merge function over all RHS occurrences.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ag_lalr::{ProdId, SymbolId};
+
+use crate::attr::{
+    AgBuilder, AgError, AttrDir, AttrGrammar, ClassId, Dep, Implicit, Rule, RuleOrigin,
+};
+
+/// Validates `builder`'s explicit rules, synthesizes implicit rules, and
+/// freezes into an [`AttrGrammar`].
+pub(crate) fn complete<V: Clone + 'static>(
+    builder: AgBuilder<V>,
+) -> Result<AttrGrammar<V>, AgError> {
+    let AgBuilder {
+        grammar,
+        classes,
+        class_by_name,
+        attrs_of,
+        mut rules,
+    } = builder;
+
+    // Slot assignment: position of each (symbol, class) in node attribute
+    // vectors.
+    let mut slot = HashMap::new();
+    for sym in grammar.symbol_ids() {
+        for (i, &c) in attrs_of[sym.index()].iter().enumerate() {
+            slot.insert((sym, c), i);
+        }
+        if grammar.is_terminal(sym) && !attrs_of[sym.index()].is_empty() {
+            return Err(AgError::AttachToTerminal {
+                class: classes[attrs_of[sym.index()][0].index()].name.clone(),
+                symbol: grammar.symbol_name(sym).to_string(),
+            });
+        }
+    }
+
+    let occ_symbol = |p: ProdId, occ: usize| -> Option<SymbolId> {
+        if occ == 0 {
+            Some(grammar.lhs(p))
+        } else {
+            grammar.rhs(p).get(occ - 1).copied()
+        }
+    };
+
+    // Validate explicit rules.
+    let mut n_explicit = 0usize;
+    for p in grammar.prod_ids() {
+        let plabel = grammar.prod_label(p).to_string();
+        let mut seen: HashMap<(usize, ClassId), ()> = HashMap::new();
+        for r in &rules[p.index()] {
+            n_explicit += 1;
+            let sym = occ_symbol(p, r.target_occ).ok_or(AgError::BadOccurrence {
+                prod: plabel.clone(),
+                occ: r.target_occ,
+            })?;
+            let cname = classes[r.class.index()].name.clone();
+            if !slot.contains_key(&(sym, r.class)) {
+                return Err(AgError::BadDep {
+                    prod: plabel.clone(),
+                    dep: format!("target {}.{cname} (class not attached)", r.target_occ),
+                });
+            }
+            let dir = classes[r.class.index()].dir;
+            let defining = match dir {
+                AttrDir::Synthesized => r.target_occ == 0,
+                AttrDir::Inherited => r.target_occ >= 1,
+            };
+            if !defining {
+                return Err(AgError::BadTarget {
+                    prod: plabel.clone(),
+                    occ: r.target_occ,
+                    class: cname,
+                });
+            }
+            if seen.insert((r.target_occ, r.class), ()).is_some() {
+                return Err(AgError::DuplicateRule {
+                    prod: plabel.clone(),
+                    occ: r.target_occ,
+                    class: cname,
+                });
+            }
+            for d in &r.deps {
+                match *d {
+                    Dep::Attr(occ, c) => {
+                        let dsym = occ_symbol(p, occ).ok_or(AgError::BadOccurrence {
+                            prod: plabel.clone(),
+                            occ,
+                        })?;
+                        if !slot.contains_key(&(dsym, c)) {
+                            return Err(AgError::BadDep {
+                                prod: plabel.clone(),
+                                dep: format!(
+                                    "{occ}.{} (class not attached to `{}`)",
+                                    classes[c.index()].name,
+                                    grammar.symbol_name(dsym)
+                                ),
+                            });
+                        }
+                        // A usable dependency must be an *available* value:
+                        // inherited on the LHS, synthesized on RHS
+                        // occurrences, or a synthesized attribute of the
+                        // LHS defined by a sibling rule of the same
+                        // production (the projection idiom). A rule may not
+                        // read a sibling *child's* inherited attribute.
+                        let ddir = classes[c.index()].dir;
+                        let available = match ddir {
+                            AttrDir::Inherited => occ == 0,
+                            AttrDir::Synthesized => true,
+                        };
+                        if !available {
+                            return Err(AgError::BadDep {
+                                prod: plabel.clone(),
+                                dep: format!(
+                                    "{occ}.{} ({:?} attribute not readable at this occurrence)",
+                                    classes[c.index()].name, ddir
+                                ),
+                            });
+                        }
+                    }
+                    Dep::Token(occ) => {
+                        let dsym = occ_symbol(p, occ).ok_or(AgError::BadOccurrence {
+                            prod: plabel.clone(),
+                            occ,
+                        })?;
+                        if occ == 0 || !grammar.is_terminal(dsym) {
+                            return Err(AgError::BadDep {
+                                prod: plabel.clone(),
+                                dep: format!("token({occ}) is not a terminal occurrence"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Synthesize implicit rules for undefined required occurrences. The
+    // augmented accept production is skipped: the start symbol's inherited
+    // attributes are the *inputs* of the translation, supplied to the
+    // evaluator by its caller (and the goal symbol carries no attributes).
+    let mut n_implicit = 0usize;
+    for p in grammar.prod_ids() {
+        if p == grammar.accept_prod() {
+            continue;
+        }
+        let plabel = grammar.prod_label(p).to_string();
+        let defined: HashMap<(usize, ClassId), ()> = rules[p.index()]
+            .iter()
+            .map(|r| ((r.target_occ, r.class), ()))
+            .collect();
+        let mut new_rules: Vec<Rule<V>> = Vec::new();
+
+        // Required occurrences: syn attrs of LHS…
+        let lhs = grammar.lhs(p);
+        let mut required: Vec<(usize, ClassId)> = attrs_of[lhs.index()]
+            .iter()
+            .filter(|c| classes[c.index()].dir == AttrDir::Synthesized)
+            .map(|&c| (0usize, c))
+            .collect();
+        // …and inh attrs of each RHS nonterminal occurrence.
+        for (i, &sym) in grammar.rhs(p).iter().enumerate() {
+            if grammar.is_terminal(sym) {
+                continue;
+            }
+            for &c in &attrs_of[sym.index()] {
+                if classes[c.index()].dir == AttrDir::Inherited {
+                    required.push((i + 1, c));
+                }
+            }
+        }
+
+        for (occ, class) in required {
+            if defined.contains_key(&(occ, class)) {
+                continue;
+            }
+            let info = &classes[class.index()];
+            let rule = if info.dir == AttrDir::Inherited {
+                synth_inherited(&grammar, &slot, p, occ, class, info, &plabel)?
+            } else {
+                synth_synthesized(&grammar, &slot, p, class, info, &plabel)?
+            };
+            new_rules.push(rule);
+            n_implicit += 1;
+        }
+        rules[p.index()].extend(new_rules);
+    }
+
+    // Build the rule index.
+    let mut rule_of = HashMap::new();
+    for p in grammar.prod_ids() {
+        for (i, r) in rules[p.index()].iter().enumerate() {
+            rule_of.insert((p, r.target_occ, r.class), i);
+        }
+    }
+
+    Ok(AttrGrammar {
+        grammar,
+        classes,
+        class_by_name,
+        attrs_of,
+        slot,
+        rules,
+        rule_of,
+        n_explicit,
+        n_implicit,
+    })
+}
+
+fn synth_inherited<V: Clone + 'static>(
+    grammar: &ag_lalr::Grammar,
+    slot: &HashMap<(SymbolId, ClassId), usize>,
+    p: ProdId,
+    occ: usize,
+    class: ClassId,
+    info: &crate::attr::ClassInfo<V>,
+    plabel: &str,
+) -> Result<Rule<V>, AgError> {
+    let lhs = grammar.lhs(p);
+    let lhs_has = slot.contains_key(&(lhs, class));
+    match &info.implicit {
+        Implicit::None => Err(missing(plabel, occ, &info.name, "class has no implicit rules")),
+        _ if lhs_has => Ok(Rule {
+            target_occ: occ,
+            class,
+            deps: vec![Dep::Attr(0, class)],
+            func: Rc::new(|d: &[V]| d[0].clone()),
+            origin: RuleOrigin::ImplicitCopy,
+        }),
+        Implicit::Unit(u) => Ok(unit_rule(occ, class, u.clone())),
+        Implicit::Merge { unit: Some(u), .. } => Ok(unit_rule(occ, class, u.clone())),
+        _ => Err(missing(
+            plabel,
+            occ,
+            &info.name,
+            "LHS lacks the class and no unit element is declared",
+        )),
+    }
+}
+
+fn synth_synthesized<V: Clone + 'static>(
+    grammar: &ag_lalr::Grammar,
+    slot: &HashMap<(SymbolId, ClassId), usize>,
+    p: ProdId,
+    class: ClassId,
+    info: &crate::attr::ClassInfo<V>,
+    plabel: &str,
+) -> Result<Rule<V>, AgError> {
+    let sources: Vec<usize> = grammar
+        .rhs(p)
+        .iter()
+        .enumerate()
+        .filter(|(_, sym)| slot.contains_key(&(**sym, class)))
+        .map(|(i, _)| i + 1)
+        .collect();
+    match &info.implicit {
+        Implicit::None => Err(missing(plabel, 0, &info.name, "class has no implicit rules")),
+        _ if sources.len() == 1 => Ok(Rule {
+            target_occ: 0,
+            class,
+            deps: vec![Dep::Attr(sources[0], class)],
+            func: Rc::new(|d: &[V]| d[0].clone()),
+            origin: RuleOrigin::ImplicitCopy,
+        }),
+        Implicit::Merge { f, .. } if sources.len() >= 2 => {
+            let f = Rc::clone(f);
+            Ok(Rule {
+                target_occ: 0,
+                class,
+                deps: sources.iter().map(|&o| Dep::Attr(o, class)).collect(),
+                func: Rc::new(move |d: &[V]| {
+                    let mut acc = d[0].clone();
+                    for v in &d[1..] {
+                        acc = f(&acc, v);
+                    }
+                    acc
+                }),
+                origin: RuleOrigin::ImplicitMerge,
+            })
+        }
+        Implicit::Unit(u) if sources.is_empty() => Ok(unit_rule(0, class, u.clone())),
+        Implicit::Merge { unit: Some(u), .. } if sources.is_empty() => {
+            Ok(unit_rule(0, class, u.clone()))
+        }
+        Implicit::Copy | Implicit::Unit(_) if sources.len() >= 2 => Err(missing(
+            plabel,
+            0,
+            &info.name,
+            "multiple RHS occurrences but no merge function declared",
+        )),
+        _ => Err(missing(
+            plabel,
+            0,
+            &info.name,
+            "no RHS occurrence and no unit element declared",
+        )),
+    }
+}
+
+fn unit_rule<V: Clone + 'static>(occ: usize, class: ClassId, u: V) -> Rule<V> {
+    Rule {
+        target_occ: occ,
+        class,
+        deps: vec![],
+        func: Rc::new(move |_: &[V]| u.clone()),
+        origin: RuleOrigin::ImplicitUnit,
+    }
+}
+
+fn missing(prod: &str, occ: usize, class: &str, why: &str) -> AgError {
+    AgError::MissingRule {
+        prod: prod.to_string(),
+        occ,
+        class: class.to_string(),
+        why: why.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AgBuilder;
+    use ag_lalr::GrammarBuilder;
+    use std::rc::Rc as StdRc;
+
+    /// Grammar: s ::= t t | t ; t ::= a
+    fn grammar() -> StdRc<ag_lalr::Grammar> {
+        let mut g = GrammarBuilder::new();
+        let a = g.terminal("a");
+        let s = g.nonterminal("s");
+        let t = g.nonterminal("t");
+        g.prod(s, &[t.into(), t.into()], "s_tt");
+        g.prod(s, &[t.into()], "s_t");
+        g.prod(t, &[a.into()], "t_a");
+        g.start(s);
+        StdRc::new(g.build().unwrap())
+    }
+
+    #[test]
+    fn copy_unit_merge_synthesis() {
+        let g = grammar();
+        let s = g.symbol("s").unwrap();
+        let t = g.symbol("t").unwrap();
+        let p_t = g.prod_by_label("t_a").unwrap();
+        let p_tt = g.prod_by_label("s_tt").unwrap();
+        let p_st = g.prod_by_label("s_t").unwrap();
+
+        let mut ab = AgBuilder::<i64>::new(StdRc::clone(&g));
+        let msgs = ab.syn_merge("MSGS", 0, |a, b| a + b);
+        let env = ab.inh("ENV");
+        ab.attach_all(msgs, [s, t]);
+        ab.attach_all(env, [s, t]);
+        // Only one explicit rule: t.MSGS = ENV (so copies/merges have a
+        // source).
+        ab.rule(p_t, 0, msgs, vec![Dep::attr(0, env)], |d| d[0]);
+        let ag = ab.build().unwrap();
+
+        // s_tt: s.MSGS = merge(t1.MSGS, t2.MSGS); t1.ENV, t2.ENV copies.
+        let r = ag.rule_for(p_tt, 0, msgs).unwrap();
+        assert_eq!(r.origin, RuleOrigin::ImplicitMerge);
+        assert_eq!(r.deps.len(), 2);
+        assert_eq!(
+            ag.rule_for(p_tt, 1, env).unwrap().origin,
+            RuleOrigin::ImplicitCopy
+        );
+        assert_eq!(
+            ag.rule_for(p_tt, 2, env).unwrap().origin,
+            RuleOrigin::ImplicitCopy
+        );
+        // s_t: single source → copy.
+        assert_eq!(
+            ag.rule_for(p_st, 0, msgs).unwrap().origin,
+            RuleOrigin::ImplicitCopy
+        );
+        // The augmented accept production gets no rules: the start symbol's
+        // inherited attributes are inputs supplied by the evaluator's
+        // caller, and its synthesized attributes are the translation's
+        // results.
+        let goal = g.accept_prod();
+        assert!(ag.rule_for(goal, 1, env).is_none());
+        assert!(ag.rules(goal).is_empty());
+        assert_eq!(ag.n_explicit_rules(), 1);
+        // Implicit: s_tt has the MSGS merge + 2 ENV copies; s_t has a MSGS
+        // copy + an ENV copy; t_a needs nothing (MSGS explicit, no
+        // nonterminal on its RHS).
+        assert_eq!(ag.n_implicit_rules(), 5);
+    }
+
+    #[test]
+    fn merge_fold_order_is_left_to_right() {
+        let g = grammar();
+        let s = g.symbol("s").unwrap();
+        let t = g.symbol("t").unwrap();
+        let p_tt = g.prod_by_label("s_tt").unwrap();
+        let mut ab = AgBuilder::<String>::new(StdRc::clone(&g));
+        let code = ab.syn_merge("CODE", String::new(), |a, b| format!("{a}{b}"));
+        ab.attach_all(code, [s, t]);
+        let p_t = g.prod_by_label("t_a").unwrap();
+        ab.rule(p_t, 0, code, vec![], |_| "x".to_string());
+        let ag = ab.build().unwrap();
+        let r = ag.rule_for(p_tt, 0, code).unwrap();
+        let v = (r.func)(&["A".to_string(), "B".to_string()]);
+        assert_eq!(v, "AB");
+    }
+
+    #[test]
+    fn missing_rule_error_for_plain_class() {
+        let g = grammar();
+        let s = g.symbol("s").unwrap();
+        let mut ab = AgBuilder::<i64>::new(StdRc::clone(&g));
+        let c = ab.class("PLAIN", AttrDir::Synthesized, Implicit::None);
+        ab.attach(c, s);
+        let err = ab.build().unwrap_err();
+        assert!(matches!(err, AgError::MissingRule { .. }));
+    }
+
+    #[test]
+    fn copy_without_merge_fails_on_two_sources() {
+        let g = grammar();
+        let s = g.symbol("s").unwrap();
+        let t = g.symbol("t").unwrap();
+        let mut ab = AgBuilder::<i64>::new(StdRc::clone(&g));
+        let c = ab.syn("VAL"); // Copy only, no merge
+        ab.attach_all(c, [s, t]);
+        let p_t = g.prod_by_label("t_a").unwrap();
+        ab.rule(p_t, 0, c, vec![], |_| 1);
+        let err = ab.build().unwrap_err();
+        match err {
+            AgError::MissingRule { why, .. } => assert!(why.contains("no merge function")),
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_target_detected() {
+        let g = grammar();
+        let s = g.symbol("s").unwrap();
+        let t = g.symbol("t").unwrap();
+        let p_tt = g.prod_by_label("s_tt").unwrap();
+        let mut ab = AgBuilder::<i64>::new(StdRc::clone(&g));
+        let v = ab.class("V", AttrDir::Synthesized, Implicit::Unit(0));
+        ab.attach_all(v, [s, t]);
+        // Targeting a RHS occurrence with a synthesized class is illegal.
+        ab.rule(p_tt, 1, v, vec![], |_| 1);
+        assert!(matches!(ab.build().unwrap_err(), AgError::BadTarget { .. }));
+    }
+
+    #[test]
+    fn token_dep_on_nonterminal_rejected() {
+        let g = grammar();
+        let s = g.symbol("s").unwrap();
+        let t = g.symbol("t").unwrap();
+        let p_tt = g.prod_by_label("s_tt").unwrap();
+        let mut ab = AgBuilder::<i64>::new(StdRc::clone(&g));
+        let v = ab.class("V", AttrDir::Synthesized, Implicit::Unit(0));
+        ab.attach_all(v, [s, t]);
+        ab.rule(p_tt, 0, v, vec![Dep::token(1)], |d| d[0]);
+        assert!(matches!(ab.build().unwrap_err(), AgError::BadDep { .. }));
+    }
+}

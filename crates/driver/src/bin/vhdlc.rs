@@ -1,0 +1,212 @@
+//! `vhdlc` — the command-line compiler/simulator.
+//!
+//! ```text
+//! vhdlc [--work DIR] [--elab ENTITY[:ARCH]] [--config NAME]
+//!       [--run TIME_NS] [--vcd FILE] [--emit-c FILE] [--stats] FILE...
+//! ```
+//!
+//! Compiles each file into the work library (in order), optionally
+//! elaborates a top unit, optionally simulates it.
+
+use std::process::ExitCode;
+
+use sim_kernel::{io::Vcd, Time};
+use vhdl_driver::Compiler;
+
+struct Args {
+    work: Option<String>,
+    elab: Option<(String, Option<String>)>,
+    config: Option<String>,
+    run_ns: Option<u64>,
+    vcd: Option<String>,
+    emit_c: Option<String>,
+    stats: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        work: None,
+        elab: None,
+        config: None,
+        run_ns: None,
+        vcd: None,
+        emit_c: None,
+        stats: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--work" => out.work = Some(grab("--work")?),
+            "--elab" => {
+                let v = grab("--elab")?;
+                let (e, a) = match v.split_once(':') {
+                    Some((e, a)) => (e.to_string(), Some(a.to_string())),
+                    None => (v, None),
+                };
+                out.elab = Some((e, a));
+            }
+            "--config" => out.config = Some(grab("--config")?),
+            "--run" => {
+                out.run_ns = Some(
+                    grab("--run")?
+                        .parse()
+                        .map_err(|_| "--run needs nanoseconds".to_string())?,
+                )
+            }
+            "--vcd" => out.vcd = Some(grab("--vcd")?),
+            "--emit-c" => out.emit_c = Some(grab("--emit-c")?),
+            "--stats" => out.stats = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: vhdlc [--work DIR] [--elab ENTITY[:ARCH]] [--config NAME] \
+                     [--run NS] [--vcd FILE] [--emit-c FILE] [--stats] FILE..."
+                );
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => out.files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("vhdlc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let compiler = match &args.work {
+        Some(dir) => match Compiler::on_disk(std::path::Path::new(dir)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("vhdlc: cannot open work library: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Compiler::in_memory(),
+    };
+
+    let mut failed = false;
+    let mut phases = vhdl_driver::PhaseTimes::default();
+    for f in &args.files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vhdlc: {f}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match compiler.compile(&src) {
+            Ok(r) => {
+                for m in r.msgs().to_vec() {
+                    eprintln!("{f}:{m}");
+                }
+                if !r.ok() {
+                    failed = true;
+                }
+                if args.stats {
+                    eprintln!(
+                        "{f}: {} lines, {:.0} lines/min, vif read {} B written {} B",
+                        r.lines,
+                        r.lines_per_minute(),
+                        r.traffic.bytes_read,
+                        r.traffic.bytes_written
+                    );
+                }
+                let p = r.phases;
+                phases.parse += p.parse;
+                phases.attr_eval += p.attr_eval;
+                phases.vif_read += p.vif_read;
+                phases.vif_write += p.vif_write;
+            }
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::from(1);
+    }
+
+    let program = if let Some(cfg) = &args.config {
+        match compiler.elaborate_config(cfg) {
+            Ok((p, c)) => Some((p, c)),
+            Err(e) => {
+                eprintln!("vhdlc: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else if let Some((entity, arch)) = &args.elab {
+        match compiler.elaborate(entity, arch.as_deref(), Some(&mut phases)) {
+            Ok((p, c)) => Some((p, c)),
+            Err(e) => {
+                eprintln!("vhdlc: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    if args.stats {
+        eprintln!(
+            "phases: parse {:?} | attr-eval {:?} | vif-read {:?} | vif-write {:?} | codegen {:?} | backend {:?}",
+            phases.parse, phases.attr_eval, phases.vif_read, phases.vif_write, phases.codegen,
+            phases.backend
+        );
+    }
+
+    if let Some((program, c_text)) = program {
+        if let Some(path) = &args.emit_c {
+            if let Err(e) = std::fs::write(path, &c_text) {
+                eprintln!("vhdlc: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if let Some(ns) = args.run_ns {
+            let vcd = std::cell::RefCell::new(Vcd::new("1fs"));
+            let mut sim = sim_kernel::Simulator::new(program);
+            if args.vcd.is_some() {
+                let vcd_ref = &vcd;
+                sim.observe(Box::new(move |t, sig, name, v| {
+                    vcd_ref.borrow_mut().change(t, sig, name, v);
+                }));
+            }
+            match sim.run_until(Time::fs(ns * 1_000_000)) {
+                Ok(()) => {
+                    for r in sim.reports() {
+                        let sev = ["note", "warning", "error", "failure"]
+                            [r.severity.clamp(0, 3) as usize];
+                        println!("{} {sev}: {}", r.time, r.text);
+                    }
+                    if args.stats {
+                        let st = sim.stats();
+                        eprintln!(
+                            "sim: {} cycles ({} delta), {} events, {} transactions",
+                            st.cycles, st.delta_cycles, st.events, st.transactions
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("vhdlc: simulation: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            if let Some(path) = &args.vcd {
+                let text = vcd.borrow().finish();
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("vhdlc: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,112 @@
+//! VHDL I/O: the report sink and VCD waveform dump (§2.1's "VHDL I/O"
+//! module, adapted to a simulator without a host filesystem contract).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::isa::SigId;
+use crate::value::{Time, Val};
+
+/// Accumulates value changes into VCD (Value Change Dump) text.
+///
+/// # Example
+///
+/// ```
+/// use sim_kernel::io::Vcd;
+/// let mut vcd = Vcd::new("1fs");
+/// vcd.change(sim_kernel::value::Time::ZERO, sim_kernel::isa::SigId(0), "top.clk",
+///            &sim_kernel::value::Val::Int(1));
+/// let text = vcd.finish();
+/// assert!(text.contains("$var"));
+/// assert!(text.contains("#0"));
+/// ```
+pub struct Vcd {
+    timescale: String,
+    ids: HashMap<SigId, (char, String)>,
+    next_code: u8,
+    body: String,
+    last_time: Option<Time>,
+}
+
+impl Vcd {
+    /// Creates a writer with the given timescale string (e.g. `"1fs"`).
+    pub fn new(timescale: &str) -> Vcd {
+        Vcd {
+            timescale: timescale.to_string(),
+            ids: HashMap::new(),
+            next_code: b'!',
+            body: String::new(),
+            last_time: None,
+        }
+    }
+
+    /// Records a value change.
+    pub fn change(&mut self, t: Time, sig: SigId, name: &str, v: &Val) {
+        if !self.ids.contains_key(&sig) {
+            let code = self.next_code as char;
+            self.next_code = self.next_code.saturating_add(1);
+            self.ids.insert(sig, (code, name.to_string()));
+        }
+        let (code, _) = self.ids[&sig];
+        if self.last_time != Some(t) {
+            let _ = writeln!(self.body, "#{}", t.fs);
+            self.last_time = Some(t);
+        }
+        match v {
+            Val::Int(i) if *i == 0 || *i == 1 => {
+                let _ = writeln!(self.body, "{i}{code}");
+            }
+            Val::Int(i) => {
+                let _ = writeln!(self.body, "b{:b} {code}", i.unsigned_abs());
+            }
+            Val::Real(r) => {
+                let _ = writeln!(self.body, "r{r} {code}");
+            }
+            Val::Arr(a) => {
+                let bits: String = a
+                    .data
+                    .iter()
+                    .map(|e| if e.as_int() != 0 { '1' } else { '0' })
+                    .collect();
+                let _ = writeln!(self.body, "b{bits} {code}");
+            }
+            Val::Rec(_) => {
+                let _ = writeln!(self.body, "bx {code}");
+            }
+        }
+    }
+
+    /// Renders the complete VCD file.
+    pub fn finish(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale {} $end", self.timescale);
+        let mut vars: Vec<_> = self.ids.values().collect();
+        vars.sort_by_key(|(c, _)| *c);
+        for (code, name) in vars {
+            let _ = writeln!(out, "$var wire 1 {code} {name} $end");
+        }
+        let _ = writeln!(out, "$enddefinitions $end");
+        out.push_str(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::VDir;
+
+    #[test]
+    fn vcd_format() {
+        let mut vcd = Vcd::new("1fs");
+        vcd.change(Time::ZERO, SigId(0), "clk", &Val::Int(0));
+        vcd.change(Time::fs(5), SigId(0), "clk", &Val::Int(1));
+        vcd.change(Time::fs(5), SigId(1), "bus", &Val::arr(1, VDir::Downto, vec![Val::Int(1), Val::Int(0)]));
+        let text = vcd.finish();
+        assert!(text.contains("$timescale 1fs $end"));
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("#0\n0!"));
+        assert!(text.contains("#5\n1!"));
+        assert!(text.contains("b10 \""));
+    }
+}

@@ -1,0 +1,25 @@
+//! The simulation virtual machine of the reproduced VHDL compiler.
+//!
+//! §2.1: "The virtual machine consists of four modules: (1) Simulation
+//! Kernel, (2) Runtime Support, (3) VHDL I/O, (4) Name Server."
+//!
+//! - [`sim`] — the Simulation Kernel: signals, drivers with projected
+//!   output waveforms, delta cycles, process scheduling, and the
+//!   instruction executor (with static links for up-level references,
+//!   the nested-subprogram problem the paper's C back end had to solve);
+//! - [`rts`] — Runtime Support: every predefined operation;
+//! - [`io`] — VHDL I/O: assertion reports and VCD waveform dumps;
+//! - the Name Server is [`sim::Simulator::signal_by_name`] and friends;
+//! - [`isa`] / [`value`] — the instruction set and runtime values the
+//!   code generator targets.
+
+pub mod io;
+pub mod isa;
+pub mod rts;
+pub mod sim;
+pub mod value;
+
+pub use isa::{ArrAttrKind, FnDecl, FnId, Insn, Program, SigAttr, SigId, VarAddr};
+pub use rts::{Op, RtError};
+pub use sim::{ReportEvent, SimError, SimStats, Simulator};
+pub use value::{ArrVal, Time, VDir, Val};

@@ -1,0 +1,810 @@
+//! The simulation kernel: signals with projected output waveforms,
+//! delta cycles, process scheduling, and the instruction executor.
+//!
+//! Implements the VHDL simulation cycle: advance time to the next
+//! transaction or timeout, update signals (resolving multiple drivers),
+//! form the event set, resume sensitive processes, and execute them until
+//! they all suspend — repeating at the same instant for delta cycles.
+//! "Due to the preemptive nature of signal assignments in VHDL, the effect
+//! of a VHDL signal assignment is not determinable at the time of the
+//! execution of the assignment" (§5.1) — hence the driver queues here.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::isa::{FnId, Insn, Program, SigAttr, SigId};
+use crate::rts::{self, RtError};
+use crate::value::{Time, VDir, Val};
+
+/// Per-resumption instruction budget (runaway-loop guard).
+const FUEL: u64 = 50_000_000;
+
+/// A diagnostic emitted by `assert`/`report`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportEvent {
+    /// When.
+    pub time: Time,
+    /// 0 = note, 1 = warning, 2 = error, 3 = failure.
+    pub severity: i64,
+    /// Message text.
+    pub text: String,
+}
+
+/// Cumulative kernel statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Simulation cycles executed (incl. delta cycles).
+    pub cycles: u64,
+    /// Delta (zero-time) cycles.
+    pub delta_cycles: u64,
+    /// Signal events (value changes).
+    pub events: u64,
+    /// Transactions matured.
+    pub transactions: u64,
+    /// Process resumptions.
+    pub resumptions: u64,
+    /// Instructions executed.
+    pub insns: u64,
+}
+
+/// Simulation failure.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// Runtime-support error in a process.
+    Runtime {
+        /// Offending process name.
+        process: String,
+        /// The error.
+        error: RtError,
+    },
+    /// An `assert … severity failure` fired.
+    Failure(ReportEvent),
+    /// A process exceeded its instruction budget.
+    FuelExhausted(String),
+    /// Two drivers on an unresolved signal.
+    UnresolvedDrivers(String),
+    /// A resolution function misbehaved (waited or returned nothing).
+    BadResolution(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Runtime { process, error } => {
+                write!(f, "runtime error in {process}: {error}")
+            }
+            SimError::Failure(r) => write!(f, "failure at {}: {}", r.time, r.text),
+            SimError::FuelExhausted(p) => write!(f, "process {p} looped without suspending"),
+            SimError::UnresolvedDrivers(s) => {
+                write!(f, "signal {s} has multiple drivers but no resolution function")
+            }
+            SimError::BadResolution(s) => write!(f, "bad resolution function on {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct Driver {
+    proc: usize,
+    /// Projected output waveform, time-ordered.
+    tx: VecDeque<(Time, Val)>,
+    /// Current driving value.
+    driving: Val,
+}
+
+struct SigState {
+    current: Val,
+    last_value: Val,
+    last_event: Option<Time>,
+    event: bool,
+    active: bool,
+    drivers: Vec<Driver>,
+}
+
+struct Frame {
+    code: Rc<Vec<Insn>>,
+    pc: usize,
+    locals: Vec<Val>,
+    static_link: Option<usize>,
+    level: u16,
+}
+
+enum ProcStatus {
+    Ready,
+    Suspended {
+        sens: Rc<Vec<SigId>>,
+        timeout: Option<Time>,
+    },
+    Halted,
+}
+
+struct ProcState {
+    name: String,
+    status: ProcStatus,
+    frames: Vec<Frame>,
+    stack: Vec<Val>,
+}
+
+/// A value-change observer (VCD writers, test probes).
+pub type Observer<'a> = Box<dyn FnMut(Time, SigId, &str, &Val) + 'a>;
+
+/// The simulator: program + live state.
+pub struct Simulator<'a> {
+    program: Program,
+    signals: Vec<SigState>,
+    procs: Vec<ProcState>,
+    now: Time,
+    reports: Vec<ReportEvent>,
+    stats: SimStats,
+    observers: Vec<Observer<'a>>,
+    failed: Option<SimError>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator and runs every process once (elaboration-time
+    /// initial execution happens on the first [`Simulator::step`]).
+    pub fn new(program: Program) -> Simulator<'a> {
+        let signals = program
+            .signals
+            .iter()
+            .map(|s| SigState {
+                current: s.init.clone(),
+                last_value: s.init.clone(),
+                last_event: None,
+                event: false,
+                active: false,
+                drivers: Vec::new(),
+            })
+            .collect();
+        let procs = program
+            .processes
+            .iter()
+            .map(|p| ProcState {
+                name: p.name.clone(),
+                status: ProcStatus::Ready,
+                frames: vec![Frame {
+                    code: Rc::clone(&p.code),
+                    pc: 0,
+                    locals: vec![Val::Int(0); p.n_locals as usize],
+                    static_link: None,
+                    level: 0,
+                }],
+                stack: Vec::new(),
+            })
+            .collect();
+        Simulator {
+            program,
+            signals,
+            procs,
+            now: Time::ZERO,
+            reports: Vec::new(),
+            stats: SimStats::default(),
+            observers: Vec::new(),
+            failed: None,
+        }
+    }
+
+    /// Registers a value-change observer (called with time, signal, name,
+    /// new value).
+    pub fn observe(&mut self, f: Observer<'a>) {
+        self.observers.push(f);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Reports collected so far.
+    pub fn reports(&self) -> &[ReportEvent] {
+        &self.reports
+    }
+
+    /// Value of a signal by id.
+    pub fn signal_value(&self, sig: SigId) -> &Val {
+        &self.signals[sig.0 as usize].current
+    }
+
+    /// Looks a signal up by its hierarchical name (the Name Server of
+    /// §2.1).
+    pub fn signal_by_name(&self, path: &str) -> Option<SigId> {
+        self.program
+            .signals
+            .iter()
+            .position(|s| s.name == path)
+            .map(|i| SigId(i as u32))
+    }
+
+    /// Value by hierarchical name.
+    pub fn value_by_name(&self, path: &str) -> Option<&Val> {
+        self.signal_by_name(path).map(|s| self.signal_value(s))
+    }
+
+    /// All signal names, in id order.
+    pub fn signal_names(&self) -> Vec<&str> {
+        self.program.signals.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Runs until `deadline` (inclusive) or quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`SimError`].
+    pub fn run_until(&mut self, deadline: Time) -> Result<(), SimError> {
+        // Initial cycle: every process runs until its first wait.
+        if self.stats.cycles == 0 {
+            self.execute_ready()?;
+            self.stats.cycles += 1;
+        }
+        while let Some(next) = self.next_time() {
+            if next.fs > deadline.fs {
+                break;
+            }
+            self.step_to(next)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a single simulation cycle; returns `false` at quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`SimError`].
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if self.stats.cycles == 0 {
+            self.execute_ready()?;
+            self.stats.cycles += 1;
+            return Ok(true);
+        }
+        match self.next_time() {
+            Some(next) => {
+                self.step_to(next)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn next_time(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        for sig in &self.signals {
+            for d in &sig.drivers {
+                if let Some((t, _)) = d.tx.front() {
+                    next = Some(next.map_or(*t, |n| n.min(*t)));
+                }
+            }
+        }
+        for p in &self.procs {
+            if let ProcStatus::Suspended {
+                timeout: Some(t), ..
+            } = &p.status
+            {
+                next = Some(next.map_or(*t, |n| n.min(*t)));
+            }
+        }
+        next
+    }
+
+    fn step_to(&mut self, next: Time) -> Result<(), SimError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        self.stats.cycles += 1;
+        if next.fs == self.now.fs && self.stats.cycles > 1 {
+            self.stats.delta_cycles += 1;
+        }
+        self.now = next;
+        // Clear the previous cycle's event/active flags.
+        for s in self.signals.iter_mut() {
+            s.event = false;
+            s.active = false;
+        }
+        // Mature transactions and compute new signal values.
+        for si in 0..self.signals.len() {
+            let mut any_active = false;
+            {
+                let sig = &mut self.signals[si];
+                for d in sig.drivers.iter_mut() {
+                    while let Some((t, _)) = d.tx.front() {
+                        if *t <= self.now {
+                            let (_, v) = d.tx.pop_front().expect("front checked");
+                            d.driving = v;
+                            any_active = true;
+                            self.stats.transactions += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            if !any_active {
+                continue;
+            }
+            let new_val = self.effective_value(si)?;
+            let sig = &mut self.signals[si];
+            sig.active = true;
+            if new_val != sig.current {
+                sig.last_value = sig.current.clone();
+                sig.current = new_val;
+                sig.last_event = Some(self.now);
+                sig.event = true;
+                self.stats.events += 1;
+                let name = self.program.signals[si].name.clone();
+                let current = self.signals[si].current.clone();
+                for obs in self.observers.iter_mut() {
+                    obs(self.now, SigId(si as u32), &name, &current);
+                }
+            }
+        }
+        // Resume processes.
+        for pi in 0..self.procs.len() {
+            let resume = match &self.procs[pi].status {
+                ProcStatus::Suspended { sens, timeout } => {
+                    let timed_out = timeout.is_some_and(|t| t <= self.now);
+                    let evented = sens
+                        .iter()
+                        .any(|s| self.signals[s.0 as usize].event);
+                    if timed_out || evented {
+                        Some(timed_out && !evented)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(timed_out) = resume {
+                self.procs[pi].status = ProcStatus::Ready;
+                self.procs[pi].stack.push(Val::Int(timed_out as i64));
+                self.stats.resumptions += 1;
+            }
+        }
+        self.execute_ready()
+    }
+
+    fn effective_value(&mut self, si: usize) -> Result<Val, SimError> {
+        let n_drivers = self.signals[si].drivers.len();
+        let resolution = self.program.signals[si].resolution;
+        match (n_drivers, resolution) {
+            (0, _) => Ok(self.signals[si].current.clone()),
+            (1, None) => Ok(self.signals[si].drivers[0].driving.clone()),
+            (_, None) => Err(SimError::UnresolvedDrivers(
+                self.program.signals[si].name.clone(),
+            )),
+            (_, Some(f)) => {
+                // The resolution function receives the vector of driving
+                // values.
+                let vals: Vec<Val> = self.signals[si]
+                    .drivers
+                    .iter()
+                    .map(|d| d.driving.clone())
+                    .collect();
+                let arg = Val::arr(0, VDir::To, vals);
+                let name = self.program.signals[si].name.clone();
+                self.call_function(f, vec![arg])
+                    .map_err(|e| SimError::Runtime {
+                        process: format!("resolution of {name}"),
+                        error: e,
+                    })
+            }
+        }
+    }
+
+    /// Executes every Ready process until it suspends.
+    fn execute_ready(&mut self) -> Result<(), SimError> {
+        for pi in 0..self.procs.len() {
+            if matches!(self.procs[pi].status, ProcStatus::Ready) {
+                self.run_process(pi)?;
+            }
+        }
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Runs a pure function (resolution) on a scratch stack.
+    fn call_function(&mut self, f: FnId, args: Vec<Val>) -> Result<Val, RtError> {
+        let decl = self.program.functions[f.0 as usize].clone();
+        let mut locals = vec![Val::Int(0); decl.n_locals as usize];
+        for (i, a) in args.into_iter().enumerate() {
+            locals[i] = a;
+        }
+        let mut scratch = ProcState {
+            name: format!("fn {}", decl.name),
+            status: ProcStatus::Ready,
+            frames: vec![Frame {
+                code: Rc::clone(&decl.code),
+                pc: 0,
+                locals,
+                static_link: None,
+                level: decl.level,
+            }],
+            stack: Vec::new(),
+        };
+        self.exec_frames(&mut scratch, true, usize::MAX)?;
+        scratch
+            .stack
+            .pop()
+            .ok_or_else(|| RtError::Internal("resolution returned no value".into()))
+    }
+
+    fn run_process(&mut self, pi: usize) -> Result<(), SimError> {
+        let mut proc = std::mem::replace(
+            &mut self.procs[pi],
+            ProcState {
+                name: String::new(),
+                status: ProcStatus::Halted,
+                frames: Vec::new(),
+                stack: Vec::new(),
+            },
+        );
+        let result = self.exec_frames(&mut proc, false, pi);
+        let name = proc.name.clone();
+        self.procs[pi] = proc;
+        result.map_err(|error| SimError::Runtime {
+            process: name,
+            error,
+        })?;
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        Ok(())
+    }
+
+    /// The instruction interpreter. `pure` forbids waits (resolution
+    /// functions).
+    #[allow(clippy::too_many_lines)]
+    fn exec_frames(&mut self, proc: &mut ProcState, pure: bool, pid: usize) -> Result<(), RtError> {
+        let mut fuel = FUEL;
+        'outer: loop {
+            let Some(frame) = proc.frames.last_mut() else {
+                proc.status = ProcStatus::Halted;
+                return Ok(());
+            };
+            if frame.pc >= frame.code.len() {
+                // Falling off a subprogram = return; off a process = halt.
+                if proc.frames.len() > 1 {
+                    proc.frames.pop();
+                    continue;
+                }
+                proc.status = ProcStatus::Halted;
+                return Ok(());
+            }
+            // Cloning an Insn is cheap: every heavy payload is behind an
+            // Rc (constants, sensitivity lists), so this is refcount
+            // traffic, not data copies.
+            let insn = frame.code[frame.pc].clone();
+            frame.pc += 1;
+            self.stats.insns += 1;
+            fuel -= 1;
+            if fuel == 0 {
+                self.failed = Some(SimError::FuelExhausted(proc.name.clone()));
+                proc.status = ProcStatus::Halted;
+                return Ok(());
+            }
+            match insn {
+                Insn::PushInt(v) => proc.stack.push(Val::Int(v)),
+                Insn::PushReal(v) => proc.stack.push(Val::Real(v)),
+                Insn::PushConst(v) => proc.stack.push(v),
+                Insn::MakeArr { n, left, dir } => {
+                    let at = proc.stack.len() - n as usize;
+                    let data = proc.stack.split_off(at);
+                    proc.stack.push(Val::arr(left, dir, data));
+                }
+                Insn::MakeRec { n } => {
+                    let at = proc.stack.len() - n as usize;
+                    let data = proc.stack.split_off(at);
+                    proc.stack.push(Val::Rec(Rc::new(data)));
+                }
+                Insn::LoadVar(a) => {
+                    let v = var_frame(proc, a.depth)?.locals[a.slot as usize].clone();
+                    proc.stack.push(v);
+                }
+                Insn::StoreVar(a) => {
+                    let v = pop(proc)?;
+                    var_frame(proc, a.depth)?.locals[a.slot as usize] = v;
+                }
+                Insn::StoreVarIndex(a) => {
+                    let v = pop(proc)?;
+                    let idx = pop(proc)?.as_int();
+                    let fr = var_frame(proc, a.depth)?;
+                    let slot = &mut fr.locals[a.slot as usize];
+                    *slot = store_elem(slot, idx, v)?;
+                }
+                Insn::StoreVarField(a, field) => {
+                    let v = pop(proc)?;
+                    let fr = var_frame(proc, a.depth)?;
+                    let slot = &mut fr.locals[a.slot as usize];
+                    if let Val::Rec(fields) = slot {
+                        let mut fs = (**fields).clone();
+                        fs[field as usize] = v;
+                        *slot = Val::Rec(Rc::new(fs));
+                    } else {
+                        return Err(RtError::Internal("field store on non-record".into()));
+                    }
+                }
+                Insn::LoadSig(s) => {
+                    proc.stack
+                        .push(self.signals[s.0 as usize].current.clone());
+                }
+                Insn::LoadSigAttr(s, attr) => {
+                    let sig = &self.signals[s.0 as usize];
+                    let v = match attr {
+                        SigAttr::Event => Val::Int(sig.event as i64),
+                        SigAttr::Active => Val::Int(sig.active as i64),
+                        SigAttr::LastValue => sig.last_value.clone(),
+                    };
+                    proc.stack.push(v);
+                }
+                Insn::Index => {
+                    let idx = pop(proc)?.as_int();
+                    let arr = pop(proc)?;
+                    let a = arr.as_arr();
+                    let off = a.offset(idx).ok_or(RtError::IndexError { index: idx })?;
+                    proc.stack.push(a.data[off].clone());
+                }
+                Insn::Slice(dir) => {
+                    let right = pop(proc)?.as_int();
+                    let left = pop(proc)?.as_int();
+                    let arr = pop(proc)?;
+                    let a = arr.as_arr();
+                    let (o1, o2) = (
+                        a.offset(left).ok_or(RtError::IndexError { index: left })?,
+                        a.offset(right).ok_or(RtError::IndexError { index: right })?,
+                    );
+                    let (lo, hi) = (o1.min(o2), o1.max(o2));
+                    let data = a.data[lo..=hi].to_vec();
+                    proc.stack.push(Val::arr(left, dir, data));
+                }
+                Insn::ArrAttr(kind) => {
+                    let v = pop(proc)?;
+                    let a = v.as_arr();
+                    let (l, r) = (a.left, a.right());
+                    let out = match kind {
+                        crate::isa::ArrAttrKind::Length => a.data.len() as i64,
+                        crate::isa::ArrAttrKind::Left => l,
+                        crate::isa::ArrAttrKind::Right => r,
+                        crate::isa::ArrAttrKind::Low => l.min(r),
+                        crate::isa::ArrAttrKind::High => l.max(r),
+                    };
+                    proc.stack.push(Val::Int(out));
+                }
+                Insn::Field(i) => {
+                    let v = pop(proc)?;
+                    match v {
+                        Val::Rec(fields) => proc.stack.push(fields[i as usize].clone()),
+                        _ => return Err(RtError::Internal("field on non-record".into())),
+                    }
+                }
+                Insn::Binop(op) => {
+                    let b = pop(proc)?;
+                    let a = pop(proc)?;
+                    proc.stack.push(rts::binop(op, &a, &b)?);
+                }
+                Insn::Unop(op) => {
+                    let a = pop(proc)?;
+                    proc.stack.push(rts::unop(op, &a)?);
+                }
+                Insn::RangeCheck { lo, hi } => {
+                    let v = proc.stack.last().ok_or_else(underflow)?.as_int();
+                    if v < lo || v > hi {
+                        return Err(RtError::RangeError { value: v, lo, hi });
+                    }
+                }
+                Insn::Jump(t) => {
+                    proc.frames.last_mut().expect("frame").pc = t as usize;
+                }
+                Insn::JumpIfFalse(t) => {
+                    let c = pop(proc)?;
+                    if !c.as_bool() {
+                        proc.frames.last_mut().expect("frame").pc = t as usize;
+                    }
+                }
+                Insn::Sched { sig, transport } => {
+                    let delay = pop(proc)?.as_int();
+                    let value = pop(proc)?;
+                    self.schedule(pid, sig, value, delay, transport, None)?;
+                }
+                Insn::SchedIndex { sig, transport } => {
+                    let delay = pop(proc)?.as_int();
+                    let value = pop(proc)?;
+                    let index = pop(proc)?.as_int();
+                    self.schedule(pid, sig, value, delay, transport, Some(index))?;
+                }
+                Insn::Wait { sens, with_timeout } => {
+                    if pure {
+                        return Err(RtError::Internal("wait in a pure function".into()));
+                    }
+                    let timeout = if with_timeout {
+                        let fs = pop(proc)?.as_int();
+                        Some(self.now.plus_fs(fs.max(0) as u64))
+                    } else {
+                        None
+                    };
+                    proc.status = ProcStatus::Suspended { sens, timeout };
+                    return Ok(());
+                }
+                Insn::Call(f) => {
+                    let decl = self.program.functions[f.0 as usize].clone();
+                    let at = proc.stack.len() - decl.n_params as usize;
+                    let args = proc.stack.split_off(at);
+                    let mut locals = vec![Val::Int(0); decl.n_locals as usize];
+                    for (i, a) in args.into_iter().enumerate() {
+                        locals[i] = a;
+                    }
+                    // Static link: nearest frame one level shallower.
+                    let static_link = proc
+                        .frames
+                        .iter()
+                        .rposition(|fr| fr.level + 1 == decl.level);
+                    proc.frames.push(Frame {
+                        code: Rc::clone(&decl.code),
+                        pc: 0,
+                        locals,
+                        static_link,
+                        level: decl.level,
+                    });
+                }
+                Insn::Ret { has_value: _ } => {
+                    if proc.frames.len() > 1 {
+                        proc.frames.pop();
+                    } else {
+                        proc.status = ProcStatus::Halted;
+                        return Ok(());
+                    }
+                }
+                Insn::Assert => {
+                    let severity = pop(proc)?.as_int();
+                    let report = pop(proc)?;
+                    let cond = pop(proc)?;
+                    if !cond.as_bool() {
+                        let ev = ReportEvent {
+                            time: self.now,
+                            severity,
+                            text: report.as_string(),
+                        };
+                        self.reports.push(ev.clone());
+                        if severity >= 3 {
+                            self.failed = Some(SimError::Failure(ev));
+                            proc.status = ProcStatus::Halted;
+                            return Ok(());
+                        }
+                    }
+                }
+                Insn::Pop => {
+                    pop(proc)?;
+                }
+                Insn::Dup => {
+                    let v = proc.stack.last().ok_or_else(underflow)?.clone();
+                    proc.stack.push(v);
+                }
+                Insn::Halt => {
+                    proc.status = ProcStatus::Halted;
+                    return Ok(());
+                }
+            }
+            if matches!(proc.status, ProcStatus::Halted) {
+                break 'outer;
+            }
+        }
+        Ok(())
+    }
+
+    fn schedule(
+        &mut self,
+        pid: usize,
+        sig: SigId,
+        value: Val,
+        delay_fs: i64,
+        transport: bool,
+        index: Option<i64>,
+    ) -> Result<(), RtError> {
+        if delay_fs < -1 {
+            // −1 is the compiler's "no delay" marker; anything more
+            // negative is a model error (LRM: delays must be non-negative).
+            return Err(RtError::Internal(format!(
+                "negative signal-assignment delay ({delay_fs} fs)"
+            )));
+        }
+        let t = if delay_fs <= 0 {
+            self.now.next_delta()
+        } else {
+            self.now.plus_fs(delay_fs as u64)
+        };
+        let sig_state = &mut self.signals[sig.0 as usize];
+        // Find or create this process's driver.
+        let di = match sig_state.drivers.iter().position(|d| d.proc == pid) {
+            Some(i) => i,
+            None => {
+                sig_state.drivers.push(Driver {
+                    proc: pid,
+                    tx: VecDeque::new(),
+                    driving: sig_state.current.clone(),
+                });
+                sig_state.drivers.len() - 1
+            }
+        };
+        // Array assignment implies a subtype conversion: the value takes
+        // the target's bounds (same length required).
+        let value = match (&value, &sig_state.current) {
+            (Val::Arr(v), Val::Arr(t))
+                if (v.left, v.dir) != (t.left, t.dir) && v.data.len() == t.data.len() =>
+            {
+                Val::Arr(crate::value::ArrVal {
+                    left: t.left,
+                    dir: t.dir,
+                    data: Rc::clone(&v.data),
+                })
+            }
+            _ => value,
+        };
+        let d = &mut sig_state.drivers[di];
+        // Element assignment: apply to the latest scheduled (or driving)
+        // whole value.
+        let value = match index {
+            None => value,
+            Some(i) => {
+                let base = d
+                    .tx
+                    .back()
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| d.driving.clone());
+                store_elem(&base, i, value)?
+            }
+        };
+        if transport {
+            // Transport: drop transactions at or after t, append.
+            while d.tx.back().is_some_and(|(bt, _)| *bt >= t) {
+                d.tx.pop_back();
+            }
+        } else {
+            // Inertial (simplified VHDL-87 preemption): the new transaction
+            // supersedes every pending one.
+            d.tx.clear();
+        }
+        d.tx.push_back((t, value));
+        Ok(())
+    }
+}
+
+fn pop(proc: &mut ProcState) -> Result<Val, RtError> {
+    proc.stack.pop().ok_or_else(underflow)
+}
+
+fn underflow() -> RtError {
+    RtError::Internal("value stack underflow".into())
+}
+
+fn var_frame<'p>(proc: &'p mut ProcState, depth: u8) -> Result<&'p mut Frame, RtError> {
+    let top = proc.frames.len() - 1;
+    let mut idx = top;
+    for _ in 0..depth {
+        idx = proc.frames[idx]
+            .static_link
+            .ok_or_else(|| RtError::Internal("missing static link".into()))?;
+    }
+    Ok(&mut proc.frames[idx])
+}
+
+/// Replaces element `idx` in an array value (copy-on-write).
+fn store_elem(base: &Val, idx: i64, v: Val) -> Result<Val, RtError> {
+    match base {
+        Val::Arr(a) => {
+            let off = a.offset(idx).ok_or(RtError::IndexError { index: idx })?;
+            let mut data = (*a.data).clone();
+            data[off] = v;
+            Ok(Val::Arr(crate::value::ArrVal {
+                left: a.left,
+                dir: a.dir,
+                data: Rc::new(data),
+            }))
+        }
+        _ => Err(RtError::Internal("element store on non-array".into())),
+    }
+}

@@ -1,0 +1,262 @@
+//! Runtime values of the simulation virtual machine.
+//!
+//! Scalars are uniform: enumeration values are their positions, physical
+//! values their base-unit magnitudes, booleans 0/1. Arrays carry their
+//! bounds so indexing, slicing, and attributes work on dynamic values.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Simulation time in femtoseconds plus a delta-cycle counter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct Time {
+    /// Femtoseconds since simulation start.
+    pub fs: u64,
+    /// Delta cycle within the instant.
+    pub delta: u32,
+}
+
+impl Time {
+    /// Time zero.
+    pub const ZERO: Time = Time { fs: 0, delta: 0 };
+
+    /// A physical instant (delta 0).
+    pub fn fs(fs: u64) -> Time {
+        Time { fs, delta: 0 }
+    }
+
+    /// In nanoseconds (for display).
+    pub fn as_ns(&self) -> f64 {
+        self.fs as f64 / 1e6
+    }
+
+    /// The next delta cycle at the same instant.
+    pub fn next_delta(&self) -> Time {
+        Time {
+            fs: self.fs,
+            delta: self.delta + 1,
+        }
+    }
+
+    /// The instant `fs` femtoseconds later (delta resets).
+    pub fn plus_fs(&self, fs: u64) -> Time {
+        Time {
+            fs: self.fs + fs,
+            delta: 0,
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta == 0 {
+            write!(f, "{}fs", self.fs)
+        } else {
+            write!(f, "{}fs+{}d", self.fs, self.delta)
+        }
+    }
+}
+
+/// Direction of array bounds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VDir {
+    /// Ascending.
+    To,
+    /// Descending.
+    Downto,
+}
+
+/// An array value with bounds.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArrVal {
+    /// Left bound.
+    pub left: i64,
+    /// Direction.
+    pub dir: VDir,
+    /// Elements, left-to-right as written.
+    pub data: Rc<Vec<Val>>,
+}
+
+impl ArrVal {
+    /// Right bound.
+    pub fn right(&self) -> i64 {
+        let n = self.data.len() as i64;
+        match self.dir {
+            VDir::To => self.left + n - 1,
+            VDir::Downto => self.left - n + 1,
+        }
+    }
+
+    /// Offset of logical index `i`, if in range.
+    pub fn offset(&self, i: i64) -> Option<usize> {
+        let off = match self.dir {
+            VDir::To => i - self.left,
+            VDir::Downto => self.left - i,
+        };
+        if off >= 0 && (off as usize) < self.data.len() {
+            Some(off as usize)
+        } else {
+            None
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Val {
+    /// Integer / enumeration position / physical magnitude / boolean.
+    Int(i64),
+    /// Floating point.
+    Real(f64),
+    /// Array with bounds.
+    Arr(ArrVal),
+    /// Record (fields in declaration order).
+    Rec(Rc<Vec<Val>>),
+}
+
+impl Val {
+    /// Builds an array value.
+    pub fn arr(left: i64, dir: VDir, data: Vec<Val>) -> Val {
+        Val::Arr(ArrVal {
+            left,
+            dir,
+            data: Rc::new(data),
+        })
+    }
+
+    /// Builds a `bit`-style vector from 0/1 codes, descending bounds
+    /// `n-1 downto 0`.
+    pub fn bits(codes: &[i64]) -> Val {
+        Val::arr(
+            codes.len() as i64 - 1,
+            VDir::Downto,
+            codes.iter().map(|&c| Val::Int(c)).collect(),
+        )
+    }
+
+    /// As integer (panics otherwise — IR is typed, so a mismatch is a
+    /// compiler bug).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Val::Int(i) => *i,
+            v => panic!("expected integer value, got {v:?}"),
+        }
+    }
+
+    /// As real.
+    pub fn as_real(&self) -> f64 {
+        match self {
+            Val::Real(r) => *r,
+            Val::Int(i) => *i as f64,
+            v => panic!("expected real value, got {v:?}"),
+        }
+    }
+
+    /// As bool (nonzero = true).
+    pub fn as_bool(&self) -> bool {
+        self.as_int() != 0
+    }
+
+    /// As array.
+    pub fn as_arr(&self) -> &ArrVal {
+        match self {
+            Val::Arr(a) => a,
+            v => panic!("expected array value, got {v:?}"),
+        }
+    }
+
+    /// Renders an array of character codes as a string (for reports).
+    pub fn as_string(&self) -> String {
+        match self {
+            Val::Arr(a) => a
+                .data
+                .iter()
+                .map(|v| char::from_u32((v.as_int() as u32) + 32).unwrap_or('?'))
+                .collect(),
+            v => format!("{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Real(r) => write!(f, "{r}"),
+            Val::Arr(a) => {
+                write!(f, "(")?;
+                for (i, v) in a.data.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Val::Rec(fields) => {
+                write!(f, "[")?;
+                for (i, v) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering_and_deltas() {
+        let t0 = Time::ZERO;
+        let d1 = t0.next_delta();
+        let t1 = t0.plus_fs(5);
+        assert!(t0 < d1);
+        assert!(d1 < t1);
+        assert_eq!(t1.delta, 0);
+        assert_eq!(d1.delta, 1);
+        assert_eq!(Time::fs(1_000_000).as_ns(), 1.0);
+        assert_eq!(format!("{d1}"), "0fs+1d");
+    }
+
+    #[test]
+    fn array_bounds() {
+        let a = Val::arr(7, VDir::Downto, vec![Val::Int(1); 8]);
+        let a = a.as_arr();
+        assert_eq!(a.right(), 0);
+        assert_eq!(a.offset(7), Some(0));
+        assert_eq!(a.offset(0), Some(7));
+        assert_eq!(a.offset(8), None);
+        assert_eq!(a.offset(-1), None);
+        let b = Val::arr(1, VDir::To, vec![Val::Int(1); 3]);
+        let b = b.as_arr();
+        assert_eq!(b.right(), 3);
+        assert_eq!(b.offset(2), Some(1));
+    }
+
+    #[test]
+    fn bits_and_strings() {
+        let v = Val::bits(&[1, 0, 1]);
+        let a = v.as_arr();
+        assert_eq!(a.left, 2);
+        assert_eq!(a.dir, VDir::Downto);
+        // "hi" as printable-offset codes: 'h' = 104-32, 'i' = 105-32.
+        let s = Val::arr(1, VDir::To, vec![Val::Int(72), Val::Int(73)]);
+        assert_eq!(s.as_string(), "hi");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Val::Int(4).as_int(), 4);
+        assert!(Val::Int(1).as_bool());
+        assert!(!Val::Int(0).as_bool());
+        assert_eq!(Val::Real(2.5).as_real(), 2.5);
+        assert_eq!(Val::Int(2).as_real(), 2.0);
+        assert_eq!(format!("{}", Val::bits(&[1, 0])), "(1 0)");
+    }
+}

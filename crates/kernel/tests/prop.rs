@@ -1,0 +1,148 @@
+//! Property tests for the simulation kernel: determinism, time
+//! monotonicity, preemption invariants, and runtime arithmetic against an
+//! i64 model.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use sim_kernel::{rts, Insn, Op, Program, SimStats, Simulator, Time, Val};
+
+/// A randomized multi-driver program: `n` oscillators with random periods
+/// and one watcher per oscillator counting events.
+fn random_program(periods: &[u64]) -> Program {
+    let mut p = Program::default();
+    for (i, &period) in periods.iter().enumerate() {
+        let s = p.add_signal(format!("s{i}"), Val::Int(0));
+        p.add_process(
+            format!("osc{i}"),
+            0,
+            vec![
+                Insn::LoadSig(s),
+                Insn::Unop(Op::Not),
+                Insn::PushInt(period as i64),
+                Insn::Sched {
+                    sig: s,
+                    transport: false,
+                },
+                Insn::Wait {
+                    sens: Rc::new(vec![s]),
+                    with_timeout: false,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    p
+}
+
+fn run(periods: &[u64], until: u64) -> (SimStats, Vec<Val>, Vec<Time>) {
+    let times = std::cell::RefCell::new(Vec::new());
+    let mut sim = Simulator::new(random_program(periods));
+    // The observer sees every event; record times for monotonicity.
+    // (Observers cannot outlive sim, so collect into a cell.)
+    let times_ref = &times;
+    sim.observe(Box::new(move |t, _, _, _| times_ref.borrow_mut().push(t)));
+    sim.run_until(Time::fs(until)).unwrap();
+    let vals = (0..periods.len())
+        .map(|i| sim.value_by_name(&format!("s{i}")).unwrap().clone())
+        .collect();
+    let stats = sim.stats();
+    let t = times.borrow().clone();
+    (stats, vals, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two runs of the same program are bit-identical (determinism), and
+    /// observed event times never decrease (monotonicity).
+    #[test]
+    fn deterministic_and_monotone(periods in proptest::collection::vec(1u64..50, 1..5),
+                                  until in 100u64..2000) {
+        let (s1, v1, t1) = run(&periods, until);
+        let (s2, v2, _) = run(&periods, until);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(v1, v2);
+        for w in t1.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards: {} then {}", w[0], w[1]);
+        }
+    }
+
+    /// Each oscillator's final value equals the parity of elapsed/period,
+    /// and the event count is the sum over oscillators.
+    #[test]
+    fn oscillator_event_counts(periods in proptest::collection::vec(1u64..40, 1..4),
+                               until in 50u64..1500) {
+        let (stats, vals, _) = run(&periods, until);
+        let mut expect_events = 0u64;
+        for (i, &p) in periods.iter().enumerate() {
+            let toggles = until / p;
+            expect_events += toggles;
+            prop_assert_eq!(vals[i].as_int(), (toggles % 2) as i64, "osc {} period {}", i, p);
+        }
+        prop_assert_eq!(stats.events, expect_events);
+    }
+
+    /// Inertial preemption: after any sequence of scheduled assignments at
+    /// strictly increasing delays within one process run, only the last
+    /// one survives.
+    #[test]
+    fn inertial_last_write_wins(vals in proptest::collection::vec(0i64..100, 1..8)) {
+        let mut p = Program::default();
+        let s = p.add_signal("s", Val::Int(-1));
+        let mut code = Vec::new();
+        for (i, &v) in vals.iter().enumerate() {
+            code.push(Insn::PushInt(v));
+            code.push(Insn::PushInt(10 + i as i64));
+            code.push(Insn::Sched { sig: s, transport: false });
+        }
+        code.push(Insn::Halt);
+        p.add_process("w", 0, code);
+        let mut sim = Simulator::new(p);
+        sim.run_until(Time::fs(100)).unwrap();
+        prop_assert_eq!(sim.signal_value(s), &Val::Int(*vals.last().unwrap()));
+        prop_assert_eq!(sim.stats().transactions, 1);
+    }
+
+    /// Transport: all transactions at increasing times survive in order.
+    #[test]
+    fn transport_preserves_waveform(vals in proptest::collection::vec(0i64..100, 1..8)) {
+        let mut p = Program::default();
+        let s = p.add_signal("s", Val::Int(-1));
+        let mut code = Vec::new();
+        for (i, &v) in vals.iter().enumerate() {
+            code.push(Insn::PushInt(v));
+            code.push(Insn::PushInt(10 * (i as i64 + 1)));
+            code.push(Insn::Sched { sig: s, transport: true });
+        }
+        code.push(Insn::Halt);
+        p.add_process("w", 0, code);
+        let mut sim = Simulator::new(p);
+        sim.run_until(Time::fs(10_000)).unwrap();
+        prop_assert_eq!(sim.signal_value(s), &Val::Int(*vals.last().unwrap()));
+        prop_assert_eq!(sim.stats().transactions, vals.len() as u64);
+    }
+
+    /// Runtime binary operations agree with checked i64 arithmetic.
+    #[test]
+    fn rts_matches_i64(a in -1_000_000i64..1_000_000, b in -1000i64..1000) {
+        let check = |op: Op, want: Option<i64>| {
+            match rts::binop(op, &Val::Int(a), &Val::Int(b)) {
+                Ok(Val::Int(got)) => prop_assert_eq!(Some(got), want, "{:?}", op),
+                Ok(other) => prop_assert!(false, "non-int result {other:?}"),
+                Err(_) => prop_assert!(want.is_none(), "{:?} errored but model had {:?}", op, want),
+            }
+            Ok(())
+        };
+        check(Op::Add, a.checked_add(b))?;
+        check(Op::Sub, a.checked_sub(b))?;
+        check(Op::Mul, a.checked_mul(b))?;
+        check(Op::Div, a.checked_div(b))?;
+        check(Op::Mod, a.checked_rem_euclid(b))?;
+        check(Op::Rem, a.checked_rem(b))?;
+        check(Op::Lt, Some((a < b) as i64))?;
+        check(Op::Ge, Some((a >= b) as i64))?;
+        check(Op::Eq, Some((a == b) as i64))?;
+    }
+}

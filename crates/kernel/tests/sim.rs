@@ -1,0 +1,495 @@
+//! Kernel integration tests: hand-assembled programs driving the full
+//! simulation cycle.
+
+use std::rc::Rc;
+
+use sim_kernel::{
+    FnDecl, Insn, Op, Program, SigAttr, SimError, Simulator, Time, Val, VarAddr,
+};
+
+fn addr(slot: u16) -> VarAddr {
+    VarAddr { depth: 0, slot }
+}
+
+/// A free-running clock: `clk <= not clk after 5 ns; wait on clk;`.
+#[test]
+fn oscillating_clock() {
+    let mut p = Program::default();
+    let clk = p.add_signal("top.clk", Val::Int(0));
+    let code = vec![
+        // not clk
+        Insn::LoadSig(clk),
+        Insn::Unop(Op::Not),
+        Insn::PushInt(5_000_000), // 5 ns in fs
+        Insn::Sched {
+            sig: clk,
+            transport: false,
+        },
+        Insn::Wait {
+            sens: Rc::new(vec![clk]),
+            with_timeout: false,
+        },
+        Insn::Pop, // timed_out flag
+        Insn::Jump(0),
+    ];
+    p.add_process("top.osc", 0, code);
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(52_000_000)).unwrap();
+    // 5ns period toggles: t=5,10,…,50 → 10 events.
+    let st = sim.stats();
+    assert_eq!(st.events, 10);
+    assert_eq!(sim.signal_value(clk), &Val::Int(0));
+    assert_eq!(sim.now().fs, 50_000_000);
+    assert!(st.resumptions >= 10);
+}
+
+/// Delta cycles: a chain a → b → c settles in the same instant across
+/// deltas.
+#[test]
+fn delta_cycle_chain() {
+    let mut p = Program::default();
+    let a = p.add_signal("a", Val::Int(0));
+    let b = p.add_signal("b", Val::Int(0));
+    let c = p.add_signal("c", Val::Int(0));
+    // driver: a <= 1 after 1 fs; wait forever.
+    p.add_process(
+        "drv",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(1),
+            Insn::Sched {
+                sig: a,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    // b <= a (delta); wait on a.
+    p.add_process(
+        "p1",
+        0,
+        vec![
+            Insn::LoadSig(a),
+            Insn::PushInt(-1),
+            Insn::Sched {
+                sig: b,
+                transport: false,
+            },
+            Insn::Wait {
+                sens: Rc::new(vec![a]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+            Insn::Jump(0),
+        ],
+    );
+    // c <= b (delta); wait on b.
+    p.add_process(
+        "p2",
+        0,
+        vec![
+            Insn::LoadSig(b),
+            Insn::PushInt(-1),
+            Insn::Sched {
+                sig: c,
+                transport: false,
+            },
+            Insn::Wait {
+                sens: Rc::new(vec![b]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+            Insn::Jump(0),
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(10)).unwrap();
+    assert_eq!(sim.signal_value(c), &Val::Int(1));
+    let st = sim.stats();
+    assert!(st.delta_cycles >= 2, "chain needs deltas: {st:?}");
+    assert_eq!(sim.now().fs, 1, "all settling happened at 1 fs");
+}
+
+/// Two drivers require a resolution function; wired-or resolves them.
+#[test]
+fn resolved_signal_wired_or() {
+    let mut p = Program::default();
+    // Resolution: fold OR over the drivers vector (param 0).
+    // locals: 0 = vec, 1 = i, 2 = acc
+    let res_code = vec![
+        // acc := 0; i := 0
+        Insn::PushInt(0),
+        Insn::StoreVar(addr(2)),
+        Insn::PushInt(0),
+        Insn::StoreVar(addr(1)),
+        // loop: if i >= len: exit — len is data length; use Index error
+        // avoidance by explicit count: we rely on a 2-driver vector.
+        Insn::LoadVar(addr(0)),
+        Insn::LoadVar(addr(1)),
+        Insn::Index,
+        Insn::LoadVar(addr(2)),
+        Insn::Binop(Op::Or),
+        Insn::StoreVar(addr(2)),
+        Insn::LoadVar(addr(1)),
+        Insn::PushInt(1),
+        Insn::Binop(Op::Add),
+        Insn::Dup,
+        Insn::StoreVar(addr(1)),
+        Insn::PushInt(2),
+        Insn::Binop(Op::Lt),
+        Insn::JumpIfFalse(19),
+        Insn::Jump(4),
+        Insn::LoadVar(addr(2)),
+        Insn::Ret { has_value: true },
+    ];
+    let res = p.add_function(FnDecl {
+        name: "wired_or".into(),
+        n_params: 1,
+        n_locals: 3,
+        code: Rc::new(res_code),
+        level: 1,
+    });
+    let s = p.add_signal("bus", Val::Int(0));
+    p.signals[s.0 as usize].resolution = Some(res);
+    // Driver A: bus <= 1 after 2fs.
+    p.add_process(
+        "da",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(2),
+            Insn::Sched {
+                sig: s,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    // Driver B: bus <= 0 after 2fs.
+    p.add_process(
+        "db",
+        0,
+        vec![
+            Insn::PushInt(0),
+            Insn::PushInt(2),
+            Insn::Sched {
+                sig: s,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(5)).unwrap();
+    assert_eq!(sim.signal_value(s), &Val::Int(1), "1 or 0 = 1");
+}
+
+/// Multiple drivers without resolution is an error.
+#[test]
+fn unresolved_multiple_drivers_error() {
+    let mut p = Program::default();
+    let s = p.add_signal("s", Val::Int(0));
+    for name in ["p1", "p2"] {
+        p.add_process(
+            name,
+            0,
+            vec![
+                Insn::PushInt(1),
+                Insn::PushInt(1),
+                Insn::Sched {
+                    sig: s,
+                    transport: false,
+                },
+                Insn::Halt,
+            ],
+        );
+    }
+    let mut sim = Simulator::new(p);
+    let err = sim.run_until(Time::fs(5)).unwrap_err();
+    assert!(matches!(err, SimError::UnresolvedDrivers(_)));
+}
+
+/// Wait with timeout resumes with the timed-out flag; `'event` visible in
+/// the resumption cycle.
+#[test]
+fn wait_timeout_and_event_attr() {
+    let mut p = Program::default();
+    let clk = p.add_signal("clk", Val::Int(0));
+    let saw_event = p.add_signal("saw_event", Val::Int(0));
+    let timed = p.add_signal("timed", Val::Int(0));
+    // Stimulus: clk <= 1 after 3 fs.
+    p.add_process(
+        "stim",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(3),
+            Insn::Sched {
+                sig: clk,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    // Waiter: wait on clk for 10 fs → resumed by event → saw_event <= clk'event.
+    // Then wait for 5 fs (pure timeout) → timed <= flag.
+    p.add_process(
+        "waiter",
+        0,
+        vec![
+            Insn::PushInt(10),
+            Insn::Wait {
+                sens: Rc::new(vec![clk]),
+                with_timeout: true,
+            },
+            Insn::Pop, // not timed out
+            Insn::LoadSigAttr(clk, SigAttr::Event),
+            Insn::PushInt(-1),
+            Insn::Sched {
+                sig: saw_event,
+                transport: false,
+            },
+            Insn::PushInt(5),
+            Insn::Wait {
+                sens: Rc::new(vec![]),
+                with_timeout: true,
+            },
+            // timed-out flag on stack
+            Insn::PushInt(-1),
+            Insn::Sched {
+                sig: timed,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(20)).unwrap();
+    assert_eq!(sim.signal_value(saw_event), &Val::Int(1));
+    assert_eq!(sim.signal_value(timed), &Val::Int(1));
+}
+
+/// Inertial vs transport preemption.
+#[test]
+fn preemption_semantics() {
+    // Inertial: a second assignment cancels the pending first.
+    let mut p = Program::default();
+    let s = p.add_signal("s", Val::Int(0));
+    p.add_process(
+        "p",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(10),
+            Insn::Sched {
+                sig: s,
+                transport: false,
+            },
+            Insn::PushInt(2),
+            Insn::PushInt(5),
+            Insn::Sched {
+                sig: s,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(20)).unwrap();
+    assert_eq!(sim.signal_value(s), &Val::Int(2), "first tx preempted");
+    assert_eq!(sim.stats().transactions, 1);
+
+    // Transport: both arrive in order.
+    let mut p = Program::default();
+    let s = p.add_signal("s", Val::Int(0));
+    p.add_process(
+        "p",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(5),
+            Insn::Sched {
+                sig: s,
+                transport: true,
+            },
+            Insn::PushInt(2),
+            Insn::PushInt(10),
+            Insn::Sched {
+                sig: s,
+                transport: true,
+            },
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(7)).unwrap();
+    assert_eq!(sim.signal_value(s), &Val::Int(1));
+    sim.run_until(Time::fs(20)).unwrap();
+    assert_eq!(sim.signal_value(s), &Val::Int(2));
+    assert_eq!(sim.stats().transactions, 2);
+}
+
+/// Nested subprograms reach up-level variables through static links — the
+/// feature the paper notes C could not express directly.
+#[test]
+fn static_links_uplevel_access() {
+    let mut p = Program::default();
+    let out = p.add_signal("out", Val::Int(0));
+    // inner(): returns outer_local + 1 via an up-level load (depth 1).
+    let inner = p.add_function(FnDecl {
+        name: "inner".into(),
+        n_params: 0,
+        n_locals: 0,
+        code: Rc::new(vec![
+            Insn::LoadVar(VarAddr { depth: 1, slot: 0 }),
+            Insn::PushInt(1),
+            Insn::Binop(Op::Add),
+            Insn::Ret { has_value: true },
+        ]),
+        level: 2,
+    });
+    // outer(): local0 := 41; return inner().
+    let outer = p.add_function(FnDecl {
+        name: "outer".into(),
+        n_params: 0,
+        n_locals: 1,
+        code: Rc::new(vec![
+            Insn::PushInt(41),
+            Insn::StoreVar(addr(0)),
+            Insn::Call(inner),
+            Insn::Ret { has_value: true },
+        ]),
+        level: 1,
+    });
+    p.add_process(
+        "p",
+        0,
+        vec![
+            Insn::Call(outer),
+            Insn::PushInt(1),
+            Insn::Sched {
+                sig: out,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(5)).unwrap();
+    assert_eq!(sim.signal_value(out), &Val::Int(42));
+}
+
+/// Assertion reports and failure severity.
+#[test]
+fn assertions() {
+    let mut p = Program::default();
+    // Report text: character codes are printable offsets ('b'-32 etc.).
+    let text = Val::arr(
+        1,
+        sim_kernel::VDir::To,
+        "boom".chars().map(|c| Val::Int(c as i64 - 32)).collect(),
+    );
+    p.add_process(
+        "p",
+        0,
+        vec![
+            Insn::PushInt(0), // false condition
+            Insn::PushConst(text.clone()),
+            Insn::PushInt(1), // warning
+            Insn::Assert,
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(1)).unwrap();
+    assert_eq!(sim.reports().len(), 1);
+    assert_eq!(sim.reports()[0].text, "boom");
+    assert_eq!(sim.reports()[0].severity, 1);
+
+    // Severity failure aborts.
+    let mut p = Program::default();
+    p.add_process(
+        "p",
+        0,
+        vec![
+            Insn::PushInt(0),
+            Insn::PushConst(text),
+            Insn::PushInt(3),
+            Insn::Assert,
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    let err = sim.run_until(Time::fs(1)).unwrap_err();
+    assert!(matches!(err, SimError::Failure(_)));
+}
+
+/// Element-wise signal scheduling (s(i) <= v).
+#[test]
+fn element_assignment() {
+    let mut p = Program::default();
+    let s = p.add_signal("v", Val::bits(&[0, 0, 0, 0]));
+    p.add_process(
+        "p",
+        0,
+        vec![
+            Insn::PushInt(2), // index
+            Insn::PushInt(1), // value
+            Insn::PushInt(1), // delay
+            Insn::SchedIndex {
+                sig: s,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    sim.run_until(Time::fs(5)).unwrap();
+    assert_eq!(sim.signal_value(s), &Val::bits(&[0, 1, 0, 0]));
+}
+
+/// Observers see every event (the VCD hook).
+#[test]
+fn observers_and_nameserver() {
+    let mut p = Program::default();
+    let clk = p.add_signal("top.clk", Val::Int(0));
+    p.add_process(
+        "p",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(2),
+            Insn::Sched {
+                sig: clk,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    let changes = std::cell::RefCell::new(Vec::new());
+    let mut sim = Simulator::new(p);
+    sim.observe(Box::new(|t, _, name, v| {
+        changes.borrow_mut().push((t, name.to_string(), v.clone()));
+    }));
+    sim.run_until(Time::fs(5)).unwrap();
+    let ch = changes.borrow();
+    assert_eq!(ch.len(), 1);
+    assert_eq!(ch[0].1, "top.clk");
+    assert_eq!(ch[0].2, Val::Int(1));
+    drop(ch);
+    assert_eq!(sim.signal_by_name("top.clk"), Some(clk));
+    assert_eq!(sim.value_by_name("top.clk"), Some(&Val::Int(1)));
+    assert!(sim.signal_by_name("nope").is_none());
+    assert_eq!(sim.signal_names(), vec!["top.clk"]);
+}
+
+/// Fuel guard: a non-suspending loop is detected, not hung.
+#[test]
+fn runaway_process_detected() {
+    let mut p = Program::default();
+    p.add_process("p", 0, vec![Insn::Jump(0)]);
+    let mut sim = Simulator::new(p);
+    let err = sim.run_until(Time::fs(1)).unwrap_err();
+    assert!(matches!(err, SimError::FuelExhausted(_)));
+}

@@ -1,0 +1,213 @@
+//! Earley recognizer.
+//!
+//! Accepts any context-free grammar, so it serves as an *oracle* in property
+//! tests: for random grammars and random token strings, LALR acceptance (on
+//! conflict-free grammars) must coincide with Earley acceptance.
+
+use std::collections::HashSet;
+
+use crate::grammar::{Grammar, ProdId, SymbolId};
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct EItem {
+    prod: ProdId,
+    dot: usize,
+    origin: usize,
+}
+
+/// Earley recognizer over a [`Grammar`].
+pub struct Earley<'g> {
+    g: &'g Grammar,
+}
+
+impl<'g> Earley<'g> {
+    /// Wraps a grammar.
+    pub fn new(g: &'g Grammar) -> Self {
+        Earley { g }
+    }
+
+    /// `true` iff `input` (terminal kinds) is derivable from the start
+    /// symbol.
+    pub fn recognize(&self, input: &[SymbolId]) -> bool {
+        let g = self.g;
+        let n = input.len();
+        let mut sets: Vec<Vec<EItem>> = vec![Vec::new(); n + 1];
+        let mut seen: Vec<HashSet<EItem>> = vec![HashSet::new(); n + 1];
+
+        let push = |sets: &mut Vec<Vec<EItem>>, seen: &mut Vec<HashSet<EItem>>, k: usize, it: EItem| {
+            if seen[k].insert(it) {
+                sets[k].push(it);
+            }
+        };
+
+        push(
+            &mut sets,
+            &mut seen,
+            0,
+            EItem {
+                prod: g.accept_prod(),
+                dot: 0,
+                origin: 0,
+            },
+        );
+
+        for k in 0..=n {
+            let mut i = 0;
+            while i < sets[k].len() {
+                let item = sets[k][i];
+                i += 1;
+                let rhs = g.rhs(item.prod);
+                if item.dot < rhs.len() {
+                    let sym = rhs[item.dot];
+                    if g.is_terminal(sym) {
+                        // Scanner.
+                        if k < n && input[k] == sym {
+                            push(
+                                &mut sets,
+                                &mut seen,
+                                k + 1,
+                                EItem {
+                                    prod: item.prod,
+                                    dot: item.dot + 1,
+                                    origin: item.origin,
+                                },
+                            );
+                        }
+                    } else {
+                        // Predictor.
+                        for &p in g.prods_of(sym) {
+                            push(
+                                &mut sets,
+                                &mut seen,
+                                k,
+                                EItem {
+                                    prod: p,
+                                    dot: 0,
+                                    origin: k,
+                                },
+                            );
+                        }
+                        // Magic completion for nullable nonterminals (Aycock
+                        // & Horspool fix): if sym is nullable via an item
+                        // already completed in this set, advance immediately.
+                        let completed_here: Vec<EItem> = sets[k]
+                            .iter()
+                            .filter(|c| {
+                                c.origin == k
+                                    && c.dot == g.rhs(c.prod).len()
+                                    && g.lhs(c.prod) == sym
+                            })
+                            .copied()
+                            .collect();
+                        if !completed_here.is_empty() {
+                            push(
+                                &mut sets,
+                                &mut seen,
+                                k,
+                                EItem {
+                                    prod: item.prod,
+                                    dot: item.dot + 1,
+                                    origin: item.origin,
+                                },
+                            );
+                        }
+                    }
+                } else {
+                    // Completer.
+                    let lhs = g.lhs(item.prod);
+                    let parents: Vec<EItem> = sets[item.origin]
+                        .iter()
+                        .filter(|p| {
+                            let prhs = g.rhs(p.prod);
+                            p.dot < prhs.len() && prhs[p.dot] == lhs
+                        })
+                        .copied()
+                        .collect();
+                    for p in parents {
+                        push(
+                            &mut sets,
+                            &mut seen,
+                            k,
+                            EItem {
+                                prod: p.prod,
+                                dot: p.dot + 1,
+                                origin: p.origin,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        sets[n].iter().any(|it| {
+            it.prod == g.accept_prod() && it.dot == g.rhs(g.accept_prod()).len() && it.origin == 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn anbn() -> Grammar {
+        let mut g = GrammarBuilder::new();
+        let a = g.terminal("a");
+        let b = g.terminal("b");
+        let s = g.nonterminal("s");
+        g.prod(s, &[a.into(), s.into(), b.into()], "wrap");
+        g.prod(s, &[], "empty");
+        g.start(s);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn accepts_anbn() {
+        let g = anbn();
+        let e = Earley::new(&g);
+        let a = g.symbol("a").unwrap();
+        let b = g.symbol("b").unwrap();
+        assert!(e.recognize(&[]));
+        assert!(e.recognize(&[a, b]));
+        assert!(e.recognize(&[a, a, a, b, b, b]));
+        assert!(!e.recognize(&[a, b, b]));
+        assert!(!e.recognize(&[a]));
+        assert!(!e.recognize(&[b, a]));
+    }
+
+    #[test]
+    fn ambiguous_grammar_ok() {
+        // E ::= E + E | num — ambiguous, but Earley doesn't care.
+        let mut g = GrammarBuilder::new();
+        let plus = g.terminal("+");
+        let num = g.terminal("num");
+        let e = g.nonterminal("e");
+        g.prod(e, &[e.into(), plus.into(), e.into()], "add");
+        g.prod(e, &[num.into()], "num");
+        g.start(e);
+        let g = g.build().unwrap();
+        let er = Earley::new(&g);
+        let (p, n) = (g.symbol("+").unwrap(), g.symbol("num").unwrap());
+        assert!(er.recognize(&[n, p, n, p, n]));
+        assert!(!er.recognize(&[n, p]));
+    }
+
+    #[test]
+    fn nullable_chain() {
+        // S ::= A A a ; A ::= B ; B ::= ε — exercises the nullable-completion
+        // fix.
+        let mut g = GrammarBuilder::new();
+        let a_t = g.terminal("a");
+        let s = g.nonterminal("S");
+        let a = g.nonterminal("A");
+        let b = g.nonterminal("B");
+        g.prod(s, &[a.into(), a.into(), a_t.into()], "s");
+        g.prod(a, &[b.into()], "a_b");
+        g.prod(b, &[], "b_empty");
+        g.start(s);
+        let g = g.build().unwrap();
+        let e = Earley::new(&g);
+        assert!(e.recognize(&[a_t]));
+        assert!(!e.recognize(&[]));
+    }
+}

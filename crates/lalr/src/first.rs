@@ -1,0 +1,182 @@
+//! Nullable and FIRST set computation.
+
+use crate::bitset::BitSet;
+use crate::grammar::{Grammar, SymbolId};
+
+/// Nullable flags and FIRST sets for every symbol of a grammar.
+///
+/// FIRST sets are over terminal indices (the full symbol index space is used
+/// as the bit-set universe for simplicity; only terminal bits are ever set).
+///
+/// # Example
+///
+/// ```
+/// use ag_lalr::{GrammarBuilder, first::FirstSets};
+/// let mut g = GrammarBuilder::new();
+/// let a = g.terminal("a");
+/// let s = g.nonterminal("s");
+/// let t = g.nonterminal("t");
+/// g.prod(s, &[t.into(), a.into()], "s");
+/// g.prod(t, &[], "t_empty");
+/// g.prod(t, &[a.into()], "t_a");
+/// g.start(s);
+/// let g = g.build()?;
+/// let first = FirstSets::compute(&g);
+/// assert!(first.nullable(t));
+/// assert!(!first.nullable(s));
+/// assert!(first.first(s).contains(a.index()));
+/// # Ok::<(), ag_lalr::GrammarError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FirstSets {
+    nullable: Vec<bool>,
+    first: Vec<BitSet>,
+}
+
+impl FirstSets {
+    /// Computes nullable and FIRST by the standard fixpoint iteration.
+    pub fn compute(g: &Grammar) -> Self {
+        let n = g.n_symbols();
+        let mut nullable = vec![false; n];
+        let mut first: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for t in g.terminals() {
+            first[t.index()].insert(t.index());
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in g.prod_ids() {
+                let lhs = g.lhs(p).index();
+                let mut all_nullable = true;
+                for &r in g.rhs(p) {
+                    // first[lhs] |= first[r]; split borrow via clone of the
+                    // (small) source set only when distinct.
+                    if r.index() != lhs {
+                        let src = first[r.index()].clone();
+                        changed |= first[lhs].union_with(&src);
+                    }
+                    if !nullable[r.index()] {
+                        all_nullable = false;
+                        break;
+                    }
+                }
+                if all_nullable && !nullable[lhs] {
+                    nullable[lhs] = true;
+                    changed = true;
+                }
+            }
+        }
+        FirstSets { nullable, first }
+    }
+
+    /// Whether symbol `s` derives the empty string.
+    pub fn nullable(&self, s: SymbolId) -> bool {
+        self.nullable[s.index()]
+    }
+
+    /// FIRST set of symbol `s` (bits are terminal symbol indices).
+    pub fn first(&self, s: SymbolId) -> &BitSet {
+        &self.first[s.index()]
+    }
+
+    /// FIRST of a sentential form `alpha` followed (conceptually) by the
+    /// lookahead continuation: fills `out` with FIRST(alpha) and returns
+    /// `true` iff alpha is nullable (so the continuation's FIRST also
+    /// applies).
+    pub fn first_of_seq(&self, alpha: &[SymbolId], out: &mut BitSet) -> bool {
+        for &s in alpha {
+            out.union_with(&self.first[s.index()]);
+            if !self.nullable[s.index()] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    /// Classic dragon-book grammar:
+    /// E ::= T E'   E' ::= + T E' | ε   T ::= F T'   T' ::= * F T' | ε
+    /// F ::= ( E ) | id
+    fn dragon() -> (Grammar, FirstSets) {
+        let mut g = GrammarBuilder::new();
+        let plus = g.terminal("+");
+        let star = g.terminal("*");
+        let lp = g.terminal("(");
+        let rp = g.terminal(")");
+        let id = g.terminal("id");
+        let e = g.nonterminal("E");
+        let ep = g.nonterminal("E'");
+        let t = g.nonterminal("T");
+        let tp = g.nonterminal("T'");
+        let f = g.nonterminal("F");
+        g.prod(e, &[t.into(), ep.into()], "e");
+        g.prod(ep, &[plus.into(), t.into(), ep.into()], "ep_plus");
+        g.prod(ep, &[], "ep_empty");
+        g.prod(t, &[f.into(), tp.into()], "t");
+        g.prod(tp, &[star.into(), f.into(), tp.into()], "tp_star");
+        g.prod(tp, &[], "tp_empty");
+        g.prod(f, &[lp.into(), e.into(), rp.into()], "f_paren");
+        g.prod(f, &[id.into()], "f_id");
+        g.start(e);
+        let g = g.build().unwrap();
+        let f = FirstSets::compute(&g);
+        (g, f)
+    }
+
+    #[test]
+    fn dragon_first_sets() {
+        let (g, fs) = dragon();
+        let names = |s: &str| g.symbol(s).unwrap();
+        let set = |s: &str| {
+            fs.first(names(s))
+                .iter()
+                .map(|i| g.symbol_name(crate::grammar::SymbolId(i as u32)).to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(set("E"), vec!["(", "id"]);
+        assert_eq!(set("T"), vec!["(", "id"]);
+        assert_eq!(set("F"), vec!["(", "id"]);
+        assert_eq!(set("E'"), vec!["+"]);
+        assert_eq!(set("T'"), vec!["*"]);
+        assert!(fs.nullable(names("E'")));
+        assert!(fs.nullable(names("T'")));
+        assert!(!fs.nullable(names("E")));
+    }
+
+    #[test]
+    fn first_of_seq_nullable_chain() {
+        let (g, fs) = dragon();
+        let ep = g.symbol("E'").unwrap();
+        let tp = g.symbol("T'").unwrap();
+        let id = g.symbol("id").unwrap();
+        let mut out = BitSet::new(g.n_symbols());
+        let nullable = fs.first_of_seq(&[ep, tp], &mut out);
+        assert!(nullable);
+        assert!(out.contains(g.symbol("+").unwrap().index()));
+        assert!(out.contains(g.symbol("*").unwrap().index()));
+
+        let mut out2 = BitSet::new(g.n_symbols());
+        let nullable2 = fs.first_of_seq(&[ep, id], &mut out2);
+        assert!(!nullable2);
+        assert!(out2.contains(id.index()));
+    }
+
+    #[test]
+    fn left_recursive_first() {
+        let mut g = GrammarBuilder::new();
+        let a = g.terminal("a");
+        let s = g.nonterminal("s");
+        g.prod(s, &[s.into(), a.into()], "s_rec");
+        g.prod(s, &[a.into()], "s_a");
+        g.start(s);
+        let g = g.build().unwrap();
+        let fs = FirstSets::compute(&g);
+        assert!(fs.first(s).contains(a.index()));
+        assert!(!fs.nullable(s));
+    }
+}

@@ -1,0 +1,255 @@
+//! LALR(1) lookahead computation.
+//!
+//! Uses the classic "spontaneous generation and propagation" algorithm
+//! (Aho/Sethi/Ullman, Algorithm 4.63): for every kernel item, an LR(1)
+//! closure seeded with a probe lookahead `#` discovers which lookaheads are
+//! generated spontaneously at successor kernel items and which propagate
+//! from the source item; a fixpoint then floods lookaheads along the
+//! propagation edges.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use crate::first::FirstSets;
+use crate::grammar::Grammar;
+use crate::lr0::{Item, Lr0Automaton};
+
+/// LALR(1) lookahead sets for every kernel item of every LR(0) state.
+#[derive(Clone, Debug)]
+pub struct Lookaheads {
+    /// `lookaheads[state][kernel_item_index]` — terminals (by symbol index)
+    /// on which the kernel item's eventual reduction is valid.
+    pub kernel: Vec<Vec<BitSet>>,
+}
+
+/// Computes the LR(1) closure of a set of items-with-lookaheads.
+///
+/// `universe` is the bit-set universe (symbol count, possibly +1 for the
+/// probe symbol used internally by [`compute`]).
+pub fn lr1_closure(
+    g: &Grammar,
+    first: &FirstSets,
+    seed: &[(Item, BitSet)],
+    universe: usize,
+) -> HashMap<Item, BitSet> {
+    let mut out: HashMap<Item, BitSet> = HashMap::new();
+    let mut work: Vec<Item> = Vec::new();
+    for (item, las) in seed {
+        let entry = out
+            .entry(*item)
+            .or_insert_with(|| BitSet::new(universe));
+        if entry.union_with(las) || !work.contains(item) {
+            work.push(*item);
+        }
+    }
+    while let Some(item) = work.pop() {
+        let Some(b) = item.next_symbol(g) else { continue };
+        if g.is_terminal(b) {
+            continue;
+        }
+        // FIRST(β a) for each lookahead a of `item`.
+        let beta = &g.rhs(item.prod)[item.dot as usize + 1..];
+        let mut fb = BitSet::new(universe);
+        let beta_nullable = first.first_of_seq(beta, &mut fb);
+        if beta_nullable {
+            let src = out[&item].clone();
+            fb.union_with(&src);
+        }
+        for &p in g.prods_of(b) {
+            let it = Item::start(p);
+            let entry = out.entry(it).or_insert_with(|| BitSet::new(universe));
+            if entry.union_with(&fb) {
+                work.push(it);
+            }
+        }
+    }
+    out
+}
+
+/// Computes LALR(1) lookaheads for every kernel item of `aut`.
+pub fn compute(g: &Grammar, first: &FirstSets, aut: &Lr0Automaton) -> Lookaheads {
+    let n_sym = g.n_symbols();
+    let probe = n_sym; // the dummy lookahead `#`
+    let universe = n_sym + 1;
+
+    // Index kernel items for each state.
+    let kernel_index: Vec<HashMap<Item, usize>> = aut
+        .states
+        .iter()
+        .map(|s| {
+            s.kernel
+                .iter()
+                .enumerate()
+                .map(|(i, it)| (*it, i))
+                .collect()
+        })
+        .collect();
+
+    let mut lookaheads: Vec<Vec<BitSet>> = aut
+        .states
+        .iter()
+        .map(|s| s.kernel.iter().map(|_| BitSet::new(universe)).collect())
+        .collect();
+    // (from_state, from_item) -> list of (to_state, to_item)
+    let mut propagate: Vec<Vec<Vec<(u32, usize)>>> = aut
+        .states
+        .iter()
+        .map(|s| s.kernel.iter().map(|_| Vec::new()).collect())
+        .collect();
+
+    // The end-of-input lookahead is spontaneous for the start item.
+    lookaheads[0][0].insert(g.eof().index());
+
+    for (si, state) in aut.states.iter().enumerate() {
+        for (ki, &kitem) in state.kernel.iter().enumerate() {
+            let mut seed_las = BitSet::new(universe);
+            seed_las.insert(probe);
+            let closure = lr1_closure(g, first, &[(kitem, seed_las)], universe);
+            for (item, las) in &closure {
+                let Some(x) = item.next_symbol(g) else { continue };
+                let target = state.transitions[&x];
+                let succ = item.advanced();
+                let ti = kernel_index[target as usize][&succ];
+                for la in las.iter() {
+                    if la == probe {
+                        propagate[si][ki].push((target, ti));
+                    } else {
+                        lookaheads[target as usize][ti].insert(la);
+                    }
+                }
+            }
+        }
+    }
+
+    // Flood lookaheads along propagation edges to a fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for si in 0..aut.states.len() {
+            for ki in 0..propagate[si].len() {
+                let src = lookaheads[si][ki].clone();
+                for &(ts, ti) in &propagate[si][ki] {
+                    changed |= lookaheads[ts as usize][ti].union_with(&src);
+                }
+            }
+        }
+    }
+
+    // Strip the probe bit by rebuilding over the symbol universe.
+    let kernel = lookaheads
+        .into_iter()
+        .map(|per_state| {
+            per_state
+                .into_iter()
+                .map(|set| {
+                    let mut out = BitSet::new(n_sym);
+                    for la in set.iter() {
+                        if la < n_sym {
+                            out.insert(la);
+                        }
+                    }
+                    out
+                })
+                .collect()
+        })
+        .collect();
+    Lookaheads { kernel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    /// Dragon book grammar 4.20 (pointers/assignments):
+    /// S ::= L = R | R ; L ::= * R | id ; R ::= L
+    /// The canonical LALR table for this grammar is the book's Fig. 4.47.
+    fn dragon420() -> (Grammar, Lr0Automaton, Lookaheads) {
+        let mut g = GrammarBuilder::new();
+        let eq = g.terminal("=");
+        let star = g.terminal("*");
+        let id = g.terminal("id");
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("L");
+        let r = g.nonterminal("R");
+        g.prod(s, &[l.into(), eq.into(), r.into()], "s_assign");
+        g.prod(s, &[r.into()], "s_r");
+        g.prod(l, &[star.into(), r.into()], "l_deref");
+        g.prod(l, &[id.into()], "l_id");
+        g.prod(r, &[l.into()], "r_l");
+        g.start(s);
+        let g = g.build().unwrap();
+        let first = FirstSets::compute(&g);
+        let aut = Lr0Automaton::build(&g);
+        let las = compute(&g, &first, &aut);
+        (g, aut, las)
+    }
+
+    #[test]
+    fn dragon420_shape() {
+        let (_, aut, _) = dragon420();
+        assert_eq!(aut.n_states(), 10);
+    }
+
+    /// The famous property of grammar 4.20: it is not SLR(1) (FOLLOW(R)
+    /// contains `=`), but it *is* LALR(1): the item `R ::= L ·` in the state
+    /// reached on `L` from the start has lookahead {=, $} only where valid.
+    #[test]
+    fn dragon420_lalr_lookaheads() {
+        let (g, aut, las) = dragon420();
+        let eq = g.symbol("=").unwrap();
+        let eof = g.eof();
+        // Find the state whose kernel is { S ::= L·=R , R ::= L· }.
+        let s_assign = g.prod_by_label("s_assign").unwrap();
+        let r_l = g.prod_by_label("r_l").unwrap();
+        let mut found = false;
+        for (si, st) in aut.states.iter().enumerate() {
+            let has_assign = st
+                .kernel
+                .iter()
+                .any(|i| i.prod == s_assign && i.dot == 1);
+            if !has_assign {
+                continue;
+            }
+            let (ki, _) = st
+                .kernel
+                .iter()
+                .enumerate()
+                .find(|(_, i)| i.prod == r_l && i.dot == 1)
+                .unwrap();
+            let set = &las.kernel[si][ki];
+            // SLR would use FOLLOW(R) = {=, $} here and report a
+            // shift/reduce conflict on `=`. LALR computes the context-exact
+            // lookahead {$}: the item [R ::= ·L] in state 0's closure only
+            // ever carries `$`. This is the textbook witness that the
+            // grammar is LALR(1) but not SLR(1).
+            assert!(set.contains(eof.index()));
+            assert!(!set.contains(eq.index()));
+            found = true;
+        }
+        assert!(found, "merged state not found");
+    }
+
+    #[test]
+    fn lr1_closure_lookahead_flow() {
+        let (g, _, _) = dragon420();
+        let first = FirstSets::compute(&g);
+        let n = g.n_symbols();
+        let mut seed = BitSet::new(n);
+        seed.insert(g.eof().index());
+        let accept = Item::start(g.accept_prod());
+        let closure = lr1_closure(&g, &first, &[(accept, seed)], n);
+        // S ::= ·L=R receives lookahead $; L ::= ·id receives {=, $}
+        // because L occurs before `=` in S ::= L=R and before end in R ::= L.
+        let l_id = Item::start(g.prod_by_label("l_id").unwrap());
+        let las = &closure[&l_id];
+        assert!(las.contains(g.symbol("=").unwrap().index()));
+        assert!(las.contains(g.eof().index()));
+    }
+
+    #[test]
+    fn accept_item_has_eof() {
+        let (g, _, las) = dragon420();
+        assert!(las.kernel[0][0].contains(g.eof().index()));
+    }
+}

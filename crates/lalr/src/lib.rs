@@ -1,0 +1,51 @@
+//! LALR(1) parser generator.
+//!
+//! This crate is the parsing half of the attribute-grammar toolchain that
+//! reproduces the Linguist translator-writing-system described in
+//! *A VHDL Compiler Based on Attribute Grammar Methodology* (Farrow &
+//! Stanculescu, PLDI 1989). It provides:
+//!
+//! - a [`Grammar`] representation built through [`GrammarBuilder`],
+//! - nullable/FIRST computation ([`first::FirstSets`]),
+//! - the LR(0) canonical collection ([`lr0::Lr0Automaton`]),
+//! - LALR(1) lookahead computation by spontaneous generation and
+//!   propagation ([`lalr`]),
+//! - action/goto tables with precedence-based conflict resolution
+//!   ([`table::ParseTable`]),
+//! - a table-driven parser producing concrete parse trees ([`parser`]),
+//! - an Earley recognizer used as an oracle in property tests ([`earley`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ag_lalr::{GrammarBuilder, table::ParseTable, parser::{Parser, Token}};
+//!
+//! let mut g = GrammarBuilder::new();
+//! let num = g.terminal("num");
+//! let plus = g.terminal("+");
+//! let expr = g.nonterminal("expr");
+//! g.prod(expr, &[expr.into(), plus.into(), num.into()], "expr_plus");
+//! g.prod(expr, &[num.into()], "expr_num");
+//! g.start(expr);
+//! let grammar = g.build().unwrap();
+//! let table = ParseTable::build(&grammar).unwrap();
+//! let parser = Parser::new(&grammar, &table);
+//! let tree = parser
+//!     .parse([Token::new(num, 1), Token::new(plus, 0), Token::new(num, 2)])
+//!     .unwrap();
+//! assert_eq!(grammar.prod_label(tree.prod().unwrap()), "expr_plus");
+//! ```
+
+pub mod bitset;
+pub mod earley;
+pub mod first;
+pub mod grammar;
+pub mod lalr;
+pub mod lr0;
+pub mod parser;
+pub mod pretty;
+pub mod table;
+
+pub use grammar::{Assoc, Grammar, GrammarBuilder, GrammarError, ProdId, SymbolId, SymbolKind};
+pub use parser::{ParseError, ParseTree, Parser, Token};
+pub use table::{Action, Conflict, ParseTable, TableError};

@@ -1,0 +1,212 @@
+//! LR(0) canonical collection of item sets.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::grammar::{Grammar, ProdId, SymbolId};
+
+/// A dotted production `A ::= α · β`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Item {
+    /// The production.
+    pub prod: ProdId,
+    /// Position of the dot, `0..=rhs.len()`.
+    pub dot: u32,
+}
+
+impl Item {
+    /// Item with the dot at the far left of `prod`.
+    pub fn start(prod: ProdId) -> Item {
+        Item { prod, dot: 0 }
+    }
+
+    /// The symbol immediately after the dot, or `None` for a complete item.
+    pub fn next_symbol(self, g: &Grammar) -> Option<SymbolId> {
+        g.rhs(self.prod).get(self.dot as usize).copied()
+    }
+
+    /// The item with the dot advanced one position.
+    pub fn advanced(self) -> Item {
+        Item {
+            prod: self.prod,
+            dot: self.dot + 1,
+        }
+    }
+
+    /// `true` if the dot is at the far right.
+    pub fn is_complete(self, g: &Grammar) -> bool {
+        self.dot as usize == g.rhs(self.prod).len()
+    }
+}
+
+/// One state of the LR(0) automaton: its kernel items and transitions.
+#[derive(Clone, Debug)]
+pub struct State {
+    /// Kernel items (initial item of the augmented production, or items with
+    /// the dot not at the far left), sorted.
+    pub kernel: Vec<Item>,
+    /// `symbol -> target state` transitions.
+    pub transitions: HashMap<SymbolId, u32>,
+}
+
+/// The LR(0) canonical collection.
+#[derive(Clone, Debug)]
+pub struct Lr0Automaton {
+    /// States; state 0 is the start state.
+    pub states: Vec<State>,
+}
+
+impl Lr0Automaton {
+    /// Builds the canonical collection for `g`.
+    pub fn build(g: &Grammar) -> Lr0Automaton {
+        let start_kernel = vec![Item::start(g.accept_prod())];
+        let mut states = vec![State {
+            kernel: start_kernel.clone(),
+            transitions: HashMap::new(),
+        }];
+        let mut index: HashMap<Vec<Item>, u32> = HashMap::new();
+        index.insert(start_kernel, 0);
+        let mut work = vec![0u32];
+        while let Some(si) = work.pop() {
+            let closure = close(g, &states[si as usize].kernel);
+            // Group items by the symbol after the dot.
+            let mut moves: HashMap<SymbolId, BTreeSet<Item>> = HashMap::new();
+            for item in &closure {
+                if let Some(sym) = item.next_symbol(g) {
+                    moves.entry(sym).or_default().insert(item.advanced());
+                }
+            }
+            // Deterministic order for reproducible state numbering.
+            let mut moves: Vec<_> = moves.into_iter().collect();
+            moves.sort_by_key(|(s, _)| *s);
+            for (sym, kernel) in moves {
+                let kernel: Vec<Item> = kernel.into_iter().collect();
+                let target = *index.entry(kernel.clone()).or_insert_with(|| {
+                    let id = states.len() as u32;
+                    states.push(State {
+                        kernel,
+                        transitions: HashMap::new(),
+                    });
+                    work.push(id);
+                    id
+                });
+                states[si as usize].transitions.insert(sym, target);
+            }
+        }
+        Lr0Automaton { states }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The closure of state `s`'s kernel.
+    pub fn closure(&self, g: &Grammar, s: u32) -> Vec<Item> {
+        close(g, &self.states[s as usize].kernel)
+    }
+}
+
+/// Computes the closure of a kernel: adds `B ::= ·γ` for every nonterminal
+/// `B` after a dot, transitively. Result is sorted and deduplicated.
+pub fn close(g: &Grammar, kernel: &[Item]) -> Vec<Item> {
+    let mut seen: BTreeSet<Item> = kernel.iter().copied().collect();
+    let mut work: Vec<Item> = kernel.to_vec();
+    while let Some(item) = work.pop() {
+        if let Some(sym) = item.next_symbol(g) {
+            if !g.is_terminal(sym) {
+                for &p in g.prods_of(sym) {
+                    let it = Item::start(p);
+                    if seen.insert(it) {
+                        work.push(it);
+                    }
+                }
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    /// Dragon book grammar 4.1: E ::= E + T | T ; T ::= T * F | F ;
+    /// F ::= ( E ) | id — canonical collection has 12 states.
+    fn dragon41() -> Grammar {
+        let mut g = GrammarBuilder::new();
+        let plus = g.terminal("+");
+        let star = g.terminal("*");
+        let lp = g.terminal("(");
+        let rp = g.terminal(")");
+        let id = g.terminal("id");
+        let e = g.nonterminal("E");
+        let t = g.nonterminal("T");
+        let f = g.nonterminal("F");
+        g.prod(e, &[e.into(), plus.into(), t.into()], "e_plus");
+        g.prod(e, &[t.into()], "e_t");
+        g.prod(t, &[t.into(), star.into(), f.into()], "t_star");
+        g.prod(t, &[f.into()], "t_f");
+        g.prod(f, &[lp.into(), e.into(), rp.into()], "f_paren");
+        g.prod(f, &[id.into()], "f_id");
+        g.start(e);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn dragon41_has_twelve_states() {
+        let g = dragon41();
+        let a = Lr0Automaton::build(&g);
+        assert_eq!(a.n_states(), 12);
+    }
+
+    #[test]
+    fn start_state_closure() {
+        let g = dragon41();
+        let a = Lr0Automaton::build(&g);
+        let c = a.closure(&g, 0);
+        // __goal::=·E, E::=·E+T, E::=·T, T::=·T*F, T::=·F, F::=·(E), F::=·id
+        assert_eq!(c.len(), 7);
+        assert!(c.iter().all(|i| i.dot == 0));
+    }
+
+    #[test]
+    fn transitions_deterministic() {
+        let g = dragon41();
+        let a1 = Lr0Automaton::build(&g);
+        let a2 = Lr0Automaton::build(&g);
+        for (s1, s2) in a1.states.iter().zip(&a2.states) {
+            assert_eq!(s1.kernel, s2.kernel);
+            assert_eq!(s1.transitions, s2.transitions);
+        }
+    }
+
+    #[test]
+    fn item_accessors() {
+        let g = dragon41();
+        let p = g.prod_by_label("f_paren").unwrap();
+        let i = Item::start(p);
+        assert_eq!(i.next_symbol(&g), g.symbol("("));
+        let i = i.advanced().advanced().advanced();
+        assert!(i.is_complete(&g));
+        assert_eq!(i.next_symbol(&g), None);
+    }
+
+    #[test]
+    fn empty_production_state() {
+        let mut g = GrammarBuilder::new();
+        let a = g.terminal("a");
+        let s = g.nonterminal("s");
+        let t = g.nonterminal("t");
+        g.prod(s, &[t.into(), a.into()], "s");
+        g.prod(t, &[], "t_empty");
+        g.start(s);
+        let g = g.build().unwrap();
+        let aut = Lr0Automaton::build(&g);
+        // Start closure contains the complete item t ::= ·
+        let c = aut.closure(&g, 0);
+        let t_empty = g.prod_by_label("t_empty").unwrap();
+        assert!(c.contains(&Item::start(t_empty)));
+        assert!(Item::start(t_empty).is_complete(&g));
+    }
+}

@@ -1,0 +1,288 @@
+//! Table-driven shift-reduce parser producing concrete parse trees.
+
+use std::fmt;
+
+use crate::grammar::{Grammar, ProdId, SymbolId};
+use crate::table::{Action, ParseTable};
+
+/// A scanner token: terminal kind plus an arbitrary value (text, position,
+/// or — in cascaded evaluation — a symbol-table denotation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token<V> {
+    /// The terminal symbol.
+    pub term: SymbolId,
+    /// The value carried into attribute evaluation.
+    pub value: V,
+}
+
+impl<V> Token<V> {
+    /// Creates a token.
+    pub fn new(term: SymbolId, value: V) -> Self {
+        Token { term, value }
+    }
+}
+
+/// A concrete parse tree.
+///
+/// Interior nodes record the production that derived them; leaves carry the
+/// token value. This is exactly the structure the attribute evaluator in
+/// `ag-core` decorates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseTree<V> {
+    /// An interior node derived by `prod`.
+    Node {
+        /// The production applied.
+        prod: ProdId,
+        /// One child per RHS symbol.
+        children: Vec<ParseTree<V>>,
+    },
+    /// A terminal leaf.
+    Leaf {
+        /// The terminal symbol.
+        term: SymbolId,
+        /// The token value.
+        value: V,
+    },
+}
+
+impl<V> ParseTree<V> {
+    /// The production of an interior node.
+    pub fn prod(&self) -> Option<ProdId> {
+        match self {
+            ParseTree::Node { prod, .. } => Some(*prod),
+            ParseTree::Leaf { .. } => None,
+        }
+    }
+
+    /// Children of an interior node (empty slice for leaves).
+    pub fn children(&self) -> &[ParseTree<V>] {
+        match self {
+            ParseTree::Node { children, .. } => children,
+            ParseTree::Leaf { .. } => &[],
+        }
+    }
+
+    /// Number of nodes (interior + leaves) in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(ParseTree::size).sum::<usize>()
+    }
+}
+
+/// A syntax error with enough context for a useful message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Index of the offending token in the input stream (input length if
+    /// the error is at end of input).
+    pub at: usize,
+    /// Name of the terminal found.
+    pub found: String,
+    /// Names of the terminals that would have been accepted.
+    pub expected: Vec<String>,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "syntax error at token {}: found `{}`, expected one of: {}",
+            self.at,
+            self.found,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A reusable parser: a grammar plus its table.
+pub struct Parser<'g> {
+    grammar: &'g Grammar,
+    table: &'g ParseTable,
+}
+
+impl<'g> Parser<'g> {
+    /// Wraps a grammar and its table.
+    pub fn new(grammar: &'g Grammar, table: &'g ParseTable) -> Self {
+        Parser { grammar, table }
+    }
+
+    /// Parses a token stream to a tree.
+    ///
+    /// The end-of-input terminal is appended automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] at the first token with no legal action.
+    pub fn parse<V, I>(&self, tokens: I) -> Result<ParseTree<V>, ParseError>
+    where
+        I: IntoIterator<Item = Token<V>>,
+    {
+        let g = self.grammar;
+        let t = self.table;
+        let mut states: Vec<u32> = vec![0];
+        let mut forest: Vec<ParseTree<V>> = Vec::new();
+        let mut input = tokens.into_iter();
+        let mut pos = 0usize;
+        let mut lookahead: Option<Token<V>> = input.next();
+        loop {
+            let state = *states.last().expect("state stack never empty");
+            let term = lookahead.as_ref().map_or(g.eof(), |t| t.term);
+            match t.action(state, term) {
+                Action::Shift(next) => {
+                    let tok = lookahead.take().expect("cannot shift eof");
+                    forest.push(ParseTree::Leaf {
+                        term: tok.term,
+                        value: tok.value,
+                    });
+                    states.push(next);
+                    pos += 1;
+                    lookahead = input.next();
+                }
+                Action::Reduce(prod) => {
+                    let arity = g.rhs(prod).len();
+                    let children = forest.split_off(forest.len() - arity);
+                    for _ in 0..arity {
+                        states.pop();
+                    }
+                    forest.push(ParseTree::Node { prod, children });
+                    let top = *states.last().expect("state stack never empty");
+                    let next = t
+                        .goto(top, g.lhs(prod))
+                        .expect("goto must exist after reduce");
+                    states.push(next);
+                }
+                Action::Accept => {
+                    debug_assert_eq!(forest.len(), 1);
+                    return Ok(forest.pop().expect("accept with one tree"));
+                }
+                Action::Error => {
+                    let expected = t
+                        .expected_terminals(state)
+                        .into_iter()
+                        .map(|s| g.symbol_name(s).to_string())
+                        .collect();
+                    return Err(ParseError {
+                        at: pos,
+                        found: g.symbol_name(term).to_string(),
+                        expected,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Recognizes a token-kind sequence without building a tree (used by the
+    /// property tests comparing against the Earley oracle).
+    pub fn recognize(&self, terms: &[SymbolId]) -> bool {
+        self.parse(terms.iter().map(|&t| Token::new(t, ()))).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{Assoc, GrammarBuilder};
+
+    fn calc() -> (Grammar, ParseTable) {
+        let mut g = GrammarBuilder::new();
+        let plus = g.terminal("+");
+        let star = g.terminal("*");
+        let lp = g.terminal("(");
+        let rp = g.terminal(")");
+        let num = g.terminal("num");
+        let e = g.nonterminal("e");
+        g.precedence(plus, 1, Assoc::Left);
+        g.precedence(star, 2, Assoc::Left);
+        g.prod(e, &[e.into(), plus.into(), e.into()], "add");
+        g.prod(e, &[e.into(), star.into(), e.into()], "mul");
+        g.prod(e, &[lp.into(), e.into(), rp.into()], "paren");
+        g.prod(e, &[num.into()], "num");
+        g.start(e);
+        let g = g.build().unwrap();
+        let t = ParseTable::build(&g).unwrap();
+        (g, t)
+    }
+
+    fn toks(g: &Grammar, s: &str) -> Vec<Token<i64>> {
+        s.split_whitespace()
+            .map(|w| match w.parse::<i64>() {
+                Ok(n) => Token::new(g.symbol("num").unwrap(), n),
+                Err(_) => Token::new(g.symbol(w).unwrap(), 0),
+            })
+            .collect()
+    }
+
+    fn eval(g: &Grammar, t: &ParseTree<i64>) -> i64 {
+        match t {
+            ParseTree::Leaf { value, .. } => *value,
+            ParseTree::Node { prod, children } => match g.prod_label(*prod) {
+                "add" => eval(g, &children[0]) + eval(g, &children[2]),
+                "mul" => eval(g, &children[0]) * eval(g, &children[2]),
+                "paren" => eval(g, &children[1]),
+                "num" => eval(g, &children[0]),
+                other => panic!("unknown production {other}"),
+            },
+        }
+    }
+
+    #[test]
+    fn parses_with_precedence() {
+        let (g, t) = calc();
+        let p = Parser::new(&g, &t);
+        let tree = p.parse(toks(&g, "1 + 2 * 3")).unwrap();
+        assert_eq!(eval(&g, &tree), 7);
+        let tree = p.parse(toks(&g, "( 1 + 2 ) * 3")).unwrap();
+        assert_eq!(eval(&g, &tree), 9);
+        // Left associativity: 10 + 2 + 3 groups as (10+2)+3.
+        let tree = p.parse(toks(&g, "10 + 2 + 3")).unwrap();
+        assert_eq!(eval(&g, &tree), 15);
+    }
+
+    #[test]
+    fn reports_error_position_and_expectations() {
+        let (g, t) = calc();
+        let p = Parser::new(&g, &t);
+        let err = p.parse(toks(&g, "1 + * 3")).unwrap_err();
+        assert_eq!(err.at, 2);
+        assert_eq!(err.found, "*");
+        assert!(err.expected.contains(&"num".to_string()));
+        assert!(err.expected.contains(&"(".to_string()));
+        assert!(err.to_string().contains("syntax error"));
+    }
+
+    #[test]
+    fn error_at_eof() {
+        let (g, t) = calc();
+        let p = Parser::new(&g, &t);
+        let err = p.parse(toks(&g, "1 +")).unwrap_err();
+        assert_eq!(err.at, 2);
+        assert_eq!(err.found, "$eof");
+    }
+
+    #[test]
+    fn empty_input_rejected_when_not_nullable() {
+        let (g, t) = calc();
+        let p = Parser::new(&g, &t);
+        assert!(p.parse(Vec::<Token<i64>>::new()).is_err());
+    }
+
+    #[test]
+    fn tree_shape_and_size() {
+        let (g, t) = calc();
+        let p = Parser::new(&g, &t);
+        let tree = p.parse(toks(&g, "1 + 2")).unwrap();
+        assert_eq!(g.prod_label(tree.prod().unwrap()), "add");
+        assert_eq!(tree.children().len(), 3);
+        assert_eq!(tree.size(), 6); // add(num(leaf), leaf+, num(leaf))
+    }
+
+    #[test]
+    fn recognize_matches_parse() {
+        let (g, t) = calc();
+        let p = Parser::new(&g, &t);
+        let num = g.symbol("num").unwrap();
+        let plus = g.symbol("+").unwrap();
+        assert!(p.recognize(&[num, plus, num]));
+        assert!(!p.recognize(&[plus]));
+    }
+}

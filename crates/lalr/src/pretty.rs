@@ -1,0 +1,89 @@
+//! Human-readable dumps of grammars, automata, and tables — the generator's
+//! "listing file", useful when debugging grammar conflicts.
+
+use std::fmt::Write as _;
+
+use crate::grammar::Grammar;
+use crate::lr0::Lr0Automaton;
+use crate::table::Conflict;
+
+/// Renders all productions, one per line, numbered.
+pub fn dump_grammar(g: &Grammar) -> String {
+    let mut out = String::new();
+    for p in g.prod_ids() {
+        let _ = writeln!(out, "{:4}  {}  [{}]", p.index(), g.display_prod(p), g.prod_label(p));
+    }
+    out
+}
+
+/// Renders the LR(0) states with kernels and transitions.
+pub fn dump_automaton(g: &Grammar, aut: &Lr0Automaton) -> String {
+    let mut out = String::new();
+    for (i, st) in aut.states.iter().enumerate() {
+        let _ = writeln!(out, "state {i}:");
+        for item in &st.kernel {
+            let rhs = g.rhs(item.prod);
+            let mut line = format!("  {} ::=", g.symbol_name(g.lhs(item.prod)));
+            for (j, s) in rhs.iter().enumerate() {
+                if j == item.dot as usize {
+                    line.push_str(" .");
+                }
+                line.push(' ');
+                line.push_str(g.symbol_name(*s));
+            }
+            if item.dot as usize == rhs.len() {
+                line.push_str(" .");
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let mut moves: Vec<_> = st.transitions.iter().collect();
+        moves.sort_by_key(|(s, _)| **s);
+        for (sym, target) in moves {
+            let _ = writeln!(out, "    {} -> state {}", g.symbol_name(*sym), target);
+        }
+    }
+    out
+}
+
+/// Renders conflicts in a yacc-like report.
+pub fn dump_conflicts(g: &Grammar, conflicts: &[Conflict]) -> String {
+    let mut out = String::new();
+    for c in conflicts {
+        let _ = writeln!(
+            out,
+            "state {} on `{}`: {}",
+            c.state,
+            g.symbol_name(c.lookahead),
+            c.description
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+    use crate::lr0::Lr0Automaton;
+    use crate::table::ParseTable;
+
+    #[test]
+    fn dumps_are_nonempty_and_structured() {
+        let mut g = GrammarBuilder::new();
+        let a = g.terminal("a");
+        let s = g.nonterminal("s");
+        g.prod(s, &[a.into(), s.into()], "s_rec");
+        g.prod(s, &[], "s_empty");
+        g.start(s);
+        let g = g.build().unwrap();
+        let dump = dump_grammar(&g);
+        assert!(dump.contains("s ::= a s"));
+        assert!(dump.contains("[s_empty]"));
+        let aut = Lr0Automaton::build(&g);
+        let adump = dump_automaton(&g, &aut);
+        assert!(adump.contains("state 0:"));
+        assert!(adump.contains("-> state"));
+        let (_t, conflicts) = ParseTable::build_lenient(&g);
+        assert_eq!(dump_conflicts(&g, &conflicts), "");
+    }
+}

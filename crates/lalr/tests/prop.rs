@@ -1,0 +1,122 @@
+//! Property tests: the LALR parser must agree with the Earley oracle on
+//! every conflict-free random grammar and random input string.
+
+use ag_lalr::earley::Earley;
+use ag_lalr::grammar::{Grammar, GrammarBuilder, SymRef};
+use ag_lalr::parser::Parser;
+use ag_lalr::table::ParseTable;
+use ag_lalr::SymbolId;
+use proptest::prelude::*;
+
+/// A compact description of a random grammar: for each nonterminal, a list
+/// of productions; each production is a list of symbol codes. Codes
+/// `0..n_terms` are terminals, the rest nonterminals.
+#[derive(Debug, Clone)]
+struct GrammarSpec {
+    n_terms: usize,
+    n_nonterms: usize,
+    prods: Vec<(usize, Vec<usize>)>, // (lhs nonterminal index, rhs codes)
+}
+
+fn grammar_spec() -> impl Strategy<Value = GrammarSpec> {
+    (2usize..5, 1usize..4).prop_flat_map(|(n_terms, n_nonterms)| {
+        let n_codes = n_terms + n_nonterms;
+        // Between 1 and 3 productions per nonterminal, RHS length 0..4.
+        let prod = (0..n_nonterms, proptest::collection::vec(0..n_codes, 0..4));
+        proptest::collection::vec(prod, n_nonterms..n_nonterms * 3).prop_map(
+            move |mut prods| {
+                // Guarantee every nonterminal has at least one production by
+                // appending an empty production where one is missing.
+                for nt in 0..n_nonterms {
+                    if !prods.iter().any(|(lhs, _)| *lhs == nt) {
+                        prods.push((nt, Vec::new()));
+                    }
+                }
+                GrammarSpec {
+                    n_terms,
+                    n_nonterms,
+                    prods,
+                }
+            },
+        )
+    })
+}
+
+fn build(spec: &GrammarSpec) -> (Grammar, Vec<SymbolId>) {
+    let mut g = GrammarBuilder::new();
+    let terms: Vec<SymbolId> = (0..spec.n_terms)
+        .map(|i| g.terminal(&format!("t{i}")))
+        .collect();
+    let nonterms: Vec<SymbolId> = (0..spec.n_nonterms)
+        .map(|i| g.nonterminal(&format!("N{i}")))
+        .collect();
+    for (i, (lhs, rhs)) in spec.prods.iter().enumerate() {
+        let rhs: Vec<SymRef> = rhs
+            .iter()
+            .map(|&c| {
+                if c < spec.n_terms {
+                    terms[c].into()
+                } else {
+                    nonterms[c - spec.n_terms].into()
+                }
+            })
+            .collect();
+        g.prod(nonterms[*lhs], &rhs, &format!("p{i}"));
+    }
+    g.start(nonterms[0]);
+    (g.build().expect("spec guarantees well-formedness"), terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For conflict-free grammars, LALR acceptance == Earley acceptance.
+    #[test]
+    fn lalr_agrees_with_earley(spec in grammar_spec(),
+                               input in proptest::collection::vec(0usize..5, 0..8)) {
+        let (g, terms) = build(&spec);
+        // Only test grammars that are LALR(1); ambiguous/conflicted random
+        // grammars are skipped (the oracle comparison is about the *parser*,
+        // not about conflict resolution).
+        let Ok(table) = ParseTable::build(&g) else { return Ok(()); };
+        let parser = Parser::new(&g, &table);
+        let earley = Earley::new(&g);
+        let toks: Vec<SymbolId> = input
+            .iter()
+            .filter(|&&c| c < terms.len())
+            .map(|&c| terms[c])
+            .collect();
+        prop_assert_eq!(parser.recognize(&toks), earley.recognize(&toks));
+    }
+
+    /// Parsing a derivable sentence yields a tree whose leaves spell the
+    /// sentence back (round-trip through the parse tree).
+    #[test]
+    fn parse_tree_leaves_roundtrip(spec in grammar_spec(),
+                                   input in proptest::collection::vec(0usize..5, 0..8)) {
+        let (g, terms) = build(&spec);
+        let Ok(table) = ParseTable::build(&g) else { return Ok(()); };
+        let parser = Parser::new(&g, &table);
+        let toks: Vec<SymbolId> = input
+            .iter()
+            .filter(|&&c| c < terms.len())
+            .map(|&c| terms[c])
+            .collect();
+        let Ok(tree) = parser.parse(toks.iter().map(|&t| ag_lalr::Token::new(t, t))) else {
+            return Ok(());
+        };
+        let mut leaves = Vec::new();
+        fn collect(t: &ag_lalr::ParseTree<SymbolId>, out: &mut Vec<SymbolId>) {
+            match t {
+                ag_lalr::ParseTree::Leaf { term, .. } => out.push(*term),
+                ag_lalr::ParseTree::Node { children, .. } => {
+                    for c in children {
+                        collect(c, out);
+                    }
+                }
+            }
+        }
+        collect(&tree, &mut leaves);
+        prop_assert_eq!(leaves, toks);
+    }
+}

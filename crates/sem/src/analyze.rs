@@ -1,0 +1,339 @@
+//! Analysis driver: evaluates the principal AG once per compilation unit
+//! (§4.1: "the evaluator for the [principal AG] operates once per VHDL
+//! compilation unit") and stores the resulting VIF in the work library.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ag_core::{AttrTree, DemandEval};
+use ag_lalr::ParseTree;
+use vhdl_syntax::{Cst, FrontError, PrincipalGrammar, SrcTok};
+use vhdl_vif::{LibrarySet, VifNode};
+
+use crate::env::{Den, Env, EnvKind, Visibility};
+use crate::msg::{Msg, Msgs};
+use crate::principal_ag::PrincipalAg;
+use crate::standard::{standard, Standard};
+use crate::value::Value;
+
+/// Loads separately-compiled units — the foreign-reference interface the
+/// principal AG's out-of-line functions use.
+pub trait UnitLoader {
+    /// Loads `lib.key`, e.g. `("work", "pkg.utils")`.
+    fn load_unit(&self, lib: &str, key: &str) -> Option<Rc<VifNode>>;
+    /// Latest-compiled architecture name of an entity (the §3.3 default
+    /// binding rule).
+    fn latest_architecture(&self, entity: &str) -> Option<String>;
+    /// All unit keys of a library (for `use lib.all`-style visibility).
+    fn unit_keys(&self, lib: &str) -> Vec<String>;
+}
+
+impl UnitLoader for LibrarySet {
+    fn load_unit(&self, lib: &str, key: &str) -> Option<Rc<VifNode>> {
+        self.load(&format!("{lib}.{key}")).ok()
+    }
+
+    fn latest_architecture(&self, entity: &str) -> Option<String> {
+        self.work().latest_architecture(entity)
+    }
+
+    fn unit_keys(&self, lib: &str) -> Vec<String> {
+        match self.library(lib) {
+            Some(l) => {
+                // Recompiles append to the history; keep each key once
+                // (first occurrence keeps compilation order).
+                let mut seen = std::collections::HashSet::new();
+                l.history()
+                    .into_iter()
+                    .filter(|k| seen.insert(k.clone()))
+                    .collect()
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// The analysis context threaded through the principal AG (`CTX`
+/// attribute).
+pub struct Actx {
+    /// Unit loader (usually a [`LibrarySet`]).
+    pub loader: Rc<dyn UnitLoader>,
+    /// Predefined types.
+    pub std: Rc<Standard>,
+    /// Statistics: number of `expr_eval` invocations (cascade count).
+    pub expr_evals: RefCell<u64>,
+}
+
+impl std::fmt::Debug for Actx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Actx").finish_non_exhaustive()
+    }
+}
+
+impl Actx {
+    /// Counts one cascade invocation and returns a package loader view for
+    /// expanded names in expressions.
+    pub fn count_expr_eval(&self) {
+        *self.expr_evals.borrow_mut() += 1;
+    }
+}
+
+/// One analyzed compilation unit.
+#[derive(Clone, Debug)]
+pub struct AnalyzedUnit {
+    /// Library key (`entity.x`, `arch.x.rtl`, `pkg.p`, `pkgbody.p`,
+    /// `config.c`).
+    pub key: String,
+    /// The unit's VIF.
+    pub node: Rc<VifNode>,
+    /// Diagnostics from this unit.
+    pub msgs: Msgs,
+    /// Number of `expr_eval` cascade invocations while analyzing it.
+    pub expr_evals: u64,
+}
+
+/// The compiler front half: principal grammar + principal AG, reusable
+/// across files.
+pub struct Analyzer {
+    /// The principal grammar and parse table.
+    pub grammar: PrincipalGrammar,
+    /// The principal attribute grammar.
+    pub pag: PrincipalAg,
+    /// Predefined environment and types.
+    pub std: Rc<Standard>,
+}
+
+impl Analyzer {
+    /// Builds the analyzer (parse tables + AG; reuse across compilations).
+    pub fn new(env_kind: EnvKind) -> Analyzer {
+        let grammar = PrincipalGrammar::new();
+        let pag = PrincipalAg::build(&grammar);
+        // Build the (thread-cached) expression AG now so the first unit's
+        // timing doesn't absorb its construction.
+        let _ = crate::expr_ag::ExprAg::shared();
+        Analyzer {
+            grammar,
+            pag,
+            std: Rc::new(standard(env_kind)),
+        }
+    }
+
+    /// Parses a design file into compilation-unit subtrees.
+    ///
+    /// # Errors
+    ///
+    /// Scan/parse errors.
+    pub fn parse_units(&self, src: &str) -> Result<Vec<Cst>, FrontError> {
+        let cst = self.grammar.parse_str(src)?;
+        Ok(split_units(cst))
+    }
+
+    /// Analyzes one design-unit tree against the libraries, returning the
+    /// unit without storing it.
+    pub fn analyze_unit(&self, unit: &Cst, libs: &Rc<LibrarySet>) -> AnalyzedUnit {
+        self.analyze_unit_with_loader(unit, Rc::<LibrarySet>::clone(libs) as Rc<dyn UnitLoader>)
+    }
+
+    /// Analysis against an arbitrary loader (drivers wrap the library set
+    /// to time VIF traffic).
+    pub fn analyze_unit_with_loader(
+        &self,
+        unit: &Cst,
+        loader: Rc<dyn UnitLoader>,
+    ) -> AnalyzedUnit {
+        let actx = Rc::new(Actx {
+            loader,
+            std: Rc::clone(&self.std),
+            expr_evals: RefCell::new(0),
+        });
+        let env = self.unit_start_env(&actx);
+        // Wrap the single unit as its own design file so the AG root is
+        // the start symbol.
+        let wrapped = wrap_unit(&self.grammar, unit.clone());
+        let values = tok_tree(&wrapped);
+        let tree = AttrTree::from_parse_tree(&self.grammar.grammar(), &values);
+        let eval = DemandEval::new(
+            &self.pag.ag,
+            &tree,
+            vec![
+                (self.pag.classes.env, Value::Env(env)),
+                (self.pag.classes.ctx, Value::Ctx(Rc::clone(&actx))),
+                (self.pag.classes.level, Value::Int(0)),
+            ],
+        );
+        let mut msgs = Msgs::none();
+        let units = match eval.root_value(self.pag.classes.units) {
+            Ok(v) => v.expect_list().to_vec(),
+            Err(e) => {
+                msgs.push(Msg::error(Default::default(), format!("internal: {e}")));
+                Vec::new()
+            }
+        };
+        if let Ok(m) = eval.root_value(self.pag.classes.msgs) {
+            msgs = Msgs::concat(&msgs, m.as_msgs());
+        }
+        let expr_evals = *actx.expr_evals.borrow();
+        match units.first() {
+            Some(Value::Node(node)) => AnalyzedUnit {
+                key: unit_key(node),
+                node: Rc::clone(node),
+                msgs,
+                expr_evals,
+            },
+            _ => {
+                if !msgs.has_errors() {
+                    msgs.push(Msg::error(Default::default(), "no unit produced"));
+                }
+                AnalyzedUnit {
+                    key: String::new(),
+                    node: VifNode::build("error").done(),
+                    msgs,
+                    expr_evals,
+                }
+            }
+        }
+    }
+
+    /// Compiles a whole source string: parse, analyze each unit in order,
+    /// and store successful units into the work library (so later units in
+    /// the same file can reference them).
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors abort the whole file; semantic errors are carried
+    /// per unit in the result.
+    pub fn compile(
+        &self,
+        src: &str,
+        libs: &Rc<LibrarySet>,
+    ) -> Result<Vec<AnalyzedUnit>, FrontError> {
+        let units = self.parse_units(src)?;
+        let mut out = Vec::new();
+        for u in &units {
+            let au = self.analyze_unit(u, libs);
+            if !au.msgs.has_errors() && !au.key.is_empty() {
+                let _ = libs.work().put(&au.key, &au.node);
+            }
+            out.push(au);
+        }
+        Ok(out)
+    }
+
+    /// The environment a fresh compilation unit starts with: STD.STANDARD
+    /// plus the implicit `library work; use work.all;` (§3.4 footnote).
+    pub fn unit_start_env(&self, actx: &Rc<Actx>) -> Env {
+        let mut env = self.std.env.clone();
+        env = env.bind(
+            "work",
+            Den {
+                node: VifNode::build("library").name("work").done(),
+                vis: Visibility::Implicit,
+            },
+        );
+        // use work.all: the work library's packages become directly
+        // visible by name (entities and configurations are resolved
+        // through the library loader when named, so they need no eager
+        // binding). This is still real library traffic per compilation —
+        // the cost the paper blames for much of its compile time.
+        for key in actx.loader.unit_keys("work") {
+            let visible = key.starts_with("pkg.");
+            if !visible {
+                continue;
+            }
+            if let Some(node) = actx.loader.load_unit("work", &key) {
+                if let Some(name) = node.name().map(str::to_string) {
+                    env = env.bind(
+                        &name,
+                        Den {
+                            node,
+                            vis: Visibility::UseClause,
+                        },
+                    );
+                }
+            }
+        }
+        env
+    }
+}
+
+/// Splits a parsed design file into design-unit subtrees.
+fn split_units(cst: Cst) -> Vec<Cst> {
+    // design_file ::= design_units; design_units is left-recursive.
+    let mut units = Vec::new();
+    fn walk_units(t: Cst, out: &mut Vec<Cst>) {
+        match t {
+            ParseTree::Node { children, .. } if children.len() == 2 => {
+                // dus_more: design_units design_unit
+                let mut it = children.into_iter();
+                walk_units(it.next().expect("two children"), out);
+                out.push(it.next().expect("two children"));
+            }
+            ParseTree::Node { children, .. } if children.len() == 1 => {
+                out.push(children.into_iter().next().expect("one child"));
+            }
+            other => out.push(other),
+        }
+    }
+    if let ParseTree::Node { children, .. } = cst {
+        for c in children {
+            walk_units(c, &mut units);
+        }
+    }
+    units
+}
+
+/// Re-types a CST so leaves carry [`Value::Tok`] (the AG's value type).
+fn tok_tree(t: &Cst) -> ParseTree<Value> {
+    match t {
+        ParseTree::Leaf { term, value } => ParseTree::Leaf {
+            term: *term,
+            value: Value::Tok(value.clone()),
+        },
+        ParseTree::Node { prod, children } => ParseTree::Node {
+            prod: *prod,
+            children: children.iter().map(tok_tree).collect(),
+        },
+    }
+}
+
+/// Rebuilds a one-unit design file around a design-unit subtree.
+fn wrap_unit(g: &PrincipalGrammar, unit: Cst) -> Cst {
+    let dus_one = g.prod("dus_one");
+    let df = g.prod("df");
+    ParseTree::Node {
+        prod: df,
+        children: vec![ParseTree::Node {
+            prod: dus_one,
+            children: vec![unit],
+        }],
+    }
+}
+
+/// Library key of an analyzed unit node.
+pub fn unit_key(node: &VifNode) -> String {
+    let name = node.name().unwrap_or("anon");
+    match node.kind() {
+        "entity" => format!("entity.{name}"),
+        "arch" => format!(
+            "arch.{}.{name}",
+            node.str_field("entity_name").unwrap_or("anon")
+        ),
+        "pkg" => format!("pkg.{name}"),
+        "pkgbody" => format!("pkgbody.{name}"),
+        "config" => format!("config.{name}"),
+        k => format!("{k}.{name}"),
+    }
+}
+
+/// Collects the source tokens of a CST subtree in order (used by the
+/// principal AG's token-run attributes and by name resolution).
+pub fn collect_toks(t: &Cst, out: &mut Vec<SrcTok>) {
+    match t {
+        ParseTree::Leaf { value, .. } => out.push(value.clone()),
+        ParseTree::Node { children, .. } => {
+            for c in children {
+                collect_toks(c, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Declaration (denotation) node constructors: objects, subprograms,
+//! enumeration literals, physical units, components — the things an
+//! environment binds names to. All are VIF nodes (§4.3: the VIF *is* the
+//! symbol table).
+
+use std::rc::Rc;
+
+use vhdl_vif::{VifNode, VifValue};
+
+use crate::types::{fresh_uid, Ty};
+
+/// Object classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObjClass {
+    /// `constant`.
+    Constant,
+    /// `signal` (including ports).
+    Signal,
+    /// `variable`.
+    Variable,
+    /// A `for`-loop index (constant within the loop).
+    LoopVar,
+}
+
+impl ObjClass {
+    /// VIF encoding.
+    pub fn encode(self) -> &'static str {
+        match self {
+            ObjClass::Constant => "constant",
+            ObjClass::Signal => "signal",
+            ObjClass::Variable => "variable",
+            ObjClass::LoopVar => "loopvar",
+        }
+    }
+
+    /// Decodes the VIF encoding.
+    pub fn decode(s: &str) -> Option<ObjClass> {
+        Some(match s {
+            "constant" => ObjClass::Constant,
+            "signal" => ObjClass::Signal,
+            "variable" => ObjClass::Variable,
+            "loopvar" => ObjClass::LoopVar,
+            _ => return None,
+        })
+    }
+}
+
+/// Port/parameter modes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// `in` (the default).
+    #[default]
+    In,
+    /// `out`.
+    Out,
+    /// `inout`.
+    Inout,
+    /// `buffer`.
+    Buffer,
+}
+
+impl Mode {
+    /// VIF encoding.
+    pub fn encode(self) -> &'static str {
+        match self {
+            Mode::In => "in",
+            Mode::Out => "out",
+            Mode::Inout => "inout",
+            Mode::Buffer => "buffer",
+        }
+    }
+
+    /// Decodes the VIF encoding (unknown strings read as `in`).
+    pub fn decode(s: &str) -> Mode {
+        match s {
+            "out" => Mode::Out,
+            "inout" => Mode::Inout,
+            "buffer" => Mode::Buffer,
+            _ => Mode::In,
+        }
+    }
+}
+
+/// Builds an object denotation (`obj` node).
+pub fn mk_obj(class: ObjClass, name: &str, ty: &Ty, mode: Mode, init: Option<Rc<VifNode>>) -> Rc<VifNode> {
+    let mut b = VifNode::build("obj")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .str_field("class", class.encode())
+        .str_field("mode", mode.encode())
+        .node_field("ty", Rc::clone(ty));
+    if let Some(init) = init {
+        b = b.node_field("init", init);
+    }
+    b.done()
+}
+
+/// Object's class.
+pub fn obj_class(obj: &VifNode) -> Option<ObjClass> {
+    ObjClass::decode(obj.str_field("class")?)
+}
+
+/// Object's type.
+pub fn obj_ty(obj: &VifNode) -> Option<Ty> {
+    obj.node_field("ty").cloned()
+}
+
+/// A subprogram parameter specification used by [`mk_subprog`].
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Parameter name (lower case).
+    pub name: String,
+    /// Class (constant for `in` by default, signal/variable as declared).
+    pub class: ObjClass,
+    /// Mode.
+    pub mode: Mode,
+    /// Type.
+    pub ty: Ty,
+    /// Default expression IR, if any.
+    pub default: Option<Rc<VifNode>>,
+}
+
+impl Param {
+    /// An `in`-mode constant parameter — the common case.
+    pub fn value(name: &str, ty: &Ty) -> Param {
+        Param {
+            name: name.to_string(),
+            class: ObjClass::Constant,
+            mode: Mode::In,
+            ty: Rc::clone(ty),
+            default: None,
+        }
+    }
+}
+
+/// Builds a subprogram denotation. `builtin` names a runtime-support
+/// operation for implicitly declared operators; user subprograms carry a
+/// `body` (statement IR list) and `locals` instead, attached later via
+/// [`with_body`].
+pub fn mk_subprog(
+    name: &str,
+    params: Vec<Param>,
+    ret: Option<&Ty>,
+    builtin: Option<&str>,
+) -> Rc<VifNode> {
+    let mut b = VifNode::build("subprog")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .list_field(
+            "params",
+            params
+                .into_iter()
+                .map(|p| {
+                    let mut pb = VifNode::build("obj")
+                        .name(p.name.as_str())
+                        .str_field("uid", fresh_uid(&p.name))
+                        .str_field("class", p.class.encode())
+                        .str_field("mode", p.mode.encode())
+                        .node_field("ty", p.ty);
+                    if let Some(d) = p.default {
+                        pb = pb.node_field("init", d);
+                    }
+                    VifValue::Node(pb.done())
+                })
+                .collect(),
+        );
+    if let Some(r) = ret {
+        b = b.node_field("ret", Rc::clone(r));
+    }
+    if let Some(code) = builtin {
+        b = b.str_field("builtin", code);
+    }
+    b.done()
+}
+
+/// Returns a copy of `subprog` with body statements and local declarations
+/// attached (nodes are immutable; this builds a new node with the same
+/// uid, which is what "completing" a spec with its body means).
+pub fn with_body(
+    subprog: &VifNode,
+    locals: Vec<VifValue>,
+    body: Vec<VifValue>,
+    level: i64,
+) -> Rc<VifNode> {
+    let mut b = VifNode::build("subprog");
+    if let Some(n) = subprog.name() {
+        b = b.name(n);
+    }
+    for (f, v) in subprog.fields() {
+        b = b.field(Rc::clone(f), v.clone());
+    }
+    b.list_field("locals", locals)
+        .list_field("body", body)
+        .int_field("level", level)
+        .done()
+}
+
+/// Parameter list of a subprogram.
+pub fn subprog_params(sp: &VifNode) -> Vec<Rc<VifNode>> {
+    sp.list_field("params")
+        .iter()
+        .filter_map(|v| v.as_node().cloned())
+        .collect()
+}
+
+/// Return type of a function, `None` for procedures.
+pub fn subprog_ret(sp: &VifNode) -> Option<Ty> {
+    sp.node_field("ret").cloned()
+}
+
+/// Builds an enumeration-literal denotation (overloadable).
+pub fn mk_enumlit(name: &str, ty: &Ty, pos: i64) -> Rc<VifNode> {
+    VifNode::build("enumlit")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .node_field("ty", Rc::clone(ty))
+        .int_field("pos", pos)
+        .done()
+}
+
+/// Builds a physical-unit denotation (overloadable).
+pub fn mk_physunit(name: &str, ty: &Ty, factor: i64) -> Rc<VifNode> {
+    VifNode::build("physunit")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .node_field("ty", Rc::clone(ty))
+        .int_field("factor", factor)
+        .done()
+}
+
+/// Builds a binary operator denotation with runtime-support code `code`.
+pub fn mk_binop(sym: &str, lhs: &Ty, rhs: &Ty, ret: &Ty, code: &str) -> Rc<VifNode> {
+    mk_subprog(
+        sym,
+        vec![Param::value("l", lhs), Param::value("r", rhs)],
+        Some(ret),
+        Some(code),
+    )
+}
+
+/// Builds a unary operator denotation.
+pub fn mk_unop(sym: &str, arg: &Ty, ret: &Ty, code: &str) -> Rc<VifNode> {
+    mk_subprog(sym, vec![Param::value("x", arg)], Some(ret), Some(code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{mk_enum, mk_int};
+
+    #[test]
+    fn obj_round_trip() {
+        let int = mk_int("integer", -10, 10);
+        let o = mk_obj(ObjClass::Signal, "clk", &int, Mode::In, None);
+        assert_eq!(o.kind(), "obj");
+        assert_eq!(o.name(), Some("clk"));
+        assert_eq!(obj_class(&o), Some(ObjClass::Signal));
+        assert_eq!(crate::types::uid(&obj_ty(&o).unwrap()), crate::types::uid(&int));
+        assert_eq!(Mode::decode(o.str_field("mode").unwrap()), Mode::In);
+    }
+
+    #[test]
+    fn subprog_shape() {
+        let int = mk_int("integer", -10, 10);
+        let bit = mk_enum("bit", &["'0'", "'1'"]);
+        let f = mk_subprog(
+            "f",
+            vec![Param::value("a", &int), Param::value("b", &bit)],
+            Some(&int),
+            None,
+        );
+        assert_eq!(subprog_params(&f).len(), 2);
+        assert!(subprog_ret(&f).is_some());
+        assert_eq!(f.str_field("builtin"), None);
+        let op = mk_binop("+", &int, &int, &int, "add");
+        assert_eq!(op.str_field("builtin"), Some("add"));
+        assert_eq!(subprog_params(&op).len(), 2);
+        let neg = mk_unop("-", &int, &int, "neg");
+        assert_eq!(subprog_params(&neg).len(), 1);
+    }
+
+    #[test]
+    fn with_body_preserves_uid() {
+        let int = mk_int("integer", -10, 10);
+        let f = mk_subprog("f", vec![], Some(&int), None);
+        let done = with_body(&f, vec![], vec![], 1);
+        assert_eq!(done.str_field("uid"), f.str_field("uid"));
+        assert_eq!(done.name(), Some("f"));
+        assert!(done.field("body").is_some());
+        assert_eq!(done.int_field("level"), Some(1));
+    }
+
+    #[test]
+    fn classes_and_modes_decode() {
+        assert_eq!(ObjClass::decode("signal"), Some(ObjClass::Signal));
+        assert_eq!(ObjClass::decode("junk"), None);
+        assert_eq!(Mode::decode("inout"), Mode::Inout);
+        assert_eq!(Mode::decode("junk"), Mode::In);
+        assert_eq!(Mode::default(), Mode::In);
+    }
+}

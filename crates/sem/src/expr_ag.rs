@@ -1,0 +1,478 @@
+//! The expression attribute grammar and `expr_eval` (§4.1).
+//!
+//! This is the second AG of the cascade. Its parser consumes LEF tokens —
+//! already categorized by what each identifier denotes — so `X(Y)` parses
+//! as a call, an indexed name, a slice, or a type conversion *by grammar*,
+//! which is the paper's whole point. The generated evaluator is wrapped in
+//! the out-of-line function [`expr_eval`]; the scanner that feeds it "just
+//! takes the next LEF token off the front of the list".
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ag_core::{AgBuilder, AttrDir, AttrGrammar, AttrTree, ClassId, DemandEval, Implicit};
+use ag_lalr::{Grammar, GrammarBuilder, ParseTable, Parser, SymbolId, Token};
+use vhdl_syntax::{Pos, SrcTok};
+use vhdl_vif::VifNode;
+
+use crate::env::Env;
+use crate::expr_rules;
+use crate::ir::Ir;
+use crate::lef::{build_lef, LefCtx, LefKind};
+use crate::msg::{Msg, Msgs};
+use crate::types::{self, Dir, Ty};
+use crate::value::Value;
+
+/// Attribute classes of the expression AG.
+#[derive(Clone, Copy, Debug)]
+pub struct ExprClasses {
+    /// Inherited environment (user-attribute lookups, operators).
+    pub env: ClassId,
+    /// Inherited expected type (`MaybeNode`).
+    pub expected: ClassId,
+    /// Synthesized candidate types (`List` of type nodes; empty =
+    /// context-typed).
+    pub types: ClassId,
+    /// Synthesized name denotation (`Den`).
+    pub den: ClassId,
+    /// Synthesized translation (`Node`, an `e.*` IR).
+    pub ir: ClassId,
+    /// Synthesized diagnostics.
+    pub msgs: ClassId,
+    /// Synthesized argument shapes on association lists.
+    pub args: ClassId,
+    /// Inherited per-argument expected types on association lists.
+    pub expecteds: ClassId,
+    /// Synthesized aggregate element info.
+    pub info: ClassId,
+    /// Synthesized per-element IR bundles on association/element lists.
+    pub irs: ClassId,
+    /// Synthesized choice descriptors on choice lists.
+    pub choice: ClassId,
+    /// Synthesized lightweight choice *tags* (no IRs — used by aggregate
+    /// typing before expected types are known, breaking the
+    /// INFO→CHOICE→IR dependency cycle).
+    pub tags: ClassId,
+}
+
+/// The built expression AG: grammar, table, attribution.
+pub struct ExprAg {
+    /// The context-free grammar over LEF categories.
+    pub grammar: Rc<Grammar>,
+    /// Its LALR(1) table.
+    pub table: ParseTable,
+    /// The attribute grammar.
+    pub ag: AttrGrammar<Value>,
+    /// The class handles.
+    pub classes: ExprClasses,
+    term_of: HashMap<LefKind, SymbolId>,
+}
+
+thread_local! {
+    static CACHE: RefCell<Option<Rc<ExprAg>>> = const { RefCell::new(None) };
+}
+
+impl ExprAg {
+    /// Returns the per-thread shared instance (built once; `expr_eval`
+    /// runs once per maximal expression, so construction is amortized).
+    pub fn shared() -> Rc<ExprAg> {
+        CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.is_none() {
+                *c = Some(Rc::new(ExprAg::build()));
+            }
+            Rc::clone(c.as_ref().expect("just set"))
+        })
+    }
+
+    /// Builds the grammar and attribution from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grammar is not LALR(1) or the AG is malformed — bugs
+    /// in this crate, not user errors.
+    pub fn build() -> ExprAg {
+        let grammar = Rc::new(build_expr_grammar());
+        let table = match ParseTable::build(&grammar) {
+            Ok(t) => t,
+            Err(e) => panic!("expression grammar is not LALR(1):\n{e}"),
+        };
+        let term_of: HashMap<LefKind, SymbolId> = LefKind::all()
+            .iter()
+            .map(|k| (*k, grammar.symbol(k.name()).expect("terminal registered")))
+            .collect();
+
+        let mut ab = AgBuilder::<Value>::new(Rc::clone(&grammar));
+        let classes = ExprClasses {
+            env: ab.class("ENV", AttrDir::Inherited, Implicit::Copy),
+            expected: ab.class(
+                "EXPECTED",
+                AttrDir::Inherited,
+                Implicit::Unit(Value::MaybeNode(None)),
+            ),
+            types: ab.class("TYPES", AttrDir::Synthesized, Implicit::Copy),
+            den: ab.class("DEN", AttrDir::Synthesized, Implicit::Copy),
+            ir: ab.class("IR", AttrDir::Synthesized, Implicit::Copy),
+            msgs: ab.class(
+                "MSGS",
+                AttrDir::Synthesized,
+                Implicit::Merge {
+                    unit: Some(Value::Msgs(Msgs::none())),
+                    f: Rc::new(Value::concat_msgs),
+                },
+            ),
+            args: ab.class(
+                "ARGS",
+                AttrDir::Synthesized,
+                Implicit::Merge {
+                    unit: Some(Value::empty_list()),
+                    f: Rc::new(Value::concat_lists),
+                },
+            ),
+            expecteds: ab.class("EXPECTEDS", AttrDir::Inherited, Implicit::Copy),
+            info: ab.class(
+                "INFO",
+                AttrDir::Synthesized,
+                Implicit::Merge {
+                    unit: Some(Value::empty_list()),
+                    f: Rc::new(Value::concat_lists),
+                },
+            ),
+            irs: ab.class(
+                "IRS",
+                AttrDir::Synthesized,
+                Implicit::Merge {
+                    unit: Some(Value::empty_list()),
+                    f: Rc::new(Value::concat_lists),
+                },
+            ),
+            choice: ab.class(
+                "CHOICE",
+                AttrDir::Synthesized,
+                Implicit::Merge {
+                    unit: Some(Value::empty_list()),
+                    f: Rc::new(Value::concat_lists),
+                },
+            ),
+            tags: ab.class(
+                "TAGS",
+                AttrDir::Synthesized,
+                Implicit::Merge {
+                    unit: Some(Value::empty_list()),
+                    f: Rc::new(Value::concat_lists),
+                },
+            ),
+        };
+        expr_rules::install(&mut ab, &grammar, &classes);
+        let ag = match ab.build() {
+            Ok(ag) => ag,
+            Err(e) => panic!("expression AG malformed: {e}"),
+        };
+        ExprAg {
+            grammar,
+            table,
+            ag,
+            classes,
+            term_of,
+        }
+    }
+}
+
+/// Result of evaluating one maximal expression.
+#[derive(Clone, Debug)]
+pub struct ExprAnswer {
+    /// The translation, when analysis succeeded. A range query yields an
+    /// `e.range` node.
+    pub ir: Option<Ir>,
+    /// Diagnostics (errors suppress `ir`).
+    pub msgs: Msgs,
+}
+
+impl ExprAnswer {
+    fn error(msgs: Msgs) -> ExprAnswer {
+        ExprAnswer { ir: None, msgs }
+    }
+
+    /// The result type, when analysis succeeded.
+    pub fn ty(&self) -> Option<Ty> {
+        self.ir.as_ref().map(crate::ir::ty_of)
+    }
+
+    /// Decomposes an `e.range` result into `(left, right, dir)`.
+    pub fn as_range(&self) -> Option<(Ir, Ir, Dir)> {
+        let ir = self.ir.as_ref()?;
+        if ir.kind() != "e.range" {
+            return None;
+        }
+        Some((
+            Rc::clone(ir.node_field("left")?),
+            Rc::clone(ir.node_field("right")?),
+            Dir::decode(ir.int_field("dir").unwrap_or(0)),
+        ))
+    }
+}
+
+/// The out-of-line `exprEval` function of §4.1: builds LEF from the source
+/// tokens of a maximal expression, parses it with the expression grammar,
+/// runs attribute evaluation, and returns the goal attributes.
+///
+/// `expected` narrows overload resolution (e.g. `boolean` for an `if`
+/// guard, the void marker for procedure-call statements); `load_pkg`
+/// resolves expanded names through libraries.
+pub fn expr_eval(
+    toks: &[SrcTok],
+    env: &Env,
+    expected: Option<&Ty>,
+    load_pkg: Option<&dyn Fn(&str, &str) -> Option<Rc<VifNode>>>,
+) -> ExprAnswer {
+    let pos = toks.first().map(|t| t.pos).unwrap_or_default();
+    if toks.is_empty() {
+        return ExprAnswer::error(Msgs::one(Msg::error(pos, "empty expression")));
+    }
+    let (lef, mut msgs) = build_lef(toks, &LefCtx { env, load_pkg });
+    if msgs.has_errors() {
+        return ExprAnswer::error(msgs);
+    }
+    let ax = ExprAg::shared();
+
+    // The paper's trivial scanner: the next token is the head of the list.
+    let parser = Parser::new(&ax.grammar, &ax.table);
+    let positions: Vec<Pos> = lef.iter().map(|t| t.pos).collect();
+    let parsed = parser.parse(lef.iter().map(|t| {
+        Token::new(
+            ax.term_of[&t.kind],
+            Value::Lef(Rc::new(vec![t.clone()])),
+        )
+    }));
+    let tree = match parsed {
+        Ok(t) => t,
+        Err(e) => {
+            let at = positions.get(e.at).copied().unwrap_or(pos);
+            msgs.push(Msg::error(
+                at,
+                format!(
+                    "cannot parse expression here (found {}, expected one of: {})",
+                    e.found,
+                    e.expected.join(", ")
+                ),
+            ));
+            return ExprAnswer::error(msgs);
+        }
+    };
+
+    let at = AttrTree::from_parse_tree(&ax.grammar, &tree);
+    let eval = DemandEval::new(
+        &ax.ag,
+        &at,
+        vec![
+            (ax.classes.env, Value::Env(env.clone())),
+            (
+                ax.classes.expected,
+                Value::MaybeNode(expected.map(Rc::clone)),
+            ),
+        ],
+    );
+    let ir = match eval.root_value(ax.classes.ir) {
+        Ok(Value::Node(ir)) => ir,
+        Ok(other) => {
+            msgs.push(Msg::error(pos, format!("internal: bad IR value {other:?}")));
+            return ExprAnswer::error(msgs);
+        }
+        Err(e) => {
+            msgs.push(Msg::error(pos, format!("internal: {e}")));
+            return ExprAnswer::error(msgs);
+        }
+    };
+    if let Ok(v) = eval.root_value(ax.classes.msgs) {
+        msgs = Msgs::concat(&msgs, v.as_msgs());
+    }
+    // Errors are embedded as e.error nodes; collect them.
+    collect_errors(&ir, &mut msgs);
+    if msgs.has_errors() {
+        return ExprAnswer::error(msgs);
+    }
+    // Final context check.
+    if let Some(want) = expected {
+        let got = crate::ir::ty_of(&ir);
+        let ok = if types::is_void_marker(want) {
+            types::is_void_marker(&got)
+        } else {
+            types::compatible(&got, want)
+        };
+        if !ok {
+            msgs.push(Msg::error(
+                pos,
+                format!(
+                    "expression has type {}, expected {}",
+                    got.name().unwrap_or("?"),
+                    want.name().unwrap_or("?")
+                ),
+            ));
+            return ExprAnswer::error(msgs);
+        }
+    }
+    ExprAnswer { ir: Some(ir), msgs }
+}
+
+/// Walks an IR tree collecting embedded `e.error` diagnostics.
+pub fn collect_errors(ir: &Ir, msgs: &mut Msgs) {
+    if ir.kind() == "e.error" {
+        let line = ir.int_field("line").unwrap_or(0) as u32;
+        msgs.push(Msg::error(
+            Pos { line, col: 1 },
+            ir.str_field("msg").unwrap_or("expression error").to_string(),
+        ));
+    }
+    for (_, v) in ir.fields() {
+        walk_value(v, msgs);
+    }
+}
+
+fn walk_value(v: &vhdl_vif::VifValue, msgs: &mut Msgs) {
+    match v {
+        vhdl_vif::VifValue::Node(n) => {
+            // Only descend into IR-ish nodes; types/denotations are shared
+            // and error-free.
+            if n.kind().starts_with("e.") || n.kind().starts_with("s.") || n.kind() == "wv" {
+                collect_errors(n, msgs);
+            }
+        }
+        vhdl_vif::VifValue::List(l) => {
+            for v in l.iter() {
+                walk_value(v, msgs);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// An `e.error` IR node (typed as universal integer so parents continue).
+pub fn err_ir(pos: Pos, msg: impl Into<String>) -> Ir {
+    VifNode::build("e.error")
+        .node_field("ty", types::universal_int())
+        .str_field("msg", msg.into())
+        .int_field("line", pos.line as i64)
+        .done()
+}
+
+/// Builds the expression grammar over LEF categories.
+fn build_expr_grammar() -> Grammar {
+    let mut b = GrammarBuilder::new();
+    let mut terms: HashMap<&'static str, SymbolId> = HashMap::new();
+    for k in LefKind::all() {
+        terms.insert(k.name(), b.terminal(k.name()));
+    }
+    let mut names: HashMap<String, SymbolId> = HashMap::new();
+    let r = |b: &mut GrammarBuilder,
+                 names: &mut HashMap<String, SymbolId>,
+                 lhs: &str,
+                 rhs: &str,
+                 label: &str| {
+        let lhs = *names
+            .entry(lhs.to_string())
+            .or_insert_with(|| b.nonterminal(lhs));
+        let rhs: Vec<ag_lalr::grammar::SymRef> = rhs
+            .split_whitespace()
+            .map(|w| match terms.get(w) {
+                Some(&t) => t.into(),
+                None => (*names
+                    .entry(w.to_string())
+                    .or_insert_with(|| b.nonterminal(w)))
+                .into(),
+            })
+            .collect();
+        b.prod(lhs, &rhs, label);
+    };
+
+    // Goal: an expression or a discrete range.
+    r(&mut b, &mut names, "xr", "expr", "xr_expr");
+    r(&mut b, &mut names, "xr", "expr to expr", "xr_to");
+    r(&mut b, &mut names, "xr", "expr downto expr", "xr_downto");
+
+    // Logical level.
+    r(&mut b, &mut names, "expr", "rel", "x_rel");
+    for (op, label) in [
+        ("and", "x_and"),
+        ("or", "x_or"),
+        ("xor", "x_xor"),
+        ("nand", "x_nand"),
+        ("nor", "x_nor"),
+    ] {
+        r(&mut b, &mut names, "expr", &format!("expr {op} rel"), label);
+    }
+    // Relational level.
+    r(&mut b, &mut names, "rel", "simple", "r_simple");
+    for (op, label) in [
+        ("'='", "r_eq"),
+        ("'/='", "r_ne"),
+        ("'<'", "r_lt"),
+        ("'<='", "r_le"),
+        ("'>'", "r_gt"),
+        ("'>='", "r_ge"),
+    ] {
+        r(&mut b, &mut names, "rel", &format!("simple {op} simple"), label);
+    }
+    // Adding level (sign binds the whole first term, per LRM).
+    r(&mut b, &mut names, "simple", "term", "s_term");
+    r(&mut b, &mut names, "simple", "'+' term", "s_plus");
+    r(&mut b, &mut names, "simple", "'-' term", "s_minus");
+    r(&mut b, &mut names, "simple", "simple '+' term", "s_add");
+    r(&mut b, &mut names, "simple", "simple '-' term", "s_sub");
+    r(&mut b, &mut names, "simple", "simple '&' term", "s_amp");
+    // Multiplying level.
+    r(&mut b, &mut names, "term", "factor", "t_factor");
+    r(&mut b, &mut names, "term", "term '*' factor", "t_mul");
+    r(&mut b, &mut names, "term", "term '/' factor", "t_div");
+    r(&mut b, &mut names, "term", "term mod factor", "t_mod");
+    r(&mut b, &mut names, "term", "term rem factor", "t_rem");
+    // Factor level.
+    r(&mut b, &mut names, "factor", "primary", "f_primary");
+    r(&mut b, &mut names, "factor", "primary '**' primary", "f_pow");
+    r(&mut b, &mut names, "factor", "abs primary", "f_abs");
+    r(&mut b, &mut names, "factor", "not primary", "f_not");
+    // Primaries.
+    r(&mut b, &mut names, "primary", "name", "p_name");
+    r(&mut b, &mut names, "primary", "int_lit", "p_int");
+    r(&mut b, &mut names, "primary", "real_lit", "p_real");
+    r(&mut b, &mut names, "primary", "str_lit", "p_str");
+    r(&mut b, &mut names, "primary", "bitstr_lit", "p_bitstr");
+    r(&mut b, &mut names, "primary", "int_lit physunit", "p_phys_int");
+    r(&mut b, &mut names, "primary", "real_lit physunit", "p_phys_real");
+    r(&mut b, &mut names, "primary", "physunit", "p_phys_unit");
+    r(&mut b, &mut names, "primary", "aggregate", "p_agg");
+    r(&mut b, &mut names, "primary", "tymark tick aggregate", "p_qualified");
+    r(&mut b, &mut names, "primary", "tymark '(' expr ')'", "p_conv");
+    // Names (the X(Y) family).
+    r(&mut b, &mut names, "name", "obj", "n_obj");
+    r(&mut b, &mut names, "name", "callable", "n_callable");
+    r(&mut b, &mut names, "name", "name '(' assocs ')'", "n_apply");
+    r(&mut b, &mut names, "name", "name '.' fieldid", "n_field");
+    r(&mut b, &mut names, "name", "name tick attrid", "n_attr");
+    r(&mut b, &mut names, "name", "tymark tick attrid", "n_tyattr");
+    // Associations.
+    r(&mut b, &mut names, "assocs", "assoc", "as_one");
+    r(&mut b, &mut names, "assocs", "assocs ',' assoc", "as_more");
+    r(&mut b, &mut names, "assoc", "expr", "a_pos");
+    r(&mut b, &mut names, "assoc", "expr to expr", "a_to");
+    r(&mut b, &mut names, "assoc", "expr downto expr", "a_downto");
+    r(&mut b, &mut names, "assoc", "fieldid '=>' expr", "a_named");
+    r(&mut b, &mut names, "assoc", "open", "a_open");
+    // Aggregates / parenthesized expressions.
+    r(&mut b, &mut names, "aggregate", "'(' elems ')'", "g_parens");
+    r(&mut b, &mut names, "elems", "elem", "el_one");
+    r(&mut b, &mut names, "elems", "elems ',' elem", "el_more");
+    r(&mut b, &mut names, "elem", "expr", "e_pos");
+    r(&mut b, &mut names, "elem", "chs '=>' expr", "e_named");
+    r(&mut b, &mut names, "chs", "ch", "ch_one");
+    r(&mut b, &mut names, "chs", "chs '|' ch", "ch_more");
+    r(&mut b, &mut names, "ch", "expr", "c_expr");
+    r(&mut b, &mut names, "ch", "expr to expr", "c_to");
+    r(&mut b, &mut names, "ch", "expr downto expr", "c_downto");
+    r(&mut b, &mut names, "ch", "others", "c_others");
+    r(&mut b, &mut names, "ch", "fieldid", "c_field");
+
+    let start = names["xr"];
+    b.start(start);
+    b.build().expect("expression grammar is well-formed")
+}

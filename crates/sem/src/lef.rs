@@ -1,0 +1,674 @@
+//! LEF — the intermediate language for expressions (§4.1).
+//!
+//! "LEF consists of a flat list of tokens … the symbol table is an
+//! attribute of the principal AG … and it is used to resolve identifiers
+//! so that ID is not a token of LEF; instead there are distinct tokens for
+//! variable, type, subprogram, attribute, enum_literal, etc."
+//!
+//! [`build_lef`] turns the source tokens of one maximal expression into
+//! LEF: identifiers are resolved against the environment into categorized
+//! tokens carrying their denotations, expanded names (`work.pkg.item`) are
+//! resolved through libraries and packages, and the `X'REVERSE_RANGE`
+//! ambiguity of §3.2 is prepared for by tagging post-tick identifiers as
+//! attribute names.
+
+use std::fmt;
+use std::rc::Rc;
+
+use vhdl_syntax::{Pos, SrcTok, TokenKind};
+use vhdl_vif::VifNode;
+
+use crate::decl::{mk_obj, Mode, ObjClass};
+use crate::env::Env;
+use crate::msg::{Msg, Msgs};
+use crate::types;
+
+/// Category of a LEF token. Each maps 1:1 to a terminal of the expression
+/// grammar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LefKind {
+    /// Object (variable/signal/constant/parameter) — carries the `obj`
+    /// denotation.
+    Obj,
+    /// Type or subtype mark — carries the type node.
+    TyMark,
+    /// Overloadable callables: subprograms and enumeration literals —
+    /// carries the overload set.
+    Callable,
+    /// Physical unit — carries the `physunit` denotation.
+    PhysUnit,
+    /// Attribute identifier (after a tick).
+    AttrId,
+    /// Selector identifier: record fields, named formals, record-aggregate
+    /// choices.
+    FieldId,
+    /// Integer literal.
+    IntLit,
+    /// Real literal.
+    RealLit,
+    /// String literal.
+    StrLit,
+    /// Bit-string literal.
+    BitStrLit,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=>`
+    Arrow,
+    /// `|`
+    Bar,
+    /// `'`
+    Tick,
+    /// `.`
+    Dot,
+    /// `to`
+    To,
+    /// `downto`
+    Downto,
+    /// `others`
+    Others,
+    /// `open`
+    Open,
+    /// `and`
+    OpAnd,
+    /// `or`
+    OpOr,
+    /// `nand`
+    OpNand,
+    /// `nor`
+    OpNor,
+    /// `xor`
+    OpXor,
+    /// `=`
+    OpEq,
+    /// `/=`
+    OpNe,
+    /// `<`
+    OpLt,
+    /// `<=`
+    OpLe,
+    /// `>`
+    OpGt,
+    /// `>=`
+    OpGe,
+    /// `+`
+    OpPlus,
+    /// `-`
+    OpMinus,
+    /// `&`
+    OpAmp,
+    /// `*`
+    OpMul,
+    /// `/`
+    OpDiv,
+    /// `**`
+    OpPow,
+    /// `mod`
+    OpMod,
+    /// `rem`
+    OpRem,
+    /// `not`
+    OpNot,
+    /// `abs`
+    OpAbs,
+}
+
+impl LefKind {
+    /// Terminal name in the expression grammar.
+    pub fn name(self) -> &'static str {
+        use LefKind::*;
+        match self {
+            Obj => "obj",
+            TyMark => "tymark",
+            Callable => "callable",
+            PhysUnit => "physunit",
+            AttrId => "attrid",
+            FieldId => "fieldid",
+            IntLit => "int_lit",
+            RealLit => "real_lit",
+            StrLit => "str_lit",
+            BitStrLit => "bitstr_lit",
+            LParen => "'('",
+            RParen => "')'",
+            Comma => "','",
+            Arrow => "'=>'",
+            Bar => "'|'",
+            Tick => "tick",
+            Dot => "'.'",
+            To => "to",
+            Downto => "downto",
+            Others => "others",
+            Open => "open",
+            OpAnd => "and",
+            OpOr => "or",
+            OpNand => "nand",
+            OpNor => "nor",
+            OpXor => "xor",
+            OpEq => "'='",
+            OpNe => "'/='",
+            OpLt => "'<'",
+            OpLe => "'<='",
+            OpGt => "'>'",
+            OpGe => "'>='",
+            OpPlus => "'+'",
+            OpMinus => "'-'",
+            OpAmp => "'&'",
+            OpMul => "'*'",
+            OpDiv => "'/'",
+            OpPow => "'**'",
+            OpMod => "mod",
+            OpRem => "rem",
+            OpNot => "not",
+            OpAbs => "abs",
+        }
+    }
+
+    /// All kinds (to register expression-grammar terminals).
+    pub fn all() -> &'static [LefKind] {
+        use LefKind::*;
+        &[
+            Obj, TyMark, Callable, PhysUnit, AttrId, FieldId, IntLit, RealLit, StrLit,
+            BitStrLit, LParen, RParen, Comma, Arrow, Bar, Tick, Dot, To, Downto, Others, Open,
+            OpAnd, OpOr, OpNand, OpNor, OpXor, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpPlus,
+            OpMinus, OpAmp, OpMul, OpDiv, OpPow, OpMod, OpRem, OpNot, OpAbs,
+        ]
+    }
+}
+
+/// One LEF token: category, text, position, and — for resolved identifier
+/// categories — the denotations Linguist would attach as token values.
+#[derive(Clone, Debug)]
+pub struct LefTok {
+    /// Category.
+    pub kind: LefKind,
+    /// Source text (lower-cased).
+    pub text: Rc<str>,
+    /// Source position.
+    pub pos: Pos,
+    /// Denotations (`obj`/`ty.*`/`subprog`/`enumlit`/`physunit` nodes).
+    pub dens: Rc<Vec<Rc<VifNode>>>,
+}
+
+impl LefTok {
+    fn plain(kind: LefKind, text: Rc<str>, pos: Pos) -> LefTok {
+        LefTok {
+            kind,
+            text,
+            pos,
+            dens: Rc::new(Vec::new()),
+        }
+    }
+}
+
+impl fmt::Display for LefTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.kind.name(), self.text)
+    }
+}
+
+/// Context for LEF building: the environment and a loader for expanded
+/// names through libraries.
+pub struct LefCtx<'a> {
+    /// The resolution environment (principal-AG `ENV` attribute).
+    pub env: &'a Env,
+    /// Loads `library.pkg.<name>` package nodes for expanded names.
+    pub load_pkg: Option<&'a dyn Fn(&str, &str) -> Option<Rc<VifNode>>>,
+}
+
+/// Looks up `name` among a package's exported declarations (visibility by
+/// selection, §3.2). Overloadables accumulate.
+pub fn pkg_select(pkg: &VifNode, name: &str) -> Vec<Rc<VifNode>> {
+    let mut out = Vec::new();
+    for v in pkg.list_field("decls") {
+        if let Some(n) = v.as_node() {
+            if n.name() == Some(name) {
+                out.push(Rc::clone(n));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the LEF token list for one maximal expression. Unresolvable
+/// identifiers are reported in the returned messages and replaced by an
+/// error object so scanning can continue.
+pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
+    let mut out: Vec<LefTok> = Vec::new();
+    let mut msgs = Msgs::none();
+    // Pending prefix context for expanded names.
+    enum Pending {
+        None,
+        Library(Rc<str>),
+        Package(Rc<VifNode>),
+    }
+    let mut pending = Pending::None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let next_kind = toks.get(i + 1).map(|t| t.kind);
+        let prev_kind = out.last().map(|t| t.kind);
+        match t.kind {
+            TokenKind::Id | TokenKind::CharLit | TokenKind::StringLit => {
+                // A string literal is an operator-symbol call only when a
+                // call's argument list follows ("and"(a, b)); otherwise it
+                // is an ordinary string value.
+                if t.kind == TokenKind::StringLit
+                    && (next_kind != Some(TokenKind::LParen)
+                        || ctx.env.lookup(&t.text).is_empty())
+                {
+                    out.push(LefTok::plain(LefKind::StrLit, Rc::clone(&t.text), t.pos));
+                    i += 1;
+                    continue;
+                }
+                let key: Rc<str> = match t.kind {
+                    TokenKind::CharLit => format!("'{}'", t.text).into(),
+                    _ => Rc::clone(&t.text),
+                };
+                if prev_kind == Some(LefKind::Tick) && t.kind == TokenKind::Id {
+                    out.push(LefTok::plain(LefKind::AttrId, key, t.pos));
+                    i += 1;
+                    continue;
+                }
+                if prev_kind == Some(LefKind::Dot) && t.kind == TokenKind::Id {
+                    out.push(LefTok::plain(LefKind::FieldId, key, t.pos));
+                    i += 1;
+                    continue;
+                }
+                // Resolve through a pending expanded-name prefix or the
+                // environment.
+                let dens: Vec<Rc<VifNode>> = match &pending {
+                    Pending::None => ctx.env.lookup(&key).into_iter().map(|d| d.node).collect(),
+                    Pending::Package(p) => pkg_select(p, &key),
+                    Pending::Library(lib) => {
+                        let loaded = ctx.load_pkg.and_then(|f| f(lib, &key));
+                        match loaded {
+                            Some(pkg) => {
+                                pending = Pending::Package(pkg);
+                                i += 1;
+                                // Expect a dot next; handled on the next
+                                // iteration.
+                                continue;
+                            }
+                            None => {
+                                msgs.push(Msg::error(
+                                    t.pos,
+                                    format!("no unit `{key}` in library `{lib}`"),
+                                ));
+                                vec![]
+                            }
+                        }
+                    }
+                };
+                pending = Pending::None;
+                if dens.is_empty() {
+                    if next_kind == Some(TokenKind::Arrow) {
+                        // Named formal / record-aggregate selector.
+                        out.push(LefTok::plain(LefKind::FieldId, key, t.pos));
+                        i += 1;
+                        continue;
+                    }
+                    msgs.push(Msg::error(t.pos, format!("`{key}` is not declared")));
+                    out.push(error_obj_tok(key, t.pos));
+                    i += 1;
+                    continue;
+                }
+                match dens[0].kind() {
+                    "pkg" => {
+                        pending = Pending::Package(Rc::clone(&dens[0]));
+                    }
+                    "library" => {
+                        pending = Pending::Library(dens[0].name().unwrap_or("work").into());
+                    }
+                    "subprog" | "enumlit" => {
+                        let dens: Vec<Rc<VifNode>> = dens
+                            .into_iter()
+                            .filter(|d| matches!(d.kind(), "subprog" | "enumlit"))
+                            .collect();
+                        out.push(LefTok {
+                            kind: LefKind::Callable,
+                            text: key,
+                            pos: t.pos,
+                            dens: Rc::new(dens),
+                        });
+                    }
+                    k if k.starts_with("ty.") => {
+                        out.push(LefTok {
+                            kind: LefKind::TyMark,
+                            text: key,
+                            pos: t.pos,
+                            dens: Rc::new(vec![Rc::clone(&dens[0])]),
+                        });
+                    }
+                    "physunit" => {
+                        out.push(LefTok {
+                            kind: LefKind::PhysUnit,
+                            text: key,
+                            pos: t.pos,
+                            dens: Rc::new(vec![Rc::clone(&dens[0])]),
+                        });
+                    }
+                    "obj" => {
+                        out.push(LefTok {
+                            kind: LefKind::Obj,
+                            text: key,
+                            pos: t.pos,
+                            dens: Rc::new(vec![Rc::clone(&dens[0])]),
+                        });
+                    }
+                    "alias" => {
+                        // Aliases rename objects; substitute the target.
+                        let target = dens[0].node_field("target").cloned();
+                        match target {
+                            Some(target) => out.push(LefTok {
+                                kind: LefKind::Obj,
+                                text: key,
+                                pos: t.pos,
+                                dens: Rc::new(vec![target]),
+                            }),
+                            None => {
+                                msgs.push(Msg::error(t.pos, format!("alias `{key}` has no target")));
+                                out.push(error_obj_tok(key, t.pos));
+                            }
+                        }
+                    }
+                    other => {
+                        msgs.push(Msg::error(
+                            t.pos,
+                            format!("`{key}` ({other}) cannot appear in an expression"),
+                        ));
+                        out.push(error_obj_tok(key, t.pos));
+                    }
+                }
+                i += 1;
+            }
+            TokenKind::Dot => {
+                match &pending {
+                    Pending::None => out.push(LefTok::plain(LefKind::Dot, Rc::clone(&t.text), t.pos)),
+                    // Expanded-name dots are consumed silently; the next id
+                    // resolves within the pending prefix.
+                    _ => {}
+                }
+                i += 1;
+            }
+            other => {
+                let kind = match other {
+                    TokenKind::IntLit => LefKind::IntLit,
+                    TokenKind::RealLit => LefKind::RealLit,
+                    TokenKind::BitStringLit => LefKind::BitStrLit,
+                    TokenKind::LParen => LefKind::LParen,
+                    TokenKind::RParen => LefKind::RParen,
+                    TokenKind::Comma => LefKind::Comma,
+                    TokenKind::Arrow => LefKind::Arrow,
+                    TokenKind::Bar => LefKind::Bar,
+                    TokenKind::Tick => LefKind::Tick,
+                    TokenKind::KwTo => LefKind::To,
+                    TokenKind::KwDownto => LefKind::Downto,
+                    TokenKind::KwOthers => LefKind::Others,
+                    TokenKind::KwOpen => LefKind::Open,
+                    TokenKind::KwAnd => LefKind::OpAnd,
+                    TokenKind::KwOr => LefKind::OpOr,
+                    TokenKind::KwNand => LefKind::OpNand,
+                    TokenKind::KwNor => LefKind::OpNor,
+                    TokenKind::KwXor => LefKind::OpXor,
+                    TokenKind::Eq => LefKind::OpEq,
+                    TokenKind::Neq => LefKind::OpNe,
+                    TokenKind::Lt => LefKind::OpLt,
+                    TokenKind::Lte => LefKind::OpLe,
+                    TokenKind::Gt => LefKind::OpGt,
+                    TokenKind::Gte => LefKind::OpGe,
+                    TokenKind::Plus => LefKind::OpPlus,
+                    TokenKind::Minus => LefKind::OpMinus,
+                    TokenKind::Amp => LefKind::OpAmp,
+                    TokenKind::Star => LefKind::OpMul,
+                    TokenKind::Slash => LefKind::OpDiv,
+                    TokenKind::DoubleStar => LefKind::OpPow,
+                    TokenKind::KwMod => LefKind::OpMod,
+                    TokenKind::KwRem => LefKind::OpRem,
+                    TokenKind::KwNot => LefKind::OpNot,
+                    TokenKind::KwAbs => LefKind::OpAbs,
+                    TokenKind::KwRange => {
+                        // Only legal directly after a tick ('range).
+                        if prev_kind == Some(LefKind::Tick) {
+                            out.push(LefTok::plain(LefKind::AttrId, "range".into(), t.pos));
+                            i += 1;
+                            continue;
+                        }
+                        msgs.push(Msg::error(t.pos, "`range` is not an expression token"));
+                        i += 1;
+                        continue;
+                    }
+                    k => {
+                        msgs.push(Msg::error(
+                            t.pos,
+                            format!("token `{}` cannot appear in an expression", k.name()),
+                        ));
+                        i += 1;
+                        continue;
+                    }
+                };
+                out.push(LefTok::plain(kind, Rc::clone(&t.text), t.pos));
+                i += 1;
+            }
+        }
+    }
+    if !matches!(pending, Pending::None) {
+        msgs.push(Msg::error(
+            toks.last().map(|t| t.pos).unwrap_or_default(),
+            "dangling package/library prefix in expression",
+        ));
+    }
+    (out, msgs)
+}
+
+/// A synthetic error object so the scan can continue after an unresolved
+/// identifier.
+fn error_obj_tok(name: Rc<str>, pos: Pos) -> LefTok {
+    let ty = types::universal_int();
+    let obj = mk_obj(ObjClass::Variable, &name, &ty, Mode::In, None);
+    LefTok {
+        kind: LefKind::Obj,
+        text: name,
+        pos,
+        dens: Rc::new(vec![obj]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Den, EnvKind};
+    use crate::standard::standard;
+    use vhdl_syntax::lexer::lex;
+
+    fn lef_of(src: &str, env: &Env) -> (Vec<LefTok>, Msgs) {
+        let toks = lex(src).unwrap();
+        build_lef(&toks, &LefCtx { env, load_pkg: None })
+    }
+
+    fn kinds(src: &str, env: &Env) -> Vec<LefKind> {
+        let (l, m) = lef_of(src, env);
+        assert!(!m.has_errors(), "unexpected errors: {m}");
+        l.into_iter().map(|t| t.kind).collect()
+    }
+
+    /// The paper's motivating example: X(Y) categorizes differently by
+    /// what X and Y denote.
+    #[test]
+    fn x_of_y_categories() {
+        let s = standard(EnvKind::Tree);
+        let int = &s.std.integer;
+        let bv = &s.std.bit_vector;
+        let env = s
+            .env
+            .bind("arr", Den::local(mk_obj(ObjClass::Variable, "arr", bv, Mode::In, None)))
+            .bind("y", Den::local(mk_obj(ObjClass::Variable, "y", int, Mode::In, None)))
+            .bind(
+                "f",
+                Den::local(crate::decl::mk_subprog("f", vec![], Some(int), None)),
+            );
+        assert_eq!(
+            kinds("f(y)", &env),
+            vec![LefKind::Callable, LefKind::LParen, LefKind::Obj, LefKind::RParen]
+        );
+        assert_eq!(
+            kinds("arr(y)", &env),
+            vec![LefKind::Obj, LefKind::LParen, LefKind::Obj, LefKind::RParen]
+        );
+        assert_eq!(
+            kinds("integer(y)", &env),
+            vec![LefKind::TyMark, LefKind::LParen, LefKind::Obj, LefKind::RParen]
+        );
+    }
+
+    #[test]
+    fn ticks_and_attrs() {
+        let s = standard(EnvKind::Tree);
+        let env = s.env.bind(
+            "v",
+            Den::local(mk_obj(ObjClass::Signal, "v", &s.std.bit_vector, Mode::In, None)),
+        );
+        assert_eq!(
+            kinds("v'range", &env),
+            vec![LefKind::Obj, LefKind::Tick, LefKind::AttrId]
+        );
+        assert_eq!(
+            kinds("v'length", &env),
+            vec![LefKind::Obj, LefKind::Tick, LefKind::AttrId]
+        );
+        // Qualified expression: tick then lparen.
+        assert_eq!(
+            kinds("bit'('0')", &env),
+            vec![
+                LefKind::TyMark,
+                LefKind::Tick,
+                LefKind::LParen,
+                LefKind::Callable,
+                LefKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn literals_units_and_operators() {
+        let s = standard(EnvKind::Tree);
+        assert_eq!(
+            kinds("10 ns + 3", &s.env),
+            vec![LefKind::IntLit, LefKind::PhysUnit, LefKind::OpPlus, LefKind::IntLit]
+        );
+        assert_eq!(
+            kinds("true and false", &s.env),
+            vec![LefKind::Callable, LefKind::OpAnd, LefKind::Callable]
+        );
+        assert_eq!(kinds("\"0101\"", &s.env), vec![LefKind::StrLit]);
+        assert_eq!(kinds("x\"f\"", &s.env), vec![LefKind::BitStrLit]);
+    }
+
+    #[test]
+    fn named_formal_becomes_fieldid() {
+        let s = standard(EnvKind::Tree);
+        let env = s.env.bind(
+            "f",
+            Den::local(crate::decl::mk_subprog("f", vec![], Some(&s.std.integer), None)),
+        );
+        let k = kinds("f(amount => 3)", &env);
+        assert_eq!(
+            k,
+            vec![
+                LefKind::Callable,
+                LefKind::LParen,
+                LefKind::FieldId,
+                LefKind::Arrow,
+                LefKind::IntLit,
+                LefKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn record_field_after_dot() {
+        let s = standard(EnvKind::Tree);
+        let pair = crate::types::mk_record(
+            "pair",
+            &[("x", Rc::clone(&s.std.integer)), ("y", Rc::clone(&s.std.integer))],
+        );
+        let env = s.env.bind(
+            "p",
+            Den::local(mk_obj(ObjClass::Variable, "p", &pair, Mode::In, None)),
+        );
+        assert_eq!(
+            kinds("p.x + 1", &env),
+            vec![
+                LefKind::Obj,
+                LefKind::Dot,
+                LefKind::FieldId,
+                LefKind::OpPlus,
+                LefKind::IntLit
+            ]
+        );
+    }
+
+    #[test]
+    fn expanded_names_through_packages() {
+        let s = standard(EnvKind::Tree);
+        let obj = mk_obj(ObjClass::Constant, "max", &s.std.integer, Mode::In, None);
+        let pkg = VifNode::build("pkg")
+            .name("p")
+            .list_field("decls", vec![vhdl_vif::VifValue::Node(Rc::clone(&obj))])
+            .done();
+        let env = s.env.bind("p", Den::local(Rc::clone(&pkg)));
+        let (l, m) = lef_of("p.max", &env);
+        assert!(!m.has_errors());
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].kind, LefKind::Obj);
+        assert!(Rc::ptr_eq(&l[0].dens[0], &obj));
+
+        // Through a library clause with a loader.
+        let lib = VifNode::build("library").name("work").done();
+        let env2 = s.env.bind("work", Den::local(lib));
+        let loader = |libname: &str, unit: &str| -> Option<Rc<VifNode>> {
+            (libname == "work" && unit == "p").then(|| Rc::clone(&pkg))
+        };
+        let toks = lex("work.p.max").unwrap();
+        let (l2, m2) = build_lef(
+            &toks,
+            &LefCtx {
+                env: &env2,
+                load_pkg: Some(&loader),
+            },
+        );
+        assert!(!m2.has_errors(), "{m2}");
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0].kind, LefKind::Obj);
+    }
+
+    #[test]
+    fn undeclared_reported_and_scan_continues() {
+        let s = standard(EnvKind::Tree);
+        let (l, m) = lef_of("mystery + 1", &s.env);
+        assert!(m.has_errors());
+        assert!(m.to_string().contains("`mystery` is not declared"));
+        assert_eq!(l.len(), 3, "scan continued past the error");
+    }
+
+    #[test]
+    fn pkg_select_overloads() {
+        let s = standard(EnvKind::Tree);
+        let f1 = crate::decl::mk_subprog("f", vec![], Some(&s.std.integer), None);
+        let f2 = crate::decl::mk_subprog("f", vec![], Some(&s.std.boolean), None);
+        let pkg = VifNode::build("pkg")
+            .name("p")
+            .list_field(
+                "decls",
+                vec![
+                    vhdl_vif::VifValue::Node(Rc::clone(&f1)),
+                    vhdl_vif::VifValue::Node(Rc::clone(&f2)),
+                ],
+            )
+            .done();
+        assert_eq!(pkg_select(&pkg, "f").len(), 2);
+        assert_eq!(pkg_select(&pkg, "g").len(), 0);
+    }
+}

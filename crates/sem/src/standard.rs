@@ -1,0 +1,357 @@
+//! Package `STD.STANDARD` and implicit operator declarations.
+//!
+//! VHDL (like Ada) implicitly declares operators for every type
+//! declaration; this module provides both the predefined types/operators
+//! and the [`implicit_ops`] generator reused for user-defined types.
+
+use std::rc::Rc;
+
+use vhdl_vif::VifNode;
+
+use crate::decl::{mk_binop, mk_enumlit, mk_physunit, mk_unop};
+use crate::env::{Den, Env, EnvKind, Visibility};
+use crate::types::{
+    self, is_array, is_discrete, mk_array_unconstrained, mk_enum, mk_int, mk_phys, mk_real,
+    mk_subtype, Dir, Ty,
+};
+
+/// Handles to the predefined types.
+#[derive(Clone, Debug)]
+pub struct Std {
+    /// `boolean` — `(false, true)`.
+    pub boolean: Ty,
+    /// `bit` — `('0', '1')`.
+    pub bit: Ty,
+    /// `character` (a compact printable subset).
+    pub character: Ty,
+    /// `severity_level`.
+    pub severity_level: Ty,
+    /// `integer`.
+    pub integer: Ty,
+    /// `real`.
+    pub real: Ty,
+    /// `time` (femtosecond base unit).
+    pub time: Ty,
+    /// `natural`.
+    pub natural: Ty,
+    /// `positive`.
+    pub positive: Ty,
+    /// `string`.
+    pub string: Ty,
+    /// `bit_vector`.
+    pub bit_vector: Ty,
+}
+
+/// The result of elaborating `STD.STANDARD`: the environment containing
+/// all predefined names, and the type handles.
+pub struct Standard {
+    /// Environment with every predefined name visible.
+    pub env: Env,
+    /// The predefined types.
+    pub std: Std,
+}
+
+/// Builds `STD.STANDARD` into a fresh environment of the given kind.
+pub fn standard(kind: EnvKind) -> Standard {
+    let boolean = mk_enum("boolean", &["false", "true"]);
+    let bit = mk_enum("bit", &["'0'", "'1'"]);
+    let printable: Vec<String> = (32u8..127).map(|c| format!("'{}'", c as char)).collect();
+    let printable_refs: Vec<&str> = printable.iter().map(String::as_str).collect();
+    let character = mk_enum("character", &printable_refs);
+    let severity_level = mk_enum("severity_level", &["note", "warning", "error", "failure"]);
+    let integer = mk_int("integer", i32::MIN as i64, i32::MAX as i64);
+    let real = mk_real("real", f64::MIN, f64::MAX);
+    let time = mk_phys(
+        "time",
+        i64::MIN,
+        i64::MAX,
+        &[
+            ("fs", 1),
+            ("ps", 1_000),
+            ("ns", 1_000_000),
+            ("us", 1_000_000_000),
+            ("ms", 1_000_000_000_000),
+            ("sec", 1_000_000_000_000_000),
+        ],
+    );
+    let natural = mk_subtype("natural", &integer, Some((0, i32::MAX as i64, Dir::To)), None);
+    let positive = mk_subtype("positive", &integer, Some((1, i32::MAX as i64, Dir::To)), None);
+    let string = mk_array_unconstrained("string", &positive, &character);
+    let bit_vector = mk_array_unconstrained("bit_vector", &natural, &bit);
+
+    let mut env = Env::new(kind);
+    let bind_ty =
+        |env: &Env, ty: &Ty| -> Env { bind_type_with_implicits(env, ty, &boolean, &integer) };
+
+    for ty in [
+        &boolean,
+        &bit,
+        &character,
+        &severity_level,
+        &integer,
+        &real,
+        &time,
+        &natural,
+        &positive,
+        &string,
+        &bit_vector,
+    ] {
+        env = bind_ty(&env, ty);
+    }
+
+    Standard {
+        env,
+        std: Std {
+            boolean,
+            bit,
+            character,
+            severity_level,
+            integer,
+            real,
+            time,
+            natural,
+            positive,
+            string,
+            bit_vector,
+        },
+    }
+}
+
+/// Binds a type declaration and everything it implicitly declares —
+/// enumeration literals, physical units, and predefined operators — into
+/// an environment. Used both for `STD.STANDARD` and for every user type
+/// declaration.
+pub fn bind_type_with_implicits(env: &Env, ty: &Ty, boolean: &Ty, integer: &Ty) -> Env {
+    let mut e = env.bind(
+        ty.name().unwrap_or("anon"),
+        Den {
+            node: Rc::clone(ty),
+            vis: Visibility::Implicit,
+        },
+    );
+    if ty.kind() == "ty.enum" {
+        for (pos, lit) in ty.list_field("lits").iter().enumerate() {
+            let lit = lit.as_str().expect("literals are strings");
+            e = e.bind(
+                lit,
+                Den {
+                    node: mk_enumlit(lit, ty, pos as i64),
+                    vis: Visibility::Implicit,
+                },
+            );
+        }
+    }
+    if ty.kind() == "ty.phys" {
+        for u in ty.list_field("units") {
+            let u = u.as_node().expect("units are nodes");
+            let name = u.name().expect("units are named");
+            e = e.bind(
+                name,
+                Den {
+                    node: mk_physunit(name, ty, u.int_field("factor").unwrap_or(1)),
+                    vis: Visibility::Implicit,
+                },
+            );
+        }
+    }
+    for (sym, op) in implicit_ops(ty, boolean, integer) {
+        e = e.bind(
+            &sym,
+            Den {
+                node: op,
+                vis: Visibility::Implicit,
+            },
+        );
+    }
+    e
+}
+
+/// Generates the implicitly declared operators for a type declaration
+/// (LRM §7.2 predefined operators, restricted to the subset): equality and
+/// ordering for scalars, arithmetic for numeric types, logical operators
+/// for `boolean`/`bit` and their arrays, concatenation and relational
+/// operators for one-dimensional arrays.
+///
+/// `boolean` and `integer` are passed in because operator results and
+/// physical scaling need them.
+pub fn implicit_ops(ty: &Ty, boolean: &Ty, integer: &Ty) -> Vec<(String, Rc<VifNode>)> {
+    let mut out = Vec::new();
+    let b = types::base_type(ty);
+    // Subtypes do not redeclare operators.
+    if ty.kind() == "ty.subtype" {
+        return out;
+    }
+    let bin = |out: &mut Vec<(String, Rc<VifNode>)>, sym: &str, l: &Ty, r: &Ty, ret: &Ty, code: &str| {
+        out.push((sym.to_string(), mk_binop(sym, l, r, ret, code)));
+    };
+    match b.kind() {
+        "ty.enum" | "ty.int" | "ty.real" | "ty.phys" => {
+            for (sym, code) in [
+                ("=", "eq"),
+                ("/=", "ne"),
+                ("<", "lt"),
+                ("<=", "le"),
+                (">", "gt"),
+                (">=", "ge"),
+            ] {
+                bin(&mut out, sym, ty, ty, boolean, code);
+            }
+        }
+        _ => {}
+    }
+    match b.kind() {
+        "ty.int" | "ty.real" => {
+            for (sym, code) in [("+", "add"), ("-", "sub"), ("*", "mul"), ("/", "div")] {
+                bin(&mut out, sym, ty, ty, ty, code);
+            }
+            out.push(("+".into(), mk_unop("+", ty, ty, "pos")));
+            out.push(("-".into(), mk_unop("-", ty, ty, "neg")));
+            out.push(("abs".into(), mk_unop("abs", ty, ty, "abs")));
+            if b.kind() == "ty.int" {
+                bin(&mut out, "mod", ty, ty, ty, "mod");
+                bin(&mut out, "rem", ty, ty, ty, "rem");
+                bin(&mut out, "**", ty, integer, ty, "pow");
+            }
+        }
+        "ty.phys" => {
+            bin(&mut out, "+", ty, ty, ty, "add");
+            bin(&mut out, "-", ty, ty, ty, "sub");
+            out.push(("-".into(), mk_unop("-", ty, ty, "neg")));
+            out.push(("abs".into(), mk_unop("abs", ty, ty, "abs")));
+            bin(&mut out, "*", ty, integer, ty, "mul");
+            bin(&mut out, "*", integer, ty, ty, "mul_rev");
+            bin(&mut out, "/", ty, integer, ty, "div");
+            bin(&mut out, "/", ty, ty, integer, "div_phys");
+        }
+        "ty.enum" => {
+            // Logical operators for the two-valued logical types.
+            let lits = b.list_field("lits");
+            let is_logical = lits.len() == 2
+                && (b.name() == Some("boolean") || b.name() == Some("bit"));
+            if is_logical {
+                for (sym, code) in [
+                    ("and", "and"),
+                    ("or", "or"),
+                    ("nand", "nand"),
+                    ("nor", "nor"),
+                    ("xor", "xor"),
+                ] {
+                    bin(&mut out, sym, ty, ty, ty, code);
+                }
+                out.push(("not".into(), mk_unop("not", ty, ty, "not")));
+            }
+        }
+        "ty.array" => {
+            bin(&mut out, "=", ty, ty, boolean, "eq");
+            bin(&mut out, "/=", ty, ty, boolean, "ne");
+            bin(&mut out, "&", ty, ty, ty, "concat");
+            if let Some(elem) = types::elem_type(ty) {
+                bin(&mut out, "&", ty, &elem, ty, "concat_re");
+                bin(&mut out, "&", &elem, ty, ty, "concat_le");
+                let eb = types::base_type(&elem);
+                if matches!(eb.name(), Some("bit") | Some("boolean")) {
+                    for (sym, code) in [
+                        ("and", "and"),
+                        ("or", "or"),
+                        ("nand", "nand"),
+                        ("nor", "nor"),
+                        ("xor", "xor"),
+                    ] {
+                        bin(&mut out, sym, ty, ty, ty, code);
+                    }
+                    out.push(("not".into(), mk_unop("not", ty, ty, "not")));
+                }
+                if is_discrete(&elem) && is_array(ty) {
+                    for (sym, code) in [("<", "lt"), ("<=", "le"), (">", "gt"), (">=", "ge")] {
+                        bin(&mut out, sym, ty, ty, boolean, code);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_names_visible() {
+        let s = standard(EnvKind::Tree);
+        for name in [
+            "boolean", "bit", "integer", "real", "time", "natural", "positive", "string",
+            "bit_vector", "character", "severity_level",
+        ] {
+            assert!(s.env.lookup_one(name).is_some(), "missing {name}");
+        }
+        // Literals.
+        assert!(!s.env.lookup("true").is_empty());
+        assert!(!s.env.lookup("'0'").is_empty());
+        assert!(!s.env.lookup("'a'").is_empty());
+        // Units.
+        assert!(!s.env.lookup("ns").is_empty());
+        // Operators (heavily overloaded).
+        assert!(s.env.lookup("+").len() >= 4);
+        assert!(s.env.lookup("and").len() >= 3);
+        assert!(s.env.lookup("=").len() >= 8);
+        assert!(!s.env.lookup("&").is_empty());
+    }
+
+    #[test]
+    fn char_literal_overloaded_between_bit_and_character() {
+        let s = standard(EnvKind::Tree);
+        let zeros = s.env.lookup("'0'");
+        assert_eq!(zeros.len(), 2, "'0' is a literal of bit and character");
+        let tys: Vec<_> = zeros
+            .iter()
+            .map(|d| d.node.node_field("ty").unwrap().name().unwrap().to_string())
+            .collect();
+        assert!(tys.contains(&"bit".to_string()));
+        assert!(tys.contains(&"character".to_string()));
+    }
+
+    #[test]
+    fn integer_ops_present() {
+        let s = standard(EnvKind::Tree);
+        let plus = s.env.lookup("+");
+        // integer, real, time (binary) + unary forms.
+        let int_plus = plus.iter().any(|d| {
+            let p = crate::decl::subprog_params(&d.node);
+            p.len() == 2
+                && types::same_base(&crate::decl::obj_ty(&p[0]).unwrap(), &s.std.integer)
+        });
+        assert!(int_plus);
+        let modop = s.env.lookup("mod");
+        assert!(!modop.is_empty());
+        let pow = s.env.lookup("**");
+        assert!(!pow.is_empty());
+    }
+
+    #[test]
+    fn subtype_declares_no_new_ops() {
+        let s = standard(EnvKind::Tree);
+        assert!(implicit_ops(&s.std.natural, &s.std.boolean, &s.std.integer).is_empty());
+    }
+
+    #[test]
+    fn bit_vector_ops() {
+        let s = standard(EnvKind::Tree);
+        let ops = implicit_ops(&s.std.bit_vector, &s.std.boolean, &s.std.integer);
+        let syms: Vec<&str> = ops.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(syms.contains(&"&"));
+        assert!(syms.contains(&"and"));
+        assert!(syms.contains(&"not"));
+        assert!(syms.contains(&"<"));
+        assert!(syms.contains(&"="));
+    }
+
+    #[test]
+    fn time_scaling_ops() {
+        let s = standard(EnvKind::Tree);
+        let ops = implicit_ops(&s.std.time, &s.std.boolean, &s.std.integer);
+        let muls = ops.iter().filter(|(sym, _)| sym == "*").count();
+        assert_eq!(muls, 2, "time*integer and integer*time");
+    }
+}

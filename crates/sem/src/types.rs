@@ -1,0 +1,519 @@
+//! The VHDL type model, represented as VIF nodes.
+//!
+//! Types live in the VIF (the symbol table *is* the VIF, §4.3), so type
+//! nodes must survive serialization: identity is carried by a `uid` string
+//! rather than pointer equality, and the graph is kept cycle-free (a type
+//! never points back at the denotations that reference it).
+//!
+//! Node kinds: `ty.enum`, `ty.int`, `ty.real`, `ty.phys`, `ty.array`,
+//! `ty.record`, `ty.subtype`. Directions: `0` = `to`, `1` = `downto`.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use vhdl_vif::{VifNode, VifValue};
+
+/// A shared handle to a type node.
+pub type Ty = Rc<VifNode>;
+
+thread_local! {
+    static UID_COUNTER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocates a fresh unique id (session-wide). Prefixed so uids read well
+/// in VIF dumps.
+pub fn fresh_uid(tag: &str) -> String {
+    UID_COUNTER.with(|c| {
+        let n = c.get();
+        c.set(n + 1);
+        format!("{tag}${n}")
+    })
+}
+
+/// Range direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Ascending (`to`).
+    To,
+    /// Descending (`downto`).
+    Downto,
+}
+
+impl Dir {
+    /// VIF encoding.
+    pub fn encode(self) -> i64 {
+        match self {
+            Dir::To => 0,
+            Dir::Downto => 1,
+        }
+    }
+
+    /// Decodes the VIF encoding (anything nonzero is `downto`).
+    pub fn decode(v: i64) -> Dir {
+        if v == 0 {
+            Dir::To
+        } else {
+            Dir::Downto
+        }
+    }
+}
+
+/// Builds an enumeration type. Literal *denotation* nodes are created
+/// separately by the caller (they point at the type; the type stores only
+/// the literal names, keeping the graph acyclic).
+pub fn mk_enum(name: &str, lits: &[&str]) -> Ty {
+    VifNode::build("ty.enum")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .list_field(
+            "lits",
+            lits.iter().map(|l| VifValue::str(*l)).collect(),
+        )
+        .done()
+}
+
+/// Builds an integer type with inclusive bounds.
+pub fn mk_int(name: &str, lo: i64, hi: i64) -> Ty {
+    VifNode::build("ty.int")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .int_field("lo", lo)
+        .int_field("hi", hi)
+        .done()
+}
+
+/// Builds a floating-point type.
+pub fn mk_real(name: &str, lo: f64, hi: f64) -> Ty {
+    VifNode::build("ty.real")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .field("lo", VifValue::Real(lo))
+        .field("hi", VifValue::Real(hi))
+        .done()
+}
+
+/// Builds a physical type; `units` are `(name, factor)` pairs with the
+/// primary unit first (factor 1). Values are stored in primary units.
+pub fn mk_phys(name: &str, lo: i64, hi: i64, units: &[(&str, i64)]) -> Ty {
+    VifNode::build("ty.phys")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .int_field("lo", lo)
+        .int_field("hi", hi)
+        .list_field(
+            "units",
+            units
+                .iter()
+                .map(|(n, f)| {
+                    VifValue::Node(
+                        VifNode::build("unit")
+                            .name(*n)
+                            .int_field("factor", *f)
+                            .done(),
+                    )
+                })
+                .collect(),
+        )
+        .done()
+}
+
+/// Builds a constrained array type (one dimension in this subset).
+pub fn mk_array(name: &str, index_ty: &Ty, lo: i64, hi: i64, dir: Dir, elem: &Ty) -> Ty {
+    VifNode::build("ty.array")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .node_field("index_ty", Rc::clone(index_ty))
+        .node_field("elem", Rc::clone(elem))
+        .field("unconstrained", VifValue::Bool(false))
+        .int_field("lo", lo)
+        .int_field("hi", hi)
+        .int_field("dir", dir.encode())
+        .done()
+}
+
+/// Builds an unconstrained array type (`array (T range <>) of E`).
+pub fn mk_array_unconstrained(name: &str, index_ty: &Ty, elem: &Ty) -> Ty {
+    VifNode::build("ty.array")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .node_field("index_ty", Rc::clone(index_ty))
+        .node_field("elem", Rc::clone(elem))
+        .field("unconstrained", VifValue::Bool(true))
+        .done()
+}
+
+/// Builds a record type from `(field_name, field_type)` pairs.
+pub fn mk_record(name: &str, elems: &[(&str, Ty)]) -> Ty {
+    VifNode::build("ty.record")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .list_field(
+            "elems",
+            elems
+                .iter()
+                .map(|(n, t)| {
+                    VifValue::Node(
+                        VifNode::build("elem")
+                            .name(*n)
+                            .node_field("ty", Rc::clone(t))
+                            .done(),
+                    )
+                })
+                .collect(),
+        )
+        .done()
+}
+
+/// Builds a scalar subtype with an optional tightened range and optional
+/// resolution function (a `subprog` node).
+pub fn mk_subtype(
+    name: &str,
+    base: &Ty,
+    range: Option<(i64, i64, Dir)>,
+    resolution: Option<Rc<VifNode>>,
+) -> Ty {
+    let mut b = VifNode::build("ty.subtype")
+        .name(name)
+        .str_field("uid", fresh_uid(name))
+        .node_field("base", Rc::clone(base));
+    if let Some((lo, hi, dir)) = range {
+        b = b.int_field("lo", lo).int_field("hi", hi).int_field("dir", dir.encode());
+    }
+    if let Some(r) = resolution {
+        b = b.node_field("resolution", r);
+    }
+    b.done()
+}
+
+/// Builds a constrained view of an unconstrained array base (an anonymous
+/// array subtype, e.g. `bit_vector(7 downto 0)`).
+pub fn mk_array_subtype(base: &Ty, lo: i64, hi: i64, dir: Dir) -> Ty {
+    VifNode::build("ty.subtype")
+        .name(base.name().unwrap_or("anon"))
+        .str_field("uid", fresh_uid("sub"))
+        .node_field("base", Rc::clone(base))
+        .int_field("lo", lo)
+        .int_field("hi", hi)
+        .int_field("dir", dir.encode())
+        .done()
+}
+
+/// The unique id of a type.
+pub fn uid(ty: &Ty) -> &str {
+    ty.str_field("uid").unwrap_or("?")
+}
+
+/// Follows `ty.subtype` links to the base type.
+pub fn base_type(ty: &Ty) -> Ty {
+    let mut cur = Rc::clone(ty);
+    while cur.kind() == "ty.subtype" {
+        match cur.node_field("base") {
+            Some(b) => cur = Rc::clone(b),
+            None => break,
+        }
+    }
+    cur
+}
+
+/// `true` when both types have the same base type (the VHDL "same type"
+/// check after implicit subtype conversion).
+pub fn same_base(a: &Ty, b: &Ty) -> bool {
+    uid(&base_type(a)) == uid(&base_type(b))
+}
+
+/// Marker uids of the universal types of literals.
+pub const UNIVERSAL_INT: &str = "universal_integer";
+/// Universal real marker uid.
+pub const UNIVERSAL_REAL: &str = "universal_real";
+
+/// The universal-integer type node (shared per call site; equality is by
+/// uid, so fresh nodes are fine).
+pub fn universal_int() -> Ty {
+    VifNode::build("ty.int")
+        .name("universal_integer")
+        .str_field("uid", UNIVERSAL_INT)
+        .int_field("lo", i64::MIN)
+        .int_field("hi", i64::MAX)
+        .done()
+}
+
+/// The universal-real type node.
+pub fn universal_real() -> Ty {
+    VifNode::build("ty.real")
+        .name("universal_real")
+        .str_field("uid", UNIVERSAL_REAL)
+        .field("lo", VifValue::Real(f64::MIN))
+        .field("hi", VifValue::Real(f64::MAX))
+        .done()
+}
+
+/// `true` if `ty` is (or constrains) the universal integer.
+pub fn is_universal_int(ty: &Ty) -> bool {
+    uid(ty) == UNIVERSAL_INT
+}
+
+/// `true` if `ty` is the universal real.
+pub fn is_universal_real(ty: &Ty) -> bool {
+    uid(ty) == UNIVERSAL_REAL
+}
+
+/// `true` when an expression of type `actual` can appear where `expected`
+/// is required: same base type, or a universal literal matching the
+/// expected class.
+pub fn compatible(actual: &Ty, expected: &Ty) -> bool {
+    if same_base(actual, expected) {
+        return true;
+    }
+    let eb = base_type(expected);
+    (is_universal_int(actual) && eb.kind() == "ty.int")
+        || (is_universal_real(actual) && eb.kind() == "ty.real")
+}
+
+/// Kind predicates over base types.
+pub fn is_scalar(ty: &Ty) -> bool {
+    matches!(
+        base_type(ty).kind(),
+        "ty.enum" | "ty.int" | "ty.real" | "ty.phys"
+    )
+}
+
+/// `true` for discrete types (enumeration and integer).
+pub fn is_discrete(ty: &Ty) -> bool {
+    matches!(base_type(ty).kind(), "ty.enum" | "ty.int")
+}
+
+/// `true` for one-dimensional arrays.
+pub fn is_array(ty: &Ty) -> bool {
+    base_type(ty).kind() == "ty.array"
+}
+
+/// `true` for record types.
+pub fn is_record(ty: &Ty) -> bool {
+    base_type(ty).kind() == "ty.record"
+}
+
+/// Element type of an array (base-resolved).
+pub fn elem_type(ty: &Ty) -> Option<Ty> {
+    let b = base_type(ty);
+    b.node_field("elem").cloned()
+}
+
+/// The scalar bounds of a (sub)type, following subtype constraints
+/// outermost-first. Enumerations use literal positions.
+pub fn scalar_bounds(ty: &Ty) -> Option<(i64, i64, Dir)> {
+    let mut cur = Rc::clone(ty);
+    loop {
+        if let (Some(lo), Some(hi)) = (cur.int_field("lo"), cur.int_field("hi")) {
+            let dir = Dir::decode(cur.int_field("dir").unwrap_or(0));
+            return Some((lo, hi, dir));
+        }
+        match cur.kind() {
+            "ty.enum" => {
+                let n = cur.list_field("lits").len() as i64;
+                return Some((0, n - 1, Dir::To));
+            }
+            "ty.subtype" => cur = Rc::clone(cur.node_field("base")?),
+            _ => return None,
+        }
+    }
+}
+
+/// The index bounds of a constrained array (sub)type.
+pub fn array_bounds(ty: &Ty) -> Option<(i64, i64, Dir)> {
+    let mut cur = Rc::clone(ty);
+    loop {
+        match cur.kind() {
+            "ty.array" => {
+                return if cur.field("unconstrained") == Some(&VifValue::Bool(true)) {
+                    None
+                } else {
+                    Some((
+                        cur.int_field("lo")?,
+                        cur.int_field("hi")?,
+                        Dir::decode(cur.int_field("dir").unwrap_or(0)),
+                    ))
+                }
+            }
+            "ty.subtype" => {
+                if let (Some(lo), Some(hi)) = (cur.int_field("lo"), cur.int_field("hi")) {
+                    if is_array(&cur) {
+                        return Some((lo, hi, Dir::decode(cur.int_field("dir").unwrap_or(0))));
+                    }
+                }
+                cur = Rc::clone(cur.node_field("base")?);
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Number of elements between bounds (0 for null ranges).
+pub fn range_length(lo: i64, hi: i64, dir: Dir) -> i64 {
+    match dir {
+        Dir::To => (hi - lo + 1).max(0),
+        Dir::Downto => (lo - hi + 1).max(0),
+    }
+}
+
+/// Position of an enumeration literal in a type, if present.
+pub fn enum_pos(ty: &Ty, lit: &str) -> Option<i64> {
+    let b = base_type(ty);
+    b.list_field("lits")
+        .iter()
+        .position(|v| v.as_str() == Some(lit))
+        .map(|p| p as i64)
+}
+
+/// Resolution function attached to a subtype, if any.
+pub fn resolution_of(ty: &Ty) -> Option<Rc<VifNode>> {
+    let mut cur = Rc::clone(ty);
+    loop {
+        if let Some(r) = cur.node_field("resolution") {
+            return Some(Rc::clone(r));
+        }
+        if cur.kind() == "ty.subtype" {
+            cur = Rc::clone(cur.node_field("base")?);
+        } else {
+            return None;
+        }
+    }
+}
+
+/// Physical unit factor within a physical type.
+pub fn unit_factor(ty: &Ty, unit: &str) -> Option<i64> {
+    let b = base_type(ty);
+    b.list_field("units").iter().find_map(|v| {
+        let n = v.as_node()?;
+        if n.name() == Some(unit) {
+            n.int_field("factor")
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uids_are_unique_and_identity_works() {
+        let a = mk_int("t", 0, 7);
+        let b = mk_int("t", 0, 7);
+        assert_ne!(uid(&a), uid(&b));
+        assert!(same_base(&a, &a));
+        assert!(!same_base(&a, &b));
+    }
+
+    #[test]
+    fn subtype_chains_resolve() {
+        let int = mk_int("integer", i32::MIN as i64, i32::MAX as i64);
+        let nat = mk_subtype("natural", &int, Some((0, i32::MAX as i64, Dir::To)), None);
+        let small = mk_subtype("small", &nat, Some((0, 9, Dir::To)), None);
+        assert!(same_base(&small, &int));
+        assert!(compatible(&small, &int));
+        assert_eq!(scalar_bounds(&small), Some((0, 9, Dir::To)));
+        assert_eq!(scalar_bounds(&nat).unwrap().0, 0);
+        assert_eq!(base_type(&small).kind(), "ty.int");
+        assert!(is_discrete(&small));
+        assert!(is_scalar(&small));
+    }
+
+    #[test]
+    fn universal_literals_compatible_with_integers() {
+        let int = mk_int("integer", -100, 100);
+        let re = mk_real("real", -1.0, 1.0);
+        assert!(compatible(&universal_int(), &int));
+        assert!(!compatible(&universal_int(), &re));
+        assert!(compatible(&universal_real(), &re));
+        assert!(is_universal_int(&universal_int()));
+        assert!(is_universal_real(&universal_real()));
+    }
+
+    #[test]
+    fn enums_positions_and_bounds() {
+        let bit = mk_enum("bit", &["'0'", "'1'"]);
+        assert_eq!(enum_pos(&bit, "'1'"), Some(1));
+        assert_eq!(enum_pos(&bit, "'x'"), None);
+        assert_eq!(scalar_bounds(&bit), Some((0, 1, Dir::To)));
+        let sub = mk_subtype("b2", &bit, Some((1, 1, Dir::To)), None);
+        assert_eq!(scalar_bounds(&sub), Some((1, 1, Dir::To)));
+        assert_eq!(enum_pos(&sub, "'0'"), Some(0));
+    }
+
+    #[test]
+    fn arrays_constrained_and_not() {
+        let int = mk_int("integer", i32::MIN as i64, i32::MAX as i64);
+        let bit = mk_enum("bit", &["'0'", "'1'"]);
+        let bv = mk_array_unconstrained("bit_vector", &int, &bit);
+        assert!(is_array(&bv));
+        assert_eq!(array_bounds(&bv), None);
+        let nib = mk_array_subtype(&bv, 3, 0, Dir::Downto);
+        assert_eq!(array_bounds(&nib), Some((3, 0, Dir::Downto)));
+        assert!(same_base(&nib, &bv));
+        assert_eq!(uid(&elem_type(&nib).unwrap()), uid(&bit));
+        let word = mk_array("word", &int, 0, 31, Dir::To, &bit);
+        assert_eq!(array_bounds(&word), Some((0, 31, Dir::To)));
+        assert_eq!(range_length(0, 31, Dir::To), 32);
+        assert_eq!(range_length(3, 0, Dir::Downto), 4);
+        assert_eq!(range_length(5, 2, Dir::To), 0);
+    }
+
+    #[test]
+    fn physical_units() {
+        let time = mk_phys("time", i64::MIN, i64::MAX, &[("fs", 1), ("ps", 1000), ("ns", 1_000_000)]);
+        assert_eq!(unit_factor(&time, "ns"), Some(1_000_000));
+        assert_eq!(unit_factor(&time, "h"), None);
+        assert!(is_scalar(&time));
+        assert!(!is_discrete(&time));
+    }
+
+    #[test]
+    fn records() {
+        let int = mk_int("integer", -10, 10);
+        let pair = mk_record("pair", &[("x", Rc::clone(&int)), ("y", Rc::clone(&int))]);
+        assert!(is_record(&pair));
+        assert_eq!(pair.list_field("elems").len(), 2);
+    }
+
+    #[test]
+    fn resolution_found_through_subtypes() {
+        let bit = mk_enum("bit", &["'0'", "'1'"]);
+        let f = VifNode::build("subprog").name("wired_or").done();
+        let rbit = mk_subtype("rbit", &bit, None, Some(Rc::clone(&f)));
+        let rbit2 = mk_subtype("rbit2", &rbit, Some((0, 1, Dir::To)), None);
+        assert!(resolution_of(&rbit2).is_some());
+        assert!(resolution_of(&bit).is_none());
+    }
+}
+
+/// Marker uid for the pseudo-type of `'range` attribute values.
+pub const RANGE_MARKER: &str = "range$marker";
+/// Marker uid for "no value" (procedure-call context).
+pub const VOID_MARKER: &str = "void$marker";
+
+/// The pseudo-type carried by `'range`/`'reverse_range` attribute values.
+pub fn range_marker() -> Ty {
+    VifNode::build("ty.marker")
+        .name("range")
+        .str_field("uid", RANGE_MARKER)
+        .done()
+}
+
+/// The pseudo-type used as the expected type of procedure-call contexts.
+pub fn void_marker() -> Ty {
+    VifNode::build("ty.marker")
+        .name("void")
+        .str_field("uid", VOID_MARKER)
+        .done()
+}
+
+/// `true` for the `'range` marker pseudo-type.
+pub fn is_range_marker(ty: &Ty) -> bool {
+    uid(ty) == RANGE_MARKER
+}
+
+/// `true` for the procedure-context marker pseudo-type.
+pub fn is_void_marker(ty: &Ty) -> bool {
+    uid(ty) == VOID_MARKER
+}

@@ -1,0 +1,173 @@
+//! Property tests for the semantic substrate: the three environment
+//! representations against a reference model, constant folding against
+//! `i64` arithmetic, and lexer round-trips.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use vhdl_sem::env::{Den, Env, EnvKind};
+use vhdl_sem::ir;
+use vhdl_sem::types;
+use vhdl_syntax::lexer::lex;
+use vhdl_vif::VifNode;
+
+/// Reference model: ordered binding log.
+#[derive(Default)]
+struct Model {
+    log: Vec<(String, Rc<VifNode>)>,
+}
+
+impl Model {
+    fn bind(&mut self, name: &str, node: Rc<VifNode>) {
+        self.log.push((name.to_string(), node));
+    }
+
+    /// The homograph rule, straight from its definition.
+    fn lookup(&self, name: &str) -> Vec<Rc<VifNode>> {
+        let mut out = Vec::new();
+        for (n, node) in self.log.iter().rev() {
+            if n != name {
+                continue;
+            }
+            let ovl = matches!(node.kind(), "subprog" | "enumlit" | "physunit");
+            if ovl {
+                out.push(Rc::clone(node));
+            } else {
+                if out.is_empty() {
+                    out.push(Rc::clone(node));
+                }
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    BindObj(u8),
+    BindSubprog(u8),
+    Lookup(u8),
+    Snapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (0u8..8).prop_map(OpKind::BindObj),
+        (0u8..8).prop_map(OpKind::BindSubprog),
+        (0u8..8).prop_map(OpKind::Lookup),
+        Just(OpKind::Snapshot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All three env representations agree with the model under random
+    /// operation sequences, including snapshots (old versions must keep
+    /// answering with their old contents).
+    #[test]
+    fn env_reprs_match_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        for kind in [EnvKind::List, EnvKind::Tree, EnvKind::MutBaseline] {
+            let mut env = Env::new(kind);
+            let mut model = Model::default();
+            let mut snapshots: Vec<(Env, usize)> = Vec::new();
+            for op in &ops {
+                match op {
+                    OpKind::BindObj(i) => {
+                        let name = format!("n{i}");
+                        let node = VifNode::build("obj").name(name.as_str()).done();
+                        model.bind(&name, Rc::clone(&node));
+                        env = env.bind(&name, Den::local(node));
+                    }
+                    OpKind::BindSubprog(i) => {
+                        let name = format!("n{i}");
+                        let node = VifNode::build("subprog").name(name.as_str()).done();
+                        model.bind(&name, Rc::clone(&node));
+                        env = env.bind(&name, Den::local(node));
+                    }
+                    OpKind::Lookup(i) => {
+                        let name = format!("n{i}");
+                        let got: Vec<_> = env.lookup(&name).into_iter().map(|d| d.node).collect();
+                        let want = model.lookup(&name);
+                        prop_assert_eq!(got.len(), want.len());
+                        for (g, w) in got.iter().zip(&want) {
+                            prop_assert!(Rc::ptr_eq(g, w));
+                        }
+                    }
+                    OpKind::Snapshot => {
+                        snapshots.push((env.clone(), model.log.len()));
+                    }
+                }
+            }
+            // Old snapshots still see exactly their old contents.
+            for (snap, len) in snapshots {
+                let old = Model { log: model.log[..len].to_vec() };
+                for i in 0u8..8 {
+                    let name = format!("n{i}");
+                    let got: Vec<_> = snap.lookup(&name).into_iter().map(|d| d.node).collect();
+                    let want = old.lookup(&name);
+                    prop_assert_eq!(got.len(), want.len(), "snapshot isolation ({:?})", kind);
+                }
+            }
+        }
+    }
+
+    /// Constant folding of builtin calls equals checked i64 arithmetic.
+    #[test]
+    fn const_folding_matches_i64(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let int = types::mk_int("integer", i32::MIN as i64, i32::MAX as i64);
+        for (sym, code) in [("+", "add"), ("-", "sub"), ("*", "mul"), ("/", "div"),
+                            ("mod", "mod"), ("rem", "rem")] {
+            let op = vhdl_sem::decl::mk_binop(sym, &int, &int, &int, code);
+            let call = ir::e_call(&op, vec![ir::e_int(a, &int), ir::e_int(b, &int)], &int);
+            let want = match code {
+                "add" => a.checked_add(b),
+                "sub" => a.checked_sub(b),
+                "mul" => a.checked_mul(b),
+                "div" => a.checked_div(b),
+                "mod" => a.checked_rem_euclid(b),
+                _ => a.checked_rem(b),
+            };
+            prop_assert_eq!(ir::const_int(&call), want, "{} {} {}", a, sym, b);
+        }
+    }
+
+    /// The lexer round-trips identifier/number/punctuation streams:
+    /// re-lexing the joined token text yields the same kinds and texts.
+    #[test]
+    fn lexer_round_trip(words in proptest::collection::vec(
+        prop_oneof![
+            "[a-z][a-z0-9_]{0,6}".prop_map(|s| s),
+            (0u32..100000).prop_map(|n| n.to_string()),
+            Just("<=".to_string()), Just(":=".to_string()), Just("(".to_string()),
+            Just(")".to_string()), Just("+".to_string()), Just("=>".to_string()),
+        ], 1..20)) {
+        let src = words.join(" ");
+        let t1 = lex(&src).unwrap();
+        let rendered: Vec<String> = t1.iter().map(|t| t.text.to_string()).collect();
+        let t2 = lex(&rendered.join(" ")).unwrap();
+        prop_assert_eq!(t1.len(), t2.len());
+        for (a, b) in t1.iter().zip(&t2) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(&a.text, &b.text);
+        }
+    }
+
+    /// Every expression the generator can produce analyzes without
+    /// internal panics (errors are fine; crashes are not).
+    #[test]
+    fn expr_eval_total(n1 in -50i64..50, n2 in 1i64..50, pick in 0usize..6) {
+        let s = vhdl_sem::standard::standard(EnvKind::Tree);
+        let srcs = [
+            format!("{n1} + {n2}"),
+            format!("{n1} * ({n2} - 3) mod {n2}"),
+            format!("{n1} < {n2} and true"),
+            format!("({n1} + {n2}) ** 2"),
+            format!("{n1} / {n2} + abs {n1}"),
+            format!("not ({n1} = {n2})"),
+        ];
+        let toks = lex(&srcs[pick]).unwrap();
+        let _ = vhdl_sem::expr_ag::expr_eval(&toks, &s.env, None, None);
+    }
+}

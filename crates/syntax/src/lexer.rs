@@ -1,0 +1,441 @@
+//! The VHDL scanner.
+//!
+//! Case-insensitive identifiers are normalized to lower case; `--` comments
+//! and whitespace are skipped; the classic tick ambiguity (`t'range` vs the
+//! character literal `'x'`) is resolved by the standard rule: an apostrophe
+//! directly after an identifier, closing parenthesis, `all`, or a string
+//! literal is an attribute/qualification tick.
+
+use std::fmt;
+
+use crate::token::{Pos, SrcTok, TokenKind};
+
+/// A scan error with position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the problem was found.
+    pub pos: Pos,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Scans `src` into tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed literals or stray characters.
+///
+/// # Example
+///
+/// ```
+/// use vhdl_syntax::lexer::lex;
+/// use vhdl_syntax::token::TokenKind;
+/// let toks = lex("entity E is end; -- comment")?;
+/// assert_eq!(toks[0].kind, TokenKind::KwEntity);
+/// assert_eq!(&*toks[1].text, "e"); // identifiers normalize to lower case
+/// assert_eq!(toks.last().unwrap().kind, TokenKind::Semi);
+/// # Ok::<(), vhdl_syntax::lexer::LexError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<SrcTok>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<SrcTok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            pos: self.pos(),
+            msg: msg.into(),
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, pos: Pos) {
+        self.out.push(SrcTok::new(kind, text, pos));
+    }
+
+    /// `true` when a `'` at the current point must be an attribute tick
+    /// rather than opening a character literal.
+    fn tick_is_attribute(&self) -> bool {
+        match self.out.last() {
+            Some(t) => matches!(
+                t.kind,
+                TokenKind::Id
+                    | TokenKind::RParen
+                    | TokenKind::KwAll
+                    | TokenKind::StringLit
+                    | TokenKind::CharLit
+            ),
+            None => false,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<SrcTok>, LexError> {
+        while let Some(c) = self.peek() {
+            let pos = self.pos();
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'-' if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'a'..=b'z' | b'A'..=b'Z' => self.ident_or_keyword_or_bitstring(pos)?,
+                b'0'..=b'9' => self.number(pos)?,
+                b'"' => self.string(pos)?,
+                b'\'' => {
+                    if self.tick_is_attribute() {
+                        self.bump();
+                        self.push(TokenKind::Tick, "'".into(), pos);
+                    } else if self.src.get(self.i + 2) == Some(&b'\'') {
+                        // 'x'
+                        self.bump();
+                        let ch = self.bump().ok_or_else(|| self.err("unterminated character literal"))?;
+                        self.bump(); // closing '
+                        self.push(TokenKind::CharLit, (ch as char).to_string(), pos);
+                    } else {
+                        // A tick in qualified-expression position after
+                        // something unusual; treat as tick.
+                        self.bump();
+                        self.push(TokenKind::Tick, "'".into(), pos);
+                    }
+                }
+                _ => self.punct(pos)?,
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn ident_or_keyword_or_bitstring(&mut self, pos: Pos) -> Result<(), LexError> {
+        // Bit-string literal: B"0101" / O"17" / X"FF".
+        let c0 = self.peek().unwrap_or(0).to_ascii_lowercase();
+        if matches!(c0, b'b' | b'o' | b'x') && self.peek2() == Some(b'"') {
+            let base = self.bump().unwrap().to_ascii_lowercase();
+            self.bump(); // opening quote
+            let mut text = String::new();
+            text.push(base as char);
+            loop {
+                match self.bump() {
+                    Some(b'"') => break,
+                    Some(b'_') => {}
+                    Some(c) => text.push((c as char).to_ascii_lowercase()),
+                    None => return Err(self.err("unterminated bit-string literal")),
+                }
+            }
+            self.push(TokenKind::BitStringLit, text, pos);
+            return Ok(());
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                text.push((c as char).to_ascii_lowercase());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match TokenKind::keyword(&text) {
+            Some(kw) => self.push(kw, text, pos),
+            None => self.push(TokenKind::Id, text, pos),
+        }
+        Ok(())
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<(), LexError> {
+        let mut text = String::new();
+        let mut is_real = false;
+        let digits = |l: &mut Self, text: &mut String| {
+            while let Some(c) = l.peek() {
+                if c.is_ascii_digit() || c == b'_' {
+                    if c != b'_' {
+                        text.push(c as char);
+                    }
+                    l.bump();
+                } else {
+                    break;
+                }
+            }
+        };
+        digits(self, &mut text);
+        // Based literal: 16#FF# or 2#1010#.
+        if self.peek() == Some(b'#') {
+            self.bump();
+            let base: u32 = text
+                .parse()
+                .map_err(|_| self.err("bad base in based literal"))?;
+            if !(2..=16).contains(&base) {
+                return Err(self.err("base must be in 2..16"));
+            }
+            let mut digits_text = String::new();
+            while let Some(c) = self.peek() {
+                if c == b'#' {
+                    break;
+                }
+                if c != b'_' {
+                    digits_text.push((c as char).to_ascii_lowercase());
+                }
+                self.bump();
+            }
+            if self.bump() != Some(b'#') {
+                return Err(self.err("unterminated based literal"));
+            }
+            let val = i64::from_str_radix(&digits_text, base)
+                .map_err(|_| self.err("bad digits in based literal"))?;
+            self.push(TokenKind::IntLit, val.to_string(), pos);
+            return Ok(());
+        }
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_real = true;
+            text.push('.');
+            self.bump();
+            digits(self, &mut text);
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            // Exponent (integer literals allow only non-negative exponents).
+            let save = (self.i, self.line, self.col, text.len());
+            text.push('e');
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                if self.peek() == Some(b'-') {
+                    is_real = true;
+                }
+                text.push(self.bump().unwrap() as char);
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                digits(self, &mut text);
+            } else {
+                // Not an exponent after all (e.g. `10 ns` ... can't happen
+                // since alpha follows; rewind conservatively).
+                self.i = save.0;
+                self.line = save.1;
+                self.col = save.2;
+                text.truncate(save.3);
+            }
+        }
+        if is_real {
+            self.push(TokenKind::RealLit, text, pos);
+        } else {
+            // Normalize exponent form to a plain integer when possible.
+            let norm = if text.contains('e') {
+                let mut parts = text.splitn(2, 'e');
+                let mant: i64 = parts.next().unwrap().parse().unwrap_or(0);
+                let exp: u32 = parts.next().unwrap().parse().unwrap_or(0);
+                mant.saturating_mul(10i64.saturating_pow(exp)).to_string()
+            } else {
+                text
+            };
+            self.push(TokenKind::IntLit, norm, pos);
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, pos: Pos) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        // Doubled quote inside the literal.
+                        text.push('"');
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c as char),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        self.push(TokenKind::StringLit, text, pos);
+        Ok(())
+    }
+
+    fn punct(&mut self, pos: Pos) -> Result<(), LexError> {
+        use TokenKind::*;
+        let c = self.bump().expect("caller saw a char");
+        let two = |l: &mut Self, kind: TokenKind, text: &str, pos: Pos| {
+            l.bump();
+            l.push(kind, text.into(), pos);
+        };
+        match (c, self.peek()) {
+            (b'*', Some(b'*')) => two(self, DoubleStar, "**", pos),
+            (b'/', Some(b'=')) => two(self, Neq, "/=", pos),
+            (b'<', Some(b'=')) => two(self, Lte, "<=", pos),
+            (b'<', Some(b'>')) => two(self, Box, "<>", pos),
+            (b'>', Some(b'=')) => two(self, Gte, ">=", pos),
+            (b':', Some(b'=')) => two(self, Assign, ":=", pos),
+            (b'=', Some(b'>')) => two(self, Arrow, "=>", pos),
+            (b'(', _) => self.push(LParen, "(".into(), pos),
+            (b')', _) => self.push(RParen, ")".into(), pos),
+            (b';', _) => self.push(Semi, ";".into(), pos),
+            (b':', _) => self.push(Colon, ":".into(), pos),
+            (b',', _) => self.push(Comma, ",".into(), pos),
+            (b'.', _) => self.push(Dot, ".".into(), pos),
+            (b'&', _) => self.push(Amp, "&".into(), pos),
+            (b'+', _) => self.push(Plus, "+".into(), pos),
+            (b'-', _) => self.push(Minus, "-".into(), pos),
+            (b'*', _) => self.push(Star, "*".into(), pos),
+            (b'/', _) => self.push(Slash, "/".into(), pos),
+            (b'=', _) => self.push(Eq, "=".into(), pos),
+            (b'<', _) => self.push(Lt, "<".into(), pos),
+            (b'>', _) => self.push(Gt, ">".into(), pos),
+            (b'|', _) => self.push(Bar, "|".into(), pos),
+            _ => return Err(self.err(format!("stray character `{}`", c as char))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.text.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("entity Foo is end Foo;"),
+            vec![KwEntity, Id, KwIs, KwEnd, Id, Semi]
+        );
+        assert_eq!(texts("FOO Bar bAz")[0], "foo");
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("a -- rest of line\nb"), vec![Id, Id]);
+        assert_eq!(kinds("-- only comment"), vec![]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42 3.14 1e3 1.0e-9"), vec![IntLit, RealLit, IntLit, RealLit]);
+        assert_eq!(texts("1e3")[0], "1000");
+        assert_eq!(texts("12_34")[0], "1234");
+        assert_eq!(texts("16#FF#")[0], "255");
+        assert_eq!(texts("2#1010#")[0], "10");
+        assert!(lex("1#0#").is_err());
+        assert!(lex("16#zz#").is_err());
+    }
+
+    #[test]
+    fn strings_and_bit_strings() {
+        assert_eq!(kinds("\"hello\""), vec![StringLit]);
+        assert_eq!(texts("\"say \"\"hi\"\"\"")[0], "say \"hi\"");
+        assert_eq!(kinds("B\"1010\" X\"F_F\""), vec![BitStringLit, BitStringLit]);
+        assert_eq!(texts("X\"F_F\"")[0], "xff");
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn tick_disambiguation() {
+        // Character literal at expression start.
+        assert_eq!(kinds("'a'"), vec![CharLit]);
+        // Attribute tick after identifier.
+        assert_eq!(kinds("t'range"), vec![Id, Tick, KwRange]);
+        // Qualified expression: id ' ( … ).
+        assert_eq!(kinds("bit'('0')"), vec![Id, Tick, LParen, CharLit, RParen]);
+        // After rparen.
+        assert_eq!(kinds("f(x)'left"), vec![Id, LParen, Id, RParen, Tick, Id]);
+        // Char literal list in enum type.
+        assert_eq!(
+            kinds("('0', '1')"),
+            vec![LParen, CharLit, Comma, CharLit, RParen]
+        );
+    }
+
+    #[test]
+    fn compound_delimiters() {
+        assert_eq!(
+            kinds("<= >= /= := => ** <> | < >"),
+            vec![Lte, Gte, Neq, Assign, Arrow, DoubleStar, Box, Bar, Lt, Gt]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn stray_character_error() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.to_string().contains("stray"));
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        assert_eq!(texts("my_signal_2")[0], "my_signal_2");
+    }
+}

@@ -1,0 +1,25 @@
+//! VHDL-87 subset front end: scanner and the principal LALR(1) grammar.
+//!
+//! Part of the reproduction of *A VHDL Compiler Based on Attribute Grammar
+//! Methodology* (Farrow & Stanculescu, PLDI 1989). The principal grammar
+//! deliberately parses expressions as flat token runs — the first half of
+//! the paper's *cascaded evaluation* idiom; the expression AG in
+//! `vhdl-sem` re-parses them after name resolution.
+//!
+//! # Example
+//!
+//! ```
+//! use vhdl_syntax::PrincipalGrammar;
+//! let g = PrincipalGrammar::new();
+//! let cst = g.parse_str("entity e is end;")?;
+//! assert!(cst.size() > 3);
+//! # Ok::<(), vhdl_syntax::FrontError>(())
+//! ```
+
+pub mod lexer;
+pub mod principal;
+pub mod token;
+
+pub use lexer::{lex, LexError};
+pub use principal::{Cst, FrontError, PrincipalGrammar};
+pub use token::{Pos, SrcTok, TokenKind};

@@ -1,0 +1,961 @@
+//! The principal VHDL grammar.
+//!
+//! Following the paper's cascaded-evaluation design (§4.1), this grammar
+//! "does not contain … most of the aspects of compiling expressions":
+//! every expression position is parsed as a flat *token run*
+//! ([`expr_run`/`ctok_run`]), which semantic analysis later flattens into
+//! LEF and re-parses with the expression AG once names are resolved. This
+//! sidesteps the `X(Y)` call/index/slice/conversion ambiguity entirely —
+//! the principal parser never has to guess.
+//!
+//! The grammar is strictly LALR(1) (no lenient conflict resolution):
+//! [`PrincipalGrammar::new`] builds the table with
+//! [`ag_lalr::ParseTable::build`] and would fail loudly on any conflict.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ag_lalr::{Grammar, GrammarBuilder, ParseError, ParseTable, Parser, ProdId, SymbolId, Token};
+
+use crate::lexer::{lex, LexError};
+use crate::token::{SrcTok, TokenKind};
+
+/// The built principal grammar with its LALR(1) table.
+pub struct PrincipalGrammar {
+    grammar: Rc<Grammar>,
+    table: ParseTable,
+    term_of_kind: HashMap<TokenKind, SymbolId>,
+}
+
+/// A concrete parse tree over source tokens.
+pub type Cst = ag_lalr::ParseTree<SrcTok>;
+
+/// Errors from [`PrincipalGrammar::parse_str`].
+#[derive(Debug)]
+pub enum FrontError {
+    /// Scanner error.
+    Lex(LexError),
+    /// Parser error, with the position of the offending token when known.
+    Parse {
+        /// The parse error (token index, found, expected).
+        error: ParseError,
+        /// Source position of the offending token.
+        pos: Option<crate::token::Pos>,
+    },
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontError::Lex(e) => write!(f, "{e}"),
+            FrontError::Parse { error, pos } => match pos {
+                Some(p) => write!(f, "at {p}: {error}"),
+                None => write!(f, "{error}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+impl From<LexError> for FrontError {
+    fn from(e: LexError) -> Self {
+        FrontError::Lex(e)
+    }
+}
+
+impl PrincipalGrammar {
+    /// Builds the grammar and its LALR(1) table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grammar has conflicts — that would be a bug in this
+    /// crate, not a user error.
+    pub fn new() -> Self {
+        let grammar = Rc::new(build_grammar());
+        let table = match ParseTable::build(&grammar) {
+            Ok(t) => t,
+            Err(e) => panic!("principal grammar is not LALR(1):\n{e}"),
+        };
+        let term_of_kind = TokenKind::all()
+            .iter()
+            .map(|k| (*k, grammar.symbol(k.name()).expect("terminal registered")))
+            .collect();
+        PrincipalGrammar {
+            grammar,
+            table,
+            term_of_kind,
+        }
+    }
+
+    /// The underlying grammar (for attribute-grammar construction).
+    pub fn grammar(&self) -> Rc<Grammar> {
+        Rc::clone(&self.grammar)
+    }
+
+    /// The parse table.
+    pub fn table(&self) -> &ParseTable {
+        &self.table
+    }
+
+    /// Terminal symbol for a token kind.
+    pub fn terminal(&self, kind: TokenKind) -> SymbolId {
+        self.term_of_kind[&kind]
+    }
+
+    /// Production id by label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label does not exist (a bug in rule-writing code).
+    pub fn prod(&self, label: &str) -> ProdId {
+        self.grammar
+            .prod_by_label(label)
+            .unwrap_or_else(|| panic!("no production labelled `{label}`"))
+    }
+
+    /// Lexes and parses a full design file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontError`] on scan or parse failure.
+    pub fn parse_str(&self, src: &str) -> Result<Cst, FrontError> {
+        let toks = lex(src)?;
+        self.parse_tokens(toks)
+    }
+
+    /// Parses pre-lexed tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontError::Parse`] on failure.
+    pub fn parse_tokens(&self, toks: Vec<SrcTok>) -> Result<Cst, FrontError> {
+        let positions: Vec<_> = toks.iter().map(|t| t.pos).collect();
+        let parser = Parser::new(&self.grammar, &self.table);
+        parser
+            .parse(
+                toks.into_iter()
+                    .map(|t| Token::new(self.term_of_kind[&t.kind], t)),
+            )
+            .map_err(|error| {
+                let pos = positions.get(error.at).copied();
+                FrontError::Parse { error, pos }
+            })
+    }
+}
+
+impl Default for PrincipalGrammar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tiny yacc-like DSL: right-hand sides written as space-separated symbol
+/// names; names that match a registered terminal are terminals, everything
+/// else is a nonterminal.
+struct Dsl {
+    b: GrammarBuilder,
+    terms: HashMap<&'static str, SymbolId>,
+}
+
+impl Dsl {
+    fn new() -> Self {
+        let mut b = GrammarBuilder::new();
+        let mut terms = HashMap::new();
+        for k in TokenKind::all() {
+            terms.insert(k.name(), b.terminal(k.name()));
+        }
+        Dsl { b, terms }
+    }
+
+    fn sym(&mut self, name: &str) -> SymbolId {
+        match self.terms.get(name) {
+            Some(&t) => t,
+            None => self.b.nonterminal(name),
+        }
+    }
+
+    fn r(&mut self, lhs: &str, rhs: &str, label: &str) {
+        let lhs = self.b.nonterminal(lhs);
+        let rhs: Vec<ag_lalr::grammar::SymRef> = rhs
+            .split_whitespace()
+            .map(|w| self.sym(w).into())
+            .collect();
+        self.b.prod(lhs, &rhs, label);
+    }
+}
+
+fn build_grammar() -> Grammar {
+    let mut d = Dsl::new();
+    let r = |d: &mut Dsl, lhs: &str, rhs: &str, label: &str| d.r(lhs, rhs, label);
+
+    // ----- design files and context clauses -------------------------------
+    r(&mut d, "design_file", "design_units", "df");
+    r(&mut d, "design_units", "design_unit", "dus_one");
+    r(&mut d, "design_units", "design_units design_unit", "dus_more");
+    r(&mut d, "design_unit", "context_items library_unit", "du_ctx");
+    r(&mut d, "design_unit", "library_unit", "du_plain");
+    r(&mut d, "context_items", "context_item", "ctxs_one");
+    r(&mut d, "context_items", "context_items context_item", "ctxs_more");
+    r(&mut d, "context_item", "library_clause", "ctx_lib");
+    r(&mut d, "context_item", "use_clause", "ctx_use");
+    r(&mut d, "library_clause", "library id_list ';'", "lib_clause");
+    r(&mut d, "id_list", "id", "ids_one");
+    r(&mut d, "id_list", "id_list ',' id", "ids_more");
+    r(&mut d, "use_clause", "use name_list ';'", "use_clause");
+    r(&mut d, "library_unit", "entity_decl", "lu_entity");
+    r(&mut d, "library_unit", "architecture_body", "lu_arch");
+    r(&mut d, "library_unit", "package_decl", "lu_pkg");
+    r(&mut d, "library_unit", "package_body", "lu_pkg_body");
+    r(&mut d, "library_unit", "configuration_decl", "lu_config");
+
+    // ----- names -----------------------------------------------------------
+    r(&mut d, "name", "id", "name_id");
+    r(&mut d, "name", "name '.' id", "name_sel");
+    r(&mut d, "name", "name '.' all", "name_all");
+    r(&mut d, "name", "name '.' string_lit", "name_op");
+    r(&mut d, "name", "name '(' ctok_run ')'", "name_paren");
+    r(&mut d, "name_list", "name", "names_one");
+    r(&mut d, "name_list", "name_list ',' name", "names_more");
+
+    // ----- entity / architecture / package / configuration -----------------
+    r(
+        &mut d,
+        "entity_decl",
+        "entity id is generic_clause_opt port_clause_opt decl_items end_name",
+        "entity_decl",
+    );
+    r(&mut d, "end_name", "end ';'", "end_plain");
+    r(&mut d, "end_name", "end id ';'", "end_id");
+    r(&mut d, "generic_clause_opt", "", "gc_none");
+    r(
+        &mut d,
+        "generic_clause_opt",
+        "generic '(' iface_list ')' ';'",
+        "gc_some",
+    );
+    r(&mut d, "port_clause_opt", "", "pc_none");
+    r(
+        &mut d,
+        "port_clause_opt",
+        "port '(' iface_list ')' ';'",
+        "pc_some",
+    );
+    r(
+        &mut d,
+        "architecture_body",
+        "architecture id of name is decl_items begin conc_stmts end_name",
+        "arch_body",
+    );
+    r(&mut d, "package_decl", "package id is decl_items end_name", "pkg_decl");
+    r(
+        &mut d,
+        "package_body",
+        "package body id is decl_items end_name",
+        "pkg_body",
+    );
+    r(
+        &mut d,
+        "configuration_decl",
+        "configuration id of name is block_config end_name",
+        "config_decl",
+    );
+    r(
+        &mut d,
+        "block_config",
+        "for id config_items end for ';'",
+        "block_config",
+    );
+    r(&mut d, "config_items", "", "cfgitems_none");
+    r(&mut d, "config_items", "config_items config_item", "cfgitems_more");
+    r(&mut d, "config_item", "comp_config", "cfgitem_comp");
+    r(&mut d, "config_item", "use_clause", "cfgitem_use");
+    r(
+        &mut d,
+        "comp_config",
+        "for inst_list ':' name comp_binding end for ';'",
+        "comp_config",
+    );
+    r(&mut d, "comp_binding", "", "compbind_none");
+    r(&mut d, "comp_binding", "binding_ind ';'", "compbind_some");
+    r(&mut d, "inst_list", "id_list", "insts_ids");
+    r(&mut d, "inst_list", "others", "insts_others");
+    r(&mut d, "inst_list", "all", "insts_all");
+    // Entity/configuration names in bindings are dotted names only — a
+    // paren suffix here must be the architecture indication, not part of
+    // the name (using full `name` would be ambiguous on `)`).
+    r(&mut d, "sel_name", "id", "sel_id");
+    r(&mut d, "sel_name", "sel_name '.' id", "sel_dot");
+    r(
+        &mut d,
+        "binding_ind",
+        "use entity sel_name arch_ind_opt map_aspects",
+        "bind_entity",
+    );
+    r(
+        &mut d,
+        "binding_ind",
+        "use configuration sel_name map_aspects",
+        "bind_config",
+    );
+    r(&mut d, "binding_ind", "use open", "bind_open");
+    r(&mut d, "arch_ind_opt", "", "archind_none");
+    r(&mut d, "arch_ind_opt", "'(' id ')'", "archind_some");
+    r(&mut d, "map_aspects", "generic_map_opt port_map_opt", "map_aspects");
+    r(&mut d, "generic_map_opt", "", "gm_none");
+    r(
+        &mut d,
+        "generic_map_opt",
+        "generic map '(' assoc_list ')'",
+        "gm_some",
+    );
+    r(&mut d, "port_map_opt", "", "pm_none");
+    r(&mut d, "port_map_opt", "port map '(' assoc_list ')'", "pm_some");
+    r(&mut d, "assoc_list", "assoc_elem", "assocs_one");
+    r(&mut d, "assoc_list", "assoc_list ',' assoc_elem", "assocs_more");
+    r(&mut d, "assoc_elem", "expr_run", "assoc_pos");
+    r(&mut d, "assoc_elem", "expr_run '=>' expr_run", "assoc_named");
+    r(&mut d, "assoc_elem", "expr_run '=>' open", "assoc_open");
+    r(&mut d, "assoc_elem", "open", "assoc_pos_open");
+
+    // ----- interface lists --------------------------------------------------
+    r(&mut d, "iface_list", "iface_elem", "ifaces_one");
+    r(&mut d, "iface_list", "iface_list ';' iface_elem", "ifaces_more");
+    r(
+        &mut d,
+        "iface_elem",
+        "iface_class_opt id_list ':' mode_opt subtype_ind bus_opt default_opt",
+        "iface_elem",
+    );
+    r(&mut d, "iface_class_opt", "", "ifc_none");
+    r(&mut d, "iface_class_opt", "constant", "ifc_constant");
+    r(&mut d, "iface_class_opt", "signal", "ifc_signal");
+    r(&mut d, "iface_class_opt", "variable", "ifc_variable");
+    r(&mut d, "mode_opt", "", "mode_none");
+    r(&mut d, "mode_opt", "in", "mode_in");
+    r(&mut d, "mode_opt", "out", "mode_out");
+    r(&mut d, "mode_opt", "inout", "mode_inout");
+    r(&mut d, "mode_opt", "buffer", "mode_buffer");
+    r(&mut d, "mode_opt", "linkage", "mode_linkage");
+    r(&mut d, "bus_opt", "", "bus_none");
+    r(&mut d, "bus_opt", "bus", "bus_some");
+    r(&mut d, "default_opt", "", "dflt_none");
+    r(&mut d, "default_opt", "':=' expr_run", "dflt_some");
+
+    // ----- subtype indications ----------------------------------------------
+    r(&mut d, "subtype_ind", "name", "sti_plain");
+    r(&mut d, "subtype_ind", "name name", "sti_resolved");
+    r(&mut d, "subtype_ind", "name range expr_run", "sti_range");
+
+    // ----- declarations -----------------------------------------------------
+    r(&mut d, "decl_items", "", "decls_none");
+    r(&mut d, "decl_items", "decl_items decl_item", "decls_more");
+    for (lhs, label) in [
+        ("type_decl", "decl_type"),
+        ("subtype_decl", "decl_subtype"),
+        ("constant_decl", "decl_constant"),
+        ("signal_decl", "decl_signal"),
+        ("variable_decl", "decl_variable"),
+        ("alias_decl", "decl_alias"),
+        ("attribute_decl", "decl_attr"),
+        ("attribute_spec", "decl_attr_spec"),
+        ("component_decl", "decl_component"),
+        ("subprogram_decl", "decl_subprog"),
+        ("subprogram_body", "decl_subprog_body"),
+        ("use_clause", "decl_use"),
+        ("config_spec", "decl_config_spec"),
+    ] {
+        r(&mut d, "decl_item", lhs, label);
+    }
+    r(&mut d, "type_decl", "type id is type_def ';'", "type_decl");
+    r(&mut d, "type_def", "'(' enum_lits ')'", "td_enum");
+    r(&mut d, "type_def", "range expr_run phys_opt", "td_range");
+    r(
+        &mut d,
+        "type_def",
+        "array '(' ctok_run ')' of subtype_ind",
+        "td_array",
+    );
+    r(&mut d, "type_def", "record element_decls end record", "td_record");
+    r(&mut d, "enum_lits", "enum_lit", "enums_one");
+    r(&mut d, "enum_lits", "enum_lits ',' enum_lit", "enums_more");
+    r(&mut d, "enum_lit", "id", "enum_id");
+    r(&mut d, "enum_lit", "char_lit", "enum_char");
+    r(&mut d, "phys_opt", "", "phys_none");
+    r(
+        &mut d,
+        "phys_opt",
+        "units id ';' secondary_units end units",
+        "phys_some",
+    );
+    r(&mut d, "secondary_units", "", "secus_none");
+    r(&mut d, "secondary_units", "secondary_units secondary_unit", "secus_more");
+    r(&mut d, "secondary_unit", "id '=' expr_run ';'", "secu");
+    r(&mut d, "element_decls", "element_decl", "elems_one");
+    r(&mut d, "element_decls", "element_decls element_decl", "elems_more");
+    r(&mut d, "element_decl", "id_list ':' subtype_ind ';'", "elem_decl");
+    r(&mut d, "subtype_decl", "subtype id is subtype_ind ';'", "subtype_decl");
+    r(
+        &mut d,
+        "constant_decl",
+        "constant id_list ':' subtype_ind default_opt ';'",
+        "constant_decl",
+    );
+    r(
+        &mut d,
+        "signal_decl",
+        "signal id_list ':' subtype_ind signal_kind_opt default_opt ';'",
+        "signal_decl",
+    );
+    r(&mut d, "signal_kind_opt", "", "skind_none");
+    r(&mut d, "signal_kind_opt", "register", "skind_register");
+    r(&mut d, "signal_kind_opt", "bus", "skind_bus");
+    r(
+        &mut d,
+        "variable_decl",
+        "variable id_list ':' subtype_ind default_opt ';'",
+        "variable_decl",
+    );
+    r(
+        &mut d,
+        "alias_decl",
+        "alias id ':' subtype_ind is name ';'",
+        "alias_decl",
+    );
+    r(&mut d, "attribute_decl", "attribute id ':' name ';'", "attr_decl");
+    r(
+        &mut d,
+        "attribute_spec",
+        "attribute id of entity_name_list ':' entity_class is expr_run ';'",
+        "attr_spec",
+    );
+    r(&mut d, "entity_name_list", "id_list", "enl_ids");
+    r(&mut d, "entity_name_list", "others", "enl_others");
+    r(&mut d, "entity_name_list", "all", "enl_all");
+    for (kw, label) in [
+        ("entity", "ec_entity"),
+        ("architecture", "ec_architecture"),
+        ("configuration", "ec_configuration"),
+        ("procedure", "ec_procedure"),
+        ("function", "ec_function"),
+        ("package", "ec_package"),
+        ("type", "ec_type"),
+        ("subtype", "ec_subtype"),
+        ("constant", "ec_constant"),
+        ("signal", "ec_signal"),
+        ("variable", "ec_variable"),
+        ("component", "ec_component"),
+    ] {
+        r(&mut d, "entity_class", kw, label);
+    }
+    r(
+        &mut d,
+        "component_decl",
+        "component id generic_clause_opt port_clause_opt end component ';'",
+        "component_decl",
+    );
+    r(
+        &mut d,
+        "subprogram_spec",
+        "procedure designator params_opt",
+        "spec_proc",
+    );
+    r(
+        &mut d,
+        "subprogram_spec",
+        "function designator params_opt return name",
+        "spec_func",
+    );
+    r(&mut d, "designator", "id", "desig_id");
+    r(&mut d, "designator", "string_lit", "desig_op");
+    r(&mut d, "params_opt", "", "params_none");
+    r(&mut d, "params_opt", "'(' iface_list ')'", "params_some");
+    r(&mut d, "subprogram_decl", "subprogram_spec ';'", "subprog_decl");
+    r(
+        &mut d,
+        "subprogram_body",
+        "subprogram_spec is decl_items begin seq_stmts end designator_opt ';'",
+        "subprog_body",
+    );
+    r(&mut d, "designator_opt", "", "desigo_none");
+    r(&mut d, "designator_opt", "id", "desigo_id");
+    r(&mut d, "designator_opt", "string_lit", "desigo_op");
+    r(
+        &mut d,
+        "config_spec",
+        "for inst_list ':' name binding_ind ';'",
+        "config_spec",
+    );
+
+    // ----- concurrent statements -------------------------------------------
+    r(&mut d, "conc_stmts", "", "concs_none");
+    r(&mut d, "conc_stmts", "conc_stmts conc_stmt", "concs_more");
+    r(&mut d, "conc_stmt", "id ':' conc_body", "conc_labelled");
+    r(&mut d, "conc_stmt", "unlabeled_conc", "conc_plain");
+    r(&mut d, "conc_body", "process_stmt", "cb_process");
+    r(&mut d, "conc_body", "block_stmt", "cb_block");
+    r(&mut d, "conc_body", "component_inst", "cb_inst");
+    r(&mut d, "conc_body", "cond_signal_assign", "cb_cond_assign");
+    r(&mut d, "conc_body", "sel_signal_assign", "cb_sel_assign");
+    r(&mut d, "conc_body", "assert_stmt", "cb_assert");
+    r(&mut d, "unlabeled_conc", "process_stmt", "uc_process");
+    r(&mut d, "unlabeled_conc", "cond_signal_assign", "uc_cond_assign");
+    r(&mut d, "unlabeled_conc", "sel_signal_assign", "uc_sel_assign");
+    r(&mut d, "unlabeled_conc", "assert_stmt", "uc_assert");
+    r(
+        &mut d,
+        "process_stmt",
+        "process sens_opt decl_items begin seq_stmts end process label_opt ';'",
+        "process_stmt",
+    );
+    r(&mut d, "sens_opt", "", "sens_none");
+    r(&mut d, "sens_opt", "'(' name_list ')'", "sens_some");
+    r(&mut d, "label_opt", "", "lblo_none");
+    r(&mut d, "label_opt", "id", "lblo_id");
+    r(
+        &mut d,
+        "block_stmt",
+        "block guard_opt decl_items begin conc_stmts end block label_opt ';'",
+        "block_stmt",
+    );
+    r(&mut d, "guard_opt", "", "guard_none");
+    r(&mut d, "guard_opt", "'(' expr_run ')'", "guard_some");
+    r(
+        &mut d,
+        "component_inst",
+        "name generic_map_opt port_map_opt ';'",
+        "component_inst",
+    );
+    r(
+        &mut d,
+        "cond_signal_assign",
+        "name '<=' options_opt cond_waveforms ';'",
+        "cond_assign",
+    );
+    r(&mut d, "options_opt", "", "opt_none");
+    r(&mut d, "options_opt", "guarded", "opt_guarded");
+    r(&mut d, "options_opt", "transport", "opt_transport");
+    r(&mut d, "options_opt", "guarded transport", "opt_guarded_transport");
+    r(&mut d, "cond_waveforms", "waveform", "cwf_last");
+    r(
+        &mut d,
+        "cond_waveforms",
+        "waveform when expr_run else cond_waveforms",
+        "cwf_cond",
+    );
+    r(&mut d, "waveform", "wave_elem", "wf_one");
+    r(&mut d, "waveform", "waveform ',' wave_elem", "wf_more");
+    r(&mut d, "wave_elem", "expr_run", "we_plain");
+    r(&mut d, "wave_elem", "expr_run after expr_run", "we_after");
+    r(
+        &mut d,
+        "sel_signal_assign",
+        "with expr_run select name '<=' options_opt sel_waveforms ';'",
+        "sel_assign",
+    );
+    r(&mut d, "sel_waveforms", "waveform when choices", "swf_one");
+    r(
+        &mut d,
+        "sel_waveforms",
+        "sel_waveforms ',' waveform when choices",
+        "swf_more",
+    );
+    r(&mut d, "choices", "choice", "choices_one");
+    r(&mut d, "choices", "choices '|' choice", "choices_more");
+    r(&mut d, "choice", "expr_run", "choice_expr");
+    r(&mut d, "choice", "others", "choice_others");
+
+    // ----- sequential statements -------------------------------------------
+    r(&mut d, "seq_stmts", "", "seqs_none");
+    r(&mut d, "seq_stmts", "seq_stmts seq_stmt", "seqs_more");
+    for (lhs, label) in [
+        ("wait_stmt", "ss_wait"),
+        ("assert_stmt", "ss_assert"),
+        ("if_stmt", "ss_if"),
+        ("case_stmt", "ss_case"),
+        ("loop_stmt", "ss_loop"),
+        ("next_stmt", "ss_next"),
+        ("exit_stmt", "ss_exit"),
+        ("return_stmt", "ss_return"),
+        ("null_stmt", "ss_null"),
+        ("target_stmt", "ss_target"),
+    ] {
+        r(&mut d, "seq_stmt", lhs, label);
+    }
+    r(&mut d, "wait_stmt", "wait on_opt until_opt tfor_opt ';'", "wait_stmt");
+    r(&mut d, "on_opt", "", "on_none");
+    r(&mut d, "on_opt", "on name_list", "on_some");
+    r(&mut d, "until_opt", "", "until_none");
+    r(&mut d, "until_opt", "until expr_run", "until_some");
+    r(&mut d, "tfor_opt", "", "tfor_none");
+    r(&mut d, "tfor_opt", "for expr_run", "tfor_some");
+    r(
+        &mut d,
+        "assert_stmt",
+        "assert expr_run report_opt severity_opt ';'",
+        "assert_stmt",
+    );
+    r(&mut d, "report_opt", "", "report_none");
+    r(&mut d, "report_opt", "report expr_run", "report_some");
+    r(&mut d, "severity_opt", "", "sev_none");
+    r(&mut d, "severity_opt", "severity expr_run", "sev_some");
+    r(
+        &mut d,
+        "target_stmt",
+        "name '<=' transport_opt waveform ';'",
+        "sig_assign",
+    );
+    r(&mut d, "target_stmt", "name ':=' expr_run ';'", "var_assign");
+    r(&mut d, "target_stmt", "name ';'", "proc_call");
+    r(&mut d, "transport_opt", "", "tr_none");
+    r(&mut d, "transport_opt", "transport", "tr_some");
+    r(&mut d, "if_stmt", "if expr_run then seq_stmts if_tail", "if_stmt");
+    r(&mut d, "if_tail", "end if ';'", "ift_end");
+    r(&mut d, "if_tail", "else seq_stmts end if ';'", "ift_else");
+    r(
+        &mut d,
+        "if_tail",
+        "elsif expr_run then seq_stmts if_tail",
+        "ift_elsif",
+    );
+    r(&mut d, "case_stmt", "case expr_run is case_alts end case ';'", "case_stmt");
+    r(&mut d, "case_alts", "case_alt", "alts_one");
+    r(&mut d, "case_alts", "case_alts case_alt", "alts_more");
+    r(&mut d, "case_alt", "when choices '=>' seq_stmts", "case_alt");
+    r(&mut d, "loop_stmt", "loop_head loop seq_stmts end loop ';'", "loop_stmt");
+    r(&mut d, "loop_head", "", "lh_forever");
+    r(&mut d, "loop_head", "while expr_run", "lh_while");
+    r(&mut d, "loop_head", "for id in expr_run", "lh_for");
+    r(&mut d, "next_stmt", "next when_opt ';'", "next_stmt");
+    r(&mut d, "exit_stmt", "exit when_opt ';'", "exit_stmt");
+    r(&mut d, "when_opt", "", "when_none");
+    r(&mut d, "when_opt", "when expr_run", "when_some");
+    r(&mut d, "return_stmt", "return ';'", "return_plain");
+    r(&mut d, "return_stmt", "return expr_run ';'", "return_value");
+    r(&mut d, "null_stmt", "null ';'", "null_stmt");
+
+    // ----- expression token runs (the LEF feed, §4.1) ------------------------
+    r(&mut d, "expr_run", "expr_tok", "er_one");
+    r(&mut d, "expr_run", "expr_run expr_tok", "er_more");
+    for (tok, label) in [
+        ("id", "et_id"),
+        ("int_lit", "et_int"),
+        ("real_lit", "et_real"),
+        ("char_lit", "et_char"),
+        ("string_lit", "et_string"),
+        ("bit_string_lit", "et_bitstring"),
+        ("tick", "et_tick"),
+        ("'.'", "et_dot"),
+        ("'&'", "et_amp"),
+        ("'+'", "et_plus"),
+        ("'-'", "et_minus"),
+        ("'*'", "et_star"),
+        ("'/'", "et_slash"),
+        ("'**'", "et_dstar"),
+        ("'='", "et_eq"),
+        ("'/='", "et_neq"),
+        ("'<'", "et_lt"),
+        ("'<='", "et_lte"),
+        ("'>'", "et_gt"),
+        ("'>='", "et_gte"),
+        ("and", "et_and"),
+        ("or", "et_or"),
+        ("nand", "et_nand"),
+        ("nor", "et_nor"),
+        ("xor", "et_xor"),
+        ("not", "et_not"),
+        ("abs", "et_abs"),
+        ("mod", "et_mod"),
+        ("rem", "et_rem"),
+        ("to", "et_to"),
+        ("downto", "et_downto"),
+        ("range", "et_range"),
+        ("null", "et_null"),
+    ] {
+        r(&mut d, "expr_tok", tok, label);
+    }
+    r(&mut d, "expr_tok", "'(' ctok_run ')'", "et_group");
+    r(&mut d, "ctok_run", "ctok", "cr_one");
+    r(&mut d, "ctok_run", "ctok_run ctok", "cr_more");
+    r(&mut d, "ctok", "expr_tok", "ct_expr");
+    r(&mut d, "ctok", "','", "ct_comma");
+    r(&mut d, "ctok", "'=>'", "ct_arrow");
+    r(&mut d, "ctok", "others", "ct_others");
+    r(&mut d, "ctok", "'<>'", "ct_box");
+    r(&mut d, "ctok", "open", "ct_open");
+
+    let mut b = d.b;
+    let start = b.nonterminal("design_file");
+    b.start(start);
+    b.build().expect("principal grammar is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pg() -> PrincipalGrammar {
+        PrincipalGrammar::new()
+    }
+
+    #[test]
+    fn grammar_is_lalr1() {
+        let g = pg();
+        assert!(g.grammar().n_user_prods() > 150);
+        assert!(g.table().n_states() > 100);
+    }
+
+    #[test]
+    fn parses_minimal_entity() {
+        let g = pg();
+        g.parse_str("entity e is end;").unwrap();
+        g.parse_str("entity e is end e;").unwrap();
+    }
+
+    #[test]
+    fn parses_entity_with_ports_and_generics() {
+        let g = pg();
+        g.parse_str(
+            "entity counter is
+               generic (width : integer := 8);
+               port (clk, reset : in bit; q : out integer);
+             end counter;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_architecture_with_process() {
+        let g = pg();
+        g.parse_str(
+            "architecture rtl of counter is
+               signal count : integer := 0;
+             begin
+               tick : process (clk)
+                 variable v : integer;
+               begin
+                 if clk = '1' then
+                   v := count + 1;
+                   count <= v;
+                 end if;
+               end process tick;
+               q <= count;
+             end rtl;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_package_and_body() {
+        let g = pg();
+        g.parse_str(
+            "package p is
+               type state is (idle, run, done);
+               constant max : integer := 100;
+               function inc (x : integer) return integer;
+             end p;
+             package body p is
+               function inc (x : integer) return integer is
+               begin
+                 return x + 1;
+               end inc;
+             end p;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_use_and_library_clauses() {
+        let g = pg();
+        g.parse_str(
+            "library ieee;
+             use ieee.std_logic_1164.all;
+             use work.p.inc;
+             entity e is end;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_component_and_configuration() {
+        let g = pg();
+        g.parse_str(
+            "architecture structural of top is
+               component nand2
+                 port (a, b : in bit; y : out bit);
+               end component;
+               signal x, y, z : bit;
+               for u1 : nand2 use entity work.nand2_impl(fast);
+             begin
+               u1 : nand2 port map (a => x, b => y, y => z);
+               u2 : nand2 port map (x, y, z);
+             end structural;
+             configuration cfg of top is
+               for structural
+                 for u2 : nand2 use entity work.nand2_impl(slow); end for;
+               end for;
+             end cfg;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_expression_token_runs() {
+        let g = pg();
+        // The four faces of X(Y) — all parse identically as token runs.
+        g.parse_str(
+            "architecture a of e is
+             begin
+               p : process
+                 variable v : integer;
+               begin
+                 v := f(y);
+                 v := arr(3);
+                 v := arr(1 to 2)'length;
+                 v := integer(x);
+                 wait for 10 ns;
+               end process;
+             end a;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_aggregates_and_named_args() {
+        let g = pg();
+        g.parse_str(
+            "architecture a of e is
+               signal v : bit_vector(7 downto 0);
+             begin
+               v <= (others => '0');
+               v <= (0 => '1', others => '0') after 5 ns;
+             end a;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_selected_and_conditional_assignment() {
+        let g = pg();
+        g.parse_str(
+            "architecture a of e is
+             begin
+               q <= a when sel = '1' else b when sel = '0' else c;
+               with state select
+                 y <= \"00\" when idle,
+                      \"01\" when run,
+                      \"11\" when others;
+             end a;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_types() {
+        let g = pg();
+        g.parse_str(
+            "package types is
+               type color is (red, green, blue);
+               type small is range 0 to 255;
+               type dur is range 0 to 1000000
+                 units fs; ps = 1000 fs; ns = 1000 ps; end units;
+               type word is array (31 downto 0) of bit;
+               type mem is array (natural range <>) of word;
+               type pair is record x : integer; y : integer; end record;
+               subtype nibble is bit_vector(3 downto 0);
+             end types;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_wait_variants() {
+        let g = pg();
+        g.parse_str(
+            "architecture a of e is
+             begin
+               process begin
+                 wait;
+                 wait on clk;
+                 wait until clk = '1';
+                 wait for 10 ns;
+                 wait on clk, reset until ready for 1 us;
+               end process;
+             end a;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_case_and_loops() {
+        let g = pg();
+        g.parse_str(
+            "architecture a of e is
+             begin
+               process
+                 variable i, acc : integer;
+               begin
+                 case state is
+                   when idle => acc := 0;
+                   when 1 | 2 => acc := 1;
+                   when 3 to 5 => acc := 2;
+                   when others => null;
+                 end case;
+                 for i in 0 to 7 loop
+                   acc := acc + i;
+                   next when acc > 10;
+                   exit when acc > 20;
+                 end loop;
+                 while acc > 0 loop
+                   acc := acc - 1;
+                 end loop;
+               end process;
+             end a;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_resolved_signal_and_block() {
+        let g = pg();
+        g.parse_str(
+            "architecture a of e is
+               signal bus_line : wired_or bit bus;
+             begin
+               b : block (en = '1')
+                 signal local : bit;
+               begin
+                 local <= guarded d after 2 ns;
+               end block b;
+             end a;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let g = pg();
+        g.parse_str(
+            "package p is
+               attribute cap : integer;
+               attribute cap of clk : signal is 10;
+             end p;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn reports_syntax_error_position() {
+        let g = pg();
+        let err = g.parse_str("entity e is\n  port x;\nend;").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:"), "position missing in: {msg}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let g = pg();
+        assert!(g.parse_str("entity entity entity").is_err());
+        assert!(g.parse_str("").is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! VHDL token kinds and source tokens.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Every lexical token kind of the supported VHDL-87 subset.
+///
+/// The `name` of each kind doubles as the terminal name in the principal
+/// grammar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TokenKind {
+    // Identifiers and literals.
+    /// A (case-insensitive) identifier, normalized to lower case.
+    Id,
+    /// Integer literal, possibly based or with exponent (`16#FF#`, `1E3`).
+    IntLit,
+    /// Real literal (`3.14`, `1.0E-9`).
+    RealLit,
+    /// Character literal (`'x'`).
+    CharLit,
+    /// String literal (`"hello"`), also operator symbols (`"and"`).
+    StringLit,
+    /// Bit-string literal (`B"1010"`, `X"F"`).
+    BitStringLit,
+
+    // Reserved words (VHDL-87 subset).
+    KwAbs, KwAfter, KwAlias, KwAll, KwAnd, KwArchitecture, KwArray, KwAssert,
+    KwAttribute, KwBegin, KwBlock, KwBody, KwBuffer, KwBus, KwCase,
+    KwComponent, KwConfiguration, KwConstant, KwDisconnect, KwDownto,
+    KwElse, KwElsif, KwEnd, KwEntity, KwExit, KwFor, KwFunction, KwGeneric,
+    KwGuarded, KwIf, KwIn, KwInout, KwIs, KwLibrary, KwLinkage, KwLoop,
+    KwMap, KwMod, KwNand, KwNew, KwNext, KwNor, KwNot, KwNull, KwOf, KwOn,
+    KwOpen, KwOr, KwOthers, KwOut, KwPackage, KwPort, KwProcedure,
+    KwProcess, KwRange, KwRecord, KwRegister, KwRem, KwReport, KwReturn,
+    KwSelect, KwSeverity, KwSignal, KwSubtype, KwThen, KwTo, KwTransport,
+    KwType, KwUnits, KwUntil, KwUse, KwVariable, KwWait, KwWhen, KwWhile,
+    KwWith, KwXor,
+
+    // Delimiters and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `'` (attribute/qualification tick; character literals are [`TokenKind::CharLit`])
+    Tick,
+    /// `&`
+    Amp,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `**`
+    DoubleStar,
+    /// `=`
+    Eq,
+    /// `/=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Lte,
+    /// `>`
+    Gt,
+    /// `>=`
+    Gte,
+    /// `:=`
+    Assign,
+    /// `=>`
+    Arrow,
+    /// `<>`
+    Box,
+    /// `|`
+    Bar,
+}
+
+impl TokenKind {
+    /// Grammar terminal name for this kind.
+    pub fn name(self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Id => "id",
+            IntLit => "int_lit",
+            RealLit => "real_lit",
+            CharLit => "char_lit",
+            StringLit => "string_lit",
+            BitStringLit => "bit_string_lit",
+            KwAbs => "abs", KwAfter => "after", KwAlias => "alias",
+            KwAll => "all", KwAnd => "and", KwArchitecture => "architecture",
+            KwArray => "array", KwAssert => "assert",
+            KwAttribute => "attribute", KwBegin => "begin", KwBlock => "block",
+            KwBody => "body", KwBuffer => "buffer", KwBus => "bus",
+            KwCase => "case", KwComponent => "component",
+            KwConfiguration => "configuration", KwConstant => "constant",
+            KwDisconnect => "disconnect", KwDownto => "downto",
+            KwElse => "else", KwElsif => "elsif", KwEnd => "end",
+            KwEntity => "entity", KwExit => "exit", KwFor => "for",
+            KwFunction => "function", KwGeneric => "generic",
+            KwGuarded => "guarded", KwIf => "if", KwIn => "in",
+            KwInout => "inout", KwIs => "is", KwLibrary => "library",
+            KwLinkage => "linkage", KwLoop => "loop", KwMap => "map",
+            KwMod => "mod", KwNand => "nand", KwNew => "new",
+            KwNext => "next", KwNor => "nor", KwNot => "not",
+            KwNull => "null", KwOf => "of", KwOn => "on", KwOpen => "open",
+            KwOr => "or", KwOthers => "others", KwOut => "out",
+            KwPackage => "package", KwPort => "port",
+            KwProcedure => "procedure", KwProcess => "process",
+            KwRange => "range", KwRecord => "record",
+            KwRegister => "register", KwRem => "rem", KwReport => "report",
+            KwReturn => "return", KwSelect => "select",
+            KwSeverity => "severity", KwSignal => "signal",
+            KwSubtype => "subtype", KwThen => "then", KwTo => "to",
+            KwTransport => "transport", KwType => "type", KwUnits => "units",
+            KwUntil => "until", KwUse => "use", KwVariable => "variable",
+            KwWait => "wait", KwWhen => "when", KwWhile => "while",
+            KwWith => "with", KwXor => "xor",
+            LParen => "'('",
+            RParen => "')'",
+            Semi => "';'",
+            Colon => "':'",
+            Comma => "','",
+            Dot => "'.'",
+            Tick => "tick",
+            Amp => "'&'",
+            Plus => "'+'",
+            Minus => "'-'",
+            Star => "'*'",
+            Slash => "'/'",
+            DoubleStar => "'**'",
+            Eq => "'='",
+            Neq => "'/='",
+            Lt => "'<'",
+            Lte => "'<='",
+            Gt => "'>'",
+            Gte => "'>='",
+            Assign => "':='",
+            Arrow => "'=>'",
+            Box => "'<>'",
+            Bar => "'|'",
+        }
+    }
+
+    /// All token kinds (used to register grammar terminals).
+    pub fn all() -> &'static [TokenKind] {
+        use TokenKind::*;
+        &[
+            Id, IntLit, RealLit, CharLit, StringLit, BitStringLit,
+            KwAbs, KwAfter, KwAlias, KwAll, KwAnd, KwArchitecture, KwArray,
+            KwAssert, KwAttribute, KwBegin, KwBlock, KwBody, KwBuffer, KwBus,
+            KwCase, KwComponent, KwConfiguration, KwConstant, KwDisconnect,
+            KwDownto, KwElse, KwElsif, KwEnd, KwEntity, KwExit, KwFor,
+            KwFunction, KwGeneric, KwGuarded, KwIf, KwIn, KwInout, KwIs,
+            KwLibrary, KwLinkage, KwLoop, KwMap, KwMod, KwNand, KwNew,
+            KwNext, KwNor, KwNot, KwNull, KwOf, KwOn, KwOpen, KwOr, KwOthers,
+            KwOut, KwPackage, KwPort, KwProcedure, KwProcess, KwRange,
+            KwRecord, KwRegister, KwRem, KwReport, KwReturn, KwSelect,
+            KwSeverity, KwSignal, KwSubtype, KwThen, KwTo, KwTransport,
+            KwType, KwUnits, KwUntil, KwUse, KwVariable, KwWait, KwWhen,
+            KwWhile, KwWith, KwXor,
+            LParen, RParen, Semi, Colon, Comma, Dot, Tick, Amp, Plus, Minus,
+            Star, Slash, DoubleStar, Eq, Neq, Lt, Lte, Gt, Gte, Assign,
+            Arrow, Box, Bar,
+        ]
+    }
+
+    /// Looks up the reserved word for a (lower-cased) identifier.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match text {
+            "abs" => KwAbs, "after" => KwAfter, "alias" => KwAlias,
+            "all" => KwAll, "and" => KwAnd, "architecture" => KwArchitecture,
+            "array" => KwArray, "assert" => KwAssert,
+            "attribute" => KwAttribute, "begin" => KwBegin, "block" => KwBlock,
+            "body" => KwBody, "buffer" => KwBuffer, "bus" => KwBus,
+            "case" => KwCase, "component" => KwComponent,
+            "configuration" => KwConfiguration, "constant" => KwConstant,
+            "disconnect" => KwDisconnect, "downto" => KwDownto,
+            "else" => KwElse, "elsif" => KwElsif, "end" => KwEnd,
+            "entity" => KwEntity, "exit" => KwExit, "for" => KwFor,
+            "function" => KwFunction, "generic" => KwGeneric,
+            "guarded" => KwGuarded, "if" => KwIf, "in" => KwIn,
+            "inout" => KwInout, "is" => KwIs, "library" => KwLibrary,
+            "linkage" => KwLinkage, "loop" => KwLoop, "map" => KwMap,
+            "mod" => KwMod, "nand" => KwNand, "new" => KwNew, "next" => KwNext,
+            "nor" => KwNor, "not" => KwNot, "null" => KwNull, "of" => KwOf,
+            "on" => KwOn, "open" => KwOpen, "or" => KwOr, "others" => KwOthers,
+            "out" => KwOut, "package" => KwPackage, "port" => KwPort,
+            "procedure" => KwProcedure, "process" => KwProcess,
+            "range" => KwRange, "record" => KwRecord,
+            "register" => KwRegister, "rem" => KwRem, "report" => KwReport,
+            "return" => KwReturn, "select" => KwSelect,
+            "severity" => KwSeverity, "signal" => KwSignal,
+            "subtype" => KwSubtype, "then" => KwThen, "to" => KwTo,
+            "transport" => KwTransport, "type" => KwType, "units" => KwUnits,
+            "until" => KwUntil, "use" => KwUse, "variable" => KwVariable,
+            "wait" => KwWait, "when" => KwWhen, "while" => KwWhile,
+            "with" => KwWith, "xor" => KwXor,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexed source token: kind, normalized text, and position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SrcTok {
+    /// The lexical category.
+    pub kind: TokenKind,
+    /// Normalized text: identifiers and reserved words lower-cased,
+    /// literal tokens kept verbatim (string/char literals without quotes).
+    pub text: Rc<str>,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+impl SrcTok {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, text: impl Into<Rc<str>>, pos: Pos) -> Self {
+        SrcTok {
+            kind,
+            text: text.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for SrcTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.text, self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in TokenKind::all() {
+            assert!(seen.insert(k.name()), "duplicate terminal name {}", k.name());
+        }
+    }
+
+    #[test]
+    fn keywords_round_trip() {
+        for k in TokenKind::all() {
+            let name = k.name();
+            if name.chars().all(|c| c.is_ascii_lowercase())
+                && !matches!(name, "id" | "tick")
+                && !name.ends_with("_lit")
+            {
+                assert_eq!(TokenKind::keyword(name), Some(*k), "{name}");
+            }
+        }
+        assert_eq!(TokenKind::keyword("nonsense"), None);
+        assert_eq!(TokenKind::keyword("entity"), Some(TokenKind::KwEntity));
+    }
+
+    #[test]
+    fn display_and_pos() {
+        let t = SrcTok::new(TokenKind::Id, "clk", Pos { line: 3, col: 7 });
+        assert_eq!(t.to_string(), "clk@3:7");
+        assert_eq!(TokenKind::Lte.to_string(), "'<='");
+    }
+}

@@ -1,0 +1,103 @@
+//! Human-readable VIF dump — "used for both debugging and documentation"
+//! (§2.2).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::node::{VifNode, VifValue};
+
+/// Pretty-prints a node graph as an indented outline. Shared nodes are
+/// printed once and referenced as `^<kind> "<name>"` afterwards.
+pub fn dump(root: &Rc<VifNode>) -> String {
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    dump_node(root, 0, &mut out, &mut seen);
+    out
+}
+
+fn dump_node(
+    n: &Rc<VifNode>,
+    indent: usize,
+    out: &mut String,
+    seen: &mut HashSet<*const VifNode>,
+) {
+    let pad = "  ".repeat(indent);
+    if !seen.insert(Rc::as_ptr(n)) {
+        let _ = writeln!(out, "{pad}^{} {:?}", n.kind(), n.name().unwrap_or(""));
+        return;
+    }
+    match n.name() {
+        Some(name) => {
+            let _ = writeln!(out, "{pad}{} {name:?}", n.kind());
+        }
+        None => {
+            let _ = writeln!(out, "{pad}{}", n.kind());
+        }
+    }
+    for (fname, v) in n.fields() {
+        let _ = write!(out, "{pad}  .{fname} = ");
+        dump_value(v, indent + 1, out, seen);
+    }
+}
+
+fn dump_value(
+    v: &VifValue,
+    indent: usize,
+    out: &mut String,
+    seen: &mut HashSet<*const VifNode>,
+) {
+    match v {
+        VifValue::Nil => out.push_str("nil\n"),
+        VifValue::Bool(b) => {
+            let _ = writeln!(out, "{b}");
+        }
+        VifValue::Int(i) => {
+            let _ = writeln!(out, "{i}");
+        }
+        VifValue::Real(r) => {
+            let _ = writeln!(out, "{r}");
+        }
+        VifValue::Str(s) => {
+            let _ = writeln!(out, "{s:?}");
+        }
+        VifValue::Foreign(r) => {
+            let _ = writeln!(out, "@{r}");
+        }
+        VifValue::Node(n) => {
+            out.push('\n');
+            dump_node(n, indent + 1, out, seen);
+        }
+        VifValue::List(items) => {
+            let _ = writeln!(out, "[{}]", items.len());
+            for item in items.iter() {
+                let pad = "  ".repeat(indent + 1);
+                let _ = write!(out, "{pad}- ");
+                dump_value(item, indent + 1, out, seen);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_shows_structure_and_sharing() {
+        let ty = VifNode::build("type").name("bit").done();
+        let root = VifNode::build("entity")
+            .name("e")
+            .node_field("t1", Rc::clone(&ty))
+            .node_field("t2", Rc::clone(&ty))
+            .int_field("line", 3)
+            .list_field("xs", vec![VifValue::Int(1)])
+            .done();
+        let d = dump(&root);
+        assert!(d.contains("entity \"e\""));
+        assert!(d.contains(".line = 3"));
+        assert!(d.contains("type \"bit\""));
+        assert!(d.contains("^type"), "second occurrence is a backreference");
+        assert!(d.contains("[1]"));
+    }
+}

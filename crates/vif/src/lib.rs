@@ -1,0 +1,38 @@
+//! VHDL Intermediate Format (VIF).
+//!
+//! The machine-readable intermediate language of the paper's compiler
+//! (§2.2, §4.3): an *applicative* node graph that serves simultaneously as
+//! the separate-compilation interchange format and as the symbol table.
+//! This crate provides:
+//!
+//! - [`node`] — immutable, shareable nodes built through a builder;
+//! - [`text`] — serialization that preserves graph sharing, and reading
+//!   with nested foreign-reference resolution ("fix-up");
+//! - [`library`] — work/reference design libraries with the usage history
+//!   that drives the latest-compiled-architecture default-binding rule;
+//! - [`dump`] — the human-readable form used for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use std::rc::Rc;
+//! use vhdl_vif::{Library, LibrarySet, VifNode};
+//!
+//! let work = Rc::new(Library::in_memory("work"));
+//! let unit = VifNode::build("entity").name("counter").int_field("ports", 3).done();
+//! work.put("entity.counter", &unit)?;
+//! let set = LibrarySet::new(work, vec![]);
+//! let back = set.load("work.entity.counter")?;
+//! assert_eq!(back.int_field("ports"), Some(3));
+//! # Ok::<(), vhdl_vif::VifError>(())
+//! ```
+
+pub mod dump;
+pub mod library;
+pub mod node;
+pub mod text;
+
+pub use dump::dump;
+pub use library::{Library, LibrarySet, UnitKey, VifTraffic};
+pub use node::{VifBuilder, VifNode, VifValue};
+pub use text::{read_vif, write_vif, VifError};

@@ -1,0 +1,391 @@
+//! Design libraries: named collections of separately-compiled units.
+//!
+//! The compiler "accepts … a working library where the successfully
+//! compiled units are placed and a reference library which can be
+//! referenced … but not updated" (§2). A [`Library`] stores one VIF file
+//! per unit plus a **usage history** — the compilation order — because the
+//! default-binding rules depend on "the latest compiled architecture for
+//! that entity" (§3.3), which makes configuration defaults dependent on
+//! library history.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use crate::node::VifNode;
+use crate::text::{read_vif, write_vif, VifError};
+
+/// Key of a unit within a library: `"entity.<name>"`, `"arch.<entity>.<name>"`,
+/// `"pkg.<name>"`, `"pkgbody.<name>"`, or `"config.<name>"`.
+pub type UnitKey = String;
+
+/// Cumulative VIF traffic statistics (for the phase-breakdown experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VifTraffic {
+    /// Bytes of VIF text written.
+    pub bytes_written: u64,
+    /// Bytes of VIF text read.
+    pub bytes_read: u64,
+    /// Units written.
+    pub units_written: u64,
+    /// Units read (including those pulled in by nested foreign references).
+    pub units_read: u64,
+}
+
+enum Backend {
+    Memory(RefCell<HashMap<UnitKey, String>>),
+    Disk(PathBuf),
+}
+
+/// One design library.
+pub struct Library {
+    name: String,
+    backend: Backend,
+    /// Compilation order (usage history), oldest first.
+    history: RefCell<Vec<UnitKey>>,
+    traffic: RefCell<VifTraffic>,
+    /// Cache of resolved units (cleared never — units are immutable; a
+    /// recompile replaces the entry).
+    cache: RefCell<HashMap<UnitKey, Rc<VifNode>>>,
+    /// Caching toggle: the paper's compiler re-read foreign VIF per
+    /// compilation; disabling the cache reproduces that cost model for the
+    /// performance experiments.
+    cache_enabled: std::cell::Cell<bool>,
+}
+
+impl Library {
+    /// Creates an in-memory library (tests, benches).
+    pub fn in_memory(name: &str) -> Library {
+        Library {
+            name: name.to_string(),
+            backend: Backend::Memory(RefCell::new(HashMap::new())),
+            history: RefCell::new(Vec::new()),
+            traffic: RefCell::new(VifTraffic::default()),
+            cache: RefCell::new(HashMap::new()),
+            cache_enabled: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Opens (or creates) an on-disk library rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory or reading the history file.
+    pub fn on_disk(name: &str, dir: impl Into<PathBuf>) -> Result<Library, VifError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let history_path = dir.join("history");
+        let history = if history_path.exists() {
+            std::fs::read_to_string(&history_path)?
+                .lines()
+                .map(str::to_string)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Library {
+            name: name.to_string(),
+            backend: Backend::Disk(dir),
+            history: RefCell::new(history),
+            traffic: RefCell::new(VifTraffic::default()),
+            cache: RefCell::new(HashMap::new()),
+            cache_enabled: std::cell::Cell::new(true),
+        })
+    }
+
+    /// The library's logical name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stores a unit (replacing any previous version) and appends it to the
+    /// usage history.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors on disk-backed libraries.
+    pub fn put(&self, key: &str, node: &Rc<VifNode>) -> Result<(), VifError> {
+        let text = write_vif(node);
+        {
+            let mut t = self.traffic.borrow_mut();
+            t.bytes_written += text.len() as u64;
+            t.units_written += 1;
+        }
+        match &self.backend {
+            Backend::Memory(m) => {
+                m.borrow_mut().insert(key.to_string(), text);
+            }
+            Backend::Disk(dir) => {
+                std::fs::write(dir.join(format!("{}.vif", sanitize(key))), text)?;
+            }
+        }
+        self.cache.borrow_mut().remove(key);
+        self.history.borrow_mut().push(key.to_string());
+        if let Backend::Disk(dir) = &self.backend {
+            std::fs::write(dir.join("history"), self.history.borrow().join("\n"))?;
+        }
+        Ok(())
+    }
+
+    /// Raw VIF text of a unit.
+    ///
+    /// # Errors
+    ///
+    /// [`VifError::MissingUnit`] if absent; I/O errors on disk.
+    pub fn raw(&self, key: &str) -> Result<String, VifError> {
+        let text = match &self.backend {
+            Backend::Memory(m) => m
+                .borrow()
+                .get(key)
+                .cloned()
+                .ok_or_else(|| VifError::MissingUnit(format!("{}.{key}", self.name)))?,
+            Backend::Disk(dir) => {
+                let path = dir.join(format!("{}.vif", sanitize(key)));
+                if !path.exists() {
+                    return Err(VifError::MissingUnit(format!("{}.{key}", self.name)));
+                }
+                std::fs::read_to_string(path)?
+            }
+        };
+        {
+            let mut t = self.traffic.borrow_mut();
+            t.bytes_read += text.len() as u64;
+            t.units_read += 1;
+        }
+        Ok(text)
+    }
+
+    /// `true` if the unit exists.
+    pub fn contains(&self, key: &str) -> bool {
+        match &self.backend {
+            Backend::Memory(m) => m.borrow().contains_key(key),
+            Backend::Disk(dir) => dir.join(format!("{}.vif", sanitize(key))).exists(),
+        }
+    }
+
+    /// All unit keys, in usage-history order (duplicates possible when a
+    /// unit was recompiled; the last occurrence is the current one).
+    pub fn history(&self) -> Vec<UnitKey> {
+        self.history.borrow().clone()
+    }
+
+    /// The **latest compiled architecture** for `entity` — the paper's
+    /// §3.3 default-binding rule. Returns the architecture name.
+    pub fn latest_architecture(&self, entity: &str) -> Option<String> {
+        let prefix = format!("arch.{entity}.");
+        self.history
+            .borrow()
+            .iter()
+            .rev()
+            .find(|k| k.starts_with(&prefix))
+            .map(|k| k[prefix.len()..].to_string())
+    }
+
+    /// Cumulative VIF traffic so far.
+    pub fn traffic(&self) -> VifTraffic {
+        *self.traffic.borrow()
+    }
+
+    /// Resets the traffic counters (between benchmark phases).
+    pub fn reset_traffic(&self) {
+        *self.traffic.borrow_mut() = VifTraffic::default();
+    }
+
+    /// Enables/disables the unit cache (see the performance experiments).
+    pub fn set_cache_enabled(&self, on: bool) {
+        self.cache_enabled.set(on);
+        if !on {
+            self.cache.borrow_mut().clear();
+        }
+    }
+
+    fn cache_get(&self, key: &str) -> Option<Rc<VifNode>> {
+        if !self.cache_enabled.get() {
+            return None;
+        }
+        self.cache.borrow().get(key).cloned()
+    }
+
+    fn cache_put(&self, key: &str, node: Rc<VifNode>) {
+        self.cache.borrow_mut().insert(key.to_string(), node);
+    }
+}
+
+fn sanitize(key: &str) -> String {
+    key.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// The library universe of one compilation: a writable work library plus
+/// read-only reference libraries, addressed by logical name. The name
+/// `"work"` always denotes the work library.
+pub struct LibrarySet {
+    work: Rc<Library>,
+    refs: Vec<Rc<Library>>,
+}
+
+impl LibrarySet {
+    /// Creates a set from a work library and reference libraries.
+    pub fn new(work: Rc<Library>, refs: Vec<Rc<Library>>) -> LibrarySet {
+        LibrarySet { work, refs }
+    }
+
+    /// The writable work library.
+    pub fn work(&self) -> &Rc<Library> {
+        &self.work
+    }
+
+    /// Looks up a library by logical name (`"work"` or a reference
+    /// library's name).
+    pub fn library(&self, name: &str) -> Option<&Rc<Library>> {
+        if name == "work" || name == self.work.name() {
+            return Some(&self.work);
+        }
+        self.refs.iter().find(|l| l.name() == name)
+    }
+
+    /// Loads a unit by full reference `lib.unit_key`, resolving nested
+    /// foreign references recursively (the §2.2 "fix-up" step). Results are
+    /// cached per library.
+    ///
+    /// # Errors
+    ///
+    /// [`VifError::MissingUnit`]/[`VifError::Unresolved`] for dangling
+    /// references; syntax errors for corrupt files.
+    pub fn load(&self, full_ref: &str) -> Result<Rc<VifNode>, VifError> {
+        let (lib_name, key) = full_ref
+            .split_once('.')
+            .ok_or_else(|| VifError::Unresolved(full_ref.to_string()))?;
+        let lib = self
+            .library(lib_name)
+            .ok_or_else(|| VifError::Unresolved(format!("no library `{lib_name}`")))?;
+        if let Some(hit) = lib.cache_get(key) {
+            return Ok(hit);
+        }
+        let text = lib.raw(key)?;
+        let node = read_vif(&text, &mut |nested| self.load(nested))?;
+        lib.cache_put(key, Rc::clone(&node));
+        Ok(node)
+    }
+
+    /// Total VIF traffic across all libraries.
+    pub fn traffic(&self) -> VifTraffic {
+        let mut t = self.work.traffic();
+        for l in &self.refs {
+            let lt = l.traffic();
+            t.bytes_read += lt.bytes_read;
+            t.bytes_written += lt.bytes_written;
+            t.units_read += lt.units_read;
+            t.units_written += lt.units_written;
+        }
+        t
+    }
+
+    /// Resets all traffic counters.
+    pub fn reset_traffic(&self) {
+        self.work.reset_traffic();
+        for l in &self.refs {
+            l.reset_traffic();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{VifNode, VifValue};
+
+    fn unit(name: &str) -> Rc<VifNode> {
+        VifNode::build("entity").name(name).done()
+    }
+
+    #[test]
+    fn memory_put_get_history() {
+        let lib = Library::in_memory("work");
+        lib.put("entity.e", &unit("e")).unwrap();
+        lib.put("arch.e.rtl", &unit("rtl")).unwrap();
+        lib.put("arch.e.fast", &unit("fast")).unwrap();
+        assert!(lib.contains("entity.e"));
+        assert!(!lib.contains("entity.zzz"));
+        assert_eq!(lib.history().len(), 3);
+        assert_eq!(lib.latest_architecture("e"), Some("fast".to_string()));
+        // Recompiling rtl makes it latest — the §3.3 nondeterminism.
+        lib.put("arch.e.rtl", &unit("rtl")).unwrap();
+        assert_eq!(lib.latest_architecture("e"), Some("rtl".to_string()));
+        assert_eq!(lib.latest_architecture("other"), None);
+    }
+
+    #[test]
+    fn library_set_resolves_nested_foreign_refs() {
+        let work = Rc::new(Library::in_memory("work"));
+        let lib2 = Rc::new(Library::in_memory("ieee"));
+        // ieee.pkg.base is a leaf; work.pkg.mid references it; work.entity.top
+        // references mid — loading top must pull in all three.
+        lib2.put("pkg.base", &unit("base")).unwrap();
+        let mid = VifNode::build("package")
+            .name("mid")
+            .field("uses", VifValue::Foreign("ieee.pkg.base".into()))
+            .done();
+        work.put("pkg.mid", &mid).unwrap();
+        let top = VifNode::build("entity")
+            .name("top")
+            .field("uses", VifValue::Foreign("work.pkg.mid".into()))
+            .done();
+        work.put("entity.top", &top).unwrap();
+
+        let set = LibrarySet::new(Rc::clone(&work), vec![Rc::clone(&lib2)]);
+        let loaded = set.load("work.entity.top").unwrap();
+        let mid = loaded.node_field("uses").unwrap();
+        let base = mid.node_field("uses").unwrap();
+        assert_eq!(base.name(), Some("base"));
+        let t = set.traffic();
+        assert_eq!(t.units_read, 3);
+        assert!(t.bytes_read > 0);
+
+        // Second load hits the cache: no extra reads.
+        set.load("work.entity.top").unwrap();
+        assert_eq!(set.traffic().units_read, 3);
+    }
+
+    #[test]
+    fn missing_unit_error() {
+        let set = LibrarySet::new(Rc::new(Library::in_memory("work")), vec![]);
+        assert!(matches!(
+            set.load("work.entity.nope").unwrap_err(),
+            VifError::MissingUnit(_)
+        ));
+        assert!(set.load("nolib.entity.e").is_err());
+        assert!(set.load("badref").is_err());
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("viftest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let lib = Library::on_disk("work", &dir).unwrap();
+            lib.put("entity.e", &unit("e")).unwrap();
+            lib.put("arch.e.rtl", &unit("rtl")).unwrap();
+        }
+        {
+            let lib = Rc::new(Library::on_disk("work", &dir).unwrap());
+            assert!(lib.contains("entity.e"));
+            assert_eq!(lib.latest_architecture("e"), Some("rtl".to_string()));
+            let set = LibrarySet::new(lib, vec![]);
+            let e = set.load("work.entity.e").unwrap();
+            assert_eq!(e.name(), Some("e"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traffic_reset() {
+        let lib = Library::in_memory("work");
+        lib.put("entity.e", &unit("e")).unwrap();
+        assert!(lib.traffic().bytes_written > 0);
+        lib.reset_traffic();
+        assert_eq!(lib.traffic(), VifTraffic::default());
+    }
+}

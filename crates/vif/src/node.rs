@@ -1,0 +1,288 @@
+//! VIF nodes: the applicative node graph.
+//!
+//! "The VIF is specified in the AG and created through attribute
+//! evaluation. … once built, the VIF can not be changed" (§4.3). Nodes are
+//! therefore immutable after construction and shared through [`Rc`] — new
+//! information is expressed by building new nodes that link to old ones,
+//! never by mutation.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Tag of a VIF node — the "record type" from the VIF description.
+///
+/// Kept as an interned string rather than a closed enum so the schema can
+/// grow the way the paper's declaratively-specified VIF did.
+pub type Kind = Rc<str>;
+
+/// A field value inside a [`VifNode`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum VifValue {
+    /// Absent / null.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer (also used for enum positions and physical values).
+    Int(i64),
+    /// IEEE double (VHDL `REAL`).
+    Real(f64),
+    /// String (names, literals).
+    Str(Rc<str>),
+    /// Link to another node (shared — this is what makes the VIF a graph).
+    Node(Rc<VifNode>),
+    /// Ordered list.
+    List(Rc<Vec<VifValue>>),
+    /// A *foreign reference* to a separately-compiled unit, as
+    /// `library.unit_key`. Written to disk as a reference; resolved into a
+    /// [`VifValue::Node`] when read back ("fixup").
+    Foreign(Rc<str>),
+}
+
+impl VifValue {
+    /// Convenience: string value.
+    pub fn str(s: impl Into<Rc<str>>) -> VifValue {
+        VifValue::Str(s.into())
+    }
+
+    /// Convenience: node value.
+    pub fn node(n: Rc<VifNode>) -> VifValue {
+        VifValue::Node(n)
+    }
+
+    /// Convenience: list value.
+    pub fn list(items: Vec<VifValue>) -> VifValue {
+        VifValue::List(Rc::new(items))
+    }
+
+    /// As integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            VifValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// As string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            VifValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As node, if it is one.
+    pub fn as_node(&self) -> Option<&Rc<VifNode>> {
+        match self {
+            VifValue::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// As list, if it is one.
+    pub fn as_list(&self) -> Option<&[VifValue]> {
+        match self {
+            VifValue::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// An immutable VIF node: kind, optional name, ordered fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VifNode {
+    kind: Kind,
+    name: Option<Rc<str>>,
+    fields: Vec<(Rc<str>, VifValue)>,
+}
+
+impl VifNode {
+    /// Starts building a node of `kind`.
+    pub fn build(kind: impl Into<Kind>) -> VifBuilder {
+        VifBuilder {
+            kind: kind.into(),
+            name: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// The node's kind tag.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The node's name, if named.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[(Rc<str>, VifValue)] {
+        &self.fields
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&VifValue> {
+        self.fields
+            .iter()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Field as node, or `None`.
+    pub fn node_field(&self, name: &str) -> Option<&Rc<VifNode>> {
+        self.field(name).and_then(VifValue::as_node)
+    }
+
+    /// Field as list, or an empty slice.
+    pub fn list_field(&self, name: &str) -> &[VifValue] {
+        self.field(name).and_then(VifValue::as_list).unwrap_or(&[])
+    }
+
+    /// Field as string.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        self.field(name).and_then(VifValue::as_str)
+    }
+
+    /// Field as integer.
+    pub fn int_field(&self, name: &str) -> Option<i64> {
+        self.field(name).and_then(VifValue::as_int)
+    }
+
+    /// Number of nodes reachable from this one (counting shared nodes
+    /// once) — used by the VIF-traffic experiments.
+    pub fn reachable_size(self: &Rc<Self>) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        fn walk(n: &Rc<VifNode>, seen: &mut std::collections::HashSet<*const VifNode>) {
+            if !seen.insert(Rc::as_ptr(n)) {
+                return;
+            }
+            for (_, v) in n.fields() {
+                walk_value(v, seen);
+            }
+        }
+        fn walk_value(v: &VifValue, seen: &mut std::collections::HashSet<*const VifNode>) {
+            match v {
+                VifValue::Node(n) => walk(n, seen),
+                VifValue::List(l) => {
+                    for v in l.iter() {
+                        walk_value(v, seen);
+                    }
+                }
+                _ => {}
+            }
+        }
+        walk(self, &mut seen);
+        seen.len()
+    }
+}
+
+impl fmt::Display for VifNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}", self.kind)?;
+        if let Some(n) = &self.name {
+            write!(f, " {n:?}")?;
+        }
+        write!(f, " …)")
+    }
+}
+
+/// Builder for [`VifNode`] (nodes are immutable once built).
+pub struct VifBuilder {
+    kind: Kind,
+    name: Option<Rc<str>>,
+    fields: Vec<(Rc<str>, VifValue)>,
+}
+
+impl VifBuilder {
+    /// Names the node.
+    pub fn name(mut self, name: impl Into<Rc<str>>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Adds a field.
+    pub fn field(mut self, name: impl Into<Rc<str>>, value: VifValue) -> Self {
+        self.fields.push((name.into(), value));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str_field(self, name: impl Into<Rc<str>>, v: impl Into<Rc<str>>) -> Self {
+        self.field(name, VifValue::Str(v.into()))
+    }
+
+    /// Adds an integer field.
+    pub fn int_field(self, name: impl Into<Rc<str>>, v: i64) -> Self {
+        self.field(name, VifValue::Int(v))
+    }
+
+    /// Adds a node field.
+    pub fn node_field(self, name: impl Into<Rc<str>>, v: Rc<VifNode>) -> Self {
+        self.field(name, VifValue::Node(v))
+    }
+
+    /// Adds a list field.
+    pub fn list_field(self, name: impl Into<Rc<str>>, v: Vec<VifValue>) -> Self {
+        self.field(name, VifValue::list(v))
+    }
+
+    /// Finishes the node.
+    pub fn done(self) -> Rc<VifNode> {
+        Rc::new(VifNode {
+            kind: self.kind,
+            name: self.name,
+            fields: self.fields,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let ty = VifNode::build("type").name("integer").done();
+        let obj = VifNode::build("signal")
+            .name("clk")
+            .node_field("type", Rc::clone(&ty))
+            .int_field("line", 12)
+            .str_field("mode", "in")
+            .list_field("drivers", vec![VifValue::Int(1), VifValue::Int(2)])
+            .field("missing_ok", VifValue::Nil)
+            .done();
+        assert_eq!(obj.kind(), "signal");
+        assert_eq!(obj.name(), Some("clk"));
+        assert_eq!(obj.int_field("line"), Some(12));
+        assert_eq!(obj.str_field("mode"), Some("in"));
+        assert_eq!(obj.node_field("type").unwrap().name(), Some("integer"));
+        assert_eq!(obj.list_field("drivers").len(), 2);
+        assert_eq!(obj.list_field("nonexistent").len(), 0);
+        assert_eq!(obj.field("missing_ok"), Some(&VifValue::Nil));
+        assert_eq!(obj.field("really_missing"), None);
+        assert_eq!(obj.fields().len(), 5);
+    }
+
+    #[test]
+    fn reachable_counts_shared_once() {
+        let shared = VifNode::build("type").name("bit").done();
+        let a = VifNode::build("a").node_field("t", Rc::clone(&shared)).done();
+        let b = VifNode::build("b")
+            .node_field("t", Rc::clone(&shared))
+            .node_field("a", Rc::clone(&a))
+            .list_field("xs", vec![VifValue::Node(Rc::clone(&shared))])
+            .done();
+        assert_eq!(b.reachable_size(), 3); // b, a, shared
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(VifValue::Int(3).as_int(), Some(3));
+        assert_eq!(VifValue::str("x").as_str(), Some("x"));
+        assert_eq!(VifValue::Bool(true).as_int(), None);
+        let n = VifNode::build("k").done();
+        assert!(VifValue::node(Rc::clone(&n)).as_node().is_some());
+        assert!(VifValue::list(vec![]).as_list().is_some());
+        assert_eq!(format!("{n}"), "(k …)");
+    }
+}

@@ -1,0 +1,546 @@
+//! VIF text serialization.
+//!
+//! The on-disk form is a numbered node table, so graph sharing survives a
+//! round trip (environment chains and type graphs share heavily — naive
+//! tree serialization would blow up quadratically):
+//!
+//! ```text
+//! VIF1
+//! #0 (signal "clk" (type #1) (line 12))
+//! #1 (type "bit")
+//! root #0
+//! ```
+//!
+//! Foreign references are written as `@"lib.unit"` and resolved through a
+//! caller-supplied loader while reading — the "reads the VIF from disk,
+//! resolving any nested foreign references" step of §2.2.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::node::{VifNode, VifValue};
+
+/// Errors while reading VIF text.
+#[derive(Debug)]
+pub enum VifError {
+    /// Malformed input.
+    Syntax {
+        /// Byte offset.
+        at: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A foreign reference could not be resolved.
+    Unresolved(String),
+    /// Underlying I/O problem (from library operations).
+    Io(std::io::Error),
+    /// A requested unit does not exist.
+    MissingUnit(String),
+}
+
+impl fmt::Display for VifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VifError::Syntax { at, msg } => write!(f, "vif syntax error at byte {at}: {msg}"),
+            VifError::Unresolved(r) => write!(f, "unresolved foreign reference `{r}`"),
+            VifError::Io(e) => write!(f, "vif i/o error: {e}"),
+            VifError::MissingUnit(u) => write!(f, "no such unit `{u}` in library"),
+        }
+    }
+}
+
+impl std::error::Error for VifError {}
+
+impl From<std::io::Error> for VifError {
+    fn from(e: std::io::Error) -> Self {
+        VifError::Io(e)
+    }
+}
+
+/// Serializes a node graph to VIF text, preserving sharing.
+pub fn write_vif(root: &Rc<VifNode>) -> String {
+    // Number nodes by first (depth-first) encounter.
+    let mut ids: HashMap<*const VifNode, usize> = HashMap::new();
+    let mut order: Vec<Rc<VifNode>> = Vec::new();
+    number(root, &mut ids, &mut order);
+    let mut out = String::from("VIF1\n");
+    for (i, n) in order.iter().enumerate() {
+        let _ = write!(out, "#{i} ({}", n.kind());
+        if let Some(name) = n.name() {
+            let _ = write!(out, " {}", quote(name));
+        }
+        for (fname, v) in n.fields() {
+            let _ = write!(out, " ({fname} ");
+            write_value(&mut out, v, &ids);
+            out.push(')');
+        }
+        out.push_str(")\n");
+    }
+    let _ = writeln!(out, "root #{}", ids[&Rc::as_ptr(root)]);
+    out
+}
+
+fn number(
+    n: &Rc<VifNode>,
+    ids: &mut HashMap<*const VifNode, usize>,
+    order: &mut Vec<Rc<VifNode>>,
+) {
+    if ids.contains_key(&Rc::as_ptr(n)) {
+        return;
+    }
+    ids.insert(Rc::as_ptr(n), order.len());
+    order.push(Rc::clone(n));
+    for (_, v) in n.fields() {
+        number_value(v, ids, order);
+    }
+}
+
+fn number_value(
+    v: &VifValue,
+    ids: &mut HashMap<*const VifNode, usize>,
+    order: &mut Vec<Rc<VifNode>>,
+) {
+    match v {
+        VifValue::Node(n) => number(n, ids, order),
+        VifValue::List(l) => {
+            for v in l.iter() {
+                number_value(v, ids, order);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn write_value(out: &mut String, v: &VifValue, ids: &HashMap<*const VifNode, usize>) {
+    match v {
+        VifValue::Nil => out.push_str("nil"),
+        VifValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        VifValue::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        VifValue::Real(r) => {
+            let _ = write!(out, "r{r:?}");
+        }
+        VifValue::Str(s) => out.push_str(&quote(s)),
+        VifValue::Node(n) => {
+            let _ = write!(out, "#{}", ids[&Rc::as_ptr(n)]);
+        }
+        VifValue::List(l) => {
+            out.push('[');
+            for (i, v) in l.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_value(out, v, ids);
+            }
+            out.push(']');
+        }
+        VifValue::Foreign(r) => {
+            out.push('@');
+            out.push_str(&quote(r));
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Resolver callback for foreign references encountered during reading.
+pub type Resolver<'a> = dyn FnMut(&str) -> Result<Rc<VifNode>, VifError> + 'a;
+
+/// Parses VIF text back into a node graph, resolving `@"lib.unit"` foreign
+/// references through `resolve`.
+///
+/// # Errors
+///
+/// [`VifError::Syntax`] on malformed text, or whatever `resolve` returns
+/// for an unknown reference.
+pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, VifError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        i: 0,
+    };
+    p.expect_word("VIF1")?;
+    // First pass: parse node table into raw entries; node refs are patched
+    // afterwards (two-pass because `#k` may be a forward reference).
+    struct RawNode {
+        kind: String,
+        name: Option<String>,
+        fields: Vec<(String, Raw)>,
+    }
+    enum Raw {
+        Val(VifValue),
+        Ref(usize),
+        List(Vec<Raw>),
+    }
+    let mut raw: Vec<RawNode> = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.looking_at("root") {
+            break;
+        }
+        p.expect(b'#')?;
+        let id = p.number()? as usize;
+        if id != raw.len() {
+            return Err(p.err("node ids must be dense and in order"));
+        }
+        p.expect(b'(')?;
+        let kind = p.word()?;
+        p.skip_ws();
+        let name = if p.peek() == Some(b'"') {
+            Some(p.string()?)
+        } else {
+            None
+        };
+        let mut fields = Vec::new();
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b')') {
+                p.i += 1;
+                break;
+            }
+            p.expect(b'(')?;
+            let fname = p.word()?;
+            fn value(p: &mut P, resolve: &mut Resolver<'_>) -> Result<Raw, VifError> {
+                p.skip_ws();
+                match p.peek() {
+                    Some(b'#') => {
+                        p.i += 1;
+                        Ok(Raw::Ref(p.number()? as usize))
+                    }
+                    Some(b'[') => {
+                        p.i += 1;
+                        let mut items = Vec::new();
+                        loop {
+                            p.skip_ws();
+                            if p.peek() == Some(b']') {
+                                p.i += 1;
+                                break;
+                            }
+                            items.push(value(p, resolve)?);
+                        }
+                        Ok(Raw::List(items))
+                    }
+                    Some(b'"') => Ok(Raw::Val(VifValue::str(p.string()?))),
+                    Some(b'@') => {
+                        p.i += 1;
+                        let r = p.string()?;
+                        // Resolve eagerly: nested foreign references load
+                        // their units right here.
+                        let node = resolve(&r)?;
+                        Ok(Raw::Val(VifValue::Node(node)))
+                    }
+                    Some(b'r') => {
+                        p.i += 1;
+                        let n = p.float()?;
+                        Ok(Raw::Val(VifValue::Real(n)))
+                    }
+                    Some(c) if c == b'-' || c.is_ascii_digit() => {
+                        Ok(Raw::Val(VifValue::Int(p.number()?)))
+                    }
+                    _ => {
+                        let w = p.word()?;
+                        match w.as_str() {
+                            "nil" => Ok(Raw::Val(VifValue::Nil)),
+                            "true" => Ok(Raw::Val(VifValue::Bool(true))),
+                            "false" => Ok(Raw::Val(VifValue::Bool(false))),
+                            other => Err(p.err(format!("unexpected word `{other}`"))),
+                        }
+                    }
+                }
+            }
+            let v = value(&mut p, resolve)?;
+            p.skip_ws();
+            p.expect(b')')?;
+            fields.push((fname, v));
+        }
+        raw.push(RawNode { kind, name, fields });
+    }
+    p.expect_word("root")?;
+    p.skip_ws();
+    p.expect(b'#')?;
+    let root_id = p.number()? as usize;
+
+    // Second pass: build real nodes bottom-up. Because ids are assigned
+    // depth-first on write, a node only references nodes that appear later
+    // OR earlier; handle arbitrary order by memoized recursion.
+    let mut built: Vec<Option<Rc<VifNode>>> = vec![None; raw.len()];
+    fn build(
+        id: usize,
+        raw: &[RawNode],
+        built: &mut Vec<Option<Rc<VifNode>>>,
+        depth: usize,
+    ) -> Result<Rc<VifNode>, VifError> {
+        if let Some(n) = &built[id] {
+            return Ok(Rc::clone(n));
+        }
+        if depth > raw.len() {
+            return Err(VifError::Syntax {
+                at: 0,
+                msg: "cyclic node table".into(),
+            });
+        }
+        fn conv(
+            r: &Raw,
+            raw: &[RawNode],
+            built: &mut Vec<Option<Rc<VifNode>>>,
+            depth: usize,
+        ) -> Result<VifValue, VifError> {
+            Ok(match r {
+                Raw::Val(v) => v.clone(),
+                Raw::Ref(id) => VifValue::Node(build(*id, raw, built, depth + 1)?),
+                Raw::List(items) => VifValue::list(
+                    items
+                        .iter()
+                        .map(|r| conv(r, raw, built, depth))
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+            })
+        }
+        let rn = &raw[id];
+        let mut b = VifNode::build(rn.kind.as_str());
+        if let Some(n) = &rn.name {
+            b = b.name(n.as_str());
+        }
+        for (fname, r) in &rn.fields {
+            b = b.field(fname.as_str(), conv(r, raw, built, depth)?);
+        }
+        let node = b.done();
+        built[id] = Some(Rc::clone(&node));
+        Ok(node)
+    }
+    if root_id >= raw.len() {
+        return Err(VifError::Syntax {
+            at: 0,
+            msg: "root id out of range".into(),
+        });
+    }
+    build(root_id, &raw, &mut built, 0)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    i: usize,
+}
+
+impl P<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\n') | Some(b'\t') | Some(b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> VifError {
+        VifError::Syntax {
+            at: self.i,
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), VifError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn looking_at(&self, word: &str) -> bool {
+        self.src[self.i..].starts_with(word.as_bytes())
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), VifError> {
+        self.skip_ws();
+        if self.looking_at(w) {
+            self.i += w.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{w}`")))
+        }
+    }
+
+    fn word(&mut self) -> Result<String, VifError> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'.')
+        {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(self.err("expected word"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.i]).into_owned())
+    }
+
+    fn number(&mut self) -> Result<i64, VifError> {
+        self.skip_ws();
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("expected number"))
+    }
+
+    fn float(&mut self) -> Result<f64, VifError> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("expected real"))
+    }
+
+    fn string(&mut self) -> Result<String, VifError> {
+        self.skip_ws();
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(c) => out.push(c as char),
+                        None => return Err(self.err("unterminated escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::VifNode;
+
+    fn no_foreign(r: &str) -> Result<Rc<VifNode>, VifError> {
+        Err(VifError::Unresolved(r.to_string()))
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_sharing() {
+        let shared = VifNode::build("type").name("bit").int_field("width", 1).done();
+        let a = VifNode::build("port")
+            .name("clk")
+            .node_field("type", Rc::clone(&shared))
+            .done();
+        let root = VifNode::build("entity")
+            .name("e")
+            .list_field(
+                "ports",
+                vec![VifValue::Node(Rc::clone(&a)), VifValue::Node(Rc::clone(&shared))],
+            )
+            .field("flag", VifValue::Bool(true))
+            .field("ratio", VifValue::Real(2.5))
+            .field("none", VifValue::Nil)
+            .str_field("note", "say \"hi\"\nline2")
+            .done();
+        let text = write_vif(&root);
+        let back = read_vif(&text, &mut no_foreign).unwrap();
+        assert_eq!(back, root);
+        // Sharing preserved: the type node reachable through the port and
+        // through the list is the same allocation.
+        let port = back.list_field("ports")[0].as_node().unwrap();
+        let ty1 = port.node_field("type").unwrap();
+        let ty2 = back.list_field("ports")[1].as_node().unwrap();
+        assert!(Rc::ptr_eq(ty1, ty2));
+        assert_eq!(back.reachable_size(), 3);
+    }
+
+    #[test]
+    fn foreign_references_resolved() {
+        let root = VifNode::build("arch")
+            .name("rtl")
+            .field("entity", VifValue::Foreign("work.entity.e".into()))
+            .done();
+        let text = write_vif(&root);
+        assert!(text.contains("@\"work.entity.e\""));
+        let mut calls = Vec::new();
+        let back = read_vif(&text, &mut |r| {
+            calls.push(r.to_string());
+            Ok(VifNode::build("entity").name("e").done())
+        })
+        .unwrap();
+        assert_eq!(calls, vec!["work.entity.e"]);
+        assert_eq!(back.node_field("entity").unwrap().name(), Some("e"));
+    }
+
+    #[test]
+    fn unresolved_foreign_is_error() {
+        let root = VifNode::build("x")
+            .field("r", VifValue::Foreign("nowhere.y".into()))
+            .done();
+        let text = write_vif(&root);
+        let err = read_vif(&text, &mut no_foreign).unwrap_err();
+        assert!(err.to_string().contains("nowhere.y"));
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        assert!(read_vif("garbage", &mut no_foreign).is_err());
+        assert!(read_vif("VIF1\n#0 (k (f", &mut no_foreign).is_err());
+        assert!(read_vif("VIF1\nroot #5", &mut no_foreign).is_err());
+        let e = read_vif("VIF1\n#1 (k)\nroot #1", &mut no_foreign).unwrap_err();
+        assert!(e.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn negative_ints_and_reals() {
+        let root = VifNode::build("k")
+            .int_field("a", -42)
+            .field("b", VifValue::Real(-0.5))
+            .done();
+        let back = read_vif(&write_vif(&root), &mut no_foreign).unwrap();
+        assert_eq!(back.int_field("a"), Some(-42));
+        assert_eq!(back.field("b"), Some(&VifValue::Real(-0.5)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the VIF: serialization round-trips arbitrary node
+//! graphs, preserves sharing, and library history obeys the
+//! latest-compiled-architecture rule.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use vhdl_vif::{read_vif, write_vif, Library, VifError, VifNode, VifValue};
+
+/// Random node trees (sharing is tested separately and deterministically).
+fn value_strategy(depth: u32) -> BoxedStrategy<VifValue> {
+    let leaf = prop_oneof![
+        Just(VifValue::Nil),
+        any::<bool>().prop_map(VifValue::Bool),
+        any::<i64>().prop_map(VifValue::Int),
+        (-1e9f64..1e9).prop_map(VifValue::Real),
+        "[a-z0-9 .\"\\\\]{0,12}".prop_map(|s| VifValue::str(s)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf,
+            node_strategy(depth - 1).prop_map(VifValue::Node),
+            proptest::collection::vec(value_strategy(depth - 1), 0..4)
+                .prop_map(VifValue::list),
+        ]
+        .boxed()
+    }
+}
+
+fn node_strategy(depth: u32) -> BoxedStrategy<Rc<VifNode>> {
+    (
+        "[a-z][a-z.]{0,8}",
+        proptest::option::of("[a-z][a-z0-9_]{0,8}"),
+        proptest::collection::vec(("[a-z][a-z0-9_]{0,6}", value_strategy(depth)), 0..5),
+    )
+        .prop_map(|(kind, name, fields)| {
+            let mut b = VifNode::build(kind.as_str());
+            if let Some(n) = name {
+                b = b.name(n.as_str());
+            }
+            for (f, v) in fields {
+                b = b.field(f.as_str(), v);
+            }
+            b.done()
+        })
+        .boxed()
+}
+
+fn no_foreign(r: &str) -> Result<Rc<VifNode>, VifError> {
+    Err(VifError::Unresolved(r.to_string()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → read is the identity on arbitrary node graphs.
+    #[test]
+    fn round_trip(node in node_strategy(3)) {
+        let text = write_vif(&node);
+        let back = read_vif(&text, &mut no_foreign).unwrap();
+        prop_assert_eq!(back, node);
+    }
+
+    /// Sharing is preserved: a diamond keeps its shared leaf single.
+    #[test]
+    fn sharing_survives(shared in node_strategy(1)) {
+        let a = VifNode::build("a").node_field("t", Rc::clone(&shared)).done();
+        let b = VifNode::build("b").node_field("t", Rc::clone(&shared)).done();
+        let root = VifNode::build("root")
+            .node_field("l", a)
+            .node_field("r", b)
+            .done();
+        let n_before = root.reachable_size();
+        let back = read_vif(&write_vif(&root), &mut no_foreign).unwrap();
+        prop_assert_eq!(back.reachable_size(), n_before);
+        let l = back.node_field("l").unwrap().node_field("t").unwrap();
+        let r = back.node_field("r").unwrap().node_field("t").unwrap();
+        prop_assert!(Rc::ptr_eq(l, r), "diamond collapsed to one allocation");
+    }
+
+    /// The latest-architecture rule returns the most recent put, under any
+    /// interleaving of architectures for any entities.
+    #[test]
+    fn latest_architecture_is_history_order(
+        puts in proptest::collection::vec((0u8..3, 0u8..3), 1..20)
+    ) {
+        let lib = Library::in_memory("work");
+        let node = VifNode::build("arch").done();
+        let mut last: std::collections::HashMap<u8, u8> = Default::default();
+        for (e, a) in &puts {
+            lib.put(&format!("arch.e{e}.a{a}"), &node).unwrap();
+            last.insert(*e, *a);
+        }
+        for (e, a) in last {
+            prop_assert_eq!(
+                lib.latest_architecture(&format!("e{e}")),
+                Some(format!("a{a}"))
+            );
+        }
+        prop_assert_eq!(lib.latest_architecture("zz"), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! Facade crate for the attribute-grammar-based VHDL compiler and simulator,
+//! a reproduction of *A VHDL Compiler Based on Attribute Grammar Methodology*
+//! (Farrow & Stanculescu, PLDI 1989).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! - [`lalr`] — LALR(1) parser generator,
+//! - [`ag`] — attribute grammar engine (classes, implicit rules, visit
+//!   sequences, evaluators),
+//! - [`syntax`] — VHDL lexer and the principal + LEF expression grammars,
+//! - [`vif`] — VHDL Intermediate Format and the design library,
+//! - [`sem`] — semantic analysis as cascaded attribute grammars,
+//! - [`kernel`] — the simulation virtual machine,
+//! - [`codegen`] — elaboration and code generation,
+//! - [`driver`] — the compiler driver with phase timing.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use ag_core as ag;
+pub use ag_lalr as lalr;
+pub use sim_kernel as kernel;
+pub use vhdl_codegen as codegen;
+pub use vhdl_driver as driver;
+pub use vhdl_sem as sem;
+pub use vhdl_syntax as syntax;
+pub use vhdl_vif as vif;

@@ -1,0 +1,130 @@
+//! Smoke tests of the `vhdlc` command-line interface: on-disk work
+//! library, elaboration, simulation, VCD and C outputs, error exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn vhdlc() -> Command {
+    // Integration tests run from the workspace; the binary lands in the
+    // shared target dir next to the test executable.
+    let mut exe = PathBuf::from(std::env::current_exe().unwrap());
+    exe.pop(); // deps/
+    exe.pop(); // debug/
+    exe.push("vhdlc");
+    Command::new(exe)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("vhdlc-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn compile_elaborate_simulate_roundtrip() {
+    let dir = tmpdir("ok");
+    let src = dir.join("blinker.vhd");
+    std::fs::write(
+        &src,
+        "entity blinker is end;
+         architecture a of blinker is
+           signal led : bit := '0';
+         begin
+           process
+           begin
+             led <= not led after 5 ns;
+             wait on led;
+           end process;
+           assert led = '0' or led = '1' report \"impossible\" severity note;
+         end a;",
+    )
+    .unwrap();
+    let work = dir.join("work");
+    let vcd = dir.join("waves.vcd");
+    let c = dir.join("out.c");
+    let out = vhdlc()
+        .args([
+            "--work",
+            work.to_str().unwrap(),
+            "--elab",
+            "blinker",
+            "--run",
+            "50",
+            "--vcd",
+            vcd.to_str().unwrap(),
+            "--emit-c",
+            c.to_str().unwrap(),
+            "--stats",
+            src.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Artifacts exist and look right.
+    let vcd_text = std::fs::read_to_string(&vcd).unwrap();
+    assert!(vcd_text.contains("$var"), "{vcd_text}");
+    assert!(vcd_text.matches('\n').count() > 10, "waveform has edges");
+    let c_text = std::fs::read_to_string(&c).unwrap();
+    assert!(c_text.contains("vhdl_kernel.h"));
+    // The work library persists: a second invocation elaborates without
+    // recompiling sources.
+    let out2 = vhdlc()
+        .args([
+            "--work",
+            work.to_str().unwrap(),
+            "--elab",
+            "blinker",
+            "--run",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("phases:"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn semantic_errors_fail_with_positions() {
+    let dir = tmpdir("err");
+    let src = dir.join("bad.vhd");
+    std::fs::write(
+        &src,
+        "entity e is end;
+         architecture a of e is
+           signal s : bit;
+         begin
+           s <= undefined_name;
+         end a;",
+    )
+    .unwrap();
+    let out = vhdlc().args([src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("undefined_name"), "{stderr}");
+    assert!(stderr.contains("5:"), "position in: {stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parse_errors_fail() {
+    let dir = tmpdir("parse");
+    let src = dir.join("bad.vhd");
+    std::fs::write(&src, "entity entity entity").unwrap();
+    let out = vhdlc().args([src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_option_is_usage_error() {
+    let out = vhdlc().args(["--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
