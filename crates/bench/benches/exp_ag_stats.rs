@@ -4,24 +4,28 @@
 //! sizes of both grammars.
 
 use ag_core::{analyze, plan, AgStats};
+use ag_harness::bench::Runner;
 use vhdl_sem::expr_ag::ExprAg;
 use vhdl_sem::principal_ag::PrincipalAg;
 use vhdl_syntax::PrincipalGrammar;
 
 fn main() {
+    let mut runner =
+        Runner::new("exp_ag_stats").out_dir(ag_bench::workspace_root().join("results"));
     let pg = PrincipalGrammar::new();
     let pag = PrincipalAg::build(&pg);
     let xag = ExprAg::build();
 
-    let visits = |ag: &ag_core::AttrGrammar<vhdl_sem::value::Value>| -> (String, Option<ag_core::Plans>) {
-        match analyze(ag) {
-            Ok(an) => match plan(ag, &an) {
-                Ok(p) => (p.overall_max_visits().to_string(), Some(p)),
+    let visits =
+        |ag: &ag_core::AttrGrammar<vhdl_sem::value::Value>| -> (String, Option<ag_core::Plans>) {
+            match analyze(ag) {
+                Ok(an) => match plan(ag, &an) {
+                    Ok(p) => (p.overall_max_visits().to_string(), Some(p)),
+                    Err(e) => (format!("n/a ({e})"), None),
+                },
                 Err(e) => (format!("n/a ({e})"), None),
-            },
-            Err(e) => (format!("n/a ({e})"), None),
-        }
-    };
+            }
+        };
 
     let (pv, pplan) = visits(&pag.ag);
     let (xv, xplan) = visits(&xag.ag);
@@ -48,9 +52,18 @@ fn main() {
     println!();
     println!("|                 | VHDL AG | expr AG |   (paper: 503/160 …)");
     println!("|-----------------|---------|---------|");
-    println!("| productions     | {:>7} | {:>7} |   paper: 503 / 160", ps.productions, xs.productions);
-    println!("| symbols         | {:>7} | {:>7} |   paper: 355 / 101", ps.symbols, xs.symbols);
-    println!("| attributes      | {:>7} | {:>7} |   paper: 3509 / 446", ps.attributes, xs.attributes);
+    println!(
+        "| productions     | {:>7} | {:>7} |   paper: 503 / 160",
+        ps.productions, xs.productions
+    );
+    println!(
+        "| symbols         | {:>7} | {:>7} |   paper: 355 / 101",
+        ps.symbols, xs.symbols
+    );
+    println!(
+        "| attributes      | {:>7} | {:>7} |   paper: 3509 / 446",
+        ps.attributes, xs.attributes
+    );
     println!(
         "| rules(implicit) | {:>4}({:>4}) | {:>4}({:>4}) |   paper: 8862(6349) / 2132(1061)",
         ps.rules, ps.implicit_rules, xs.rules, xs.implicit_rules
@@ -63,7 +76,10 @@ fn main() {
         ps.implicit_fraction() * 100.0,
         xs.implicit_fraction() * 100.0
     );
-    assert!(ps.implicit_fraction() > 0.5, "principal AG majority implicit");
+    assert!(
+        ps.implicit_fraction() > 0.5,
+        "principal AG majority implicit"
+    );
     println!();
     println!("# LALR table sizes");
     println!(
@@ -76,4 +92,28 @@ fn main() {
         xag.table.n_states(),
         xag.table.n_nonerror_actions()
     );
+
+    for (tag, st, frac) in [
+        ("vhdl_ag", &ps, ps.implicit_fraction()),
+        ("expr_ag", &xs, xs.implicit_fraction()),
+    ] {
+        runner.metric(format!("{tag}/productions"), st.productions as f64, "");
+        runner.metric(format!("{tag}/symbols"), st.symbols as f64, "");
+        runner.metric(format!("{tag}/attributes"), st.attributes as f64, "");
+        runner.metric(format!("{tag}/rules"), st.rules as f64, "");
+        runner.metric(
+            format!("{tag}/implicit_rules"),
+            st.implicit_rules as f64,
+            "",
+        );
+        runner.metric(format!("{tag}/implicit_fraction"), frac, "");
+        runner.metric(format!("{tag}/max_visits"), st.max_visits as f64, "visits");
+    }
+    runner.metric(
+        "principal_lalr_states",
+        pg.table().n_states() as f64,
+        "states",
+    );
+    runner.metric("expr_lalr_states", xag.table.n_states() as f64, "states");
+    runner.finish();
 }

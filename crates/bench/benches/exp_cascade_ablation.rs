@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use ag_harness::bench::Runner;
 use ag_lalr::{GrammarBuilder, ParseTable};
 use vhdl_sem::env::EnvKind;
 use vhdl_sem::expr_ag::{expr_eval, ExprAg};
@@ -40,11 +41,19 @@ fn united_grammar() -> (usize, usize) {
     // United: one production for every denotation of an identifier.
     g.prod(name, &[id.into()], "name_id");
     // The "united production" for X(Y)…
-    g.prod(expr, &[name.into(), lp.into(), name.into(), rp.into()], "united_x_of_y");
+    g.prod(
+        expr,
+        &[name.into(), lp.into(), name.into(), rp.into()],
+        "united_x_of_y",
+    );
     // …together with the general-purpose productions it overlaps with.
     g.prod(expr, &[name.into()], "expr_name");
     g.prod(expr, &[func_ref.into()], "expr_call");
-    g.prod(func_ref, &[name.into(), lp.into(), args.into(), rp.into()], "call");
+    g.prod(
+        func_ref,
+        &[name.into(), lp.into(), args.into(), rp.into()],
+        "call",
+    );
     g.prod(args, &[arg.into()], "args_one");
     g.prod(args, &[args.into(), comma.into(), arg.into()], "args_more");
     g.prod(arg, &[expr.into()], "arg_expr");
@@ -57,6 +66,8 @@ fn united_grammar() -> (usize, usize) {
 }
 
 fn main() {
+    let mut runner =
+        Runner::new("exp_cascade_ablation").out_dir(ag_bench::workspace_root().join("results"));
     println!("# E10 — cascaded evaluation vs united productions (paper §4.1)");
     println!();
     let (prods, conflicts) = united_grammar();
@@ -85,15 +96,17 @@ fn main() {
     let toks: Vec<_> = samples.iter().map(|s| lex(s).expect("lexes")).collect();
     // Warm the cached evaluator.
     let _ = expr_eval(&toks[0], &s.env, Some(&s.std.integer), None);
-    let n = 2000usize;
-    let t0 = Instant::now();
-    for _ in 0..n {
-        for t in &toks {
-            let a = expr_eval(t, &s.env, Some(&s.std.integer), None);
-            assert!(a.ir.is_some() || a.msgs.has_errors());
+    let n = 200usize;
+    let timing = runner.measure("expr_eval_batch", || {
+        for _ in 0..n {
+            for t in &toks {
+                let a = expr_eval(t, &s.env, Some(&s.std.integer), None);
+                assert!(a.ir.is_some() || a.msgs.has_errors());
+            }
         }
-    }
-    let per_expr = t0.elapsed().as_secs_f64() / (n * samples.len()) as f64;
+    });
+    let per_expr = timing.median_secs() / (n * samples.len()) as f64;
+    runner.metric("expr_eval_us", per_expr * 1e6, "us/expr");
     println!(
         "exprEval (LEF build + reparse + attribute evaluation): {:.1} µs per maximal expression",
         per_expr * 1e6
@@ -113,17 +126,19 @@ fn main() {
             );
             env = env.bind(&format!("filler{i}"), vhdl_sem::env::Den::local(obj));
         }
-        let t0 = Instant::now();
-        for _ in 0..n {
-            for t in &toks {
-                let _ = expr_eval(t, &env, Some(&s.std.integer), None);
+        let timing = runner.measure(format!("expr_eval_batch/env+{extra}"), || {
+            for _ in 0..n {
+                for t in &toks {
+                    let _ = expr_eval(t, &env, Some(&s.std.integer), None);
+                }
             }
-        }
-        let per = t0.elapsed().as_secs_f64() / (n * samples.len()) as f64;
+        });
+        let per = timing.median_secs() / (n * samples.len()) as f64;
         println!(
             "  … with {extra} extra visible declarations: {:.1} µs per expression",
             per * 1e6
         );
+        runner.metric(format!("expr_eval_us/env+{extra}"), per * 1e6, "us/expr");
     }
 
     // Invocation counts on a realistic compile.
@@ -139,6 +154,10 @@ fn main() {
         r.units.len(),
         total * 1e3,
     );
+    runner.metric("united_conflicts", conflicts as f64, "conflicts");
+    runner.metric("compile_cascade_invocations", evals as f64, "invocations");
+    runner.metric("compile_ms", total * 1e3, "ms");
+    runner.finish();
     println!();
     println!(
         "the cascade trades a bounded re-parse cost for zero grammar conflicts and \

@@ -12,9 +12,12 @@
 //!   expression evaluation is *inside* attr-eval, so our attr share is the
 //!   honest upper bound.
 
+use ag_harness::bench::Runner;
 use vhdl_driver::{Compiler, PhaseTimes};
 
 fn main() {
+    let mut runner =
+        Runner::new("exp_compile_speed").out_dir(ag_bench::workspace_root().join("results"));
     println!("# E4 — compile speed and phase breakdown (paper §2.2)");
     println!();
     println!("| units | lines | lines/min | parse% | attr% | vif-read% | vif-write% | codegen% | backend% |");
@@ -47,7 +50,25 @@ fn main() {
             phases.pct(phases.codegen),
             phases.pct(phases.backend),
         );
+        runner.metric(format!("lines_per_min/{units}"), lines_per_min, "lines/min");
+        runner.metric(format!("parse_pct/{units}"), phases.pct(phases.parse), "%");
+        runner.metric(
+            format!("attr_eval_pct/{units}"),
+            phases.pct(phases.attr_eval),
+            "%",
+        );
+        runner.metric(
+            format!("vif_pct/{units}"),
+            phases.pct(phases.vif_read) + phases.pct(phases.vif_write),
+            "%",
+        );
+        runner.metric(
+            format!("backend_pct/{units}"),
+            phases.pct(phases.codegen) + phases.pct(phases.backend),
+            "%",
+        );
     }
+    runner.finish();
     println!();
     println!("paper targets: ~1000 lines/min total; C compile 20-30%; VIF 40-60%; attr eval small");
     println!(

@@ -5,9 +5,12 @@
 //! Compiles a cell library, then measures lines/minute and VIF traffic for
 //! (a) ordinary units and (b) the configuration-heavy tail of the design.
 
+use ag_harness::bench::Runner;
 use vhdl_driver::Compiler;
 
 fn main() {
+    let mut runner =
+        Runner::new("exp_config_units").out_dir(ag_bench::workspace_root().join("results"));
     println!("# E5 — configuration units vs ordinary units (paper §2.2 fn.3, §3.3)");
     println!();
     println!("| workload | lines | lines/min | vif read (B) | vif read (units) |");
@@ -43,7 +46,24 @@ fn main() {
         println!(
             "|   → ordinary units compile {ratio:.1}x more lines/min than the configuration unit |"
         );
+        runner.metric(
+            format!("ordinary_lines_per_min/{cells}"),
+            r1.lines_per_minute(),
+            "lines/min",
+        );
+        runner.metric(
+            format!("config_lines_per_min/{cells}"),
+            r2.lines_per_minute(),
+            "lines/min",
+        );
+        runner.metric(
+            format!("config_vif_bytes_read/{cells}"),
+            r2.traffic.bytes_read as f64,
+            "bytes",
+        );
+        runner.metric(format!("slowdown_ratio/{cells}"), ratio, "x");
     }
+    runner.finish();
     println!();
     println!(
         "paper: \"it's not as fast\" on configurations; the bulk of the work is reading and \

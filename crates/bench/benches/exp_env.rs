@@ -1,98 +1,103 @@
 //! E7 — §4.3: the applicative symbol table.
 //!
-//! Criterion comparison of the three environment representations: the
-//! cons-list ("a tree in which each node has only one child"), the
-//! applicative balanced tree (the Myers-style efficient applicative data
-//! structure the paper points at), and a conventional mutable hash table
-//! that must be *cloned* per binding to preserve old versions — the cost a
-//! non-applicative compiler pays for the VIF's retained environments.
+//! Comparison of the three environment representations: the cons-list ("a
+//! tree in which each node has only one child"), the applicative balanced
+//! tree (the Myers-style efficient applicative data structure the paper
+//! points at), and a conventional mutable hash table that must be *cloned*
+//! per binding to preserve old versions — the cost a non-applicative
+//! compiler pays for the VIF's retained environments.
+//!
+//! Timed with the in-repo `ag-harness` runner; results land in
+//! `results/exp_env.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ag_harness::bench::{fmt_ns, Runner};
 use std::hint::black_box;
 use std::rc::Rc;
 use vhdl_sem::env::{Den, Env, EnvKind};
 use vhdl_vif::VifNode;
 
+const KINDS: [(&str, EnvKind); 3] = [
+    ("list", EnvKind::List),
+    ("tree", EnvKind::Tree),
+    ("mut-clone", EnvKind::MutBaseline),
+];
+
 fn build_env(kind: EnvKind, n: usize) -> Env {
     let mut e = Env::new(kind);
     for i in 0..n {
-        let node = VifNode::build("obj").name(format!("name{i}").as_str()).done();
+        let node = VifNode::build("obj")
+            .name(format!("name{i}").as_str())
+            .done();
         e = e.bind(&format!("name{i}"), Den::local(node));
     }
     e
 }
 
-fn bench_bind(c: &mut Criterion) {
-    let mut g = c.benchmark_group("env_bind_n");
+fn main() {
+    println!("# E7 — applicative symbol table (paper §4.3)");
+    println!();
+    let mut r = Runner::new("exp_env")
+        .iters(10)
+        .out_dir(ag_bench::workspace_root().join("results"));
+
+    // Cost of n successive bindings.
     for n in [16usize, 128, 1024] {
-        for (label, kind) in [
-            ("list", EnvKind::List),
-            ("tree", EnvKind::Tree),
-            ("mut-clone", EnvKind::MutBaseline),
-        ] {
-            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
-                b.iter(|| black_box(build_env(kind, n)));
+        for (label, kind) in KINDS {
+            let s = r.measure(format!("bind/{label}/{n}"), || {
+                black_box(build_env(kind, n))
             });
+            println!(
+                "bind      {label:<9} n={n:<5} median {}",
+                fmt_ns(s.median_ns)
+            );
         }
     }
-    g.finish();
-}
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("env_lookup");
+    // Lookup across a populated environment.
     for n in [16usize, 128, 1024] {
-        for (label, kind) in [
-            ("list", EnvKind::List),
-            ("tree", EnvKind::Tree),
-            ("mut-clone", EnvKind::MutBaseline),
-        ] {
+        for (label, kind) in KINDS {
             let env = build_env(kind, n);
-            let probe: Vec<String> = (0..n).step_by(7.max(n / 13)).map(|i| format!("name{i}")).collect();
-            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                b.iter(|| {
-                    for p in &probe {
-                        black_box(env.lookup_one(p));
-                    }
-                });
+            let probe: Vec<String> = (0..n)
+                .step_by(7.max(n / 13))
+                .map(|i| format!("name{i}"))
+                .collect();
+            let s = r.measure(format!("lookup/{label}/{n}"), || {
+                for p in &probe {
+                    black_box(env.lookup_one(p));
+                }
             });
+            println!(
+                "lookup    {label:<9} n={n:<5} median {}",
+                fmt_ns(s.median_ns)
+            );
         }
     }
-    g.finish();
-}
 
-/// Snapshot + extend from a shared base — the pattern nested declarative
-/// regions create constantly. Applicative structures make this O(1);
-/// the mutable baseline pays a full copy.
-fn bench_snapshot(c: &mut Criterion) {
-    let mut g = c.benchmark_group("env_snapshot_extend");
-    for (label, kind) in [
-        ("list", EnvKind::List),
-        ("tree", EnvKind::Tree),
-        ("mut-clone", EnvKind::MutBaseline),
-    ] {
+    // Snapshot + extend from a shared base — the pattern nested declarative
+    // regions create constantly. Applicative structures make this O(1);
+    // the mutable baseline pays a full copy.
+    for (label, kind) in KINDS {
         let base = build_env(kind, 512);
         let extra = VifNode::build("obj").name("local").done();
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                // Ten nested scopes, each extending the shared base.
-                let mut scopes = Vec::new();
-                for i in 0..10 {
-                    let e = base.bind(&format!("local{i}"), Den::local(Rc::clone(&extra)));
-                    scopes.push(e);
-                }
-                black_box(scopes)
-            });
+        let s = r.measure(format!("snapshot_extend/{label}"), || {
+            // Ten nested scopes, each extending the shared base.
+            let mut scopes = Vec::new();
+            for i in 0..10 {
+                let e = base.bind(&format!("local{i}"), Den::local(Rc::clone(&extra)));
+                scopes.push(e);
+            }
+            black_box(scopes)
         });
+        println!(
+            "snapshot  {label:<9} n=512   median {}",
+            fmt_ns(s.median_ns)
+        );
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_bind, bench_lookup, bench_snapshot
+    println!();
+    println!(
+        "paper: the applicative table makes retained environments cheap; the mutable \
+         baseline pays a full copy per snapshot"
+    );
+    r.finish();
 }
-criterion_main!(benches);

@@ -6,34 +6,44 @@
 //! scanner → LALR parser → principal AG evaluator (+ symbol table as VIF,
 //! exprEval cascade) → VIF to/from the library → code generation → target
 //! virtual machine.
+//!
+//! Artifact sizes are also recorded to `results/exp_fig1_pipeline.json`.
 
+use ag_harness::bench::Runner;
 use vhdl_driver::Compiler;
 use vhdl_syntax::lexer::lex;
 
 fn main() {
+    let mut r =
+        Runner::new("exp_fig1_pipeline").out_dir(ag_bench::workspace_root().join("results"));
     let src = ag_bench::gen_design(3, 2);
     let compiler = Compiler::in_memory();
 
     let toks = lex(&src).expect("lexes");
-    let cst = compiler
-        .analyzer
-        .grammar
-        .parse_str(&src)
-        .expect("parses");
-    let r = compiler.compile(&src).expect("compiles");
-    assert!(r.ok(), "{}", r.msgs());
-    let traffic = r.traffic;
+    let cst = compiler.analyzer.grammar.parse_str(&src).expect("parses");
+    let result = compiler.compile(&src).expect("compiles");
+    assert!(result.ok(), "{}", result.msgs());
+    let traffic = result.traffic;
     let (program, c_text) = compiler.elaborate("ent0", None, None).expect("elaborates");
     let insns: usize = program
         .processes
         .iter()
         .map(|p| p.code.len())
         .sum::<usize>()
-        + program.functions.iter().map(|f| f.code.len()).sum::<usize>();
+        + program
+            .functions
+            .iter()
+            .map(|f| f.code.len())
+            .sum::<usize>();
+    let expr_evals: u64 = result.units.iter().map(|u| u.expr_evals).sum();
 
     println!("# E1 — Figure 1: organization of the VHDL compiler");
     println!();
-    println!("VHDL source ({} lines, {} tokens)", r.lines, toks.len());
+    println!(
+        "VHDL source ({} lines, {} tokens)",
+        result.lines,
+        toks.len()
+    );
     println!("  |  scanner + LALR(1) parser (principal grammar)");
     println!("  v");
     println!("parse tree ({} nodes)", cst.size());
@@ -41,7 +51,7 @@ fn main() {
     println!("  |    - symbol table = applicative ENV in the VIF");
     println!(
         "  |    - exprEval cascade: {} maximal expressions re-parsed by the expression AG",
-        r.units.iter().map(|u| u.expr_evals).sum::<u64>()
+        expr_evals
     );
     println!("  v");
     println!(
@@ -61,12 +71,29 @@ fn main() {
     println!("  v");
     println!("generated C: {} lines", c_text.lines().count());
     println!();
-    println!("virtual machine modules (§2.1): Simulation Kernel, Runtime Support, VHDL I/O, Name Server");
-    let mut sim = sim_kernel::Simulator::new(program);
-    sim.run_until(sim_kernel::Time::fs(50_000_000)).expect("simulates");
+    println!(
+        "virtual machine modules (§2.1): Simulation Kernel, Runtime Support, VHDL I/O, Name Server"
+    );
+    let mut sim = sim_kernel::Simulator::new(program.clone());
+    sim.run_until(sim_kernel::Time::fs(50_000_000))
+        .expect("simulates");
     let st = sim.stats();
     println!(
         "smoke simulation to 50ns: {} cycles, {} events, {} instructions executed",
         st.cycles, st.events, st.insns
     );
+
+    r.metric("source_lines", result.lines as f64, "lines");
+    r.metric("tokens", toks.len() as f64, "tokens");
+    r.metric("parse_tree_nodes", cst.size() as f64, "nodes");
+    r.metric("expr_evals", expr_evals as f64, "invocations");
+    r.metric("vif_bytes_written", traffic.bytes_written as f64, "bytes");
+    r.metric("vif_bytes_read", traffic.bytes_read as f64, "bytes");
+    r.metric("vm_signals", program.signals.len() as f64, "signals");
+    r.metric("vm_processes", program.processes.len() as f64, "processes");
+    r.metric("vm_instructions", insns as f64, "insns");
+    r.metric("c_lines", c_text.lines().count() as f64, "lines");
+    r.metric("sim_cycles", st.cycles as f64, "cycles");
+    r.metric("sim_events", st.events as f64, "events");
+    r.finish();
 }

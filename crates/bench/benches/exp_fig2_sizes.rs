@@ -18,6 +18,7 @@
 
 use ag_bench::{loc_of, stripped_loc};
 use ag_core::emit_evaluator;
+use ag_harness::bench::Runner;
 use vhdl_sem::expr_ag::ExprAg;
 use vhdl_sem::principal_ag::PrincipalAg;
 use vhdl_syntax::PrincipalGrammar;
@@ -56,10 +57,10 @@ fn main() {
     let pg = PrincipalGrammar::new();
     let pag = PrincipalAg::build(&pg);
     let xag = ExprAg::build();
-    let pplans = ag_core::plan(&pag.ag, &ag_core::analyze(&pag.ag).expect("acyclic"))
-        .expect("ordered");
-    let xplans = ag_core::plan(&xag.ag, &ag_core::analyze(&xag.ag).expect("acyclic"))
-        .expect("ordered");
+    let pplans =
+        ag_core::plan(&pag.ag, &ag_core::analyze(&pag.ag).expect("acyclic")).expect("ordered");
+    let xplans =
+        ag_core::plan(&xag.ag, &ag_core::analyze(&xag.ag).expect("acyclic")).expect("ordered");
     let gen_principal = emit_evaluator("vhdl_principal", &pag.ag, pg.table(), &pplans);
     let gen_expr = emit_evaluator("vhdl_expr", &xag.ag, &xag.table, &xplans);
 
@@ -117,4 +118,20 @@ fn main() {
         "sample generated C for a 4-entity design: {} lines",
         c_text.lines().count()
     );
+
+    let mut runner =
+        Runner::new("exp_fig2_sizes").out_dir(ag_bench::workspace_root().join("results"));
+    runner.metric("ag_spec_loc", ag_spec as f64, "loc");
+    runner.metric("vif_desc_loc", vif_desc as f64, "loc");
+    runner.metric("out_of_line_loc", oof as f64, "loc");
+    runner.metric("interface_loc", interface as f64, "loc");
+    runner.metric("total_loc", total as f64, "loc");
+    runner.metric("generated_ag_loc", g_ag as f64, "loc");
+    runner.metric("generated_total_loc", g_total as f64, "loc");
+    runner.metric(
+        "generated_share",
+        (g_ag + g_c) as f64 / g_total as f64,
+        "fraction",
+    );
+    runner.finish();
 }

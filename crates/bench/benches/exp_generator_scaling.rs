@@ -9,6 +9,8 @@
 
 use std::time::Instant;
 
+use ag_harness::bench::Runner;
+
 fn gen_time(n: usize) -> std::time::Duration {
     let t0 = Instant::now();
     let (g, ag) = ag_bench::synth_ag(n);
@@ -19,6 +21,8 @@ fn gen_time(n: usize) -> std::time::Duration {
 }
 
 fn main() {
+    let mut runner =
+        Runner::new("exp_generator_scaling").out_dir(ag_bench::workspace_root().join("results"));
     println!("# E8 — AG processing time vs AG size (paper §5.2)");
     println!();
     println!("| nonterminals | productions | time (ms) | time ratio vs half size |");
@@ -39,6 +43,10 @@ fn main() {
                 None => "                       —".to_string(),
             }
         );
+        runner.metric(format!("gen_ms/{n}"), t, "ms");
+        if let Some(r) = ratio {
+            runner.metric(format!("ratio_vs_half/{n}"), r, "x");
+        }
         prev = Some(t);
     }
     println!();
@@ -65,4 +73,8 @@ fn main() {
         t_pag.as_secs_f64() * 1e3,
         t_xag.as_secs_f64() * 1e3
     );
+    runner.metric("principal_tables_ms", t_pg.as_secs_f64() * 1e3, "ms");
+    runner.metric("principal_ag_analysis_ms", t_pag.as_secs_f64() * 1e3, "ms");
+    runner.metric("expr_ag_analysis_ms", t_xag.as_secs_f64() * 1e3, "ms");
+    runner.finish();
 }

@@ -1,10 +1,13 @@
 //! E11 — supporting benchmarks of the target virtual machine (§2.1).
 //!
 //! The paper reports no simulator numbers (it cites the companion CompCon
-//! '88 paper), so these Criterion benches characterize our kernel:
-//! event throughput, delta-cycle chains, and resolution-function overhead.
+//! '88 paper), so these benches characterize our kernel: event throughput,
+//! delta-cycle chains, and resolution-function overhead.
+//!
+//! Timed with the in-repo `ag-harness` runner; results land in
+//! `results/exp_kernel.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ag_harness::bench::{fmt_ns, Runner};
 use std::hint::black_box;
 use std::rc::Rc;
 
@@ -65,33 +68,8 @@ fn delta_chain(n: usize) -> Program {
     p
 }
 
-fn bench_events(c: &mut Criterion) {
-    c.bench_function("kernel_oscillator_100k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(oscillator());
-            sim.run_until(Time::fs(100_000 * 1_000)).expect("runs");
-            assert!(sim.stats().events >= 100_000);
-            black_box(sim.stats())
-        });
-    });
-}
-
-fn bench_delta_chains(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel_delta_chain");
-    for n in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim = Simulator::new(delta_chain(n));
-                sim.run_until(Time::fs(200 * 1_000)).expect("runs");
-                black_box(sim.stats())
-            });
-        });
-    }
-    g.finish();
-}
-
-fn bench_resolution(c: &mut Criterion) {
-    // Two drivers on a wired-or bus toggling against each other.
+/// Two drivers on a wired-or bus toggling against each other.
+fn resolved_bus() -> Program {
     let mut p = Program::default();
     let res = p.add_function(FnDecl {
         name: "wired_or".into(),
@@ -137,21 +115,59 @@ fn bench_resolution(c: &mut Criterion) {
             ],
         );
     }
-    c.bench_function("kernel_resolved_bus_10k_cycles", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(p.clone());
-            sim.run_until(Time::fs(10_000 * 1_000)).expect("runs");
-            black_box(sim.stats())
-        });
-    });
+    p
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_events, bench_delta_chains, bench_resolution
+fn main() {
+    println!("# E11 — target virtual machine characterization (paper §2.1)");
+    println!();
+    let mut r = Runner::new("exp_kernel")
+        .iters(10)
+        .out_dir(ag_bench::workspace_root().join("results"));
+
+    let s = r.measure("oscillator_100k_events", || {
+        let mut sim = Simulator::new(oscillator());
+        sim.run_until(Time::fs(100_000 * 1_000)).expect("runs");
+        assert!(sim.stats().events >= 100_000);
+        black_box(sim.stats())
+    });
+    println!(
+        "oscillator, 100k events:       median {}",
+        fmt_ns(s.median_ns)
+    );
+    {
+        let mut sim = Simulator::new(oscillator());
+        sim.run_until(Time::fs(100_000 * 1_000)).expect("runs");
+        let st = sim.stats();
+        r.metric(
+            "oscillator_events_per_sec",
+            st.events as f64 / s.median_secs(),
+            "events/s",
+        );
+    }
+
+    for n in [4usize, 16, 64] {
+        let s = r.measure(format!("delta_chain/{n}"), || {
+            let mut sim = Simulator::new(delta_chain(n));
+            sim.run_until(Time::fs(200 * 1_000)).expect("runs");
+            black_box(sim.stats())
+        });
+        println!(
+            "delta chain, n={n:<3}:            median {}",
+            fmt_ns(s.median_ns)
+        );
+    }
+
+    let p = resolved_bus();
+    let s = r.measure("resolved_bus_10k_cycles", || {
+        let mut sim = Simulator::new(p.clone());
+        sim.run_until(Time::fs(10_000 * 1_000)).expect("runs");
+        black_box(sim.stats())
+    });
+    println!(
+        "resolved bus, 10k cycles:      median {}",
+        fmt_ns(s.median_ns)
+    );
+
+    r.finish();
 }
-criterion_main!(benches);

@@ -11,6 +11,7 @@
 use std::rc::Rc;
 
 use ag_core::{analyze, plan, AgBuilder, AttrDir, Dep, Implicit};
+use ag_harness::bench::Runner;
 use ag_lalr::GrammarBuilder;
 
 fn grammar() -> Rc<ag_lalr::Grammar> {
@@ -58,7 +59,13 @@ fn variant_three_visits(g: &Rc<ag_lalr::Grammar>) -> ag_core::AttrGrammar<i64> {
     let n = g.symbol("n").expect("n");
     ab.attach(fin, n);
     ab.rule(p_nl, 0, fin, vec![Dep::attr(1, fin)], |d| d[0]);
-    ab.rule(p_rec, 0, fin, vec![Dep::attr(1, fin), Dep::attr(0, offset)], |d| d[0] + d[1]);
+    ab.rule(
+        p_rec,
+        0,
+        fin,
+        vec![Dep::attr(1, fin), Dep::attr(0, offset)],
+        |d| d[0] + d[1],
+    );
     ab.rule(p_bit, 0, fin, vec![Dep::attr(0, offset)], |d| d[0]);
     ab.build().expect("AG")
 }
@@ -80,7 +87,9 @@ fn variant_one_visit(g: &Rc<ag_lalr::Grammar>) -> ag_core::AttrGrammar<i64> {
     ab.rule(p_nl, 1, scale, vec![], |_| 0);
     ab.rule(p_nl, 0, val, vec![Dep::attr(1, val)], |d| d[0]);
     ab.rule(p_rec, 1, scale, vec![Dep::attr(0, scale)], |d| d[0] + 1);
-    ab.rule(p_rec, 0, val, vec![Dep::attr(1, val), Dep::token(2)], |d| d[0] * 2 + d[1]);
+    ab.rule(p_rec, 0, val, vec![Dep::attr(1, val), Dep::token(2)], |d| {
+        d[0] * 2 + d[1]
+    });
     ab.rule(p_bit, 0, val, vec![Dep::token(1)], |d| d[0]);
     ab.build().expect("AG")
 }
@@ -114,9 +123,13 @@ fn wire(
         |d| d[0] + d[1] * (1 << (d[2] + 8)),
     );
     ab.rule(p_bit, 0, len, vec![], |_| 1);
-    ab.rule(p_bit, 0, val, vec![Dep::token(1), Dep::attr(0, scale)], |d| {
-        d[0] * (1 << (d[1] + 8))
-    });
+    ab.rule(
+        p_bit,
+        0,
+        val,
+        vec![Dep::token(1), Dep::attr(0, scale)],
+        |d| d[0] * (1 << (d[1] + 8)),
+    );
 }
 
 fn main() {
@@ -144,4 +157,11 @@ fn main() {
          (paper: 4 → 5 → 3)"
     );
     assert!(b > a && c < a);
+
+    let mut runner =
+        Runner::new("exp_visit_evolution").out_dir(ag_bench::workspace_root().join("results"));
+    runner.metric("visits_baseline", a as f64, "visits");
+    runner.metric("visits_extra_pass", b as f64, "visits");
+    runner.metric("visits_refactored", c as f64, "visits");
+    runner.finish();
 }

@@ -110,7 +110,10 @@ pub fn gen_config_library(n_cells: usize) -> (String, String) {
     }
     let _ = writeln!(top, "begin");
     for i in 0..n_cells {
-        let _ = writeln!(top, "  u{i} : cell{i} port map (a => x, b => y, y => n{i});");
+        let _ = writeln!(
+            top,
+            "  u{i} : cell{i} port map (a => x, b => y, y => n{i});"
+        );
     }
     let _ = writeln!(top, "end s;");
     let mut cfg = String::new();
@@ -134,7 +137,9 @@ pub fn gen_config_library(n_cells: usize) -> (String, String) {
 /// lines/minute can be measured in isolation (§2.2 footnote 3).
 pub fn gen_config_library_split(n_cells: usize) -> (String, String, String) {
     let (lib, top_with_cfg) = gen_config_library(n_cells);
-    let split_at = top_with_cfg.find("configuration cfg").expect("config present");
+    let split_at = top_with_cfg
+        .find("configuration cfg")
+        .expect("config present");
     let (top, cfg) = top_with_cfg.split_at(split_at);
     (lib, top.to_string(), cfg.to_string())
 }

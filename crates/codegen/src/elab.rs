@@ -82,6 +82,7 @@ pub fn elaborate(
     entity: &str,
     arch: Option<&str>,
 ) -> Result<Program, ElabError> {
+    let _t = ag_harness::trace::span("elaborate");
     let mut e = Elab::new(libs);
     e.collect_pkg_subprogs();
     let arch_name = match arch {
@@ -90,12 +91,20 @@ pub fn elaborate(
             .latest_architecture(entity)
             .ok_or_else(|| ElabError::NotFound(format!("architecture of {entity}")))?,
     };
-    e.instantiate(entity, &arch_name, entity, &HashMap::new(), &HashMap::new(), &[])?;
+    e.instantiate(
+        entity,
+        &arch_name,
+        entity,
+        &HashMap::new(),
+        &HashMap::new(),
+        &[],
+    )?;
     Ok(e.program)
 }
 
 /// Elaborates via a configuration unit.
 pub fn elaborate_config(libs: &Rc<LibrarySet>, config: &str) -> Result<Program, ElabError> {
+    let _t = ag_harness::trace::span("elaborate");
     let cfg = libs
         .load_unit("work", &format!("config.{config}"))
         .ok_or_else(|| ElabError::NotFound(format!("configuration {config}")))?;
@@ -109,7 +118,14 @@ pub fn elaborate_config(libs: &Rc<LibrarySet>, config: &str) -> Result<Program, 
         .filter_map(|b| b.as_node())
         .map(|b| decode_cfgbind(b))
         .collect();
-    e.instantiate(&entity, &arch, &entity, &HashMap::new(), &HashMap::new(), &binds)?;
+    e.instantiate(
+        &entity,
+        &arch,
+        &entity,
+        &HashMap::new(),
+        &HashMap::new(),
+        &binds,
+    )?;
     Ok(e.program)
 }
 
@@ -365,9 +381,10 @@ impl<'a> Elab<'a> {
                     let f = fl.compile_subprog(&uid)?;
                     self.program.signals[sig.0 as usize].resolution = Some(f);
                 }
-                self.ctx
-                    .storage
-                    .insert(dn.str_field("uid").unwrap_or("?").to_string(), Storage::Signal(sig));
+                self.ctx.storage.insert(
+                    dn.str_field("uid").unwrap_or("?").to_string(),
+                    Storage::Signal(sig),
+                );
             }
             "subprog" => self.ctx.add_subprog(dn),
             _ => {}
@@ -392,7 +409,9 @@ impl<'a> Elab<'a> {
                 if let (Some(gobj), Some(gexpr)) =
                     (conc.node_field("guard_sig"), conc.node_field("guard_expr"))
                 {
-                    let sig = self.program.add_signal(format!("{bpath}.guard"), Val::Int(0));
+                    let sig = self
+                        .program
+                        .add_signal(format!("{bpath}.guard"), Val::Int(0));
                     self.ctx.storage.insert(
                         gobj.str_field("uid").unwrap_or("?").to_string(),
                         Storage::Signal(sig),
@@ -429,7 +448,11 @@ impl<'a> Elab<'a> {
                 let (entity, arch) = find(cfg_binds)
                     .or_else(|| find(local_binds))
                     .unwrap_or_default();
-                let entity = if entity.is_empty() { comp_name.clone() } else { entity };
+                let entity = if entity.is_empty() {
+                    comp_name.clone()
+                } else {
+                    entity
+                };
                 let arch = if arch.is_empty() {
                     self.libs.latest_architecture(&entity).ok_or_else(|| {
                         ElabError::Binding(format!(
@@ -539,7 +562,8 @@ impl<'a> Elab<'a> {
         fl.code.push(Insn::Pop);
         fl.code.push(Insn::Jump(0));
         let (code, n_locals) = (fl.code, fl.next_slot);
-        self.program.add_process(format!("{path}.guardproc"), n_locals, code);
+        self.program
+            .add_process(format!("{path}.guardproc"), n_locals, code);
         Ok(())
     }
 }

@@ -72,7 +72,9 @@ impl LowerCtx {
 
     /// Registers a subprogram node, preferring ones with bodies.
     pub fn add_subprog(&mut self, node: &Rc<VifNode>) {
-        let Some(uid) = node.str_field("uid") else { return };
+        let Some(uid) = node.str_field("uid") else {
+            return;
+        };
         let replace = match self.subprogs.get(uid) {
             Some(old) => old.field("body").is_none() && node.field("body").is_some(),
             None => true,
@@ -100,7 +102,9 @@ pub fn default_value(ty: &types::Ty) -> Val {
         "ty.array" => match types::array_bounds(ty) {
             Some((l, r, dir)) => {
                 let n = types::range_length(l, r, dir).max(0) as usize;
-                let elem = types::elem_type(ty).map(|e| default_value(&e)).unwrap_or(Val::Int(0));
+                let elem = types::elem_type(ty)
+                    .map(|e| default_value(&e))
+                    .unwrap_or(Val::Int(0));
                 Val::Arr(sim_kernel::ArrVal {
                     left: l,
                     dir: vdir(dir),
@@ -114,7 +118,11 @@ pub fn default_value(ty: &types::Ty) -> Val {
                 .list_field("elems")
                 .iter()
                 .filter_map(|v| v.as_node())
-                .map(|e| e.node_field("ty").map(|t| default_value(t)).unwrap_or(Val::Int(0)))
+                .map(|e| {
+                    e.node_field("ty")
+                        .map(|t| default_value(t))
+                        .unwrap_or(Val::Int(0))
+                })
                 .collect();
             Val::Rec(Rc::new(fields))
         }
@@ -175,8 +183,8 @@ pub fn static_value(ctx: &LowerCtx, ir: &Rc<VifNode>) -> Result<Val, CgError> {
             let code = ir
                 .str_field("builtin")
                 .ok_or_else(|| CgError::NotStatic("user call in static context".into()))?;
-            let op = Op::decode(code)
-                .ok_or_else(|| CgError::Unsupported(format!("builtin {code}")))?;
+            let op =
+                Op::decode(code).ok_or_else(|| CgError::Unsupported(format!("builtin {code}")))?;
             let args: Vec<Val> = ir
                 .list_field("args")
                 .iter()
@@ -670,8 +678,7 @@ impl<'c> FnLower<'c> {
             }
             "s.assign_sig" => {
                 let target = s.node_field("target").expect("target");
-                let transport = s.field("transport")
-                    == Some(&vhdl_vif::VifValue::Bool(true));
+                let transport = s.field("transport") == Some(&vhdl_vif::VifValue::Bool(true));
                 for (wi, w) in s.list_field("waveform").iter().enumerate() {
                     let Some(wn) = w.as_node() else { continue };
                     // Only the first waveform element preempts; the rest
@@ -694,9 +701,7 @@ impl<'c> FnLower<'c> {
                             self.push_delay(delay.as_ref())?;
                             self.emit(Insn::SchedIndex { sig, transport });
                         }
-                        k => {
-                            return Err(CgError::Unsupported(format!("signal target {k}")))
-                        }
+                        k => return Err(CgError::Unsupported(format!("signal target {k}"))),
                     }
                 }
             }
@@ -760,11 +765,7 @@ impl<'c> FnLower<'c> {
                             .chars()
                             .map(|c| Val::Int(c as i64 - 32))
                             .collect();
-                        self.emit(Insn::PushConst(Val::arr(
-                            1,
-                            sim_kernel::VDir::To,
-                            msg,
-                        )));
+                        self.emit(Insn::PushConst(Val::arr(1, sim_kernel::VDir::To, msg)));
                     }
                 }
                 match s.node_field("severity") {
@@ -955,10 +956,7 @@ impl<'c> FnLower<'c> {
                 self.next_slot += 1;
                 // var := left; bound := right.
                 self.expr(range.node_field("left").expect("left"))?;
-                self.emit(Insn::StoreVar(VarAddr {
-                    depth: 0,
-                    slot,
-                }));
+                self.emit(Insn::StoreVar(VarAddr { depth: 0, slot }));
                 self.expr(range.node_field("right").expect("right"))?;
                 self.emit(Insn::StoreVar(VarAddr {
                     depth: 0,
@@ -1107,9 +1105,7 @@ fn collect_signals_value(
     out: &mut Vec<SigId>,
 ) -> Result<(), CgError> {
     match v {
-        vhdl_vif::VifValue::Node(n) if n.kind().starts_with("e.") => {
-            collect_signals(fl, n, out)
-        }
+        vhdl_vif::VifValue::Node(n) if n.kind().starts_with("e.") => collect_signals(fl, n, out),
         vhdl_vif::VifValue::List(l) => {
             for v in l.iter() {
                 collect_signals_value(fl, v, out)?;

@@ -221,7 +221,10 @@ impl fmt::Display for AgError {
                 write!(f, "class `{class}` attached to terminal `{symbol}`")
             }
             AgError::BadTarget { prod, occ, class } => {
-                write!(f, "rule in [{prod}] targets non-defining occurrence {occ}.{class}")
+                write!(
+                    f,
+                    "rule in [{prod}] targets non-defining occurrence {occ}.{class}"
+                )
             }
             AgError::DuplicateRule { prod, occ, class } => {
                 write!(f, "duplicate rule for {occ}.{class} in [{prod}]")
@@ -302,12 +305,7 @@ impl<V: Clone + 'static> AgBuilder<V> {
 
     /// Declares a synthesized class with unit element and merge function —
     /// the `MSGS`-style bucket-brigade class of §4.2.
-    pub fn syn_merge(
-        &mut self,
-        name: &str,
-        unit: V,
-        f: impl Fn(&V, &V) -> V + 'static,
-    ) -> ClassId {
+    pub fn syn_merge(&mut self, name: &str, unit: V, f: impl Fn(&V, &V) -> V + 'static) -> ClassId {
         self.class(
             name,
             AttrDir::Synthesized,
@@ -499,7 +497,7 @@ mod tests {
         ab.attach(val, s);
         ab.attach(val, t);
         ab.attach(val, t); // idempotent
-        // Provide required rules: s_ta needs s.VAL, t.ENV; t_a needs t.VAL.
+                           // Provide required rules: s_ta needs s.VAL, t.ENV; t_a needs t.VAL.
         let p_s = g.prod_by_label("s_ta").unwrap();
         let p_t = g.prod_by_label("t_a").unwrap();
         ab.rule(p_s, 0, val, vec![Dep::attr(1, val)], |d| d[0] + 1);

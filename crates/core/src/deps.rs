@@ -105,10 +105,7 @@ pub fn analyze<V: Clone + 'static>(ag: &AttrGrammar<V>) -> Result<DepAnalysis, C
                 }
             }
             // Transitive closure over the (small) node set.
-            let nodes: BTreeSet<OccAttr> = edges
-                .iter()
-                .flat_map(|&(u, v)| [u, v])
-                .collect();
+            let nodes: BTreeSet<OccAttr> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
             let nodes: Vec<OccAttr> = nodes.into_iter().collect();
             let idx: HashMap<OccAttr, usize> =
                 nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();

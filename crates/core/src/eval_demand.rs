@@ -50,7 +50,10 @@ impl fmt::Display for EvalError {
                 write!(f, "dynamic attribute cycle at node {node} on {class}")
             }
             EvalError::MissingInput { node, class } => {
-                write!(f, "no value for inherited {class} at node {node} (root input missing?)")
+                write!(
+                    f,
+                    "no value for inherited {class} at node {node} (root input missing?)"
+                )
             }
             EvalError::NotAttached { node, class } => {
                 write!(f, "attribute {class} not attached to symbol of node {node}")
@@ -239,11 +242,7 @@ mod tests {
     /// Knuth's binary number AG, fractional part included: value of
     /// "1 1 0 1" with the point after position 2 etc. Here: integers only,
     /// scale threaded via inh.
-    fn setup() -> (
-        Rc<ag_lalr::Grammar>,
-        AttrGrammar<i64>,
-        ParseTable,
-    ) {
+    fn setup() -> (Rc<ag_lalr::Grammar>, AttrGrammar<i64>, ParseTable) {
         let mut g = GrammarBuilder::new();
         let bit = g.terminal("bit");
         let l = g.nonterminal("l");
@@ -278,9 +277,13 @@ mod tests {
             |d| d[0] + d[1] * (1 << d[2]),
         );
         ab.rule(p_bit, 0, len, vec![], |_| 1);
-        ab.rule(p_bit, 0, val, vec![Dep::token(1), Dep::attr(0, scale)], |d| {
-            d[0] * (1 << d[1])
-        });
+        ab.rule(
+            p_bit,
+            0,
+            val,
+            vec![Dep::token(1), Dep::attr(0, scale)],
+            |d| d[0] * (1 << d[1]),
+        );
         let ag = ab.build().unwrap();
         let table = ParseTable::build(&g).unwrap();
         (g, ag, table)

@@ -209,9 +209,13 @@ mod tests {
             |d| d[0] + d[1] * (1 << (d[2] + 8)),
         );
         ab.rule(p_bit, 0, len, vec![], |_| 1);
-        ab.rule(p_bit, 0, val, vec![Dep::token(1), Dep::attr(0, scale)], |d| {
-            d[0] * (1 << (d[1] + 8))
-        });
+        ab.rule(
+            p_bit,
+            0,
+            val,
+            vec![Dep::token(1), Dep::attr(0, scale)],
+            |d| d[0] * (1 << (d[1] + 8)),
+        );
         let ag = ab.build().unwrap();
         let an = analyze(&ag).unwrap();
         let plans = plan(&ag, &an).unwrap();

@@ -129,7 +129,8 @@ pub(crate) fn complete<V: Clone + 'static>(
                                 prod: plabel.clone(),
                                 dep: format!(
                                     "{occ}.{} ({:?} attribute not readable at this occurrence)",
-                                    classes[c.index()].name, ddir
+                                    classes[c.index()].name,
+                                    ddir
                                 ),
                             });
                         }
@@ -235,7 +236,12 @@ fn synth_inherited<V: Clone + 'static>(
     let lhs = grammar.lhs(p);
     let lhs_has = slot.contains_key(&(lhs, class));
     match &info.implicit {
-        Implicit::None => Err(missing(plabel, occ, &info.name, "class has no implicit rules")),
+        Implicit::None => Err(missing(
+            plabel,
+            occ,
+            &info.name,
+            "class has no implicit rules",
+        )),
         _ if lhs_has => Ok(Rule {
             target_occ: occ,
             class,
@@ -270,7 +276,12 @@ fn synth_synthesized<V: Clone + 'static>(
         .map(|(i, _)| i + 1)
         .collect();
     match &info.implicit {
-        Implicit::None => Err(missing(plabel, 0, &info.name, "class has no implicit rules")),
+        Implicit::None => Err(missing(
+            plabel,
+            0,
+            &info.name,
+            "class has no implicit rules",
+        )),
         _ if sources.len() == 1 => Ok(Rule {
             target_occ: 0,
             class,

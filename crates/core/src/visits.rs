@@ -377,9 +377,13 @@ mod tests {
         );
         // l ::= bit
         ab.rule(p_bit, 0, len, vec![], |_| 1);
-        ab.rule(p_bit, 0, val, vec![Dep::token(1), Dep::attr(0, scale)], |d| {
-            d[0] * (1 << d[1].max(0))
-        });
+        ab.rule(
+            p_bit,
+            0,
+            val,
+            vec![Dep::token(1), Dep::attr(0, scale)],
+            |d| d[0] * (1 << d[1].max(0)),
+        );
         let ag = ab.build().unwrap();
         (g, ag)
     }

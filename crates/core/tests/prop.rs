@@ -1,17 +1,19 @@
 //! Property tests for the attribute-grammar engine: the demand-driven and
 //! plan-driven evaluators must agree on every well-formed AG, and the
 //! implicit-rule machinery must behave like hand-written plumbing.
+//!
+//! Ported from proptest to the in-repo `ag-harness` framework; the input
+//! space and every invariant are unchanged.
 
 use std::rc::Rc;
 
 use ag_core::{
     analyze, plan, AgBuilder, AttrDir, AttrTree, ClassId, DemandEval, Dep, Implicit, PlanEval,
 };
+use ag_harness::{check, check_eq, forall, Config, Source};
 use ag_lalr::{GrammarBuilder, ParseTable, Parser, Token};
-use proptest::prelude::*;
 
 /// A family of randomized AGs over the list grammar
-/// `s ::= s item | item ; item ::= a | b s'?`… kept simple:
 /// `l ::= l x | x` with attributes whose rules mix token values, inherited
 /// context, and synthesized folds, parameterized by random coefficients.
 #[derive(Debug, Clone)]
@@ -23,11 +25,17 @@ struct AgSpec {
     use_inh: bool,
 }
 
-fn ag_spec() -> impl Strategy<Value = AgSpec> {
-    (-5i64..6, -5i64..6, any::<bool>()).prop_map(|(k1, k2, use_inh)| AgSpec { k1, k2, use_inh })
+fn ag_spec(s: &mut Source) -> AgSpec {
+    AgSpec {
+        k1: s.i64_in(-5, 5),
+        k2: s.i64_in(-5, 5),
+        use_inh: s.bool(),
+    }
 }
 
-fn build(spec: &AgSpec) -> (
+fn build(
+    spec: &AgSpec,
+) -> (
     Rc<ag_lalr::Grammar>,
     ag_core::AttrGrammar<i64>,
     ClassId,
@@ -48,7 +56,9 @@ fn build(spec: &AgSpec) -> (
     let (k1, k2, use_inh) = (spec.k1, spec.k2, spec.use_inh);
     // DEPTH of the nested list grows by k1 (explicit rule; the copy rule
     // would keep it constant).
-    ab.rule(p_rec, 1, depth, vec![Dep::attr(0, depth)], move |d| d[0] + k1);
+    ab.rule(p_rec, 1, depth, vec![Dep::attr(0, depth)], move |d| {
+        d[0] + k1
+    });
     ab.rule(
         p_rec,
         0,
@@ -81,14 +91,14 @@ fn reference(spec: &AgSpec, xs: &[i64], depth0: i64) -> i64 {
     acc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Demand evaluation == plan evaluation == direct reference semantics.
+#[test]
+fn evaluators_agree() {
+    forall!(Config::new("evaluators_agree").cases(128), |s| {
+        let spec = ag_spec(s);
+        let xs = s.vec(1, 11, |s| s.i64_in(-100, 99));
+        let depth0 = s.i64_in(-10, 9);
 
-    /// Demand evaluation == plan evaluation == direct reference semantics.
-    #[test]
-    fn evaluators_agree(spec in ag_spec(),
-                        xs in proptest::collection::vec(-100i64..100, 1..12),
-                        depth0 in -10i64..10) {
         let (g, ag, depth, sum) = build(&spec);
         let table = ParseTable::build(&g).unwrap();
         let parser = Parser::new(&g, &table);
@@ -105,41 +115,61 @@ proptest! {
         pe.run(vec![(depth, depth0)]).unwrap();
         let planned = pe.root_value(sum).unwrap();
 
-        prop_assert_eq!(demand, planned);
-        prop_assert_eq!(demand, reference(&spec, &xs, depth0));
-    }
+        check_eq!(
+            demand,
+            planned,
+            "spec {:?} xs {:?} depth0 {}",
+            spec,
+            xs,
+            depth0
+        );
+        check_eq!(demand, reference(&spec, &xs, depth0));
+    });
+}
 
-    /// An implicit copy chain transports the root input unchanged to every
-    /// depth (the §4.2 bucket brigade), and an implicit merge computes the
-    /// same fold as an explicit rule would.
-    #[test]
-    fn implicit_rules_equal_explicit(xs in proptest::collection::vec(0i64..50, 1..10),
-                                     input in -50i64..50) {
-        let mut g = GrammarBuilder::new();
-        let x = g.terminal("x");
-        let l = g.nonterminal("l");
-        g.prod(l, &[l.into(), x.into()], "rec");
-        let p_leaf = g.prod(l, &[x.into()], "leaf");
-        g.start(l);
-        let g = Rc::new(g.build().unwrap());
-        let mut ab = AgBuilder::<i64>::new(Rc::clone(&g));
-        let env = ab.inh("ENV"); // implicit copy everywhere
-        let total = ab.syn_merge("TOTAL", 0, |a, b| a + b); // implicit merge
-        ab.attach(env, l);
-        ab.attach(total, l);
-        // Only the leaf has an explicit rule; `rec` relies on implicit
-        // copy (ENV) + implicit copy of the single TOTAL source… the token
-        // contributes nothing without an explicit rule, so TOTAL = leaf's.
-        ab.rule(p_leaf, 0, total, vec![Dep::token(1), Dep::attr(0, env)], |d| d[0] + d[1]);
-        let ag = ab.build().unwrap();
-        prop_assert!(ag.n_implicit_rules() >= 2);
+/// An implicit copy chain transports the root input unchanged to every
+/// depth (the §4.2 bucket brigade), and an implicit merge computes the
+/// same fold as an explicit rule would.
+#[test]
+fn implicit_rules_equal_explicit() {
+    forall!(
+        Config::new("implicit_rules_equal_explicit").cases(128),
+        |s| {
+            let xs = s.vec(1, 9, |s| s.i64_in(0, 49));
+            let input = s.i64_in(-50, 49);
 
-        let table = ParseTable::build(&g).unwrap();
-        let parser = Parser::new(&g, &table);
-        let tree = parser.parse(xs.iter().map(|&v| Token::new(x, v))).unwrap();
-        let at = AttrTree::from_parse_tree(&g, &tree);
-        let de = DemandEval::new(&ag, &at, vec![(env, input)]);
-        // TOTAL climbs by copy rules from the leaf: xs[0] + input.
-        prop_assert_eq!(de.root_value(total).unwrap(), xs[0] + input);
-    }
+            let mut g = GrammarBuilder::new();
+            let x = g.terminal("x");
+            let l = g.nonterminal("l");
+            g.prod(l, &[l.into(), x.into()], "rec");
+            let p_leaf = g.prod(l, &[x.into()], "leaf");
+            g.start(l);
+            let g = Rc::new(g.build().unwrap());
+            let mut ab = AgBuilder::<i64>::new(Rc::clone(&g));
+            let env = ab.inh("ENV"); // implicit copy everywhere
+            let total = ab.syn_merge("TOTAL", 0, |a, b| a + b); // implicit merge
+            ab.attach(env, l);
+            ab.attach(total, l);
+            // Only the leaf has an explicit rule; `rec` relies on implicit
+            // copy (ENV) + implicit copy of the single TOTAL source… the token
+            // contributes nothing without an explicit rule, so TOTAL = leaf's.
+            ab.rule(
+                p_leaf,
+                0,
+                total,
+                vec![Dep::token(1), Dep::attr(0, env)],
+                |d| d[0] + d[1],
+            );
+            let ag = ab.build().unwrap();
+            check!(ag.n_implicit_rules() >= 2);
+
+            let table = ParseTable::build(&g).unwrap();
+            let parser = Parser::new(&g, &table);
+            let tree = parser.parse(xs.iter().map(|&v| Token::new(x, v))).unwrap();
+            let at = AttrTree::from_parse_tree(&g, &tree);
+            let de = DemandEval::new(&ag, &at, vec![(env, input)]);
+            // TOTAL climbs by copy rules from the leaf: xs[0] + input.
+            check_eq!(de.root_value(total).unwrap(), xs[0] + input);
+        }
+    );
 }

@@ -2,16 +2,26 @@
 //!
 //! ```text
 //! vhdlc [--work DIR] [--elab ENTITY[:ARCH]] [--config NAME]
-//!       [--run TIME_NS] [--vcd FILE] [--emit-c FILE] [--stats] FILE...
+//!       [--run TIME_NS] [--vcd FILE] [--emit-c FILE] [--stats]
+//!       [--trace-phases] FILE...
 //! ```
 //!
 //! Compiles each file into the work library (in order), optionally
-//! elaborates a top unit, optionally simulates it.
+//! elaborates a top unit, optionally simulates it. `--trace-phases`
+//! prints a per-phase time/allocation table of the Fig. 1 pipeline
+//! (lex → principal AG → exprEval cascade → VIF → elaboration/codegen →
+//! kernel) after the run.
 
 use std::process::ExitCode;
 
 use sim_kernel::{io::Vcd, Time};
 use vhdl_driver::Compiler;
+
+/// Counting allocator so `--trace-phases` can attribute heap traffic to
+/// pipeline phases (it forwards to the system allocator; the counters are
+/// two relaxed atomics, negligible against allocation cost).
+#[global_allocator]
+static ALLOC: ag_harness::alloc::CountingAlloc = ag_harness::alloc::CountingAlloc;
 
 struct Args {
     work: Option<String>,
@@ -21,6 +31,7 @@ struct Args {
     vcd: Option<String>,
     emit_c: Option<String>,
     stats: bool,
+    trace_phases: bool,
     files: Vec<String>,
 }
 
@@ -33,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         vcd: None,
         emit_c: None,
         stats: false,
+        trace_phases: false,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -59,10 +71,11 @@ fn parse_args() -> Result<Args, String> {
             "--vcd" => out.vcd = Some(grab("--vcd")?),
             "--emit-c" => out.emit_c = Some(grab("--emit-c")?),
             "--stats" => out.stats = true,
+            "--trace-phases" => out.trace_phases = true,
             "--help" | "-h" => {
                 println!(
                     "usage: vhdlc [--work DIR] [--elab ENTITY[:ARCH]] [--config NAME] \
-                     [--run NS] [--vcd FILE] [--emit-c FILE] [--stats] FILE..."
+                     [--run NS] [--vcd FILE] [--emit-c FILE] [--stats] [--trace-phases] FILE..."
                 );
                 std::process::exit(0);
             }
@@ -81,6 +94,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.trace_phases {
+        ag_harness::trace::set_enabled(true);
+    }
     let compiler = match &args.work {
         Some(dir) => match Compiler::on_disk(std::path::Path::new(dir)) {
             Ok(c) => c,
@@ -207,6 +223,10 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+
+    if args.trace_phases {
+        eprint!("{}", ag_harness::trace::report().render());
     }
     ExitCode::SUCCESS
 }

@@ -159,10 +159,14 @@ impl Compiler {
     /// Front-end (scan/parse) errors; semantic errors are carried per
     /// unit.
     pub fn compile(&self, src: &str) -> Result<CompileResult, FrontError> {
+        let _t = ag_harness::trace::span("compile");
         let mut phases = PhaseTimes::default();
         self.libs.reset_traffic();
         let t0 = Instant::now();
-        let units = self.analyzer.parse_units(src)?;
+        let units = {
+            let _t = ag_harness::trace::span("parse");
+            self.analyzer.parse_units(src)?
+        };
         phases.parse = t0.elapsed();
 
         let read_spent = Rc::new(RefCell::new(Duration::ZERO));

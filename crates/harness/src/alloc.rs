@@ -1,0 +1,81 @@
+//! A counting global allocator so phase traces can attribute allocation
+//! volume.
+//!
+//! Install it in a binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: ag_harness::alloc::CountingAlloc = ag_harness::alloc::CountingAlloc;
+//! ```
+//!
+//! Counters are process-wide atomics with `Relaxed` ordering — cheap, and
+//! exact enough for a per-phase allocation table. When no binary installs
+//! the allocator, [`stats`] stays at zero and trace reports show `0B`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of cumulative allocation activity since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of allocation calls.
+    pub allocations: u64,
+    /// Total bytes requested (cumulative; never decremented on free).
+    pub bytes: u64,
+}
+
+/// Reads the current counters.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// The counting wrapper around the system allocator.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters have no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_monotone_reads() {
+        let a = stats();
+        let b = stats();
+        assert!(b.allocations >= a.allocations);
+        assert!(b.bytes >= a.bytes);
+    }
+}

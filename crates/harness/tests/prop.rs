@@ -1,0 +1,145 @@
+//! Property tests for the phase-trace layer itself, written with the very
+//! framework under test: random span trees must report correct nesting
+//! (every parent's total covers the sum of its children), and counters
+//! must be monotone under non-negative increments.
+
+use ag_harness::trace;
+use ag_harness::{check, check_eq, forall, Config, Source};
+
+/// A random span script: a tree of phase names with per-node counter
+/// bumps, encoded as nested vectors.
+#[derive(Debug, Clone)]
+struct SpanTree {
+    name: &'static str,
+    bumps: u64,
+    children: Vec<SpanTree>,
+}
+
+const NAMES: [&str; 4] = ["lex", "parse", "attr-eval", "emit"];
+
+fn span_tree(s: &mut Source, depth: u32) -> SpanTree {
+    let name = *s.pick(&NAMES);
+    let bumps = s.u64_in(0, 3);
+    let n_children = if depth == 0 { 0 } else { s.usize_in(0, 2) };
+    let children = (0..n_children).map(|_| span_tree(s, depth - 1)).collect();
+    SpanTree {
+        name,
+        bumps,
+        children,
+    }
+}
+
+/// Execute the script under the tracer, returning the counter total and a
+/// log of counter observations taken after every bump.
+fn execute(t: &SpanTree, observations: &mut Vec<u64>) -> u64 {
+    let _g = trace::span(t.name);
+    let mut total = 0;
+    for _ in 0..t.bumps {
+        trace::counter("prop-ticks", 1);
+        observations.push(trace::counter_value("prop-ticks"));
+        total += 1;
+    }
+    for c in &t.children {
+        total += execute(c, observations);
+    }
+    total
+}
+
+/// Timers nest correctly: in the report, each phase row's children (rows
+/// at depth+1 until the next row at <= depth) sum to at most the parent's
+/// total, and the root phases account for every recorded span.
+#[test]
+fn timers_nest_correctly() {
+    forall!(Config::new("timers_nest_correctly").cases(128), |s| {
+        let script = span_tree(s, 3);
+        trace::reset();
+        trace::set_enabled(true);
+        let mut obs = Vec::new();
+        execute(&script, &mut obs);
+        let report = trace::report();
+        trace::set_enabled(false);
+
+        check!(!report.phases.is_empty(), "tracer recorded no phases");
+        // Depths form a valid preorder: first row at depth 0, and each row
+        // is at most one level deeper than its predecessor.
+        check_eq!(report.phases[0].depth, 0);
+        for w in report.phases.windows(2) {
+            check!(
+                w[1].depth <= w[0].depth + 1,
+                "depth jumped from {} to {}",
+                w[0].depth,
+                w[1].depth
+            );
+        }
+        // Parent totals cover their children: for every row, the sum of
+        // its immediate children's totals is <= its own total, and
+        // self_time = total - children's sum (never negative/wrapped).
+        for (i, row) in report.phases.iter().enumerate() {
+            let mut child_sum = std::time::Duration::ZERO;
+            for later in &report.phases[i + 1..] {
+                if later.depth <= row.depth {
+                    break;
+                }
+                if later.depth == row.depth + 1 {
+                    child_sum += later.total;
+                }
+            }
+            check!(
+                child_sum <= row.total,
+                "children of {} total {:?} exceed parent {:?}",
+                row.name,
+                child_sum,
+                row.total
+            );
+            check_eq!(row.self_time, row.total - child_sum, "{}", row.name);
+        }
+    });
+}
+
+/// Counters are monotone under non-negative increments, and the final
+/// reported value equals the number of bumps executed.
+#[test]
+fn counters_monotone() {
+    forall!(Config::new("counters_monotone").cases(128), |s| {
+        let script = span_tree(s, 3);
+        trace::reset();
+        trace::set_enabled(true);
+        let mut obs = Vec::new();
+        let total = execute(&script, &mut obs);
+        let report = trace::report();
+        trace::set_enabled(false);
+
+        for w in obs.windows(2) {
+            check!(
+                w[0] < w[1],
+                "counter went backwards: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        check_eq!(trace::counter_value("prop-ticks"), total);
+        if total > 0 {
+            check_eq!(
+                report.counters.iter().find(|(n, _)| n == "prop-ticks"),
+                Some(&("prop-ticks".to_string(), total))
+            );
+        }
+    });
+}
+
+/// When tracing is disabled, spans and counters must be free of side
+/// effects — the report stays empty no matter what the program does.
+#[test]
+fn disabled_tracer_is_inert() {
+    forall!(Config::new("disabled_tracer_is_inert").cases(64), |s| {
+        let script = span_tree(s, 2);
+        trace::reset();
+        trace::set_enabled(false);
+        let mut obs = Vec::new();
+        execute(&script, &mut obs);
+        let report = trace::report();
+        check!(report.phases.is_empty());
+        check!(report.counters.is_empty());
+        check_eq!(trace::counter_value("prop-ticks"), 0);
+    });
+}

@@ -101,7 +101,12 @@ mod tests {
         let mut vcd = Vcd::new("1fs");
         vcd.change(Time::ZERO, SigId(0), "clk", &Val::Int(0));
         vcd.change(Time::fs(5), SigId(0), "clk", &Val::Int(1));
-        vcd.change(Time::fs(5), SigId(1), "bus", &Val::arr(1, VDir::Downto, vec![Val::Int(1), Val::Int(0)]));
+        vcd.change(
+            Time::fs(5),
+            SigId(1),
+            "bus",
+            &Val::arr(1, VDir::Downto, vec![Val::Int(1), Val::Int(0)]),
+        );
         let text = vcd.finish();
         assert!(text.contains("$timescale 1fs $end"));
         assert!(text.contains("$var wire 1 ! clk $end"));

@@ -173,9 +173,7 @@ pub fn binop(op: Op, a: &Val, b: &Val) -> Result<Val, RtError> {
         (Mod, Val::Int(x), Val::Int(y)) => {
             Val::Int(x.checked_rem_euclid(*y).ok_or(RtError::DivByZero)?)
         }
-        (Rem, Val::Int(x), Val::Int(y)) => {
-            Val::Int(x.checked_rem(*y).ok_or(RtError::DivByZero)?)
-        }
+        (Rem, Val::Int(x), Val::Int(y)) => Val::Int(x.checked_rem(*y).ok_or(RtError::DivByZero)?),
         (Pow, Val::Int(x), Val::Int(y)) => Val::Int(
             u32::try_from(*y)
                 .ok()
@@ -322,8 +320,14 @@ mod tests {
 
     #[test]
     fn integer_ops() {
-        assert_eq!(binop(Op::Add, &Val::Int(2), &Val::Int(3)).unwrap(), Val::Int(5));
-        assert_eq!(binop(Op::Pow, &Val::Int(2), &Val::Int(8)).unwrap(), Val::Int(256));
+        assert_eq!(
+            binop(Op::Add, &Val::Int(2), &Val::Int(3)).unwrap(),
+            Val::Int(5)
+        );
+        assert_eq!(
+            binop(Op::Pow, &Val::Int(2), &Val::Int(8)).unwrap(),
+            Val::Int(256)
+        );
         assert_eq!(
             binop(Op::Mod, &Val::Int(-7), &Val::Int(3)).unwrap(),
             Val::Int(2)
@@ -346,10 +350,22 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(binop(Op::Lt, &Val::Int(1), &Val::Int(2)).unwrap(), Val::Int(1));
-        assert_eq!(binop(Op::Ge, &Val::Int(1), &Val::Int(2)).unwrap(), Val::Int(0));
-        assert_eq!(binop(Op::Xor, &Val::Int(1), &Val::Int(1)).unwrap(), Val::Int(0));
-        assert_eq!(binop(Op::Nand, &Val::Int(1), &Val::Int(1)).unwrap(), Val::Int(0));
+        assert_eq!(
+            binop(Op::Lt, &Val::Int(1), &Val::Int(2)).unwrap(),
+            Val::Int(1)
+        );
+        assert_eq!(
+            binop(Op::Ge, &Val::Int(1), &Val::Int(2)).unwrap(),
+            Val::Int(0)
+        );
+        assert_eq!(
+            binop(Op::Xor, &Val::Int(1), &Val::Int(1)).unwrap(),
+            Val::Int(0)
+        );
+        assert_eq!(
+            binop(Op::Nand, &Val::Int(1), &Val::Int(1)).unwrap(),
+            Val::Int(0)
+        );
         assert_eq!(unop(Op::Not, &Val::Int(0)).unwrap(), Val::Int(1));
     }
 
@@ -357,10 +373,7 @@ mod tests {
     fn array_ops() {
         let a = Val::bits(&[1, 0]);
         let b = Val::bits(&[1, 1]);
-        assert_eq!(
-            binop(Op::And, &a, &b).unwrap(),
-            Val::bits(&[1, 0])
-        );
+        assert_eq!(binop(Op::And, &a, &b).unwrap(), Val::bits(&[1, 0]));
         assert_eq!(unop(Op::Not, &a).unwrap(), Val::bits(&[0, 1]));
         let c = binop(Op::Concat, &a, &b).unwrap();
         assert_eq!(c.as_arr().data.len(), 4);
@@ -377,9 +390,33 @@ mod tests {
     #[test]
     fn op_decode_round_trip() {
         for code in [
-            "add", "sub", "mul", "div", "mod", "rem", "pow", "neg", "pos", "abs", "eq", "ne",
-            "lt", "le", "gt", "ge", "and", "or", "nand", "nor", "xor", "not", "concat",
-            "concat_re", "concat_le", "mul_rev", "div_phys",
+            "add",
+            "sub",
+            "mul",
+            "div",
+            "mod",
+            "rem",
+            "pow",
+            "neg",
+            "pos",
+            "abs",
+            "eq",
+            "ne",
+            "lt",
+            "le",
+            "gt",
+            "ge",
+            "and",
+            "or",
+            "nand",
+            "nor",
+            "xor",
+            "not",
+            "concat",
+            "concat_re",
+            "concat_le",
+            "mul_rev",
+            "div_phys",
         ] {
             assert!(Op::decode(code).is_some(), "{code}");
         }

@@ -76,7 +76,10 @@ impl std::fmt::Display for SimError {
             SimError::Failure(r) => write!(f, "failure at {}: {}", r.time, r.text),
             SimError::FuelExhausted(p) => write!(f, "process {p} looped without suspending"),
             SimError::UnresolvedDrivers(s) => {
-                write!(f, "signal {s} has multiple drivers but no resolution function")
+                write!(
+                    f,
+                    "signal {s} has multiple drivers but no resolution function"
+                )
             }
             SimError::BadResolution(s) => write!(f, "bad resolution function on {s}"),
         }
@@ -228,7 +231,11 @@ impl<'a> Simulator<'a> {
 
     /// All signal names, in id order.
     pub fn signal_names(&self) -> Vec<&str> {
-        self.program.signals.iter().map(|s| s.name.as_str()).collect()
+        self.program
+            .signals
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect()
     }
 
     /// Runs until `deadline` (inclusive) or quiescence.
@@ -237,6 +244,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Stops at the first [`SimError`].
     pub fn run_until(&mut self, deadline: Time) -> Result<(), SimError> {
+        let _t = ag_harness::trace::span("simulate");
         // Initial cycle: every process runs until its first wait.
         if self.stats.cycles == 0 {
             self.execute_ready()?;
@@ -347,9 +355,7 @@ impl<'a> Simulator<'a> {
             let resume = match &self.procs[pi].status {
                 ProcStatus::Suspended { sens, timeout } => {
                     let timed_out = timeout.is_some_and(|t| t <= self.now);
-                    let evented = sens
-                        .iter()
-                        .any(|s| self.signals[s.0 as usize].event);
+                    let evented = sens.iter().any(|s| self.signals[s.0 as usize].event);
                     if timed_out || evented {
                         Some(timed_out && !evented)
                     } else {
@@ -530,8 +536,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 Insn::LoadSig(s) => {
-                    proc.stack
-                        .push(self.signals[s.0 as usize].current.clone());
+                    proc.stack.push(self.signals[s.0 as usize].current.clone());
                 }
                 Insn::LoadSigAttr(s, attr) => {
                     let sig = &self.signals[s.0 as usize];
@@ -556,7 +561,8 @@ impl<'a> Simulator<'a> {
                     let a = arr.as_arr();
                     let (o1, o2) = (
                         a.offset(left).ok_or(RtError::IndexError { index: left })?,
-                        a.offset(right).ok_or(RtError::IndexError { index: right })?,
+                        a.offset(right)
+                            .ok_or(RtError::IndexError { index: right })?,
                     );
                     let (lo, hi) = (o1.min(o2), o1.max(o2));
                     let data = a.data[lo..=hi].to_vec();
@@ -750,11 +756,10 @@ impl<'a> Simulator<'a> {
         let value = match index {
             None => value,
             Some(i) => {
-                let base = d
-                    .tx
-                    .back()
-                    .map(|(_, v)| v.clone())
-                    .unwrap_or_else(|| d.driving.clone());
+                let base =
+                    d.tx.back()
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| d.driving.clone());
                 store_elem(&base, i, value)?
             }
         };

@@ -1,10 +1,13 @@
 //! Property tests for the simulation kernel: determinism, time
 //! monotonicity, preemption invariants, and runtime arithmetic against an
 //! i64 model.
+//!
+//! Ported from proptest to the in-repo `ag-harness` framework; the input
+//! space and every invariant are unchanged.
 
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use ag_harness::{check, check_eq, forall, Config};
 use sim_kernel::{rts, Insn, Op, Program, SimStats, Simulator, Time, Val};
 
 /// A randomized multi-driver program: `n` oscillators with random periods
@@ -52,97 +55,121 @@ fn run(periods: &[u64], until: u64) -> (SimStats, Vec<Val>, Vec<Time>) {
     (stats, vals, t)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Two runs of the same program are bit-identical (determinism), and
-    /// observed event times never decrease (monotonicity).
-    #[test]
-    fn deterministic_and_monotone(periods in proptest::collection::vec(1u64..50, 1..5),
-                                  until in 100u64..2000) {
+/// Two runs of the same program are bit-identical (determinism), and
+/// observed event times never decrease (monotonicity).
+#[test]
+fn deterministic_and_monotone() {
+    forall!(Config::new("deterministic_and_monotone").cases(64), |s| {
+        let periods = s.vec(1, 4, |s| s.u64_in(1, 49));
+        let until = s.u64_in(100, 1999);
         let (s1, v1, t1) = run(&periods, until);
         let (s2, v2, _) = run(&periods, until);
-        prop_assert_eq!(s1, s2);
-        prop_assert_eq!(v1, v2);
+        check_eq!(s1, s2);
+        check_eq!(v1, v2);
         for w in t1.windows(2) {
-            prop_assert!(w[0] <= w[1], "time went backwards: {} then {}", w[0], w[1]);
+            check!(w[0] <= w[1], "time went backwards: {} then {}", w[0], w[1]);
         }
-    }
+    });
+}
 
-    /// Each oscillator's final value equals the parity of elapsed/period,
-    /// and the event count is the sum over oscillators.
-    #[test]
-    fn oscillator_event_counts(periods in proptest::collection::vec(1u64..40, 1..4),
-                               until in 50u64..1500) {
+/// Each oscillator's final value equals the parity of elapsed/period,
+/// and the event count is the sum over oscillators.
+#[test]
+fn oscillator_event_counts() {
+    forall!(Config::new("oscillator_event_counts").cases(64), |s| {
+        let periods = s.vec(1, 3, |s| s.u64_in(1, 39));
+        let until = s.u64_in(50, 1499);
         let (stats, vals, _) = run(&periods, until);
         let mut expect_events = 0u64;
         for (i, &p) in periods.iter().enumerate() {
             let toggles = until / p;
             expect_events += toggles;
-            prop_assert_eq!(vals[i].as_int(), (toggles % 2) as i64, "osc {} period {}", i, p);
+            check_eq!(
+                vals[i].as_int(),
+                (toggles % 2) as i64,
+                "osc {} period {}",
+                i,
+                p
+            );
         }
-        prop_assert_eq!(stats.events, expect_events);
-    }
+        check_eq!(stats.events, expect_events);
+    });
+}
 
-    /// Inertial preemption: after any sequence of scheduled assignments at
-    /// strictly increasing delays within one process run, only the last
-    /// one survives.
-    #[test]
-    fn inertial_last_write_wins(vals in proptest::collection::vec(0i64..100, 1..8)) {
+/// Inertial preemption: after any sequence of scheduled assignments at
+/// strictly increasing delays within one process run, only the last
+/// one survives.
+#[test]
+fn inertial_last_write_wins() {
+    forall!(Config::new("inertial_last_write_wins").cases(64), |s| {
+        let vals = s.vec(1, 7, |s| s.i64_in(0, 99));
         let mut p = Program::default();
-        let s = p.add_signal("s", Val::Int(-1));
+        let sig = p.add_signal("s", Val::Int(-1));
         let mut code = Vec::new();
         for (i, &v) in vals.iter().enumerate() {
             code.push(Insn::PushInt(v));
             code.push(Insn::PushInt(10 + i as i64));
-            code.push(Insn::Sched { sig: s, transport: false });
+            code.push(Insn::Sched {
+                sig,
+                transport: false,
+            });
         }
         code.push(Insn::Halt);
         p.add_process("w", 0, code);
         let mut sim = Simulator::new(p);
         sim.run_until(Time::fs(100)).unwrap();
-        prop_assert_eq!(sim.signal_value(s), &Val::Int(*vals.last().unwrap()));
-        prop_assert_eq!(sim.stats().transactions, 1);
-    }
+        check_eq!(sim.signal_value(sig), &Val::Int(*vals.last().unwrap()));
+        check_eq!(sim.stats().transactions, 1);
+    });
+}
 
-    /// Transport: all transactions at increasing times survive in order.
-    #[test]
-    fn transport_preserves_waveform(vals in proptest::collection::vec(0i64..100, 1..8)) {
+/// Transport: all transactions at increasing times survive in order.
+#[test]
+fn transport_preserves_waveform() {
+    forall!(Config::new("transport_preserves_waveform").cases(64), |s| {
+        let vals = s.vec(1, 7, |s| s.i64_in(0, 99));
         let mut p = Program::default();
-        let s = p.add_signal("s", Val::Int(-1));
+        let sig = p.add_signal("s", Val::Int(-1));
         let mut code = Vec::new();
         for (i, &v) in vals.iter().enumerate() {
             code.push(Insn::PushInt(v));
             code.push(Insn::PushInt(10 * (i as i64 + 1)));
-            code.push(Insn::Sched { sig: s, transport: true });
+            code.push(Insn::Sched {
+                sig,
+                transport: true,
+            });
         }
         code.push(Insn::Halt);
         p.add_process("w", 0, code);
         let mut sim = Simulator::new(p);
         sim.run_until(Time::fs(10_000)).unwrap();
-        prop_assert_eq!(sim.signal_value(s), &Val::Int(*vals.last().unwrap()));
-        prop_assert_eq!(sim.stats().transactions, vals.len() as u64);
-    }
+        check_eq!(sim.signal_value(sig), &Val::Int(*vals.last().unwrap()));
+        check_eq!(sim.stats().transactions, vals.len() as u64);
+    });
+}
 
-    /// Runtime binary operations agree with checked i64 arithmetic.
-    #[test]
-    fn rts_matches_i64(a in -1_000_000i64..1_000_000, b in -1000i64..1000) {
-        let check = |op: Op, want: Option<i64>| {
+/// Runtime binary operations agree with checked i64 arithmetic.
+#[test]
+fn rts_matches_i64() {
+    forall!(Config::new("rts_matches_i64").cases(64), |s| {
+        let a = s.i64_in(-1_000_000, 999_999);
+        let b = s.i64_in(-1000, 999);
+        let check_op = |op: Op, want: Option<i64>| -> ag_harness::TestResult {
             match rts::binop(op, &Val::Int(a), &Val::Int(b)) {
-                Ok(Val::Int(got)) => prop_assert_eq!(Some(got), want, "{:?}", op),
-                Ok(other) => prop_assert!(false, "non-int result {other:?}"),
-                Err(_) => prop_assert!(want.is_none(), "{:?} errored but model had {:?}", op, want),
+                Ok(Val::Int(got)) => check_eq!(Some(got), want, "{:?}", op),
+                Ok(other) => check!(false, "non-int result {:?}", other),
+                Err(_) => check!(want.is_none(), "{:?} errored but model had {:?}", op, want),
             }
             Ok(())
         };
-        check(Op::Add, a.checked_add(b))?;
-        check(Op::Sub, a.checked_sub(b))?;
-        check(Op::Mul, a.checked_mul(b))?;
-        check(Op::Div, a.checked_div(b))?;
-        check(Op::Mod, a.checked_rem_euclid(b))?;
-        check(Op::Rem, a.checked_rem(b))?;
-        check(Op::Lt, Some((a < b) as i64))?;
-        check(Op::Ge, Some((a >= b) as i64))?;
-        check(Op::Eq, Some((a == b) as i64))?;
-    }
+        check_op(Op::Add, a.checked_add(b))?;
+        check_op(Op::Sub, a.checked_sub(b))?;
+        check_op(Op::Mul, a.checked_mul(b))?;
+        check_op(Op::Div, a.checked_div(b))?;
+        check_op(Op::Mod, a.checked_rem_euclid(b))?;
+        check_op(Op::Rem, a.checked_rem(b))?;
+        check_op(Op::Lt, Some((a < b) as i64))?;
+        check_op(Op::Ge, Some((a >= b) as i64))?;
+        check_op(Op::Eq, Some((a == b) as i64))?;
+    });
 }

@@ -3,9 +3,7 @@
 
 use std::rc::Rc;
 
-use sim_kernel::{
-    FnDecl, Insn, Op, Program, SigAttr, SimError, Simulator, Time, Val, VarAddr,
-};
+use sim_kernel::{FnDecl, Insn, Op, Program, SigAttr, SimError, Simulator, Time, Val, VarAddr};
 
 fn addr(slot: u16) -> VarAddr {
     VarAddr { depth: 0, slot }

@@ -34,11 +34,12 @@ impl<'g> Earley<'g> {
         let mut sets: Vec<Vec<EItem>> = vec![Vec::new(); n + 1];
         let mut seen: Vec<HashSet<EItem>> = vec![HashSet::new(); n + 1];
 
-        let push = |sets: &mut Vec<Vec<EItem>>, seen: &mut Vec<HashSet<EItem>>, k: usize, it: EItem| {
-            if seen[k].insert(it) {
-                sets[k].push(it);
-            }
-        };
+        let push =
+            |sets: &mut Vec<Vec<EItem>>, seen: &mut Vec<HashSet<EItem>>, k: usize, it: EItem| {
+                if seen[k].insert(it) {
+                    sets[k].push(it);
+                }
+            };
 
         push(
             &mut sets,

@@ -135,7 +135,10 @@ mod tests {
         let set = |s: &str| {
             fs.first(names(s))
                 .iter()
-                .map(|i| g.symbol_name(crate::grammar::SymbolId(i as u32)).to_string())
+                .map(|i| {
+                    g.symbol_name(crate::grammar::SymbolId(i as u32))
+                        .to_string()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(set("E"), vec!["(", "id"]);

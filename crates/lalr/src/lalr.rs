@@ -35,15 +35,15 @@ pub fn lr1_closure(
     let mut out: HashMap<Item, BitSet> = HashMap::new();
     let mut work: Vec<Item> = Vec::new();
     for (item, las) in seed {
-        let entry = out
-            .entry(*item)
-            .or_insert_with(|| BitSet::new(universe));
+        let entry = out.entry(*item).or_insert_with(|| BitSet::new(universe));
         if entry.union_with(las) || !work.contains(item) {
             work.push(*item);
         }
     }
     while let Some(item) = work.pop() {
-        let Some(b) = item.next_symbol(g) else { continue };
+        let Some(b) = item.next_symbol(g) else {
+            continue;
+        };
         if g.is_terminal(b) {
             continue;
         }
@@ -106,7 +106,9 @@ pub fn compute(g: &Grammar, first: &FirstSets, aut: &Lr0Automaton) -> Lookaheads
             seed_las.insert(probe);
             let closure = lr1_closure(g, first, &[(kitem, seed_las)], universe);
             for (item, las) in &closure {
-                let Some(x) = item.next_symbol(g) else { continue };
+                let Some(x) = item.next_symbol(g) else {
+                    continue;
+                };
                 let target = state.transitions[&x];
                 let succ = item.advanced();
                 let ti = kernel_index[target as usize][&succ];
@@ -204,10 +206,7 @@ mod tests {
         let r_l = g.prod_by_label("r_l").unwrap();
         let mut found = false;
         for (si, st) in aut.states.iter().enumerate() {
-            let has_assign = st
-                .kernel
-                .iter()
-                .any(|i| i.prod == s_assign && i.dot == 1);
+            let has_assign = st.kernel.iter().any(|i| i.prod == s_assign && i.dot == 1);
             if !has_assign {
                 continue;
             }

@@ -11,7 +11,13 @@ use crate::table::Conflict;
 pub fn dump_grammar(g: &Grammar) -> String {
     let mut out = String::new();
     for p in g.prod_ids() {
-        let _ = writeln!(out, "{:4}  {}  [{}]", p.index(), g.display_prod(p), g.prod_label(p));
+        let _ = writeln!(
+            out,
+            "{:4}  {}  [{}]",
+            p.index(),
+            g.display_prod(p),
+            g.prod_label(p)
+        );
     }
     out
 }

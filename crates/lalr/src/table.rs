@@ -48,7 +48,13 @@ impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} LALR conflict(s):", self.conflicts.len())?;
         for c in &self.conflicts {
-            writeln!(f, "  state {}: {} on `{}`", c.state, c.description, c.lookahead.index())?;
+            writeln!(
+                f,
+                "  state {}: {} on `{}`",
+                c.state,
+                c.description,
+                c.lookahead.index()
+            )?;
         }
         Ok(())
     }

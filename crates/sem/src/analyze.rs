@@ -136,11 +136,9 @@ impl Analyzer {
 
     /// Analysis against an arbitrary loader (drivers wrap the library set
     /// to time VIF traffic).
-    pub fn analyze_unit_with_loader(
-        &self,
-        unit: &Cst,
-        loader: Rc<dyn UnitLoader>,
-    ) -> AnalyzedUnit {
+    pub fn analyze_unit_with_loader(&self, unit: &Cst, loader: Rc<dyn UnitLoader>) -> AnalyzedUnit {
+        let _t = ag_harness::trace::span("principal-ag");
+        ag_harness::trace::counter("units-analyzed", 1);
         let actx = Rc::new(Actx {
             loader,
             std: Rc::clone(&self.std),

@@ -82,7 +82,13 @@ impl Mode {
 }
 
 /// Builds an object denotation (`obj` node).
-pub fn mk_obj(class: ObjClass, name: &str, ty: &Ty, mode: Mode, init: Option<Rc<VifNode>>) -> Rc<VifNode> {
+pub fn mk_obj(
+    class: ObjClass,
+    name: &str,
+    ty: &Ty,
+    mode: Mode,
+    init: Option<Rc<VifNode>>,
+) -> Rc<VifNode> {
     let mut b = VifNode::build("obj")
         .name(name)
         .str_field("uid", fresh_uid(name))
@@ -255,7 +261,10 @@ mod tests {
         assert_eq!(o.kind(), "obj");
         assert_eq!(o.name(), Some("clk"));
         assert_eq!(obj_class(&o), Some(ObjClass::Signal));
-        assert_eq!(crate::types::uid(&obj_ty(&o).unwrap()), crate::types::uid(&int));
+        assert_eq!(
+            crate::types::uid(&obj_ty(&o).unwrap()),
+            crate::types::uid(&int)
+        );
         assert_eq!(Mode::decode(o.str_field("mode").unwrap()), Mode::In);
     }
 

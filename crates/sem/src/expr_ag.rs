@@ -226,6 +226,8 @@ pub fn expr_eval(
     expected: Option<&Ty>,
     load_pkg: Option<&dyn Fn(&str, &str) -> Option<Rc<VifNode>>>,
 ) -> ExprAnswer {
+    let _t = ag_harness::trace::span("expr-eval-cascade");
+    ag_harness::trace::counter("expr-evals", 1);
     let pos = toks.first().map(|t| t.pos).unwrap_or_default();
     if toks.is_empty() {
         return ExprAnswer::error(Msgs::one(Msg::error(pos, "empty expression")));
@@ -239,12 +241,10 @@ pub fn expr_eval(
     // The paper's trivial scanner: the next token is the head of the list.
     let parser = Parser::new(&ax.grammar, &ax.table);
     let positions: Vec<Pos> = lef.iter().map(|t| t.pos).collect();
-    let parsed = parser.parse(lef.iter().map(|t| {
-        Token::new(
-            ax.term_of[&t.kind],
-            Value::Lef(Rc::new(vec![t.clone()])),
-        )
-    }));
+    let parsed = parser.parse(
+        lef.iter()
+            .map(|t| Token::new(ax.term_of[&t.kind], Value::Lef(Rc::new(vec![t.clone()])))),
+    );
     let tree = match parsed {
         Ok(t) => t,
         Err(e) => {
@@ -321,7 +321,9 @@ pub fn collect_errors(ir: &Ir, msgs: &mut Msgs) {
         let line = ir.int_field("line").unwrap_or(0) as u32;
         msgs.push(Msg::error(
             Pos { line, col: 1 },
-            ir.str_field("msg").unwrap_or("expression error").to_string(),
+            ir.str_field("msg")
+                .unwrap_or("expression error")
+                .to_string(),
         ));
     }
     for (_, v) in ir.fields() {
@@ -365,10 +367,10 @@ fn build_expr_grammar() -> Grammar {
     }
     let mut names: HashMap<String, SymbolId> = HashMap::new();
     let r = |b: &mut GrammarBuilder,
-                 names: &mut HashMap<String, SymbolId>,
-                 lhs: &str,
-                 rhs: &str,
-                 label: &str| {
+             names: &mut HashMap<String, SymbolId>,
+             lhs: &str,
+             rhs: &str,
+             label: &str| {
         let lhs = *names
             .entry(lhs.to_string())
             .or_insert_with(|| b.nonterminal(lhs));
@@ -411,7 +413,13 @@ fn build_expr_grammar() -> Grammar {
         ("'>'", "r_gt"),
         ("'>='", "r_ge"),
     ] {
-        r(&mut b, &mut names, "rel", &format!("simple {op} simple"), label);
+        r(
+            &mut b,
+            &mut names,
+            "rel",
+            &format!("simple {op} simple"),
+            label,
+        );
     }
     // Adding level (sign binds the whole first term, per LRM).
     r(&mut b, &mut names, "simple", "term", "s_term");
@@ -428,7 +436,13 @@ fn build_expr_grammar() -> Grammar {
     r(&mut b, &mut names, "term", "term rem factor", "t_rem");
     // Factor level.
     r(&mut b, &mut names, "factor", "primary", "f_primary");
-    r(&mut b, &mut names, "factor", "primary '**' primary", "f_pow");
+    r(
+        &mut b,
+        &mut names,
+        "factor",
+        "primary '**' primary",
+        "f_pow",
+    );
     r(&mut b, &mut names, "factor", "abs primary", "f_abs");
     r(&mut b, &mut names, "factor", "not primary", "f_not");
     // Primaries.
@@ -437,12 +451,36 @@ fn build_expr_grammar() -> Grammar {
     r(&mut b, &mut names, "primary", "real_lit", "p_real");
     r(&mut b, &mut names, "primary", "str_lit", "p_str");
     r(&mut b, &mut names, "primary", "bitstr_lit", "p_bitstr");
-    r(&mut b, &mut names, "primary", "int_lit physunit", "p_phys_int");
-    r(&mut b, &mut names, "primary", "real_lit physunit", "p_phys_real");
+    r(
+        &mut b,
+        &mut names,
+        "primary",
+        "int_lit physunit",
+        "p_phys_int",
+    );
+    r(
+        &mut b,
+        &mut names,
+        "primary",
+        "real_lit physunit",
+        "p_phys_real",
+    );
     r(&mut b, &mut names, "primary", "physunit", "p_phys_unit");
     r(&mut b, &mut names, "primary", "aggregate", "p_agg");
-    r(&mut b, &mut names, "primary", "tymark tick aggregate", "p_qualified");
-    r(&mut b, &mut names, "primary", "tymark '(' expr ')'", "p_conv");
+    r(
+        &mut b,
+        &mut names,
+        "primary",
+        "tymark tick aggregate",
+        "p_qualified",
+    );
+    r(
+        &mut b,
+        &mut names,
+        "primary",
+        "tymark '(' expr ')'",
+        "p_conv",
+    );
     // Names (the X(Y) family).
     r(&mut b, &mut names, "name", "obj", "n_obj");
     r(&mut b, &mut names, "name", "callable", "n_callable");

@@ -203,8 +203,21 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
     let nt = |g: &Grammar, n: &str| g.symbol(n).unwrap_or_else(|| panic!("no symbol {n}"));
     let expr_chain = ["xr", "expr", "rel", "simple", "term", "factor", "primary"];
     let all_nts = [
-        "xr", "expr", "rel", "simple", "term", "factor", "primary", "name", "assocs", "assoc",
-        "aggregate", "elems", "elem", "chs", "ch",
+        "xr",
+        "expr",
+        "rel",
+        "simple",
+        "term",
+        "factor",
+        "primary",
+        "name",
+        "assocs",
+        "assoc",
+        "aggregate",
+        "elems",
+        "elem",
+        "chs",
+        "ch",
     ];
     for n in all_nts {
         ab.attach(c.env, nt(g, n));
@@ -214,7 +227,16 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
         ab.attach(c.expected, nt(g, n));
         ab.attach(c.ir, nt(g, n));
     }
-    for n in ["expr", "rel", "simple", "term", "factor", "primary", "name", "aggregate"] {
+    for n in [
+        "expr",
+        "rel",
+        "simple",
+        "term",
+        "factor",
+        "primary",
+        "name",
+        "aggregate",
+    ] {
         ab.attach(c.types, nt(g, n));
     }
     ab.attach(c.expected, nt(g, "name"));
@@ -323,7 +345,9 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
 
     // ----- literal primaries -------------------------------------------------
     let pr = p(g, "p_int");
-    ab.rule(pr, 0, c.types, vec![], |_| vtys(vec![types::universal_int()]));
+    ab.rule(pr, 0, c.types, vec![], |_| {
+        vtys(vec![types::universal_int()])
+    });
     ab.rule(
         pr,
         0,
@@ -348,7 +372,9 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
         },
     );
     let pr = p(g, "p_real");
-    ab.rule(pr, 0, c.types, vec![], |_| vtys(vec![types::universal_real()]));
+    ab.rule(pr, 0, c.types, vec![], |_| {
+        vtys(vec![types::universal_real()])
+    });
     ab.rule(
         pr,
         0,
@@ -388,13 +414,19 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
         );
     }
     // Physical literals.
-    for (label, with_lit) in [("p_phys_int", true), ("p_phys_real", true), ("p_phys_unit", false)] {
+    for (label, with_lit) in [
+        ("p_phys_int", true),
+        ("p_phys_real", true),
+        ("p_phys_unit", false),
+    ] {
         let pr = p(g, label);
         let unit_occ = if with_lit { 2 } else { 1 };
         let is_real = label == "p_phys_real";
         ab.rule(pr, 0, c.types, vec![Dep::token(unit_occ)], move |d| {
             let u = lef(&d[0]);
-            vtys(vec![Rc::clone(u.dens[0].node_field("ty").expect("unit typed"))])
+            vtys(vec![Rc::clone(
+                u.dens[0].node_field("ty").expect("unit typed"),
+            )])
         });
         let deps = if with_lit {
             vec![Dep::token(1), Dep::token(2)]
@@ -494,7 +526,11 @@ fn install_binop(
         pr,
         0,
         c.types,
-        vec![Dep::attr(0, c.env), Dep::attr(l, c.types), Dep::attr(r, c.types)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(l, c.types),
+            Dep::attr(r, c.types),
+        ],
         move |d| {
             let e = env(&d[0]);
             vtys(overload::result_types(&op_cands(&e, sym, &[&d[1], &d[2]])))
@@ -514,9 +550,9 @@ fn install_binop(
             move |d| {
                 let e = env(&d[1]);
                 match pick_op(&e, sym, &[&d[2], &d[3]], expected(&d[0]).as_ref()) {
-                    Ok(op) => Value::MaybeNode(
-                        subprog_params(&op).get(idx).and_then(|p| obj_ty(p)),
-                    ),
+                    Ok(op) => {
+                        Value::MaybeNode(subprog_params(&op).get(idx).and_then(|p| obj_ty(p)))
+                    }
                     Err(_) => Value::MaybeNode(None),
                 }
             },
@@ -681,16 +717,22 @@ fn install_name_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
 
     // name ::= name ( assocs ) — call, index, or slice by denotation.
     let pr = p("n_apply");
-    ab.rule(pr, 0, c.den, vec![Dep::attr(1, c.den)], |d| match d[0].expect_den() {
-        DenVal::Overloads(_) => Value::Den(DenVal::ValueLike(None)),
-        DenVal::ValueLike(root) => Value::Den(DenVal::ValueLike(root.clone())),
-        DenVal::Error => Value::Den(DenVal::Error),
+    ab.rule(pr, 0, c.den, vec![Dep::attr(1, c.den)], |d| {
+        match d[0].expect_den() {
+            DenVal::Overloads(_) => Value::Den(DenVal::ValueLike(None)),
+            DenVal::ValueLike(root) => Value::Den(DenVal::ValueLike(root.clone())),
+            DenVal::Error => Value::Den(DenVal::Error),
+        }
     });
     ab.rule(
         pr,
         0,
         c.types,
-        vec![Dep::attr(1, c.den), Dep::attr(1, c.types), Dep::attr(3, c.args)],
+        vec![
+            Dep::attr(1, c.den),
+            Dep::attr(1, c.types),
+            Dep::attr(3, c.args),
+        ],
         |d| {
             let shapes = decode_args(&d[2]);
             match d[0].expect_den() {
@@ -785,8 +827,7 @@ fn install_name_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
                     match overload::pick(&matching, expected(&d[0]).as_ref()) {
                         Ok(ch) => match build_call_args(&ch, &shapes, &arg_irs) {
                             Ok(args) => {
-                                let ret =
-                                    subprog_ret(&ch).unwrap_or_else(types::void_marker);
+                                let ret = subprog_ret(&ch).unwrap_or_else(types::void_marker);
                                 Value::Node(ir::e_call(&ch, args, &ret))
                             }
                             Err(msg) => Value::Node(err_ir(pos, msg)),
@@ -842,23 +883,17 @@ fn install_name_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
             }
         },
     );
-    ab.rule(
-        pr,
-        0,
-        c.ir,
-        vec![Dep::attr(1, c.ir), Dep::token(3)],
-        |d| {
-            let base = ir_of(&d[0]);
-            let t = lef(&d[1]);
-            match record_field(&ty_of(&base), &t.text) {
-                Some((pos, fty)) => Value::Node(ir::e_field(base, pos, &t.text, &fty)),
-                None => Value::Node(err_ir(
-                    t.pos,
-                    format!("no field `{}` on this prefix", t.text),
-                )),
-            }
-        },
-    );
+    ab.rule(pr, 0, c.ir, vec![Dep::attr(1, c.ir), Dep::token(3)], |d| {
+        let base = ir_of(&d[0]);
+        let t = lef(&d[1]);
+        match record_field(&ty_of(&base), &t.text) {
+            Some((pos, fty)) => Value::Node(ir::e_field(base, pos, &t.text, &fty)),
+            None => Value::Node(err_ir(
+                t.pos,
+                format!("no field `{}` on this prefix", t.text),
+            )),
+        }
+    });
 
     // name ::= name ' attrid  and  tymark ' attrid
     install_attr_rules(ab, g, &c);
@@ -936,7 +971,9 @@ fn install_attr_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
 
     // name ' attrid — prefix is a name.
     let pr = p("n_attr");
-    ab.rule(pr, 0, c.den, vec![], |_| Value::Den(DenVal::ValueLike(None)));
+    ab.rule(pr, 0, c.den, vec![], |_| {
+        Value::Den(DenVal::ValueLike(None))
+    });
     ab.rule(pr, 1, c.expected, vec![], |_| Value::MaybeNode(None));
     ab.rule(
         pr,
@@ -977,13 +1014,22 @@ fn install_attr_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
                 _ => None,
             };
             let base = ir_of(&d[2]);
-            Value::Node(attr_ir(&e, &t.text, root.as_deref(), Some(base), None, t.pos))
+            Value::Node(attr_ir(
+                &e,
+                &t.text,
+                root.as_deref(),
+                Some(base),
+                None,
+                t.pos,
+            ))
         },
     );
 
     // tymark ' attrid — prefix is a type mark.
     let pr = p("n_tyattr");
-    ab.rule(pr, 0, c.den, vec![], |_| Value::Den(DenVal::ValueLike(None)));
+    ab.rule(pr, 0, c.den, vec![], |_| {
+        Value::Den(DenVal::ValueLike(None))
+    });
     ab.rule(
         pr,
         0,
@@ -1104,7 +1150,11 @@ fn attr_ir(
                         .node_field("index_ty")
                         .cloned()
                         .unwrap_or_else(types::universal_int);
-                    let rt = if attr == "length" { types::universal_int() } else { vt };
+                    let rt = if attr == "length" {
+                        types::universal_int()
+                    } else {
+                        vt
+                    };
                     return ir::e_attr(attr, Some(b), None, &rt);
                 }
                 return err_ir(pos, format!("prefix of `{attr}` has no static bounds"));
@@ -1205,7 +1255,10 @@ fn install_assoc_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) 
         one(arg_desc("pos", "", tys(&d[0])))
     });
     ab.rule(pr, 1, c.expected, vec![Dep::attr(0, c.expecteds)], |d| {
-        d[0].expect_list().first().cloned().unwrap_or(Value::MaybeNode(None))
+        d[0].expect_list()
+            .first()
+            .cloned()
+            .unwrap_or(Value::MaybeNode(None))
     });
     ab.rule(pr, 0, c.irs, vec![Dep::attr(1, c.ir)], |d| {
         // An expression whose IR is an e.range ('range attribute) slots in
@@ -1216,10 +1269,15 @@ fn install_assoc_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) 
     // assoc ::= expr to/downto expr
     for (label, dir) in [("a_to", Dir::To), ("a_downto", Dir::Downto)] {
         let pr = p(label);
-        ab.rule(pr, 0, c.args, vec![], |_| one(arg_desc("range", "", vec![])));
+        ab.rule(pr, 0, c.args, vec![], |_| {
+            one(arg_desc("range", "", vec![]))
+        });
         for occ in [1usize, 3] {
             ab.rule(pr, occ, c.expected, vec![Dep::attr(0, c.expecteds)], |d| {
-                d[0].expect_list().first().cloned().unwrap_or(Value::MaybeNode(None))
+                d[0].expect_list()
+                    .first()
+                    .cloned()
+                    .unwrap_or(Value::MaybeNode(None))
             });
         }
         ab.rule(
@@ -1247,9 +1305,18 @@ fn install_assoc_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) 
         |d| one(arg_desc("named", &lef(&d[0]).text, tys(&d[1]))),
     );
     ab.rule(pr, 3, c.expected, vec![Dep::attr(0, c.expecteds)], |d| {
-        d[0].expect_list().first().cloned().unwrap_or(Value::MaybeNode(None))
+        d[0].expect_list()
+            .first()
+            .cloned()
+            .unwrap_or(Value::MaybeNode(None))
     });
-    ab.rule(pr, 0, c.irs, vec![Dep::attr(3, c.ir)], |d| one(d[0].clone()));
+    ab.rule(
+        pr,
+        0,
+        c.irs,
+        vec![Dep::attr(3, c.ir)],
+        |d| one(d[0].clone()),
+    );
 
     // assoc ::= open
     let pr = p("a_open");
@@ -1291,15 +1358,11 @@ fn install_aggregate_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClass
             match exp {
                 Some(agg_ty) if types::is_array(&agg_ty) => {
                     let elem = types::elem_type(&agg_ty);
-                    Value::list(vec![
-                        Value::MaybeNode(Some(agg_ty)),
-                        Value::MaybeNode(elem),
-                    ])
+                    Value::list(vec![Value::MaybeNode(Some(agg_ty)), Value::MaybeNode(elem)])
                 }
-                Some(agg_ty) if types::is_record(&agg_ty) => Value::list(vec![
-                    Value::MaybeNode(Some(agg_ty)),
-                    Value::MaybeNode(None),
-                ]),
+                Some(agg_ty) if types::is_record(&agg_ty) => {
+                    Value::list(vec![Value::MaybeNode(Some(agg_ty)), Value::MaybeNode(None)])
+                }
                 _ => Value::list(vec![Value::MaybeNode(None), Value::MaybeNode(None)]),
             }
         },
@@ -1342,7 +1405,10 @@ fn install_aggregate_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClass
         ]))
     });
     ab.rule(pr, 1, c.expected, vec![Dep::attr(0, c.expecteds)], |d| {
-        d[0].expect_list().get(1).cloned().unwrap_or(Value::MaybeNode(None))
+        d[0].expect_list()
+            .get(1)
+            .cloned()
+            .unwrap_or(Value::MaybeNode(None))
     });
     ab.rule(pr, 0, c.irs, vec![Dep::attr(1, c.ir)], |d| {
         one(Value::list(vec![
@@ -1364,9 +1430,9 @@ fn install_aggregate_rules(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClass
     ab.rule(pr, 1, c.expected, vec![Dep::attr(0, c.expecteds)], |d| {
         let agg = d[0].expect_list().first().cloned();
         match agg {
-            Some(Value::MaybeNode(Some(t))) if types::is_array(&t) => Value::MaybeNode(
-                types::base_type(&t).node_field("index_ty").cloned(),
-            ),
+            Some(Value::MaybeNode(Some(t))) if types::is_array(&t) => {
+                Value::MaybeNode(types::base_type(&t).node_field("index_ty").cloned())
+            }
             _ => Value::MaybeNode(None),
         }
     });
@@ -1461,7 +1527,12 @@ fn is_single_positional(info: &[Value]) -> bool {
     }
     let tags = info[0].expect_list()[0].expect_list();
     tags.len() == 1
-        && tags[0].expect_list().first().map(Value::expect_str).as_deref() == Some("pos")
+        && tags[0]
+            .expect_list()
+            .first()
+            .map(Value::expect_str)
+            .as_deref()
+            == Some("pos")
 }
 
 /// Assembles an `e.agg` node from element IR bundles. Array aggregates
@@ -1606,10 +1677,7 @@ fn string_literal_ir(t: &LefTok, want: Option<&Ty>, is_bits: bool) -> Ir {
                 None => {
                     return err_ir(
                         t.pos,
-                        format!(
-                            "`{ch}` is not a literal of {}",
-                            elem.name().unwrap_or("?")
-                        ),
+                        format!("`{ch}` is not a literal of {}", elem.name().unwrap_or("?")),
                     )
                 }
             }

@@ -230,7 +230,10 @@ pub fn wv(value: Ir, delay: Option<Ir>) -> Rc<VifNode> {
 pub fn s_assign_sig(target: Ir, waveform: Vec<Rc<VifNode>>, transport: bool) -> Ir {
     VifNode::build("s.assign_sig")
         .node_field("target", target)
-        .list_field("waveform", waveform.into_iter().map(VifValue::Node).collect())
+        .list_field(
+            "waveform",
+            waveform.into_iter().map(VifValue::Node).collect(),
+        )
         .field("transport", VifValue::Bool(transport))
         .done()
 }
@@ -349,7 +352,13 @@ mod tests {
     #[test]
     fn fold_through_constants_and_conversions() {
         let int = mk_int("integer", -100, 100);
-        let c = mk_obj(ObjClass::Constant, "k", &int, Mode::In, Some(e_int(5, &int)));
+        let c = mk_obj(
+            ObjClass::Constant,
+            "k",
+            &int,
+            Mode::In,
+            Some(e_int(5, &int)),
+        );
         let r = e_ref(&c);
         assert_eq!(const_int(&r), Some(5));
         let conv = e_conv(e_int(9, &int), &int);
@@ -377,7 +386,10 @@ mod tests {
         let bv = mk_array_unconstrained("bit_vector", &int, &bit);
         let sig = mk_obj(ObjClass::Signal, "v", &bv, Mode::In, None);
         let s = e_slice(e_ref(&sig), e_int(7, &int), e_int(4, &int), Dir::Downto);
-        assert_eq!(crate::types::array_bounds(&ty_of(&s)), Some((7, 4, Dir::Downto)));
+        assert_eq!(
+            crate::types::array_bounds(&ty_of(&s)),
+            Some((7, 4, Dir::Downto))
+        );
         let idx = e_index(e_ref(&sig), e_int(0, &int));
         assert_eq!(crate::types::uid(&ty_of(&idx)), crate::types::uid(&bit));
     }

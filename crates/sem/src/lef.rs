@@ -170,10 +170,10 @@ impl LefKind {
     pub fn all() -> &'static [LefKind] {
         use LefKind::*;
         &[
-            Obj, TyMark, Callable, PhysUnit, AttrId, FieldId, IntLit, RealLit, StrLit,
-            BitStrLit, LParen, RParen, Comma, Arrow, Bar, Tick, Dot, To, Downto, Others, Open,
-            OpAnd, OpOr, OpNand, OpNor, OpXor, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpPlus,
-            OpMinus, OpAmp, OpMul, OpDiv, OpPow, OpMod, OpRem, OpNot, OpAbs,
+            Obj, TyMark, Callable, PhysUnit, AttrId, FieldId, IntLit, RealLit, StrLit, BitStrLit,
+            LParen, RParen, Comma, Arrow, Bar, Tick, Dot, To, Downto, Others, Open, OpAnd, OpOr,
+            OpNand, OpNor, OpXor, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpPlus, OpMinus, OpAmp,
+            OpMul, OpDiv, OpPow, OpMod, OpRem, OpNot, OpAbs,
         ]
     }
 }
@@ -256,8 +256,7 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
                 // call's argument list follows ("and"(a, b)); otherwise it
                 // is an ordinary string value.
                 if t.kind == TokenKind::StringLit
-                    && (next_kind != Some(TokenKind::LParen)
-                        || ctx.env.lookup(&t.text).is_empty())
+                    && (next_kind != Some(TokenKind::LParen) || ctx.env.lookup(&t.text).is_empty())
                 {
                     out.push(LefTok::plain(LefKind::StrLit, Rc::clone(&t.text), t.pos));
                     i += 1;
@@ -369,7 +368,10 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
                                 dens: Rc::new(vec![target]),
                             }),
                             None => {
-                                msgs.push(Msg::error(t.pos, format!("alias `{key}` has no target")));
+                                msgs.push(Msg::error(
+                                    t.pos,
+                                    format!("alias `{key}` has no target"),
+                                ));
                                 out.push(error_obj_tok(key, t.pos));
                             }
                         }
@@ -386,7 +388,9 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
             }
             TokenKind::Dot => {
                 match &pending {
-                    Pending::None => out.push(LefTok::plain(LefKind::Dot, Rc::clone(&t.text), t.pos)),
+                    Pending::None => {
+                        out.push(LefTok::plain(LefKind::Dot, Rc::clone(&t.text), t.pos))
+                    }
                     // Expanded-name dots are consumed silently; the next id
                     // resolves within the pending prefix.
                     _ => {}
@@ -485,7 +489,13 @@ mod tests {
 
     fn lef_of(src: &str, env: &Env) -> (Vec<LefTok>, Msgs) {
         let toks = lex(src).unwrap();
-        build_lef(&toks, &LefCtx { env, load_pkg: None })
+        build_lef(
+            &toks,
+            &LefCtx {
+                env,
+                load_pkg: None,
+            },
+        )
     }
 
     fn kinds(src: &str, env: &Env) -> Vec<LefKind> {
@@ -503,15 +513,26 @@ mod tests {
         let bv = &s.std.bit_vector;
         let env = s
             .env
-            .bind("arr", Den::local(mk_obj(ObjClass::Variable, "arr", bv, Mode::In, None)))
-            .bind("y", Den::local(mk_obj(ObjClass::Variable, "y", int, Mode::In, None)))
+            .bind(
+                "arr",
+                Den::local(mk_obj(ObjClass::Variable, "arr", bv, Mode::In, None)),
+            )
+            .bind(
+                "y",
+                Den::local(mk_obj(ObjClass::Variable, "y", int, Mode::In, None)),
+            )
             .bind(
                 "f",
                 Den::local(crate::decl::mk_subprog("f", vec![], Some(int), None)),
             );
         assert_eq!(
             kinds("f(y)", &env),
-            vec![LefKind::Callable, LefKind::LParen, LefKind::Obj, LefKind::RParen]
+            vec![
+                LefKind::Callable,
+                LefKind::LParen,
+                LefKind::Obj,
+                LefKind::RParen
+            ]
         );
         assert_eq!(
             kinds("arr(y)", &env),
@@ -519,7 +540,12 @@ mod tests {
         );
         assert_eq!(
             kinds("integer(y)", &env),
-            vec![LefKind::TyMark, LefKind::LParen, LefKind::Obj, LefKind::RParen]
+            vec![
+                LefKind::TyMark,
+                LefKind::LParen,
+                LefKind::Obj,
+                LefKind::RParen
+            ]
         );
     }
 
@@ -528,7 +554,13 @@ mod tests {
         let s = standard(EnvKind::Tree);
         let env = s.env.bind(
             "v",
-            Den::local(mk_obj(ObjClass::Signal, "v", &s.std.bit_vector, Mode::In, None)),
+            Den::local(mk_obj(
+                ObjClass::Signal,
+                "v",
+                &s.std.bit_vector,
+                Mode::In,
+                None,
+            )),
         );
         assert_eq!(
             kinds("v'range", &env),
@@ -556,7 +588,12 @@ mod tests {
         let s = standard(EnvKind::Tree);
         assert_eq!(
             kinds("10 ns + 3", &s.env),
-            vec![LefKind::IntLit, LefKind::PhysUnit, LefKind::OpPlus, LefKind::IntLit]
+            vec![
+                LefKind::IntLit,
+                LefKind::PhysUnit,
+                LefKind::OpPlus,
+                LefKind::IntLit
+            ]
         );
         assert_eq!(
             kinds("true and false", &s.env),
@@ -571,7 +608,12 @@ mod tests {
         let s = standard(EnvKind::Tree);
         let env = s.env.bind(
             "f",
-            Den::local(crate::decl::mk_subprog("f", vec![], Some(&s.std.integer), None)),
+            Den::local(crate::decl::mk_subprog(
+                "f",
+                vec![],
+                Some(&s.std.integer),
+                None,
+            )),
         );
         let k = kinds("f(amount => 3)", &env);
         assert_eq!(
@@ -592,7 +634,10 @@ mod tests {
         let s = standard(EnvKind::Tree);
         let pair = crate::types::mk_record(
             "pair",
-            &[("x", Rc::clone(&s.std.integer)), ("y", Rc::clone(&s.std.integer))],
+            &[
+                ("x", Rc::clone(&s.std.integer)),
+                ("y", Rc::clone(&s.std.integer)),
+            ],
         );
         let env = s.env.bind(
             "p",

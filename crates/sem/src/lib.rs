@@ -11,17 +11,17 @@
 
 pub mod analyze;
 pub mod decl;
-pub mod oof;
-pub mod principal_rules;
-pub mod principal_rules2;
 pub mod env;
 pub mod expr_ag;
 pub mod expr_rules;
 pub mod ir;
 pub mod lef;
 pub mod msg;
+pub mod oof;
 pub mod overload;
 pub mod principal_ag;
+pub mod principal_rules;
+pub mod principal_rules2;
 pub mod standard;
 pub mod types;
 pub mod value;
@@ -31,7 +31,13 @@ use std::rc::Rc;
 /// The `boolean` type as visible in an environment (used by attribute
 /// rules that must produce boolean results).
 pub fn standard_boolean(e: &env::Env) -> types::Ty {
-    e.lookup_one("boolean")
-        .map(|d| d.node)
-        .unwrap_or_else(|| Rc::new(vhdl_vif::VifNode::build("ty.enum").name("boolean").done().as_ref().clone()))
+    e.lookup_one("boolean").map(|d| d.node).unwrap_or_else(|| {
+        Rc::new(
+            vhdl_vif::VifNode::build("ty.enum")
+                .name("boolean")
+                .done()
+                .as_ref()
+                .clone(),
+        )
+    })
 }

@@ -85,7 +85,9 @@ impl U<'_> {
                     // A unit of the library: package, entity, or
                     // configuration.
                     let found = ["pkg", "entity", "config"].iter().find_map(|k| {
-                        self.ctx.loader.load_unit(&lib, &format!("{k}.{}", seg.text))
+                        self.ctx
+                            .loader
+                            .load_unit(&lib, &format!("{k}.{}", seg.text))
                     });
                     match found {
                         Some(n) => dens = vec![n],
@@ -217,11 +219,12 @@ pub fn bind_decl(env: &Env, ctx: &Actx, node: &Rc<VifNode>) -> Env {
             Some(n) => env.bind(n, Den::local(Rc::clone(node))),
             None => env.clone(),
         },
-        "enumlit" | "physunit" | "subprog" | "obj" | "component" | "alias" | "pkg"
-        | "attrdecl" => match node.name() {
-            Some(n) => env.bind(n, Den::local(Rc::clone(node))),
-            None => env.clone(),
-        },
+        "enumlit" | "physunit" | "subprog" | "obj" | "component" | "alias" | "pkg" | "attrdecl" => {
+            match node.name() {
+                Some(n) => env.bind(n, Den::local(Rc::clone(node))),
+                None => env.clone(),
+            }
+        }
         "attrspec" => match node.str_field("key") {
             Some(key) => env.bind(key, Den::local(Rc::clone(node))),
             None => env.clone(),
@@ -264,7 +267,9 @@ pub fn type_companions(ctx: &Actx, ty: &Ty) -> Vec<Rc<VifNode>> {
 pub fn reimport_ctx(env: &Env, ctx: &Rc<Actx>, unit: &VifNode) -> Env {
     let mut e = env.clone();
     for entry in unit.list_field("ctx") {
-        let Some(parts) = entry.as_list() else { continue };
+        let Some(parts) = entry.as_list() else {
+            continue;
+        };
         let kind = parts.first().and_then(|v| v.as_str()).unwrap_or("");
         let segs: Vec<&str> = parts[1..].iter().filter_map(|v| v.as_str()).collect();
         match kind {
@@ -660,7 +665,10 @@ mod tests {
     fn resolve_plain_subtype() {
         let ctx = actx();
         let env = ctx.std.env.clone();
-        let u = U { env: &env, ctx: &ctx };
+        let u = U {
+            env: &env,
+            ctx: &ctx,
+        };
         let sti = StiDesc {
             mark: lex("integer").unwrap(),
             res: vec![],
@@ -676,7 +684,10 @@ mod tests {
     fn resolve_range_subtype() {
         let ctx = actx();
         let env = ctx.std.env.clone();
-        let u = U { env: &env, ctx: &ctx };
+        let u = U {
+            env: &env,
+            ctx: &ctx,
+        };
         let sti = StiDesc {
             mark: lex("integer").unwrap(),
             res: vec![],
@@ -685,7 +696,10 @@ mod tests {
         };
         let (ty, msgs) = resolve_subtype(&u, &sti);
         assert!(!msgs.has_errors(), "{msgs}");
-        assert_eq!(types::scalar_bounds(&ty.unwrap()), Some((0, 9, types::Dir::To)));
+        assert_eq!(
+            types::scalar_bounds(&ty.unwrap()),
+            Some((0, 9, types::Dir::To))
+        );
         assert_eq!(*ctx.expr_evals.borrow(), 1, "one cascade invocation");
     }
 
@@ -693,7 +707,10 @@ mod tests {
     fn resolve_array_constraint() {
         let ctx = actx();
         let env = ctx.std.env.clone();
-        let u = U { env: &env, ctx: &ctx };
+        let u = U {
+            env: &env,
+            ctx: &ctx,
+        };
         let sti = StiDesc {
             mark: lex("bit_vector").unwrap(),
             res: vec![],
@@ -712,7 +729,10 @@ mod tests {
     fn nonstatic_constraint_rejected() {
         let ctx = actx();
         let env = ctx.std.env.clone();
-        let u = U { env: &env, ctx: &ctx };
+        let u = U {
+            env: &env,
+            ctx: &ctx,
+        };
         let sti = StiDesc {
             mark: lex("integer").unwrap(),
             res: vec![],

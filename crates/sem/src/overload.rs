@@ -191,7 +191,11 @@ pub fn describe(cand: &VifNode) -> String {
                     params.join(", "),
                     r.name().unwrap_or("?")
                 ),
-                None => format!("procedure {}({})", cand.name().unwrap_or("?"), params.join(", ")),
+                None => format!(
+                    "procedure {}({})",
+                    cand.name().unwrap_or("?"),
+                    params.join(", ")
+                ),
             }
         }
         k => k.to_string(),
@@ -250,10 +254,7 @@ mod tests {
             &picked.node_field("ty").cloned().unwrap(),
             &s.std.bit
         ));
-        assert!(matches!(
-            pick(&zeros, None),
-            Err(PickError::Ambiguous(_))
-        ));
+        assert!(matches!(pick(&zeros, None), Err(PickError::Ambiguous(_))));
         assert_eq!(pick(&zeros, Some(&s.std.integer)), Err(PickError::NoMatch));
     }
 
@@ -278,10 +279,7 @@ mod tests {
         let got = filter_by_args(&cands, &[ArgShape::Pos(vec![Rc::clone(int)])]);
         assert_eq!(got.len(), 1);
         // Named b only: missing a (no default) — rejected.
-        let got = filter_by_args(
-            &cands,
-            &[ArgShape::Named("b".into(), vec![Rc::clone(int)])],
-        );
+        let got = filter_by_args(&cands, &[ArgShape::Named("b".into(), vec![Rc::clone(int)])]);
         assert!(got.is_empty());
         // a positional + named b.
         let got = filter_by_args(
@@ -299,7 +297,11 @@ mod tests {
         );
         assert!(got.is_empty());
         // Too many args.
-        let three = vec![ArgShape::Pos(vec![]), ArgShape::Pos(vec![]), ArgShape::Pos(vec![])];
+        let three = vec![
+            ArgShape::Pos(vec![]),
+            ArgShape::Pos(vec![]),
+            ArgShape::Pos(vec![]),
+        ];
         assert!(filter_by_args(&cands, &three).is_empty());
     }
 

@@ -99,7 +99,11 @@ impl PrincipalAg {
             env: ab.class("ENV", AttrDir::Inherited, Implicit::Copy),
             ctx: ab.class("CTX", AttrDir::Inherited, Implicit::Copy),
             level: ab.class("LEVEL", AttrDir::Inherited, Implicit::Copy),
-            ret: ab.class("RET", AttrDir::Inherited, Implicit::Unit(Value::MaybeNode(None))),
+            ret: ab.class(
+                "RET",
+                AttrDir::Inherited,
+                Implicit::Unit(Value::MaybeNode(None)),
+            ),
             label: ab.class("LABEL", AttrDir::Inherited, Implicit::Unit(Value::Unit)),
             msgs: ab.class(
                 "MSGS",
@@ -141,30 +145,81 @@ impl PrincipalAg {
 }
 
 fn attach(ab: &mut AgBuilder<Value>, g: &ag_lalr::Grammar, c: &PrincipalClasses) {
-    let nt = |g: &ag_lalr::Grammar, n: &str| {
-        g.symbol(n).unwrap_or_else(|| panic!("no nonterminal {n}"))
-    };
+    let nt =
+        |g: &ag_lalr::Grammar, n: &str| g.symbol(n).unwrap_or_else(|| panic!("no nonterminal {n}"));
 
     // Token collectors.
-    for n in ["expr_run", "expr_tok", "ctok_run", "ctok", "name", "sel_name"] {
+    for n in [
+        "expr_run", "expr_tok", "ctok_run", "ctok", "name", "sel_name",
+    ] {
         ab.attach(c.toks, nt(g, n));
     }
 
     // The ENV/CTX/LEVEL context set: every nonterminal whose rules resolve
     // names or that passes environments toward them.
     let env_set = [
-        "design_file", "design_units", "design_unit", "context_items", "context_item",
-        "library_clause", "use_clause", "library_unit", "entity_decl", "architecture_body",
-        "package_decl", "package_body", "configuration_decl", "block_config", "config_items",
-        "config_item", "comp_config", "comp_binding", "binding_ind", "map_aspects",
-        "generic_map_opt", "port_map_opt", "assoc_list", "assoc_elem", "decl_items",
-        "decl_item", "type_decl", "subtype_decl", "constant_decl", "signal_decl",
-        "variable_decl", "alias_decl", "attribute_decl", "attribute_spec", "component_decl",
-        "subprogram_decl", "subprogram_body", "config_spec", "conc_stmts", "conc_stmt",
-        "conc_body", "unlabeled_conc", "process_stmt", "block_stmt", "component_inst",
-        "cond_signal_assign", "sel_signal_assign", "seq_stmts", "seq_stmt", "wait_stmt",
-        "assert_stmt", "target_stmt", "if_stmt", "if_tail", "case_stmt", "case_alts",
-        "case_alt", "loop_stmt", "next_stmt", "exit_stmt", "return_stmt", "null_stmt",
+        "design_file",
+        "design_units",
+        "design_unit",
+        "context_items",
+        "context_item",
+        "library_clause",
+        "use_clause",
+        "library_unit",
+        "entity_decl",
+        "architecture_body",
+        "package_decl",
+        "package_body",
+        "configuration_decl",
+        "block_config",
+        "config_items",
+        "config_item",
+        "comp_config",
+        "comp_binding",
+        "binding_ind",
+        "map_aspects",
+        "generic_map_opt",
+        "port_map_opt",
+        "assoc_list",
+        "assoc_elem",
+        "decl_items",
+        "decl_item",
+        "type_decl",
+        "subtype_decl",
+        "constant_decl",
+        "signal_decl",
+        "variable_decl",
+        "alias_decl",
+        "attribute_decl",
+        "attribute_spec",
+        "component_decl",
+        "subprogram_decl",
+        "subprogram_body",
+        "config_spec",
+        "conc_stmts",
+        "conc_stmt",
+        "conc_body",
+        "unlabeled_conc",
+        "process_stmt",
+        "block_stmt",
+        "component_inst",
+        "cond_signal_assign",
+        "sel_signal_assign",
+        "seq_stmts",
+        "seq_stmt",
+        "wait_stmt",
+        "assert_stmt",
+        "target_stmt",
+        "if_stmt",
+        "if_tail",
+        "case_stmt",
+        "case_alts",
+        "case_alt",
+        "loop_stmt",
+        "next_stmt",
+        "exit_stmt",
+        "return_stmt",
+        "null_stmt",
     ];
     for n in env_set {
         ab.attach(c.env, nt(g, n));
@@ -177,51 +232,111 @@ fn attach(ab: &mut AgBuilder<Value>, g: &ag_lalr::Grammar, c: &PrincipalClasses)
         ab.attach(c.msgs, nt(g, n));
     }
     for n in [
-        "iface_list", "iface_elem", "subtype_ind", "type_def", "element_decls",
-        "element_decl", "phys_opt", "secondary_units", "secondary_unit",
+        "iface_list",
+        "iface_elem",
+        "subtype_ind",
+        "type_def",
+        "element_decls",
+        "element_decl",
+        "phys_opt",
+        "secondary_units",
+        "secondary_unit",
     ] {
         ab.attach(c.msgs, nt(g, n));
     }
 
     // RET on statement carriers.
     for n in [
-        "seq_stmts", "seq_stmt", "wait_stmt", "assert_stmt", "target_stmt", "if_stmt",
-        "if_tail", "case_stmt", "case_alts", "case_alt", "loop_stmt", "next_stmt",
-        "exit_stmt", "return_stmt", "null_stmt",
+        "seq_stmts",
+        "seq_stmt",
+        "wait_stmt",
+        "assert_stmt",
+        "target_stmt",
+        "if_stmt",
+        "if_tail",
+        "case_stmt",
+        "case_alts",
+        "case_alt",
+        "loop_stmt",
+        "next_stmt",
+        "exit_stmt",
+        "return_stmt",
+        "null_stmt",
     ] {
         ab.attach(c.ret, nt(g, n));
     }
 
     // LABEL on concurrent bodies.
     for n in [
-        "conc_body", "unlabeled_conc", "process_stmt", "block_stmt", "component_inst",
-        "cond_signal_assign", "sel_signal_assign",
+        "conc_body",
+        "unlabeled_conc",
+        "process_stmt",
+        "block_stmt",
+        "component_inst",
+        "cond_signal_assign",
+        "sel_signal_assign",
     ] {
         ab.attach(c.label, nt(g, n));
     }
 
     // Environment-out chaining.
     for n in [
-        "context_items", "context_item", "library_clause", "use_clause", "decl_items",
-        "decl_item", "type_decl", "subtype_decl", "constant_decl", "signal_decl",
-        "variable_decl", "alias_decl", "attribute_decl", "attribute_spec", "component_decl",
-        "subprogram_decl", "subprogram_body", "config_spec",
+        "context_items",
+        "context_item",
+        "library_clause",
+        "use_clause",
+        "decl_items",
+        "decl_item",
+        "type_decl",
+        "subtype_decl",
+        "constant_decl",
+        "signal_decl",
+        "variable_decl",
+        "alias_decl",
+        "attribute_decl",
+        "attribute_spec",
+        "component_decl",
+        "subprogram_decl",
+        "subprogram_body",
+        "config_spec",
     ] {
         ab.attach(c.envo, nt(g, n));
     }
 
     // Declaration results.
     for n in [
-        "type_decl", "subtype_decl", "constant_decl", "signal_decl", "variable_decl",
-        "alias_decl", "attribute_decl", "attribute_spec", "component_decl",
-        "subprogram_decl", "subprogram_body", "use_clause", "config_spec",
+        "type_decl",
+        "subtype_decl",
+        "constant_decl",
+        "signal_decl",
+        "variable_decl",
+        "alias_decl",
+        "attribute_decl",
+        "attribute_spec",
+        "component_decl",
+        "subprogram_decl",
+        "subprogram_body",
+        "use_clause",
+        "config_spec",
     ] {
         ab.attach(c.res, nt(g, n));
     }
     for n in [
-        "decl_items", "decl_item", "type_decl", "subtype_decl", "constant_decl",
-        "signal_decl", "variable_decl", "alias_decl", "attribute_decl", "attribute_spec",
-        "component_decl", "subprogram_decl", "subprogram_body", "use_clause", "config_spec",
+        "decl_items",
+        "decl_item",
+        "type_decl",
+        "subtype_decl",
+        "constant_decl",
+        "signal_decl",
+        "variable_decl",
+        "alias_decl",
+        "attribute_decl",
+        "attribute_spec",
+        "component_decl",
+        "subprogram_decl",
+        "subprogram_body",
+        "use_clause",
+        "config_spec",
     ] {
         ab.attach(c.decls, nt(g, n));
         ab.attach(c.cfgs, nt(g, n));
@@ -229,8 +344,18 @@ fn attach(ab: &mut AgBuilder<Value>, g: &ag_lalr::Grammar, c: &PrincipalClasses)
 
     // Statements / concurrency / units.
     for n in [
-        "seq_stmts", "seq_stmt", "wait_stmt", "assert_stmt", "target_stmt", "if_stmt",
-        "case_stmt", "loop_stmt", "next_stmt", "exit_stmt", "return_stmt", "null_stmt",
+        "seq_stmts",
+        "seq_stmt",
+        "wait_stmt",
+        "assert_stmt",
+        "target_stmt",
+        "if_stmt",
+        "case_stmt",
+        "loop_stmt",
+        "next_stmt",
+        "exit_stmt",
+        "return_stmt",
+        "null_stmt",
     ] {
         ab.attach(c.stmts, nt(g, n));
     }
@@ -238,29 +363,73 @@ fn attach(ab: &mut AgBuilder<Value>, g: &ag_lalr::Grammar, c: &PrincipalClasses)
         ab.attach(c.concs, nt(g, n));
     }
     for n in [
-        "design_file", "design_units", "design_unit", "library_unit", "entity_decl",
-        "architecture_body", "package_decl", "package_body", "configuration_decl",
+        "design_file",
+        "design_units",
+        "design_unit",
+        "library_unit",
+        "entity_decl",
+        "architecture_body",
+        "package_decl",
+        "package_body",
+        "configuration_decl",
     ] {
         ab.attach(c.units, nt(g, n));
     }
 
     // Structural collections.
-    for n in ["iface_list", "iface_elem", "generic_clause_opt", "port_clause_opt", "params_opt"] {
+    for n in [
+        "iface_list",
+        "iface_elem",
+        "generic_clause_opt",
+        "port_clause_opt",
+        "params_opt",
+    ] {
         ab.attach(c.ifaces, nt(g, n));
     }
-    for n in ["name_list", "context_items", "context_item", "library_clause", "use_clause"] {
+    for n in [
+        "name_list",
+        "context_items",
+        "context_item",
+        "library_clause",
+        "use_clause",
+    ] {
         ab.attach(c.names, nt(g, n));
     }
     for n in ["id_list", "enum_lits", "enum_lit"] {
         ab.attach(c.ids, nt(g, n));
     }
     for n in [
-        "iface_class_opt", "mode_opt", "bus_opt", "default_opt", "signal_kind_opt",
-        "transport_opt", "options_opt", "when_opt", "until_opt", "tfor_opt", "report_opt",
-        "severity_opt", "guard_opt", "on_opt", "sens_opt", "label_opt", "designator_opt",
-        "arch_ind_opt", "inst_list", "entity_name_list", "entity_class", "designator",
-        "type_def", "phys_opt", "subprogram_spec", "loop_head", "if_tail", "binding_ind",
-        "comp_binding", "map_aspects", "block_config",
+        "iface_class_opt",
+        "mode_opt",
+        "bus_opt",
+        "default_opt",
+        "signal_kind_opt",
+        "transport_opt",
+        "options_opt",
+        "when_opt",
+        "until_opt",
+        "tfor_opt",
+        "report_opt",
+        "severity_opt",
+        "guard_opt",
+        "on_opt",
+        "sens_opt",
+        "label_opt",
+        "designator_opt",
+        "arch_ind_opt",
+        "inst_list",
+        "entity_name_list",
+        "entity_class",
+        "designator",
+        "type_def",
+        "phys_opt",
+        "subprogram_spec",
+        "loop_head",
+        "if_tail",
+        "binding_ind",
+        "comp_binding",
+        "map_aspects",
+        "block_config",
     ] {
         ab.attach(c.info, nt(g, n));
     }
@@ -276,12 +445,22 @@ fn attach(ab: &mut AgBuilder<Value>, g: &ag_lalr::Grammar, c: &PrincipalClasses)
     for n in ["choices", "choice"] {
         ab.attach(c.choices, nt(g, n));
     }
-    for n in ["assoc_list", "assoc_elem", "generic_map_opt", "port_map_opt"] {
+    for n in [
+        "assoc_list",
+        "assoc_elem",
+        "generic_map_opt",
+        "port_map_opt",
+    ] {
         ab.attach(c.assocs, nt(g, n));
     }
     for n in [
-        "element_decls", "element_decl", "secondary_units", "secondary_unit",
-        "config_items", "config_item", "comp_config",
+        "element_decls",
+        "element_decl",
+        "secondary_units",
+        "secondary_unit",
+        "config_items",
+        "config_item",
+        "comp_config",
     ] {
         ab.attach(c.items, nt(g, n));
     }

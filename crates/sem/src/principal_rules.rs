@@ -69,12 +69,46 @@ fn install_toks(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
     let c = *c;
     // Leaf expression tokens: TOKS = [token].
     for label in [
-        "et_id", "et_int", "et_real", "et_char", "et_string", "et_bitstring", "et_tick",
-        "et_dot", "et_amp", "et_plus", "et_minus", "et_star", "et_slash", "et_dstar", "et_eq",
-        "et_neq", "et_lt", "et_lte", "et_gt", "et_gte", "et_and", "et_or", "et_nand",
-        "et_nor", "et_xor", "et_not", "et_abs", "et_mod", "et_rem", "et_to", "et_downto",
-        "et_range", "et_null", "ct_comma", "ct_arrow", "ct_others", "ct_box", "ct_open",
-        "name_id", "sel_id",
+        "et_id",
+        "et_int",
+        "et_real",
+        "et_char",
+        "et_string",
+        "et_bitstring",
+        "et_tick",
+        "et_dot",
+        "et_amp",
+        "et_plus",
+        "et_minus",
+        "et_star",
+        "et_slash",
+        "et_dstar",
+        "et_eq",
+        "et_neq",
+        "et_lt",
+        "et_lte",
+        "et_gt",
+        "et_gte",
+        "et_and",
+        "et_or",
+        "et_nand",
+        "et_nor",
+        "et_xor",
+        "et_not",
+        "et_abs",
+        "et_mod",
+        "et_rem",
+        "et_to",
+        "et_downto",
+        "et_range",
+        "et_null",
+        "ct_comma",
+        "ct_arrow",
+        "ct_others",
+        "ct_box",
+        "ct_open",
+        "name_id",
+        "sel_id",
     ] {
         ab.rule(p(g, label), 0, c.toks, vec![Dep::token(1)], |d| {
             Value::list(vec![d[0].clone()])
@@ -135,7 +169,9 @@ fn install_toks(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
 fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
     let c = *c;
     let str_info = |ab: &mut AgBuilder<Value>, label: &str, s: &'static str| {
-        ab.rule(p(g, label), 0, c.info, vec![], move |_| Value::Str(s.into()));
+        ab.rule(p(g, label), 0, c.info, vec![], move |_| {
+            Value::Str(s.into())
+        });
     };
     // Identifier lists.
     ab.rule(p(g, "ids_one"), 0, c.ids, vec![Dep::token(1)], |d| {
@@ -158,9 +194,13 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         });
     }
     // name_list → NAMES (per-name token bundles).
-    ab.rule(p(g, "names_one"), 0, c.names, vec![Dep::attr(1, c.toks)], |d| {
-        Value::list(vec![d[0].clone()])
-    });
+    ab.rule(
+        p(g, "names_one"),
+        0,
+        c.names,
+        vec![Dep::attr(1, c.toks)],
+        |d| Value::list(vec![d[0].clone()]),
+    );
     ab.rule(
         p(g, "names_more"),
         0,
@@ -220,22 +260,44 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         );
     }
     // Sensitivity / wait-on name lists.
-    ab.rule(p(g, "sens_none"), 0, c.info, vec![], |_| Value::empty_list());
-    ab.rule(p(g, "sens_some"), 0, c.info, vec![Dep::attr(2, c.names)], |d| d[0].clone());
+    ab.rule(p(g, "sens_none"), 0, c.info, vec![], |_| {
+        Value::empty_list()
+    });
+    ab.rule(
+        p(g, "sens_some"),
+        0,
+        c.info,
+        vec![Dep::attr(2, c.names)],
+        |d| d[0].clone(),
+    );
     ab.rule(p(g, "on_none"), 0, c.info, vec![], |_| Value::empty_list());
-    ab.rule(p(g, "on_some"), 0, c.info, vec![Dep::attr(2, c.names)], |d| d[0].clone());
+    ab.rule(
+        p(g, "on_some"),
+        0,
+        c.info,
+        vec![Dep::attr(2, c.names)],
+        |d| d[0].clone(),
+    );
     // Labels / designators.
     ab.rule(p(g, "lblo_none"), 0, c.info, vec![], |_| Value::Unit);
-    ab.rule(p(g, "lblo_id"), 0, c.info, vec![Dep::token(1)], |d| d[0].clone());
+    ab.rule(p(g, "lblo_id"), 0, c.info, vec![Dep::token(1)], |d| {
+        d[0].clone()
+    });
     ab.rule(p(g, "desigo_none"), 0, c.info, vec![], |_| Value::Unit);
     for label in ["desigo_id", "desigo_op"] {
-        ab.rule(p(g, label), 0, c.info, vec![Dep::token(1)], |d| d[0].clone());
+        ab.rule(p(g, label), 0, c.info, vec![Dep::token(1)], |d| {
+            d[0].clone()
+        });
     }
     for label in ["desig_id", "desig_op"] {
-        ab.rule(p(g, label), 0, c.info, vec![Dep::token(1)], |d| d[0].clone());
+        ab.rule(p(g, label), 0, c.info, vec![Dep::token(1)], |d| {
+            d[0].clone()
+        });
     }
     // Architecture indication.
-    ab.rule(p(g, "archind_none"), 0, c.info, vec![], |_| Value::Str("".into()));
+    ab.rule(p(g, "archind_none"), 0, c.info, vec![], |_| {
+        Value::Str("".into())
+    });
     ab.rule(p(g, "archind_some"), 0, c.info, vec![Dep::token(2)], |d| {
         Value::Str(d[0].expect_tok().text.to_string().into())
     });
@@ -272,14 +334,20 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         str_info(ab, label, kw);
     }
     // Subtype indications.
-    ab.rule(p(g, "sti_plain"), 0, c.sti, vec![Dep::attr(1, c.toks)], |d| {
-        Value::list(vec![
-            d[0].clone(),
-            Value::empty_list(),
-            Value::Str("name".into()),
-            Value::empty_list(),
-        ])
-    });
+    ab.rule(
+        p(g, "sti_plain"),
+        0,
+        c.sti,
+        vec![Dep::attr(1, c.toks)],
+        |d| {
+            Value::list(vec![
+                d[0].clone(),
+                Value::empty_list(),
+                Value::Str("name".into()),
+                Value::empty_list(),
+            ])
+        },
+    );
     ab.rule(
         p(g, "sti_resolved"),
         0,
@@ -350,9 +418,13 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         vec![Dep::attr(3, c.toks), Dep::attr(6, c.sti)],
         |d| Value::list(vec![Value::Str("array".into()), d[0].clone(), d[1].clone()]),
     );
-    ab.rule(p(g, "td_record"), 0, c.info, vec![Dep::attr(2, c.items)], |d| {
-        Value::list(vec![Value::Str("record".into()), d[0].clone()])
-    });
+    ab.rule(
+        p(g, "td_record"),
+        0,
+        c.info,
+        vec![Dep::attr(2, c.items)],
+        |d| Value::list(vec![Value::Str("record".into()), d[0].clone()]),
+    );
     ab.rule(p(g, "phys_none"), 0, c.info, vec![], |_| Value::Unit);
     ab.rule(
         p(g, "phys_some"),
@@ -394,7 +466,11 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         p(g, "spec_func"),
         0,
         c.info,
-        vec![Dep::attr(2, c.info), Dep::attr(3, c.ifaces), Dep::attr(5, c.toks)],
+        vec![
+            Dep::attr(2, c.info),
+            Dep::attr(3, c.ifaces),
+            Dep::attr(5, c.toks),
+        ],
         |d| {
             Value::list(vec![
                 Value::Str("func".into()),
@@ -408,9 +484,13 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
     ab.rule(p(g, "lh_forever"), 0, c.info, vec![], |_| {
         Value::list(vec![Value::Str("forever".into())])
     });
-    ab.rule(p(g, "lh_while"), 0, c.info, vec![Dep::attr(2, c.toks)], |d| {
-        Value::list(vec![Value::Str("while".into()), d[0].clone()])
-    });
+    ab.rule(
+        p(g, "lh_while"),
+        0,
+        c.info,
+        vec![Dep::attr(2, c.toks)],
+        |d| Value::list(vec![Value::Str("while".into()), d[0].clone()]),
+    );
     ab.rule(
         p(g, "lh_for"),
         0,
@@ -419,9 +499,13 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         |d| Value::list(vec![Value::Str("for".into()), d[0].clone(), d[1].clone()]),
     );
     // Waveforms.
-    ab.rule(p(g, "we_plain"), 0, c.waves, vec![Dep::attr(1, c.toks)], |d| {
-        Value::list(vec![Value::list(vec![d[0].clone(), Value::empty_list()])])
-    });
+    ab.rule(
+        p(g, "we_plain"),
+        0,
+        c.waves,
+        vec![Dep::attr(1, c.toks)],
+        |d| Value::list(vec![Value::list(vec![d[0].clone(), Value::empty_list()])]),
+    );
     ab.rule(
         p(g, "we_after"),
         0,
@@ -429,14 +513,22 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         vec![Dep::attr(1, c.toks), Dep::attr(3, c.toks)],
         |d| Value::list(vec![Value::list(vec![d[0].clone(), d[1].clone()])]),
     );
-    ab.rule(p(g, "cwf_last"), 0, c.cwaves, vec![Dep::attr(1, c.waves)], |d| {
-        Value::list(vec![Value::list(vec![d[0].clone(), Value::empty_list()])])
-    });
+    ab.rule(
+        p(g, "cwf_last"),
+        0,
+        c.cwaves,
+        vec![Dep::attr(1, c.waves)],
+        |d| Value::list(vec![Value::list(vec![d[0].clone(), Value::empty_list()])]),
+    );
     ab.rule(
         p(g, "cwf_cond"),
         0,
         c.cwaves,
-        vec![Dep::attr(1, c.waves), Dep::attr(3, c.toks), Dep::attr(5, c.cwaves)],
+        vec![
+            Dep::attr(1, c.waves),
+            Dep::attr(3, c.toks),
+            Dep::attr(5, c.cwaves),
+        ],
         |d| {
             let mut out = vec![Value::list(vec![d[0].clone(), d[1].clone()])];
             out.extend(d[2].expect_list().iter().cloned());
@@ -466,9 +558,18 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         },
     );
     // Choices.
-    ab.rule(p(g, "choice_expr"), 0, c.choices, vec![Dep::attr(1, c.toks)], |d| {
-        Value::list(vec![Value::list(vec![Value::Str("e".into()), d[0].clone()])])
-    });
+    ab.rule(
+        p(g, "choice_expr"),
+        0,
+        c.choices,
+        vec![Dep::attr(1, c.toks)],
+        |d| {
+            Value::list(vec![Value::list(vec![
+                Value::Str("e".into()),
+                d[0].clone(),
+            ])])
+        },
+    );
     ab.rule(p(g, "choice_others"), 0, c.choices, vec![], |_| {
         Value::list(vec![Value::list(vec![
             Value::Str("others".into()),
@@ -476,13 +577,19 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         ])])
     });
     // Associations.
-    ab.rule(p(g, "assoc_pos"), 0, c.assocs, vec![Dep::attr(1, c.toks)], |d| {
-        Value::list(vec![Value::list(vec![
-            Value::empty_list(),
-            Value::Str("expr".into()),
-            d[0].clone(),
-        ])])
-    });
+    ab.rule(
+        p(g, "assoc_pos"),
+        0,
+        c.assocs,
+        vec![Dep::attr(1, c.toks)],
+        |d| {
+            Value::list(vec![Value::list(vec![
+                Value::empty_list(),
+                Value::Str("expr".into()),
+                d[0].clone(),
+            ])])
+        },
+    );
     ab.rule(
         p(g, "assoc_named"),
         0,
@@ -496,13 +603,19 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
             ])])
         },
     );
-    ab.rule(p(g, "assoc_open"), 0, c.assocs, vec![Dep::attr(1, c.toks)], |d| {
-        Value::list(vec![Value::list(vec![
-            d[0].clone(),
-            Value::Str("open".into()),
-            Value::empty_list(),
-        ])])
-    });
+    ab.rule(
+        p(g, "assoc_open"),
+        0,
+        c.assocs,
+        vec![Dep::attr(1, c.toks)],
+        |d| {
+            Value::list(vec![Value::list(vec![
+                d[0].clone(),
+                Value::Str("open".into()),
+                Value::empty_list(),
+            ])])
+        },
+    );
     ab.rule(p(g, "assoc_pos_open"), 0, c.assocs, vec![], |_| {
         Value::list(vec![Value::list(vec![
             Value::empty_list(),
@@ -523,7 +636,11 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         p(g, "bind_entity"),
         0,
         c.info,
-        vec![Dep::attr(3, c.toks), Dep::attr(4, c.info), Dep::attr(5, c.info)],
+        vec![
+            Dep::attr(3, c.toks),
+            Dep::attr(4, c.info),
+            Dep::attr(5, c.info),
+        ],
         |d| {
             Value::list(vec![
                 Value::Str("entity".into()),
@@ -565,7 +682,11 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
         p(g, "comp_config"),
         0,
         c.items,
-        vec![Dep::attr(2, c.info), Dep::attr(4, c.toks), Dep::attr(5, c.info)],
+        vec![
+            Dep::attr(2, c.info),
+            Dep::attr(4, c.toks),
+            Dep::attr(5, c.info),
+        ],
         |d| {
             Value::list(vec![Value::list(vec![
                 d[0].clone(),
@@ -578,14 +699,22 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
     ab.rule(p(g, "ift_end"), 0, c.info, vec![], |_| {
         Value::list(vec![Value::empty_list(), Value::empty_list()])
     });
-    ab.rule(p(g, "ift_else"), 0, c.info, vec![Dep::attr(2, c.stmts)], |d| {
-        Value::list(vec![Value::empty_list(), d[0].clone()])
-    });
+    ab.rule(
+        p(g, "ift_else"),
+        0,
+        c.info,
+        vec![Dep::attr(2, c.stmts)],
+        |d| Value::list(vec![Value::empty_list(), d[0].clone()]),
+    );
     ab.rule(
         p(g, "ift_elsif"),
         0,
         c.info,
-        vec![Dep::attr(2, c.toks), Dep::attr(4, c.stmts), Dep::attr(5, c.info)],
+        vec![
+            Dep::attr(2, c.toks),
+            Dep::attr(4, c.stmts),
+            Dep::attr(5, c.info),
+        ],
         |d| {
             let inner = d[2].expect_list();
             let mut arms = vec![Value::list(vec![d[0].clone(), d[1].clone()])];
@@ -602,11 +731,31 @@ fn install_structurals(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClas
 fn install_context(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
     let c = *c;
     // context_items chain.
-    ab.rule(p(g, "ctxs_one"), 0, c.envo, vec![Dep::attr(1, c.envo)], |d| d[0].clone());
-    ab.rule(p(g, "ctxs_more"), 2, c.env, vec![Dep::attr(1, c.envo)], |d| d[0].clone());
-    ab.rule(p(g, "ctxs_more"), 0, c.envo, vec![Dep::attr(2, c.envo)], |d| d[0].clone());
+    ab.rule(
+        p(g, "ctxs_one"),
+        0,
+        c.envo,
+        vec![Dep::attr(1, c.envo)],
+        |d| d[0].clone(),
+    );
+    ab.rule(
+        p(g, "ctxs_more"),
+        2,
+        c.env,
+        vec![Dep::attr(1, c.envo)],
+        |d| d[0].clone(),
+    );
+    ab.rule(
+        p(g, "ctxs_more"),
+        0,
+        c.envo,
+        vec![Dep::attr(2, c.envo)],
+        |d| d[0].clone(),
+    );
     // design_unit with context clauses.
-    ab.rule(p(g, "du_ctx"), 2, c.env, vec![Dep::attr(1, c.envo)], |d| d[0].clone());
+    ab.rule(p(g, "du_ctx"), 2, c.env, vec![Dep::attr(1, c.envo)], |d| {
+        d[0].clone()
+    });
     // Record the unit's context clauses on the unit node so architectures
     // and package bodies can re-import them (an architecture sees its
     // entity's context).
@@ -643,30 +792,47 @@ fn install_context(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses)
                     for (f, v) in n.fields() {
                         b = b.field(Rc::clone(f), v.clone());
                     }
-                    Value::Node(b.field("ctx", VifValue::List(Rc::new(ctx_entries.clone()))).done())
+                    Value::Node(
+                        b.field("ctx", VifValue::List(Rc::new(ctx_entries.clone())))
+                            .done(),
+                    )
                 })
                 .collect();
             Value::list(units)
         },
     );
     // library_clause names: each library id becomes a ["lib", id] entry.
-    ab.rule(p(g, "lib_clause"), 0, c.names, vec![Dep::attr(2, c.ids)], |d| {
-        Value::list(
-            d[0].expect_list()
-                .iter()
-                .map(|t| Value::list(vec![Value::Str("lib".into()), Value::list(vec![t.clone()])]))
-                .collect(),
-        )
-    });
+    ab.rule(
+        p(g, "lib_clause"),
+        0,
+        c.names,
+        vec![Dep::attr(2, c.ids)],
+        |d| {
+            Value::list(
+                d[0].expect_list()
+                    .iter()
+                    .map(|t| {
+                        Value::list(vec![Value::Str("lib".into()), Value::list(vec![t.clone()])])
+                    })
+                    .collect(),
+            )
+        },
+    );
     // use_clause names: ["use", toks] entries.
-    ab.rule(p(g, "use_clause"), 0, c.names, vec![Dep::attr(2, c.names)], |d| {
-        Value::list(
-            d[0].expect_list()
-                .iter()
-                .map(|toks| Value::list(vec![Value::Str("use".into()), toks.clone()]))
-                .collect(),
-        )
-    });
+    ab.rule(
+        p(g, "use_clause"),
+        0,
+        c.names,
+        vec![Dep::attr(2, c.names)],
+        |d| {
+            Value::list(
+                d[0].expect_list()
+                    .iter()
+                    .map(|toks| Value::list(vec![Value::Str("use".into()), toks.clone()]))
+                    .collect(),
+            )
+        },
+    );
     // library_clause: bind library names.
     ab.rule(
         p(g, "lib_clause"),
@@ -690,7 +856,11 @@ fn install_context(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses)
         p(g, "use_clause"),
         0,
         c.res,
-        vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(2, c.names)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(0, c.ctx),
+            Dep::attr(2, c.names),
+        ],
         |d| {
             with_u!(d, u, {
                 let mut env = u.env.clone();
@@ -712,14 +882,24 @@ fn install_context(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses)
             })
         },
     );
-    ab.rule(p(g, "use_clause"), 0, c.envo, vec![Dep::attr(0, c.res)], |d| {
-        Value::Env(res_env(&d[0]))
-    });
+    ab.rule(
+        p(g, "use_clause"),
+        0,
+        c.envo,
+        vec![Dep::attr(0, c.res)],
+        |d| Value::Env(res_env(&d[0])),
+    );
     // A use clause exports nothing of its own.
-    ab.rule(p(g, "use_clause"), 0, c.decls, vec![], |_| Value::empty_list());
-    ab.rule(p(g, "use_clause"), 0, c.msgs, vec![Dep::attr(0, c.res)], |d| {
-        res_msgs(&d[0])
+    ab.rule(p(g, "use_clause"), 0, c.decls, vec![], |_| {
+        Value::empty_list()
     });
+    ab.rule(
+        p(g, "use_clause"),
+        0,
+        c.msgs,
+        vec![Dep::attr(0, c.res)],
+        |d| res_msgs(&d[0]),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -729,9 +909,27 @@ fn install_context(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses)
 fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
     let c = *c;
     // decl_items chaining.
-    ab.rule(p(g, "decls_none"), 0, c.envo, vec![Dep::attr(0, c.env)], |d| d[0].clone());
-    ab.rule(p(g, "decls_more"), 2, c.env, vec![Dep::attr(1, c.envo)], |d| d[0].clone());
-    ab.rule(p(g, "decls_more"), 0, c.envo, vec![Dep::attr(2, c.envo)], |d| d[0].clone());
+    ab.rule(
+        p(g, "decls_none"),
+        0,
+        c.envo,
+        vec![Dep::attr(0, c.env)],
+        |d| d[0].clone(),
+    );
+    ab.rule(
+        p(g, "decls_more"),
+        2,
+        c.env,
+        vec![Dep::attr(1, c.envo)],
+        |d| d[0].clone(),
+    );
+    ab.rule(
+        p(g, "decls_more"),
+        0,
+        c.envo,
+        vec![Dep::attr(2, c.envo)],
+        |d| d[0].clone(),
+    );
 
     // Helper to wire RES-projection rules for a declaration production.
     let project = |ab: &mut AgBuilder<Value>, pr: ProdId| {
@@ -741,7 +939,9 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         ab.rule(pr, 0, c.decls, vec![Dep::attr(0, c.res)], |d| {
             Value::list(res_decls(&d[0]))
         });
-        ab.rule(pr, 0, c.msgs, vec![Dep::attr(0, c.res)], |d| res_msgs(&d[0]));
+        ab.rule(pr, 0, c.msgs, vec![Dep::attr(0, c.res)], |d| {
+            res_msgs(&d[0])
+        });
     };
 
     // type_decl.
@@ -787,7 +987,9 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                         // Rename the anonymous subtype to the declared name
                         // (keeping its uid-bearing structure).
                         let named = rename_type(&base, &name.text);
-                        let envo = u.env.bind(&name.text, crate::env::Den::local(Rc::clone(&named)));
+                        let envo = u
+                            .env
+                            .bind(&name.text, crate::env::Den::local(Rc::clone(&named)));
                         DeclOut {
                             envo,
                             decls: vec![named],
@@ -860,7 +1062,9 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                             .node_field("target", Rc::clone(&dens[0]))
                             .done();
                         DeclOut {
-                            envo: u.env.bind(&name.text, crate::env::Den::local(Rc::clone(&alias))),
+                            envo: u
+                                .env
+                                .bind(&name.text, crate::env::Den::local(Rc::clone(&alias))),
                             decls: vec![alias],
                             msgs: Msgs::none(),
                         }
@@ -897,17 +1101,18 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                             .node_field("ty", Rc::clone(&dens[0]))
                             .done();
                         DeclOut {
-                            envo: u.env.bind(&name.text, crate::env::Den::local(Rc::clone(&ad))),
+                            envo: u
+                                .env
+                                .bind(&name.text, crate::env::Den::local(Rc::clone(&ad))),
                             decls: vec![ad],
                             msgs: Msgs::none(),
                         }
                         .encode()
                     }
-                    Ok(_) => DeclOut::err(
-                        u.env,
-                        Msg::error(name.pos, "attribute mark is not a type"),
-                    )
-                    .encode(),
+                    Ok(_) => {
+                        DeclOut::err(u.env, Msg::error(name.pos, "attribute mark is not a type"))
+                            .encode()
+                    }
                     Err(m) => DeclOut::err(u.env, m).encode(),
                 }
             })
@@ -973,10 +1178,8 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                                 env = env.bind(&key, crate::env::Den::local(Rc::clone(&spec)));
                                 decls.push(spec);
                             }
-                            None => msgs.push(Msg::error(
-                                t.pos,
-                                format!("`{}` is not declared", t.text),
-                            )),
+                            None => msgs
+                                .push(Msg::error(t.pos, format!("`{}` is not declared", t.text))),
                         }
                     }
                 }
@@ -1009,16 +1212,20 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                 let name = d[2].expect_tok().clone();
                 let (generics, m1) =
                     oof::resolve_ifaces(&u, &oof::ifaces_of(&d[3]), ObjClass::Constant);
-                let (ports, m2) =
-                    oof::resolve_ifaces(&u, &oof::ifaces_of(&d[4]), ObjClass::Signal);
+                let (ports, m2) = oof::resolve_ifaces(&u, &oof::ifaces_of(&d[4]), ObjClass::Signal);
                 let node = VifNode::build("component")
                     .name(&*name.text)
                     .str_field("uid", oof::uid_at(&name.text, name.pos))
-                    .list_field("generics", generics.into_iter().map(VifValue::Node).collect())
+                    .list_field(
+                        "generics",
+                        generics.into_iter().map(VifValue::Node).collect(),
+                    )
                     .list_field("ports", ports.into_iter().map(VifValue::Node).collect())
                     .done();
                 DeclOut {
-                    envo: u.env.bind(&name.text, crate::env::Den::local(Rc::clone(&node))),
+                    envo: u
+                        .env
+                        .bind(&name.text, crate::env::Den::local(Rc::clone(&node))),
                     decls: vec![node],
                     msgs: Msgs::concat(&m1, &m2),
                 }
@@ -1034,7 +1241,11 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         pr,
         0,
         c.res,
-        vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(1, c.info)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(0, c.ctx),
+            Dep::attr(1, c.info),
+        ],
         |d| {
             with_u!(d, u, {
                 let (node, msgs) = oof::spec_subprog(&u, &d[2]);
@@ -1065,25 +1276,23 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
 
     // config_spec: recorded for the architecture.
     let pr = p(g, "config_spec");
-    ab.rule(
-        pr,
-        0,
-        c.res,
-        vec![Dep::attr(0, c.env)],
-        |d| {
-            DeclOut {
-                envo: d[0].expect_env(),
-                decls: vec![],
-                msgs: Msgs::none(),
-            }
-            .encode()
-        },
-    );
+    ab.rule(pr, 0, c.res, vec![Dep::attr(0, c.env)], |d| {
+        DeclOut {
+            envo: d[0].expect_env(),
+            decls: vec![],
+            msgs: Msgs::none(),
+        }
+        .encode()
+    });
     ab.rule(
         pr,
         0,
         c.cfgs,
-        vec![Dep::attr(2, c.info), Dep::attr(4, c.toks), Dep::attr(5, c.info)],
+        vec![
+            Dep::attr(2, c.info),
+            Dep::attr(4, c.toks),
+            Dep::attr(5, c.info),
+        ],
         |d| {
             Value::list(vec![Value::list(vec![
                 d[0].clone(),
@@ -1103,14 +1312,20 @@ fn install_subprogram_body(ab: &mut AgBuilder<Value>, g: &Grammar, c: &Principal
     let inner_env = |d: &[Value]| -> (Env, Option<Rc<VifNode>>, Msgs) {
         let env = d[0].expect_env();
         let ctx = d[1].expect_ctx();
-        let u = U { env: &env, ctx: &ctx };
+        let u = U {
+            env: &env,
+            ctx: &ctx,
+        };
         let (fresh, msgs) = oof::spec_subprog(&u, &d[2]);
         let Some(fresh) = fresh else {
             return (env.clone(), None, msgs);
         };
         // Reuse a previously declared spec (same uids) when one matches.
         let node = oof::find_spec_match(&env, &fresh).unwrap_or(fresh);
-        let mut e = env.bind(node.name().unwrap_or("?"), crate::env::Den::local(Rc::clone(&node)));
+        let mut e = env.bind(
+            node.name().unwrap_or("?"),
+            crate::env::Den::local(Rc::clone(&node)),
+        );
         for param in decl::subprog_params(&node) {
             if let Some(n) = param.name() {
                 e = e.bind(n, crate::env::Den::local(Rc::clone(&param)));
@@ -1127,7 +1342,9 @@ fn install_subprogram_body(ab: &mut AgBuilder<Value>, g: &Grammar, c: &Principal
     };
     {
         let inner_env = inner_env.clone();
-        ab.rule(pr, 3, c.env, base_deps(), move |d| Value::Env(inner_env(d).0));
+        ab.rule(pr, 3, c.env, base_deps(), move |d| {
+            Value::Env(inner_env(d).0)
+        });
     }
     ab.rule(pr, 5, c.env, vec![Dep::attr(3, c.envo)], |d| d[0].clone());
     {
@@ -1192,7 +1409,11 @@ fn install_subprogram_body(ab: &mut AgBuilder<Value>, g: &Grammar, c: &Principal
         pr,
         0,
         c.msgs,
-        vec![Dep::attr(0, c.res), Dep::attr(3, c.msgs), Dep::attr(5, c.msgs)],
+        vec![
+            Dep::attr(0, c.res),
+            Dep::attr(3, c.msgs),
+            Dep::attr(5, c.msgs),
+        ],
         |d| {
             let m = Msgs::concat(d[1].as_msgs(), d[2].as_msgs());
             Value::Msgs(Msgs::concat(res_msgs(&d[0]).as_msgs(), &m))
@@ -1284,7 +1505,11 @@ fn declare_type(u: &U<'_>, name: &vhdl_syntax::SrcTok, td: &Value) -> DeclOut {
                 .iter()
                 .map(|(n, t)| (n.as_str(), Rc::clone(t)))
                 .collect();
-            Some(retag_uid(&types::mk_record(&name.text, &refs), &name.text, name.pos))
+            Some(retag_uid(
+                &types::mk_record(&name.text, &refs),
+                &name.text,
+                name.pos,
+            ))
         }
         other => {
             msgs.push(Msg::error(name.pos, format!("unknown type form `{other}`")));
@@ -1347,7 +1572,11 @@ fn declare_phys(
     }
     let _ = u;
     let refs: Vec<(&str, i64)> = units.iter().map(|(n, f)| (n.as_str(), *f)).collect();
-    let ty = retag_uid(&types::mk_phys(&name.text, lo, hi, &refs), &name.text, name.pos);
+    let ty = retag_uid(
+        &types::mk_phys(&name.text, lo, hi, &refs),
+        &name.text,
+        name.pos,
+    );
     (Some(ty), msgs)
 }
 

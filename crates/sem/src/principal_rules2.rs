@@ -33,13 +33,23 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClass
         ab.attach(c.res, nt(n));
     }
     for n in [
-        "wait_stmt", "assert_stmt", "target_stmt", "if_stmt", "case_stmt", "loop_stmt",
-        "next_stmt", "exit_stmt", "return_stmt",
+        "wait_stmt",
+        "assert_stmt",
+        "target_stmt",
+        "if_stmt",
+        "case_stmt",
+        "loop_stmt",
+        "next_stmt",
+        "exit_stmt",
+        "return_stmt",
     ] {
         ab.attach(c.res, nt(n));
     }
     for n in [
-        "entity_decl", "architecture_body", "package_decl", "package_body",
+        "entity_decl",
+        "architecture_body",
+        "package_decl",
+        "package_body",
         "configuration_decl",
     ] {
         ab.attach(c.res, nt(n));
@@ -243,7 +253,11 @@ fn install_stmts(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         pr,
         0,
         c.res,
-        vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(1, c.toks)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(0, c.ctx),
+            Dep::attr(1, c.toks),
+        ],
         |d| {
             with_u!(d, u, {
                 let toks = oof::toks_of(&d[2]);
@@ -418,7 +432,11 @@ fn install_stmts(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         pr,
         3,
         c.env,
-        vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(1, c.info)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(0, c.ctx),
+            Dep::attr(1, c.info),
+        ],
         |d| {
             with_u!(d, u, {
                 match loop_var(&u, &d[2]) {
@@ -485,7 +503,11 @@ fn install_stmts(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
             pr,
             0,
             c.res,
-            vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(2, c.info)],
+            vec![
+                Dep::attr(0, c.env),
+                Dep::attr(0, c.ctx),
+                Dep::attr(2, c.info),
+            ],
             move |d| {
                 with_u!(d, u, {
                     let mut msgs = Msgs::none();
@@ -497,7 +519,9 @@ fn install_stmts(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         stmt_projections(ab, g, &c, label);
     }
     let pr = p(g, "return_plain");
-    ab.rule(pr, 0, c.res, vec![], |_| sres(vec![ir::s_return(None)], Msgs::none()));
+    ab.rule(pr, 0, c.res, vec![], |_| {
+        sres(vec![ir::s_return(None)], Msgs::none())
+    });
     stmt_projections(ab, g, &c, "return_plain");
     let pr = p(g, "return_value");
     ab.rule(
@@ -583,23 +607,21 @@ fn eval_choices(u: &U<'_>, v: &Value, sel_ty: &Ty, msgs: &mut Msgs) -> Vec<VifVa
                 let a = u.ev(&toks, None);
                 *msgs = Msgs::concat(msgs, &a.msgs);
                 match (a.as_range(), a.ir) {
-                    (Some((l, r, dir)), _) => {
-                        match (ir::const_int(&l), ir::const_int(&r)) {
-                            (Some(lv), Some(rv)) => {
-                                let (lo, hi) = match dir {
-                                    types::Dir::To => (lv, rv),
-                                    types::Dir::Downto => (rv, lv),
-                                };
-                                out.push(VifValue::Node(
-                                    VifNode::build("ch.range")
-                                        .int_field("lo", lo)
-                                        .int_field("hi", hi)
-                                        .done(),
-                                ));
-                            }
-                            _ => msgs.push(Msg::error(pos, "choice range must be static")),
+                    (Some((l, r, dir)), _) => match (ir::const_int(&l), ir::const_int(&r)) {
+                        (Some(lv), Some(rv)) => {
+                            let (lo, hi) = match dir {
+                                types::Dir::To => (lv, rv),
+                                types::Dir::Downto => (rv, lv),
+                            };
+                            out.push(VifValue::Node(
+                                VifNode::build("ch.range")
+                                    .int_field("lo", lo)
+                                    .int_field("hi", hi)
+                                    .done(),
+                            ));
                         }
-                    }
+                        _ => msgs.push(Msg::error(pos, "choice range must be static")),
+                    },
                     (None, Some(cir)) => {
                         if !types::compatible(&ty_of(&cir), sel_ty) {
                             msgs.push(Msg::error(pos, "choice type does not match selector"));
@@ -659,7 +681,13 @@ fn loop_var(u: &U<'_>, info: &Value) -> Option<(Rc<VifNode>, Ir)> {
 fn install_concs(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
     let c = *c;
     // Labels.
-    ab.rule(p(g, "conc_labelled"), 3, c.label, vec![Dep::token(1)], |d| d[0].clone());
+    ab.rule(
+        p(g, "conc_labelled"),
+        3,
+        c.label,
+        vec![Dep::token(1)],
+        |d| d[0].clone(),
+    );
 
     // conc_body ::= assert_stmt → a passive process.
     let pr = p(g, "cb_assert");
@@ -667,7 +695,12 @@ fn install_concs(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         pr,
         0,
         c.concs,
-        vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(0, c.label), Dep::attr(1, c.stmts)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(0, c.ctx),
+            Dep::attr(0, c.label),
+            Dep::attr(1, c.stmts),
+        ],
         |d| {
             with_u!(d, u, {
                 let stmts: Vec<VifValue> = d[3]
@@ -691,7 +724,12 @@ fn install_concs(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         pr,
         0,
         c.concs,
-        vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(0, c.label), Dep::attr(1, c.stmts)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(0, c.ctx),
+            Dep::attr(0, c.label),
+            Dep::attr(1, c.stmts),
+        ],
         |d| {
             with_u!(d, u, {
                 let _ = u;
@@ -773,14 +811,21 @@ fn install_concs(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
             None,
             None,
         );
-        (env.bind("guard", Den::local(Rc::clone(&guard))), Some(guard))
+        (
+            env.bind("guard", Den::local(Rc::clone(&guard))),
+            Some(guard),
+        )
     };
     {
         ab.rule(
             pr,
             3,
             c.env,
-            vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(2, c.info)],
+            vec![
+                Dep::attr(0, c.env),
+                Dep::attr(0, c.ctx),
+                Dep::attr(2, c.info),
+            ],
             move |d| Value::Env(guard_env(d).0),
         );
     }
@@ -806,7 +851,10 @@ fn install_concs(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
             let guard_expr = if toks.is_empty() {
                 None
             } else {
-                let u = U { env: &genv, ctx: &ctx };
+                let u = U {
+                    env: &genv,
+                    ctx: &ctx,
+                };
                 let a = u.ev(&toks, Some(&ctx.std.std.boolean));
                 msgs = Msgs::concat(&msgs, &a.msgs);
                 a.ir
@@ -1081,7 +1129,10 @@ fn guard_wrap(
             vec![VifValue::Node(ir::s_if(cond, stmts, vec![]))]
         }
         _ => {
-            msgs.push(Msg::error(pos, "guarded assignment outside a guarded block"));
+            msgs.push(Msg::error(
+                pos,
+                "guarded assignment outside a guarded block",
+            ));
             stmts
         }
     }
@@ -1204,7 +1255,10 @@ fn install_units(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
     let iface_env = |d: &[Value]| -> (Env, Vec<Rc<VifNode>>, Vec<Rc<VifNode>>, Msgs) {
         let env = d[0].expect_env();
         let ctx = d[1].expect_ctx();
-        let u = U { env: &env, ctx: &ctx };
+        let u = U {
+            env: &env,
+            ctx: &ctx,
+        };
         let (generics, m1) = oof::resolve_ifaces(&u, &oof::ifaces_of(&d[2]), ObjClass::Constant);
         let (ports, m2) = oof::resolve_ifaces(&u, &oof::ifaces_of(&d[3]), ObjClass::Signal);
         let mut e = env.clone();
@@ -1302,7 +1356,11 @@ fn install_units(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
         pr,
         6,
         c.env,
-        vec![Dep::attr(0, c.env), Dep::attr(0, c.ctx), Dep::attr(4, c.toks)],
+        vec![
+            Dep::attr(0, c.env),
+            Dep::attr(0, c.ctx),
+            Dep::attr(4, c.toks),
+        ],
         move |d| Value::Env(arch_env(d).0),
     );
     ab.rule(pr, 8, c.env, vec![Dep::attr(6, c.envo)], |d| d[0].clone());
@@ -1341,7 +1399,14 @@ fn install_units(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                         .map(|v| VifValue::Node(v.expect_node()))
                         .collect(),
                 )
-                .list_field("cfgs", d[5].expect_list().to_vec().into_iter().map(to_vif).collect())
+                .list_field(
+                    "cfgs",
+                    d[5].expect_list()
+                        .to_vec()
+                        .into_iter()
+                        .map(to_vif)
+                        .collect(),
+                )
                 .list_field(
                     "concs",
                     d[6].expect_list()
@@ -1519,10 +1584,8 @@ fn install_units(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                                 .next_back()
                                 .map(|t| t.text.to_string())
                                 .unwrap_or_default();
-                            if let Some(be) = u
-                                .ctx
-                                .loader
-                                .load_unit("work", &format!("entity.{bname}"))
+                            if let Some(be) =
+                                u.ctx.loader.load_unit("work", &format!("entity.{bname}"))
                             {
                                 let _ = be.reachable_size();
                             }
@@ -1587,9 +1650,7 @@ fn to_vif(v: Value) -> VifValue {
         Value::Str(s) => VifValue::Str(s),
         Value::Node(n) => VifValue::Node(n),
         Value::Tok(t) => VifValue::Str(Rc::clone(&t.text)),
-        Value::List(items) => {
-            VifValue::List(Rc::new(items.iter().cloned().map(to_vif).collect()))
-        }
+        Value::List(items) => VifValue::List(Rc::new(items.iter().cloned().map(to_vif).collect())),
         other => VifValue::Str(format!("{other:?}").into()),
     }
 }

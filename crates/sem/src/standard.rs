@@ -74,8 +74,18 @@ pub fn standard(kind: EnvKind) -> Standard {
             ("sec", 1_000_000_000_000_000),
         ],
     );
-    let natural = mk_subtype("natural", &integer, Some((0, i32::MAX as i64, Dir::To)), None);
-    let positive = mk_subtype("positive", &integer, Some((1, i32::MAX as i64, Dir::To)), None);
+    let natural = mk_subtype(
+        "natural",
+        &integer,
+        Some((0, i32::MAX as i64, Dir::To)),
+        None,
+    );
+    let positive = mk_subtype(
+        "positive",
+        &integer,
+        Some((1, i32::MAX as i64, Dir::To)),
+        None,
+    );
     let string = mk_array_unconstrained("string", &positive, &character);
     let bit_vector = mk_array_unconstrained("bit_vector", &natural, &bit);
 
@@ -181,9 +191,10 @@ pub fn implicit_ops(ty: &Ty, boolean: &Ty, integer: &Ty) -> Vec<(String, Rc<VifN
     if ty.kind() == "ty.subtype" {
         return out;
     }
-    let bin = |out: &mut Vec<(String, Rc<VifNode>)>, sym: &str, l: &Ty, r: &Ty, ret: &Ty, code: &str| {
-        out.push((sym.to_string(), mk_binop(sym, l, r, ret, code)));
-    };
+    let bin =
+        |out: &mut Vec<(String, Rc<VifNode>)>, sym: &str, l: &Ty, r: &Ty, ret: &Ty, code: &str| {
+            out.push((sym.to_string(), mk_binop(sym, l, r, ret, code)));
+        };
     match b.kind() {
         "ty.enum" | "ty.int" | "ty.real" | "ty.phys" => {
             for (sym, code) in [
@@ -226,8 +237,8 @@ pub fn implicit_ops(ty: &Ty, boolean: &Ty, integer: &Ty) -> Vec<(String, Rc<VifN
         "ty.enum" => {
             // Logical operators for the two-valued logical types.
             let lits = b.list_field("lits");
-            let is_logical = lits.len() == 2
-                && (b.name() == Some("boolean") || b.name() == Some("bit"));
+            let is_logical =
+                lits.len() == 2 && (b.name() == Some("boolean") || b.name() == Some("bit"));
             if is_logical {
                 for (sym, code) in [
                     ("and", "and"),
@@ -281,8 +292,17 @@ mod tests {
     fn standard_names_visible() {
         let s = standard(EnvKind::Tree);
         for name in [
-            "boolean", "bit", "integer", "real", "time", "natural", "positive", "string",
-            "bit_vector", "character", "severity_level",
+            "boolean",
+            "bit",
+            "integer",
+            "real",
+            "time",
+            "natural",
+            "positive",
+            "string",
+            "bit_vector",
+            "character",
+            "severity_level",
         ] {
             assert!(s.env.lookup_one(name).is_some(), "missing {name}");
         }
@@ -319,8 +339,7 @@ mod tests {
         // integer, real, time (binary) + unary forms.
         let int_plus = plus.iter().any(|d| {
             let p = crate::decl::subprog_params(&d.node);
-            p.len() == 2
-                && types::same_base(&crate::decl::obj_ty(&p[0]).unwrap(), &s.std.integer)
+            p.len() == 2 && types::same_base(&crate::decl::obj_ty(&p[0]).unwrap(), &s.std.integer)
         });
         assert!(int_plus);
         let modop = s.env.lookup("mod");

@@ -65,10 +65,7 @@ pub fn mk_enum(name: &str, lits: &[&str]) -> Ty {
     VifNode::build("ty.enum")
         .name(name)
         .str_field("uid", fresh_uid(name))
-        .list_field(
-            "lits",
-            lits.iter().map(|l| VifValue::str(*l)).collect(),
-        )
+        .list_field("lits", lits.iter().map(|l| VifValue::str(*l)).collect())
         .done()
 }
 
@@ -177,7 +174,10 @@ pub fn mk_subtype(
         .str_field("uid", fresh_uid(name))
         .node_field("base", Rc::clone(base));
     if let Some((lo, hi, dir)) = range {
-        b = b.int_field("lo", lo).int_field("hi", hi).int_field("dir", dir.encode());
+        b = b
+            .int_field("lo", lo)
+            .int_field("hi", hi)
+            .int_field("dir", dir.encode());
     }
     if let Some(r) = resolution {
         b = b.node_field("resolution", r);
@@ -461,7 +461,12 @@ mod tests {
 
     #[test]
     fn physical_units() {
-        let time = mk_phys("time", i64::MIN, i64::MAX, &[("fs", 1), ("ps", 1000), ("ns", 1_000_000)]);
+        let time = mk_phys(
+            "time",
+            i64::MIN,
+            i64::MAX,
+            &[("fs", 1), ("ps", 1000), ("ns", 1_000_000)],
+        );
         assert_eq!(unit_factor(&time, "ns"), Some(1_000_000));
         assert_eq!(unit_factor(&time, "h"), None);
         assert!(is_scalar(&time));

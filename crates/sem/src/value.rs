@@ -12,7 +12,6 @@ use crate::env::Env;
 use crate::lef::LefTok;
 use crate::msg::Msgs;
 
-
 /// A name's denotation in the expression AG — what a *name* means before
 /// it is coerced to a value (the heart of resolving `X(Y)`, §4.1).
 #[derive(Clone, Debug)]
@@ -27,7 +26,6 @@ pub enum DenVal {
     /// Analysis already failed; suppress cascading errors.
     Error,
 }
-
 
 /// Dynamically typed attribute value.
 #[derive(Clone, Debug, Default)]

@@ -13,7 +13,11 @@ fn setup() -> (Analyzer, Rc<LibrarySet>) {
     (an, libs)
 }
 
-fn compile_ok(an: &Analyzer, libs: &Rc<LibrarySet>, src: &str) -> Vec<vhdl_sem::analyze::AnalyzedUnit> {
+fn compile_ok(
+    an: &Analyzer,
+    libs: &Rc<LibrarySet>,
+    src: &str,
+) -> Vec<vhdl_sem::analyze::AnalyzedUnit> {
     let units = an.compile(src, libs).expect("parses");
     for u in &units {
         assert!(!u.msgs.has_errors(), "unit {} failed:\n{}", u.key, u.msgs);
@@ -230,10 +234,7 @@ fn latest_architecture_history() {
          architecture a1 of e is begin end a1;
          architecture a2 of e is begin end a2;",
     );
-    assert_eq!(
-        libs.work().latest_architecture("e"),
-        Some("a2".to_string())
-    );
+    assert_eq!(libs.work().latest_architecture("e"), Some("a2".to_string()));
 }
 
 #[test]

@@ -128,7 +128,12 @@ fn overloaded_functions_picked_by_expected_type() {
     let s = std_env();
     let int = &s.std.integer;
     let f_int = mk_subprog("f", vec![Param::value("a", int)], Some(int), None);
-    let f_bool = mk_subprog("f", vec![Param::value("a", int)], Some(&s.std.boolean), None);
+    let f_bool = mk_subprog(
+        "f",
+        vec![Param::value("a", int)],
+        Some(&s.std.boolean),
+        None,
+    );
     let env = s
         .env
         .bind("f", Den::local(f_int))
@@ -167,7 +172,10 @@ fn named_association_and_defaults() {
     // Default fills b.
     let a = ok("f(7)", &env, Some(int));
     let args2 = a.ir.unwrap();
-    assert_eq!(const_int(args2.list_field("args")[1].as_node().unwrap()), Some(40));
+    assert_eq!(
+        const_int(args2.list_field("args")[1].as_node().unwrap()),
+        Some(40)
+    );
 }
 
 #[test]
@@ -179,13 +187,12 @@ fn string_and_bitstring_literals() {
     assert_eq!(ir.kind(), "e.const");
     assert_eq!(ir.list_field("aval").len(), 8);
     let a = ok("x\"a5\"", &s.env, Some(&bv8));
-    let bits: Vec<i64> = a
-        .ir
-        .unwrap()
-        .list_field("aval")
-        .iter()
-        .map(|v| v.as_int().unwrap())
-        .collect();
+    let bits: Vec<i64> =
+        a.ir.unwrap()
+            .list_field("aval")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
     assert_eq!(bits, vec![1, 0, 1, 0, 0, 1, 0, 1]);
     let msg = fail("\"012\"", &s.env, Some(&bv8));
     assert!(msg.contains("not a literal"), "{msg}");

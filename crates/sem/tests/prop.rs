@@ -1,10 +1,13 @@
 //! Property tests for the semantic substrate: the three environment
 //! representations against a reference model, constant folding against
 //! `i64` arithmetic, and lexer round-trips.
+//!
+//! Ported from proptest to the in-repo `ag-harness` framework; the input
+//! space and every invariant are unchanged.
 
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use ag_harness::{check, check_eq, forall, Config, Source};
 use vhdl_sem::env::{Den, Env, EnvKind};
 use vhdl_sem::ir;
 use vhdl_sem::types;
@@ -51,23 +54,22 @@ enum OpKind {
     Snapshot,
 }
 
-fn op_strategy() -> impl Strategy<Value = OpKind> {
-    prop_oneof![
-        (0u8..8).prop_map(OpKind::BindObj),
-        (0u8..8).prop_map(OpKind::BindSubprog),
-        (0u8..8).prop_map(OpKind::Lookup),
-        Just(OpKind::Snapshot),
-    ]
+fn op(s: &mut Source) -> OpKind {
+    match s.usize_in(0, 3) {
+        0 => OpKind::BindObj(s.u64_in(0, 7) as u8),
+        1 => OpKind::BindSubprog(s.u64_in(0, 7) as u8),
+        2 => OpKind::Lookup(s.u64_in(0, 7) as u8),
+        _ => OpKind::Snapshot,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// All three env representations agree with the model under random
-    /// operation sequences, including snapshots (old versions must keep
-    /// answering with their old contents).
-    #[test]
-    fn env_reprs_match_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// All three env representations agree with the model under random
+/// operation sequences, including snapshots (old versions must keep
+/// answering with their old contents).
+#[test]
+fn env_reprs_match_model() {
+    forall!(Config::new("env_reprs_match_model").cases(128), |s| {
+        let ops = s.vec(1, 59, op);
         for kind in [EnvKind::List, EnvKind::Tree, EnvKind::MutBaseline] {
             let mut env = Env::new(kind);
             let mut model = Model::default();
@@ -90,9 +92,9 @@ proptest! {
                         let name = format!("n{i}");
                         let got: Vec<_> = env.lookup(&name).into_iter().map(|d| d.node).collect();
                         let want = model.lookup(&name);
-                        prop_assert_eq!(got.len(), want.len());
+                        check_eq!(got.len(), want.len());
                         for (g, w) in got.iter().zip(&want) {
-                            prop_assert!(Rc::ptr_eq(g, w));
+                            check!(Rc::ptr_eq(g, w));
                         }
                     }
                     OpKind::Snapshot => {
@@ -102,23 +104,35 @@ proptest! {
             }
             // Old snapshots still see exactly their old contents.
             for (snap, len) in snapshots {
-                let old = Model { log: model.log[..len].to_vec() };
+                let old = Model {
+                    log: model.log[..len].to_vec(),
+                };
                 for i in 0u8..8 {
                     let name = format!("n{i}");
                     let got: Vec<_> = snap.lookup(&name).into_iter().map(|d| d.node).collect();
                     let want = old.lookup(&name);
-                    prop_assert_eq!(got.len(), want.len(), "snapshot isolation ({:?})", kind);
+                    check_eq!(got.len(), want.len(), "snapshot isolation ({:?})", kind);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Constant folding of builtin calls equals checked i64 arithmetic.
-    #[test]
-    fn const_folding_matches_i64(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+/// Constant folding of builtin calls equals checked i64 arithmetic.
+#[test]
+fn const_folding_matches_i64() {
+    forall!(Config::new("const_folding_matches_i64").cases(128), |s| {
+        let a = s.i64_in(-10_000, 9_999);
+        let b = s.i64_in(-10_000, 9_999);
         let int = types::mk_int("integer", i32::MIN as i64, i32::MAX as i64);
-        for (sym, code) in [("+", "add"), ("-", "sub"), ("*", "mul"), ("/", "div"),
-                            ("mod", "mod"), ("rem", "rem")] {
+        for (sym, code) in [
+            ("+", "add"),
+            ("-", "sub"),
+            ("*", "mul"),
+            ("/", "div"),
+            ("mod", "mod"),
+            ("rem", "rem"),
+        ] {
             let op = vhdl_sem::decl::mk_binop(sym, &int, &int, &int, code);
             let call = ir::e_call(&op, vec![ir::e_int(a, &int), ir::e_int(b, &int)], &int);
             let want = match code {
@@ -129,36 +143,49 @@ proptest! {
                 "mod" => a.checked_rem_euclid(b),
                 _ => a.checked_rem(b),
             };
-            prop_assert_eq!(ir::const_int(&call), want, "{} {} {}", a, sym, b);
+            check_eq!(ir::const_int(&call), want, "{} {} {}", a, sym, b);
         }
-    }
+    });
+}
 
-    /// The lexer round-trips identifier/number/punctuation streams:
-    /// re-lexing the joined token text yields the same kinds and texts.
-    #[test]
-    fn lexer_round_trip(words in proptest::collection::vec(
-        prop_oneof![
-            "[a-z][a-z0-9_]{0,6}".prop_map(|s| s),
-            (0u32..100000).prop_map(|n| n.to_string()),
-            Just("<=".to_string()), Just(":=".to_string()), Just("(".to_string()),
-            Just(")".to_string()), Just("+".to_string()), Just("=>".to_string()),
-        ], 1..20)) {
+/// The lexer round-trips identifier/number/punctuation streams:
+/// re-lexing the joined token text yields the same kinds and texts.
+#[test]
+fn lexer_round_trip() {
+    forall!(Config::new("lexer_round_trip").cases(128), |s| {
+        let words = s.vec(1, 19, |s| match s.usize_in(0, 5) {
+            0 => s.string_from(
+                "abcdefghijklmnopqrstuvwxyz",
+                "abcdefghijklmnopqrstuvwxyz0123456789_",
+                6,
+            ),
+            1 => s.u64_in(0, 99_999).to_string(),
+            2 => "<=".to_string(),
+            3 => ":=".to_string(),
+            4 => "(".to_string(),
+            _ => (*s.pick(&[")", "+", "=>"])).to_string(),
+        });
         let src = words.join(" ");
         let t1 = lex(&src).unwrap();
         let rendered: Vec<String> = t1.iter().map(|t| t.text.to_string()).collect();
         let t2 = lex(&rendered.join(" ")).unwrap();
-        prop_assert_eq!(t1.len(), t2.len());
+        check_eq!(t1.len(), t2.len());
         for (a, b) in t1.iter().zip(&t2) {
-            prop_assert_eq!(a.kind, b.kind);
-            prop_assert_eq!(&a.text, &b.text);
+            check_eq!(a.kind, b.kind);
+            check_eq!(&a.text, &b.text);
         }
-    }
+    });
+}
 
-    /// Every expression the generator can produce analyzes without
-    /// internal panics (errors are fine; crashes are not).
-    #[test]
-    fn expr_eval_total(n1 in -50i64..50, n2 in 1i64..50, pick in 0usize..6) {
-        let s = vhdl_sem::standard::standard(EnvKind::Tree);
+/// Every expression the generator can produce analyzes without
+/// internal panics (errors are fine; crashes are not).
+#[test]
+fn expr_eval_total() {
+    forall!(Config::new("expr_eval_total").cases(128), |s| {
+        let n1 = s.i64_in(-50, 49);
+        let n2 = s.i64_in(1, 49);
+        let pick = s.usize_in(0, 5);
+        let sem = vhdl_sem::standard::standard(EnvKind::Tree);
         let srcs = [
             format!("{n1} + {n2}"),
             format!("{n1} * ({n2} - 3) mod {n2}"),
@@ -168,6 +195,6 @@ proptest! {
             format!("not ({n1} = {n2})"),
         ];
         let toks = lex(&srcs[pick]).unwrap();
-        let _ = vhdl_sem::expr_ag::expr_eval(&toks, &s.env, None, None);
-    }
+        let _ = vhdl_sem::expr_ag::expr_eval(&toks, &sem.env, None, None);
+    });
 }

@@ -45,7 +45,10 @@ impl std::error::Error for LexError {}
 /// # Ok::<(), vhdl_syntax::lexer::LexError>(())
 /// ```
 pub fn lex(src: &str) -> Result<Vec<SrcTok>, LexError> {
-    Lexer::new(src).run()
+    let _t = ag_harness::trace::span("lex");
+    let toks = Lexer::new(src).run()?;
+    ag_harness::trace::counter("tokens", toks.len() as u64);
+    Ok(toks)
 }
 
 struct Lexer<'s> {
@@ -146,7 +149,9 @@ impl<'s> Lexer<'s> {
                     } else if self.src.get(self.i + 2) == Some(&b'\'') {
                         // 'x'
                         self.bump();
-                        let ch = self.bump().ok_or_else(|| self.err("unterminated character literal"))?;
+                        let ch = self
+                            .bump()
+                            .ok_or_else(|| self.err("unterminated character literal"))?;
                         self.bump(); // closing '
                         self.push(TokenKind::CharLit, (ch as char).to_string(), pos);
                     } else {
@@ -377,7 +382,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("42 3.14 1e3 1.0e-9"), vec![IntLit, RealLit, IntLit, RealLit]);
+        assert_eq!(
+            kinds("42 3.14 1e3 1.0e-9"),
+            vec![IntLit, RealLit, IntLit, RealLit]
+        );
         assert_eq!(texts("1e3")[0], "1000");
         assert_eq!(texts("12_34")[0], "1234");
         assert_eq!(texts("16#FF#")[0], "255");
@@ -390,7 +398,10 @@ mod tests {
     fn strings_and_bit_strings() {
         assert_eq!(kinds("\"hello\""), vec![StringLit]);
         assert_eq!(texts("\"say \"\"hi\"\"\"")[0], "say \"hi\"");
-        assert_eq!(kinds("B\"1010\" X\"F_F\""), vec![BitStringLit, BitStringLit]);
+        assert_eq!(
+            kinds("B\"1010\" X\"F_F\""),
+            vec![BitStringLit, BitStringLit]
+        );
         assert_eq!(texts("X\"F_F\"")[0], "xff");
         assert!(lex("\"unterminated").is_err());
     }

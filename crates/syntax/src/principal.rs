@@ -177,10 +177,8 @@ impl Dsl {
 
     fn r(&mut self, lhs: &str, rhs: &str, label: &str) {
         let lhs = self.b.nonterminal(lhs);
-        let rhs: Vec<ag_lalr::grammar::SymRef> = rhs
-            .split_whitespace()
-            .map(|w| self.sym(w).into())
-            .collect();
+        let rhs: Vec<ag_lalr::grammar::SymRef> =
+            rhs.split_whitespace().map(|w| self.sym(w).into()).collect();
         self.b.prod(lhs, &rhs, label);
     }
 }
@@ -192,14 +190,34 @@ fn build_grammar() -> Grammar {
     // ----- design files and context clauses -------------------------------
     r(&mut d, "design_file", "design_units", "df");
     r(&mut d, "design_units", "design_unit", "dus_one");
-    r(&mut d, "design_units", "design_units design_unit", "dus_more");
-    r(&mut d, "design_unit", "context_items library_unit", "du_ctx");
+    r(
+        &mut d,
+        "design_units",
+        "design_units design_unit",
+        "dus_more",
+    );
+    r(
+        &mut d,
+        "design_unit",
+        "context_items library_unit",
+        "du_ctx",
+    );
     r(&mut d, "design_unit", "library_unit", "du_plain");
     r(&mut d, "context_items", "context_item", "ctxs_one");
-    r(&mut d, "context_items", "context_items context_item", "ctxs_more");
+    r(
+        &mut d,
+        "context_items",
+        "context_items context_item",
+        "ctxs_more",
+    );
     r(&mut d, "context_item", "library_clause", "ctx_lib");
     r(&mut d, "context_item", "use_clause", "ctx_use");
-    r(&mut d, "library_clause", "library id_list ';'", "lib_clause");
+    r(
+        &mut d,
+        "library_clause",
+        "library id_list ';'",
+        "lib_clause",
+    );
     r(&mut d, "id_list", "id", "ids_one");
     r(&mut d, "id_list", "id_list ',' id", "ids_more");
     r(&mut d, "use_clause", "use name_list ';'", "use_clause");
@@ -247,7 +265,12 @@ fn build_grammar() -> Grammar {
         "architecture id of name is decl_items begin conc_stmts end_name",
         "arch_body",
     );
-    r(&mut d, "package_decl", "package id is decl_items end_name", "pkg_decl");
+    r(
+        &mut d,
+        "package_decl",
+        "package id is decl_items end_name",
+        "pkg_decl",
+    );
     r(
         &mut d,
         "package_body",
@@ -267,7 +290,12 @@ fn build_grammar() -> Grammar {
         "block_config",
     );
     r(&mut d, "config_items", "", "cfgitems_none");
-    r(&mut d, "config_items", "config_items config_item", "cfgitems_more");
+    r(
+        &mut d,
+        "config_items",
+        "config_items config_item",
+        "cfgitems_more",
+    );
     r(&mut d, "config_item", "comp_config", "cfgitem_comp");
     r(&mut d, "config_item", "use_clause", "cfgitem_use");
     r(
@@ -301,7 +329,12 @@ fn build_grammar() -> Grammar {
     r(&mut d, "binding_ind", "use open", "bind_open");
     r(&mut d, "arch_ind_opt", "", "archind_none");
     r(&mut d, "arch_ind_opt", "'(' id ')'", "archind_some");
-    r(&mut d, "map_aspects", "generic_map_opt port_map_opt", "map_aspects");
+    r(
+        &mut d,
+        "map_aspects",
+        "generic_map_opt port_map_opt",
+        "map_aspects",
+    );
     r(&mut d, "generic_map_opt", "", "gm_none");
     r(
         &mut d,
@@ -310,17 +343,37 @@ fn build_grammar() -> Grammar {
         "gm_some",
     );
     r(&mut d, "port_map_opt", "", "pm_none");
-    r(&mut d, "port_map_opt", "port map '(' assoc_list ')'", "pm_some");
+    r(
+        &mut d,
+        "port_map_opt",
+        "port map '(' assoc_list ')'",
+        "pm_some",
+    );
     r(&mut d, "assoc_list", "assoc_elem", "assocs_one");
-    r(&mut d, "assoc_list", "assoc_list ',' assoc_elem", "assocs_more");
+    r(
+        &mut d,
+        "assoc_list",
+        "assoc_list ',' assoc_elem",
+        "assocs_more",
+    );
     r(&mut d, "assoc_elem", "expr_run", "assoc_pos");
-    r(&mut d, "assoc_elem", "expr_run '=>' expr_run", "assoc_named");
+    r(
+        &mut d,
+        "assoc_elem",
+        "expr_run '=>' expr_run",
+        "assoc_named",
+    );
     r(&mut d, "assoc_elem", "expr_run '=>' open", "assoc_open");
     r(&mut d, "assoc_elem", "open", "assoc_pos_open");
 
     // ----- interface lists --------------------------------------------------
     r(&mut d, "iface_list", "iface_elem", "ifaces_one");
-    r(&mut d, "iface_list", "iface_list ';' iface_elem", "ifaces_more");
+    r(
+        &mut d,
+        "iface_list",
+        "iface_list ';' iface_elem",
+        "ifaces_more",
+    );
     r(
         &mut d,
         "iface_elem",
@@ -376,7 +429,12 @@ fn build_grammar() -> Grammar {
         "array '(' ctok_run ')' of subtype_ind",
         "td_array",
     );
-    r(&mut d, "type_def", "record element_decls end record", "td_record");
+    r(
+        &mut d,
+        "type_def",
+        "record element_decls end record",
+        "td_record",
+    );
     r(&mut d, "enum_lits", "enum_lit", "enums_one");
     r(&mut d, "enum_lits", "enum_lits ',' enum_lit", "enums_more");
     r(&mut d, "enum_lit", "id", "enum_id");
@@ -389,12 +447,32 @@ fn build_grammar() -> Grammar {
         "phys_some",
     );
     r(&mut d, "secondary_units", "", "secus_none");
-    r(&mut d, "secondary_units", "secondary_units secondary_unit", "secus_more");
+    r(
+        &mut d,
+        "secondary_units",
+        "secondary_units secondary_unit",
+        "secus_more",
+    );
     r(&mut d, "secondary_unit", "id '=' expr_run ';'", "secu");
     r(&mut d, "element_decls", "element_decl", "elems_one");
-    r(&mut d, "element_decls", "element_decls element_decl", "elems_more");
-    r(&mut d, "element_decl", "id_list ':' subtype_ind ';'", "elem_decl");
-    r(&mut d, "subtype_decl", "subtype id is subtype_ind ';'", "subtype_decl");
+    r(
+        &mut d,
+        "element_decls",
+        "element_decls element_decl",
+        "elems_more",
+    );
+    r(
+        &mut d,
+        "element_decl",
+        "id_list ':' subtype_ind ';'",
+        "elem_decl",
+    );
+    r(
+        &mut d,
+        "subtype_decl",
+        "subtype id is subtype_ind ';'",
+        "subtype_decl",
+    );
     r(
         &mut d,
         "constant_decl",
@@ -422,7 +500,12 @@ fn build_grammar() -> Grammar {
         "alias id ':' subtype_ind is name ';'",
         "alias_decl",
     );
-    r(&mut d, "attribute_decl", "attribute id ':' name ';'", "attr_decl");
+    r(
+        &mut d,
+        "attribute_decl",
+        "attribute id ':' name ';'",
+        "attr_decl",
+    );
     r(
         &mut d,
         "attribute_spec",
@@ -470,7 +553,12 @@ fn build_grammar() -> Grammar {
     r(&mut d, "designator", "string_lit", "desig_op");
     r(&mut d, "params_opt", "", "params_none");
     r(&mut d, "params_opt", "'(' iface_list ')'", "params_some");
-    r(&mut d, "subprogram_decl", "subprogram_spec ';'", "subprog_decl");
+    r(
+        &mut d,
+        "subprogram_decl",
+        "subprogram_spec ';'",
+        "subprog_decl",
+    );
     r(
         &mut d,
         "subprogram_body",
@@ -499,8 +587,18 @@ fn build_grammar() -> Grammar {
     r(&mut d, "conc_body", "sel_signal_assign", "cb_sel_assign");
     r(&mut d, "conc_body", "assert_stmt", "cb_assert");
     r(&mut d, "unlabeled_conc", "process_stmt", "uc_process");
-    r(&mut d, "unlabeled_conc", "cond_signal_assign", "uc_cond_assign");
-    r(&mut d, "unlabeled_conc", "sel_signal_assign", "uc_sel_assign");
+    r(
+        &mut d,
+        "unlabeled_conc",
+        "cond_signal_assign",
+        "uc_cond_assign",
+    );
+    r(
+        &mut d,
+        "unlabeled_conc",
+        "sel_signal_assign",
+        "uc_sel_assign",
+    );
     r(&mut d, "unlabeled_conc", "assert_stmt", "uc_assert");
     r(
         &mut d,
@@ -535,7 +633,12 @@ fn build_grammar() -> Grammar {
     r(&mut d, "options_opt", "", "opt_none");
     r(&mut d, "options_opt", "guarded", "opt_guarded");
     r(&mut d, "options_opt", "transport", "opt_transport");
-    r(&mut d, "options_opt", "guarded transport", "opt_guarded_transport");
+    r(
+        &mut d,
+        "options_opt",
+        "guarded transport",
+        "opt_guarded_transport",
+    );
     r(&mut d, "cond_waveforms", "waveform", "cwf_last");
     r(
         &mut d,
@@ -582,7 +685,12 @@ fn build_grammar() -> Grammar {
     ] {
         r(&mut d, "seq_stmt", lhs, label);
     }
-    r(&mut d, "wait_stmt", "wait on_opt until_opt tfor_opt ';'", "wait_stmt");
+    r(
+        &mut d,
+        "wait_stmt",
+        "wait on_opt until_opt tfor_opt ';'",
+        "wait_stmt",
+    );
     r(&mut d, "on_opt", "", "on_none");
     r(&mut d, "on_opt", "on name_list", "on_some");
     r(&mut d, "until_opt", "", "until_none");
@@ -605,11 +713,21 @@ fn build_grammar() -> Grammar {
         "name '<=' transport_opt waveform ';'",
         "sig_assign",
     );
-    r(&mut d, "target_stmt", "name ':=' expr_run ';'", "var_assign");
+    r(
+        &mut d,
+        "target_stmt",
+        "name ':=' expr_run ';'",
+        "var_assign",
+    );
     r(&mut d, "target_stmt", "name ';'", "proc_call");
     r(&mut d, "transport_opt", "", "tr_none");
     r(&mut d, "transport_opt", "transport", "tr_some");
-    r(&mut d, "if_stmt", "if expr_run then seq_stmts if_tail", "if_stmt");
+    r(
+        &mut d,
+        "if_stmt",
+        "if expr_run then seq_stmts if_tail",
+        "if_stmt",
+    );
     r(&mut d, "if_tail", "end if ';'", "ift_end");
     r(&mut d, "if_tail", "else seq_stmts end if ';'", "ift_else");
     r(
@@ -618,11 +736,26 @@ fn build_grammar() -> Grammar {
         "elsif expr_run then seq_stmts if_tail",
         "ift_elsif",
     );
-    r(&mut d, "case_stmt", "case expr_run is case_alts end case ';'", "case_stmt");
+    r(
+        &mut d,
+        "case_stmt",
+        "case expr_run is case_alts end case ';'",
+        "case_stmt",
+    );
     r(&mut d, "case_alts", "case_alt", "alts_one");
     r(&mut d, "case_alts", "case_alts case_alt", "alts_more");
-    r(&mut d, "case_alt", "when choices '=>' seq_stmts", "case_alt");
-    r(&mut d, "loop_stmt", "loop_head loop seq_stmts end loop ';'", "loop_stmt");
+    r(
+        &mut d,
+        "case_alt",
+        "when choices '=>' seq_stmts",
+        "case_alt",
+    );
+    r(
+        &mut d,
+        "loop_stmt",
+        "loop_head loop seq_stmts end loop ';'",
+        "loop_stmt",
+    );
     r(&mut d, "loop_head", "", "lh_forever");
     r(&mut d, "loop_head", "while expr_run", "lh_while");
     r(&mut d, "loop_head", "for id in expr_run", "lh_for");

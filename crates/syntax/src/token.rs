@@ -24,17 +24,83 @@ pub enum TokenKind {
     BitStringLit,
 
     // Reserved words (VHDL-87 subset).
-    KwAbs, KwAfter, KwAlias, KwAll, KwAnd, KwArchitecture, KwArray, KwAssert,
-    KwAttribute, KwBegin, KwBlock, KwBody, KwBuffer, KwBus, KwCase,
-    KwComponent, KwConfiguration, KwConstant, KwDisconnect, KwDownto,
-    KwElse, KwElsif, KwEnd, KwEntity, KwExit, KwFor, KwFunction, KwGeneric,
-    KwGuarded, KwIf, KwIn, KwInout, KwIs, KwLibrary, KwLinkage, KwLoop,
-    KwMap, KwMod, KwNand, KwNew, KwNext, KwNor, KwNot, KwNull, KwOf, KwOn,
-    KwOpen, KwOr, KwOthers, KwOut, KwPackage, KwPort, KwProcedure,
-    KwProcess, KwRange, KwRecord, KwRegister, KwRem, KwReport, KwReturn,
-    KwSelect, KwSeverity, KwSignal, KwSubtype, KwThen, KwTo, KwTransport,
-    KwType, KwUnits, KwUntil, KwUse, KwVariable, KwWait, KwWhen, KwWhile,
-    KwWith, KwXor,
+    KwAbs,
+    KwAfter,
+    KwAlias,
+    KwAll,
+    KwAnd,
+    KwArchitecture,
+    KwArray,
+    KwAssert,
+    KwAttribute,
+    KwBegin,
+    KwBlock,
+    KwBody,
+    KwBuffer,
+    KwBus,
+    KwCase,
+    KwComponent,
+    KwConfiguration,
+    KwConstant,
+    KwDisconnect,
+    KwDownto,
+    KwElse,
+    KwElsif,
+    KwEnd,
+    KwEntity,
+    KwExit,
+    KwFor,
+    KwFunction,
+    KwGeneric,
+    KwGuarded,
+    KwIf,
+    KwIn,
+    KwInout,
+    KwIs,
+    KwLibrary,
+    KwLinkage,
+    KwLoop,
+    KwMap,
+    KwMod,
+    KwNand,
+    KwNew,
+    KwNext,
+    KwNor,
+    KwNot,
+    KwNull,
+    KwOf,
+    KwOn,
+    KwOpen,
+    KwOr,
+    KwOthers,
+    KwOut,
+    KwPackage,
+    KwPort,
+    KwProcedure,
+    KwProcess,
+    KwRange,
+    KwRecord,
+    KwRegister,
+    KwRem,
+    KwReport,
+    KwReturn,
+    KwSelect,
+    KwSeverity,
+    KwSignal,
+    KwSubtype,
+    KwThen,
+    KwTo,
+    KwTransport,
+    KwType,
+    KwUnits,
+    KwUntil,
+    KwUse,
+    KwVariable,
+    KwWait,
+    KwWhen,
+    KwWhile,
+    KwWith,
+    KwXor,
 
     // Delimiters and operators.
     /// `(`
@@ -96,35 +162,83 @@ impl TokenKind {
             CharLit => "char_lit",
             StringLit => "string_lit",
             BitStringLit => "bit_string_lit",
-            KwAbs => "abs", KwAfter => "after", KwAlias => "alias",
-            KwAll => "all", KwAnd => "and", KwArchitecture => "architecture",
-            KwArray => "array", KwAssert => "assert",
-            KwAttribute => "attribute", KwBegin => "begin", KwBlock => "block",
-            KwBody => "body", KwBuffer => "buffer", KwBus => "bus",
-            KwCase => "case", KwComponent => "component",
-            KwConfiguration => "configuration", KwConstant => "constant",
-            KwDisconnect => "disconnect", KwDownto => "downto",
-            KwElse => "else", KwElsif => "elsif", KwEnd => "end",
-            KwEntity => "entity", KwExit => "exit", KwFor => "for",
-            KwFunction => "function", KwGeneric => "generic",
-            KwGuarded => "guarded", KwIf => "if", KwIn => "in",
-            KwInout => "inout", KwIs => "is", KwLibrary => "library",
-            KwLinkage => "linkage", KwLoop => "loop", KwMap => "map",
-            KwMod => "mod", KwNand => "nand", KwNew => "new",
-            KwNext => "next", KwNor => "nor", KwNot => "not",
-            KwNull => "null", KwOf => "of", KwOn => "on", KwOpen => "open",
-            KwOr => "or", KwOthers => "others", KwOut => "out",
-            KwPackage => "package", KwPort => "port",
-            KwProcedure => "procedure", KwProcess => "process",
-            KwRange => "range", KwRecord => "record",
-            KwRegister => "register", KwRem => "rem", KwReport => "report",
-            KwReturn => "return", KwSelect => "select",
-            KwSeverity => "severity", KwSignal => "signal",
-            KwSubtype => "subtype", KwThen => "then", KwTo => "to",
-            KwTransport => "transport", KwType => "type", KwUnits => "units",
-            KwUntil => "until", KwUse => "use", KwVariable => "variable",
-            KwWait => "wait", KwWhen => "when", KwWhile => "while",
-            KwWith => "with", KwXor => "xor",
+            KwAbs => "abs",
+            KwAfter => "after",
+            KwAlias => "alias",
+            KwAll => "all",
+            KwAnd => "and",
+            KwArchitecture => "architecture",
+            KwArray => "array",
+            KwAssert => "assert",
+            KwAttribute => "attribute",
+            KwBegin => "begin",
+            KwBlock => "block",
+            KwBody => "body",
+            KwBuffer => "buffer",
+            KwBus => "bus",
+            KwCase => "case",
+            KwComponent => "component",
+            KwConfiguration => "configuration",
+            KwConstant => "constant",
+            KwDisconnect => "disconnect",
+            KwDownto => "downto",
+            KwElse => "else",
+            KwElsif => "elsif",
+            KwEnd => "end",
+            KwEntity => "entity",
+            KwExit => "exit",
+            KwFor => "for",
+            KwFunction => "function",
+            KwGeneric => "generic",
+            KwGuarded => "guarded",
+            KwIf => "if",
+            KwIn => "in",
+            KwInout => "inout",
+            KwIs => "is",
+            KwLibrary => "library",
+            KwLinkage => "linkage",
+            KwLoop => "loop",
+            KwMap => "map",
+            KwMod => "mod",
+            KwNand => "nand",
+            KwNew => "new",
+            KwNext => "next",
+            KwNor => "nor",
+            KwNot => "not",
+            KwNull => "null",
+            KwOf => "of",
+            KwOn => "on",
+            KwOpen => "open",
+            KwOr => "or",
+            KwOthers => "others",
+            KwOut => "out",
+            KwPackage => "package",
+            KwPort => "port",
+            KwProcedure => "procedure",
+            KwProcess => "process",
+            KwRange => "range",
+            KwRecord => "record",
+            KwRegister => "register",
+            KwRem => "rem",
+            KwReport => "report",
+            KwReturn => "return",
+            KwSelect => "select",
+            KwSeverity => "severity",
+            KwSignal => "signal",
+            KwSubtype => "subtype",
+            KwThen => "then",
+            KwTo => "to",
+            KwTransport => "transport",
+            KwType => "type",
+            KwUnits => "units",
+            KwUntil => "until",
+            KwUse => "use",
+            KwVariable => "variable",
+            KwWait => "wait",
+            KwWhen => "when",
+            KwWhile => "while",
+            KwWith => "with",
+            KwXor => "xor",
             LParen => "'('",
             RParen => "')'",
             Semi => "';'",
@@ -155,22 +269,112 @@ impl TokenKind {
     pub fn all() -> &'static [TokenKind] {
         use TokenKind::*;
         &[
-            Id, IntLit, RealLit, CharLit, StringLit, BitStringLit,
-            KwAbs, KwAfter, KwAlias, KwAll, KwAnd, KwArchitecture, KwArray,
-            KwAssert, KwAttribute, KwBegin, KwBlock, KwBody, KwBuffer, KwBus,
-            KwCase, KwComponent, KwConfiguration, KwConstant, KwDisconnect,
-            KwDownto, KwElse, KwElsif, KwEnd, KwEntity, KwExit, KwFor,
-            KwFunction, KwGeneric, KwGuarded, KwIf, KwIn, KwInout, KwIs,
-            KwLibrary, KwLinkage, KwLoop, KwMap, KwMod, KwNand, KwNew,
-            KwNext, KwNor, KwNot, KwNull, KwOf, KwOn, KwOpen, KwOr, KwOthers,
-            KwOut, KwPackage, KwPort, KwProcedure, KwProcess, KwRange,
-            KwRecord, KwRegister, KwRem, KwReport, KwReturn, KwSelect,
-            KwSeverity, KwSignal, KwSubtype, KwThen, KwTo, KwTransport,
-            KwType, KwUnits, KwUntil, KwUse, KwVariable, KwWait, KwWhen,
-            KwWhile, KwWith, KwXor,
-            LParen, RParen, Semi, Colon, Comma, Dot, Tick, Amp, Plus, Minus,
-            Star, Slash, DoubleStar, Eq, Neq, Lt, Lte, Gt, Gte, Assign,
-            Arrow, Box, Bar,
+            Id,
+            IntLit,
+            RealLit,
+            CharLit,
+            StringLit,
+            BitStringLit,
+            KwAbs,
+            KwAfter,
+            KwAlias,
+            KwAll,
+            KwAnd,
+            KwArchitecture,
+            KwArray,
+            KwAssert,
+            KwAttribute,
+            KwBegin,
+            KwBlock,
+            KwBody,
+            KwBuffer,
+            KwBus,
+            KwCase,
+            KwComponent,
+            KwConfiguration,
+            KwConstant,
+            KwDisconnect,
+            KwDownto,
+            KwElse,
+            KwElsif,
+            KwEnd,
+            KwEntity,
+            KwExit,
+            KwFor,
+            KwFunction,
+            KwGeneric,
+            KwGuarded,
+            KwIf,
+            KwIn,
+            KwInout,
+            KwIs,
+            KwLibrary,
+            KwLinkage,
+            KwLoop,
+            KwMap,
+            KwMod,
+            KwNand,
+            KwNew,
+            KwNext,
+            KwNor,
+            KwNot,
+            KwNull,
+            KwOf,
+            KwOn,
+            KwOpen,
+            KwOr,
+            KwOthers,
+            KwOut,
+            KwPackage,
+            KwPort,
+            KwProcedure,
+            KwProcess,
+            KwRange,
+            KwRecord,
+            KwRegister,
+            KwRem,
+            KwReport,
+            KwReturn,
+            KwSelect,
+            KwSeverity,
+            KwSignal,
+            KwSubtype,
+            KwThen,
+            KwTo,
+            KwTransport,
+            KwType,
+            KwUnits,
+            KwUntil,
+            KwUse,
+            KwVariable,
+            KwWait,
+            KwWhen,
+            KwWhile,
+            KwWith,
+            KwXor,
+            LParen,
+            RParen,
+            Semi,
+            Colon,
+            Comma,
+            Dot,
+            Tick,
+            Amp,
+            Plus,
+            Minus,
+            Star,
+            Slash,
+            DoubleStar,
+            Eq,
+            Neq,
+            Lt,
+            Lte,
+            Gt,
+            Gte,
+            Assign,
+            Arrow,
+            Box,
+            Bar,
         ]
     }
 
@@ -178,34 +382,83 @@ impl TokenKind {
     pub fn keyword(text: &str) -> Option<TokenKind> {
         use TokenKind::*;
         Some(match text {
-            "abs" => KwAbs, "after" => KwAfter, "alias" => KwAlias,
-            "all" => KwAll, "and" => KwAnd, "architecture" => KwArchitecture,
-            "array" => KwArray, "assert" => KwAssert,
-            "attribute" => KwAttribute, "begin" => KwBegin, "block" => KwBlock,
-            "body" => KwBody, "buffer" => KwBuffer, "bus" => KwBus,
-            "case" => KwCase, "component" => KwComponent,
-            "configuration" => KwConfiguration, "constant" => KwConstant,
-            "disconnect" => KwDisconnect, "downto" => KwDownto,
-            "else" => KwElse, "elsif" => KwElsif, "end" => KwEnd,
-            "entity" => KwEntity, "exit" => KwExit, "for" => KwFor,
-            "function" => KwFunction, "generic" => KwGeneric,
-            "guarded" => KwGuarded, "if" => KwIf, "in" => KwIn,
-            "inout" => KwInout, "is" => KwIs, "library" => KwLibrary,
-            "linkage" => KwLinkage, "loop" => KwLoop, "map" => KwMap,
-            "mod" => KwMod, "nand" => KwNand, "new" => KwNew, "next" => KwNext,
-            "nor" => KwNor, "not" => KwNot, "null" => KwNull, "of" => KwOf,
-            "on" => KwOn, "open" => KwOpen, "or" => KwOr, "others" => KwOthers,
-            "out" => KwOut, "package" => KwPackage, "port" => KwPort,
-            "procedure" => KwProcedure, "process" => KwProcess,
-            "range" => KwRange, "record" => KwRecord,
-            "register" => KwRegister, "rem" => KwRem, "report" => KwReport,
-            "return" => KwReturn, "select" => KwSelect,
-            "severity" => KwSeverity, "signal" => KwSignal,
-            "subtype" => KwSubtype, "then" => KwThen, "to" => KwTo,
-            "transport" => KwTransport, "type" => KwType, "units" => KwUnits,
-            "until" => KwUntil, "use" => KwUse, "variable" => KwVariable,
-            "wait" => KwWait, "when" => KwWhen, "while" => KwWhile,
-            "with" => KwWith, "xor" => KwXor,
+            "abs" => KwAbs,
+            "after" => KwAfter,
+            "alias" => KwAlias,
+            "all" => KwAll,
+            "and" => KwAnd,
+            "architecture" => KwArchitecture,
+            "array" => KwArray,
+            "assert" => KwAssert,
+            "attribute" => KwAttribute,
+            "begin" => KwBegin,
+            "block" => KwBlock,
+            "body" => KwBody,
+            "buffer" => KwBuffer,
+            "bus" => KwBus,
+            "case" => KwCase,
+            "component" => KwComponent,
+            "configuration" => KwConfiguration,
+            "constant" => KwConstant,
+            "disconnect" => KwDisconnect,
+            "downto" => KwDownto,
+            "else" => KwElse,
+            "elsif" => KwElsif,
+            "end" => KwEnd,
+            "entity" => KwEntity,
+            "exit" => KwExit,
+            "for" => KwFor,
+            "function" => KwFunction,
+            "generic" => KwGeneric,
+            "guarded" => KwGuarded,
+            "if" => KwIf,
+            "in" => KwIn,
+            "inout" => KwInout,
+            "is" => KwIs,
+            "library" => KwLibrary,
+            "linkage" => KwLinkage,
+            "loop" => KwLoop,
+            "map" => KwMap,
+            "mod" => KwMod,
+            "nand" => KwNand,
+            "new" => KwNew,
+            "next" => KwNext,
+            "nor" => KwNor,
+            "not" => KwNot,
+            "null" => KwNull,
+            "of" => KwOf,
+            "on" => KwOn,
+            "open" => KwOpen,
+            "or" => KwOr,
+            "others" => KwOthers,
+            "out" => KwOut,
+            "package" => KwPackage,
+            "port" => KwPort,
+            "procedure" => KwProcedure,
+            "process" => KwProcess,
+            "range" => KwRange,
+            "record" => KwRecord,
+            "register" => KwRegister,
+            "rem" => KwRem,
+            "report" => KwReport,
+            "return" => KwReturn,
+            "select" => KwSelect,
+            "severity" => KwSeverity,
+            "signal" => KwSignal,
+            "subtype" => KwSubtype,
+            "then" => KwThen,
+            "to" => KwTo,
+            "transport" => KwTransport,
+            "type" => KwType,
+            "units" => KwUnits,
+            "until" => KwUntil,
+            "use" => KwUse,
+            "variable" => KwVariable,
+            "wait" => KwWait,
+            "when" => KwWhen,
+            "while" => KwWhile,
+            "with" => KwWith,
+            "xor" => KwXor,
             _ => return None,
         })
     }
@@ -269,7 +522,11 @@ mod tests {
     fn names_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for k in TokenKind::all() {
-            assert!(seen.insert(k.name()), "duplicate terminal name {}", k.name());
+            assert!(
+                seen.insert(k.name()),
+                "duplicate terminal name {}",
+                k.name()
+            );
         }
     }
 

@@ -16,12 +16,7 @@ pub fn dump(root: &Rc<VifNode>) -> String {
     out
 }
 
-fn dump_node(
-    n: &Rc<VifNode>,
-    indent: usize,
-    out: &mut String,
-    seen: &mut HashSet<*const VifNode>,
-) {
+fn dump_node(n: &Rc<VifNode>, indent: usize, out: &mut String, seen: &mut HashSet<*const VifNode>) {
     let pad = "  ".repeat(indent);
     if !seen.insert(Rc::as_ptr(n)) {
         let _ = writeln!(out, "{pad}^{} {:?}", n.kind(), n.name().unwrap_or(""));
@@ -41,12 +36,7 @@ fn dump_node(
     }
 }
 
-fn dump_value(
-    v: &VifValue,
-    indent: usize,
-    out: &mut String,
-    seen: &mut HashSet<*const VifNode>,
-) {
+fn dump_value(v: &VifValue, indent: usize, out: &mut String, seen: &mut HashSet<*const VifNode>) {
     match v {
         VifValue::Nil => out.push_str("nil\n"),
         VifValue::Bool(b) => {

@@ -266,7 +266,9 @@ mod tests {
     #[test]
     fn reachable_counts_shared_once() {
         let shared = VifNode::build("type").name("bit").done();
-        let a = VifNode::build("a").node_field("t", Rc::clone(&shared)).done();
+        let a = VifNode::build("a")
+            .node_field("t", Rc::clone(&shared))
+            .done();
         let b = VifNode::build("b")
             .node_field("t", Rc::clone(&shared))
             .node_field("a", Rc::clone(&a))

@@ -61,6 +61,7 @@ impl From<std::io::Error> for VifError {
 
 /// Serializes a node graph to VIF text, preserving sharing.
 pub fn write_vif(root: &Rc<VifNode>) -> String {
+    let _t = ag_harness::trace::span("vif-write");
     // Number nodes by first (depth-first) encounter.
     let mut ids: HashMap<*const VifNode, usize> = HashMap::new();
     let mut order: Vec<Rc<VifNode>> = Vec::new();
@@ -79,14 +80,11 @@ pub fn write_vif(root: &Rc<VifNode>) -> String {
         out.push_str(")\n");
     }
     let _ = writeln!(out, "root #{}", ids[&Rc::as_ptr(root)]);
+    ag_harness::trace::counter("vif-bytes-written", out.len() as u64);
     out
 }
 
-fn number(
-    n: &Rc<VifNode>,
-    ids: &mut HashMap<*const VifNode, usize>,
-    order: &mut Vec<Rc<VifNode>>,
-) {
+fn number(n: &Rc<VifNode>, ids: &mut HashMap<*const VifNode, usize>, order: &mut Vec<Rc<VifNode>>) {
     if ids.contains_key(&Rc::as_ptr(n)) {
         return;
     }
@@ -172,6 +170,8 @@ pub type Resolver<'a> = dyn FnMut(&str) -> Result<Rc<VifNode>, VifError> + 'a;
 /// [`VifError::Syntax`] on malformed text, or whatever `resolve` returns
 /// for an unknown reference.
 pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, VifError> {
+    let _t = ag_harness::trace::span("vif-read");
+    ag_harness::trace::counter("vif-bytes-read", src.len() as u64);
     let mut p = P {
         src: src.as_bytes(),
         i: 0,
@@ -345,7 +345,10 @@ impl P<'_> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\n') | Some(b'\t') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\n') | Some(b'\t') | Some(b'\r')
+        ) {
             self.i += 1;
         }
     }
@@ -468,7 +471,10 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_structure_and_sharing() {
-        let shared = VifNode::build("type").name("bit").int_field("width", 1).done();
+        let shared = VifNode::build("type")
+            .name("bit")
+            .int_field("width", 1)
+            .done();
         let a = VifNode::build("port")
             .name("clk")
             .node_field("type", Rc::clone(&shared))
@@ -477,7 +483,10 @@ mod tests {
             .name("e")
             .list_field(
                 "ports",
-                vec![VifValue::Node(Rc::clone(&a)), VifValue::Node(Rc::clone(&shared))],
+                vec![
+                    VifValue::Node(Rc::clone(&a)),
+                    VifValue::Node(Rc::clone(&shared)),
+                ],
             )
             .field("flag", VifValue::Bool(true))
             .field("ratio", VifValue::Real(2.5))

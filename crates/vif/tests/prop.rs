@@ -1,104 +1,113 @@
 //! Property tests for the VIF: serialization round-trips arbitrary node
 //! graphs, preserves sharing, and library history obeys the
 //! latest-compiled-architecture rule.
+//!
+//! Ported from proptest to the in-repo `ag-harness` framework; the input
+//! space and every invariant are unchanged.
 
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use ag_harness::{check, check_eq, forall, Config, Source};
 use vhdl_vif::{read_vif, write_vif, Library, VifError, VifNode, VifValue};
 
-/// Random node trees (sharing is tested separately and deterministically).
-fn value_strategy(depth: u32) -> BoxedStrategy<VifValue> {
-    let leaf = prop_oneof![
-        Just(VifValue::Nil),
-        any::<bool>().prop_map(VifValue::Bool),
-        any::<i64>().prop_map(VifValue::Int),
-        (-1e9f64..1e9).prop_map(VifValue::Real),
-        "[a-z0-9 .\"\\\\]{0,12}".prop_map(|s| VifValue::str(s)),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        prop_oneof![
-            leaf,
-            node_strategy(depth - 1).prop_map(VifValue::Node),
-            proptest::collection::vec(value_strategy(depth - 1), 0..4)
-                .prop_map(VifValue::list),
-        ]
-        .boxed()
+/// Random leaf-or-composite values (sharing is tested separately and
+/// deterministically). Mirrors the old `value_strategy(depth)`.
+fn value(s: &mut Source, depth: u32) -> VifValue {
+    // Composites only below the depth limit; choice 0 (minimal) is Nil.
+    let max_choice = if depth == 0 { 4 } else { 6 };
+    match s.usize_in(0, max_choice) {
+        0 => VifValue::Nil,
+        1 => VifValue::Bool(s.bool()),
+        2 => VifValue::Int(s.i64_in(i64::MIN, i64::MAX)),
+        3 => VifValue::Real(s.f64_in(-1e9, 1e9)),
+        4 => VifValue::str(s.string_of("abcxyz019 .\"\\", 12)),
+        5 => VifValue::Node(node(s, depth - 1)),
+        _ => VifValue::list(s.vec(0, 3, |s| value(s, depth - 1))),
     }
 }
 
-fn node_strategy(depth: u32) -> BoxedStrategy<Rc<VifNode>> {
-    (
-        "[a-z][a-z.]{0,8}",
-        proptest::option::of("[a-z][a-z0-9_]{0,8}"),
-        proptest::collection::vec(("[a-z][a-z0-9_]{0,6}", value_strategy(depth)), 0..5),
-    )
-        .prop_map(|(kind, name, fields)| {
-            let mut b = VifNode::build(kind.as_str());
-            if let Some(n) = name {
-                b = b.name(n.as_str());
-            }
-            for (f, v) in fields {
-                b = b.field(f.as_str(), v);
-            }
-            b.done()
-        })
-        .boxed()
+/// Random node trees, mirroring the old `node_strategy(depth)`:
+/// kind `[a-z][a-z.]{0,8}`, optional name `[a-z][a-z0-9_]{0,8}`,
+/// 0–4 fields named `[a-z][a-z0-9_]{0,6}`.
+fn node(s: &mut Source, depth: u32) -> Rc<VifNode> {
+    let kind = s.string_from("abkxyz", "abkxyz.", 8);
+    let name = s.option(|s| s.string_from("abcnpq", "abcnpq019_", 8));
+    let fields = s.vec(0, 4, |s| {
+        let f = s.string_from("fghuvw", "fghuvw019_", 6);
+        let v = value(s, depth);
+        (f, v)
+    });
+    let mut b = VifNode::build(kind.as_str());
+    if let Some(n) = name {
+        b = b.name(n.as_str());
+    }
+    for (f, v) in fields {
+        b = b.field(f.as_str(), v);
+    }
+    b.done()
 }
 
 fn no_foreign(r: &str) -> Result<Rc<VifNode>, VifError> {
     Err(VifError::Unresolved(r.to_string()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// write → read is the identity on arbitrary node graphs.
-    #[test]
-    fn round_trip(node in node_strategy(3)) {
-        let text = write_vif(&node);
+/// write → read is the identity on arbitrary node graphs.
+#[test]
+fn round_trip() {
+    forall!(Config::new("round_trip").cases(128), |s| {
+        let n = node(s, 3);
+        let text = write_vif(&n);
         let back = read_vif(&text, &mut no_foreign).unwrap();
-        prop_assert_eq!(back, node);
-    }
+        check_eq!(back, n);
+    });
+}
 
-    /// Sharing is preserved: a diamond keeps its shared leaf single.
-    #[test]
-    fn sharing_survives(shared in node_strategy(1)) {
-        let a = VifNode::build("a").node_field("t", Rc::clone(&shared)).done();
-        let b = VifNode::build("b").node_field("t", Rc::clone(&shared)).done();
+/// Sharing is preserved: a diamond keeps its shared leaf single.
+#[test]
+fn sharing_survives() {
+    forall!(Config::new("sharing_survives").cases(128), |s| {
+        let shared = node(s, 1);
+        let a = VifNode::build("a")
+            .node_field("t", Rc::clone(&shared))
+            .done();
+        let b = VifNode::build("b")
+            .node_field("t", Rc::clone(&shared))
+            .done();
         let root = VifNode::build("root")
             .node_field("l", a)
             .node_field("r", b)
             .done();
         let n_before = root.reachable_size();
         let back = read_vif(&write_vif(&root), &mut no_foreign).unwrap();
-        prop_assert_eq!(back.reachable_size(), n_before);
+        check_eq!(back.reachable_size(), n_before);
         let l = back.node_field("l").unwrap().node_field("t").unwrap();
         let r = back.node_field("r").unwrap().node_field("t").unwrap();
-        prop_assert!(Rc::ptr_eq(l, r), "diamond collapsed to one allocation");
-    }
+        check!(Rc::ptr_eq(l, r), "diamond collapsed to one allocation");
+    });
+}
 
-    /// The latest-architecture rule returns the most recent put, under any
-    /// interleaving of architectures for any entities.
-    #[test]
-    fn latest_architecture_is_history_order(
-        puts in proptest::collection::vec((0u8..3, 0u8..3), 1..20)
-    ) {
-        let lib = Library::in_memory("work");
-        let node = VifNode::build("arch").done();
-        let mut last: std::collections::HashMap<u8, u8> = Default::default();
-        for (e, a) in &puts {
-            lib.put(&format!("arch.e{e}.a{a}"), &node).unwrap();
-            last.insert(*e, *a);
+/// The latest-architecture rule returns the most recent put, under any
+/// interleaving of architectures for any entities.
+#[test]
+fn latest_architecture_is_history_order() {
+    forall!(
+        Config::new("latest_architecture_is_history_order").cases(128),
+        |s| {
+            let puts = s.vec(1, 19, |s| (s.u64_in(0, 2) as u8, s.u64_in(0, 2) as u8));
+            let lib = Library::in_memory("work");
+            let node = VifNode::build("arch").done();
+            let mut last: std::collections::HashMap<u8, u8> = Default::default();
+            for (e, a) in &puts {
+                lib.put(&format!("arch.e{e}.a{a}"), &node).unwrap();
+                last.insert(*e, *a);
+            }
+            for (e, a) in last {
+                check_eq!(
+                    lib.latest_architecture(&format!("e{e}")),
+                    Some(format!("a{a}"))
+                );
+            }
+            check_eq!(lib.latest_architecture("zz"), None);
         }
-        for (e, a) in last {
-            prop_assert_eq!(
-                lib.latest_architecture(&format!("e{e}")),
-                Some(format!("a{a}"))
-            );
-        }
-        prop_assert_eq!(lib.latest_architecture("zz"), None);
-    }
+    );
 }

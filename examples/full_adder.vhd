@@ -1,0 +1,63 @@
+-- A structural ripple full adder with testbench, in the VHDL subset the
+-- compiler supports: entities, architectures, components, port maps,
+-- processes, and `after` delays. The same design as the programmatic
+-- `full_adder.rs` example, as a plain source file for the CLI:
+--
+--   vhdlc --trace-phases --elab tb --run 40 examples/full_adder.vhd
+
+entity xor2 is
+  port (a, b : in bit; y : out bit);
+end xor2;
+architecture behav of xor2 is
+begin
+  y <= a xor b;
+end behav;
+
+entity and2 is
+  port (a, b : in bit; y : out bit);
+end and2;
+architecture behav of and2 is
+begin
+  y <= a and b;
+end behav;
+
+entity or2 is
+  port (a, b : in bit; y : out bit);
+end or2;
+architecture behav of or2 is
+begin
+  y <= a or b;
+end behav;
+
+entity full_adder is
+  port (a, b, cin : in bit; sum, cout : out bit);
+end full_adder;
+architecture structural of full_adder is
+  component xor2 port (a, b : in bit; y : out bit); end component;
+  component and2 port (a, b : in bit; y : out bit); end component;
+  component or2  port (a, b : in bit; y : out bit); end component;
+  signal ab, g1, g2 : bit := '0';
+begin
+  x1 : xor2 port map (a => a,   b => b,   y => ab);
+  x2 : xor2 port map (a => ab,  b => cin, y => sum);
+  a1 : and2 port map (a => a,   b => b,   y => g1);
+  a2 : and2 port map (a => ab,  b => cin, y => g2);
+  o1 : or2  port map (a => g1,  b => g2,  y => cout);
+end structural;
+
+entity tb is end;
+architecture bench of tb is
+  component full_adder
+    port (a, b, cin : in bit; sum, cout : out bit);
+  end component;
+  signal a, b, cin, sum, cout : bit := '0';
+begin
+  dut : full_adder port map (a, b, cin, sum, cout);
+  stim : process
+  begin
+    a <= '1' after 10 ns;
+    b <= '1' after 20 ns;
+    cin <= '1' after 30 ns;
+    wait;
+  end process;
+end bench;

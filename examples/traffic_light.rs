@@ -79,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = vcd.borrow().finish();
     println!(
         "VCD dump: {} value changes over {} signals",
-        text.lines().filter(|l| !l.starts_with('$') && !l.starts_with('#')).count(),
+        text.lines()
+            .filter(|l| !l.starts_with('$') && !l.starts_with('#'))
+            .count(),
         sim.signal_names().len()
     );
     Ok(())

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification, fully offline: release build, the whole test suite,
+# and formatting. This is the gate every change must pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

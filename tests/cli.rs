@@ -85,7 +85,11 @@ fn compile_elaborate_simulate_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("phases:"), "{stderr}");
     std::fs::remove_dir_all(&dir).unwrap();

@@ -175,8 +175,16 @@ fn structural_hierarchy_with_configuration() {
     // slow: 0 after 3ns — initially cc computes from b=0 → 1 at 3ns, then
     // b flips to 1 → cc goes 0 at some later point.
     sim.run_until(ns(30)).unwrap();
-    assert_eq!(sim.value_by_name("pair.b"), Some(&Val::Int(0)), "b = not a = not 1");
-    assert_eq!(sim.value_by_name("pair.cc"), Some(&Val::Int(1)), "cc = not b (slow)");
+    assert_eq!(
+        sim.value_by_name("pair.b"),
+        Some(&Val::Int(0)),
+        "b = not a = not 1"
+    );
+    assert_eq!(
+        sim.value_by_name("pair.cc"),
+        Some(&Val::Int(1)),
+        "cc = not b (slow)"
+    );
 }
 
 #[test]
@@ -227,7 +235,11 @@ fn explicit_configuration_unit() {
     let (program, _) = c.elaborate("top", None, None).unwrap();
     let mut sim = sim_kernel::Simulator::new(program);
     sim.run_until(ns(2)).unwrap();
-    assert_eq!(sim.value_by_name("top.y"), Some(&Val::Int(0)), "7ns delay not elapsed");
+    assert_eq!(
+        sim.value_by_name("top.y"),
+        Some(&Val::Int(0)),
+        "7ns delay not elapsed"
+    );
 }
 
 #[test]
@@ -433,7 +445,11 @@ fn guarded_block_drives_only_when_enabled() {
         )
         .unwrap();
     sim.run_until(ns(8)).unwrap();
-    assert_eq!(sim.value_by_name("gb.q"), Some(&Val::Int(0)), "guard closed");
+    assert_eq!(
+        sim.value_by_name("gb.q"),
+        Some(&Val::Int(0)),
+        "guard closed"
+    );
     sim.run_until(ns(20)).unwrap();
     assert_eq!(sim.value_by_name("gb.q"), Some(&Val::Int(1)), "guard open");
 }
