@@ -11,6 +11,7 @@
 //! `results/exp_env.json`.
 
 use ag_harness::bench::{fmt_ns, Runner};
+use ag_intern::Symbol;
 use std::hint::black_box;
 use std::rc::Rc;
 use vhdl_sem::env::{Den, Env, EnvKind};
@@ -94,10 +95,201 @@ fn main() {
         );
     }
 
+    // Interned vs string keys on the same treap shape: the `keycmp`
+    // series isolates what the Symbol refactor bought — every descent
+    // compares two u32s instead of running memcmp, and a bind allocates
+    // no key. `StrEnv` below is the pre-refactor representation
+    // (Rc<str> keys, FNV priorities over the bytes) kept as the
+    // baseline.
+    for n in [16usize, 128, 1024] {
+        let step = 7.max(n / 13);
+
+        let str_env = StrEnv::build(n);
+        let str_probes: Vec<Rc<str>> = (0..n)
+            .step_by(step)
+            .map(|i| format!("some_longer_identifier_{i}").into())
+            .collect();
+        let s = r.measure(format!("keycmp/string/{n}"), || {
+            for p in &str_probes {
+                black_box(str_env.lookup(p));
+            }
+        });
+        println!(
+            "keycmp    {:<9} n={n:<5} median {}",
+            "string",
+            fmt_ns(s.median_ns)
+        );
+
+        let mut sym_env = Env::new(EnvKind::Tree);
+        for i in 0..n {
+            let name = Symbol::intern(&format!("some_longer_identifier_{i}"));
+            sym_env = sym_env.bind(name, Den::local(VifNode::build("obj").name(name).done()));
+        }
+        let sym_probes: Vec<Symbol> = (0..n)
+            .step_by(step)
+            .map(|i| Symbol::intern(&format!("some_longer_identifier_{i}")))
+            .collect();
+        let s = r.measure(format!("keycmp/interned/{n}"), || {
+            for p in &sym_probes {
+                black_box(sym_env.lookup(*p));
+            }
+        });
+        println!(
+            "keycmp    {:<9} n={n:<5} median {}",
+            "interned",
+            fmt_ns(s.median_ns)
+        );
+    }
+
     println!();
     println!(
         "paper: the applicative table makes retained environments cheap; the mutable \
          baseline pays a full copy per snapshot"
     );
     r.finish();
+}
+
+// ---------------------------------------------------------------------------
+// String-keyed treap: the pre-interning `Env` tree representation, kept
+// verbatim as the `keycmp/string` baseline.
+
+struct StrNode {
+    name: Rc<str>,
+    prio: u64,
+    dens: Rc<Vec<Den>>,
+    left: Option<Rc<StrNode>>,
+    right: Option<Rc<StrNode>>,
+}
+
+struct StrEnv {
+    root: Option<Rc<StrNode>>,
+}
+
+impl StrEnv {
+    fn build(n: usize) -> StrEnv {
+        let mut e = StrEnv { root: None };
+        for i in 0..n {
+            let name: Rc<str> = format!("some_longer_identifier_{i}").into();
+            let den = Den::local(VifNode::build("obj").name(&*name).done());
+            e.root = Some(str_insert(e.root.as_ref(), &name, den));
+        }
+        e
+    }
+
+    fn lookup(&self, name: &str) -> Vec<Den> {
+        let mut cur = self.root.as_ref();
+        let mut raw = Vec::new();
+        while let Some(n) = cur {
+            match name.cmp(&n.name) {
+                std::cmp::Ordering::Equal => {
+                    raw = (*n.dens).clone();
+                    break;
+                }
+                std::cmp::Ordering::Less => cur = n.left.as_ref(),
+                std::cmp::Ordering::Greater => cur = n.right.as_ref(),
+            }
+        }
+        // Same homograph filter the real `Env::lookup` applies.
+        let mut out: Vec<Den> = Vec::new();
+        for den in raw {
+            if den.overloadable() {
+                out.push(den);
+            } else {
+                if out.is_empty() {
+                    out.push(den);
+                }
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn str_insert(root: Option<&Rc<StrNode>>, name: &Rc<str>, den: Den) -> Rc<StrNode> {
+    match root {
+        None => Rc::new(StrNode {
+            name: Rc::clone(name),
+            prio: str_prio(name),
+            dens: Rc::new(vec![den]),
+            left: None,
+            right: None,
+        }),
+        Some(n) => match name.as_ref().cmp(&n.name) {
+            std::cmp::Ordering::Equal => {
+                let mut dens = (*n.dens).clone();
+                dens.insert(0, den);
+                Rc::new(StrNode {
+                    dens: Rc::new(dens),
+                    name: Rc::clone(&n.name),
+                    prio: n.prio,
+                    left: n.left.clone(),
+                    right: n.right.clone(),
+                })
+            }
+            std::cmp::Ordering::Less => str_rebalance(Rc::new(StrNode {
+                left: Some(str_insert(n.left.as_ref(), name, den)),
+                name: Rc::clone(&n.name),
+                prio: n.prio,
+                dens: Rc::clone(&n.dens),
+                right: n.right.clone(),
+            })),
+            std::cmp::Ordering::Greater => str_rebalance(Rc::new(StrNode {
+                right: Some(str_insert(n.right.as_ref(), name, den)),
+                name: Rc::clone(&n.name),
+                prio: n.prio,
+                dens: Rc::clone(&n.dens),
+                left: n.left.clone(),
+            })),
+        },
+    }
+}
+
+fn str_rebalance(n: Rc<StrNode>) -> Rc<StrNode> {
+    if let Some(l) = &n.left {
+        if l.prio > n.prio {
+            let new_right = Rc::new(StrNode {
+                left: l.right.clone(),
+                name: Rc::clone(&n.name),
+                prio: n.prio,
+                dens: Rc::clone(&n.dens),
+                right: n.right.clone(),
+            });
+            return Rc::new(StrNode {
+                right: Some(new_right),
+                name: Rc::clone(&l.name),
+                prio: l.prio,
+                dens: Rc::clone(&l.dens),
+                left: l.left.clone(),
+            });
+        }
+    }
+    if let Some(r) = &n.right {
+        if r.prio > n.prio {
+            let new_left = Rc::new(StrNode {
+                right: r.left.clone(),
+                name: Rc::clone(&n.name),
+                prio: n.prio,
+                dens: Rc::clone(&n.dens),
+                left: n.left.clone(),
+            });
+            return Rc::new(StrNode {
+                left: Some(new_left),
+                name: Rc::clone(&r.name),
+                prio: r.prio,
+                dens: Rc::clone(&r.dens),
+                right: r.right.clone(),
+            });
+        }
+    }
+    n
+}
+
+/// FNV-1a over the name bytes — what `prio_of` did before symbol ids.
+fn str_prio(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }

@@ -224,7 +224,7 @@ impl<'a> Elab<'a> {
             if let Some(unit) = self.libs.load_unit("work", &key) {
                 for d in unit.list_field("decls") {
                     if let Some(n) = d.as_node() {
-                        if n.kind() == "subprog" {
+                        if n.kind_sym() == vhdl_vif::kinds::subprog() {
                             self.ctx.add_subprog(&Rc::clone(n));
                         }
                     }

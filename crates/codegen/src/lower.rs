@@ -589,10 +589,10 @@ impl<'c> FnLower<'c> {
         // Locals with initializers.
         for l in node.list_field("locals") {
             let Some(ln) = l.as_node() else { continue };
-            if ln.kind() == "obj" {
+            if ln.kind_sym() == vhdl_vif::kinds::obj() {
                 let slot = sub.alloc(ln.str_field("uid").unwrap_or("?"));
                 sub.lower_var_init(ln, slot)?;
-            } else if ln.kind() == "subprog" {
+            } else if ln.kind_sym() == vhdl_vif::kinds::subprog() {
                 sub.ctx.add_subprog(&Rc::clone(ln));
             }
         }
@@ -729,7 +729,7 @@ impl<'c> FnLower<'c> {
             "s.case" => self.lower_case(s)?,
             "s.loop" => self.lower_loop(s)?,
             "s.next" | "s.exit" => {
-                let is_exit = s.kind() == "s.exit";
+                let is_exit = s.kind_sym() == vhdl_vif::kinds::s_exit();
                 let skip_at = match s.node_field("cond") {
                     Some(c) => {
                         self.expr(&Rc::clone(c))?;
@@ -803,7 +803,7 @@ impl<'c> FnLower<'c> {
     }
 
     fn range_check(&mut self, ty: &types::Ty) {
-        if types::is_discrete(ty) || types::base_type(ty).kind() == "ty.phys" {
+        if types::is_discrete(ty) || types::base_type(ty).kind_sym() == vhdl_vif::kinds::ty_phys() {
             if let Some((lo, hi, dir)) = types::scalar_bounds(ty) {
                 let (lo, hi) = match dir {
                     Dir::To => (lo, hi),
@@ -833,9 +833,10 @@ impl<'c> FnLower<'c> {
             let mut into_body = Vec::new();
             let mut next_choice: Option<usize> = None;
             let choices = an.list_field("choices");
-            let is_others = choices
-                .iter()
-                .any(|c| c.as_node().is_some_and(|n| n.kind() == "ch.others"));
+            let is_others = choices.iter().any(|c| {
+                c.as_node()
+                    .is_some_and(|n| n.kind_sym() == vhdl_vif::kinds::ch_others())
+            });
             if !is_others {
                 for (ci, c) in choices.iter().enumerate() {
                     let Some(cn) = c.as_node() else { continue };
@@ -1084,7 +1085,7 @@ pub fn collect_signals(
     ir: &Rc<VifNode>,
     out: &mut Vec<SigId>,
 ) -> Result<(), CgError> {
-    if ir.kind() == "e.ref" {
+    if ir.kind_sym() == vhdl_vif::kinds::e_ref() {
         let obj = ir.node_field("obj").expect("ref");
         if obj.str_field("class") == Some("signal") {
             if let Ok(Storage::Signal(s)) = fl.storage_of(&Rc::clone(obj)) {
@@ -1105,7 +1106,9 @@ fn collect_signals_value(
     out: &mut Vec<SigId>,
 ) -> Result<(), CgError> {
     match v {
-        vhdl_vif::VifValue::Node(n) if n.kind().starts_with("e.") => collect_signals(fl, n, out),
+        vhdl_vif::VifValue::Node(n) if vhdl_vif::kinds::is_expr(n.kind_sym()) => {
+            collect_signals(fl, n, out)
+        }
         vhdl_vif::VifValue::List(l) => {
             for v in l.iter() {
                 collect_signals_value(fl, v, out)?;

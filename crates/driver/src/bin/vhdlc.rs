@@ -226,6 +226,10 @@ fn main() -> ExitCode {
     }
 
     if args.trace_phases {
+        let interner = ag_intern::stats();
+        ag_harness::trace::counter("interner-symbols", interner.symbols);
+        ag_harness::trace::counter("interner-bytes", interner.bytes);
+        ag_harness::trace::counter("interner-hits", interner.hits);
         eprint!("{}", ag_harness::trace::report().render());
     }
     ExitCode::SUCCESS

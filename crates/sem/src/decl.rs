@@ -193,7 +193,7 @@ pub fn with_body(
         b = b.name(n);
     }
     for (f, v) in subprog.fields() {
-        b = b.field(Rc::clone(f), v.clone());
+        b = b.field(*f, v.clone());
     }
     b.list_field("locals", locals)
         .list_field("body", body)

@@ -12,11 +12,18 @@
 //! - [`EnvKind::MutBaseline`] — a conventional mutable hash table that
 //!   must be *cloned* at every binding to preserve old values (what a
 //!   non-applicative compiler pays for snapshots).
+//!
+//! Keys are interned [`Symbol`]s: a treap descent compares two `u32`s per
+//! node instead of running `memcmp`, and `bind`/`lookup` allocate no
+//! strings. Call sites may still pass `&str` (it is interned at the API
+//! boundary), but the hot path — tokens out of the lexer — hands over
+//! ready-made symbols.
 
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use vhdl_vif::VifNode;
+use ag_intern::{Symbol, ToSym};
+use vhdl_vif::{kinds, VifNode};
 
 /// How a binding became visible (affects homograph rules and diagnostics).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,7 +57,8 @@ impl Den {
     /// `true` for denotations that may overload rather than hide each
     /// other: subprograms, enumeration literals, and physical units.
     pub fn overloadable(&self) -> bool {
-        matches!(self.node.kind(), "subprog" | "enumlit" | "physunit")
+        let k = self.node.kind_sym();
+        k == kinds::subprog() || k == kinds::enumlit() || k == kinds::physunit()
     }
 }
 
@@ -74,14 +82,14 @@ pub enum EnvKind {
 
 #[derive(Clone, Debug)]
 struct ListNode {
-    name: Rc<str>,
+    name: Symbol,
     den: Den,
     next: Option<Rc<ListNode>>,
 }
 
 #[derive(Clone, Debug)]
 struct TreeNode {
-    name: Rc<str>,
+    name: Symbol,
     prio: u64,
     /// Denotations for this name, newest first.
     dens: Rc<Vec<Den>>,
@@ -93,7 +101,7 @@ struct TreeNode {
 enum Repr {
     List(Option<Rc<ListNode>>),
     Tree(Option<Rc<TreeNode>>),
-    Mut(Rc<HashMap<Rc<str>, Vec<Den>>>),
+    Mut(Rc<HashMap<Symbol, Vec<Den>>>),
 }
 
 /// An immutable environment value. `bind` returns a *new* environment; the
@@ -128,18 +136,18 @@ impl Env {
     /// Binds `name` to `den`, returning the extended environment. The
     /// receiver is unchanged.
     #[must_use = "bind returns a new environment; the old one is unchanged"]
-    pub fn bind(&self, name: &str, den: Den) -> Env {
-        let name: Rc<str> = name.into();
+    pub fn bind(&self, name: impl ToSym, den: Den) -> Env {
+        let name = name.to_sym();
         let repr = match &self.repr {
             Repr::List(head) => Repr::List(Some(Rc::new(ListNode {
                 name,
                 den,
                 next: head.clone(),
             }))),
-            Repr::Tree(root) => Repr::Tree(Some(tree_insert(root.as_ref(), &name, den))),
+            Repr::Tree(root) => Repr::Tree(Some(tree_insert(root.as_ref(), name, den))),
             Repr::Mut(map) => {
                 // The baseline pays a full clone to preserve the old value.
-                let mut m: HashMap<Rc<str>, Vec<Den>> = (**map).clone();
+                let mut m: HashMap<Symbol, Vec<Den>> = (**map).clone();
                 m.entry(name).or_default().insert(0, den);
                 Repr::Mut(Rc::new(m))
             }
@@ -152,13 +160,13 @@ impl Env {
 
     /// All denotations of `name`, newest first, before homograph
     /// filtering.
-    fn raw_lookup(&self, name: &str) -> Vec<Den> {
+    fn raw_lookup(&self, name: Symbol) -> Vec<Den> {
         match &self.repr {
             Repr::List(head) => {
                 let mut out = Vec::new();
                 let mut cur = head.as_ref();
                 while let Some(n) = cur {
-                    if &*n.name == name {
+                    if n.name == name {
                         out.push(n.den.clone());
                     }
                     cur = n.next.as_ref();
@@ -168,7 +176,7 @@ impl Env {
             Repr::Tree(root) => {
                 let mut cur = root.as_ref();
                 while let Some(n) = cur {
-                    match name.cmp(&n.name) {
+                    match name.id().cmp(&n.name.id()) {
                         std::cmp::Ordering::Equal => return (*n.dens).clone(),
                         std::cmp::Ordering::Less => cur = n.left.as_ref(),
                         std::cmp::Ordering::Greater => cur = n.right.as_ref(),
@@ -176,7 +184,7 @@ impl Env {
                 }
                 Vec::new()
             }
-            Repr::Mut(map) => map.get(name).cloned().unwrap_or_default(),
+            Repr::Mut(map) => map.get(&name).cloned().unwrap_or_default(),
         }
     }
 
@@ -184,8 +192,8 @@ impl Env {
     /// non-overloadable binding hides everything older; overloadable
     /// bindings (subprograms, enum literals, units) accumulate until a
     /// non-overloadable one is reached.
-    pub fn lookup(&self, name: &str) -> Vec<Den> {
-        let raw = self.raw_lookup(name);
+    pub fn lookup(&self, name: impl ToSym) -> Vec<Den> {
+        let raw = self.raw_lookup(name.to_sym());
         let mut out: Vec<Den> = Vec::new();
         for den in raw {
             if den.overloadable() {
@@ -204,21 +212,21 @@ impl Env {
     }
 
     /// First (newest) denotation, if any.
-    pub fn lookup_one(&self, name: &str) -> Option<Den> {
+    pub fn lookup_one(&self, name: impl ToSym) -> Option<Den> {
         self.lookup(name).into_iter().next()
     }
 }
 
-fn tree_insert(root: Option<&Rc<TreeNode>>, name: &Rc<str>, den: Den) -> Rc<TreeNode> {
+fn tree_insert(root: Option<&Rc<TreeNode>>, name: Symbol, den: Den) -> Rc<TreeNode> {
     match root {
         None => Rc::new(TreeNode {
-            name: name.clone(),
+            name,
             prio: prio_of(name),
             dens: Rc::new(vec![den]),
             left: None,
             right: None,
         }),
-        Some(n) => match name.cmp(&n.name) {
+        Some(n) => match name.id().cmp(&n.name.id()) {
             std::cmp::Ordering::Equal => {
                 let mut dens = (*n.dens).clone();
                 dens.insert(0, den);
@@ -277,14 +285,13 @@ fn rebalance(n: Rc<TreeNode>) -> Rc<TreeNode> {
     n
 }
 
-/// Deterministic pseudo-random priority from the name (FNV-1a).
-fn prio_of(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+/// Deterministic pseudo-random priority from the symbol id (splitmix64) —
+/// no bytes are hashed, so a `bind` never touches the spelling at all.
+fn prio_of(name: Symbol) -> u64 {
+    let mut z = (name.id() as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -359,13 +366,24 @@ mod tests {
     }
 
     #[test]
+    fn symbol_and_str_keys_interchangeable() {
+        for e in envs() {
+            let e = e.bind(Symbol::intern("clk"), Den::local(node("obj", "clk")));
+            assert_eq!(e.lookup("clk").len(), 1);
+            assert_eq!(e.lookup(Symbol::intern("clk")).len(), 1);
+            // Lexer-folded spelling reaches the same binding.
+            assert_eq!(e.lookup(Symbol::intern_ci("CLK")).len(), 1);
+        }
+    }
+
+    #[test]
     fn many_names_all_reprs_agree() {
         let names = ["a", "b", "c", "aa", "ab", "zz", "m", "q", "x1", "x2"];
         let mut es = envs();
         for (i, n) in names.iter().enumerate() {
             let shared = node("obj", &format!("{n}{i}"));
             for e in &mut es {
-                *e = e.bind(n, Den::local(Rc::clone(&shared)));
+                *e = e.bind(*n, Den::local(Rc::clone(&shared)));
             }
         }
         for n in names {

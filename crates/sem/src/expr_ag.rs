@@ -317,7 +317,7 @@ pub fn expr_eval(
 
 /// Walks an IR tree collecting embedded `e.error` diagnostics.
 pub fn collect_errors(ir: &Ir, msgs: &mut Msgs) {
-    if ir.kind() == "e.error" {
+    if ir.kind_sym() == vhdl_vif::kinds::e_error() {
         let line = ir.int_field("line").unwrap_or(0) as u32;
         msgs.push(Msg::error(
             Pos { line, col: 1 },
@@ -336,7 +336,10 @@ fn walk_value(v: &vhdl_vif::VifValue, msgs: &mut Msgs) {
         vhdl_vif::VifValue::Node(n) => {
             // Only descend into IR-ish nodes; types/denotations are shared
             // and error-free.
-            if n.kind().starts_with("e.") || n.kind().starts_with("s.") || n.kind() == "wv" {
+            if vhdl_vif::kinds::is_expr(n.kind_sym())
+                || vhdl_vif::kinds::is_stmt(n.kind_sym())
+                || n.kind_sym() == vhdl_vif::kinds::wv()
+            {
                 collect_errors(n, msgs);
             }
         }

@@ -10,6 +10,7 @@
 use std::rc::Rc;
 
 use ag_core::{AgBuilder, Dep};
+use ag_intern::ToSym;
 use ag_lalr::{Grammar, ProdId};
 use vhdl_syntax::Pos;
 use vhdl_vif::{VifNode, VifValue};
@@ -78,7 +79,7 @@ fn decode_args(v: &Value) -> Vec<ArgShape> {
             let t = tys(&parts[2]);
             match &*tag {
                 "pos" => ArgShape::Pos(t),
-                "named" => ArgShape::Named(name.to_string(), t),
+                "named" => ArgShape::Named(name.to_sym(), t),
                 "range" => ArgShape::Range,
                 _ => ArgShape::Open,
             }
@@ -141,7 +142,7 @@ fn build_call_args(
             ArgShape::Named(name, _) => {
                 let pi = params
                     .iter()
-                    .position(|p| p.name() == Some(name))
+                    .position(|p| p.name_sym() == Some(*name))
                     .ok_or_else(|| format!("no formal named `{name}`"))?;
                 if slots[pi].is_some() {
                     return Err(format!("formal `{name}` associated twice"));
@@ -180,7 +181,7 @@ fn param_expecteds(chosen: &Rc<VifNode>, shapes: &[ArgShape]) -> Vec<Option<Ty>>
             ArgShape::Pos(_) => params.get(i).and_then(|p| obj_ty(p)),
             ArgShape::Named(name, _) => params
                 .iter()
-                .find(|p| p.name() == Some(name))
+                .find(|p| p.name_sym() == Some(*name))
                 .and_then(|p| obj_ty(p)),
             _ => None,
         })
@@ -357,7 +358,7 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
             let t = lef(&d[1]);
             let v: i64 = t.text.parse().unwrap_or(0);
             match expected(&d[0]) {
-                Some(want) if types::base_type(&want).kind() == "ty.int" => {
+                Some(want) if types::base_type(&want).kind_sym() == vhdl_vif::kinds::ty_int() => {
                     Value::Node(ir::e_int(v, &want))
                 }
                 None => Value::Node(ir::e_int(v, &types::universal_int())),
@@ -384,7 +385,7 @@ pub(crate) fn install(ab: &mut AgBuilder<Value>, g: &Grammar, c: &ExprClasses) {
             let t = lef(&d[1]);
             let v: f64 = t.text.parse().unwrap_or(0.0);
             match expected(&d[0]) {
-                Some(want) if types::base_type(&want).kind() == "ty.real" => {
+                Some(want) if types::base_type(&want).kind_sym() == vhdl_vif::kinds::ty_real() => {
                     Value::Node(ir::e_real(v, &want))
                 }
                 None => Value::Node(ir::e_real(v, &types::universal_real())),
@@ -921,7 +922,7 @@ fn slice_bounds(irv: &Value) -> Option<(Ir, Ir, Dir)> {
             parts[1].expect_node(),
             Dir::decode(parts[2].expect_int()),
         )),
-        Value::Node(n) if n.kind() == "e.range" => Some((
+        Value::Node(n) if n.kind_sym() == vhdl_vif::kinds::e_range() => Some((
             Rc::clone(n.node_field("left")?),
             Rc::clone(n.node_field("right")?),
             Dir::decode(n.int_field("dir").unwrap_or(0)),
@@ -1198,7 +1199,11 @@ fn attr_ir(
             }
         }
         "event" | "active" | "last_value" => match base {
-            Some(b) if b.kind() == "e.ref" || b.kind() == "e.index" || b.kind() == "e.field" => {
+            Some(b)
+                if b.kind_sym() == vhdl_vif::kinds::e_ref()
+                    || b.kind_sym() == vhdl_vif::kinds::e_index()
+                    || b.kind_sym() == vhdl_vif::kinds::e_field() =>
+            {
                 let is_sig = root.is_some_and(|r| r.str_field("class") == Some("signal"));
                 if !is_sig {
                     return err_ir(pos, format!("`{attr}` requires a signal prefix"));

@@ -15,8 +15,9 @@
 use std::fmt;
 use std::rc::Rc;
 
+use ag_intern::Symbol;
 use vhdl_syntax::{Pos, SrcTok, TokenKind};
-use vhdl_vif::VifNode;
+use vhdl_vif::{kinds, VifNode};
 
 use crate::decl::{mk_obj, Mode, ObjClass};
 use crate::env::Env;
@@ -184,8 +185,8 @@ impl LefKind {
 pub struct LefTok {
     /// Category.
     pub kind: LefKind,
-    /// Source text (lower-cased).
-    pub text: Rc<str>,
+    /// Source text (lower-cased, interned).
+    pub text: Symbol,
     /// Source position.
     pub pos: Pos,
     /// Denotations (`obj`/`ty.*`/`subprog`/`enumlit`/`physunit` nodes).
@@ -193,7 +194,7 @@ pub struct LefTok {
 }
 
 impl LefTok {
-    fn plain(kind: LefKind, text: Rc<str>, pos: Pos) -> LefTok {
+    fn plain(kind: LefKind, text: Symbol, pos: Pos) -> LefTok {
         LefTok {
             kind,
             text,
@@ -241,7 +242,7 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
     // Pending prefix context for expanded names.
     enum Pending {
         None,
-        Library(Rc<str>),
+        Library(Symbol),
         Package(Rc<VifNode>),
     }
     let mut pending = Pending::None;
@@ -258,13 +259,13 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
                 if t.kind == TokenKind::StringLit
                     && (next_kind != Some(TokenKind::LParen) || ctx.env.lookup(&t.text).is_empty())
                 {
-                    out.push(LefTok::plain(LefKind::StrLit, Rc::clone(&t.text), t.pos));
+                    out.push(LefTok::plain(LefKind::StrLit, t.text, t.pos));
                     i += 1;
                     continue;
                 }
-                let key: Rc<str> = match t.kind {
-                    TokenKind::CharLit => format!("'{}'", t.text).into(),
-                    _ => Rc::clone(&t.text),
+                let key: Symbol = match t.kind {
+                    TokenKind::CharLit => Symbol::intern(&format!("'{}'", t.text)),
+                    _ => t.text,
                 };
                 if prev_kind == Some(LefKind::Tick) && t.kind == TokenKind::Id {
                     out.push(LefTok::plain(LefKind::AttrId, key, t.pos));
@@ -314,83 +315,75 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
                     i += 1;
                     continue;
                 }
-                match dens[0].kind() {
-                    "pkg" => {
-                        pending = Pending::Package(Rc::clone(&dens[0]));
-                    }
-                    "library" => {
-                        pending = Pending::Library(dens[0].name().unwrap_or("work").into());
-                    }
-                    "subprog" | "enumlit" => {
-                        let dens: Vec<Rc<VifNode>> = dens
-                            .into_iter()
-                            .filter(|d| matches!(d.kind(), "subprog" | "enumlit"))
-                            .collect();
-                        out.push(LefTok {
-                            kind: LefKind::Callable,
-                            text: key,
-                            pos: t.pos,
-                            dens: Rc::new(dens),
-                        });
-                    }
-                    k if k.starts_with("ty.") => {
-                        out.push(LefTok {
-                            kind: LefKind::TyMark,
-                            text: key,
-                            pos: t.pos,
-                            dens: Rc::new(vec![Rc::clone(&dens[0])]),
-                        });
-                    }
-                    "physunit" => {
-                        out.push(LefTok {
-                            kind: LefKind::PhysUnit,
-                            text: key,
-                            pos: t.pos,
-                            dens: Rc::new(vec![Rc::clone(&dens[0])]),
-                        });
-                    }
-                    "obj" => {
-                        out.push(LefTok {
+                let k0 = dens[0].kind_sym();
+                if k0 == kinds::pkg() {
+                    pending = Pending::Package(Rc::clone(&dens[0]));
+                } else if k0 == kinds::library() {
+                    pending = Pending::Library(
+                        dens[0].name_sym().unwrap_or_else(|| Symbol::intern("work")),
+                    );
+                } else if k0 == kinds::subprog() || k0 == kinds::enumlit() {
+                    let dens: Vec<Rc<VifNode>> = dens
+                        .into_iter()
+                        .filter(|d| {
+                            let k = d.kind_sym();
+                            k == kinds::subprog() || k == kinds::enumlit()
+                        })
+                        .collect();
+                    out.push(LefTok {
+                        kind: LefKind::Callable,
+                        text: key,
+                        pos: t.pos,
+                        dens: Rc::new(dens),
+                    });
+                } else if kinds::is_ty(k0) {
+                    out.push(LefTok {
+                        kind: LefKind::TyMark,
+                        text: key,
+                        pos: t.pos,
+                        dens: Rc::new(vec![Rc::clone(&dens[0])]),
+                    });
+                } else if k0 == kinds::physunit() {
+                    out.push(LefTok {
+                        kind: LefKind::PhysUnit,
+                        text: key,
+                        pos: t.pos,
+                        dens: Rc::new(vec![Rc::clone(&dens[0])]),
+                    });
+                } else if k0 == kinds::obj() {
+                    out.push(LefTok {
+                        kind: LefKind::Obj,
+                        text: key,
+                        pos: t.pos,
+                        dens: Rc::new(vec![Rc::clone(&dens[0])]),
+                    });
+                } else if k0 == kinds::alias() {
+                    // Aliases rename objects; substitute the target.
+                    let target = dens[0].node_field("target").cloned();
+                    match target {
+                        Some(target) => out.push(LefTok {
                             kind: LefKind::Obj,
                             text: key,
                             pos: t.pos,
-                            dens: Rc::new(vec![Rc::clone(&dens[0])]),
-                        });
-                    }
-                    "alias" => {
-                        // Aliases rename objects; substitute the target.
-                        let target = dens[0].node_field("target").cloned();
-                        match target {
-                            Some(target) => out.push(LefTok {
-                                kind: LefKind::Obj,
-                                text: key,
-                                pos: t.pos,
-                                dens: Rc::new(vec![target]),
-                            }),
-                            None => {
-                                msgs.push(Msg::error(
-                                    t.pos,
-                                    format!("alias `{key}` has no target"),
-                                ));
-                                out.push(error_obj_tok(key, t.pos));
-                            }
+                            dens: Rc::new(vec![target]),
+                        }),
+                        None => {
+                            msgs.push(Msg::error(t.pos, format!("alias `{key}` has no target")));
+                            out.push(error_obj_tok(key, t.pos));
                         }
                     }
-                    other => {
-                        msgs.push(Msg::error(
-                            t.pos,
-                            format!("`{key}` ({other}) cannot appear in an expression"),
-                        ));
-                        out.push(error_obj_tok(key, t.pos));
-                    }
+                } else {
+                    msgs.push(Msg::error(
+                        t.pos,
+                        format!("`{key}` ({k0}) cannot appear in an expression"),
+                    ));
+                    out.push(error_obj_tok(key, t.pos));
                 }
                 i += 1;
             }
             TokenKind::Dot => {
                 match &pending {
-                    Pending::None => {
-                        out.push(LefTok::plain(LefKind::Dot, Rc::clone(&t.text), t.pos))
-                    }
+                    Pending::None => out.push(LefTok::plain(LefKind::Dot, t.text, t.pos)),
                     // Expanded-name dots are consumed silently; the next id
                     // resolves within the pending prefix.
                     _ => {}
@@ -436,7 +429,11 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
                     TokenKind::KwRange => {
                         // Only legal directly after a tick ('range).
                         if prev_kind == Some(LefKind::Tick) {
-                            out.push(LefTok::plain(LefKind::AttrId, "range".into(), t.pos));
+                            out.push(LefTok::plain(
+                                LefKind::AttrId,
+                                Symbol::intern("range"),
+                                t.pos,
+                            ));
                             i += 1;
                             continue;
                         }
@@ -453,7 +450,7 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
                         continue;
                     }
                 };
-                out.push(LefTok::plain(kind, Rc::clone(&t.text), t.pos));
+                out.push(LefTok::plain(kind, t.text, t.pos));
                 i += 1;
             }
         }
@@ -469,7 +466,7 @@ pub fn build_lef(toks: &[SrcTok], ctx: &LefCtx<'_>) -> (Vec<LefTok>, Msgs) {
 
 /// A synthetic error object so the scan can continue after an unresolved
 /// identifier.
-fn error_obj_tok(name: Rc<str>, pos: Pos) -> LefTok {
+fn error_obj_tok(name: Symbol, pos: Pos) -> LefTok {
     let ty = types::universal_int();
     let obj = mk_obj(ObjClass::Variable, &name, &ty, Mode::In, None);
     LefTok {

@@ -237,14 +237,14 @@ pub fn bind_decl(env: &Env, ctx: &Actx, node: &Rc<VifNode>) -> Env {
 /// enumeration literals, physical units, implicit operators.
 pub fn type_companions(ctx: &Actx, ty: &Ty) -> Vec<Rc<VifNode>> {
     let mut out = Vec::new();
-    if ty.kind() == "ty.enum" {
+    if ty.kind_sym() == vhdl_vif::kinds::ty_enum() {
         for (pos, lit) in ty.list_field("lits").iter().enumerate() {
             if let Some(l) = lit.as_str() {
                 out.push(decl::mk_enumlit(l, ty, pos as i64));
             }
         }
     }
-    if ty.kind() == "ty.phys" {
+    if ty.kind_sym() == vhdl_vif::kinds::ty_phys() {
         for u in ty.list_field("units") {
             if let Some(un) = u.as_node() {
                 out.push(decl::mk_physunit(
@@ -361,7 +361,7 @@ pub fn resolve_subtype(u: &U<'_>, sti: &StiDesc) -> (Option<Ty>, Msgs) {
     let sti = &sti;
     let mark = match u.resolve_name(&sti.mark) {
         Ok(dens) => match dens.first() {
-            Some(d) if d.kind().starts_with("ty.") => Rc::clone(&dens[0]),
+            Some(d) if vhdl_vif::kinds::is_ty(d.kind_sym()) => Rc::clone(&dens[0]),
             _ => {
                 msgs.push(Msg::error(pos, "name does not denote a type"));
                 return (None, msgs);
@@ -377,7 +377,10 @@ pub fn resolve_subtype(u: &U<'_>, sti: &StiDesc) -> (Option<Ty>, Msgs) {
         None
     } else {
         match u.resolve_name(&sti.res) {
-            Ok(dens) => dens.iter().find(|d| d.kind() == "subprog").cloned(),
+            Ok(dens) => dens
+                .iter()
+                .find(|d| d.kind_sym() == vhdl_vif::kinds::subprog())
+                .cloned(),
             Err(m) => {
                 msgs.push(m);
                 None
@@ -515,7 +518,7 @@ pub fn resolve_ifaces(
                 b = b.name(n);
             }
             for (fname, v) in obj.fields() {
-                b = b.field(Rc::clone(fname), v.clone());
+                b = b.field(*fname, v.clone());
             }
             out.push(b.str_field("origin", "iface").done());
         }
@@ -536,7 +539,7 @@ pub fn spec_subprog(u: &U<'_>, spec: &Value) -> (Option<Rc<VifNode>>, Msgs) {
     let (params, mut msgs) = resolve_ifaces(u, &ifaces, default_class);
     let ret = if is_func {
         match u.resolve_name(&ret_toks) {
-            Ok(dens) if dens[0].kind().starts_with("ty.") => Some(Rc::clone(&dens[0])),
+            Ok(dens) if vhdl_vif::kinds::is_ty(dens[0].kind_sym()) => Some(Rc::clone(&dens[0])),
             Ok(_) => {
                 msgs.push(Msg::error(desig.pos, "return mark is not a type"));
                 return (None, msgs);
@@ -602,7 +605,7 @@ pub fn use_import(u: &U<'_>, toks: &[SrcTok], env: &Env) -> (Env, Vec<Rc<VifNode
             let mut env = env.clone();
             let mut imported = Vec::new();
             for d in &dens {
-                if d.kind() == "all" {
+                if d.kind_sym() == vhdl_vif::kinds::all_() {
                     let pkg = d.node_field("pkg").expect("all wraps a package");
                     for item in pkg.list_field("decls") {
                         if let Some(n) = item.as_node() {

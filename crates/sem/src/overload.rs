@@ -4,7 +4,8 @@
 
 use std::rc::Rc;
 
-use vhdl_vif::VifNode;
+use ag_intern::{Symbol, ToSym};
+use vhdl_vif::{kinds, VifNode};
 
 use crate::decl::{subprog_params, subprog_ret};
 use crate::env::Env;
@@ -17,7 +18,7 @@ pub enum ArgShape {
     /// e.g. an aggregate or string literal: matches anything).
     Pos(Vec<Ty>),
     /// Named argument `formal => expr`.
-    Named(String, Vec<Ty>),
+    Named(Symbol, Vec<Ty>),
     /// A syntactic or attribute range (slice or iteration).
     Range,
     /// `open`.
@@ -35,9 +36,11 @@ pub fn offers(cands: &[Ty], want: &Ty) -> bool {
 pub fn filter_by_args(cands: &[Rc<VifNode>], args: &[ArgShape]) -> Vec<Rc<VifNode>> {
     cands
         .iter()
-        .filter(|c| match c.kind() {
-            "enumlit" => args.is_empty(),
-            "subprog" => {
+        .filter(|c| {
+            let k = c.kind_sym();
+            if k == kinds::enumlit() {
+                args.is_empty()
+            } else if k == kinds::subprog() {
                 let params = subprog_params(c);
                 if args.len() > params.len() {
                     return false;
@@ -61,7 +64,7 @@ pub fn filter_by_args(cands: &[Rc<VifNode>], args: &[ArgShape]) -> Vec<Rc<VifNod
                             used[i] = true;
                         }
                         ArgShape::Named(name, tys) => {
-                            match params.iter().position(|p| p.name() == Some(name)) {
+                            match params.iter().position(|p| p.name_sym() == Some(*name)) {
                                 Some(pi) if !used[pi] => {
                                     let want =
                                         crate::decl::obj_ty(&params[pi]).expect("typed param");
@@ -97,8 +100,9 @@ pub fn filter_by_args(cands: &[Rc<VifNode>], args: &[ArgShape]) -> Vec<Rc<VifNod
                     .iter()
                     .zip(&used)
                     .all(|(p, u)| *u || p.field("init").is_some())
+            } else {
+                false
             }
-            _ => false,
         })
         .cloned()
         .collect()
@@ -106,10 +110,13 @@ pub fn filter_by_args(cands: &[Rc<VifNode>], args: &[ArgShape]) -> Vec<Rc<VifNod
 
 /// Result type a candidate yields when *used as a value*.
 pub fn result_type(cand: &Rc<VifNode>) -> Option<Ty> {
-    match cand.kind() {
-        "enumlit" => cand.node_field("ty").cloned(),
-        "subprog" => subprog_ret(cand),
-        _ => None,
+    let k = cand.kind_sym();
+    if k == kinds::enumlit() {
+        cand.node_field("ty").cloned()
+    } else if k == kinds::subprog() {
+        subprog_ret(cand)
+    } else {
+        None
     }
 }
 
@@ -129,10 +136,10 @@ pub fn pick(cands: &[Rc<VifNode>], expected: Option<&Ty>) -> Result<Rc<VifNode>,
     // The same declaration may be visible along several paths (spec bound
     // in a package and re-bound at its body); duplicates by uid are one
     // candidate, not an ambiguity.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::HashSet::<&str>::new();
     let deduped: Vec<Rc<VifNode>> = cands
         .iter()
-        .filter(|c| seen.insert(c.str_field("uid").unwrap_or("?").to_string()))
+        .filter(|c| seen.insert(c.str_field("uid").unwrap_or("?")))
         .cloned()
         .collect();
     let cands = &deduped;
@@ -169,42 +176,43 @@ pub enum PickError {
 
 /// Human-readable candidate description for diagnostics.
 pub fn describe(cand: &VifNode) -> String {
-    match cand.kind() {
-        "enumlit" => format!(
+    let k = cand.kind_sym();
+    if k == kinds::enumlit() {
+        format!(
             "literal {} of {}",
             cand.name().unwrap_or("?"),
             cand.node_field("ty").and_then(|t| t.name()).unwrap_or("?")
-        ),
-        "subprog" => {
-            let params: Vec<String> = subprog_params(cand)
-                .iter()
-                .map(|p| {
-                    crate::decl::obj_ty(p)
-                        .and_then(|t| t.name().map(str::to_string))
-                        .unwrap_or_else(|| "?".into())
-                })
-                .collect();
-            match subprog_ret(cand) {
-                Some(r) => format!(
-                    "function {}({}) return {}",
-                    cand.name().unwrap_or("?"),
-                    params.join(", "),
-                    r.name().unwrap_or("?")
-                ),
-                None => format!(
-                    "procedure {}({})",
-                    cand.name().unwrap_or("?"),
-                    params.join(", ")
-                ),
-            }
+        )
+    } else if k == kinds::subprog() {
+        let params: Vec<String> = subprog_params(cand)
+            .iter()
+            .map(|p| {
+                crate::decl::obj_ty(p)
+                    .and_then(|t| t.name().map(str::to_string))
+                    .unwrap_or_else(|| "?".into())
+            })
+            .collect();
+        match subprog_ret(cand) {
+            Some(r) => format!(
+                "function {}({}) return {}",
+                cand.name().unwrap_or("?"),
+                params.join(", "),
+                r.name().unwrap_or("?")
+            ),
+            None => format!(
+                "procedure {}({})",
+                cand.name().unwrap_or("?"),
+                params.join(", ")
+            ),
         }
-        k => k.to_string(),
+    } else {
+        k.to_string()
     }
 }
 
 /// Resolves a unary/binary operator application: looks `sym` up in `env`,
 /// filters by operand types, and returns the matching candidates.
-pub fn operator_candidates(env: &Env, sym: &str, operands: &[&[Ty]]) -> Vec<Rc<VifNode>> {
+pub fn operator_candidates(env: &Env, sym: impl ToSym, operands: &[&[Ty]]) -> Vec<Rc<VifNode>> {
     let cands: Vec<Rc<VifNode>> = env.lookup(sym).into_iter().map(|d| d.node).collect();
     let shapes: Vec<ArgShape> = operands.iter().map(|t| ArgShape::Pos(t.to_vec())).collect();
     filter_by_args(&cands, &shapes)

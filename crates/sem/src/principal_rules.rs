@@ -774,7 +774,7 @@ fn install_context(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses)
                     for t in parts[1].expect_list() {
                         let tok = t.expect_tok();
                         if tok.kind != vhdl_syntax::TokenKind::Dot {
-                            segs.push(VifValue::Str(Rc::clone(&tok.text)));
+                            segs.push(VifValue::Str(tok.text.into()));
                         }
                     }
                     VifValue::List(Rc::new(segs))
@@ -790,7 +790,7 @@ fn install_context(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses)
                         b = b.name(name);
                     }
                     for (f, v) in n.fields() {
-                        b = b.field(Rc::clone(f), v.clone());
+                        b = b.field(*f, v.clone());
                     }
                     Value::Node(
                         b.field("ctx", VifValue::List(Rc::new(ctx_entries.clone())))
@@ -1094,7 +1094,7 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                 let name = d[2].expect_tok().clone();
                 let mark = oof::toks_of(&d[3]);
                 match u.resolve_name(&mark) {
-                    Ok(dens) if dens[0].kind().starts_with("ty.") => {
+                    Ok(dens) if vhdl_vif::kinds::is_ty(dens[0].kind_sym()) => {
                         let ad = VifNode::build("attrdecl")
                             .name(&*name.text)
                             .str_field("uid", oof::uid_at(&name.text, name.pos))
@@ -1142,7 +1142,7 @@ fn install_decls(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                 let Some(adecl) = u
                     .env
                     .lookup_one(&aname.text)
-                    .filter(|den| den.node.kind() == "attrdecl")
+                    .filter(|den| den.node.kind_sym() == vhdl_vif::kinds::attrdecl())
                 else {
                     return DeclOut::err(
                         u.env,
@@ -1597,7 +1597,7 @@ fn declare_array(
             .cloned()
             .collect();
         match u.resolve_name(&mark) {
-            Ok(dens) if dens[0].kind().starts_with("ty.") => {
+            Ok(dens) if vhdl_vif::kinds::is_ty(dens[0].kind_sym()) => {
                 return Some(retag_uid(
                     &types::mk_array_unconstrained(&name.text, &dens[0], elem),
                     &name.text,
@@ -1699,7 +1699,7 @@ fn retag_uid(ty: &types::Ty, name: &str, pos: vhdl_syntax::Pos) -> types::Ty {
         if &**f == "uid" {
             b = b.str_field("uid", oof::uid_at(name, pos));
         } else {
-            b = b.field(Rc::clone(f), v.clone());
+            b = b.field(*f, v.clone());
         }
     }
     b.done()
@@ -1717,7 +1717,7 @@ fn mk_named_int(name: &str, pos: vhdl_syntax::Pos, lo: i64, hi: i64) -> types::T
 fn rename_type(ty: &types::Ty, name: &str) -> types::Ty {
     let mut b = VifNode::build(ty.kind()).name(name);
     for (f, v) in ty.fields() {
-        b = b.field(Rc::clone(f), v.clone());
+        b = b.field(*f, v.clone());
     }
     if ty.kind() != "ty.subtype" {
         // A plain mark: wrap in a named subtype so the new name is distinct

@@ -911,7 +911,9 @@ fn install_concs(ab: &mut AgBuilder<Value>, g: &Grammar, c: &PrincipalClasses) {
                 let toks = oof::toks_of(&d[3]);
                 let pos = toks.first().map(|t| t.pos).unwrap_or_default();
                 let comp = match u.resolve_name(&toks) {
-                    Ok(dens) if dens[0].kind() == "component" => Rc::clone(&dens[0]),
+                    Ok(dens) if dens[0].kind_sym() == vhdl_vif::kinds::component() => {
+                        Rc::clone(&dens[0])
+                    }
                     Ok(_) => {
                         msgs.push(Msg::error(pos, "instantiated name is not a component"));
                         return Value::list(vec![Value::empty_list(), Value::Msgs(msgs)]);
@@ -1124,7 +1126,7 @@ fn guard_wrap(
         return stmts;
     }
     match u.env.lookup_one("guard") {
-        Some(g) if g.node.kind() == "obj" => {
+        Some(g) if g.node.kind_sym() == vhdl_vif::kinds::obj() => {
             let cond = ir::e_ref(&g.node);
             vec![VifValue::Node(ir::s_if(cond, stmts, vec![]))]
         }
@@ -1151,7 +1153,7 @@ fn signals_in_stmts(stmts: &[VifValue]) -> Vec<VifValue> {
     ) {
         match v {
             VifValue::Node(n) => {
-                if n.kind() == "e.ref" {
+                if n.kind_sym() == vhdl_vif::kinds::e_ref() {
                     if let Some(obj) = n.node_field("obj") {
                         if reading && obj.str_field("class") == Some("signal") {
                             let uid = obj.str_field("uid").unwrap_or("?").to_string();
@@ -1649,7 +1651,7 @@ fn to_vif(v: Value) -> VifValue {
         Value::Int(i) => VifValue::Int(i),
         Value::Str(s) => VifValue::Str(s),
         Value::Node(n) => VifValue::Node(n),
-        Value::Tok(t) => VifValue::Str(Rc::clone(&t.text)),
+        Value::Tok(t) => VifValue::Str(t.text.into()),
         Value::List(items) => VifValue::List(Rc::new(items.iter().cloned().map(to_vif).collect())),
         other => VifValue::Str(format!("{other:?}").into()),
     }

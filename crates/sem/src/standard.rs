@@ -139,7 +139,7 @@ pub fn bind_type_with_implicits(env: &Env, ty: &Ty, boolean: &Ty, integer: &Ty) 
             vis: Visibility::Implicit,
         },
     );
-    if ty.kind() == "ty.enum" {
+    if ty.kind_sym() == vhdl_vif::kinds::ty_enum() {
         for (pos, lit) in ty.list_field("lits").iter().enumerate() {
             let lit = lit.as_str().expect("literals are strings");
             e = e.bind(
@@ -151,7 +151,7 @@ pub fn bind_type_with_implicits(env: &Env, ty: &Ty, boolean: &Ty, integer: &Ty) 
             );
         }
     }
-    if ty.kind() == "ty.phys" {
+    if ty.kind_sym() == vhdl_vif::kinds::ty_phys() {
         for u in ty.list_field("units") {
             let u = u.as_node().expect("units are nodes");
             let name = u.name().expect("units are named");
@@ -188,7 +188,7 @@ pub fn implicit_ops(ty: &Ty, boolean: &Ty, integer: &Ty) -> Vec<(String, Rc<VifN
     let mut out = Vec::new();
     let b = types::base_type(ty);
     // Subtypes do not redeclare operators.
-    if ty.kind() == "ty.subtype" {
+    if ty.kind_sym() == vhdl_vif::kinds::ty_subtype() {
         return out;
     }
     let bin =
@@ -218,7 +218,7 @@ pub fn implicit_ops(ty: &Ty, boolean: &Ty, integer: &Ty) -> Vec<(String, Rc<VifN
             out.push(("+".into(), mk_unop("+", ty, ty, "pos")));
             out.push(("-".into(), mk_unop("-", ty, ty, "neg")));
             out.push(("abs".into(), mk_unop("abs", ty, ty, "abs")));
-            if b.kind() == "ty.int" {
+            if b.kind_sym() == vhdl_vif::kinds::ty_int() {
                 bin(&mut out, "mod", ty, ty, ty, "mod");
                 bin(&mut out, "rem", ty, ty, ty, "rem");
                 bin(&mut out, "**", ty, integer, ty, "pow");

@@ -206,7 +206,7 @@ pub fn uid(ty: &Ty) -> &str {
 /// Follows `ty.subtype` links to the base type.
 pub fn base_type(ty: &Ty) -> Ty {
     let mut cur = Rc::clone(ty);
-    while cur.kind() == "ty.subtype" {
+    while cur.kind_sym() == vhdl_vif::kinds::ty_subtype() {
         match cur.node_field("base") {
             Some(b) => cur = Rc::clone(b),
             None => break,
@@ -265,8 +265,8 @@ pub fn compatible(actual: &Ty, expected: &Ty) -> bool {
         return true;
     }
     let eb = base_type(expected);
-    (is_universal_int(actual) && eb.kind() == "ty.int")
-        || (is_universal_real(actual) && eb.kind() == "ty.real")
+    (is_universal_int(actual) && eb.kind_sym() == vhdl_vif::kinds::ty_int())
+        || (is_universal_real(actual) && eb.kind_sym() == vhdl_vif::kinds::ty_real())
 }
 
 /// Kind predicates over base types.
@@ -279,17 +279,20 @@ pub fn is_scalar(ty: &Ty) -> bool {
 
 /// `true` for discrete types (enumeration and integer).
 pub fn is_discrete(ty: &Ty) -> bool {
-    matches!(base_type(ty).kind(), "ty.enum" | "ty.int")
+    {
+        let k = base_type(ty).kind_sym();
+        k == vhdl_vif::kinds::ty_enum() || k == vhdl_vif::kinds::ty_int()
+    }
 }
 
 /// `true` for one-dimensional arrays.
 pub fn is_array(ty: &Ty) -> bool {
-    base_type(ty).kind() == "ty.array"
+    base_type(ty).kind_sym() == vhdl_vif::kinds::ty_array()
 }
 
 /// `true` for record types.
 pub fn is_record(ty: &Ty) -> bool {
-    base_type(ty).kind() == "ty.record"
+    base_type(ty).kind_sym() == vhdl_vif::kinds::ty_record()
 }
 
 /// Element type of an array (base-resolved).
@@ -371,7 +374,7 @@ pub fn resolution_of(ty: &Ty) -> Option<Rc<VifNode>> {
         if let Some(r) = cur.node_field("resolution") {
             return Some(Rc::clone(r));
         }
-        if cur.kind() == "ty.subtype" {
+        if cur.kind_sym() == vhdl_vif::kinds::ty_subtype() {
             cur = Rc::clone(cur.node_field("base")?);
         } else {
             return None;

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use ag_intern::Symbol;
+
 use crate::token::{Pos, SrcTok, TokenKind};
 
 /// A scan error with position.
@@ -104,7 +106,7 @@ impl<'s> Lexer<'s> {
         }
     }
 
-    fn push(&mut self, kind: TokenKind, text: String, pos: Pos) {
+    fn push(&mut self, kind: TokenKind, text: Symbol, pos: Pos) {
         self.out.push(SrcTok::new(kind, text, pos));
     }
 
@@ -145,7 +147,7 @@ impl<'s> Lexer<'s> {
                 b'\'' => {
                     if self.tick_is_attribute() {
                         self.bump();
-                        self.push(TokenKind::Tick, "'".into(), pos);
+                        self.push(TokenKind::Tick, Symbol::intern("'"), pos);
                     } else if self.src.get(self.i + 2) == Some(&b'\'') {
                         // 'x'
                         self.bump();
@@ -153,12 +155,14 @@ impl<'s> Lexer<'s> {
                             .bump()
                             .ok_or_else(|| self.err("unterminated character literal"))?;
                         self.bump(); // closing '
-                        self.push(TokenKind::CharLit, (ch as char).to_string(), pos);
+                        let mut buf = [0u8; 4];
+                        let text = Symbol::intern((ch as char).encode_utf8(&mut buf));
+                        self.push(TokenKind::CharLit, text, pos);
                     } else {
                         // A tick in qualified-expression position after
                         // something unusual; treat as tick.
                         self.bump();
-                        self.push(TokenKind::Tick, "'".into(), pos);
+                        self.push(TokenKind::Tick, Symbol::intern("'"), pos);
                     }
                 }
                 _ => self.punct(pos)?,
@@ -183,19 +187,23 @@ impl<'s> Lexer<'s> {
                     None => return Err(self.err("unterminated bit-string literal")),
                 }
             }
-            self.push(TokenKind::BitStringLit, text, pos);
+            self.push(TokenKind::BitStringLit, Symbol::intern(&text), pos);
             return Ok(());
         }
-        let mut text = String::new();
+        // Identifier / reserved word: scan the raw slice, then intern it
+        // case-folded — no per-token `String`, and an already-seen
+        // spelling allocates nothing at all.
+        let start = self.i;
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || c == b'_' {
-                text.push((c as char).to_ascii_lowercase());
                 self.bump();
             } else {
                 break;
             }
         }
-        match TokenKind::keyword(&text) {
+        let raw = std::str::from_utf8(&self.src[start..self.i]).expect("ASCII identifier");
+        let text = Symbol::intern_ci(raw);
+        match TokenKind::keyword(text.as_str()) {
             Some(kw) => self.push(kw, text, pos),
             None => self.push(TokenKind::Id, text, pos),
         }
@@ -242,7 +250,7 @@ impl<'s> Lexer<'s> {
             }
             let val = i64::from_str_radix(&digits_text, base)
                 .map_err(|_| self.err("bad digits in based literal"))?;
-            self.push(TokenKind::IntLit, val.to_string(), pos);
+            self.push(TokenKind::IntLit, Symbol::intern(&val.to_string()), pos);
             return Ok(());
         }
         if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
@@ -274,7 +282,7 @@ impl<'s> Lexer<'s> {
             }
         }
         if is_real {
-            self.push(TokenKind::RealLit, text, pos);
+            self.push(TokenKind::RealLit, Symbol::intern(&text), pos);
         } else {
             // Normalize exponent form to a plain integer when possible.
             let norm = if text.contains('e') {
@@ -285,7 +293,7 @@ impl<'s> Lexer<'s> {
             } else {
                 text
             };
-            self.push(TokenKind::IntLit, norm, pos);
+            self.push(TokenKind::IntLit, Symbol::intern(&norm), pos);
         }
         Ok(())
     }
@@ -308,7 +316,7 @@ impl<'s> Lexer<'s> {
                 None => return Err(self.err("unterminated string literal")),
             }
         }
-        self.push(TokenKind::StringLit, text, pos);
+        self.push(TokenKind::StringLit, Symbol::intern(&text), pos);
         Ok(())
     }
 
@@ -317,7 +325,10 @@ impl<'s> Lexer<'s> {
         let c = self.bump().expect("caller saw a char");
         let two = |l: &mut Self, kind: TokenKind, text: &str, pos: Pos| {
             l.bump();
-            l.push(kind, text.into(), pos);
+            l.push(kind, Symbol::intern(text), pos);
+        };
+        let one = |l: &mut Self, kind: TokenKind, text: &str, pos: Pos| {
+            l.push(kind, Symbol::intern(text), pos);
         };
         match (c, self.peek()) {
             (b'*', Some(b'*')) => two(self, DoubleStar, "**", pos),
@@ -327,21 +338,21 @@ impl<'s> Lexer<'s> {
             (b'>', Some(b'=')) => two(self, Gte, ">=", pos),
             (b':', Some(b'=')) => two(self, Assign, ":=", pos),
             (b'=', Some(b'>')) => two(self, Arrow, "=>", pos),
-            (b'(', _) => self.push(LParen, "(".into(), pos),
-            (b')', _) => self.push(RParen, ")".into(), pos),
-            (b';', _) => self.push(Semi, ";".into(), pos),
-            (b':', _) => self.push(Colon, ":".into(), pos),
-            (b',', _) => self.push(Comma, ",".into(), pos),
-            (b'.', _) => self.push(Dot, ".".into(), pos),
-            (b'&', _) => self.push(Amp, "&".into(), pos),
-            (b'+', _) => self.push(Plus, "+".into(), pos),
-            (b'-', _) => self.push(Minus, "-".into(), pos),
-            (b'*', _) => self.push(Star, "*".into(), pos),
-            (b'/', _) => self.push(Slash, "/".into(), pos),
-            (b'=', _) => self.push(Eq, "=".into(), pos),
-            (b'<', _) => self.push(Lt, "<".into(), pos),
-            (b'>', _) => self.push(Gt, ">".into(), pos),
-            (b'|', _) => self.push(Bar, "|".into(), pos),
+            (b'(', _) => one(self, LParen, "(", pos),
+            (b')', _) => one(self, RParen, ")", pos),
+            (b';', _) => one(self, Semi, ";", pos),
+            (b':', _) => one(self, Colon, ":", pos),
+            (b',', _) => one(self, Comma, ",", pos),
+            (b'.', _) => one(self, Dot, ".", pos),
+            (b'&', _) => one(self, Amp, "&", pos),
+            (b'+', _) => one(self, Plus, "+", pos),
+            (b'-', _) => one(self, Minus, "-", pos),
+            (b'*', _) => one(self, Star, "*", pos),
+            (b'/', _) => one(self, Slash, "/", pos),
+            (b'=', _) => one(self, Eq, "=", pos),
+            (b'<', _) => one(self, Lt, "<", pos),
+            (b'>', _) => one(self, Gt, ">", pos),
+            (b'|', _) => one(self, Bar, "|", pos),
             _ => return Err(self.err(format!("stray character `{}`", c as char))),
         }
         Ok(())

@@ -1,7 +1,8 @@
 //! VHDL token kinds and source tokens.
 
 use std::fmt;
-use std::rc::Rc;
+
+use ag_intern::{Symbol, ToSym};
 
 /// Every lexical token kind of the supported VHDL-87 subset.
 ///
@@ -486,23 +487,29 @@ impl fmt::Display for Pos {
 }
 
 /// A lexed source token: kind, normalized text, and position.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// The text is an interned [`Symbol`], so a token is three words of
+/// `Copy` data and name comparisons downstream (environment keys,
+/// overload resolution) are integer compares. `Symbol` derefs to `str`,
+/// so `&t.text` still coerces wherever a `&str` is expected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SrcTok {
     /// The lexical category.
     pub kind: TokenKind,
     /// Normalized text: identifiers and reserved words lower-cased,
     /// literal tokens kept verbatim (string/char literals without quotes).
-    pub text: Rc<str>,
+    pub text: Symbol,
     /// Where the token starts.
     pub pos: Pos,
 }
 
 impl SrcTok {
-    /// Creates a token.
-    pub fn new(kind: TokenKind, text: impl Into<Rc<str>>, pos: Pos) -> Self {
+    /// Creates a token. Accepts a [`Symbol`] (free) or any string type
+    /// (interned verbatim on entry).
+    pub fn new(kind: TokenKind, text: impl ToSym, pos: Pos) -> Self {
         SrcTok {
             kind,
-            text: text.into(),
+            text: text.to_sym(),
             pos,
         }
     }

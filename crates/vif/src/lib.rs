@@ -28,10 +28,12 @@
 //! ```
 
 pub mod dump;
+pub mod kinds;
 pub mod library;
 pub mod node;
 pub mod text;
 
+pub use ag_intern::{Symbol, ToSym};
 pub use dump::dump;
 pub use library::{Library, LibrarySet, UnitKey, VifTraffic};
 pub use node::{VifBuilder, VifNode, VifValue};

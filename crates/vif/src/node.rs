@@ -5,15 +5,25 @@
 //! therefore immutable after construction and shared through [`Rc`] — new
 //! information is expressed by building new nodes that link to old ones,
 //! never by mutation.
+//!
+//! Kinds, node names, and field names are interned [`Symbol`]s: a node
+//! carries three `u32`s where it used to carry three heap strings, kind
+//! checks compare integers, and the accessors take `impl ToSym` so call
+//! sites can pass either a symbol (free) or a string (interned on entry).
+//! The *text* serialization ([`crate::text`]) still round-trips through
+//! strings, so the on-disk interchange format is unchanged.
 
 use std::fmt;
 use std::rc::Rc;
 
+use ag_intern::{Symbol, ToSym};
+
 /// Tag of a VIF node — the "record type" from the VIF description.
 ///
-/// Kept as an interned string rather than a closed enum so the schema can
-/// grow the way the paper's declaratively-specified VIF did.
-pub type Kind = Rc<str>;
+/// Kept as an interned symbol rather than a closed enum so the schema can
+/// grow the way the paper's declaratively-specified VIF did; the
+/// well-known tags have typed constants in [`crate::kinds`].
+pub type Kind = Symbol;
 
 /// A field value inside a [`VifNode`].
 #[derive(Clone, Debug, PartialEq)]
@@ -87,64 +97,74 @@ impl VifValue {
     }
 }
 
-/// An immutable VIF node: kind, optional name, ordered fields.
+/// An immutable VIF node: kind, optional name, ordered fields. Kind,
+/// name, and field names are interned symbols.
 #[derive(Clone, Debug, PartialEq)]
 pub struct VifNode {
-    kind: Kind,
-    name: Option<Rc<str>>,
-    fields: Vec<(Rc<str>, VifValue)>,
+    kind: Symbol,
+    name: Option<Symbol>,
+    fields: Vec<(Symbol, VifValue)>,
 }
 
 impl VifNode {
     /// Starts building a node of `kind`.
-    pub fn build(kind: impl Into<Kind>) -> VifBuilder {
+    pub fn build(kind: impl ToSym) -> VifBuilder {
         VifBuilder {
-            kind: kind.into(),
+            kind: kind.to_sym(),
             name: None,
             fields: Vec::new(),
         }
     }
 
-    /// The node's kind tag.
-    pub fn kind(&self) -> &str {
-        &self.kind
+    /// The node's kind tag as text.
+    pub fn kind(&self) -> &'static str {
+        self.kind.as_str()
+    }
+
+    /// The node's kind tag as a symbol — integer-comparable against the
+    /// [`crate::kinds`] constants.
+    pub fn kind_sym(&self) -> Symbol {
+        self.kind
     }
 
     /// The node's name, if named.
-    pub fn name(&self) -> Option<&str> {
-        self.name.as_deref()
+    pub fn name(&self) -> Option<&'static str> {
+        self.name.map(Symbol::as_str)
+    }
+
+    /// The node's name symbol, if named — the form environment keys want.
+    pub fn name_sym(&self) -> Option<Symbol> {
+        self.name
     }
 
     /// All fields in declaration order.
-    pub fn fields(&self) -> &[(Rc<str>, VifValue)] {
+    pub fn fields(&self) -> &[(Symbol, VifValue)] {
         &self.fields
     }
 
     /// Looks up a field by name.
-    pub fn field(&self, name: &str) -> Option<&VifValue> {
-        self.fields
-            .iter()
-            .find(|(n, _)| &**n == name)
-            .map(|(_, v)| v)
+    pub fn field(&self, name: impl ToSym) -> Option<&VifValue> {
+        let name = name.to_sym();
+        self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
     }
 
     /// Field as node, or `None`.
-    pub fn node_field(&self, name: &str) -> Option<&Rc<VifNode>> {
+    pub fn node_field(&self, name: impl ToSym) -> Option<&Rc<VifNode>> {
         self.field(name).and_then(VifValue::as_node)
     }
 
     /// Field as list, or an empty slice.
-    pub fn list_field(&self, name: &str) -> &[VifValue] {
+    pub fn list_field(&self, name: impl ToSym) -> &[VifValue] {
         self.field(name).and_then(VifValue::as_list).unwrap_or(&[])
     }
 
     /// Field as string.
-    pub fn str_field(&self, name: &str) -> Option<&str> {
+    pub fn str_field(&self, name: impl ToSym) -> Option<&str> {
         self.field(name).and_then(VifValue::as_str)
     }
 
     /// Field as integer.
-    pub fn int_field(&self, name: &str) -> Option<i64> {
+    pub fn int_field(&self, name: impl ToSym) -> Option<i64> {
         self.field(name).and_then(VifValue::as_int)
     }
 
@@ -179,7 +199,7 @@ impl VifNode {
 impl fmt::Display for VifNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({}", self.kind)?;
-        if let Some(n) = &self.name {
+        if let Some(n) = self.name() {
             write!(f, " {n:?}")?;
         }
         write!(f, " …)")
@@ -188,41 +208,41 @@ impl fmt::Display for VifNode {
 
 /// Builder for [`VifNode`] (nodes are immutable once built).
 pub struct VifBuilder {
-    kind: Kind,
-    name: Option<Rc<str>>,
-    fields: Vec<(Rc<str>, VifValue)>,
+    kind: Symbol,
+    name: Option<Symbol>,
+    fields: Vec<(Symbol, VifValue)>,
 }
 
 impl VifBuilder {
     /// Names the node.
-    pub fn name(mut self, name: impl Into<Rc<str>>) -> Self {
-        self.name = Some(name.into());
+    pub fn name(mut self, name: impl ToSym) -> Self {
+        self.name = Some(name.to_sym());
         self
     }
 
     /// Adds a field.
-    pub fn field(mut self, name: impl Into<Rc<str>>, value: VifValue) -> Self {
-        self.fields.push((name.into(), value));
+    pub fn field(mut self, name: impl ToSym, value: VifValue) -> Self {
+        self.fields.push((name.to_sym(), value));
         self
     }
 
     /// Adds a string field.
-    pub fn str_field(self, name: impl Into<Rc<str>>, v: impl Into<Rc<str>>) -> Self {
+    pub fn str_field(self, name: impl ToSym, v: impl Into<Rc<str>>) -> Self {
         self.field(name, VifValue::Str(v.into()))
     }
 
     /// Adds an integer field.
-    pub fn int_field(self, name: impl Into<Rc<str>>, v: i64) -> Self {
+    pub fn int_field(self, name: impl ToSym, v: i64) -> Self {
         self.field(name, VifValue::Int(v))
     }
 
     /// Adds a node field.
-    pub fn node_field(self, name: impl Into<Rc<str>>, v: Rc<VifNode>) -> Self {
+    pub fn node_field(self, name: impl ToSym, v: Rc<VifNode>) -> Self {
         self.field(name, VifValue::Node(v))
     }
 
     /// Adds a list field.
-    pub fn list_field(self, name: impl Into<Rc<str>>, v: Vec<VifValue>) -> Self {
+    pub fn list_field(self, name: impl ToSym, v: Vec<VifValue>) -> Self {
         self.field(name, VifValue::list(v))
     }
 
@@ -252,7 +272,9 @@ mod tests {
             .field("missing_ok", VifValue::Nil)
             .done();
         assert_eq!(obj.kind(), "signal");
+        assert_eq!(obj.kind_sym(), crate::kinds::signal());
         assert_eq!(obj.name(), Some("clk"));
+        assert_eq!(obj.name_sym(), Some(Symbol::intern("clk")));
         assert_eq!(obj.int_field("line"), Some(12));
         assert_eq!(obj.str_field("mode"), Some("in"));
         assert_eq!(obj.node_field("type").unwrap().name(), Some("integer"));
@@ -261,6 +283,8 @@ mod tests {
         assert_eq!(obj.field("missing_ok"), Some(&VifValue::Nil));
         assert_eq!(obj.field("really_missing"), None);
         assert_eq!(obj.fields().len(), 5);
+        // Symbol keys hit the same fields as strings.
+        assert_eq!(obj.int_field(Symbol::intern("line")), Some(12));
     }
 
     #[test]

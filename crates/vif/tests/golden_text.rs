@@ -1,0 +1,56 @@
+//! Golden backward-compatibility test: a `.vif` text written before the
+//! interning refactor (kinds, names, and field names were plain strings
+//! then) must keep parsing, with the same structure, sharing, and field
+//! access — the format is the §2 interchange representation and symbol
+//! ids must never leak into it.
+
+use std::rc::Rc;
+
+use vhdl_vif::{kinds, read_vif, write_vif, VifError, VifNode, VifValue};
+
+/// Captured verbatim from the pre-refactor writer: an entity with two
+/// ports sharing one `ty.enum` node, dotted kinds, every scalar value
+/// shape, a list, and a string with escapes.
+const GOLDEN: &str = r#"VIF1
+#0 (entity "adder" (ports [#1 #3]) (flag true) (ratio r2.5) (none nil) (note "say \"hi\"\nline2") (width 8))
+#1 (obj "a" (ty #2) (line 3))
+#2 (ty.enum "bit" (lits ["'0'" "'1'"]))
+#3 (obj "b" (ty #2) (line 4))
+root #0
+"#;
+
+fn no_foreign(r: &str) -> Result<Rc<VifNode>, VifError> {
+    Err(VifError::Unresolved(r.to_string()))
+}
+
+#[test]
+fn pre_refactor_text_parses_unchanged() {
+    let root = read_vif(GOLDEN, &mut no_foreign).expect("old-format text parses");
+
+    // String-based accessors still see the spelled-out names…
+    assert_eq!(root.kind(), "entity");
+    assert_eq!(root.name(), Some("adder"));
+    assert_eq!(root.int_field("width"), Some(8));
+    assert_eq!(root.str_field("note"), Some("say \"hi\"\nline2"));
+    assert!(matches!(root.field("flag"), Some(VifValue::Bool(true))));
+    assert!(matches!(root.field("none"), Some(VifValue::Nil)));
+
+    // …and the interned view agrees with the typed kind constants.
+    let ports = root.list_field("ports");
+    assert_eq!(ports.len(), 2);
+    let a = ports[0].as_node().unwrap();
+    let b = ports[1].as_node().unwrap();
+    assert_eq!(a.kind_sym(), kinds::obj());
+    let ty = a.node_field("ty").unwrap();
+    assert_eq!(ty.kind_sym(), kinds::ty_enum());
+    assert!(kinds::is_ty(ty.kind_sym()));
+
+    // Sharing from the numbered node table survives interning.
+    assert!(Rc::ptr_eq(ty, b.node_field("ty").unwrap()));
+    assert_eq!(root.reachable_size(), 4);
+
+    // Re-serializing emits spelled-out names again, never symbol ids,
+    // so the text round-trips exactly.
+    let text = write_vif(&root);
+    assert_eq!(text, GOLDEN);
+}
