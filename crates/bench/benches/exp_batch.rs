@@ -1,0 +1,163 @@
+//! E11 — batch compilation: parallel speedup and incremental hit rate.
+//!
+//! The paper compiles one file at a time; the batch scheduler stages a
+//! whole library of design units into dependency waves and analyzes each
+//! wave across a worker pool, with VIF text as the only thread-crossing
+//! representation. This experiment records:
+//!
+//! - **speedup vs worker count** on a cold, wide design (many independent
+//!   architectures over a few shared packages — the VIF-library analogue
+//!   of a `make -jN` build);
+//! - **warm incremental runs**: fraction of analyses skipped when nothing
+//!   changed, and when one shared package is touched.
+//!
+//! The cold speedup is bounded by the host's core count, which is recorded
+//! alongside the timings (`host-cores`): on a single-core machine every
+//! worker time-slices the same CPU and `speedup/jobsN` instead measures the
+//! scheduler's overhead (per-worker Standard-environment setup plus wave
+//! barriers) — the determinism suite in `tests/batch.rs` guarantees the
+//! *output* is byte-identical at every worker count regardless.
+//!
+//! Results land in `results/exp_batch.json`.
+
+use ag_harness::bench::{fmt_ns, Runner};
+use std::fmt::Write as _;
+use vhdl_driver::batch::BatchOptions;
+use vhdl_driver::Compiler;
+
+/// A wide multi-file design: `n_pkgs` constant packages (each used by the
+/// architectures), `n_cells` entity/architecture pairs with `procs`
+/// processes each. One unit per file, listed out of dependency order
+/// (architectures first) to make the scheduler do real work.
+fn batch_design(n_pkgs: usize, n_cells: usize, procs: usize) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for c in 0..n_cells {
+        let p = c % n_pkgs;
+        let mut arch = format!(
+            "use work.consts{p}.all;\narchitecture rtl of cell{c} is\nsignal acc : integer := base{p};\nbegin\n"
+        );
+        for k in 0..procs {
+            let _ = write!(
+                arch,
+                "pr{k} : process\nvariable v : integer := {k};\nbegin\n\
+                 v := v * {m} + base{p};\n\
+                 if v > 500 then\nv := v mod 499;\nend if;\n\
+                 for i in 0 to 7 loop\nv := v + i * base{p};\nend loop;\n\
+                 acc <= acc + v;\nwait;\nend process;\n",
+                m = k % 5 + 2
+            );
+        }
+        arch.push_str("end rtl;\n");
+        files.push((format!("cell{c}_rtl.vhd"), arch));
+        files.push((
+            format!("cell{c}.vhd"),
+            format!("entity cell{c} is\nend cell{c};\n"),
+        ));
+    }
+    for p in 0..n_pkgs {
+        files.push((
+            format!("consts{p}.vhd"),
+            format!(
+                "package consts{p} is\nconstant base{p} : integer := {};\nend consts{p};\n",
+                p + 3
+            ),
+        ));
+    }
+    files
+}
+
+fn main() {
+    println!("# E11 — parallel + incremental batch compilation");
+    println!();
+    let mut r = Runner::new("exp_batch")
+        .iters(5)
+        .out_dir(ag_bench::workspace_root().join("results"));
+
+    let files = batch_design(4, 48, 4);
+    let units = files.len();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    r.metric("host-cores", cores as f64, "cores");
+    println!("design: {units} units, one per file, out of dependency order");
+    println!("host: {cores} core(s) available — cold speedup is capped at this");
+
+    // Cold speedup vs worker count (fresh in-memory library per run).
+    let mut medians = Vec::new();
+    for jobs in [1usize, 2, 4, 8] {
+        let s = r.measure(format!("cold/jobs{jobs}"), || {
+            let c = Compiler::in_memory();
+            let res = c.compile_batch(
+                &files,
+                BatchOptions {
+                    jobs,
+                    incremental: false,
+                },
+            );
+            assert!(res.ok(), "bench design must compile cleanly");
+            res
+        });
+        println!("cold   jobs={jobs:<2} median {}", fmt_ns(s.median_ns));
+        medians.push((jobs, s.median_ns));
+    }
+    let t1 = medians[0].1 as f64;
+    for (jobs, m) in &medians[1..] {
+        let speedup = t1 / *m as f64;
+        r.metric(format!("speedup/jobs{jobs}"), speedup, "x");
+        println!("speedup jobs={jobs}: {speedup:.2}x");
+    }
+
+    // Warm incremental runs against an on-disk library.
+    let dir = std::env::temp_dir().join(format!("exp-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let opts = BatchOptions {
+        jobs: 4,
+        incremental: true,
+    };
+    let cold_c = Compiler::on_disk(&dir).unwrap();
+    let cold = cold_c.compile_batch(&files, opts);
+    assert!(cold.ok());
+    let s = r.measure("warm/jobs4", || {
+        let c = Compiler::on_disk(&dir).unwrap();
+        let res = c.compile_batch(&files, opts);
+        assert!(res.ok());
+        res
+    });
+    // One representative warm run for the counters.
+    let warm_c = Compiler::on_disk(&dir).unwrap();
+    let warm = warm_c.compile_batch(&files, opts);
+    let skip_pct = warm.cache.hit_rate() * 100.0;
+    r.metric("warm-skip-rate", skip_pct, "%");
+    r.metric("warm-analyzed", warm.cache.analyzed() as f64, "units");
+    println!(
+        "warm   jobs=4  median {} — {:.1}% of {} analyses skipped",
+        fmt_ns(s.median_ns),
+        skip_pct,
+        units
+    );
+
+    // Touch one shared package: its dependent architectures re-analyze,
+    // everything else hits.
+    let mut touched = files.clone();
+    for (name, text) in &mut touched {
+        if name == "consts0.vhd" {
+            *text = text.replace(":= 3", ":= 30");
+        }
+    }
+    let t_c = Compiler::on_disk(&dir).unwrap();
+    let t_res = t_c.compile_batch(&touched, opts);
+    assert!(t_res.ok());
+    r.metric(
+        "touch-one-pkg/reanalyzed",
+        t_res.cache.analyzed() as f64,
+        "units",
+    );
+    r.metric("touch-one-pkg/hits", t_res.cache.hits as f64, "units");
+    println!(
+        "touch one package: {} re-analyzed, {} hit",
+        t_res.cache.analyzed(),
+        t_res.cache.hits
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    r.finish();
+}

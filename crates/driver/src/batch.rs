@@ -1,0 +1,663 @@
+//! Parallel, incremental batch compilation over the VIF library.
+//!
+//! The paper's §2 architecture makes the VIF the only interface between
+//! separately-compiled units, which licenses two things the sequential
+//! driver never exploited:
+//!
+//! 1. **Parallelism.** Units whose VIF dependencies are already committed
+//!    can be analyzed concurrently. The batch compiler stages the
+//!    [`crate::depgraph`] into waves and runs each wave across a fixed
+//!    pool of `std::thread` workers. Workers exchange only plain text with
+//!    the coordinator (source in, VIF text + diagnostics out) — the
+//!    `Rc`-based analyzer, environments, and VIF graphs never cross a
+//!    thread boundary. Each worker rebuilds the work library from a
+//!    [`LibrarySnapshot`] and receives the committed texts of every
+//!    finished wave, so all units of a wave observe exactly the
+//!    wave-start library state regardless of worker count — that is the
+//!    determinism contract the property suite checks: `--jobs 1` and
+//!    `--jobs N` produce byte-identical VIF and identical diagnostics.
+//! 2. **Incrementality.** Each committed unit is stamped with a content
+//!    hash of its source token run combined with the hashes of its
+//!    dependencies' *VIF texts*. VIF text (not symbol ids or node
+//!    addresses) is the hash input because it is the stable on-disk
+//!    interchange form: interner ids differ between processes and between
+//!    thread interleavings, the text never does. On a warm run a unit
+//!    whose recomputed stamp matches its stored stamp is skipped; a
+//!    changed package re-analyzes exactly its transitive dependents,
+//!    because the dependents' stamps absorb the new VIF text hash — and a
+//!    change that leaves a unit's VIF text identical (a comment, a
+//!    body-local rename) cuts the invalidation off early.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vhdl_sem::analyze::{collect_toks, Analyzer, UnitLoader};
+use vhdl_sem::msg::{Msg, Severity};
+use vhdl_syntax::Cst;
+use vhdl_vif::{write_vif, Library, LibrarySet, LibrarySnapshot, VifTraffic};
+
+use crate::depgraph::{self, fnv1a_bytes};
+use crate::{Compiler, PhaseTimes, TimedLoader};
+
+/// Options of one batch compilation.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker count; `<= 1` analyzes inline on the calling thread (same
+    /// schedule, same commit order — the determinism baseline).
+    pub jobs: usize,
+    /// Skip units whose incremental stamp matches the library's.
+    pub incremental: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 1,
+            incremental: false,
+        }
+    }
+}
+
+/// Hit/miss/cold counters of the incremental cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Stamp present and equal: analysis skipped.
+    pub hits: u64,
+    /// Stamp present but stale (source or a dependency changed).
+    pub misses: u64,
+    /// No stamp recorded (never compiled, or last compile failed).
+    pub cold: u64,
+}
+
+impl CacheStats {
+    /// Units whose analysis was skipped.
+    pub fn skipped(&self) -> u64 {
+        self.hits
+    }
+
+    /// Units that were (re)analyzed.
+    pub fn analyzed(&self) -> u64 {
+        self.misses + self.cold
+    }
+
+    /// Hit rate over all scheduled units.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.analyzed();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of one design unit in a batch.
+#[derive(Clone, Debug)]
+pub struct BatchUnit {
+    /// Input file index.
+    pub file: usize,
+    /// Unit index within the file.
+    pub unit_in_file: usize,
+    /// Library key (empty when the unit produced none).
+    pub key: String,
+    /// Wave the unit ran in; `None` for cycle members (never scheduled).
+    pub wave: Option<usize>,
+    /// `true` when the incremental stamp matched and analysis was skipped.
+    pub skipped: bool,
+    /// Diagnostics, in source order.
+    pub msgs: Vec<Msg>,
+    /// Cascade invocations while analyzing (0 when skipped).
+    pub expr_evals: u64,
+}
+
+/// Result of one batch compilation.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-unit outcomes, in input order.
+    pub units: Vec<BatchUnit>,
+    /// Files that failed to scan/parse: `(file index, error)`.
+    pub front_errors: Vec<(usize, String)>,
+    /// Aggregated phase times (CPU-summed across workers, so under
+    /// `--jobs N` this can exceed wall-clock).
+    pub phases: PhaseTimes,
+    /// Incremental cache counters.
+    pub cache: CacheStats,
+    /// Number of waves executed.
+    pub waves: usize,
+    /// Worker count used.
+    pub jobs: usize,
+    /// Non-blank source lines across all files.
+    pub lines: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// VIF traffic on the coordinator's libraries during the batch.
+    pub traffic: VifTraffic,
+}
+
+impl BatchResult {
+    /// `true` when every file parsed and every unit analyzed cleanly.
+    pub fn ok(&self) -> bool {
+        self.front_errors.is_empty() && self.units.iter().all(|u| !has_errors(&u.msgs))
+    }
+
+    /// All diagnostics rendered with their file name, in input order —
+    /// the byte-comparable form the determinism suite uses.
+    pub fn rendered_msgs(&self, file_names: &[String]) -> String {
+        let mut out = String::new();
+        for (i, e) in &self.front_errors {
+            out.push_str(&format!("{}: {e}\n", file_names[*i]));
+        }
+        for u in &self.units {
+            for m in &u.msgs {
+                out.push_str(&format!("{}:{m}\n", file_names[u.file]));
+            }
+        }
+        out
+    }
+}
+
+fn has_errors(msgs: &[Msg]) -> bool {
+    msgs.iter().any(|m| m.severity == Severity::Error)
+}
+
+/// One scheduled analysis job.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    global: usize,
+    file: usize,
+    unit_in_file: usize,
+}
+
+/// Coordinator → worker messages. Only text crosses the boundary.
+enum ToWorker {
+    /// Start a wave: apply the committed texts of the previous wave to the
+    /// mirror library, then drain the shared queue.
+    Wave {
+        puts: Vec<(String, String)>,
+        queue: Arc<Mutex<VecDeque<Job>>>,
+    },
+    /// Batch finished.
+    Done,
+}
+
+/// Worker → coordinator result of one job.
+struct JobOut {
+    global: usize,
+    key: String,
+    /// Serialized VIF when the unit analyzed cleanly.
+    vif_text: Option<String>,
+    msgs: Vec<Msg>,
+    expr_evals: u64,
+    parse: Duration,
+    attr_eval: Duration,
+    vif_read: Duration,
+    vif_write: Duration,
+}
+
+/// Analyzes one unit against `libs` and packages the outcome as the
+/// Send-able `JobOut`. Shared by the worker loop and the inline
+/// (`jobs <= 1`) path so both produce identical results.
+fn run_job(analyzer: &Analyzer, libs: &Rc<LibrarySet>, unit: &Cst, global: usize) -> JobOut {
+    let read_spent = Rc::new(RefCell::new(Duration::ZERO));
+    let loader = Rc::new(TimedLoader {
+        inner: Rc::clone(libs),
+        spent: Rc::clone(&read_spent),
+    });
+    let t0 = Instant::now();
+    let au = analyzer.analyze_unit_with_loader(unit, loader as Rc<dyn UnitLoader>);
+    let analysis = t0.elapsed();
+    let vif_read = *read_spent.borrow();
+    let t0 = Instant::now();
+    let vif_text = (!au.msgs.has_errors() && !au.key.is_empty()).then(|| write_vif(&au.node));
+    let vif_write = t0.elapsed();
+    JobOut {
+        global,
+        key: au.key,
+        vif_text,
+        msgs: au.msgs.to_vec(),
+        expr_evals: au.expr_evals,
+        parse: Duration::ZERO,
+        attr_eval: analysis.saturating_sub(vif_read),
+        vif_read,
+        vif_write,
+    }
+}
+
+/// The worker loop: parse lazily (cached per file), analyze against the
+/// mirror library, ship text back. Everything it owns is thread-local.
+fn worker_main(
+    env_kind: vhdl_sem::env::EnvKind,
+    files: Arc<Vec<(String, String)>>,
+    snapshot: LibrarySnapshot,
+    rx: Receiver<ToWorker>,
+    tx: Sender<JobOut>,
+) {
+    let analyzer = Analyzer::thread_shared(env_kind);
+    let work = Rc::new(Library::from_snapshot(&snapshot));
+    let libs = Rc::new(LibrarySet::new(Rc::clone(&work), vec![]));
+    let mut csts: HashMap<usize, Result<Vec<Cst>, String>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        let (puts, queue) = match msg {
+            ToWorker::Done => break,
+            ToWorker::Wave { puts, queue } => (puts, queue),
+        };
+        for (k, text) in &puts {
+            let _ = work.put_text(k, text);
+        }
+        loop {
+            let job = queue.lock().expect("job queue").pop_front();
+            let Some(job) = job else { break };
+            let mut parse = Duration::ZERO;
+            let units = csts.entry(job.file).or_insert_with(|| {
+                let t0 = Instant::now();
+                let r = analyzer
+                    .parse_units(&files[job.file].1)
+                    .map_err(|e| e.to_string());
+                parse = t0.elapsed();
+                r
+            });
+            let out = match units {
+                Err(e) => JobOut {
+                    global: job.global,
+                    key: String::new(),
+                    vif_text: None,
+                    msgs: vec![Msg::error(
+                        Default::default(),
+                        format!("internal: file re-parse failed: {e}"),
+                    )],
+                    expr_evals: 0,
+                    parse,
+                    attr_eval: Duration::ZERO,
+                    vif_read: Duration::ZERO,
+                    vif_write: Duration::ZERO,
+                },
+                Ok(units) => {
+                    let mut out = run_job(&analyzer, &libs, &units[job.unit_in_file], job.global);
+                    out.parse = parse;
+                    out
+                }
+            };
+            if tx.send(out).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+impl Compiler {
+    /// Compiles a set of `(name, source)` files as one batch:
+    /// dependency-staged, optionally parallel, optionally incremental.
+    /// Files may arrive in any order — the wave schedule, not the file
+    /// list, decides analysis order. Successful units are committed to the
+    /// work library at wave barriers in input order, so the library
+    /// history (and with it the §3.3 latest-compiled-architecture
+    /// default-binding rule) is identical for every `jobs` value.
+    pub fn compile_batch(&self, files: &[(String, String)], opts: BatchOptions) -> BatchResult {
+        let _t = ag_harness::trace::span("compile-batch");
+        let wall0 = Instant::now();
+        self.libs.reset_traffic();
+        let mut phases = PhaseTimes::default();
+        let mut front_errors = Vec::new();
+
+        // Parse everything up front: unit extraction needs token runs, and
+        // the inline path reuses the trees.
+        let mut file_units: Vec<Vec<Cst>> = Vec::with_capacity(files.len());
+        let t0 = Instant::now();
+        for (i, (_, src)) in files.iter().enumerate() {
+            match self.analyzer.parse_units(src) {
+                Ok(us) => file_units.push(us),
+                Err(e) => {
+                    front_errors.push((i, e.to_string()));
+                    file_units.push(Vec::new());
+                }
+            }
+        }
+        phases.parse += t0.elapsed();
+
+        let mut unit_toks = Vec::new();
+        for (f, units) in file_units.iter().enumerate() {
+            for (u, cst) in units.iter().enumerate() {
+                let mut toks = Vec::new();
+                collect_toks(cst, &mut toks);
+                unit_toks.push((f, u, toks));
+            }
+        }
+        let work = Rc::clone(self.libs.work());
+        let graph = depgraph::build(&unit_toks, &|key| work.contains(key));
+
+        let mut out_units: Vec<BatchUnit> = Vec::new();
+        // Cycle members become diagnostics, never jobs.
+        for (members, path) in &graph.cycles {
+            for &m in members {
+                let meta = &graph.units[m];
+                out_units.push(BatchUnit {
+                    file: meta.file,
+                    unit_in_file: meta.unit_in_file,
+                    key: meta.key.clone(),
+                    wave: None,
+                    skipped: false,
+                    msgs: vec![Msg::error(
+                        meta.pos,
+                        format!("dependency cycle among design units: {path}"),
+                    )],
+                    expr_evals: 0,
+                });
+            }
+        }
+
+        // Spin up the pool; workers build their analyzers while the
+        // coordinator stamps wave 0.
+        let jobs = opts.jobs.max(1);
+        let mut worker_tx: Vec<Sender<ToWorker>> = Vec::new();
+        let mut handles = Vec::new();
+        let (result_tx, result_rx) = channel::<JobOut>();
+        if jobs > 1 {
+            let files_arc: Arc<Vec<(String, String)>> = Arc::new(files.to_vec());
+            let snapshot = work.snapshot();
+            let env_kind = self.analyzer.env_kind;
+            for _ in 0..jobs {
+                let (tx, rx) = channel::<ToWorker>();
+                worker_tx.push(tx);
+                let files = Arc::clone(&files_arc);
+                let snap = snapshot.clone();
+                let out = result_tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    worker_main(env_kind, files, snap, rx, out)
+                }));
+            }
+        }
+
+        let mut cache = CacheStats::default();
+        // Hash of each key's current VIF text, filled lazily from the
+        // library and refreshed at every commit.
+        let mut dep_hash: HashMap<String, u64> = HashMap::new();
+        // Texts committed since the workers last synced their mirrors.
+        let mut pending_delta: Vec<(String, String)> = Vec::new();
+
+        for (w, wave) in graph.waves.iter().enumerate() {
+            // Stamp every unit of the wave against the current library
+            // state and decide skip vs analyze.
+            let mut jobs_list: Vec<(Job, u64)> = Vec::new();
+            for &i in wave {
+                let meta = &graph.units[i];
+                let mut stamp = meta.src_hash;
+                for dep in &meta.deps {
+                    stamp = fnv1a_bytes(stamp, dep.as_bytes());
+                    let dh = match dep_hash.get(dep) {
+                        Some(&h) => Some(h),
+                        None => work.peek_raw(dep).ok().map(|text| {
+                            let h = fnv1a_bytes(0, text.as_bytes());
+                            dep_hash.insert(dep.clone(), h);
+                            h
+                        }),
+                    };
+                    match dh {
+                        Some(h) => stamp = fnv1a_bytes(stamp, &h.to_le_bytes()),
+                        None => stamp = fnv1a_bytes(stamp, b"?"),
+                    }
+                }
+                if opts.incremental && work.stamp(&meta.key) == Some(stamp) {
+                    cache.hits += 1;
+                    out_units.push(BatchUnit {
+                        file: meta.file,
+                        unit_in_file: meta.unit_in_file,
+                        key: meta.key.clone(),
+                        wave: Some(w),
+                        skipped: true,
+                        msgs: Vec::new(),
+                        expr_evals: 0,
+                    });
+                    continue;
+                }
+                match work.stamp(&meta.key) {
+                    Some(_) => cache.misses += 1,
+                    None => cache.cold += 1,
+                }
+                jobs_list.push((
+                    Job {
+                        global: i,
+                        file: meta.file,
+                        unit_in_file: meta.unit_in_file,
+                    },
+                    stamp,
+                ));
+            }
+            let stamps: HashMap<usize, u64> =
+                jobs_list.iter().map(|(j, s)| (j.global, *s)).collect();
+
+            // Run the wave.
+            let mut results: Vec<JobOut> = if jobs > 1 {
+                let queue: Arc<Mutex<VecDeque<Job>>> =
+                    Arc::new(Mutex::new(jobs_list.iter().map(|(j, _)| *j).collect()));
+                let delta = std::mem::take(&mut pending_delta);
+                for tx in &worker_tx {
+                    let _ = tx.send(ToWorker::Wave {
+                        puts: delta.clone(),
+                        queue: Arc::clone(&queue),
+                    });
+                }
+                (0..jobs_list.len())
+                    .map(|_| result_rx.recv().expect("worker result"))
+                    .collect()
+            } else {
+                pending_delta.clear();
+                jobs_list
+                    .iter()
+                    .map(|(job, _)| {
+                        run_job(
+                            &self.analyzer,
+                            &self.libs,
+                            &file_units[job.file][job.unit_in_file],
+                            job.global,
+                        )
+                    })
+                    .collect()
+            };
+
+            // Wave barrier: commit in input (global) order, stamp, record.
+            results.sort_by_key(|r| r.global);
+            for r in results {
+                phases.parse += r.parse;
+                phases.attr_eval += r.attr_eval;
+                phases.vif_read += r.vif_read;
+                phases.vif_write += r.vif_write;
+                if let Some(text) = &r.vif_text {
+                    let t0 = Instant::now();
+                    let committed = work.put_text(&r.key, text).is_ok();
+                    phases.vif_write += t0.elapsed();
+                    if committed {
+                        if let Some(&stamp) = stamps.get(&r.global) {
+                            let _ = work.set_stamp(&r.key, stamp);
+                        }
+                        dep_hash.insert(r.key.clone(), fnv1a_bytes(0, text.as_bytes()));
+                        pending_delta.push((r.key.clone(), text.clone()));
+                    }
+                }
+                let meta = &graph.units[r.global];
+                out_units.push(BatchUnit {
+                    file: meta.file,
+                    unit_in_file: meta.unit_in_file,
+                    key: r.key,
+                    wave: Some(w),
+                    skipped: false,
+                    msgs: r.msgs,
+                    expr_evals: r.expr_evals,
+                });
+            }
+        }
+
+        for tx in &worker_tx {
+            let _ = tx.send(ToWorker::Done);
+        }
+        drop(worker_tx);
+        for h in handles {
+            let _ = h.join();
+        }
+
+        out_units.sort_by_key(|u| (u.file, u.unit_in_file));
+        ag_harness::trace::counter("batch-cache-hit", cache.hits);
+        ag_harness::trace::counter("batch-cache-miss", cache.misses);
+        ag_harness::trace::counter("batch-cache-cold", cache.cold);
+        ag_harness::trace::counter("batch-waves", graph.waves.len() as u64);
+
+        BatchResult {
+            units: out_units,
+            front_errors,
+            phases,
+            cache,
+            waves: graph.waves.len(),
+            jobs,
+            lines: files
+                .iter()
+                .map(|(_, s)| s.lines().filter(|l| !l.trim().is_empty()).count())
+                .sum(),
+            wall: wall0.elapsed(),
+            traffic: self.libs.traffic(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> Vec<(String, String)> {
+        // Deliberately out of dependency order: the architecture and the
+        // dependent package precede what they depend on.
+        vec![
+            (
+                "top.vhd".into(),
+                "architecture rtl of e is\n\
+                 signal s : bit;\n\
+                 begin\n\
+                 s <= '1';\n\
+                 end rtl;\n"
+                    .into(),
+            ),
+            ("ent.vhd".into(), "entity e is\nend e;\n".into()),
+            (
+                "pkg.vhd".into(),
+                "package p is\nconstant width : integer := 8;\nend p;\n".into(),
+            ),
+        ]
+    }
+
+    fn vif_texts(c: &Compiler) -> Vec<(String, String)> {
+        let work = c.libs.work();
+        let mut keys: Vec<String> = work.history().iter().map(|k| k.to_string()).collect();
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .map(|k| {
+                let t = work.peek_raw(&k).expect("stored");
+                (k, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_library_state() {
+        // The sequential baseline compiles in dependency order.
+        let seq = Compiler::in_memory();
+        let ordered = [
+            "entity e is\nend e;\n",
+            "architecture rtl of e is\nsignal s : bit;\nbegin\ns <= '1';\nend rtl;\n",
+            "package p is\nconstant width : integer := 8;\nend p;\n",
+        ];
+        for src in ordered {
+            let r = seq.compile(src).expect("parse");
+            assert!(r.ok(), "{}", r.msgs());
+        }
+
+        let batch = Compiler::in_memory();
+        let r = batch.compile_batch(&design(), BatchOptions::default());
+        assert!(r.ok(), "{:?}", r.units);
+        assert_eq!(r.units.len(), 3);
+        let seq_texts = vif_texts(&seq);
+        let batch_texts = vif_texts(&batch);
+        assert_eq!(seq_texts, batch_texts);
+    }
+
+    #[test]
+    fn parallel_batch_is_byte_identical_to_serial() {
+        let c1 = Compiler::in_memory();
+        let r1 = c1.compile_batch(&design(), BatchOptions::default());
+        let c4 = Compiler::in_memory();
+        let r4 = c4.compile_batch(
+            &design(),
+            BatchOptions {
+                jobs: 4,
+                incremental: false,
+            },
+        );
+        assert!(r1.ok() && r4.ok());
+        assert_eq!(r1.waves, r4.waves);
+        assert_eq!(vif_texts(&c1), vif_texts(&c4));
+        let names: Vec<String> = design().iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(r1.rendered_msgs(&names), r4.rendered_msgs(&names));
+    }
+
+    #[test]
+    fn warm_incremental_run_skips_everything() {
+        let c = Compiler::in_memory();
+        let opts = BatchOptions {
+            jobs: 1,
+            incremental: true,
+        };
+        let cold = c.compile_batch(&design(), opts);
+        assert!(cold.ok());
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.analyzed(), 3);
+        let warm = c.compile_batch(&design(), opts);
+        assert!(warm.ok());
+        assert_eq!(warm.cache.hits, 3);
+        assert_eq!(warm.cache.analyzed(), 0);
+        assert!(warm.units.iter().all(|u| u.skipped));
+    }
+
+    #[test]
+    fn touched_unit_invalidates_exactly_its_dependents() {
+        let c = Compiler::in_memory();
+        let opts = BatchOptions {
+            jobs: 1,
+            incremental: true,
+        };
+        let mut files = design();
+        let cold = c.compile_batch(&files, opts);
+        assert!(cold.ok());
+        // Change the entity: the architecture depends on it, the package
+        // does not.
+        files[1].1 = "entity e is\nport (clk : in bit);\nend e;\n".into();
+        let warm = c.compile_batch(&files, opts);
+        assert!(warm.ok(), "{:?}", warm.units);
+        assert_eq!(warm.cache.hits, 1, "only pkg.p should hit");
+        assert_eq!(warm.cache.misses, 2, "entity + dependent arch re-analyze");
+        let skipped: Vec<&str> = warm
+            .units
+            .iter()
+            .filter(|u| u.skipped)
+            .map(|u| u.key.as_str())
+            .collect();
+        assert_eq!(skipped, ["pkg.p"]);
+    }
+
+    #[test]
+    fn cycle_yields_diagnostics_not_hang() {
+        let files = vec![
+            ("a.vhd".into(), "use work.b;\npackage a is\nend a;\n".into()),
+            ("b.vhd".into(), "use work.a;\npackage b is\nend b;\n".into()),
+        ];
+        let c = Compiler::in_memory();
+        let r = c.compile_batch(&files, BatchOptions::default());
+        assert!(!r.ok());
+        assert_eq!(r.units.len(), 2);
+        for u in &r.units {
+            assert_eq!(u.wave, None);
+            assert!(u.msgs[0].to_string().contains("dependency cycle"));
+        }
+    }
+}

@@ -1,16 +1,21 @@
 //! `vhdlc` — the command-line compiler/simulator.
 //!
 //! ```text
-//! vhdlc [--work DIR] [--elab ENTITY[:ARCH]] [--config NAME]
+//! vhdlc [--work DIR] [--jobs N] [--incremental]
+//!       [--elab ENTITY[:ARCH]] [--config NAME]
 //!       [--run TIME_NS] [--vcd FILE] [--emit-c FILE] [--stats]
 //!       [--trace-phases] FILE...
 //! ```
 //!
 //! Compiles each file into the work library (in order), optionally
-//! elaborates a top unit, optionally simulates it. `--trace-phases`
-//! prints a per-phase time/allocation table of the Fig. 1 pipeline
-//! (lex → principal AG → exprEval cascade → VIF → elaboration/codegen →
-//! kernel) after the run.
+//! elaborates a top unit, optionally simulates it. `--jobs N` switches to
+//! batch mode: all files are dependency-staged together and analyzed
+//! across N worker threads (`--jobs 0` = one per CPU), with identical
+//! output for every N. `--incremental` skips units whose source and
+//! dependency VIF are unchanged since the last compile into the same
+//! `--work` library. `--trace-phases` prints a per-phase
+//! time/allocation table of the Fig. 1 pipeline (lex → principal AG →
+//! exprEval cascade → VIF → elaboration/codegen → kernel) after the run.
 
 use std::process::ExitCode;
 
@@ -25,6 +30,8 @@ static ALLOC: ag_harness::alloc::CountingAlloc = ag_harness::alloc::CountingAllo
 
 struct Args {
     work: Option<String>,
+    jobs: Option<usize>,
+    incremental: bool,
     elab: Option<(String, Option<String>)>,
     config: Option<String>,
     run_ns: Option<u64>,
@@ -38,6 +45,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         work: None,
+        jobs: None,
+        incremental: false,
         elab: None,
         config: None,
         run_ns: None,
@@ -52,6 +61,17 @@ fn parse_args() -> Result<Args, String> {
         let mut grab = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match a.as_str() {
             "--work" => out.work = Some(grab("--work")?),
+            "--jobs" => {
+                let n: usize = grab("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a worker count".to_string())?;
+                out.jobs = Some(if n == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    n
+                });
+            }
+            "--incremental" => out.incremental = true,
             "--elab" => {
                 let v = grab("--elab")?;
                 let (e, a) = match v.split_once(':') {
@@ -74,8 +94,9 @@ fn parse_args() -> Result<Args, String> {
             "--trace-phases" => out.trace_phases = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: vhdlc [--work DIR] [--elab ENTITY[:ARCH]] [--config NAME] \
-                     [--run NS] [--vcd FILE] [--emit-c FILE] [--stats] [--trace-phases] FILE..."
+                    "usage: vhdlc [--work DIR] [--jobs N] [--incremental] \
+                     [--elab ENTITY[:ARCH]] [--config NAME] [--run NS] [--vcd FILE] \
+                     [--emit-c FILE] [--stats] [--trace-phases] FILE..."
                 );
                 std::process::exit(0);
             }
@@ -110,40 +131,83 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut phases = vhdl_driver::PhaseTimes::default();
-    for f in &args.files {
-        let src = match std::fs::read_to_string(f) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("vhdlc: {f}: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        match compiler.compile(&src) {
-            Ok(r) => {
-                for m in r.msgs().to_vec() {
-                    eprintln!("{f}:{m}");
+    if args.jobs.is_some() || args.incremental {
+        // Batch mode: all files staged together, order-independent.
+        let mut files = Vec::new();
+        for f in &args.files {
+            match std::fs::read_to_string(f) {
+                Ok(s) => files.push((f.clone(), s)),
+                Err(e) => {
+                    eprintln!("vhdlc: {f}: {e}");
+                    return ExitCode::from(2);
                 }
-                if !r.ok() {
+            }
+        }
+        let opts = vhdl_driver::batch::BatchOptions {
+            jobs: args.jobs.unwrap_or(1),
+            incremental: args.incremental,
+        };
+        let r = compiler.compile_batch(&files, opts);
+        let names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+        eprint!("{}", r.rendered_msgs(&names));
+        failed = !r.ok();
+        if args.stats {
+            eprintln!(
+                "batch: {} units in {} waves on {} workers, {} lines, wall {:?}, \
+                 cache hit {} miss {} cold {}, vif read {} B written {} B",
+                r.units.len(),
+                r.waves,
+                r.jobs,
+                r.lines,
+                r.wall,
+                r.cache.hits,
+                r.cache.misses,
+                r.cache.cold,
+                r.traffic.bytes_read,
+                r.traffic.bytes_written
+            );
+        }
+        let p = r.phases;
+        phases.parse += p.parse;
+        phases.attr_eval += p.attr_eval;
+        phases.vif_read += p.vif_read;
+        phases.vif_write += p.vif_write;
+    } else {
+        for f in &args.files {
+            let src = match std::fs::read_to_string(f) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("vhdlc: {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match compiler.compile(&src) {
+                Ok(r) => {
+                    for m in r.msgs().to_vec() {
+                        eprintln!("{f}:{m}");
+                    }
+                    if !r.ok() {
+                        failed = true;
+                    }
+                    if args.stats {
+                        eprintln!(
+                            "{f}: {} lines, {:.0} lines/min, vif read {} B written {} B",
+                            r.lines,
+                            r.lines_per_minute(),
+                            r.traffic.bytes_read,
+                            r.traffic.bytes_written
+                        );
+                    }
+                    let p = r.phases;
+                    phases.parse += p.parse;
+                    phases.attr_eval += p.attr_eval;
+                    phases.vif_read += p.vif_read;
+                    phases.vif_write += p.vif_write;
+                }
+                Err(e) => {
+                    eprintln!("{f}: {e}");
                     failed = true;
                 }
-                if args.stats {
-                    eprintln!(
-                        "{f}: {} lines, {:.0} lines/min, vif read {} B written {} B",
-                        r.lines,
-                        r.lines_per_minute(),
-                        r.traffic.bytes_read,
-                        r.traffic.bytes_written
-                    );
-                }
-                let p = r.phases;
-                phases.parse += p.parse;
-                phases.attr_eval += p.attr_eval;
-                phases.vif_read += p.vif_read;
-                phases.vif_write += p.vif_write;
-            }
-            Err(e) => {
-                eprintln!("{f}: {e}");
-                failed = true;
             }
         }
     }

@@ -1,0 +1,525 @@
+//! The design-unit dependency graph behind batch compilation.
+//!
+//! The paper's §2 architecture makes the VIF the separate-compilation
+//! interchange format: a unit's analysis needs only the *VIF* of the units
+//! it references, never their source. That is exactly the property a batch
+//! scheduler needs — the graph of "which unit's VIF does this unit read"
+//! is extracted here from **parsed but unanalyzed** units (token-level
+//! patterns over the CST leaves), topologically staged into waves, and
+//! executed by [`crate::batch`] with every wave's units analyzed in
+//! parallel.
+//!
+//! Dependencies that name no unit in the batch fall back to a library
+//! lookup: a unit already analyzed into the work library satisfies the
+//! edge without scheduling anything (and contributes its VIF-text hash to
+//! the dependent's incremental stamp). Names found in neither place add no
+//! edge — analysis itself reports undefined references, exactly as the
+//! sequential driver would.
+
+use vhdl_syntax::{Pos, SrcTok, TokenKind};
+
+/// Metadata of one parsed, not-yet-analyzed design unit.
+#[derive(Clone, Debug)]
+pub struct UnitMeta {
+    /// Index of the source file in the batch's input order.
+    pub file: usize,
+    /// Index of the unit within its file.
+    pub unit_in_file: usize,
+    /// Best-effort library key (`entity.x`, `arch.x.rtl`, `pkg.p`,
+    /// `pkgbody.p`, `config.c`); empty when the header shape is
+    /// unrecognizable (analysis will diagnose it).
+    pub key: String,
+    /// Resolved dependency keys, sorted and deduplicated: units of this
+    /// batch plus units satisfied from the library.
+    pub deps: Vec<String>,
+    /// FNV-1a hash of the unit's token run (kind + spelling) — the source
+    /// half of the incremental stamp. Whitespace and comments don't lex,
+    /// so touching only those leaves the hash unchanged.
+    pub src_hash: u64,
+    /// Position of the unit's first token (for diagnostics).
+    pub pos: Pos,
+}
+
+/// The staged graph: units, wave assignment, and any dependency cycles.
+#[derive(Debug)]
+pub struct DepGraph {
+    /// One entry per unit, in batch input order.
+    pub units: Vec<UnitMeta>,
+    /// Batch-internal dependency edges: `edges[i]` lists unit indices that
+    /// must be committed before unit `i` is analyzed.
+    pub edges: Vec<Vec<usize>>,
+    /// Wave partition: `waves[w]` holds unit indices (ascending, i.e.
+    /// input order) whose dependencies all lie in waves `< w`.
+    pub waves: Vec<Vec<usize>>,
+    /// Units trapped in dependency cycles, with a rendered cycle path per
+    /// group (they are never scheduled; the driver turns each group into a
+    /// diagnostic).
+    pub cycles: Vec<(Vec<usize>, String)>,
+}
+
+/// 64-bit FNV-1a over a byte stream (same constants as
+/// `ag_harness::rng::fnv1a`, here fed incrementally).
+pub fn fnv1a_bytes(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of a unit's token run: every token's kind name and spelling,
+/// separated so adjacent tokens can't alias.
+pub fn src_hash(toks: &[SrcTok]) -> u64 {
+    let mut h = 0u64;
+    for t in toks {
+        h = fnv1a_bytes(h, t.kind.name().as_bytes());
+        h = fnv1a_bytes(h, &[0x1f]);
+        h = fnv1a_bytes(h, t.text.as_str().as_bytes());
+        h = fnv1a_bytes(h, &[0x1e]);
+    }
+    h
+}
+
+/// Skips a context clause (`library ...;` / `use ...;` runs) and returns
+/// the index of the unit header keyword.
+fn skip_context_clause(toks: &[SrcTok]) -> usize {
+    let mut i = 0;
+    while i < toks.len() && matches!(toks[i].kind, TokenKind::KwLibrary | TokenKind::KwUse) {
+        while i < toks.len() && toks[i].kind != TokenKind::Semi {
+            i += 1;
+        }
+        i += 1; // past the ';'
+    }
+    i
+}
+
+fn ident(toks: &[SrcTok], i: usize) -> Option<&str> {
+    toks.get(i)
+        .filter(|t| t.kind == TokenKind::Id)
+        .map(|t| t.text.as_str())
+}
+
+/// Best-effort library key of a parsed unit, from its header tokens. The
+/// same keys [`vhdl_sem::analyze::unit_key`] derives after analysis —
+/// deriving them *before* analysis is what lets the scheduler know what a
+/// unit will provide.
+pub fn header_key(toks: &[SrcTok]) -> String {
+    let i = skip_context_clause(toks);
+    match toks.get(i).map(|t| t.kind) {
+        Some(TokenKind::KwEntity) => match ident(toks, i + 1) {
+            Some(name) => format!("entity.{name}"),
+            None => String::new(),
+        },
+        Some(TokenKind::KwArchitecture) => {
+            match (
+                ident(toks, i + 1),
+                toks.get(i + 2).map(|t| t.kind),
+                ident(toks, i + 3),
+            ) {
+                (Some(arch), Some(TokenKind::KwOf), Some(entity)) => {
+                    format!("arch.{entity}.{arch}")
+                }
+                _ => String::new(),
+            }
+        }
+        Some(TokenKind::KwPackage) => {
+            if toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::KwBody) {
+                match ident(toks, i + 2) {
+                    Some(name) => format!("pkgbody.{name}"),
+                    None => String::new(),
+                }
+            } else {
+                match ident(toks, i + 1) {
+                    Some(name) => format!("pkg.{name}"),
+                    None => String::new(),
+                }
+            }
+        }
+        Some(TokenKind::KwConfiguration) => match ident(toks, i + 1) {
+            Some(name) => format!("config.{name}"),
+            None => String::new(),
+        },
+        _ => String::new(),
+    }
+}
+
+/// Candidate dependency keys a unit's token run names, *before* any
+/// resolution against the batch or library:
+///
+/// - `architecture a of e` / `configuration c of e` → `entity.e`
+/// - `package body p` → `pkg.p`
+/// - `use lib.p` (p ≠ `all`) → `pkg.p`
+/// - `entity [lib.]e(a)` (direct binding indications) → `entity.e` and
+///   `arch.e.a`
+/// - any identifier spelling a package name → `pkg.<id>` (covers selected
+///   names like `math.square`; filtered against known packages later)
+pub fn candidate_deps(toks: &[SrcTok]) -> Vec<String> {
+    let mut out = Vec::new();
+    let header = skip_context_clause(toks);
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokenKind::KwOf => {
+                if let Some(e) = ident(toks, i + 1) {
+                    out.push(format!("entity.{e}"));
+                }
+            }
+            TokenKind::KwPackage if toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::KwBody) => {
+                if let Some(p) = ident(toks, i + 2) {
+                    out.push(format!("pkg.{p}"));
+                }
+            }
+            TokenKind::KwUse => {
+                // use <lib> . <name> [. ...] ;
+                if let (Some(_lib), Some(TokenKind::Dot), Some(name)) = (
+                    ident(toks, i + 1),
+                    toks.get(i + 2).map(|t| t.kind),
+                    ident(toks, i + 3),
+                ) {
+                    if name != "all" {
+                        out.push(format!("pkg.{name}"));
+                    }
+                }
+            }
+            // `entity work.e(a)` in binding indications and direct
+            // instantiation — but not this unit's own `entity e is` /
+            // `end entity` header tokens.
+            TokenKind::KwEntity
+                if i != header && (i == 0 || toks[i - 1].kind != TokenKind::KwEnd) =>
+            {
+                let (e, after) = match (
+                    ident(toks, i + 1),
+                    toks.get(i + 2).map(|t| t.kind),
+                    ident(toks, i + 3),
+                ) {
+                    (Some(_lib), Some(TokenKind::Dot), Some(e)) => (Some(e), i + 4),
+                    (e, _, _) => (e, i + 2),
+                };
+                if let Some(e) = e {
+                    out.push(format!("entity.{e}"));
+                    if toks.get(after).map(|t| t.kind) == Some(TokenKind::LParen) {
+                        if let (Some(a), Some(TokenKind::RParen)) =
+                            (ident(toks, after + 1), toks.get(after + 2).map(|t| t.kind))
+                        {
+                            out.push(format!("arch.{e}.{a}"));
+                        }
+                    }
+                }
+            }
+            // Any identifier that spells a package name (selected names,
+            // plain calls of use-d subprograms); resolved later.
+            TokenKind::Id => out.push(format!("pkg.{}", toks[i].text.as_str())),
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Builds the staged dependency graph for one batch.
+///
+/// `units` holds, per unit in input order, `(file, unit_in_file, tokens)`.
+/// `in_library` answers whether a key is already satisfied by the library
+/// universe (the missing-unit fallback).
+pub fn build(units: &[(usize, usize, Vec<SrcTok>)], in_library: &dyn Fn(&str) -> bool) -> DepGraph {
+    let metas_raw: Vec<(String, Vec<String>, u64, Pos)> = units
+        .iter()
+        .map(|(_, _, toks)| {
+            (
+                header_key(toks),
+                candidate_deps(toks),
+                src_hash(toks),
+                toks.first().map(|t| t.pos).unwrap_or_default(),
+            )
+        })
+        .collect();
+
+    // What the batch provides: key → unit indices, in input order.
+    let mut providers: std::collections::HashMap<&str, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, (key, _, _, _)) in metas_raw.iter().enumerate() {
+        if !key.is_empty() {
+            providers.entry(key.as_str()).or_default().push(i);
+        }
+    }
+
+    let mut metas = Vec::with_capacity(units.len());
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+    for (i, (key, cands, hash, pos)) in metas_raw.iter().enumerate() {
+        let mut deps: Vec<String> = Vec::new();
+        for cand in cands {
+            if cand == key {
+                continue;
+            }
+            if let Some(ps) = providers.get(cand.as_str()) {
+                deps.push(cand.clone());
+                edges[i].extend(ps.iter().copied().filter(|&p| p != i));
+            } else if in_library(cand) {
+                // Missing-unit fallback: satisfied by an already-compiled
+                // library unit; no edge, but it still stamps the unit.
+                deps.push(cand.clone());
+            }
+        }
+        deps.sort();
+        deps.dedup();
+        metas.push(UnitMeta {
+            file: units[i].0,
+            unit_in_file: units[i].1,
+            key: key.clone(),
+            deps,
+            src_hash: *hash,
+            pos: *pos,
+        });
+    }
+
+    // Serialization chains keep the library history deterministic:
+    // recompiles of the same key, and the architectures of one entity
+    // (whose relative history order decides §3.3 default binding), commit
+    // in input order.
+    let mut chains: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (i, m) in metas.iter().enumerate() {
+        if m.key.is_empty() {
+            continue;
+        }
+        let class = match m.key.split_once('.') {
+            Some(("arch", rest)) => match rest.split_once('.') {
+                Some((entity, _)) => format!("archof.{entity}"),
+                None => m.key.clone(),
+            },
+            _ => m.key.clone(),
+        };
+        if let Some(&prev) = chains.get(&class) {
+            edges[i].push(prev);
+        }
+        chains.insert(class, i);
+    }
+    for e in &mut edges {
+        e.sort_unstable();
+        e.dedup();
+    }
+
+    // Wave = longest dependency path; cycle members get no wave.
+    const UNVISITED: i64 = -1;
+    const VISITING: i64 = -2;
+    const CYCLIC: i64 = -3;
+    let mut depth = vec![UNVISITED; metas.len()];
+    let mut cycles: Vec<(Vec<usize>, String)> = Vec::new();
+    fn visit(
+        i: usize,
+        edges: &[Vec<usize>],
+        metas: &[UnitMeta],
+        depth: &mut [i64],
+        cycles: &mut Vec<(Vec<usize>, String)>,
+        stack: &mut Vec<usize>,
+    ) -> i64 {
+        match depth[i] {
+            VISITING => {
+                // Found a cycle: everything on the stack from `i` on.
+                let start = stack.iter().rposition(|&s| s == i).unwrap_or(0);
+                let members: Vec<usize> = stack[start..].to_vec();
+                let mut path: Vec<&str> = members.iter().map(|&m| metas[m].key.as_str()).collect();
+                path.push(metas[i].key.as_str());
+                for &m in &members {
+                    depth[m] = CYCLIC;
+                }
+                cycles.push((members, path.join(" -> ")));
+                return CYCLIC;
+            }
+            UNVISITED => {}
+            d => return d,
+        }
+        depth[i] = VISITING;
+        stack.push(i);
+        let mut d = 0i64;
+        let mut cyclic = false;
+        for &p in &edges[i] {
+            match visit(p, edges, metas, depth, cycles, stack) {
+                CYCLIC => cyclic = true,
+                pd => d = d.max(pd + 1),
+            }
+        }
+        stack.pop();
+        if depth[i] == CYCLIC || cyclic {
+            // Either this unit was marked as a cycle member while its
+            // children were visited, or it depends on one: exclude it from
+            // scheduling (analysis of dependents would see no VIF anyway).
+            if depth[i] != CYCLIC {
+                depth[i] = CYCLIC;
+                cycles.last_mut().expect("a cycle was recorded").0.push(i);
+            }
+            return CYCLIC;
+        }
+        depth[i] = d;
+        d
+    }
+    for i in 0..metas.len() {
+        let mut stack = Vec::new();
+        visit(i, &edges, &metas, &mut depth, &mut cycles, &mut stack);
+    }
+
+    let max_depth = depth
+        .iter()
+        .copied()
+        .filter(|&d| d >= 0)
+        .max()
+        .unwrap_or(-1);
+    let mut waves: Vec<Vec<usize>> = vec![Vec::new(); (max_depth + 1) as usize];
+    for (i, &d) in depth.iter().enumerate() {
+        if d >= 0 {
+            waves[d as usize].push(i);
+        }
+    }
+
+    DepGraph {
+        units: metas,
+        edges,
+        waves,
+        cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vhdl_sem::analyze::collect_toks;
+    use vhdl_sem::env::EnvKind;
+
+    fn toks_of(src: &str) -> Vec<(usize, usize, Vec<SrcTok>)> {
+        let an = vhdl_sem::analyze::Analyzer::new(EnvKind::Tree);
+        let units = an.parse_units(src).expect("parses");
+        units
+            .iter()
+            .enumerate()
+            .map(|(u, cst)| {
+                let mut t = Vec::new();
+                collect_toks(cst, &mut t);
+                (0, u, t)
+            })
+            .collect()
+    }
+
+    const DESIGN: &str = "
+        package consts is
+          constant k : integer := 3;
+        end consts;
+        entity e is port (q : out integer); end e;
+        use work.consts.all;
+        architecture rtl of e is
+        begin
+          q <= k;
+        end rtl;
+    ";
+
+    #[test]
+    fn keys_and_edges_from_headers() {
+        let units = toks_of(DESIGN);
+        let g = build(&units, &|_| false);
+        let keys: Vec<&str> = g.units.iter().map(|m| m.key.as_str()).collect();
+        assert_eq!(keys, ["pkg.consts", "entity.e", "arch.e.rtl"]);
+        assert!(g.cycles.is_empty());
+        // pkg and entity are independent (wave 0); the arch needs both.
+        assert_eq!(g.waves, vec![vec![0, 1], vec![2]]);
+        assert_eq!(g.units[2].deps, vec!["entity.e", "pkg.consts"]);
+    }
+
+    #[test]
+    fn out_of_order_input_is_staged_correctly() {
+        // Architecture first, entity last: sequential compilation would
+        // fail, the scheduler reorders.
+        let units = toks_of(
+            "architecture rtl of e is begin q <= 1; end rtl;
+             entity e is port (q : out integer); end e;",
+        );
+        let g = build(&units, &|_| false);
+        assert_eq!(g.waves, vec![vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn library_fallback_and_missing_units() {
+        let units = toks_of(
+            "use work.oldpkg.all;
+             entity e is port (q : out integer); end e;",
+        );
+        // `oldpkg` is not in the batch; with a library hit it becomes a
+        // stamped dependency without an edge…
+        let g = build(&units, &|k| k == "pkg.oldpkg");
+        assert_eq!(g.units[0].deps, vec!["pkg.oldpkg"]);
+        assert_eq!(g.waves, vec![vec![0]]);
+        // …and with no library hit it is simply not a dependency (analysis
+        // will report the undefined name).
+        let g = build(&units, &|_| false);
+        assert!(g.units[0].deps.is_empty());
+    }
+
+    #[test]
+    fn cycle_is_reported_not_hung() {
+        let units = toks_of(
+            "use work.b.all;
+             package a is constant x : integer := 1; end a;
+             use work.a.all;
+             package b is constant y : integer := 2; end b;",
+        );
+        let g = build(&units, &|_| false);
+        assert_eq!(g.cycles.len(), 1);
+        let (members, path) = &g.cycles[0];
+        assert_eq!(members.len(), 2);
+        assert!(path.contains("pkg.a") && path.contains("pkg.b"), "{path}");
+        assert!(g.waves.iter().all(|w| w.is_empty()));
+    }
+
+    #[test]
+    fn architectures_of_one_entity_serialize_in_input_order() {
+        let units = toks_of(
+            "entity e is end e;
+             architecture a1 of e is begin end a1;
+             architecture a2 of e is begin end a2;",
+        );
+        let g = build(&units, &|_| false);
+        // a2 must land in a later wave than a1 so the history's
+        // latest-architecture answer matches sequential compilation.
+        let wave_of = |i: usize| g.waves.iter().position(|w| w.contains(&i)).unwrap();
+        assert!(wave_of(2) > wave_of(1));
+        assert!(wave_of(1) > wave_of(0));
+    }
+
+    #[test]
+    fn src_hash_ignores_whitespace_only_changes() {
+        let a = toks_of("entity e is end e;");
+        let b = toks_of("entity   e  is\n\n  end e ;  -- comment");
+        assert_eq!(a[0].2.len(), b[0].2.len());
+        assert_eq!(src_hash(&a[0].2), src_hash(&b[0].2));
+        let c = toks_of("entity f is end f;");
+        assert_ne!(src_hash(&a[0].2), src_hash(&c[0].2));
+    }
+
+    #[test]
+    fn direct_binding_indication_adds_entity_and_arch_deps() {
+        let units = toks_of(
+            "entity inv is port (i : in bit; o : out bit); end inv;
+             architecture fast of inv is begin o <= not i; end fast;
+             entity pair is end pair;
+             architecture s of pair is
+               component inv port (i : in bit; o : out bit); end component;
+               signal a, b : bit := '0';
+               for u1 : inv use entity work.inv(fast);
+             begin
+               u1 : inv port map (i => a, o => b);
+             end s;",
+        );
+        let g = build(&units, &|_| false);
+        let arch = &g.units[3];
+        assert!(
+            arch.deps.contains(&"entity.inv".to_string()),
+            "{:?}",
+            arch.deps
+        );
+        assert!(
+            arch.deps.contains(&"arch.inv.fast".to_string()),
+            "{:?}",
+            arch.deps
+        );
+        let wave_of = |i: usize| g.waves.iter().position(|w| w.contains(&i)).unwrap();
+        assert!(wave_of(3) > wave_of(1));
+    }
+}

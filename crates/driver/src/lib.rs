@@ -3,6 +3,9 @@
 //! performance discussion (lines/minute, VIF read/write share, attribute
 //! evaluation share, backend share).
 
+pub mod batch;
+pub mod depgraph;
+
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -49,9 +52,9 @@ impl PhaseTimes {
 }
 
 /// A loader wrapper that accumulates time spent reading VIF.
-struct TimedLoader {
-    inner: Rc<LibrarySet>,
-    spent: Rc<RefCell<Duration>>,
+pub(crate) struct TimedLoader {
+    pub(crate) inner: Rc<LibrarySet>,
+    pub(crate) spent: Rc<RefCell<Duration>>,
 }
 
 impl UnitLoader for TimedLoader {

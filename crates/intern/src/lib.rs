@@ -26,16 +26,21 @@
 //! - **Deterministic.** Ids are assigned in first-intern order; a given
 //!   compilation interns in source order, so runs are reproducible.
 //!
-//! Thread-safety: interning takes one mutex; resolution takes none. A
-//! `Symbol` is only obtainable through a synchronized hand-off (the intern
-//! mutex or any safe-Rust channel), which establishes the happens-before
-//! edge resolution relies on.
+//! Thread-safety: interning an already-known spelling is lock-free — the
+//! hash table is published through an atomic pointer and its slots are
+//! written exactly once, so hit probes are plain `Acquire` loads. Only a
+//! miss (a genuinely new spelling) or a table growth takes the writer
+//! mutex. Resolution never locks. A `Symbol` is only obtainable through a
+//! synchronized hand-off (a `Release`-published slot or any safe-Rust
+//! channel), which establishes the happens-before edge resolution relies
+//! on. Batch-compiler workers intern concurrently on the hot attribute
+//! paths, so the hit path staying contention-free is load-bearing.
 
 use std::fmt;
 use std::num::NonZeroU32;
 use std::ops::Deref;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Strings per chunk of the resolution table.
@@ -196,7 +201,7 @@ pub fn stats() -> Stats {
     Stats {
         symbols: SYMBOLS.load(Ordering::Acquire),
         bytes: BYTES.load(Ordering::Relaxed),
-        hits: HITS.load(Ordering::Relaxed),
+        hits: hits_total(),
         misses: SYMBOLS.load(Ordering::Acquire),
     }
 }
@@ -206,15 +211,51 @@ pub fn stats() -> Stats {
 
 /// Open-addressing map from (folded) spelling hash to symbol id + 1
 /// (slot 0 = empty). Strings live in `CHUNKS`; the map stores only ids.
+///
+/// Tables are immutable in shape once published: a slot transitions
+/// `0 → id+1` exactly once (under the writer mutex, `Release`), and
+/// growth publishes a *new* table through [`TABLE`], leaking the old one
+/// — readers still probing it see a valid, merely stale, view and fall
+/// through to the locked slow path on a miss. That is what makes the hit
+/// path lock-free.
 struct Map {
-    slots: Vec<u32>,
-    len: usize,
+    slots: Box<[AtomicU32]>,
+    mask: usize,
 }
 
-static MAP: Mutex<Map> = Mutex::new(Map {
-    slots: Vec::new(),
-    len: 0,
-});
+impl Map {
+    fn alloc(cap: usize) -> &'static Map {
+        let slots: Box<[AtomicU32]> = (0..cap).map(|_| AtomicU32::new(0)).collect();
+        Box::leak(Box::new(Map {
+            slots,
+            mask: cap - 1,
+        }))
+    }
+
+    /// Probes for `text`. `Ok(sym)` on a hit; `Err(slot)` with the first
+    /// empty slot index seen on a miss (only meaningful to the writer,
+    /// which re-probes under the lock anyway).
+    fn probe(&self, h: u64, text: &str, folded: bool) -> Result<Symbol, usize> {
+        let mut i = (h as usize) & self.mask;
+        loop {
+            match self.slots[i].load(Ordering::Acquire) {
+                0 => return Err(i),
+                id_plus_1 => {
+                    if eq_folded(resolve_raw(id_plus_1 - 1), text, folded) {
+                        return Ok(Symbol(NonZeroU32::new(id_plus_1).expect("nonzero slot")));
+                    }
+                    i = (i + 1) & self.mask;
+                }
+            }
+        }
+    }
+}
+
+/// The current table, `Release`-published; null until the first intern.
+static TABLE: AtomicPtr<Map> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Writer lock: guards misses and growth. Holds the live symbol count.
+static WRITER: Mutex<usize> = Mutex::new(0);
 
 /// Append-only resolution table: `CHUNKS[i]` covers ids
 /// `[i*CHUNK, (i+1)*CHUNK)`. Chunk pointers are published with `Release`
@@ -227,7 +268,36 @@ static CHUNKS: [AtomicPtr<[&'static str; CHUNK]>; MAX_CHUNKS] = {
 
 static SYMBOLS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
-static HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Hit counting is the one global *write* on the hot path, so it is
+/// striped across cache-line-padded slots (one per thread, assigned
+/// round-robin) — a shared `fetch_add` target would put one cache line
+/// back into ping-pong between every analyzing thread and undo the
+/// lock-free probe. `stats()` sums the stripes.
+#[repr(align(64))]
+struct PaddedCounter(AtomicU64);
+
+const HIT_STRIPES: usize = 16;
+static HITS: [PaddedCounter; HIT_STRIPES] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: PaddedCounter = PaddedCounter(AtomicU64::new(0));
+    [ZERO; HIT_STRIPES]
+};
+static NEXT_STRIPE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static MY_STRIPE: usize =
+        (NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) as usize) % HIT_STRIPES;
+}
+
+fn count_hit() {
+    let i = MY_STRIPE.try_with(|s| *s).unwrap_or(0);
+    HITS[i].0.fetch_add(1, Ordering::Relaxed);
+}
+
+fn hits_total() -> u64 {
+    HITS.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+}
 
 /// FNV-1a over the (optionally folded) bytes of `s`.
 fn hash_of(s: &str, ci: bool) -> u64 {
@@ -260,33 +330,44 @@ fn eq_folded(stored: &str, candidate: &str, ci: bool) -> bool {
 fn intern_impl(text: &str, ci: bool) -> Symbol {
     let needs_fold = ci && text.bytes().any(|b| b.is_ascii_uppercase());
     let h = hash_of(text, needs_fold);
-    let mut map = MAP.lock().expect("interner poisoned");
-    if map.slots.is_empty() {
-        map.slots = vec![0; 1024];
-    }
-    let mask = map.slots.len() - 1;
-    let mut i = (h as usize) & mask;
-    loop {
-        match map.slots[i] {
-            0 => break,
-            id_plus_1 => {
-                let id = id_plus_1 - 1;
-                if eq_folded(resolve_raw(id), text, needs_fold) {
-                    HITS.fetch_add(1, Ordering::Relaxed);
-                    return Symbol(NonZeroU32::new(id_plus_1).expect("nonzero slot"));
-                }
-                i = (i + 1) & mask;
-            }
+
+    // Fast path: lock-free probe of the published table. Hits — the
+    // overwhelming majority of calls — never touch the writer mutex.
+    let table = TABLE.load(Ordering::Acquire);
+    if !table.is_null() {
+        if let Ok(sym) = unsafe { &*table }.probe(h, text, needs_fold) {
+            count_hit();
+            return sym;
         }
     }
-    // Miss: leak the (folded) spelling, append it to the chunk table, and
-    // record it in the map.
+
+    // Slow path: take the writer lock and re-probe the *latest* table —
+    // another thread may have interned `text`, or grown the table, since
+    // the lock-free probe.
+    let mut len = WRITER.lock().expect("interner poisoned");
+    let mut table = TABLE.load(Ordering::Acquire);
+    if table.is_null() {
+        let fresh: *const Map = Map::alloc(1024);
+        TABLE.store(fresh.cast_mut(), Ordering::Release);
+        table = fresh.cast_mut();
+    }
+    let map = unsafe { &*table };
+    let i = match map.probe(h, text, needs_fold) {
+        Ok(sym) => {
+            count_hit();
+            return sym;
+        }
+        Err(i) => i,
+    };
+
+    // Genuine miss: leak the (folded) spelling, append it to the chunk
+    // table, then publish the slot.
     let stored: &'static str = if needs_fold {
         Box::leak(text.to_ascii_lowercase().into_boxed_str())
     } else {
         Box::leak(text.to_string().into_boxed_str())
     };
-    let id = map.len as u32;
+    let id = *len as u32;
     assert!(
         (id as usize) < CHUNK * MAX_CHUNKS,
         "interner full: {} symbols",
@@ -298,17 +379,20 @@ fn intern_impl(text: &str, ci: bool) -> Symbol {
         chunk = Box::into_raw(Box::new([""; CHUNK]));
         CHUNKS[ci_idx].store(chunk, Ordering::Release);
     }
-    // SAFETY: slot `id` is written exactly once, here, under the map
-    // mutex, before the id escapes.
+    // SAFETY: chunk slot `id` is written exactly once, here, under the
+    // writer mutex, before the id is published below.
     unsafe {
         (*chunk)[slot_idx] = stored;
     }
-    map.slots[i] = id + 1;
-    map.len += 1;
+    // Publish: the Release store pairs with the Acquire probe load, so
+    // any thread that reads `id + 1` from this slot also sees the chunk
+    // write above.
+    map.slots[i].store(id + 1, Ordering::Release);
+    *len += 1;
     BYTES.fetch_add(stored.len() as u64, Ordering::Relaxed);
-    SYMBOLS.store(map.len as u64, Ordering::Release);
-    if map.len * 4 >= map.slots.len() * 3 {
-        grow(&mut map);
+    SYMBOLS.store(*len as u64, Ordering::Release);
+    if *len * 4 >= map.slots.len() * 3 {
+        grow(map, *len);
     }
     Symbol(NonZeroU32::new(id + 1).expect("id + 1 > 0"))
 }
@@ -321,23 +405,31 @@ fn resolve_raw(id: u32) -> &'static str {
     unsafe { (*chunk)[idx % CHUNK] }
 }
 
-fn grow(map: &mut Map) {
+/// Doubles the table (writer lock held). The old table is leaked — a
+/// reader may still be probing it; it sees a valid prefix of the symbols
+/// and re-checks the latest table under the lock on a miss. Total leak
+/// across all growths is bounded by twice the final table size.
+fn grow(map: &Map, len: usize) {
     let new_cap = map.slots.len() * 2;
-    let mut slots = vec![0u32; new_cap];
-    let mask = new_cap - 1;
-    for &s in &map.slots {
+    let fresh = Map::alloc(new_cap);
+    let mut moved = 0usize;
+    for s in &map.slots {
+        let s = s.load(Ordering::Acquire);
         if s == 0 {
             continue;
         }
         // Stored strings are already folded; hash verbatim.
         let h = hash_of(resolve_raw(s - 1), false);
-        let mut i = (h as usize) & mask;
-        while slots[i] != 0 {
-            i = (i + 1) & mask;
+        let mut i = (h as usize) & fresh.mask;
+        while fresh.slots[i].load(Ordering::Relaxed) != 0 {
+            i = (i + 1) & fresh.mask;
         }
-        slots[i] = s;
+        fresh.slots[i].store(s, Ordering::Release);
+        moved += 1;
     }
-    map.slots = slots;
+    debug_assert_eq!(moved, len);
+    let fresh: *const Map = fresh;
+    TABLE.store(fresh.cast_mut(), Ordering::Release);
 }
 
 #[cfg(test)]

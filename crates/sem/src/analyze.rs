@@ -101,6 +101,8 @@ pub struct Analyzer {
     pub pag: PrincipalAg,
     /// Predefined environment and types.
     pub std: Rc<Standard>,
+    /// The environment representation this analyzer was built with.
+    pub env_kind: EnvKind,
 }
 
 impl Analyzer {
@@ -115,7 +117,28 @@ impl Analyzer {
             grammar,
             pag,
             std: Rc::new(standard(env_kind)),
+            env_kind,
         }
+    }
+
+    /// A per-thread shared analyzer: the grammar tables and AGs are built
+    /// once per thread per environment kind and reused across
+    /// compilations. Worker threads of the batch compiler (and repeated
+    /// in-process benchmark runs) get table construction amortized away;
+    /// the `Rc` keeps the whole thing single-thread-owned, so no loader or
+    /// attribute state ever crosses a thread boundary.
+    pub fn thread_shared(env_kind: EnvKind) -> Rc<Analyzer> {
+        thread_local! {
+            static CACHE: RefCell<Vec<Rc<Analyzer>>> = const { RefCell::new(Vec::new()) };
+        }
+        CACHE.with(|c| {
+            if let Some(a) = c.borrow().iter().find(|a| a.env_kind == env_kind) {
+                return Rc::clone(a);
+            }
+            let a = Rc::new(Analyzer::new(env_kind));
+            c.borrow_mut().push(Rc::clone(&a));
+            a
+        })
     }
 
     /// Parses a design file into compilation-unit subtrees.
@@ -139,6 +162,11 @@ impl Analyzer {
     pub fn analyze_unit_with_loader(&self, unit: &Cst, loader: Rc<dyn UnitLoader>) -> AnalyzedUnit {
         let _t = ag_harness::trace::span("principal-ag");
         ag_harness::trace::counter("units-analyzed", 1);
+        // Scope fresh uids to this unit's content so serialized VIF is
+        // byte-identical no matter which thread analyzes the unit or what
+        // was analyzed before it (type identity is uid equality, and the
+        // batch compiler compares VIF text across worker counts).
+        crate::types::set_uid_scope(&format!("u{:08x}", unit_scope_hash(unit)));
         let actx = Rc::new(Actx {
             loader,
             std: Rc::clone(&self.std),
@@ -334,4 +362,26 @@ pub fn collect_toks(t: &Cst, out: &mut Vec<SrcTok>) {
             }
         }
     }
+}
+
+/// FNV-1a hash of a unit's token run (kind + spelling, separated), the
+/// uid scope of [`Analyzer::analyze_unit_with_loader`]. Whitespace and
+/// comments don't lex, so they never perturb uids.
+fn unit_scope_hash(unit: &Cst) -> u64 {
+    let mut toks = Vec::new();
+    collect_toks(unit, &mut toks);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for t in &toks {
+        eat(t.kind.name().as_bytes());
+        eat(&[0x1f]);
+        eat(t.text.as_str().as_bytes());
+        eat(&[0x1e]);
+    }
+    h
 }

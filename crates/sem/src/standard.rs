@@ -53,6 +53,10 @@ pub struct Standard {
 
 /// Builds `STD.STANDARD` into a fresh environment of the given kind.
 pub fn standard(kind: EnvKind) -> Standard {
+    // Predefined uids must be identical for every analyzer on every
+    // thread: serialized VIF embeds them, and batch compilation compares
+    // VIF text byte-for-byte across worker counts.
+    crate::types::set_uid_scope("std");
     let boolean = mk_enum("boolean", &["false", "true"]);
     let bit = mk_enum("bit", &["'0'", "'1'"]);
     let printable: Vec<String> = (32u8..127).map(|c| format!("'{}'", c as char)).collect();

@@ -8,7 +8,7 @@
 //! Node kinds: `ty.enum`, `ty.int`, `ty.real`, `ty.phys`, `ty.array`,
 //! `ty.record`, `ty.subtype`. Directions: `0` = `to`, `1` = `downto`.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use vhdl_vif::{VifNode, VifValue};
@@ -18,15 +18,35 @@ pub type Ty = Rc<VifNode>;
 
 thread_local! {
     static UID_COUNTER: Cell<u64> = const { Cell::new(0) };
+    static UID_SCOPE: RefCell<String> = const { RefCell::new(String::new()) };
 }
 
-/// Allocates a fresh unique id (session-wide). Prefixed so uids read well
-/// in VIF dumps.
+/// Enters a uid scope: resets the counter and prefixes subsequent
+/// [`fresh_uid`] results with `scope`. The analyzer scopes uids to the
+/// predefined environment (`std`) and to each design unit (a content hash
+/// of its token run), which makes every uid a deterministic function of
+/// unit content — independent of thread, analysis order, or how many
+/// units were compiled before. Type identity is uid string equality, so
+/// determinism here is what makes serialized VIF byte-reproducible.
+pub fn set_uid_scope(scope: &str) {
+    UID_SCOPE.with(|s| *s.borrow_mut() = scope.to_string());
+    UID_COUNTER.with(|c| c.set(0));
+}
+
+/// Allocates a fresh id, unique within the current uid scope. Prefixed so
+/// uids read well in VIF dumps.
 pub fn fresh_uid(tag: &str) -> String {
     UID_COUNTER.with(|c| {
         let n = c.get();
         c.set(n + 1);
-        format!("{tag}${n}")
+        UID_SCOPE.with(|s| {
+            let s = s.borrow();
+            if s.is_empty() {
+                format!("{tag}${n}")
+            } else {
+                format!("{tag}${s}.{n}")
+            }
+        })
     })
 }
 

@@ -35,6 +35,6 @@ pub mod text;
 
 pub use ag_intern::{Symbol, ToSym};
 pub use dump::dump;
-pub use library::{Library, LibrarySet, UnitKey, VifTraffic};
+pub use library::{Library, LibrarySet, LibrarySnapshot, UnitKey, VifTraffic};
 pub use node::{VifBuilder, VifNode, VifValue};
 pub use text::{read_vif, write_vif, VifError};

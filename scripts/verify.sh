@@ -16,4 +16,19 @@ cargo test -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> batch mode on the end-to-end fixture (--jobs 4, then warm --incremental)"
+# The full-adder example is a 10-unit design; compile it through the batch
+# scheduler on 4 workers into a throwaway work library, then rerun warm
+# with --incremental (every unit must hit the cache) and elaborate to make
+# sure the incrementally-reused library still simulates.
+BATCH_WORK="$(mktemp -d)"
+trap 'rm -rf "$BATCH_WORK"' EXIT
+./target/release/vhdlc --work "$BATCH_WORK" --jobs 4 --stats \
+    examples/full_adder.vhd
+./target/release/vhdlc --work "$BATCH_WORK" --jobs 4 --incremental --stats \
+    --elab tb --run 40 examples/full_adder.vhd >"$BATCH_WORK/warm.log" 2>&1
+cat "$BATCH_WORK/warm.log"
+grep -q "miss 0 cold 0" "$BATCH_WORK/warm.log" \
+    || { echo "verify: warm --incremental rerun re-analyzed units" >&2; exit 1; }
+
 echo "verify: OK"

@@ -1,0 +1,378 @@
+//! The batch-compilation test suite: scheduling determinism, incremental
+//! equivalence, and out-of-order staging, end to end.
+//!
+//! The determinism properties are the load-bearing ones: `--jobs 1` and
+//! `--jobs N` must produce **byte-identical** VIF text for every stored
+//! unit and **identical** diagnostics, over generated multi-unit designs
+//! with random dependency shapes, random file packing, and random file
+//! order — including designs with semantic errors. Incremental runs must
+//! be observationally equivalent to cold runs (same VIF, same generated
+//! C), with invalidation hitting exactly the transitive dependents of a
+//! touched unit.
+
+use ag_harness::{check, forall, Config, Source};
+use vhdl_driver::batch::BatchOptions;
+use vhdl_driver::Compiler;
+
+/// One generated design unit, with its dependency-order index.
+#[derive(Clone, Debug)]
+struct GenUnit {
+    /// Source text, context clause included.
+    text: String,
+}
+
+/// A generated multi-unit design: packages with constants (randomly
+/// chained through `use` clauses), entities, and architectures reading
+/// the constants. Returned in dependency order; the caller shuffles.
+fn gen_design(s: &mut Source) -> Vec<GenUnit> {
+    let npkg = s.usize_in(1, 4);
+    let mut units = Vec::new();
+    for i in 0..npkg {
+        let mut ctx = String::new();
+        let mut expr = format!("{}", s.u64_in(1, 99));
+        if i > 0 && s.u64_in(0, 1) == 1 {
+            let dep = s.usize_in(0, i - 1);
+            ctx = format!("use work.p{dep}.all;\n");
+            expr = format!("c{dep} + {}", s.u64_in(1, 9));
+        }
+        // A sprinkling of broken units: undefined names must produce the
+        // same diagnostics at every worker count.
+        if s.u64_in(0, 19) == 0 {
+            expr = format!("missing{i} + 1");
+        }
+        units.push(GenUnit {
+            text: format!("{ctx}package p{i} is\nconstant c{i} : integer := {expr};\nend p{i};\n"),
+        });
+    }
+    let nent = s.usize_in(1, 3);
+    for e in 0..nent {
+        units.push(GenUnit {
+            text: format!("entity e{e} is\nend e{e};\n"),
+        });
+        let narch = s.usize_in(1, 2);
+        for a in 0..narch {
+            let pkg = s.usize_in(0, npkg - 1);
+            units.push(GenUnit {
+                text: format!(
+                    "use work.p{pkg}.all;\n\
+                     architecture a{a} of e{e} is\n\
+                     signal s : integer := c{pkg};\n\
+                     begin\n\
+                     s <= c{pkg} + {};\n\
+                     end a{a};\n",
+                    s.u64_in(0, 9)
+                ),
+            });
+        }
+    }
+    units
+}
+
+/// Packs units into files (possibly several per file) and shuffles the
+/// file order, so the batch sees units out of dependency order.
+fn pack_and_shuffle(s: &mut Source, units: &[GenUnit]) -> Vec<(String, String)> {
+    let nfiles = s.usize_in(1, units.len());
+    let mut files: Vec<String> = vec![String::new(); nfiles];
+    for u in units {
+        let f = s.usize_in(0, nfiles - 1);
+        files[f].push_str(&u.text);
+    }
+    let mut named: Vec<(String, String)> = files
+        .into_iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_empty())
+        .map(|(i, t)| (format!("f{i}.vhd"), t))
+        .collect();
+    // Fisher–Yates off the same source, so shrinking shrinks the shuffle.
+    for i in (1..named.len()).rev() {
+        let j = s.usize_in(0, i);
+        named.swap(i, j);
+    }
+    named
+}
+
+/// Every stored unit's VIF text, keyed and sorted — the byte-comparable
+/// library state.
+fn library_texts(c: &Compiler) -> Vec<(String, String)> {
+    let work = c.libs.work();
+    let mut keys: Vec<String> = work.history();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| {
+            let t = work.peek_raw(&k).expect("stored unit readable");
+            (k, t)
+        })
+        .collect()
+}
+
+/// The determinism property (the ISSUE's acceptance suite): for random
+/// designs, `jobs = 1` and `jobs = N` produce byte-identical VIF and
+/// identical diagnostics — and the same wave count, since both run the
+/// same schedule.
+#[test]
+fn parallel_compilation_is_deterministic() {
+    forall!(
+        Config::new("parallel_compilation_is_deterministic").cases(256),
+        |s| {
+            let units = gen_design(s);
+            let files = pack_and_shuffle(s, &units);
+            let names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+            let jobs = s.usize_in(2, 4);
+
+            let c1 = Compiler::in_memory();
+            let r1 = c1.compile_batch(
+                &files,
+                BatchOptions {
+                    jobs: 1,
+                    incremental: false,
+                },
+            );
+            let cn = Compiler::in_memory();
+            let rn = cn.compile_batch(
+                &files,
+                BatchOptions {
+                    jobs,
+                    incremental: false,
+                },
+            );
+
+            check!(
+                r1.waves == rn.waves,
+                "wave count diverged: {} vs {}",
+                r1.waves,
+                rn.waves
+            );
+            let d1 = r1.rendered_msgs(&names);
+            let dn = rn.rendered_msgs(&names);
+            check!(
+                d1 == dn,
+                "diagnostics diverged at jobs={jobs}:\n--- jobs=1\n{d1}\n--- jobs={jobs}\n{dn}"
+            );
+            let t1 = library_texts(&c1);
+            let tn = library_texts(&cn);
+            check!(
+                t1 == tn,
+                "library state diverged at jobs={jobs}: {} vs {} units",
+                t1.len(),
+                tn.len()
+            );
+        }
+    );
+}
+
+/// Re-running the identical batch with `incremental` must hit on every
+/// unit and leave the library byte-identical; the property holds at any
+/// worker count.
+#[test]
+fn warm_rerun_is_equivalent_and_all_hits() {
+    forall!(
+        Config::new("warm_rerun_is_equivalent_and_all_hits").cases(64),
+        |s| {
+            let units = gen_design(s);
+            let files = pack_and_shuffle(s, &units);
+            let jobs = s.usize_in(1, 4);
+            let opts = BatchOptions {
+                jobs,
+                incremental: true,
+            };
+            let c = Compiler::in_memory();
+            let cold = c.compile_batch(&files, opts);
+            let after_cold = library_texts(&c);
+            check!(cold.cache.hits == 0, "cold run cannot hit");
+            let warm = c.compile_batch(&files, opts);
+            let after_warm = library_texts(&c);
+            check!(
+                after_cold == after_warm,
+                "warm run changed the library state"
+            );
+            // Every unit that committed cleanly must hit; error units have
+            // no stamp and stay cold.
+            let committed = after_cold.len() as u64;
+            check!(
+                warm.cache.hits == committed,
+                "warm hits {} != committed units {}",
+                warm.cache.hits,
+                committed
+            );
+        }
+    );
+}
+
+mod fixtures {
+    //! A small fixed design used by the e2e and incrementality tests:
+    //!
+    //! ```text
+    //! pkg base      (no deps)
+    //! pkg derived   (uses base)
+    //! entity top    (no deps)
+    //! arch rtl      (of top, uses derived)
+    //! pkg lone      (no deps — never invalidated by touching base)
+    //! ```
+
+    pub const BASE: &str = "package base is\nconstant width : integer := 4;\nend base;\n";
+    pub const BASE_TOUCHED: &str = "package base is\nconstant width : integer := 8;\nend base;\n";
+    pub const DERIVED: &str = "use work.base.all;\npackage derived is\nconstant bits : integer := width * 2;\nend derived;\n";
+    pub const TOP: &str = "entity top is\nend top;\n";
+    pub const RTL: &str = "use work.derived.all;\narchitecture rtl of top is\nsignal s : integer := bits;\nbegin\ns <= bits + 1;\nend rtl;\n";
+    pub const LONE: &str = "package lone is\nconstant tag : integer := 7;\nend lone;\n";
+
+    /// The design with files deliberately out of dependency order.
+    pub fn out_of_order() -> Vec<(String, String)> {
+        vec![
+            ("rtl.vhd".into(), RTL.into()),
+            ("derived.vhd".into(), DERIVED.into()),
+            ("lone.vhd".into(), LONE.into()),
+            ("top.vhd".into(), TOP.into()),
+            ("base.vhd".into(), BASE.into()),
+        ]
+    }
+}
+
+/// Out-of-order file lists stage correctly: the architecture listed first
+/// still compiles after its entity and packages (depgraph e2e).
+#[test]
+fn out_of_order_file_list_compiles_cleanly() {
+    for jobs in [1, 4] {
+        let c = Compiler::in_memory();
+        let r = c.compile_batch(
+            &fixtures::out_of_order(),
+            BatchOptions {
+                jobs,
+                incremental: false,
+            },
+        );
+        assert!(
+            r.ok(),
+            "jobs={jobs}: {:?}",
+            r.units
+                .iter()
+                .flat_map(|u| u.msgs.iter().map(|m| m.to_string()))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(r.units.len(), 5);
+        assert!(r.waves >= 3, "base → derived → rtl needs 3 stages");
+        // The out-of-order architecture must land in a later wave than
+        // its entity and its package chain.
+        let wave_of = |key: &str| {
+            r.units
+                .iter()
+                .find(|u| u.key == key)
+                .and_then(|u| u.wave)
+                .unwrap()
+        };
+        assert!(wave_of("arch.top.rtl") > wave_of("entity.top"));
+        assert!(wave_of("pkg.derived") > wave_of("pkg.base"));
+    }
+}
+
+/// Cold vs warm compile into the same on-disk library: identical VIF,
+/// identical generated C, and a warm run that skips every analysis.
+#[test]
+fn incremental_on_disk_cold_warm_equivalence() {
+    let dir = std::env::temp_dir().join(format!("vhdl-batch-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let opts = BatchOptions {
+        jobs: 2,
+        incremental: true,
+    };
+    let cold_c = Compiler::on_disk(&dir).unwrap();
+    let cold = cold_c.compile_batch(&fixtures::out_of_order(), opts);
+    assert!(cold.ok());
+    assert_eq!(cold.cache.hits, 0);
+    let cold_texts = library_texts(&cold_c);
+    let (_, cold_cc) = cold_c.elaborate("top", None, None).unwrap();
+
+    // A fresh process would reopen the library the same way.
+    let warm_c = Compiler::on_disk(&dir).unwrap();
+    let warm = warm_c.compile_batch(&fixtures::out_of_order(), opts);
+    assert!(warm.ok());
+    assert_eq!(warm.cache.hits, 5, "all five units skip");
+    assert_eq!(warm.cache.analyzed(), 0);
+    let warm_texts = library_texts(&warm_c);
+    let (_, warm_cc) = warm_c.elaborate("top", None, None).unwrap();
+
+    assert_eq!(cold_texts, warm_texts, "VIF must be byte-identical");
+    assert_eq!(cold_cc, warm_cc, "generated C must be identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Touching one package re-analyzes exactly its transitive dependents:
+/// `base` invalidates `derived` and `rtl`, never `top` or `lone`.
+#[test]
+fn touch_invalidates_exactly_transitive_dependents() {
+    let dir = std::env::temp_dir().join(format!("vhdl-batch-touch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let opts = BatchOptions {
+        jobs: 1,
+        incremental: true,
+    };
+    let c = Compiler::on_disk(&dir).unwrap();
+    assert!(c.compile_batch(&fixtures::out_of_order(), opts).ok());
+
+    let mut touched = fixtures::out_of_order();
+    for (name, text) in &mut touched {
+        if name == "base.vhd" {
+            *text = fixtures::BASE_TOUCHED.into();
+        }
+    }
+    let c2 = Compiler::on_disk(&dir).unwrap();
+    let r = c2.compile_batch(&touched, opts);
+    assert!(r.ok());
+    assert_eq!(r.cache.hits, 2, "top and lone hit");
+    assert_eq!(r.cache.misses, 3, "base, derived, rtl re-analyze");
+    let skipped: Vec<&str> = r
+        .units
+        .iter()
+        .filter(|u| u.skipped)
+        .map(|u| u.key.as_str())
+        .collect();
+    assert_eq!(skipped, ["pkg.lone", "entity.top"]);
+
+    // Early cutoff: a whitespace/comment-only touch re-hits everything —
+    // token runs are the hash input, not file bytes. (Build on the
+    // touched state: that's what the library last saw.)
+    let mut cosmetic = touched.clone();
+    for (name, text) in &mut cosmetic {
+        if name == "derived.vhd" {
+            *text = format!("-- cosmetic comment\n{}", fixtures::DERIVED);
+        }
+    }
+    let c3 = Compiler::on_disk(&dir).unwrap();
+    let r = c3.compile_batch(&cosmetic, opts);
+    assert!(r.ok());
+    assert_eq!(r.cache.hits, 5, "comment-only edits invalidate nothing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A dependency cycle is a diagnostic, not a hang, and the diagnostic is
+/// the same at every worker count.
+#[test]
+fn cycles_diagnose_identically_at_any_worker_count() {
+    let files: Vec<(String, String)> = vec![
+        ("a.vhd".into(), "use work.b;\npackage a is\nend a;\n".into()),
+        ("b.vhd".into(), "use work.c;\npackage b is\nend b;\n".into()),
+        ("c.vhd".into(), "use work.a;\npackage c is\nend c;\n".into()),
+    ];
+    let names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+    let mut rendered = Vec::new();
+    for jobs in [1, 4] {
+        let c = Compiler::in_memory();
+        let r = c.compile_batch(
+            &files,
+            BatchOptions {
+                jobs,
+                incremental: false,
+            },
+        );
+        assert!(!r.ok());
+        assert!(r.units.iter().all(|u| u.wave.is_none()));
+        assert!(r.units[0].msgs[0].to_string().contains("dependency cycle"));
+        rendered.push(r.rendered_msgs(&names));
+    }
+    assert_eq!(rendered[0], rendered[1]);
+}

@@ -132,3 +132,56 @@ fn unknown_option_is_usage_error() {
     let out = vhdlc().args(["--frobnicate"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn batch_mode_compiles_out_of_order_files_in_parallel() {
+    let dir = tmpdir("batch");
+    // Listed out of dependency order on purpose: batch mode stages them.
+    let files = [
+        (
+            "rtl.vhd",
+            "use work.consts.all;
+             architecture rtl of top is
+               signal s : integer := width;
+             begin
+               s <= width + 1;
+             end rtl;",
+        ),
+        ("top.vhd", "entity top is end;"),
+        (
+            "consts.vhd",
+            "package consts is
+               constant width : integer := 4;
+             end consts;",
+        ),
+    ];
+    let mut paths = Vec::new();
+    for (name, text) in files {
+        let p = dir.join(name);
+        std::fs::write(&p, text).unwrap();
+        paths.push(p);
+    }
+    let work = dir.join("work");
+    let mut args = vec![
+        "--work".to_string(),
+        work.to_str().unwrap().to_string(),
+        "--jobs".to_string(),
+        "4".to_string(),
+        "--stats".to_string(),
+    ];
+    args.extend(paths.iter().map(|p| p.to_str().unwrap().to_string()));
+    let out = vhdlc().args(&args).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("3 units"), "{stderr}");
+    assert!(stderr.contains("cache hit 0 miss 0 cold 3"), "{stderr}");
+
+    // Second run with --incremental skips every analysis.
+    let mut args2 = args.clone();
+    args2.insert(4, "--incremental".to_string());
+    let out = vhdlc().args(&args2).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("cache hit 3 miss 0 cold 0"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
