@@ -279,6 +279,8 @@ impl<'a> Elab<'a> {
             .ok_or_else(|| {
                 ElabError::NotFound(format!("architecture {entity_name}({arch_name})"))
             })?;
+        // Record the region scope for the Name Server hierarchy.
+        self.program.regions.push(path.to_string());
 
         // Generics: actual, or default initializer.
         for g in entity.list_field("generics") {
@@ -406,6 +408,7 @@ impl<'a> Elab<'a> {
                 // Guard signal + guard-update process, then nested
                 // concurrency.
                 let bpath = format!("{path}.{}", conc.name().unwrap_or("blk"));
+                self.program.regions.push(bpath.clone());
                 if let (Some(gobj), Some(gexpr)) =
                     (conc.node_field("guard_sig"), conc.node_field("guard_expr"))
                 {

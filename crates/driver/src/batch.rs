@@ -172,15 +172,23 @@ struct Job {
     unit_in_file: usize,
 }
 
-/// Coordinator → worker messages. Only text crosses the boundary.
+/// Coordinator → worker messages. Only text (and shared `Arc<str>` text)
+/// crosses the boundary.
 enum ToWorker {
+    /// (Re)initialize for a new batch: fresh mirror library from the
+    /// snapshot, new file set, cleared parse cache. The worker's analyzer
+    /// survives across batches — that is the point of a long-lived pool.
+    Batch {
+        files: Arc<Vec<(String, String)>>,
+        snapshot: LibrarySnapshot,
+    },
     /// Start a wave: apply the committed texts of the previous wave to the
     /// mirror library, then drain the shared queue.
     Wave {
-        puts: Vec<(String, String)>,
+        puts: Vec<(String, Arc<str>)>,
         queue: Arc<Mutex<VecDeque<Job>>>,
     },
-    /// Batch finished.
+    /// Pool is shutting down.
     Done,
 }
 
@@ -227,63 +235,169 @@ fn run_job(analyzer: &Analyzer, libs: &Rc<LibrarySet>, unit: &Cst, global: usize
     }
 }
 
+/// A `JobOut` carrying only an internal-error diagnostic (worker-side
+/// failures that must not wedge the coordinator).
+fn job_error(global: usize, parse: Duration, what: String) -> JobOut {
+    JobOut {
+        global,
+        key: String::new(),
+        vif_text: None,
+        msgs: vec![Msg::error(Default::default(), what)],
+        expr_evals: 0,
+        parse,
+        attr_eval: Duration::ZERO,
+        vif_read: Duration::ZERO,
+        vif_write: Duration::ZERO,
+    }
+}
+
+/// Renders a payload captured by `catch_unwind`.
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The worker loop: parse lazily (cached per file), analyze against the
-/// mirror library, ship text back. Everything it owns is thread-local.
-fn worker_main(
-    env_kind: vhdl_sem::env::EnvKind,
-    files: Arc<Vec<(String, String)>>,
-    snapshot: LibrarySnapshot,
-    rx: Receiver<ToWorker>,
-    tx: Sender<JobOut>,
-) {
+/// mirror library, ship text back. Everything it owns is thread-local and
+/// survives across batches; a `Batch` message resets the mirror and the
+/// parse cache, never the analyzer. A panicking job becomes an
+/// internal-error diagnostic, not a dead worker — a wedged server worker
+/// would starve every later wave.
+fn worker_main(env_kind: vhdl_sem::env::EnvKind, rx: Receiver<ToWorker>, tx: Sender<JobOut>) {
     let analyzer = Analyzer::thread_shared(env_kind);
-    let work = Rc::new(Library::from_snapshot(&snapshot));
-    let libs = Rc::new(LibrarySet::new(Rc::clone(&work), vec![]));
+    let mut files: Arc<Vec<(String, String)>> = Arc::new(Vec::new());
+    let mut work = Rc::new(Library::in_memory("work"));
+    let mut libs = Rc::new(LibrarySet::new(Rc::clone(&work), vec![]));
     let mut csts: HashMap<usize, Result<Vec<Cst>, String>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
-        let (puts, queue) = match msg {
+        let queue = match msg {
             ToWorker::Done => break,
-            ToWorker::Wave { puts, queue } => (puts, queue),
-        };
-        for (k, text) in &puts {
-            let _ = work.put_text(k, text);
-        }
-        loop {
-            let job = queue.lock().expect("job queue").pop_front();
-            let Some(job) = job else { break };
-            let mut parse = Duration::ZERO;
-            let units = csts.entry(job.file).or_insert_with(|| {
-                let t0 = Instant::now();
-                let r = analyzer
-                    .parse_units(&files[job.file].1)
-                    .map_err(|e| e.to_string());
-                parse = t0.elapsed();
-                r
-            });
-            let out = match units {
-                Err(e) => JobOut {
-                    global: job.global,
-                    key: String::new(),
-                    vif_text: None,
-                    msgs: vec![Msg::error(
-                        Default::default(),
-                        format!("internal: file re-parse failed: {e}"),
-                    )],
-                    expr_evals: 0,
-                    parse,
-                    attr_eval: Duration::ZERO,
-                    vif_read: Duration::ZERO,
-                    vif_write: Duration::ZERO,
-                },
-                Ok(units) => {
-                    let mut out = run_job(&analyzer, &libs, &units[job.unit_in_file], job.global);
-                    out.parse = parse;
-                    out
+            ToWorker::Batch { files: f, snapshot } => {
+                files = f;
+                work = Rc::new(Library::from_snapshot(&snapshot));
+                libs = Rc::new(LibrarySet::new(Rc::clone(&work), vec![]));
+                csts.clear();
+                continue;
+            }
+            ToWorker::Wave { puts, queue } => {
+                for (k, text) in &puts {
+                    let _ = work.put_text(k, text);
                 }
-            };
+                queue
+            }
+        };
+        loop {
+            let job = queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .pop_front();
+            let Some(job) = job else { break };
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut parse = Duration::ZERO;
+                let units = csts.entry(job.file).or_insert_with(|| {
+                    let t0 = Instant::now();
+                    let r = analyzer
+                        .parse_units(&files[job.file].1)
+                        .map_err(|e| e.to_string());
+                    parse = t0.elapsed();
+                    r
+                });
+                match units {
+                    Err(e) => job_error(
+                        job.global,
+                        parse,
+                        format!("internal: file re-parse failed: {e}"),
+                    ),
+                    Ok(units) => match units.get(job.unit_in_file) {
+                        None => job_error(
+                            job.global,
+                            parse,
+                            "internal: unit index out of range".to_string(),
+                        ),
+                        Some(unit) => {
+                            let mut out = run_job(&analyzer, &libs, unit, job.global);
+                            out.parse = parse;
+                            out
+                        }
+                    },
+                }
+            }))
+            .unwrap_or_else(|p| {
+                job_error(
+                    job.global,
+                    Duration::ZERO,
+                    format!("internal: analysis panicked: {}", panic_text(p)),
+                )
+            });
             if tx.send(out).is_err() {
                 return;
             }
+        }
+    }
+}
+
+/// A long-lived pool of analysis workers. One pool outlives many
+/// [`Compiler::compile_batch_with`] calls: each batch re-initializes the
+/// workers' mirror libraries (a `Batch` message) but reuses their
+/// analyzers, whose predefined environments are expensive to rebuild. The
+/// `vhdld` server keeps one pool per session and fans every `analyze`
+/// request over it.
+pub struct WorkerPool {
+    env_kind: vhdl_sem::env::EnvKind,
+    jobs: usize,
+    worker_tx: Vec<Sender<ToWorker>>,
+    result_rx: Receiver<JobOut>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `jobs` workers (at least one) for compilers using `env_kind`.
+    pub fn new(env_kind: vhdl_sem::env::EnvKind, jobs: usize) -> WorkerPool {
+        let jobs = jobs.max(1);
+        let (result_tx, result_rx) = channel::<JobOut>();
+        let mut worker_tx = Vec::with_capacity(jobs);
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let (tx, rx) = channel::<ToWorker>();
+            worker_tx.push(tx);
+            let out = result_tx.clone();
+            handles.push(std::thread::spawn(move || worker_main(env_kind, rx, out)));
+        }
+        // The workers hold the only senders: if they all die, `recv`
+        // disconnects instead of blocking forever.
+        drop(result_tx);
+        WorkerPool {
+            env_kind,
+            jobs,
+            worker_tx,
+            result_rx,
+            handles,
+        }
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    fn broadcast(&self, make: impl Fn() -> ToWorker) {
+        for tx in &self.worker_tx {
+            let _ = tx.send(make());
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.broadcast(|| ToWorker::Done);
+        self.worker_tx.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -297,7 +411,30 @@ impl Compiler {
     /// history (and with it the §3.3 latest-compiled-architecture
     /// default-binding rule) is identical for every `jobs` value.
     pub fn compile_batch(&self, files: &[(String, String)], opts: BatchOptions) -> BatchResult {
+        if opts.jobs > 1 {
+            let pool = WorkerPool::new(self.analyzer.env_kind, opts.jobs);
+            self.compile_batch_with(files, opts, Some(&pool))
+        } else {
+            self.compile_batch_with(files, opts, None)
+        }
+    }
+
+    /// [`Compiler::compile_batch`] against an existing [`WorkerPool`]
+    /// (`None` analyzes inline on the calling thread). The pool's
+    /// environment kind must match the compiler's.
+    pub fn compile_batch_with(
+        &self,
+        files: &[(String, String)],
+        opts: BatchOptions,
+        pool: Option<&WorkerPool>,
+    ) -> BatchResult {
         let _t = ag_harness::trace::span("compile-batch");
+        if let Some(p) = pool {
+            assert_eq!(
+                p.env_kind, self.analyzer.env_kind,
+                "worker pool environment must match the compiler's"
+            );
+        }
         let wall0 = Instant::now();
         self.libs.reset_traffic();
         let mut phases = PhaseTimes::default();
@@ -349,26 +486,17 @@ impl Compiler {
             }
         }
 
-        // Spin up the pool; workers build their analyzers while the
-        // coordinator stamps wave 0.
-        let jobs = opts.jobs.max(1);
-        let mut worker_tx: Vec<Sender<ToWorker>> = Vec::new();
-        let mut handles = Vec::new();
-        let (result_tx, result_rx) = channel::<JobOut>();
-        if jobs > 1 {
+        // Hand the pool the batch inputs; workers rebuild their mirror
+        // libraries while the coordinator stamps wave 0. The snapshot
+        // shares unit text (`Arc<str>`), so this costs no copying.
+        let jobs = pool.map(WorkerPool::jobs).unwrap_or(1);
+        if let Some(p) = pool {
             let files_arc: Arc<Vec<(String, String)>> = Arc::new(files.to_vec());
             let snapshot = work.snapshot();
-            let env_kind = self.analyzer.env_kind;
-            for _ in 0..jobs {
-                let (tx, rx) = channel::<ToWorker>();
-                worker_tx.push(tx);
-                let files = Arc::clone(&files_arc);
-                let snap = snapshot.clone();
-                let out = result_tx.clone();
-                handles.push(std::thread::spawn(move || {
-                    worker_main(env_kind, files, snap, rx, out)
-                }));
-            }
+            p.broadcast(|| ToWorker::Batch {
+                files: Arc::clone(&files_arc),
+                snapshot: snapshot.clone(),
+            });
         }
 
         let mut cache = CacheStats::default();
@@ -376,7 +504,7 @@ impl Compiler {
         // library and refreshed at every commit.
         let mut dep_hash: HashMap<String, u64> = HashMap::new();
         // Texts committed since the workers last synced their mirrors.
-        let mut pending_delta: Vec<(String, String)> = Vec::new();
+        let mut pending_delta: Vec<(String, Arc<str>)> = Vec::new();
 
         for (w, wave) in graph.waves.iter().enumerate() {
             // Stamp every unit of the wave against the current library
@@ -430,19 +558,39 @@ impl Compiler {
                 jobs_list.iter().map(|(j, s)| (j.global, *s)).collect();
 
             // Run the wave.
-            let mut results: Vec<JobOut> = if jobs > 1 {
+            let mut results: Vec<JobOut> = if let Some(p) = pool {
                 let queue: Arc<Mutex<VecDeque<Job>>> =
                     Arc::new(Mutex::new(jobs_list.iter().map(|(j, _)| *j).collect()));
                 let delta = std::mem::take(&mut pending_delta);
-                for tx in &worker_tx {
-                    let _ = tx.send(ToWorker::Wave {
-                        puts: delta.clone(),
-                        queue: Arc::clone(&queue),
-                    });
+                p.broadcast(|| ToWorker::Wave {
+                    puts: delta.clone(),
+                    queue: Arc::clone(&queue),
+                });
+                let mut got: Vec<JobOut> = Vec::with_capacity(jobs_list.len());
+                let mut missing: std::collections::HashSet<usize> =
+                    jobs_list.iter().map(|(j, _)| j.global).collect();
+                while got.len() < jobs_list.len() {
+                    match p.result_rx.recv() {
+                        Ok(out) => {
+                            missing.remove(&out.global);
+                            got.push(out);
+                        }
+                        Err(_) => {
+                            // Every worker died. Turn the unfinished jobs
+                            // into diagnostics instead of wedging the
+                            // coordinator (and with it the server session).
+                            for g in missing.drain() {
+                                got.push(job_error(
+                                    g,
+                                    Duration::ZERO,
+                                    "internal: worker pool disconnected".to_string(),
+                                ));
+                            }
+                            break;
+                        }
+                    }
                 }
-                (0..jobs_list.len())
-                    .map(|_| result_rx.recv().expect("worker result"))
-                    .collect()
+                got
             } else {
                 pending_delta.clear();
                 jobs_list
@@ -474,7 +622,7 @@ impl Compiler {
                             let _ = work.set_stamp(&r.key, stamp);
                         }
                         dep_hash.insert(r.key.clone(), fnv1a_bytes(0, text.as_bytes()));
-                        pending_delta.push((r.key.clone(), text.clone()));
+                        pending_delta.push((r.key.clone(), Arc::from(text.as_str())));
                     }
                 }
                 let meta = &graph.units[r.global];
@@ -488,14 +636,6 @@ impl Compiler {
                     expr_evals: r.expr_evals,
                 });
             }
-        }
-
-        for tx in &worker_tx {
-            let _ = tx.send(ToWorker::Done);
-        }
-        drop(worker_tx);
-        for h in handles {
-            let _ = h.join();
         }
 
         out_units.sort_by_key(|u| (u.file, u.unit_in_file));
@@ -643,6 +783,30 @@ mod tests {
             .map(|u| u.key.as_str())
             .collect();
         assert_eq!(skipped, ["pkg.p"]);
+    }
+
+    #[test]
+    fn pool_survives_across_batches() {
+        // One pool, many batches against distinct compilers: mirrors are
+        // re-initialized per batch, analyzers reused, results identical to
+        // the serial baseline every time.
+        let baseline = Compiler::in_memory();
+        let rb = baseline.compile_batch(&design(), BatchOptions::default());
+        assert!(rb.ok());
+        let pool = WorkerPool::new(baseline.analyzer.env_kind, 3);
+        for _ in 0..3 {
+            let c = Compiler::in_memory();
+            let r = c.compile_batch_with(
+                &design(),
+                BatchOptions {
+                    jobs: 3,
+                    incremental: false,
+                },
+                Some(&pool),
+            );
+            assert!(r.ok(), "{:?}", r.units);
+            assert_eq!(vif_texts(&baseline), vif_texts(&c));
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! vhdlc [--work DIR] [--jobs N] [--incremental]
 //!       [--elab ENTITY[:ARCH]] [--config NAME]
-//!       [--run TIME_NS] [--vcd FILE] [--emit-c FILE] [--stats]
+//!       [--run TIME] [--vcd FILE] [--emit-c FILE] [--stats]
 //!       [--trace-phases] FILE...
 //! ```
 //!
@@ -34,7 +34,7 @@ struct Args {
     incremental: bool,
     elab: Option<(String, Option<String>)>,
     config: Option<String>,
-    run_ns: Option<u64>,
+    run_until: Option<Time>,
     vcd: Option<String>,
     emit_c: Option<String>,
     stats: bool,
@@ -49,7 +49,7 @@ fn parse_args() -> Result<Args, String> {
         incremental: false,
         elab: None,
         config: None,
-        run_ns: None,
+        run_until: None,
         vcd: None,
         emit_c: None,
         stats: false,
@@ -82,11 +82,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--config" => out.config = Some(grab("--config")?),
             "--run" => {
-                out.run_ns = Some(
-                    grab("--run")?
-                        .parse()
-                        .map_err(|_| "--run needs nanoseconds".to_string())?,
-                )
+                // VHDL-style time literal (`100ns`, `2.5us`, `1sec`); a
+                // bare number keeps the historical nanosecond meaning.
+                out.run_until =
+                    Some(Time::parse(&grab("--run")?).map_err(|e| format!("--run: {e}"))?)
             }
             "--vcd" => out.vcd = Some(grab("--vcd")?),
             "--emit-c" => out.emit_c = Some(grab("--emit-c")?),
@@ -95,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: vhdlc [--work DIR] [--jobs N] [--incremental] \
-                     [--elab ENTITY[:ARCH]] [--config NAME] [--run NS] [--vcd FILE] \
+                     [--elab ENTITY[:ARCH]] [--config NAME] [--run TIME] [--vcd FILE] \
                      [--emit-c FILE] [--stats] [--trace-phases] FILE..."
                 );
                 std::process::exit(0);
@@ -250,7 +249,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-        if let Some(ns) = args.run_ns {
+        if let Some(deadline) = args.run_until {
             let vcd = std::cell::RefCell::new(Vcd::new("1fs"));
             let mut sim = sim_kernel::Simulator::new(program);
             if args.vcd.is_some() {
@@ -259,7 +258,7 @@ fn main() -> ExitCode {
                     vcd_ref.borrow_mut().change(t, sig, name, v);
                 }));
             }
-            match sim.run_until(Time::fs(ns * 1_000_000)) {
+            match sim.run_until(deadline) {
                 Ok(()) => {
                     for r in sim.reports() {
                         let sev = ["note", "warning", "error", "failure"]

@@ -114,4 +114,42 @@ mod tests {
         assert!(text.contains("#5\n1!"));
         assert!(text.contains("b10 \""));
     }
+
+    /// Golden test: the complete output text, byte for byte. The VCD
+    /// format is consumed by external waveform viewers, so any drift in
+    /// header layout, code assignment, or change encoding is a
+    /// compatibility break, not a cosmetic change.
+    #[test]
+    fn vcd_golden_text() {
+        let mut vcd = Vcd::new("1fs");
+        vcd.change(Time::ZERO, SigId(0), "tb.clk", &Val::Int(0));
+        vcd.change(Time::ZERO, SigId(1), "tb.count", &Val::Int(5));
+        vcd.change(Time::fs(5), SigId(0), "tb.clk", &Val::Int(1));
+        vcd.change(
+            Time::fs(5),
+            SigId(2),
+            "tb.bus",
+            &Val::arr(1, VDir::Downto, vec![Val::Int(1), Val::Int(0)]),
+        );
+        vcd.change(Time::fs(12), SigId(3), "tb.temp", &Val::Real(2.5));
+        vcd.change(Time::fs(12), SigId(0), "tb.clk", &Val::Int(0));
+        let golden = "\
+$timescale 1fs $end
+$var wire 1 ! tb.clk $end
+$var wire 1 \" tb.count $end
+$var wire 1 # tb.bus $end
+$var wire 1 $ tb.temp $end
+$enddefinitions $end
+#0
+0!
+b101 \"
+#5
+1!
+b10 #
+#12
+r2.5 $
+0!
+";
+        assert_eq!(vcd.finish(), golden);
+    }
 }

@@ -198,6 +198,10 @@ pub struct Program {
     pub processes: Vec<ProcessDecl>,
     /// Subprogram table.
     pub functions: Vec<FnDecl>,
+    /// Hierarchical region paths (instances, blocks) the elaborator
+    /// visited, in elaboration order — the Name Server registers these as
+    /// scopes so empty regions are still addressable.
+    pub regions: Vec<String>,
 }
 
 impl Program {

@@ -9,17 +9,21 @@
 //!   the nested-subprogram problem the paper's C back end had to solve);
 //! - [`rts`] — Runtime Support: every predefined operation;
 //! - [`io`] — VHDL I/O: assertion reports and VCD waveform dumps;
-//! - the Name Server is [`sim::Simulator::signal_by_name`] and friends;
+//! - [`names`] — the Name Server: hierarchical path names
+//!   (`:tb:dut:sum`), case-insensitive per VHDL rules, with glob
+//!   resolution for probe selection and inspection;
 //! - [`isa`] / [`value`] — the instruction set and runtime values the
 //!   code generator targets.
 
 pub mod io;
 pub mod isa;
+pub mod names;
 pub mod rts;
 pub mod sim;
 pub mod value;
 
 pub use isa::{ArrAttrKind, FnDecl, FnId, Insn, Program, SigAttr, SigId, VarAddr};
+pub use names::{NameError, NameServer, NsEntry, NsObject};
 pub use rts::{Op, RtError};
-pub use sim::{ReportEvent, SimError, SimStats, Simulator};
+pub use sim::{ReportEvent, RunOutcome, SimError, SimStats, Simulator};
 pub use value::{ArrVal, Time, VDir, Val};

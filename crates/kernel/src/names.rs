@@ -1,0 +1,419 @@
+//! The Name Server: hierarchical path names for simulation objects.
+//!
+//! §2.1 lists four virtual-machine modules; this is the fourth. During
+//! elaboration every signal, process, and region scope is registered under
+//! its hierarchical path (`tb.dut.x1.y`), and the Name Server resolves
+//! external spellings of those paths — `:tb:dut:x1:y` in the VHDL
+//! path-name style, or dot-separated — back to kernel objects. It is the
+//! hook interactive simulation control hangs off: signal inspection, VCD
+//! probe selection, and per-object event counters all address objects
+//! through it.
+//!
+//! Per VHDL's identifier rules (LRM §13.3) resolution is case-insensitive:
+//! every segment is folded through [`Symbol::intern_ci`], so `:TB:DUT:Sum`
+//! and `:tb:dut:sum` are the same path. Lookups never panic — unknown
+//! paths and malformed glob patterns come back as [`NameError`]
+//! diagnostics that name the deepest prefix that *did* resolve.
+
+use std::collections::HashMap;
+
+use ag_intern::Symbol;
+
+use crate::isa::{Program, SigId};
+
+/// What a resolved name designates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NsObject {
+    /// A signal.
+    Signal(SigId),
+    /// A process (index into [`Program::processes`]).
+    Process(u32),
+    /// A region scope (an instance, block, or other declarative region).
+    Region,
+}
+
+impl NsObject {
+    /// Short kind tag for diagnostics and protocol payloads.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NsObject::Signal(_) => "signal",
+            NsObject::Process(_) => "process",
+            NsObject::Region => "region",
+        }
+    }
+}
+
+/// A resolution failure. Never a panic: bad input is a client mistake,
+/// not a kernel invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NameError {
+    /// The path is syntactically empty.
+    EmptyPath,
+    /// A segment did not resolve; `resolved` is the deepest prefix that
+    /// did (rendered canonically), `segment` the offending spelling.
+    NoSuchName {
+        /// Canonical path of the deepest resolved prefix.
+        resolved: String,
+        /// The segment that failed to resolve under it.
+        segment: String,
+    },
+    /// A glob pattern is malformed (e.g. `**` mixed with other text in
+    /// one segment).
+    BadGlob(String),
+}
+
+impl std::fmt::Display for NameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameError::EmptyPath => write!(f, "empty path name"),
+            NameError::NoSuchName { resolved, segment } => {
+                if resolved.is_empty() {
+                    write!(f, "no object named `{segment}` at the design root")
+                } else {
+                    write!(f, "no object named `{segment}` under `{resolved}`")
+                }
+            }
+            NameError::BadGlob(p) => {
+                write!(f, "bad glob `{p}`: `**` must be a whole segment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+struct Node {
+    name: Symbol,
+    parent: usize,
+    children: Vec<usize>,
+    /// Child index by folded segment symbol.
+    by_name: HashMap<Symbol, usize>,
+    object: NsObject,
+}
+
+/// One resolved entry: the object plus its canonical path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NsEntry {
+    /// Canonical colon-separated path (`:tb:dut:sum`).
+    pub path: String,
+    /// The designated object.
+    pub object: NsObject,
+}
+
+/// The hierarchical namespace of one elaborated design.
+pub struct NameServer {
+    /// Node 0 is the anonymous root.
+    nodes: Vec<Node>,
+}
+
+impl NameServer {
+    /// An empty namespace (root only).
+    pub fn new() -> NameServer {
+        NameServer {
+            nodes: vec![Node {
+                name: Symbol::intern(""),
+                parent: 0,
+                children: Vec::new(),
+                by_name: HashMap::new(),
+                object: NsObject::Region,
+            }],
+        }
+    }
+
+    /// Builds the namespace for a program: every region path the
+    /// elaborator recorded, then every signal and process under its
+    /// hierarchical name. Intermediate segments become regions even when
+    /// the elaborator recorded none (hand-built programs).
+    pub fn from_program(program: &Program) -> NameServer {
+        let mut ns = NameServer::new();
+        for r in &program.regions {
+            ns.insert(r, NsObject::Region);
+        }
+        for (i, s) in program.signals.iter().enumerate() {
+            ns.insert(&s.name, NsObject::Signal(SigId(i as u32)));
+        }
+        for (i, p) in program.processes.iter().enumerate() {
+            ns.insert(&p.name, NsObject::Process(i as u32));
+        }
+        ns
+    }
+
+    /// Registers `path` (dot- or colon-separated) as `object`, creating
+    /// intermediate regions. Re-registering a path upgrades a plain
+    /// region to the concrete object; it never downgrades.
+    pub fn insert(&mut self, path: &str, object: NsObject) {
+        let mut cur = 0usize;
+        for seg in split_path(path) {
+            let sym = Symbol::intern_ci(seg);
+            cur = match self.nodes[cur].by_name.get(&sym) {
+                Some(&c) => c,
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        name: sym,
+                        parent: cur,
+                        children: Vec::new(),
+                        by_name: HashMap::new(),
+                        object: NsObject::Region,
+                    });
+                    self.nodes[cur].children.push(idx);
+                    self.nodes[cur].by_name.insert(sym, idx);
+                    idx
+                }
+            };
+        }
+        if cur != 0 && !matches!(object, NsObject::Region) {
+            self.nodes[cur].object = object;
+        }
+    }
+
+    /// Total registered names (excluding the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Resolves one path name (case-insensitive; `:a:b` or `a.b`).
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::EmptyPath`] / [`NameError::NoSuchName`]; never panics.
+    pub fn resolve(&self, path: &str) -> Result<NsEntry, NameError> {
+        let segs: Vec<&str> = split_path(path).collect();
+        if segs.is_empty() {
+            return Err(NameError::EmptyPath);
+        }
+        let mut cur = 0usize;
+        for seg in segs {
+            let sym = Symbol::intern_ci(seg);
+            match self.nodes[cur].by_name.get(&sym) {
+                Some(&c) => cur = c,
+                None => {
+                    return Err(NameError::NoSuchName {
+                        resolved: self.path_of(cur),
+                        segment: seg.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(self.entry(cur))
+    }
+
+    /// Resolves a glob pattern to every matching object, in canonical
+    /// path order. `*` and `?` match within a segment; a segment that is
+    /// exactly `**` matches zero or more whole segments. Matching is
+    /// case-insensitive, like [`NameServer::resolve`].
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::BadGlob`] for `**` mixed into a longer segment,
+    /// [`NameError::EmptyPath`] for an empty pattern; never panics.
+    pub fn glob(&self, pattern: &str) -> Result<Vec<NsEntry>, NameError> {
+        let segs: Vec<String> = split_path(pattern)
+            .map(|s| s.to_ascii_lowercase())
+            .collect();
+        if segs.is_empty() {
+            return Err(NameError::EmptyPath);
+        }
+        for s in &segs {
+            if s.contains("**") && s != "**" {
+                return Err(NameError::BadGlob(pattern.to_string()));
+            }
+        }
+        let mut out = Vec::new();
+        self.glob_walk(0, &segs, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        let mut entries: Vec<NsEntry> = out.into_iter().map(|i| self.entry(i)).collect();
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(entries)
+    }
+
+    fn glob_walk(&self, node: usize, segs: &[String], out: &mut Vec<usize>) {
+        let Some(first) = segs.first() else {
+            if node != 0 {
+                out.push(node);
+            }
+            return;
+        };
+        if first == "**" {
+            // Zero segments …
+            self.glob_walk(node, &segs[1..], out);
+            // … or one more, keeping the `**`.
+            for &c in &self.nodes[node].children {
+                self.glob_walk(c, segs, out);
+            }
+            return;
+        }
+        for &c in &self.nodes[node].children {
+            if seg_match(first, self.nodes[c].name.as_str()) {
+                self.glob_walk(c, &segs[1..], out);
+            }
+        }
+    }
+
+    /// All entries, in canonical path order (root excluded).
+    pub fn all(&self) -> Vec<NsEntry> {
+        let mut idx: Vec<usize> = (1..self.nodes.len()).collect();
+        idx.sort();
+        let mut out: Vec<NsEntry> = idx.into_iter().map(|i| self.entry(i)).collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+
+    fn entry(&self, node: usize) -> NsEntry {
+        NsEntry {
+            path: self.path_of(node),
+            object: self.nodes[node].object,
+        }
+    }
+
+    /// Canonical rendering of a node: `:a:b:c` (folded spellings).
+    fn path_of(&self, mut node: usize) -> String {
+        if node == 0 {
+            return String::new();
+        }
+        let mut segs = Vec::new();
+        while node != 0 {
+            segs.push(self.nodes[node].name.as_str());
+            node = self.nodes[node].parent;
+        }
+        segs.reverse();
+        let mut out = String::new();
+        for s in segs {
+            out.push(':');
+            out.push_str(s);
+        }
+        out
+    }
+}
+
+impl Default for NameServer {
+    fn default() -> Self {
+        NameServer::new()
+    }
+}
+
+/// Splits a path on `:` and `.`, dropping empty segments (so a leading
+/// `:` is accepted, as are doubled separators).
+fn split_path(path: &str) -> impl Iterator<Item = &str> {
+    path.split([':', '.']).filter(|s| !s.is_empty())
+}
+
+/// Glob match of one folded pattern segment against one folded name:
+/// `*` matches any run, `?` any single char. Iterative two-pointer
+/// backtracking (no recursion, no allocation).
+fn seg_match(pat: &str, name: &str) -> bool {
+    let (p, n) = (pat.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut mark) = (None::<usize>, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some(pi);
+            mark = ni;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            mark += 1;
+            ni = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Val;
+
+    fn sample() -> NameServer {
+        let mut p = Program::default();
+        p.regions.push("tb".into());
+        p.regions.push("tb.dut".into());
+        p.add_signal("tb.clk", Val::Int(0));
+        p.add_signal("tb.dut.sum", Val::Int(0));
+        p.add_signal("tb.dut.cout", Val::Int(0));
+        p.add_process("tb.stim", 0, vec![]);
+        NameServer::from_program(&p)
+    }
+
+    #[test]
+    fn resolve_colon_dot_and_case() {
+        let ns = sample();
+        let e = ns.resolve(":tb:dut:sum").unwrap();
+        assert_eq!(e.path, ":tb:dut:sum");
+        assert_eq!(e.object, NsObject::Signal(SigId(1)));
+        assert_eq!(ns.resolve("tb.dut.sum").unwrap(), e);
+        assert_eq!(ns.resolve(":TB:Dut:SUM").unwrap(), e);
+        assert_eq!(
+            ns.resolve(":tb").unwrap().object.kind(),
+            "region",
+            "intermediate scopes resolve as regions"
+        );
+        assert_eq!(ns.resolve(":tb:stim").unwrap().object, NsObject::Process(0));
+    }
+
+    #[test]
+    fn resolve_errors_are_diagnostics() {
+        let ns = sample();
+        match ns.resolve(":tb:dut:nope").unwrap_err() {
+            NameError::NoSuchName { resolved, segment } => {
+                assert_eq!(resolved, ":tb:dut");
+                assert_eq!(segment, "nope");
+            }
+            e => panic!("wrong error {e}"),
+        }
+        assert_eq!(ns.resolve("").unwrap_err(), NameError::EmptyPath);
+        assert_eq!(ns.resolve(":::").unwrap_err(), NameError::EmptyPath);
+    }
+
+    #[test]
+    fn globs() {
+        let ns = sample();
+        let sigs: Vec<String> = ns
+            .glob(":tb:dut:*")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.path)
+            .collect();
+        assert_eq!(sigs, [":tb:dut:cout", ":tb:dut:sum"]);
+        let all = ns.glob(":**").unwrap();
+        assert_eq!(all.len(), ns.len());
+        let deep: Vec<String> = ns
+            .glob("**.s*")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.path)
+            .collect();
+        assert_eq!(deep, [":tb:dut:sum", ":tb:stim"]);
+        assert_eq!(ns.glob(":tb:c?k").unwrap().len(), 1);
+        assert!(matches!(
+            ns.glob(":tb:**x").unwrap_err(),
+            NameError::BadGlob(_)
+        ));
+        assert!(ns.glob(":tb:zzz:*").unwrap().is_empty());
+    }
+
+    #[test]
+    fn seg_match_cases() {
+        assert!(seg_match("*", "anything"));
+        assert!(seg_match("a*b", "axxb"));
+        assert!(seg_match("a*b", "ab"));
+        assert!(!seg_match("a*b", "axc"));
+        assert!(seg_match("??", "ab"));
+        assert!(!seg_match("??", "a"));
+        assert!(seg_match("*x*", "axb"));
+    }
+}

@@ -208,8 +208,11 @@ pub fn binop(op: Op, a: &Val, b: &Val) -> Result<Val, RtError> {
                 .data
                 .iter()
                 .zip(y.data.iter())
-                .map(|(a, b)| Val::Int(logical(op, a.as_int(), b.as_int())))
-                .collect();
+                .map(|(a, b)| match (a, b) {
+                    (Val::Int(x), Val::Int(y)) => Ok(Val::Int(logical(op, *x, *y))),
+                    _ => Err(RtError::Internal("logical op on non-bit elements".into())),
+                })
+                .collect::<Result<Vec<Val>, RtError>>()?;
             Val::Arr(ArrVal {
                 left: x.left,
                 dir: x.dir,
@@ -279,15 +282,19 @@ pub fn unop(op: Op, a: &Val) -> Result<Val, RtError> {
             let data = x
                 .data
                 .iter()
-                .map(|v| Val::Int((v.as_int() == 0) as i64))
-                .collect();
+                .map(|v| match v {
+                    Val::Int(i) => Ok(Val::Int((*i == 0) as i64)),
+                    _ => Err(RtError::Internal("not on non-bit elements".into())),
+                })
+                .collect::<Result<Vec<Val>, RtError>>()?;
             Val::Arr(ArrVal {
                 left: x.left,
                 dir: x.dir,
                 data: Rc::new(data),
             })
         }
-        (Op::ToReal, v) => Val::Real(v.as_real()),
+        (Op::ToReal, Val::Int(x)) => Val::Real(*x as f64),
+        (Op::ToReal, Val::Real(x)) => Val::Real(*x),
         (Op::ToInt, Val::Real(x)) => Val::Int(x.round() as i64),
         (Op::ToInt, Val::Int(x)) => Val::Int(*x),
         (op, a) => return Err(RtError::Internal(format!("bad operand for {op:?}: {a:?}"))),

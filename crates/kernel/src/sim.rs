@@ -13,8 +13,9 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::isa::{FnId, Insn, Program, SigAttr, SigId};
+use crate::names::{NameError, NameServer, NsEntry, NsObject};
 use crate::rts::{self, RtError};
-use crate::value::{Time, VDir, Val};
+use crate::value::{ArrVal, Time, VDir, Val};
 
 /// Per-resumption instruction budget (runaway-loop guard).
 const FUEL: u64 = 50_000_000;
@@ -102,6 +103,9 @@ struct SigState {
     last_event: Option<Time>,
     event: bool,
     active: bool,
+    /// Cumulative events on this signal (the Name Server's per-object
+    /// counter).
+    events: u64,
     drivers: Vec<Driver>,
 }
 
@@ -127,14 +131,30 @@ struct ProcState {
     status: ProcStatus,
     frames: Vec<Frame>,
     stack: Vec<Val>,
+    /// Cumulative resumptions of this process (per-object counter).
+    resumptions: u64,
 }
 
 /// A value-change observer (VCD writers, test probes).
 pub type Observer<'a> = Box<dyn FnMut(Time, SigId, &str, &Val) + 'a>;
 
+/// How a bounded [`Simulator::run_slice`] ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Nothing left to do: no pending transactions or timeouts.
+    Quiescent,
+    /// The next event lies beyond the slice deadline.
+    DeadlineReached,
+    /// The per-slice cycle budget ran out with work still pending.
+    CycleBudget,
+    /// The cancellation hook asked to stop.
+    Cancelled,
+}
+
 /// The simulator: program + live state.
 pub struct Simulator<'a> {
     program: Program,
+    names: NameServer,
     signals: Vec<SigState>,
     procs: Vec<ProcState>,
     now: Time,
@@ -148,6 +168,7 @@ impl<'a> Simulator<'a> {
     /// Builds a simulator and runs every process once (elaboration-time
     /// initial execution happens on the first [`Simulator::step`]).
     pub fn new(program: Program) -> Simulator<'a> {
+        let names = NameServer::from_program(&program);
         let signals = program
             .signals
             .iter()
@@ -157,6 +178,7 @@ impl<'a> Simulator<'a> {
                 last_event: None,
                 event: false,
                 active: false,
+                events: 0,
                 drivers: Vec::new(),
             })
             .collect();
@@ -174,10 +196,12 @@ impl<'a> Simulator<'a> {
                     level: 0,
                 }],
                 stack: Vec::new(),
+                resumptions: 0,
             })
             .collect();
         Simulator {
             program,
+            names,
             signals,
             procs,
             now: Time::ZERO,
@@ -214,9 +238,63 @@ impl<'a> Simulator<'a> {
         &self.signals[sig.0 as usize].current
     }
 
+    /// The design's hierarchical namespace (the Name Server of §2.1).
+    pub fn names(&self) -> &NameServer {
+        &self.names
+    }
+
+    /// The elaborated program this simulator runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Resolves a path name to a namespace entry (case-insensitive,
+    /// `:a:b` or `a.b` spellings).
+    ///
+    /// # Errors
+    ///
+    /// [`NameError`] diagnostics for unknown paths; never panics.
+    pub fn resolve(&self, path: &str) -> Result<NsEntry, NameError> {
+        self.names.resolve(path)
+    }
+
+    /// Resolves a glob pattern to every matching namespace entry.
+    ///
+    /// # Errors
+    ///
+    /// [`NameError`] diagnostics for malformed patterns; never panics.
+    pub fn glob(&self, pattern: &str) -> Result<Vec<NsEntry>, NameError> {
+        self.names.glob(pattern)
+    }
+
+    /// Cumulative events on one signal (the per-object counter the Name
+    /// Server's `inspect` surface reports).
+    pub fn signal_events(&self, sig: SigId) -> u64 {
+        self.signals[sig.0 as usize].events
+    }
+
+    /// Time of the signal's last event, if any.
+    pub fn signal_last_event(&self, sig: SigId) -> Option<Time> {
+        self.signals[sig.0 as usize].last_event
+    }
+
+    /// Cumulative resumptions of one process.
+    pub fn process_resumptions(&self, proc: u32) -> u64 {
+        self.procs[proc as usize].resumptions
+    }
+
     /// Looks a signal up by its hierarchical name (the Name Server of
-    /// §2.1).
+    /// §2.1). Case-insensitive; accepts `:a:b` and `a.b` spellings.
     pub fn signal_by_name(&self, path: &str) -> Option<SigId> {
+        if let Ok(NsEntry {
+            object: NsObject::Signal(s),
+            ..
+        }) = self.names.resolve(path)
+        {
+            return Some(s);
+        }
+        // Fallback: exact spelling match (signals whose declared names use
+        // separators the path grammar folds away).
         self.program
             .signals
             .iter()
@@ -244,19 +322,53 @@ impl<'a> Simulator<'a> {
     ///
     /// Stops at the first [`SimError`].
     pub fn run_until(&mut self, deadline: Time) -> Result<(), SimError> {
+        self.run_slice(deadline, u64::MAX, &mut || false)
+            .map(|_| ())
+    }
+
+    /// Runs a bounded slice: until `deadline` (inclusive), at most
+    /// `max_cycles` simulation cycles, checking `cancel` between cycles —
+    /// the incremental-stepping hook interactive drivers (the `vhdld`
+    /// server's `run` request) use for per-request deadlines and
+    /// cooperative cancellation. State is left consistent at every return,
+    /// so a later slice picks up exactly where this one stopped.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`SimError`].
+    pub fn run_slice(
+        &mut self,
+        deadline: Time,
+        max_cycles: u64,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Result<RunOutcome, SimError> {
         let _t = ag_harness::trace::span("simulate");
+        let mut cycles: u64 = 0;
         // Initial cycle: every process runs until its first wait.
         if self.stats.cycles == 0 {
+            if cancel() {
+                return Ok(RunOutcome::Cancelled);
+            }
             self.execute_ready()?;
             self.stats.cycles += 1;
+            cycles += 1;
         }
-        while let Some(next) = self.next_time() {
+        loop {
+            let Some(next) = self.next_time() else {
+                return Ok(RunOutcome::Quiescent);
+            };
             if next.fs > deadline.fs {
-                break;
+                return Ok(RunOutcome::DeadlineReached);
+            }
+            if cycles >= max_cycles {
+                return Ok(RunOutcome::CycleBudget);
+            }
+            if cancel() {
+                return Ok(RunOutcome::Cancelled);
             }
             self.step_to(next)?;
+            cycles += 1;
         }
-        Ok(())
     }
 
     /// Runs a single simulation cycle; returns `false` at quiescence.
@@ -319,14 +431,11 @@ impl<'a> Simulator<'a> {
             {
                 let sig = &mut self.signals[si];
                 for d in sig.drivers.iter_mut() {
-                    while let Some((t, _)) = d.tx.front() {
-                        if *t <= self.now {
-                            let (_, v) = d.tx.pop_front().expect("front checked");
+                    while d.tx.front().is_some_and(|(t, _)| *t <= self.now) {
+                        if let Some((_, v)) = d.tx.pop_front() {
                             d.driving = v;
                             any_active = true;
                             self.stats.transactions += 1;
-                        } else {
-                            break;
                         }
                     }
                 }
@@ -342,6 +451,7 @@ impl<'a> Simulator<'a> {
                 sig.current = new_val;
                 sig.last_event = Some(self.now);
                 sig.event = true;
+                sig.events += 1;
                 self.stats.events += 1;
                 let name = self.program.signals[si].name.clone();
                 let current = self.signals[si].current.clone();
@@ -367,6 +477,7 @@ impl<'a> Simulator<'a> {
             if let Some(timed_out) = resume {
                 self.procs[pi].status = ProcStatus::Ready;
                 self.procs[pi].stack.push(Val::Int(timed_out as i64));
+                self.procs[pi].resumptions += 1;
                 self.stats.resumptions += 1;
             }
         }
@@ -432,6 +543,7 @@ impl<'a> Simulator<'a> {
                 level: decl.level,
             }],
             stack: Vec::new(),
+            resumptions: 0,
         };
         self.exec_frames(&mut scratch, true, usize::MAX)?;
         scratch
@@ -448,6 +560,7 @@ impl<'a> Simulator<'a> {
                 status: ProcStatus::Halted,
                 frames: Vec::new(),
                 stack: Vec::new(),
+                resumptions: 0,
             },
         );
         let result = self.exec_frames(&mut proc, false, pi);
@@ -518,7 +631,7 @@ impl<'a> Simulator<'a> {
                 }
                 Insn::StoreVarIndex(a) => {
                     let v = pop(proc)?;
-                    let idx = pop(proc)?.as_int();
+                    let idx = pop_int(proc)?;
                     let fr = var_frame(proc, a.depth)?;
                     let slot = &mut fr.locals[a.slot as usize];
                     *slot = store_elem(slot, idx, v)?;
@@ -548,17 +661,17 @@ impl<'a> Simulator<'a> {
                     proc.stack.push(v);
                 }
                 Insn::Index => {
-                    let idx = pop(proc)?.as_int();
+                    let idx = pop_int(proc)?;
                     let arr = pop(proc)?;
-                    let a = arr.as_arr();
+                    let a = want_arr(&arr)?;
                     let off = a.offset(idx).ok_or(RtError::IndexError { index: idx })?;
                     proc.stack.push(a.data[off].clone());
                 }
                 Insn::Slice(dir) => {
-                    let right = pop(proc)?.as_int();
-                    let left = pop(proc)?.as_int();
+                    let right = pop_int(proc)?;
+                    let left = pop_int(proc)?;
                     let arr = pop(proc)?;
-                    let a = arr.as_arr();
+                    let a = want_arr(&arr)?;
                     let (o1, o2) = (
                         a.offset(left).ok_or(RtError::IndexError { index: left })?,
                         a.offset(right)
@@ -570,7 +683,7 @@ impl<'a> Simulator<'a> {
                 }
                 Insn::ArrAttr(kind) => {
                     let v = pop(proc)?;
-                    let a = v.as_arr();
+                    let a = want_arr(&v)?;
                     let (l, r) = (a.left, a.right());
                     let out = match kind {
                         crate::isa::ArrAttrKind::Length => a.data.len() as i64,
@@ -598,7 +711,7 @@ impl<'a> Simulator<'a> {
                     proc.stack.push(rts::unop(op, &a)?);
                 }
                 Insn::RangeCheck { lo, hi } => {
-                    let v = proc.stack.last().ok_or_else(underflow)?.as_int();
+                    let v = want_int(proc.stack.last().ok_or_else(underflow)?)?;
                     if v < lo || v > hi {
                         return Err(RtError::RangeError { value: v, lo, hi });
                     }
@@ -607,20 +720,20 @@ impl<'a> Simulator<'a> {
                     proc.frames.last_mut().expect("frame").pc = t as usize;
                 }
                 Insn::JumpIfFalse(t) => {
-                    let c = pop(proc)?;
-                    if !c.as_bool() {
+                    let c = pop_int(proc)? != 0;
+                    if !c {
                         proc.frames.last_mut().expect("frame").pc = t as usize;
                     }
                 }
                 Insn::Sched { sig, transport } => {
-                    let delay = pop(proc)?.as_int();
+                    let delay = pop_int(proc)?;
                     let value = pop(proc)?;
                     self.schedule(pid, sig, value, delay, transport, None)?;
                 }
                 Insn::SchedIndex { sig, transport } => {
-                    let delay = pop(proc)?.as_int();
+                    let delay = pop_int(proc)?;
                     let value = pop(proc)?;
-                    let index = pop(proc)?.as_int();
+                    let index = pop_int(proc)?;
                     self.schedule(pid, sig, value, delay, transport, Some(index))?;
                 }
                 Insn::Wait { sens, with_timeout } => {
@@ -628,7 +741,7 @@ impl<'a> Simulator<'a> {
                         return Err(RtError::Internal("wait in a pure function".into()));
                     }
                     let timeout = if with_timeout {
-                        let fs = pop(proc)?.as_int();
+                        let fs = pop_int(proc)?;
                         Some(self.now.plus_fs(fs.max(0) as u64))
                     } else {
                         None
@@ -666,10 +779,10 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 Insn::Assert => {
-                    let severity = pop(proc)?.as_int();
+                    let severity = pop_int(proc)?;
                     let report = pop(proc)?;
-                    let cond = pop(proc)?;
-                    if !cond.as_bool() {
+                    let cond = pop_int(proc)? != 0;
+                    if !cond {
                         let ev = ReportEvent {
                             time: self.now,
                             severity,
@@ -780,6 +893,34 @@ impl<'a> Simulator<'a> {
 
 fn pop(proc: &mut ProcState) -> Result<Val, RtError> {
     proc.stack.pop().ok_or_else(underflow)
+}
+
+/// Pops an integer (enumeration position, boolean, delay). The IR is
+/// typed, so a mismatch is a code-generator bug — but it must surface as
+/// a per-process [`RtError`], not a panic that takes the host (a `vhdld`
+/// worker, a batch thread) down with it.
+fn pop_int(proc: &mut ProcState) -> Result<i64, RtError> {
+    match pop(proc)? {
+        Val::Int(i) => Ok(i),
+        v => Err(RtError::Internal(format!("expected integer, got {v}"))),
+    }
+}
+
+/// Checked view of a value as an array (see [`pop_int`] on why this is an
+/// error, not a panic).
+fn want_arr(v: &Val) -> Result<&ArrVal, RtError> {
+    match v {
+        Val::Arr(a) => Ok(a),
+        v => Err(RtError::Internal(format!("expected array, got {v}"))),
+    }
+}
+
+/// Checked view of a value as an integer.
+fn want_int(v: &Val) -> Result<i64, RtError> {
+    match v {
+        Val::Int(i) => Ok(*i),
+        v => Err(RtError::Internal(format!("expected integer, got {v}"))),
+    }
 }
 
 fn underflow() -> RtError {

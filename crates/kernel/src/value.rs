@@ -45,6 +45,76 @@ impl Time {
             delta: 0,
         }
     }
+
+    /// Parses a VHDL-style time literal: an integer or decimal magnitude
+    /// followed by a unit (`fs`, `ps`, `ns`, `us`, `ms`, `sec`, `min`,
+    /// `hr`), case-insensitive, with optional whitespace before the unit
+    /// — `100ns`, `2.5 us`, `1SEC`. A bare number is nanoseconds (the
+    /// historical `vhdlc --run` convention). Shared by `vhdlc --run` and
+    /// the `vhdld` `run` request.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed literal (empty, unknown unit,
+    /// non-numeric magnitude, or femtosecond overflow).
+    pub fn parse(text: &str) -> Result<Time, String> {
+        let s = text.trim();
+        if s.is_empty() {
+            return Err("empty time literal".to_string());
+        }
+        let digits_end = s
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '_'))
+            .unwrap_or(s.len());
+        let (mag, unit) = s.split_at(digits_end);
+        let mag = mag.replace('_', "");
+        let unit = unit.trim();
+        let fs_per: u64 = match unit.to_ascii_lowercase().as_str() {
+            "fs" => 1,
+            "ps" => 1_000,
+            "" | "ns" => 1_000_000,
+            "us" => 1_000_000_000,
+            "ms" => 1_000_000_000_000,
+            "s" | "sec" => 1_000_000_000_000_000,
+            "min" => 60_000_000_000_000_000,
+            "hr" => 3_600_000_000_000_000_000,
+            u => return Err(format!("unknown time unit `{u}` in `{text}`")),
+        };
+        if mag.is_empty() {
+            return Err(format!("missing magnitude in time literal `{text}`"));
+        }
+        let fs = match mag.split_once('.') {
+            None => mag
+                .parse::<u64>()
+                .map_err(|_| format!("bad magnitude `{mag}` in `{text}`"))?
+                .checked_mul(fs_per),
+            Some((int, frac)) => {
+                let whole = if int.is_empty() {
+                    0
+                } else {
+                    int.parse::<u64>()
+                        .map_err(|_| format!("bad magnitude `{mag}` in `{text}`"))?
+                };
+                if frac.contains('.') || frac.chars().any(|c| !c.is_ascii_digit()) {
+                    return Err(format!("bad magnitude `{mag}` in `{text}`"));
+                }
+                // Fractional part, truncated to the femtosecond grid.
+                let mut num: u128 = 0;
+                let mut den: u128 = 1;
+                for c in frac.chars() {
+                    num = num * 10 + (c as u8 - b'0') as u128;
+                    den *= 10;
+                }
+                whole.checked_mul(fs_per).and_then(|w| {
+                    let f = (num * fs_per as u128 / den) as u64;
+                    w.checked_add(f)
+                })
+            }
+        };
+        match fs {
+            Some(fs) => Ok(Time::fs(fs)),
+            None => Err(format!("time literal `{text}` overflows femtoseconds")),
+        }
+    }
 }
 
 impl fmt::Display for Time {
@@ -222,6 +292,40 @@ mod tests {
         assert_eq!(d1.delta, 1);
         assert_eq!(Time::fs(1_000_000).as_ns(), 1.0);
         assert_eq!(format!("{d1}"), "0fs+1d");
+    }
+
+    #[test]
+    fn time_literal_parsing() {
+        assert_eq!(Time::parse("100ns").unwrap(), Time::fs(100_000_000));
+        assert_eq!(Time::parse("2us").unwrap(), Time::fs(2_000_000_000));
+        assert_eq!(
+            Time::parse("40").unwrap(),
+            Time::fs(40_000_000),
+            "bare = ns"
+        );
+        assert_eq!(Time::parse(" 5 PS ").unwrap(), Time::fs(5_000));
+        assert_eq!(Time::parse("2.5us").unwrap(), Time::fs(2_500_000_000));
+        assert_eq!(Time::parse("0.5ns").unwrap(), Time::fs(500_000));
+        assert_eq!(Time::parse("1_000fs").unwrap(), Time::fs(1_000));
+        assert_eq!(
+            Time::parse("1sec").unwrap(),
+            Time::fs(1_000_000_000_000_000)
+        );
+        assert_eq!(
+            Time::parse("1min").unwrap().fs,
+            60 * Time::parse("1s").unwrap().fs
+        );
+        for bad in [
+            "",
+            "ns",
+            "x7ns",
+            "7 parsecs",
+            "1.2.3ns",
+            "99999999hr",
+            "1.xns",
+        ] {
+            assert!(Time::parse(bad).is_err(), "`{bad}` should not parse");
+        }
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! `vhdld` — a session-oriented compile-and-simulate server.
+//!
+//! The paper's pipeline (analysis → VIF library → elaboration → kernel)
+//! was built for one-shot batch runs; this crate keeps it resident. A
+//! **session** is one connection with a private copy-on-write workspace:
+//! the work library forks from the server's base snapshot by `Arc<str>`
+//! reference (no VIF text is copied), `analyze` requests fan over the
+//! batch compiler's wave scheduler on a session-local worker pool, and
+//! `inspect`/`trace` requests resolve hierarchical path names and globs
+//! through the kernel's Name Server against the live simulation.
+//!
+//! Robustness contract (see DESIGN.md §10):
+//! - frames over [`proto::MAX_FRAME`] are refused before allocation;
+//! - every request runs under a wall-clock deadline; `run` additionally
+//!   honors cooperative cancellation between simulation cycles;
+//! - sessions beyond `max_clients` are rejected with an explicit
+//!   `overloaded` error frame, never queued invisibly;
+//! - `shutdown` drains: the listener stops accepting, in-flight requests
+//!   complete, idle connections close, then `serve` returns;
+//! - a panicking request handler answers with an `internal error`
+//!   response instead of killing the connection;
+//! - every request leaves one structured access-log line and updates the
+//!   per-op latency/byte counters that `stats` reports.
+
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod session;
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+use vhdl_vif::LibrarySnapshot;
+
+use json::{obj, Json};
+use metrics::Metrics;
+use proto::{read_frame, write_frame, FrameRead};
+use session::{RequestCtl, Session};
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent sessions; further connections get an
+    /// `overloaded` rejection frame.
+    pub max_clients: usize,
+    /// Per-request wall-clock deadline.
+    pub deadline: Duration,
+    /// Analysis worker threads per session (`1` analyzes inline).
+    pub jobs: usize,
+    /// Suppress the access log (tests).
+    pub quiet: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_clients: 32,
+            deadline: session::DEFAULT_DEADLINE,
+            jobs: 2,
+            quiet: false,
+        }
+    }
+}
+
+/// State shared by the listener and every connection thread.
+struct Shared {
+    cfg: ServerConfig,
+    shutting_down: AtomicBool,
+    active: AtomicUsize,
+    next_session: AtomicU64,
+    metrics: Mutex<Metrics>,
+    base: Option<LibrarySnapshot>,
+    started: Instant,
+}
+
+/// The server. [`Server::serve`] owns the accept loop; each accepted
+/// connection gets a thread-confined [`Session`].
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+fn epoch_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+impl Server {
+    /// Creates a server; sessions fork their work library from `base`
+    /// when given.
+    pub fn new(cfg: ServerConfig, base: Option<LibrarySnapshot>) -> Server {
+        Server {
+            shared: Arc::new(Shared {
+                cfg,
+                shutting_down: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                next_session: AtomicU64::new(1),
+                metrics: Mutex::new(Metrics::default()),
+                base,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// A handle that flips the drain flag from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves connections until a `shutdown` request (or
+    /// [`ShutdownHandle::shutdown`]) drains the server; returns after the
+    /// last session closes.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener I/O errors only; per-connection errors are handled
+    /// per connection.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutting_down.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nonblocking(false)?;
+                    // Request/response framing; never batch small writes.
+                    let _ = stream.set_nodelay(true);
+                    let shared = Arc::clone(&self.shared);
+                    let active = shared.active.fetch_add(1, Ordering::SeqCst);
+                    if active >= shared.cfg.max_clients {
+                        // Explicit overload rejection: one error frame,
+                        // then close. Nothing queues invisibly.
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                        shared
+                            .metrics
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .overloaded += 1;
+                        let mut s = stream;
+                        let reply = obj([
+                            ("id", Json::Null),
+                            ("ok", Json::Bool(false)),
+                            (
+                                "error",
+                                Json::str(format!(
+                                    "overloaded: {} active sessions (max {})",
+                                    active, shared.cfg.max_clients
+                                )),
+                            ),
+                        ]);
+                        let _ = write_frame(&mut s, &reply.to_text());
+                        shared.log(&format!("reject peer={peer} reason=overloaded"));
+                        continue;
+                    }
+                    let sid = shared.next_session.fetch_add(1, Ordering::SeqCst);
+                    shared
+                        .metrics
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .sessions += 1;
+                    shared.log(&format!("accept session={sid} peer={peer}"));
+                    handles.push(std::thread::spawn(move || {
+                        serve_session(&shared, stream, sid);
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                        shared.log(&format!("close session={sid}"));
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            handles.retain(|h| !h.is_finished());
+        }
+        // Drain: no new sessions; in-flight requests complete, idle
+        // connections notice the flag at their next read timeout.
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.log("drained");
+        Ok(())
+    }
+
+    /// Serves exactly one session over arbitrary streams (`--stdio`
+    /// mode; also the harness for deterministic protocol tests).
+    pub fn serve_stream(&self, reader: &mut impl Read, writer: &mut impl Write) {
+        let sid = self.shared.next_session.fetch_add(1, Ordering::SeqCst);
+        self.shared
+            .metrics
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .sessions += 1;
+        session_loop(&self.shared, reader, writer, sid);
+    }
+}
+
+/// Cross-thread drain trigger.
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Starts the drain.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Shared {
+    fn log(&self, line: &str) {
+        if !self.cfg.quiet {
+            eprintln!("vhdld[{}ms] {line}", epoch_ms());
+        }
+    }
+}
+
+fn serve_session(shared: &Shared, stream: TcpStream, sid: u64) {
+    // A short read timeout keeps idle connections responsive to drain.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    session_loop(shared, &mut reader, &mut writer, sid);
+}
+
+fn session_loop(shared: &Shared, reader: &mut impl Read, writer: &mut impl Write, sid: u64) {
+    let mut session = Session::new(shared.base.as_ref(), shared.cfg.jobs);
+    loop {
+        let text = match read_frame(reader) {
+            Ok(FrameRead::Frame(t)) => t,
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Idle) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                shared.log(&format!("session={sid} protocol-error: {e}"));
+                return;
+            }
+        };
+        let bytes_in = text.len() as u64;
+        let t0 = Instant::now();
+        let (id, op, reply) = dispatch(shared, &mut session, sid, &text);
+        let us = t0.elapsed().as_micros() as u64;
+        let ok = reply.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        let reply_text = reply.to_text();
+        let bytes_out = reply_text.len() as u64;
+        shared
+            .metrics
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .record(&op, bytes_in, bytes_out, us, ok);
+        shared.log(&format!(
+            "session={sid} id={id} op={op} in={bytes_in}B out={bytes_out}B us={us} {}",
+            if ok { "ok" } else { "err" }
+        ));
+        if write_frame(writer, &reply_text).is_err() {
+            return;
+        }
+        if op == "shutdown" {
+            // The ok frame is already on the wire; the listener (and
+            // every other session) sees the flag within one poll tick.
+            return;
+        }
+    }
+}
+
+/// Parses, routes, and answers one request. Returns `(id, op, reply)`.
+fn dispatch(shared: &Shared, session: &mut Session, sid: u64, text: &str) -> (u64, String, Json) {
+    let parsed = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            let reply = obj([
+                ("id", Json::Null),
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(format!("bad request: {e}"))),
+            ]);
+            return (0, "parse-error".to_string(), reply);
+        }
+    };
+    let id = parsed.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let op = parsed
+        .get("op")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    let result = match op.as_str() {
+        "" => Err("request needs an `op` string".to_string()),
+        "shutdown" => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            Ok(obj([("draining", Json::Bool(true))]))
+        }
+        "stats" => Ok(stats_json(shared, session, sid)),
+        _ => {
+            let ctl = RequestCtl {
+                wall_deadline: Instant::now() + shared.cfg.deadline,
+                shutting_down: &shared.shutting_down,
+                metrics: &shared.metrics,
+            };
+            // A handler panic answers this request; it must not kill the
+            // session (nor, in a pooled worker, the server).
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.handle(&op, &parsed, &ctl)
+            }))
+            .unwrap_or_else(|p| {
+                let what = if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "unknown panic".to_string()
+                };
+                Err(format!("internal error: {what}"))
+            })
+        }
+    };
+    let reply = match result {
+        Ok(body) => obj([
+            ("id", Json::u64(id)),
+            ("ok", Json::Bool(true)),
+            ("result", body),
+        ]),
+        Err(e) => obj([
+            ("id", Json::u64(id)),
+            ("ok", Json::Bool(false)),
+            ("error", Json::str(e)),
+        ]),
+    };
+    (id, op, reply)
+}
+
+fn stats_json(shared: &Shared, session: &Session, sid: u64) -> Json {
+    let mut j = shared
+        .metrics
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .to_json();
+    let extra = [
+        (
+            "uptime_ms".to_string(),
+            Json::u64(shared.started.elapsed().as_millis() as u64),
+        ),
+        (
+            "active_sessions".to_string(),
+            Json::u64(shared.active.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "session".to_string(),
+            obj([
+                ("id", Json::u64(sid)),
+                ("units", Json::u64(session.unit_count() as u64)),
+                (
+                    "sim_time",
+                    session
+                        .sim_time()
+                        .map(|t| Json::str(format!("{t}")))
+                        .unwrap_or(Json::Null),
+                ),
+            ]),
+        ),
+    ];
+    if let Json::Obj(m) = &mut j {
+        for (k, v) in extra {
+            m.push((k, v));
+        }
+    }
+    j
+}

@@ -1,0 +1,392 @@
+//! One `vhdld` session: a private compile-and-simulate workspace.
+//!
+//! A session *is* a connection. Everything `Rc`-based — the analyzer, the
+//! library graph, the elaborated program, the simulator — lives on the
+//! connection's thread and never crosses it; only request/response text
+//! does. The workspace starts as a copy-on-write fork of the server's
+//! base library snapshot (`Arc<str>` unit texts: forking copies no VIF),
+//! and every `analyze` runs through the batch compiler's wave scheduler
+//! against the session's long-lived worker pool, so a warm re-analyze of
+//! an unchanged unit is an incremental-stamp hit, not a recompile.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sim_kernel::io::Vcd;
+use sim_kernel::{NsObject, RunOutcome, SigId, Simulator, Time};
+use vhdl_driver::batch::{BatchOptions, WorkerPool};
+use vhdl_driver::Compiler;
+use vhdl_vif::{Library, LibrarySet, LibrarySnapshot};
+
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+
+/// Per-request control surface the connection loop hands each handler.
+pub struct RequestCtl<'a> {
+    /// Wall-clock point after which long operations must stop.
+    pub wall_deadline: Instant,
+    /// Server-wide drain flag; long operations stop when it rises.
+    pub shutting_down: &'a AtomicBool,
+    /// Server-wide counters.
+    pub metrics: &'a Mutex<Metrics>,
+}
+
+/// A session's state. Not `Send` by design — it is confined to the
+/// connection's thread.
+pub struct Session {
+    compiler: Compiler,
+    pool: Option<WorkerPool>,
+    pool_jobs: usize,
+    sim: Option<Simulator<'static>>,
+    vcd: Rc<RefCell<Vcd>>,
+    probes: Rc<RefCell<HashSet<SigId>>>,
+    /// Reports already delivered by earlier `run` responses.
+    reported: usize,
+}
+
+/// Truthy `incremental` default: a server session's whole point is the
+/// warm cache.
+fn opt_bool(params: &Json, key: &str, default: bool) -> bool {
+    params.get(key).and_then(Json::as_bool).unwrap_or(default)
+}
+
+fn time_json(t: Time) -> Json {
+    obj([
+        ("fs", Json::u64(t.fs)),
+        ("display", Json::str(format!("{t}"))),
+    ])
+}
+
+impl Session {
+    /// Opens a session whose work library is a copy-on-write fork of
+    /// `base` (or empty without one). `jobs` sizes the analysis pool.
+    pub fn new(base: Option<&LibrarySnapshot>, jobs: usize) -> Session {
+        let compiler = match base {
+            Some(snap) => Compiler {
+                analyzer: Compiler::in_memory().analyzer,
+                libs: Rc::new(LibrarySet::new(
+                    Rc::new(Library::from_snapshot(snap)),
+                    vec![],
+                )),
+            },
+            None => Compiler::in_memory(),
+        };
+        Session {
+            compiler,
+            pool: None,
+            pool_jobs: jobs.max(1),
+            sim: None,
+            vcd: Rc::new(RefCell::new(Vcd::new("1fs"))),
+            probes: Rc::new(RefCell::new(HashSet::new())),
+            reported: 0,
+        }
+    }
+
+    /// Dispatches one request. `Err` becomes an error response — handlers
+    /// never panic the connection (the caller additionally wraps dispatch
+    /// in `catch_unwind`).
+    pub fn handle(&mut self, op: &str, params: &Json, ctl: &RequestCtl) -> Result<Json, String> {
+        match op {
+            "ping" => Ok(obj([("pong", Json::Bool(true))])),
+            "analyze" => self.analyze(params, ctl),
+            "elaborate" => self.elaborate(params),
+            "run" => self.run(params, ctl),
+            "inspect" => self.inspect(params),
+            "trace" => self.trace(params),
+            "vcd" => self.vcd_text(),
+            "dump" => self.dump(),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    fn analyze(&mut self, params: &Json, ctl: &RequestCtl) -> Result<Json, String> {
+        let mut files: Vec<(String, String)> = Vec::new();
+        for f in params.get("files").and_then(Json::as_arr).unwrap_or(&[]) {
+            let name = f
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("<inline>")
+                .to_string();
+            let text = f
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or("analyze: each file needs a `text` string")?
+                .to_string();
+            files.push((name, text));
+        }
+        for p in params.get("paths").and_then(Json::as_arr).unwrap_or(&[]) {
+            let path = p.as_str().ok_or("analyze: `paths` must be strings")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            files.push((path.to_string(), text));
+        }
+        if files.is_empty() {
+            return Err("analyze: no `files` or `paths` given".to_string());
+        }
+        let opts = BatchOptions {
+            jobs: self.pool_jobs,
+            incremental: opt_bool(params, "incremental", true),
+        };
+        let jobs = self.pool_jobs;
+        let pool = if jobs > 1 {
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::new(self.compiler.analyzer.env_kind, jobs));
+            }
+            self.pool.as_ref()
+        } else {
+            None
+        };
+        let r = self.compiler.compile_batch_with(&files, opts, pool);
+        {
+            let mut m = ctl.metrics.lock().unwrap_or_else(|p| p.into_inner());
+            m.analyze_skipped += r.cache.hits;
+            m.analyze_analyzed += r.cache.analyzed();
+        }
+        let names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+        let units = Json::Arr(
+            r.units
+                .iter()
+                .map(|u| {
+                    obj([
+                        ("key", Json::str(u.key.clone())),
+                        (
+                            "wave",
+                            u.wave.map(|w| Json::u64(w as u64)).unwrap_or(Json::Null),
+                        ),
+                        ("skipped", Json::Bool(u.skipped)),
+                        (
+                            "msgs",
+                            Json::Arr(
+                                u.msgs
+                                    .iter()
+                                    .map(|m| Json::str(format!("{}:{m}", names[u.file])))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let mut front = Vec::new();
+        for (i, e) in &r.front_errors {
+            front.push(Json::str(format!("{}: {e}", names[*i])));
+        }
+        Ok(obj([
+            ("ok", Json::Bool(r.ok())),
+            ("units", units),
+            ("front_errors", Json::Arr(front)),
+            ("waves", Json::u64(r.waves as u64)),
+            ("jobs", Json::u64(r.jobs as u64)),
+            ("skipped", Json::u64(r.cache.hits)),
+            ("analyzed", Json::u64(r.cache.analyzed())),
+        ]))
+    }
+
+    fn elaborate(&mut self, params: &Json) -> Result<Json, String> {
+        let program = if let Some(cfg) = params.get("config").and_then(Json::as_str) {
+            self.compiler
+                .elaborate_config(cfg)
+                .map_err(|e| e.to_string())?
+                .0
+        } else {
+            let entity = params
+                .get("entity")
+                .and_then(Json::as_str)
+                .ok_or("elaborate: needs `entity` (or `config`)")?;
+            let arch = params.get("arch").and_then(Json::as_str);
+            self.compiler
+                .elaborate(entity, arch, None)
+                .map_err(|e| e.to_string())?
+                .0
+        };
+        let signals = program.signals.len();
+        let processes = program.processes.len();
+        let regions = program.regions.len();
+        let mut sim = Simulator::new(program);
+        // The observer filters through the glob-selected probe set; an
+        // empty set records nothing, `trace` fills it.
+        let vcd = Rc::new(RefCell::new(Vcd::new("1fs")));
+        let probes = Rc::new(RefCell::new(HashSet::new()));
+        let vcd_w = Rc::clone(&vcd);
+        let probes_r = Rc::clone(&probes);
+        sim.observe(Box::new(move |t, sig, name, v| {
+            if probes_r.borrow().contains(&sig) {
+                vcd_w.borrow_mut().change(t, sig, name, v);
+            }
+        }));
+        let objects = sim.names().len();
+        self.vcd = vcd;
+        self.probes = probes;
+        self.reported = 0;
+        self.sim = Some(sim);
+        Ok(obj([
+            ("signals", Json::u64(signals as u64)),
+            ("processes", Json::u64(processes as u64)),
+            ("regions", Json::u64(regions as u64)),
+            ("objects", Json::u64(objects as u64)),
+        ]))
+    }
+
+    fn run(&mut self, params: &Json, ctl: &RequestCtl) -> Result<Json, String> {
+        let sim = self.sim.as_mut().ok_or("run: nothing elaborated yet")?;
+        let deadline = if let Some(t) = params.get("until").and_then(Json::as_str) {
+            Time::parse(t).map_err(|e| format!("run: {e}"))?
+        } else if let Some(t) = params.get("for").and_then(Json::as_str) {
+            let d = Time::parse(t).map_err(|e| format!("run: {e}"))?;
+            Time::fs(
+                sim.now()
+                    .fs
+                    .checked_add(d.fs)
+                    .ok_or("run: deadline overflows")?,
+            )
+        } else {
+            return Err("run: needs `until` or `for` (a time literal)".to_string());
+        };
+        let max_cycles = params
+            .get("max_cycles")
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX);
+        let wall = ctl.wall_deadline;
+        let shutting_down = ctl.shutting_down;
+        let mut cancel = || Instant::now() >= wall || shutting_down.load(Ordering::Relaxed);
+        let outcome = sim
+            .run_slice(deadline, max_cycles, &mut cancel)
+            .map_err(|e| format!("simulation: {e}"))?;
+        let outcome_name = match outcome {
+            RunOutcome::Quiescent => "quiescent",
+            RunOutcome::DeadlineReached => "deadline",
+            RunOutcome::CycleBudget => "cycle-budget",
+            RunOutcome::Cancelled if shutting_down.load(Ordering::Relaxed) => "draining",
+            RunOutcome::Cancelled => "wall-deadline",
+        };
+        let reports: Vec<Json> = sim.reports()[self.reported..]
+            .iter()
+            .map(|r| {
+                obj([
+                    ("time", time_json(r.time)),
+                    ("severity", Json::u64(r.severity.clamp(0, 3) as u64)),
+                    ("text", Json::str(r.text.clone())),
+                ])
+            })
+            .collect();
+        self.reported = sim.reports().len();
+        let st = sim.stats();
+        Ok(obj([
+            ("outcome", Json::str(outcome_name)),
+            ("now", time_json(sim.now())),
+            ("reports", Json::Arr(reports)),
+            (
+                "stats",
+                obj([
+                    ("cycles", Json::u64(st.cycles)),
+                    ("delta_cycles", Json::u64(st.delta_cycles)),
+                    ("events", Json::u64(st.events)),
+                    ("transactions", Json::u64(st.transactions)),
+                    ("resumptions", Json::u64(st.resumptions)),
+                ]),
+            ),
+        ]))
+    }
+
+    fn inspect(&mut self, params: &Json) -> Result<Json, String> {
+        let sim = self.sim.as_ref().ok_or("inspect: nothing elaborated yet")?;
+        let path = params
+            .get("path")
+            .and_then(Json::as_str)
+            .ok_or("inspect: needs `path`")?;
+        let entry = sim.resolve(path).map_err(|e| format!("inspect: {e}"))?;
+        let mut fields = vec![
+            ("path".to_string(), Json::str(entry.path.clone())),
+            ("kind".to_string(), Json::str(entry.object.kind())),
+        ];
+        match entry.object {
+            NsObject::Signal(sig) => {
+                fields.push((
+                    "value".to_string(),
+                    Json::str(format!("{}", sim.signal_value(sig))),
+                ));
+                fields.push(("events".to_string(), Json::u64(sim.signal_events(sig))));
+                fields.push((
+                    "last_event".to_string(),
+                    sim.signal_last_event(sig)
+                        .map(time_json)
+                        .unwrap_or(Json::Null),
+                ));
+            }
+            NsObject::Process(p) => {
+                fields.push((
+                    "resumptions".to_string(),
+                    Json::u64(sim.process_resumptions(p)),
+                ));
+            }
+            NsObject::Region => {}
+        }
+        Ok(Json::Obj(fields))
+    }
+
+    fn trace(&mut self, params: &Json) -> Result<Json, String> {
+        let sim = self.sim.as_ref().ok_or("trace: nothing elaborated yet")?;
+        let pattern = params
+            .get("glob")
+            .and_then(Json::as_str)
+            .ok_or("trace: needs `glob`")?;
+        let entries = sim.glob(pattern).map_err(|e| format!("trace: {e}"))?;
+        let mut probes = self.probes.borrow_mut();
+        let mut matched = Vec::new();
+        for e in &entries {
+            if let NsObject::Signal(sig) = e.object {
+                probes.insert(sig);
+            }
+            matched.push(obj([
+                ("path", Json::str(e.path.clone())),
+                ("kind", Json::str(e.object.kind())),
+            ]));
+        }
+        Ok(obj([
+            ("matched", Json::Arr(matched)),
+            ("probes", Json::u64(probes.len() as u64)),
+        ]))
+    }
+
+    fn vcd_text(&self) -> Result<Json, String> {
+        Ok(obj([("text", Json::str(self.vcd.borrow().finish()))]))
+    }
+
+    /// Work-library image, key-sorted — the byte-identity witness the
+    /// concurrency tests compare across sessions and against `vhdlc`.
+    fn dump(&self) -> Result<Json, String> {
+        let work = self.compiler.libs.work();
+        let mut keys: Vec<String> = work.history();
+        keys.sort();
+        keys.dedup();
+        let units = Json::Arr(
+            keys.into_iter()
+                .filter_map(|k| {
+                    let text = work.peek_raw(&k).ok()?;
+                    Some(obj([("key", Json::str(k)), ("text", Json::str(text))]))
+                })
+                .collect(),
+        );
+        Ok(obj([("units", units)]))
+    }
+
+    /// Current simulation time, if a design is elaborated (for `stats`).
+    pub fn sim_time(&self) -> Option<Time> {
+        self.sim.as_ref().map(Simulator::now)
+    }
+
+    /// Unit count in the session's work library (for `stats`).
+    pub fn unit_count(&self) -> usize {
+        let mut keys = self.compiler.libs.work().history();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+/// Default per-request wall deadline when the server config does not set
+/// one.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);

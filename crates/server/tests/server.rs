@@ -1,0 +1,362 @@
+//! End-to-end protocol tests over loopback TCP: concurrent sessions are
+//! deterministic (byte-identical library text and simulation results
+//! against a serial in-process baseline), the incremental cache is
+//! visible in `stats`, overload is an explicit rejection, and `shutdown`
+//! drains the accept loop.
+
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+use vhdl_driver::Compiler;
+use vhdl_server::json::{self, obj, Json};
+use vhdl_server::proto::{read_frame, write_frame, FrameRead};
+use vhdl_server::{Server, ServerConfig, ShutdownHandle};
+
+const FULL_ADDER: &str = include_str!("../../../examples/full_adder.vhd");
+
+fn quiet_cfg(max_clients: usize, jobs: usize) -> ServerConfig {
+    ServerConfig {
+        max_clients,
+        jobs,
+        quiet: true,
+        ..ServerConfig::default()
+    }
+}
+
+/// Binds loopback, serves in a background thread, returns the address,
+/// the drain trigger, and the serve thread's handle.
+fn start(cfg: ServerConfig) -> (String, ShutdownHandle, JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = Server::new(cfg, None);
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.serve(listener));
+    (addr, handle, join)
+}
+
+/// One scripted client connection.
+struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: stream.try_clone().expect("clone stream"),
+            writer: stream,
+            next_id: 1,
+        }
+    }
+
+    /// Sends `op` with extra fields, returns the whole response object.
+    fn req(&mut self, op: &str, fields: Vec<(&str, Json)>) -> Json {
+        let mut all = vec![
+            ("id".to_string(), Json::u64(self.next_id)),
+            ("op".to_string(), Json::str(op)),
+        ];
+        self.next_id += 1;
+        for (k, v) in fields {
+            all.push((k.to_string(), v));
+        }
+        write_frame(&mut self.writer, &Json::Obj(all).to_text()).expect("send");
+        match read_frame(&mut self.reader).expect("recv") {
+            FrameRead::Frame(t) => json::parse(&t).expect("response parses"),
+            FrameRead::Eof => panic!("server closed the connection"),
+            FrameRead::Idle => panic!("unexpected idle on a blocking socket"),
+        }
+    }
+
+    /// Sends `op`, asserts `ok:true`, returns just the `result`.
+    fn ok(&mut self, op: &str, fields: Vec<(&str, Json)>) -> Json {
+        let resp = self.req(op, fields);
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{op} failed: {}",
+            resp.to_text()
+        );
+        resp.get("result")
+            .expect("ok response has a result")
+            .clone()
+    }
+}
+
+fn analyze_fields() -> Vec<(&'static str, Json)> {
+    vec![(
+        "files",
+        Json::Arr(vec![obj([
+            ("name", Json::str("full_adder.vhd")),
+            ("text", Json::str(FULL_ADDER)),
+        ])]),
+    )]
+}
+
+/// The serial in-process baseline the concurrent sessions must match:
+/// one `Compiler` (the `vhdlc` path), library text key-sorted.
+fn serial_library() -> Vec<(String, String)> {
+    let c = Compiler::in_memory();
+    let r = c.compile(FULL_ADDER).expect("baseline compiles");
+    assert!(r.ok(), "baseline diagnostics: {}", r.msgs());
+    let work = c.libs.work();
+    let mut keys = work.history();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| {
+            let text = work.peek_raw(&k).expect("unit text");
+            (k, text)
+        })
+        .collect()
+}
+
+fn dump_units(result: &Json) -> Vec<(String, String)> {
+    result
+        .get("units")
+        .and_then(Json::as_arr)
+        .expect("dump has units")
+        .iter()
+        .map(|u| {
+            (
+                u.get("key")
+                    .and_then(Json::as_str)
+                    .expect("key")
+                    .to_string(),
+                u.get("text")
+                    .and_then(Json::as_str)
+                    .expect("text")
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn four_concurrent_sessions_match_the_serial_baseline() {
+    let (addr, _handle, join) = start(quiet_cfg(8, 2));
+
+    // Serial baseline: plain `Compiler` + `Simulator`, no server.
+    let baseline_lib = serial_library();
+    let mut baseline_sim = Compiler::in_memory()
+        .simulate(FULL_ADDER, "tb")
+        .expect("baseline elaborates");
+    baseline_sim
+        .run_until(sim_kernel::Time::parse("40ns").expect("time literal"))
+        .expect("baseline runs");
+    let baseline_stats = baseline_sim.stats();
+    let baseline_now = baseline_sim.now();
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr);
+                let a = c.ok("analyze", analyze_fields());
+                assert_eq!(a.get("ok").and_then(Json::as_bool), Some(true));
+                c.ok("elaborate", vec![("entity", Json::str("tb"))]);
+                let run = c.ok("run", vec![("until", Json::str("40ns"))]);
+                let dump = c.ok("dump", vec![]);
+                c.req("ping", vec![]);
+                (dump_units(&dump), run.to_text())
+            })
+        })
+        .collect();
+    let results: Vec<_> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    for (lib, run_text) in &results {
+        assert_eq!(
+            lib, &baseline_lib,
+            "session library text must be byte-identical to serial vhdlc"
+        );
+        assert_eq!(
+            run_text, &results[0].1,
+            "every concurrent session must report identical sim results"
+        );
+    }
+    let run0 = json::parse(&results[0].1).expect("run result parses");
+    let st = run0.get("stats").expect("run has stats");
+    assert_eq!(
+        st.get("events").and_then(Json::as_u64),
+        Some(baseline_stats.events)
+    );
+    assert_eq!(
+        st.get("cycles").and_then(Json::as_u64),
+        Some(baseline_stats.cycles)
+    );
+    assert_eq!(
+        st.get("resumptions").and_then(Json::as_u64),
+        Some(baseline_stats.resumptions)
+    );
+    assert_eq!(
+        run0.get("now")
+            .and_then(|n| n.get("fs"))
+            .and_then(Json::as_u64),
+        Some(baseline_now.fs)
+    );
+
+    let mut c = Client::connect(&addr);
+    c.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn warm_analyze_of_unchanged_units_is_a_cache_hit() {
+    let (addr, _handle, join) = start(quiet_cfg(4, 2));
+    let mut c = Client::connect(&addr);
+
+    let cold = c.ok("analyze", analyze_fields());
+    let total = cold
+        .get("units")
+        .and_then(Json::as_arr)
+        .expect("units")
+        .len() as u64;
+    assert!(total >= 10, "full_adder has 10 design units, saw {total}");
+    assert_eq!(cold.get("skipped").and_then(Json::as_u64), Some(0));
+    assert_eq!(cold.get("analyzed").and_then(Json::as_u64), Some(total));
+
+    let warm = c.ok("analyze", analyze_fields());
+    assert_eq!(
+        warm.get("skipped").and_then(Json::as_u64),
+        Some(total),
+        "warm re-analyze of unchanged text must be all cache hits"
+    );
+    assert_eq!(warm.get("analyzed").and_then(Json::as_u64), Some(0));
+    for u in warm.get("units").and_then(Json::as_arr).expect("units") {
+        assert_eq!(u.get("skipped").and_then(Json::as_bool), Some(true));
+    }
+
+    let stats = c.ok("stats", vec![]);
+    assert_eq!(
+        stats.get("analyze_skipped").and_then(Json::as_u64),
+        Some(total),
+        "the skip counter must be visible in server stats"
+    );
+    assert_eq!(
+        stats.get("analyze_analyzed").and_then(Json::as_u64),
+        Some(total)
+    );
+
+    c.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn sessions_forked_from_a_base_snapshot_start_warm() {
+    // Pre-compile the base incrementally so the snapshot carries stamps.
+    let base = Compiler::in_memory();
+    let r = base.compile_batch(
+        &[("full_adder.vhd".to_string(), FULL_ADDER.to_string())],
+        vhdl_driver::batch::BatchOptions {
+            jobs: 1,
+            incremental: true,
+        },
+    );
+    assert!(r.ok());
+    let snap = base.libs.work().snapshot();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = Server::new(quiet_cfg(4, 2), Some(snap));
+    let join = std::thread::spawn(move || server.serve(listener));
+
+    let mut c = Client::connect(&addr);
+    let first = c.ok("analyze", analyze_fields());
+    assert_eq!(
+        first.get("analyzed").and_then(Json::as_u64),
+        Some(0),
+        "a fresh session's analyze of unchanged base text must be all hits"
+    );
+    assert_eq!(first.get("skipped").and_then(Json::as_u64), Some(10));
+    // The forked library is immediately usable for elaboration.
+    c.ok("elaborate", vec![("entity", Json::str("tb"))]);
+    c.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn overload_is_an_explicit_rejection() {
+    let (addr, _handle, join) = start(quiet_cfg(1, 1));
+    let mut first = Client::connect(&addr);
+    first.ok("ping", vec![]);
+
+    // The second connection must be answered (an error frame naming the
+    // condition), not silently queued or dropped.
+    let mut second = TcpStream::connect(&addr).expect("connect");
+    let reject = match read_frame(&mut second).expect("rejection frame") {
+        FrameRead::Frame(t) => json::parse(&t).expect("rejection parses"),
+        other => panic!(
+            "expected a rejection frame, got {}",
+            match other {
+                FrameRead::Eof => "eof",
+                _ => "idle",
+            }
+        ),
+    };
+    assert_eq!(reject.get("ok").and_then(Json::as_bool), Some(false));
+    let err = reject.get("error").and_then(Json::as_str).expect("error");
+    assert!(err.contains("overloaded"), "error was `{err}`");
+
+    let stats = first.ok("stats", vec![]);
+    assert_eq!(stats.get("overloaded").and_then(Json::as_u64), Some(1));
+
+    first.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn shutdown_drains_idle_sessions_too() {
+    let (addr, _handle, join) = start(quiet_cfg(4, 1));
+    // An idle connection that never sends anything: drain must still
+    // complete (the idle reader polls the flag at its read timeout).
+    let _idle = TcpStream::connect(&addr).expect("connect idle");
+    let mut c = Client::connect(&addr);
+    c.ok("ping", vec![]);
+    let resp = c.ok("shutdown", vec![]);
+    assert_eq!(resp.get("draining").and_then(Json::as_bool), Some(true));
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn shutdown_handle_drains_without_a_request() {
+    let (_addr, handle, join) = start(quiet_cfg(4, 1));
+    handle.shutdown();
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn bad_requests_get_error_responses_not_disconnects() {
+    let (addr, _handle, join) = start(quiet_cfg(4, 1));
+    let mut c = Client::connect(&addr);
+
+    write_frame(&mut c.writer, "this is not json").expect("send");
+    let resp = match read_frame(&mut c.reader).expect("recv") {
+        FrameRead::Frame(t) => json::parse(&t).expect("parses"),
+        _ => panic!("expected an error frame"),
+    };
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+    let resp = c.req("no-such-op", vec![]);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(resp
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("error")
+        .contains("unknown op"));
+
+    let resp = c.req("run", vec![("until", Json::str("40ns"))]);
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "run before elaborate"
+    );
+
+    // The session is still alive and usable after all three errors.
+    c.ok("ping", vec![]);
+    c.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}

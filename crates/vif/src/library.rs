@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::node::VifNode;
 use crate::text::{read_vif, write_vif, VifError};
@@ -34,22 +35,27 @@ pub struct VifTraffic {
 }
 
 enum Backend {
-    Memory(RefCell<HashMap<UnitKey, String>>),
+    Memory(RefCell<HashMap<UnitKey, Arc<str>>>),
     Disk(PathBuf),
 }
 
 /// A thread-transferable image of a library: unit texts plus the usage
-/// history, in history order. Everything is plain text, so a snapshot can
-/// cross a thread boundary (the batch compiler ships one to each worker,
-/// which rebuilds an in-memory mirror with [`Library::from_snapshot`]).
+/// history, in history order. Unit texts are shared `Arc<str>` — taking a
+/// snapshot of an in-memory library copies no text, and cloning a snapshot
+/// (the batch compiler ships one per worker, each rebuilding a mirror with
+/// [`Library::from_snapshot`]; the server forks one per session workspace)
+/// only bumps reference counts.
 #[derive(Clone, Debug)]
 pub struct LibrarySnapshot {
     /// Library logical name.
     pub name: String,
     /// Usage history, oldest first (duplicates preserved).
     pub history: Vec<UnitKey>,
-    /// Current VIF text per distinct unit key.
-    pub units: Vec<(UnitKey, String)>,
+    /// Current VIF text per distinct unit key (shared, copy-on-write).
+    pub units: Vec<(UnitKey, Arc<str>)>,
+    /// Incremental stamps at snapshot time, so a forked workspace's
+    /// first analyze of unchanged text is a cache hit.
+    pub stamps: Vec<(UnitKey, u64)>,
 }
 
 /// One design library.
@@ -97,10 +103,11 @@ impl Library {
                 Backend::Disk(_) => unreachable!("in_memory"),
             };
             for (k, text) in &snap.units {
-                m.insert(k.clone(), text.clone());
+                m.insert(k.clone(), Arc::clone(text));
             }
         }
         *lib.history.borrow_mut() = snap.history.clone();
+        *lib.stamps.borrow_mut() = snap.stamps.iter().cloned().collect();
         lib
     }
 
@@ -114,14 +121,22 @@ impl Library {
             if !seen.insert(k.clone()) {
                 continue;
             }
-            if let Ok(text) = self.peek_raw(k) {
+            if let Ok(text) = self.peek_shared(k) {
                 units.push((k.clone(), text));
             }
         }
+        let mut stamps: Vec<(UnitKey, u64)> = self
+            .stamps
+            .borrow()
+            .iter()
+            .map(|(k, &s)| (k.clone(), s))
+            .collect();
+        stamps.sort();
         LibrarySnapshot {
             name: self.name.clone(),
             history,
             units,
+            stamps,
         }
     }
 
@@ -194,7 +209,7 @@ impl Library {
     pub fn put_text(&self, key: &str, text: &str) -> Result<(), VifError> {
         match &self.backend {
             Backend::Memory(m) => {
-                m.borrow_mut().insert(key.to_string(), text.to_string());
+                m.borrow_mut().insert(key.to_string(), Arc::from(text));
             }
             Backend::Disk(dir) => {
                 let path = dir.join(format!("{}.vif", sanitize(key)));
@@ -261,6 +276,17 @@ impl Library {
     ///
     /// [`VifError::MissingUnit`] if absent; I/O errors on disk.
     pub fn peek_raw(&self, key: &str) -> Result<String, VifError> {
+        self.peek_shared(key).map(|t| t.to_string())
+    }
+
+    /// Like [`Library::peek_raw`] but returns the shared text. For
+    /// in-memory libraries this is a reference-count bump, not a copy —
+    /// the server relies on this to fork session workspaces cheaply.
+    ///
+    /// # Errors
+    ///
+    /// [`VifError::MissingUnit`] if absent; I/O errors on disk.
+    pub fn peek_shared(&self, key: &str) -> Result<Arc<str>, VifError> {
         match &self.backend {
             Backend::Memory(m) => m
                 .borrow()
@@ -272,7 +298,7 @@ impl Library {
                 if !path.exists() {
                     return Err(VifError::MissingUnit(format!("{}.{key}", self.name)));
                 }
-                Ok(std::fs::read_to_string(path)?)
+                Ok(Arc::from(std::fs::read_to_string(path)?.as_str()))
             }
         }
     }
@@ -628,11 +654,23 @@ mod tests {
         assert_eq!(snap.units.len(), 3);
         let mirror = Library::from_snapshot(&snap);
         assert_eq!(mirror.history(), lib.history());
+        // Stamps travel with the snapshot, so a forked workspace keeps
+        // its incremental cache warm.
+        assert_eq!(mirror.stamp("entity.e"), Some(17));
+        assert_eq!(mirror.stamp("arch.e.rtl"), Some(0xdead_beef));
+        assert_eq!(mirror.stamp("arch.e.fast"), None);
         assert_eq!(mirror.latest_architecture("e"), Some("rtl".to_string()));
         assert_eq!(
             mirror.peek_raw("entity.e").unwrap(),
             lib.peek_raw("entity.e").unwrap()
         );
+        // In-memory snapshot/mirror text is shared, not copied: forking a
+        // mirror from a mirror's snapshot bumps refcounts only.
+        let snap2 = mirror.snapshot();
+        let mirror2 = Library::from_snapshot(&snap2);
+        let a = mirror.peek_shared("entity.e").unwrap();
+        let b = mirror2.peek_shared("entity.e").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "mirror text must be shared");
         // Recompiling through put_text drops the stale stamp.
         let text = lib.peek_raw("entity.e").unwrap();
         lib.put_text("entity.e", &text).unwrap();

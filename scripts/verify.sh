@@ -7,11 +7,13 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: the steps below run the vhdlc and vhdld binaries from
+# crates/*, which a bare root-package build would not produce.
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -30,5 +32,47 @@ trap 'rm -rf "$BATCH_WORK"' EXIT
 cat "$BATCH_WORK/warm.log"
 grep -q "miss 0 cold 0" "$BATCH_WORK/warm.log" \
     || { echo "verify: warm --incremental rerun re-analyzed units" >&2; exit 1; }
+
+echo "==> vhdld loopback session (analyze -> elaborate -> run -> inspect -> shutdown)"
+# Start the server on an ephemeral loopback port, script one full session
+# through the built-in client, and assert a clean drain: every response ok,
+# the simulation quiescent, and the server process exiting by itself.
+./target/release/vhdld --listen 127.0.0.1:0 --quiet >"$BATCH_WORK/vhdld.out" &
+VHDLD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^vhdld listening on //p' "$BATCH_WORK/vhdld.out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "verify: vhdld never started listening" >&2; exit 1; }
+./target/release/vhdld --connect "$ADDR" >"$BATCH_WORK/session.log" <<'EOF'
+{"op":"analyze","paths":["examples/full_adder.vhd"]}
+{"op":"elaborate","entity":"tb"}
+{"op":"run","until":"40ns"}
+{"op":"inspect","path":":tb:sum"}
+{"op":"shutdown"}
+EOF
+cat "$BATCH_WORK/session.log"
+if grep -q '"ok":false' "$BATCH_WORK/session.log"; then
+    echo "verify: vhdld session had a failing request" >&2
+    exit 1
+fi
+grep -q '"outcome":"quiescent"' "$BATCH_WORK/session.log" \
+    || { echo "verify: vhdld run did not reach quiescence" >&2; exit 1; }
+grep -q '"kind":"signal"' "$BATCH_WORK/session.log" \
+    || { echo "verify: vhdld inspect did not resolve :tb:sum" >&2; exit 1; }
+grep -q '"draining":true' "$BATCH_WORK/session.log" \
+    || { echo "verify: vhdld shutdown was not acknowledged" >&2; exit 1; }
+for _ in $(seq 1 100); do
+    kill -0 "$VHDLD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$VHDLD_PID" 2>/dev/null; then
+    kill "$VHDLD_PID"
+    echo "verify: vhdld did not drain after shutdown" >&2
+    exit 1
+fi
+wait "$VHDLD_PID" || { echo "verify: vhdld exited nonzero" >&2; exit 1; }
 
 echo "verify: OK"

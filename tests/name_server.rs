@@ -1,0 +1,142 @@
+//! Property suite for the Name Server (§2.1 module 4): resolution is
+//! *total* over every elaborated object — each path the server emits
+//! resolves back to the same object, in any spelling the LRM allows —
+//! and bad input of any shape is a diagnostic, never a panic.
+
+use ag_harness::{check, check_eq, forall, Config};
+use sim_kernel::{NsEntry, NsObject, Simulator};
+use vhdl_driver::Compiler;
+
+const FULL_ADDER: &str = include_str!("../examples/full_adder.vhd");
+
+fn elaborated_tb() -> Simulator<'static> {
+    Compiler::in_memory()
+        .simulate(FULL_ADDER, "tb")
+        .expect("full_adder testbench elaborates")
+}
+
+/// Every path the Name Server itself emits resolves, to the same object,
+/// with the same canonical spelling.
+#[test]
+fn every_emitted_path_resolves_to_itself() {
+    let sim = elaborated_tb();
+    let all = sim.names().all();
+    assert!(
+        all.len() >= 20,
+        "expected a real hierarchy, got {} entries",
+        all.len()
+    );
+    assert!(all.iter().any(|e| matches!(e.object, NsObject::Signal(_))));
+    assert!(all.iter().any(|e| matches!(e.object, NsObject::Process(_))));
+    assert!(all.iter().any(|e| matches!(e.object, NsObject::Region)));
+    for e in &all {
+        let r = sim
+            .resolve(&e.path)
+            .unwrap_or_else(|err| panic!("emitted path `{}` failed to resolve: {err}", e.path));
+        assert_eq!(&r, e, "round trip of `{}`", e.path);
+    }
+}
+
+/// Resolution is spelling-insensitive: random case scrambling and a
+/// random choice of `:` vs `.` separators (with a leading separator or
+/// not) reach the same entry as the canonical path.
+#[test]
+fn prop_resolution_survives_respelling() {
+    let sim = elaborated_tb();
+    let all = sim.names().all();
+    forall!(Config::new("ns_respelling").cases(256), |s| {
+        let e: &NsEntry = s.pick(&all);
+        let mut spelled = String::new();
+        let leading = s.bool();
+        for (i, seg) in e.path.split(':').filter(|t| !t.is_empty()).enumerate() {
+            if i > 0 || leading {
+                spelled.push(if s.bool() { ':' } else { '.' });
+            }
+            for ch in seg.chars() {
+                if s.bool() {
+                    spelled.extend(ch.to_uppercase());
+                } else {
+                    spelled.push(ch);
+                }
+            }
+        }
+        let got = match sim.resolve(&spelled) {
+            Ok(g) => g,
+            Err(err) => {
+                return Err(ag_harness::Failed::new(format!(
+                    "`{spelled}` (from `{}`) failed: {err}",
+                    e.path
+                )))
+            }
+        };
+        check_eq!(got.path, e.path);
+        check!(got.object == e.object, "object of `{spelled}`");
+    });
+}
+
+/// Unknown paths and arbitrary junk come back as `Err`, never a panic,
+/// and the error names the offending segment.
+#[test]
+fn prop_unknown_paths_are_diagnostics() {
+    let sim = elaborated_tb();
+    forall!(Config::new("ns_unknown_paths").cases(256), |s| {
+        // Junk built from path metacharacters and identifier chars alike.
+        let junk = s.string_from(
+            "abgtu:.*?_",
+            "abcdefghijklmnopqrstuvwxyz0123456789:.*?_",
+            24,
+        );
+        // A definitely-unknown leaf grafted under a real prefix.
+        let under_real = format!(":tb:dut:zz_{}", s.u64_in(0, u64::MAX));
+        for path in [junk.as_str(), under_real.as_str()] {
+            match sim.resolve(path) {
+                Ok(e) => {
+                    // Junk may accidentally spell a real path; that is a
+                    // success of totality, not a failure of the test.
+                    check!(
+                        sim.resolve(&e.path).is_ok(),
+                        "accidental hit `{path}` must round-trip"
+                    );
+                }
+                Err(err) => {
+                    check!(!err.to_string().is_empty(), "error renders");
+                }
+            }
+        }
+    });
+}
+
+/// Globbing is total too: any pattern either matches (every match
+/// resolves back to itself) or is rejected with a diagnostic.
+#[test]
+fn prop_globs_never_panic_and_matches_resolve() {
+    let sim = elaborated_tb();
+    forall!(Config::new("ns_globs").cases(256), |s| {
+        let pat = s.string_from("abdtu*?:.", "abcdefghijklmnopqrstuvwxyz*?:._", 16);
+        match sim.glob(&pat) {
+            Ok(matches) => {
+                for m in matches {
+                    let r = match sim.resolve(&m.path) {
+                        Ok(r) => r,
+                        Err(err) => {
+                            return Err(ag_harness::Failed::new(format!(
+                                "glob `{pat}` matched `{}` which fails: {err}",
+                                m.path
+                            )))
+                        }
+                    };
+                    check_eq!(r.path, m.path);
+                }
+            }
+            Err(err) => check!(!err.to_string().is_empty(), "error renders"),
+        }
+    });
+}
+
+/// `:**` is the universal glob: it enumerates exactly `all()`.
+#[test]
+fn universal_glob_is_all() {
+    let sim = elaborated_tb();
+    let via_glob = sim.glob(":**").expect("universal glob");
+    assert_eq!(via_glob, sim.names().all());
+}
