@@ -118,12 +118,81 @@ fn resolved_bus() -> Program {
     p
 }
 
+/// A sparse design: `total` signals, each with a watcher process, but only
+/// `active` of them driven by oscillators. An event-driven scheduler pays
+/// for the `active` few; a scan-based one pays for all 1000 every cycle.
+fn sparse_activity(active: usize, total: usize) -> Program {
+    let mut p = Program::default();
+    let sigs: Vec<sim_kernel::SigId> = (0..total)
+        .map(|i| p.add_signal(format!("s{i}"), Val::Int(0)))
+        .collect();
+    for (i, &s) in sigs.iter().enumerate() {
+        p.add_process(
+            format!("w{i}"),
+            0,
+            vec![
+                Insn::Wait {
+                    sens: Rc::new(vec![s]),
+                    with_timeout: false,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    for (i, &s) in sigs.iter().take(active).enumerate() {
+        p.add_process(
+            format!("drv{i}"),
+            0,
+            vec![
+                Insn::LoadSig(s),
+                Insn::Unop(Op::Not),
+                Insn::PushInt(1_000),
+                Insn::Sched {
+                    sig: s,
+                    transport: false,
+                },
+                Insn::Wait {
+                    sens: Rc::new(vec![s]),
+                    with_timeout: false,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    p
+}
+
+/// Many processes sleeping on staggered `wait for` timeouts and nothing
+/// else — pure calendar traffic, no signals.
+fn timeout_storm(n_procs: usize) -> Program {
+    let mut p = Program::default();
+    for i in 0..n_procs {
+        let period = ((i % 13) as i64 + 1) * 100;
+        p.add_process(
+            format!("t{i}"),
+            0,
+            vec![
+                Insn::PushInt(period),
+                Insn::Wait {
+                    sens: Rc::new(vec![]),
+                    with_timeout: true,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    p
+}
+
 fn main() {
     println!("# E11 — target virtual machine characterization (paper §2.1)");
     println!();
     let mut r = Runner::new("exp_kernel")
         .iters(10)
-        .out_dir(ag_bench::workspace_root().join("results"));
+        .out_dir(ag_bench::out_dir());
 
     let s = r.measure("oscillator_100k_events", || {
         let mut sim = Simulator::new(oscillator());
@@ -166,6 +235,31 @@ fn main() {
     });
     println!(
         "resolved bus, 10k cycles:      median {}",
+        fmt_ns(s.median_ns)
+    );
+
+    for k in [1usize, 10, 100] {
+        let p = sparse_activity(k, 1_000);
+        let s = r.measure(format!("sparse_activity/{k}-of-1000"), || {
+            let mut sim = Simulator::new(p.clone());
+            sim.run_until(Time::fs(200 * 1_000)).expect("runs");
+            assert!(sim.stats().events >= 200 * k as u64);
+            black_box(sim.stats())
+        });
+        println!(
+            "sparse activity, {k:>3}/1000:     median {}",
+            fmt_ns(s.median_ns)
+        );
+    }
+
+    let p = timeout_storm(500);
+    let s = r.measure("timeout_storm", || {
+        let mut sim = Simulator::new(p.clone());
+        sim.run_until(Time::fs(100 * 1_000)).expect("runs");
+        black_box(sim.stats())
+    });
+    println!(
+        "timeout storm, 500 procs:      median {}",
         fmt_ns(s.median_ns)
     );
 

@@ -200,6 +200,17 @@ pub fn workspace_root() -> std::path::PathBuf {
     p
 }
 
+/// Where bench results go: `results/` at the workspace root, unless
+/// `AG_BENCH_OUT` redirects them — smoke runs (verify.sh with low
+/// `AG_BENCH_ITERS`) point this at a scratch directory so the committed
+/// full-iteration results are never overwritten by throwaway numbers.
+pub fn out_dir() -> std::path::PathBuf {
+    match std::env::var_os("AG_BENCH_OUT") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => workspace_root().join("results"),
+    }
+}
+
 /// Builds a synthetic attribute grammar of parameterized size for the
 /// generator-scaling experiment: a chain grammar with `n` nonterminals,
 /// each carrying an inherited and a synthesized class wired with copy and

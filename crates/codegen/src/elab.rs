@@ -99,6 +99,10 @@ pub fn elaborate(
         &HashMap::new(),
         &[],
     )?;
+    // Elaboration-time static sensitivity: computed once here so every
+    // simulator built from this program (server re-runs, batch workers)
+    // skips the kernel's fallback code walk.
+    e.program.finalize_sensitivity();
     Ok(e.program)
 }
 
@@ -126,6 +130,7 @@ pub fn elaborate_config(libs: &Rc<LibrarySet>, config: &str) -> Result<Program, 
         &HashMap::new(),
         &binds,
     )?;
+    e.program.finalize_sensitivity();
     Ok(e.program)
 }
 

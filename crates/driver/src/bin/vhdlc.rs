@@ -271,12 +271,22 @@ fn main() -> ExitCode {
                             "sim: {} cycles ({} delta), {} events, {} transactions",
                             st.cycles, st.delta_cycles, st.events, st.transactions
                         );
+                        eprintln!(
+                            "sched: {} calendar ops, {} procs woken, {} signals scanned",
+                            st.calendar_ops, st.woken_procs, st.scanned_signals
+                        );
                     }
                 }
                 Err(e) => {
                     eprintln!("vhdlc: simulation: {e}");
                     return ExitCode::from(1);
                 }
+            }
+            if args.trace_phases {
+                let st = sim.stats();
+                ag_harness::trace::counter("sched-calendar-ops", st.calendar_ops);
+                ag_harness::trace::counter("sched-woken-procs", st.woken_procs);
+                ag_harness::trace::counter("sched-scanned-signals", st.scanned_signals);
             }
             if let Some(path) = &args.vcd {
                 let text = vcd.borrow().finish();

@@ -1,0 +1,325 @@
+//! Scheduler-equivalence property suite.
+//!
+//! The event-driven scheduler (calendar + sensitivity index + worklists)
+//! must be observably indistinguishable from the seed kernel's full-scan
+//! scheduler, which survives as the `ref_*` methods on [`Simulator`].
+//! Randomly generated programs — mixed waits (sensitivity subsets,
+//! timeouts including the zero-delay backward-time case), preempting
+//! drivers (inertial and transport), resolved multi-driver signals,
+//! nested resolution calls — run through both steppers, optionally with
+//! the event-driven run split into incremental slices, and every
+//! observable must match byte for byte: VCD output, statistics,
+//! per-object Name-Server counters, final values, and the run outcome.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ag_harness::{check_eq, forall, Config, Source};
+
+use crate::io::Vcd;
+use crate::isa::{ArrAttrKind, FnDecl, Insn, Program, SigId, VarAddr};
+use crate::rts::Op;
+use crate::sim::{RunOutcome, SimError, Simulator};
+use crate::value::{Time, Val};
+
+fn slot(n: u16) -> VarAddr {
+    VarAddr { depth: 0, slot: n }
+}
+
+/// `sum(drivers) mod 4` — a resolution function with a loop and an array
+/// parameter, so resolved signals exercise the reused-scratch call path.
+fn sum_mod4() -> FnDecl {
+    let code = vec![
+        Insn::PushInt(0),
+        Insn::StoreVar(slot(1)), // i = 0
+        Insn::PushInt(0),
+        Insn::StoreVar(slot(2)), // acc = 0
+        Insn::LoadVar(slot(1)),  // 4: loop head
+        Insn::LoadVar(slot(0)),
+        Insn::ArrAttr(ArrAttrKind::Length),
+        Insn::Binop(Op::Lt),
+        Insn::JumpIfFalse(20),
+        Insn::LoadVar(slot(2)),
+        Insn::LoadVar(slot(0)),
+        Insn::LoadVar(slot(1)),
+        Insn::Index,
+        Insn::Binop(Op::Add),
+        Insn::StoreVar(slot(2)), // acc += arg[i]
+        Insn::LoadVar(slot(1)),
+        Insn::PushInt(1),
+        Insn::Binop(Op::Add),
+        Insn::StoreVar(slot(1)), // i += 1
+        Insn::Jump(4),
+        Insn::LoadVar(slot(2)), // 20: exit
+        Insn::PushInt(4),
+        Insn::Binop(Op::Mod),
+        Insn::Ret { has_value: true },
+    ];
+    FnDecl {
+        name: "sum_mod4".into(),
+        n_params: 1,
+        n_locals: 3,
+        code: Rc::new(code),
+        level: 1,
+    }
+}
+
+/// Draws a random program: 1–3 processes, each with its own plain
+/// signals, plus 0–2 resolved bus signals every process may drive.
+/// Processes loop forever: bump a counter, schedule 1–3 transactions
+/// (delta or timed, inertial or transport, counter-derived or constant
+/// values), then wait on a random sensitivity subset with an optional
+/// timeout.
+fn gen_program(s: &mut Source) -> Program {
+    let mut prog = Program::default();
+    let n_procs = s.usize_in(1, 3);
+    let mut own: Vec<Vec<SigId>> = Vec::new();
+    for pi in 0..n_procs {
+        let k = s.usize_in(1, 2);
+        own.push(
+            (0..k)
+                .map(|j| prog.add_signal(format!("top.p{pi}.s{j}"), Val::Int(0)))
+                .collect(),
+        );
+    }
+    let n_res = s.usize_in(0, 2);
+    let mut res: Vec<SigId> = Vec::new();
+    if n_res > 0 {
+        let f = prog.add_function(sum_mod4());
+        for r in 0..n_res {
+            let sid = prog.add_signal(format!("top.bus{r}"), Val::Int(0));
+            prog.signals[sid.0 as usize].resolution = Some(f);
+            res.push(sid);
+        }
+    }
+    let all: Vec<SigId> = own.iter().flatten().chain(res.iter()).copied().collect();
+    for pi in 0..n_procs {
+        let mut code = vec![
+            Insn::LoadVar(slot(0)),
+            Insn::PushInt(1),
+            Insn::Binop(Op::Add),
+            Insn::StoreVar(slot(0)),
+        ];
+        let targets: Vec<SigId> = own[pi].iter().chain(res.iter()).copied().collect();
+        for _ in 0..s.usize_in(1, 3) {
+            let sig = *s.pick(&targets);
+            if s.bool() {
+                // Counter-derived value: changes over time, so events and
+                // no-change active cycles both occur.
+                let m = *s.pick(&[2i64, 3, 4]);
+                code.push(Insn::LoadVar(slot(0)));
+                code.push(Insn::PushInt(m));
+                code.push(Insn::Binop(Op::Mod));
+            } else {
+                code.push(Insn::PushInt(s.i64_in(0, 3)));
+            }
+            // −1 is the "no delay" marker (delta), 0 is an explicit zero
+            // delay (also delta); positive delays go through the far heap.
+            code.push(Insn::PushInt(*s.pick(&[-1i64, 0, 1, 2, 3, 5, 10])));
+            code.push(Insn::Sched {
+                sig,
+                transport: s.bool(),
+            });
+        }
+        let mut sens: Vec<SigId> = s.vec(0, 3, |s| *s.pick(&all));
+        sens.sort_unstable();
+        sens.dedup();
+        // A zero-fs timeout at delta > 0 yields a wake time *behind* now —
+        // the backward-time edge case both steppers must agree on.
+        let timeout = s.option(|s| s.i64_in(0, 15));
+        if let Some(fs) = timeout {
+            code.push(Insn::PushInt(fs));
+        }
+        code.push(Insn::Wait {
+            sens: Rc::new(sens),
+            with_timeout: timeout.is_some(),
+        });
+        code.push(Insn::Pop);
+        code.push(Insn::Jump(0));
+        prog.add_process(format!("top.p{pi}"), 1, code);
+    }
+    // Exercise both sensitivity sources: elaborator metadata and the
+    // kernel's fallback code walk.
+    if s.bool() {
+        prog.finalize_sensitivity();
+    }
+    prog
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    outcome: String,
+    vcd: String,
+    now: Time,
+    // Core stats only: the scheduler-introspection counters
+    // (calendar_ops, woken_procs, scanned_signals) are new-path-only.
+    stats: (u64, u64, u64, u64, u64, u64),
+    sig_vals: Vec<Val>,
+    sig_events: Vec<u64>,
+    sig_last: Vec<Option<Time>>,
+    proc_res: Vec<u64>,
+}
+
+fn snapshot(
+    sim: &Simulator<'_>,
+    outcome: &Result<RunOutcome, SimError>,
+    vcd: String,
+    n_sigs: usize,
+    n_procs: usize,
+) -> Snapshot {
+    let st = sim.stats();
+    Snapshot {
+        outcome: match outcome {
+            Ok(o) => format!("{o:?}"),
+            Err(e) => format!("err: {e}"),
+        },
+        vcd,
+        now: sim.now(),
+        stats: (
+            st.cycles,
+            st.delta_cycles,
+            st.events,
+            st.transactions,
+            st.resumptions,
+            st.insns,
+        ),
+        sig_vals: (0..n_sigs)
+            .map(|i| sim.signal_value(SigId(i as u32)).clone())
+            .collect(),
+        sig_events: (0..n_sigs)
+            .map(|i| sim.signal_events(SigId(i as u32)))
+            .collect(),
+        sig_last: (0..n_sigs)
+            .map(|i| sim.signal_last_event(SigId(i as u32)))
+            .collect(),
+        proc_res: (0..n_procs)
+            .map(|i| sim.process_resumptions(i as u32))
+            .collect(),
+    }
+}
+
+/// Runs the event-driven path, optionally split into slices (incremental
+/// stepping must land on the same state as one uninterrupted run).
+fn run_new(prog: &Program, deadline: Time, budgets: &[u64]) -> Snapshot {
+    let (n_sigs, n_procs) = (prog.signals.len(), prog.processes.len());
+    let vcd = RefCell::new(Vcd::new("1fs"));
+    let vcd_ref = &vcd;
+    let mut sim = Simulator::new(prog.clone());
+    sim.observe(Box::new(move |t, sig, name, v| {
+        vcd_ref.borrow_mut().change(t, sig, name, v);
+    }));
+    let mut outcome = Ok(RunOutcome::CycleBudget);
+    for &b in budgets {
+        outcome = sim.run_slice(deadline, b, &mut || false);
+        if !matches!(outcome, Ok(RunOutcome::CycleBudget)) {
+            break;
+        }
+    }
+    let snap = snapshot(&sim, &outcome, vcd.borrow().finish(), n_sigs, n_procs);
+    drop(sim);
+    snap
+}
+
+/// Runs the retained scan-based reference stepper over the same program.
+fn run_ref(prog: &Program, deadline: Time, max_cycles: u64) -> Snapshot {
+    let (n_sigs, n_procs) = (prog.signals.len(), prog.processes.len());
+    let vcd = RefCell::new(Vcd::new("1fs"));
+    let vcd_ref = &vcd;
+    let mut sim = Simulator::new(prog.clone());
+    sim.observe(Box::new(move |t, sig, name, v| {
+        vcd_ref.borrow_mut().change(t, sig, name, v);
+    }));
+    let outcome = sim.ref_run_slice(deadline, max_cycles);
+    let snap = snapshot(&sim, &outcome, vcd.borrow().finish(), n_sigs, n_procs);
+    drop(sim);
+    snap
+}
+
+#[test]
+fn scheduler_equivalent_to_reference() {
+    forall!(
+        Config::new("scheduler_equivalent_to_reference").cases(96),
+        |s| {
+            let prog = gen_program(s);
+            let deadline = Time::fs(s.u64_in(5, 60));
+            let total = s.u64_in(20, 300);
+            // Sometimes split the event-driven run into two slices to prove
+            // incremental stepping resumes exactly where it stopped.
+            let budgets = if s.bool() && total >= 2 {
+                let c1 = s.u64_in(1, total - 1);
+                vec![c1, total - c1]
+            } else {
+                vec![total]
+            };
+            let new = run_new(&prog, deadline, &budgets);
+            let reference = run_ref(&prog, deadline, total);
+            check_eq!(new.outcome, reference.outcome);
+            check_eq!(new.vcd, reference.vcd);
+            check_eq!(new.now, reference.now);
+            check_eq!(
+                new.stats,
+                reference.stats,
+                "cycles/deltas/events/txs/resumptions/insns"
+            );
+            check_eq!(new.sig_vals, reference.sig_vals);
+            check_eq!(new.sig_events, reference.sig_events);
+            check_eq!(new.sig_last, reference.sig_last);
+            check_eq!(new.proc_res, reference.proc_res);
+        }
+    );
+}
+
+/// A fixed worst-case-ish program (every feature at once) as a cheap
+/// deterministic smoke test alongside the property.
+#[test]
+fn scheduler_equivalent_fixed_case() {
+    let mut prog = Program::default();
+    let a = prog.add_signal("top.a", Val::Int(0));
+    let b = prog.add_signal("top.b", Val::Int(0));
+    let f = prog.add_function(sum_mod4());
+    let bus = prog.add_signal("top.bus", Val::Int(0));
+    prog.signals[bus.0 as usize].resolution = Some(f);
+    for (pi, mine) in [a, b].into_iter().enumerate() {
+        prog.add_process(
+            format!("top.p{pi}"),
+            1,
+            vec![
+                Insn::LoadVar(slot(0)),
+                Insn::PushInt(1),
+                Insn::Binop(Op::Add),
+                Insn::StoreVar(slot(0)),
+                // mine <= counter mod 2 after 2 fs (transport);
+                Insn::LoadVar(slot(0)),
+                Insn::PushInt(2),
+                Insn::Binop(Op::Mod),
+                Insn::PushInt(2),
+                Insn::Sched {
+                    sig: mine,
+                    transport: true,
+                },
+                // bus <= counter mod 3, delta (inertial preemption);
+                Insn::LoadVar(slot(0)),
+                Insn::PushInt(3),
+                Insn::Binop(Op::Mod),
+                Insn::PushInt(-1),
+                Insn::Sched {
+                    sig: bus,
+                    transport: false,
+                },
+                // wait on the other signal, 3 fs timeout.
+                Insn::PushInt(3),
+                Insn::Wait {
+                    sens: Rc::new(vec![if pi == 0 { b } else { a }]),
+                    with_timeout: true,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    prog.finalize_sensitivity();
+    let new = run_new(&prog, Time::fs(40), &[17, 500]);
+    let reference = run_ref(&prog, Time::fs(40), 517);
+    assert_eq!(new, reference);
+}

@@ -172,6 +172,12 @@ pub struct ProcessDecl {
     pub code: Rc<Vec<Insn>>,
     /// Number of local slots.
     pub n_locals: u16,
+    /// Elaboration-time static sensitivity: every signal a `wait`
+    /// reachable from this process (directly or through called
+    /// subprograms) can name, sorted ascending. Filled by
+    /// [`Program::finalize_sensitivity`]; the kernel falls back to its
+    /// own code walk when absent (hand-built programs).
+    pub static_sens: Option<Rc<Vec<SigId>>>,
 }
 
 /// A compiled subprogram.
@@ -221,6 +227,7 @@ impl Program {
             name: name.into(),
             code: Rc::new(code),
             n_locals,
+            static_sens: None,
         });
     }
 

@@ -19,8 +19,12 @@ pub mod io;
 pub mod isa;
 pub mod names;
 pub mod rts;
+pub mod sched;
 pub mod sim;
 pub mod value;
+
+#[cfg(test)]
+mod equiv;
 
 pub use isa::{ArrAttrKind, FnDecl, FnId, Insn, Program, SigAttr, SigId, VarAddr};
 pub use names::{NameError, NameServer, NsEntry, NsObject};

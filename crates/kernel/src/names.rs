@@ -256,6 +256,20 @@ impl NameServer {
         }
     }
 
+    /// Reverse lookup: the entry designating `object`, if registered.
+    /// Regions are ambiguous (every scope is one), so only concrete
+    /// objects — signals and processes — are found. Linear in the
+    /// namespace; meant for inspection surfaces, not hot paths.
+    pub fn find(&self, object: NsObject) -> Option<NsEntry> {
+        if matches!(object, NsObject::Region) {
+            return None;
+        }
+        self.nodes
+            .iter()
+            .position(|n| n.object == object)
+            .map(|i| self.entry(i))
+    }
+
     /// All entries, in canonical path order (root excluded).
     pub fn all(&self) -> Vec<NsEntry> {
         let mut idx: Vec<usize> = (1..self.nodes.len()).collect();
@@ -404,6 +418,16 @@ mod tests {
             NameError::BadGlob(_)
         ));
         assert!(ns.glob(":tb:zzz:*").unwrap().is_empty());
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let ns = sample();
+        let e = ns.find(NsObject::Signal(SigId(1))).unwrap();
+        assert_eq!(e.path, ":tb:dut:sum");
+        assert_eq!(ns.find(NsObject::Process(0)).unwrap().path, ":tb:stim");
+        assert!(ns.find(NsObject::Region).is_none());
+        assert!(ns.find(NsObject::Signal(SigId(99))).is_none());
     }
 
     #[test]

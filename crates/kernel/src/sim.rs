@@ -8,6 +8,16 @@
 //! "Due to the preemptive nature of signal assignments in VHDL, the effect
 //! of a VHDL signal assignment is not determinable at the time of the
 //! execution of the assignment" (§5.1) — hence the driver queues here.
+//!
+//! Scheduling is event-driven: a pending-event calendar ([`crate::sched`])
+//! orders every scheduled transaction and wait timeout, a clear-list
+//! replaces the per-cycle full sweep of `event`/`active` flags, and the
+//! static sensitivity index limits resumption checks to processes that
+//! could actually care. Per cycle the kernel touches O(activity) state,
+//! not O(design size), while observable behavior (values, events,
+//! statistics, observer order) is identical to the scan-based seed kernel
+//! — which survives as the `ref_*` reference stepper under `#[cfg(test)]`
+//! and anchors the scheduler-equivalence property suite.
 
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -15,6 +25,7 @@ use std::rc::Rc;
 use crate::isa::{FnId, Insn, Program, SigAttr, SigId};
 use crate::names::{NameError, NameServer, NsEntry, NsObject};
 use crate::rts::{self, RtError};
+use crate::sched::{CalKind, Calendar, SensIndex};
 use crate::value::{ArrVal, Time, VDir, Val};
 
 /// Per-resumption instruction budget (runaway-loop guard).
@@ -46,6 +57,13 @@ pub struct SimStats {
     pub resumptions: u64,
     /// Instructions executed.
     pub insns: u64,
+    /// Event-calendar operations (pushes plus removals).
+    pub calendar_ops: u64,
+    /// Processes examined for resumption (sensitivity-index candidates
+    /// plus expired timeouts).
+    pub woken_procs: u64,
+    /// Signals examined for a value update (the active set, per cycle).
+    pub scanned_signals: u64,
 }
 
 /// Simulation failure.
@@ -135,6 +153,18 @@ struct ProcState {
     resumptions: u64,
 }
 
+impl ProcState {
+    fn empty() -> ProcState {
+        ProcState {
+            name: String::new(),
+            status: ProcStatus::Halted,
+            frames: Vec::new(),
+            stack: Vec::new(),
+            resumptions: 0,
+        }
+    }
+}
+
 /// A value-change observer (VCD writers, test probes).
 pub type Observer<'a> = Box<dyn FnMut(Time, SigId, &str, &Val) + 'a>;
 
@@ -162,6 +192,24 @@ pub struct Simulator<'a> {
     stats: SimStats,
     observers: Vec<Observer<'a>>,
     failed: Option<SimError>,
+    /// Pending-event calendar: transaction maturations and wait timeouts.
+    calendar: Calendar,
+    /// Static sensitivity index (signal → processes).
+    sens: SensIndex,
+    /// Signals whose `event`/`active` flags are set, to clear next cycle
+    /// (replaces the full per-cycle flag sweep).
+    active_clear: Vec<u32>,
+    // Per-cycle scratch worklists, reused so the hot loop allocates only
+    // on capacity growth.
+    due_drivers: Vec<(u32, u32)>,
+    fired: Vec<u32>,
+    cand: Vec<u32>,
+    ready: Vec<u32>,
+    /// Reused buffer for resolution-function argument vectors.
+    res_scratch: Vec<Val>,
+    /// Reused execution state for resolution calls.
+    fn_state: ProcState,
+    fn_locals: Vec<Val>,
 }
 
 impl<'a> Simulator<'a> {
@@ -169,6 +217,7 @@ impl<'a> Simulator<'a> {
     /// initial execution happens on the first [`Simulator::step`]).
     pub fn new(program: Program) -> Simulator<'a> {
         let names = NameServer::from_program(&program);
+        let sens = SensIndex::build(&program);
         let signals = program
             .signals
             .iter()
@@ -209,6 +258,16 @@ impl<'a> Simulator<'a> {
             stats: SimStats::default(),
             observers: Vec::new(),
             failed: None,
+            calendar: Calendar::new(),
+            sens,
+            active_clear: Vec::new(),
+            due_drivers: Vec::new(),
+            fired: Vec::new(),
+            cand: Vec::new(),
+            ready: Vec::new(),
+            res_scratch: Vec::new(),
+            fn_state: ProcState::empty(),
+            fn_locals: Vec::new(),
         }
     }
 
@@ -225,7 +284,9 @@ impl<'a> Simulator<'a> {
 
     /// Statistics so far.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut s = self.stats;
+        s.calendar_ops = self.calendar.ops;
+        s
     }
 
     /// Reports collected so far.
@@ -281,6 +342,13 @@ impl<'a> Simulator<'a> {
     /// Cumulative resumptions of one process.
     pub fn process_resumptions(&self, proc: u32) -> u64 {
         self.procs[proc as usize].resumptions
+    }
+
+    /// Static sensitivity set of one process: every signal whose event can
+    /// resume it, ascending by id (elaboration metadata, surfaced for
+    /// inspection).
+    pub fn process_sensitivity(&self, proc: u32) -> &[SigId] {
+        self.sens.of_proc(proc as usize)
     }
 
     /// Looks a signal up by its hierarchical name (the Name Server of
@@ -391,24 +459,32 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn next_time(&self) -> Option<Time> {
-        let mut next: Option<Time> = None;
-        for sig in &self.signals {
-            for d in &sig.drivers {
-                if let Some((t, _)) = d.tx.front() {
-                    next = Some(next.map_or(*t, |n| n.min(*t)));
-                }
-            }
-        }
-        for p in &self.procs {
-            if let ProcStatus::Suspended {
-                timeout: Some(t), ..
-            } = &p.status
-            {
-                next = Some(next.map_or(*t, |n| n.min(*t)));
-            }
-        }
-        next
+    /// The earliest pending instant, from the calendar. Every entry is
+    /// validated against live state (drivers' front transactions,
+    /// processes' current timeouts) so preempted transactions and
+    /// already-resumed waits never stall or invent a cycle; stale entries
+    /// found along the way are discarded.
+    fn next_time(&mut self) -> Option<Time> {
+        let Simulator {
+            calendar,
+            signals,
+            procs,
+            ..
+        } = self;
+        calendar.min_valid(|e| match e.kind {
+            CalKind::Driver { sig, di } => signals[sig as usize]
+                .drivers
+                .get(di as usize)
+                .and_then(|d| d.tx.front())
+                .is_some_and(|(t, _)| *t == e.time),
+            CalKind::Timeout { proc } => matches!(
+                &procs[proc as usize].status,
+                ProcStatus::Suspended {
+                    timeout: Some(t),
+                    ..
+                } if *t == e.time
+            ),
+        })
     }
 
     fn step_to(&mut self, next: Time) -> Result<(), SimError> {
@@ -419,52 +495,101 @@ impl<'a> Simulator<'a> {
         if next.fs == self.now.fs && self.stats.cycles > 1 {
             self.stats.delta_cycles += 1;
         }
+        if next.fs != self.now.fs {
+            self.calendar.advance_fs(next.fs);
+        }
         self.now = next;
-        // Clear the previous cycle's event/active flags.
-        for s in self.signals.iter_mut() {
+        // Clear the previous cycle's event/active flags (clear-list: only
+        // signals that had them set).
+        for i in 0..self.active_clear.len() {
+            let s = &mut self.signals[self.active_clear[i] as usize];
             s.event = false;
             s.active = false;
         }
-        // Mature transactions and compute new signal values.
-        for si in 0..self.signals.len() {
-            let mut any_active = false;
-            {
-                let sig = &mut self.signals[si];
-                for d in sig.drivers.iter_mut() {
-                    while d.tx.front().is_some_and(|(t, _)| *t <= self.now) {
-                        if let Some((_, v)) = d.tx.pop_front() {
-                            d.driving = v;
-                            any_active = true;
-                            self.stats.transactions += 1;
-                        }
-                    }
-                }
-            }
-            if !any_active {
+        self.active_clear.clear();
+        // Pull everything due at `next` out of the calendar.
+        self.due_drivers.clear();
+        self.cand.clear();
+        {
+            let Simulator {
+                calendar,
+                due_drivers,
+                cand,
+                ..
+            } = self;
+            calendar.pop_due(next, due_drivers, cand);
+        }
+        // Mature the due drivers' transactions. Duplicate or stale entries
+        // mature nothing and drop out here.
+        self.fired.clear();
+        for i in 0..self.due_drivers.len() {
+            let (si, di) = self.due_drivers[i];
+            let Some(d) = self.signals[si as usize].drivers.get_mut(di as usize) else {
                 continue;
+            };
+            let mut matured = false;
+            while d.tx.front().is_some_and(|(t, _)| *t <= next) {
+                let (_, v) = d.tx.pop_front().expect("front checked");
+                d.driving = v;
+                matured = true;
+                self.stats.transactions += 1;
             }
-            let new_val = self.effective_value(si)?;
-            let sig = &mut self.signals[si];
-            sig.active = true;
-            if new_val != sig.current {
-                sig.last_value = sig.current.clone();
-                sig.current = new_val;
-                sig.last_event = Some(self.now);
-                sig.event = true;
-                sig.events += 1;
-                self.stats.events += 1;
-                let name = self.program.signals[si].name.clone();
-                let current = self.signals[si].current.clone();
-                for obs in self.observers.iter_mut() {
-                    obs(self.now, SigId(si as u32), &name, &current);
+            if matured {
+                self.fired.push(si);
+                if let Some((t, _)) = d.tx.front() {
+                    let t = *t;
+                    self.calendar.push(t, CalKind::Driver { sig: si, di });
                 }
             }
         }
-        // Resume processes.
-        for pi in 0..self.procs.len() {
+        // Update fired signals in ascending id order — the order the seed
+        // kernel's full scan used, which observers (VCD) depend on.
+        self.fired.sort_unstable();
+        self.fired.dedup();
+        self.stats.scanned_signals += self.fired.len() as u64;
+        for i in 0..self.fired.len() {
+            let si = self.fired[i] as usize;
+            self.active_clear.push(si as u32);
+            let new_val = self.effective_value(si)?;
+            let sig = &mut self.signals[si];
+            sig.active = true;
+            let changed = new_val != sig.current;
+            if changed {
+                sig.last_value = std::mem::replace(&mut sig.current, new_val);
+                sig.last_event = Some(next);
+                sig.event = true;
+                sig.events += 1;
+                self.stats.events += 1;
+            }
+            if changed && !self.observers.is_empty() {
+                let this = &mut *self;
+                let name = this.program.signals[si].name.as_str();
+                let current = &this.signals[si].current;
+                for obs in this.observers.iter_mut() {
+                    obs(next, SigId(si as u32), name, current);
+                }
+            }
+        }
+        // Resumption candidates: expired timeouts (already in `cand` from
+        // the calendar) plus every process statically sensitive to a
+        // signal that had an event. The wake condition itself is
+        // re-checked exactly, so supersets cost nothing but a look.
+        for i in 0..self.fired.len() {
+            let si = self.fired[i] as usize;
+            if self.signals[si].event {
+                let watchers = self.sens.watchers(si);
+                self.cand.extend_from_slice(watchers);
+            }
+        }
+        self.cand.sort_unstable();
+        self.cand.dedup();
+        self.stats.woken_procs += self.cand.len() as u64;
+        self.ready.clear();
+        for i in 0..self.cand.len() {
+            let pi = self.cand[i] as usize;
             let resume = match &self.procs[pi].status {
                 ProcStatus::Suspended { sens, timeout } => {
-                    let timed_out = timeout.is_some_and(|t| t <= self.now);
+                    let timed_out = timeout.is_some_and(|t| t <= next);
                     let evented = sens.iter().any(|s| self.signals[s.0 as usize].event);
                     if timed_out || evented {
                         Some(timed_out && !evented)
@@ -475,13 +600,21 @@ impl<'a> Simulator<'a> {
                 _ => None,
             };
             if let Some(timed_out) = resume {
-                self.procs[pi].status = ProcStatus::Ready;
-                self.procs[pi].stack.push(Val::Int(timed_out as i64));
-                self.procs[pi].resumptions += 1;
+                let p = &mut self.procs[pi];
+                p.status = ProcStatus::Ready;
+                p.stack.push(Val::Int(timed_out as i64));
+                p.resumptions += 1;
                 self.stats.resumptions += 1;
+                self.ready.push(pi as u32);
             }
         }
-        self.execute_ready()
+        for i in 0..self.ready.len() {
+            self.run_process(self.ready[i] as usize)?;
+        }
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        Ok(())
     }
 
     fn effective_value(&mut self, si: usize) -> Result<Val, SimError> {
@@ -495,19 +628,27 @@ impl<'a> Simulator<'a> {
             )),
             (_, Some(f)) => {
                 // The resolution function receives the vector of driving
-                // values.
-                let vals: Vec<Val> = self.signals[si]
-                    .drivers
-                    .iter()
-                    .map(|d| d.driving.clone())
-                    .collect();
-                let arg = Val::arr(0, VDir::To, vals);
-                let name = self.program.signals[si].name.clone();
-                self.call_function(f, vec![arg])
-                    .map_err(|e| SimError::Runtime {
-                        process: format!("resolution of {name}"),
-                        error: e,
-                    })
+                // values. The vector's buffer is a reused scratch,
+                // reclaimed after the call unless the function retained
+                // the argument.
+                let mut vals = std::mem::take(&mut self.res_scratch);
+                vals.clear();
+                vals.extend(self.signals[si].drivers.iter().map(|d| d.driving.clone()));
+                let data = Rc::new(vals);
+                let arg = Val::Arr(ArrVal {
+                    left: 0,
+                    dir: VDir::To,
+                    data: Rc::clone(&data),
+                });
+                let out = self.call_function(f, arg);
+                if let Ok(mut v) = Rc::try_unwrap(data) {
+                    v.clear();
+                    self.res_scratch = v;
+                }
+                out.map_err(|e| SimError::Runtime {
+                    process: format!("resolution of {}", self.program.signals[si].name),
+                    error: e,
+                })
             }
         }
     }
@@ -525,51 +666,59 @@ impl<'a> Simulator<'a> {
         Ok(())
     }
 
-    /// Runs a pure function (resolution) on a scratch stack.
-    fn call_function(&mut self, f: FnId, args: Vec<Val>) -> Result<Val, RtError> {
-        let decl = self.program.functions[f.0 as usize].clone();
-        let mut locals = vec![Val::Int(0); decl.n_locals as usize];
-        for (i, a) in args.into_iter().enumerate() {
-            locals[i] = a;
-        }
-        let mut scratch = ProcState {
-            name: format!("fn {}", decl.name),
-            status: ProcStatus::Ready,
-            frames: vec![Frame {
-                code: Rc::clone(&decl.code),
-                pc: 0,
-                locals,
-                static_link: None,
-                level: decl.level,
-            }],
-            stack: Vec::new(),
-            resumptions: 0,
+    /// Runs a pure function (resolution) on a reused scratch state: the
+    /// frame's locals buffer, the value stack, and the diagnostic name all
+    /// keep their capacity between calls.
+    fn call_function(&mut self, f: FnId, arg: Val) -> Result<Val, RtError> {
+        let mut scratch = std::mem::replace(&mut self.fn_state, ProcState::empty());
+        let mut locals = std::mem::take(&mut self.fn_locals);
+        let decl = &self.program.functions[f.0 as usize];
+        scratch.status = ProcStatus::Ready;
+        scratch.stack.clear();
+        scratch.name.clear();
+        scratch.name.push_str("fn ");
+        scratch.name.push_str(&decl.name);
+        locals.clear();
+        locals.resize(decl.n_locals as usize, Val::Int(0));
+        locals[0] = arg;
+        scratch.frames.push(Frame {
+            code: Rc::clone(&decl.code),
+            pc: 0,
+            locals,
+            static_link: None,
+            level: decl.level,
+        });
+        let run = self.exec_frames(&mut scratch, true, usize::MAX);
+        let out = match run {
+            Ok(()) => scratch
+                .stack
+                .pop()
+                .ok_or_else(|| RtError::Internal("resolution returned no value".into())),
+            Err(e) => Err(e),
         };
-        self.exec_frames(&mut scratch, true, usize::MAX)?;
-        scratch
-            .stack
-            .pop()
-            .ok_or_else(|| RtError::Internal("resolution returned no value".into()))
+        if let Some(frame) = scratch.frames.drain(..).next() {
+            self.fn_locals = frame.locals;
+        }
+        self.fn_state = scratch;
+        out
     }
 
     fn run_process(&mut self, pi: usize) -> Result<(), SimError> {
-        let mut proc = std::mem::replace(
-            &mut self.procs[pi],
-            ProcState {
-                name: String::new(),
-                status: ProcStatus::Halted,
-                frames: Vec::new(),
-                stack: Vec::new(),
-                resumptions: 0,
-            },
-        );
+        let mut proc = std::mem::replace(&mut self.procs[pi], ProcState::empty());
         let result = self.exec_frames(&mut proc, false, pi);
-        let name = proc.name.clone();
+        // Clone the name only on the error path: this runs once per
+        // resumption, and a per-call clone is exactly the hot-loop
+        // allocation the scheduler rewrite removed.
+        let out = result.map_err(|error| {
+            let e = SimError::Runtime {
+                process: proc.name.clone(),
+                error,
+            };
+            self.failed = Some(e.clone());
+            e
+        });
         self.procs[pi] = proc;
-        result.map_err(|error| SimError::Runtime {
-            process: name,
-            error,
-        })?;
+        out?;
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
@@ -578,241 +727,273 @@ impl<'a> Simulator<'a> {
 
     /// The instruction interpreter. `pure` forbids waits (resolution
     /// functions).
-    #[allow(clippy::too_many_lines)]
+    ///
+    /// Thin wrapper around [`Self::exec_inner`]: the instruction count is
+    /// derived from the fuel spent and flushed into `stats.insns` once per
+    /// activation instead of once per instruction.
     fn exec_frames(&mut self, proc: &mut ProcState, pure: bool, pid: usize) -> Result<(), RtError> {
         let mut fuel = FUEL;
+        let out = self.exec_inner(proc, pure, pid, &mut fuel);
+        self.stats.insns += FUEL - fuel;
+        out
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_inner(
+        &mut self,
+        proc: &mut ProcState,
+        pure: bool,
+        pid: usize,
+        fuel: &mut u64,
+    ) -> Result<(), RtError> {
         'outer: loop {
-            let Some(frame) = proc.frames.last_mut() else {
+            let Some(top) = proc.frames.last() else {
                 proc.status = ProcStatus::Halted;
                 return Ok(());
             };
-            if frame.pc >= frame.code.len() {
-                // Falling off a subprogram = return; off a process = halt.
-                if proc.frames.len() > 1 {
-                    proc.frames.pop();
-                    continue;
-                }
-                proc.status = ProcStatus::Halted;
-                return Ok(());
-            }
-            // Cloning an Insn is cheap: every heavy payload is behind an
-            // Rc (constants, sensitivity lists), so this is refcount
-            // traffic, not data copies.
-            let insn = frame.code[frame.pc].clone();
-            frame.pc += 1;
-            self.stats.insns += 1;
-            fuel -= 1;
-            if fuel == 0 {
-                self.failed = Some(SimError::FuelExhausted(proc.name.clone()));
-                proc.status = ProcStatus::Halted;
-                return Ok(());
-            }
-            match insn {
-                Insn::PushInt(v) => proc.stack.push(Val::Int(v)),
-                Insn::PushReal(v) => proc.stack.push(Val::Real(v)),
-                Insn::PushConst(v) => proc.stack.push(v),
-                Insn::MakeArr { n, left, dir } => {
-                    let at = proc.stack.len() - n as usize;
-                    let data = proc.stack.split_off(at);
-                    proc.stack.push(Val::arr(left, dir, data));
-                }
-                Insn::MakeRec { n } => {
-                    let at = proc.stack.len() - n as usize;
-                    let data = proc.stack.split_off(at);
-                    proc.stack.push(Val::Rec(Rc::new(data)));
-                }
-                Insn::LoadVar(a) => {
-                    let v = var_frame(proc, a.depth)?.locals[a.slot as usize].clone();
-                    proc.stack.push(v);
-                }
-                Insn::StoreVar(a) => {
-                    let v = pop(proc)?;
-                    var_frame(proc, a.depth)?.locals[a.slot as usize] = v;
-                }
-                Insn::StoreVarIndex(a) => {
-                    let v = pop(proc)?;
-                    let idx = pop_int(proc)?;
-                    let fr = var_frame(proc, a.depth)?;
-                    let slot = &mut fr.locals[a.slot as usize];
-                    *slot = store_elem(slot, idx, v)?;
-                }
-                Insn::StoreVarField(a, field) => {
-                    let v = pop(proc)?;
-                    let fr = var_frame(proc, a.depth)?;
-                    let slot = &mut fr.locals[a.slot as usize];
-                    if let Val::Rec(fields) = slot {
-                        let mut fs = (**fields).clone();
-                        fs[field as usize] = v;
-                        *slot = Val::Rec(Rc::new(fs));
-                    } else {
-                        return Err(RtError::Internal("field store on non-record".into()));
-                    }
-                }
-                Insn::LoadSig(s) => {
-                    proc.stack.push(self.signals[s.0 as usize].current.clone());
-                }
-                Insn::LoadSigAttr(s, attr) => {
-                    let sig = &self.signals[s.0 as usize];
-                    let v = match attr {
-                        SigAttr::Event => Val::Int(sig.event as i64),
-                        SigAttr::Active => Val::Int(sig.active as i64),
-                        SigAttr::LastValue => sig.last_value.clone(),
-                    };
-                    proc.stack.push(v);
-                }
-                Insn::Index => {
-                    let idx = pop_int(proc)?;
-                    let arr = pop(proc)?;
-                    let a = want_arr(&arr)?;
-                    let off = a.offset(idx).ok_or(RtError::IndexError { index: idx })?;
-                    proc.stack.push(a.data[off].clone());
-                }
-                Insn::Slice(dir) => {
-                    let right = pop_int(proc)?;
-                    let left = pop_int(proc)?;
-                    let arr = pop(proc)?;
-                    let a = want_arr(&arr)?;
-                    let (o1, o2) = (
-                        a.offset(left).ok_or(RtError::IndexError { index: left })?,
-                        a.offset(right)
-                            .ok_or(RtError::IndexError { index: right })?,
-                    );
-                    let (lo, hi) = (o1.min(o2), o1.max(o2));
-                    let data = a.data[lo..=hi].to_vec();
-                    proc.stack.push(Val::arr(left, dir, data));
-                }
-                Insn::ArrAttr(kind) => {
-                    let v = pop(proc)?;
-                    let a = want_arr(&v)?;
-                    let (l, r) = (a.left, a.right());
-                    let out = match kind {
-                        crate::isa::ArrAttrKind::Length => a.data.len() as i64,
-                        crate::isa::ArrAttrKind::Left => l,
-                        crate::isa::ArrAttrKind::Right => r,
-                        crate::isa::ArrAttrKind::Low => l.min(r),
-                        crate::isa::ArrAttrKind::High => l.max(r),
-                    };
-                    proc.stack.push(Val::Int(out));
-                }
-                Insn::Field(i) => {
-                    let v = pop(proc)?;
-                    match v {
-                        Val::Rec(fields) => proc.stack.push(fields[i as usize].clone()),
-                        _ => return Err(RtError::Internal("field on non-record".into())),
-                    }
-                }
-                Insn::Binop(op) => {
-                    let b = pop(proc)?;
-                    let a = pop(proc)?;
-                    proc.stack.push(rts::binop(op, &a, &b)?);
-                }
-                Insn::Unop(op) => {
-                    let a = pop(proc)?;
-                    proc.stack.push(rts::unop(op, &a)?);
-                }
-                Insn::RangeCheck { lo, hi } => {
-                    let v = want_int(proc.stack.last().ok_or_else(underflow)?)?;
-                    if v < lo || v > hi {
-                        return Err(RtError::RangeError { value: v, lo, hi });
-                    }
-                }
-                Insn::Jump(t) => {
-                    proc.frames.last_mut().expect("frame").pc = t as usize;
-                }
-                Insn::JumpIfFalse(t) => {
-                    let c = pop_int(proc)? != 0;
-                    if !c {
-                        proc.frames.last_mut().expect("frame").pc = t as usize;
-                    }
-                }
-                Insn::Sched { sig, transport } => {
-                    let delay = pop_int(proc)?;
-                    let value = pop(proc)?;
-                    self.schedule(pid, sig, value, delay, transport, None)?;
-                }
-                Insn::SchedIndex { sig, transport } => {
-                    let delay = pop_int(proc)?;
-                    let value = pop(proc)?;
-                    let index = pop_int(proc)?;
-                    self.schedule(pid, sig, value, delay, transport, Some(index))?;
-                }
-                Insn::Wait { sens, with_timeout } => {
-                    if pure {
-                        return Err(RtError::Internal("wait in a pure function".into()));
-                    }
-                    let timeout = if with_timeout {
-                        let fs = pop_int(proc)?;
-                        Some(self.now.plus_fs(fs.max(0) as u64))
-                    } else {
-                        None
-                    };
-                    proc.status = ProcStatus::Suspended { sens, timeout };
-                    return Ok(());
-                }
-                Insn::Call(f) => {
-                    let decl = self.program.functions[f.0 as usize].clone();
-                    let at = proc.stack.len() - decl.n_params as usize;
-                    let args = proc.stack.split_off(at);
-                    let mut locals = vec![Val::Int(0); decl.n_locals as usize];
-                    for (i, a) in args.into_iter().enumerate() {
-                        locals[i] = a;
-                    }
-                    // Static link: nearest frame one level shallower.
-                    let static_link = proc
-                        .frames
-                        .iter()
-                        .rposition(|fr| fr.level + 1 == decl.level);
-                    proc.frames.push(Frame {
-                        code: Rc::clone(&decl.code),
-                        pc: 0,
-                        locals,
-                        static_link,
-                        level: decl.level,
-                    });
-                }
-                Insn::Ret { has_value: _ } => {
+            // Pin the active frame's code and pc in locals: instructions
+            // are matched by reference out of the owned `code` handle (no
+            // per-instruction clone), and `pc` only touches the frame at
+            // suspension points and frame switches.
+            let code = Rc::clone(&top.code);
+            let mut pc = top.pc;
+            loop {
+                let Some(insn) = code.get(pc) else {
+                    // Falling off a subprogram = return; off a process = halt.
                     if proc.frames.len() > 1 {
                         proc.frames.pop();
-                    } else {
+                        continue 'outer;
+                    }
+                    proc.frames.last_mut().expect("frame").pc = pc;
+                    proc.status = ProcStatus::Halted;
+                    return Ok(());
+                };
+                pc += 1;
+                *fuel -= 1;
+                if *fuel == 0 {
+                    proc.frames.last_mut().expect("frame").pc = pc;
+                    self.failed = Some(SimError::FuelExhausted(proc.name.clone()));
+                    proc.status = ProcStatus::Halted;
+                    return Ok(());
+                }
+                match insn {
+                    Insn::PushInt(v) => proc.stack.push(Val::Int(*v)),
+                    Insn::PushReal(v) => proc.stack.push(Val::Real(*v)),
+                    Insn::PushConst(v) => proc.stack.push(v.clone()),
+                    Insn::MakeArr { n, left, dir } => {
+                        let at = proc.stack.len() - *n as usize;
+                        let data = proc.stack.split_off(at);
+                        proc.stack.push(Val::arr(*left, *dir, data));
+                    }
+                    Insn::MakeRec { n } => {
+                        let at = proc.stack.len() - *n as usize;
+                        let data = proc.stack.split_off(at);
+                        proc.stack.push(Val::Rec(Rc::new(data)));
+                    }
+                    Insn::LoadVar(a) => {
+                        let v = var_frame(proc, a.depth)?.locals[a.slot as usize].clone();
+                        proc.stack.push(v);
+                    }
+                    Insn::StoreVar(a) => {
+                        let v = pop(proc)?;
+                        var_frame(proc, a.depth)?.locals[a.slot as usize] = v;
+                    }
+                    Insn::StoreVarIndex(a) => {
+                        let v = pop(proc)?;
+                        let idx = pop_int(proc)?;
+                        let fr = var_frame(proc, a.depth)?;
+                        let slot = &mut fr.locals[a.slot as usize];
+                        *slot = store_elem(slot, idx, v)?;
+                    }
+                    Insn::StoreVarField(a, field) => {
+                        let v = pop(proc)?;
+                        let fr = var_frame(proc, a.depth)?;
+                        let slot = &mut fr.locals[a.slot as usize];
+                        if let Val::Rec(fields) = slot {
+                            let mut fs = (**fields).clone();
+                            fs[*field as usize] = v;
+                            *slot = Val::Rec(Rc::new(fs));
+                        } else {
+                            return Err(RtError::Internal("field store on non-record".into()));
+                        }
+                    }
+                    Insn::LoadSig(s) => {
+                        proc.stack.push(self.signals[s.0 as usize].current.clone());
+                    }
+                    Insn::LoadSigAttr(s, attr) => {
+                        let sig = &self.signals[s.0 as usize];
+                        let v = match attr {
+                            SigAttr::Event => Val::Int(sig.event as i64),
+                            SigAttr::Active => Val::Int(sig.active as i64),
+                            SigAttr::LastValue => sig.last_value.clone(),
+                        };
+                        proc.stack.push(v);
+                    }
+                    Insn::Index => {
+                        let idx = pop_int(proc)?;
+                        let arr = pop(proc)?;
+                        let a = want_arr(&arr)?;
+                        let off = a.offset(idx).ok_or(RtError::IndexError { index: idx })?;
+                        proc.stack.push(a.data[off].clone());
+                    }
+                    Insn::Slice(dir) => {
+                        let right = pop_int(proc)?;
+                        let left = pop_int(proc)?;
+                        let arr = pop(proc)?;
+                        let a = want_arr(&arr)?;
+                        let (o1, o2) = (
+                            a.offset(left).ok_or(RtError::IndexError { index: left })?,
+                            a.offset(right)
+                                .ok_or(RtError::IndexError { index: right })?,
+                        );
+                        let (lo, hi) = (o1.min(o2), o1.max(o2));
+                        let data = a.data[lo..=hi].to_vec();
+                        proc.stack.push(Val::arr(left, *dir, data));
+                    }
+                    Insn::ArrAttr(kind) => {
+                        let v = pop(proc)?;
+                        let a = want_arr(&v)?;
+                        let (l, r) = (a.left, a.right());
+                        let out = match kind {
+                            crate::isa::ArrAttrKind::Length => a.data.len() as i64,
+                            crate::isa::ArrAttrKind::Left => l,
+                            crate::isa::ArrAttrKind::Right => r,
+                            crate::isa::ArrAttrKind::Low => l.min(r),
+                            crate::isa::ArrAttrKind::High => l.max(r),
+                        };
+                        proc.stack.push(Val::Int(out));
+                    }
+                    Insn::Field(i) => {
+                        let v = pop(proc)?;
+                        match v {
+                            Val::Rec(fields) => proc.stack.push(fields[*i as usize].clone()),
+                            _ => return Err(RtError::Internal("field on non-record".into())),
+                        }
+                    }
+                    Insn::Binop(op) => {
+                        let b = pop(proc)?;
+                        let a = pop(proc)?;
+                        proc.stack.push(rts::binop(*op, &a, &b)?);
+                    }
+                    Insn::Unop(op) => {
+                        let a = pop(proc)?;
+                        proc.stack.push(rts::unop(*op, &a)?);
+                    }
+                    Insn::RangeCheck { lo, hi } => {
+                        let v = want_int(proc.stack.last().ok_or_else(underflow)?)?;
+                        if v < *lo || v > *hi {
+                            return Err(RtError::RangeError {
+                                value: v,
+                                lo: *lo,
+                                hi: *hi,
+                            });
+                        }
+                    }
+                    Insn::Jump(t) => {
+                        pc = *t as usize;
+                    }
+                    Insn::JumpIfFalse(t) => {
+                        let c = pop_int(proc)? != 0;
+                        if !c {
+                            pc = *t as usize;
+                        }
+                    }
+                    Insn::Sched { sig, transport } => {
+                        let delay = pop_int(proc)?;
+                        let value = pop(proc)?;
+                        self.schedule(pid, *sig, value, delay, *transport, None)?;
+                    }
+                    Insn::SchedIndex { sig, transport } => {
+                        let delay = pop_int(proc)?;
+                        let value = pop(proc)?;
+                        let index = pop_int(proc)?;
+                        self.schedule(pid, *sig, value, delay, *transport, Some(index))?;
+                    }
+                    Insn::Wait { sens, with_timeout } => {
+                        if pure {
+                            return Err(RtError::Internal("wait in a pure function".into()));
+                        }
+                        let timeout = if *with_timeout {
+                            let fs = pop_int(proc)?;
+                            let t = self.now.plus_fs(fs.max(0) as u64);
+                            self.calendar.push(t, CalKind::Timeout { proc: pid as u32 });
+                            Some(t)
+                        } else {
+                            None
+                        };
+                        proc.frames.last_mut().expect("frame").pc = pc;
+                        proc.status = ProcStatus::Suspended {
+                            sens: Rc::clone(sens),
+                            timeout,
+                        };
+                        return Ok(());
+                    }
+                    Insn::Call(f) => {
+                        let decl = &self.program.functions[f.0 as usize];
+                        let (n_params, n_locals, level) =
+                            (decl.n_params, decl.n_locals, decl.level);
+                        let callee = Rc::clone(&decl.code);
+                        let at = proc.stack.len() - n_params as usize;
+                        let args = proc.stack.split_off(at);
+                        let mut locals = vec![Val::Int(0); n_locals as usize];
+                        for (i, a) in args.into_iter().enumerate() {
+                            locals[i] = a;
+                        }
+                        // Static link: nearest frame one level shallower.
+                        let static_link = proc.frames.iter().rposition(|fr| fr.level + 1 == level);
+                        proc.frames.last_mut().expect("frame").pc = pc;
+                        proc.frames.push(Frame {
+                            code: callee,
+                            pc: 0,
+                            locals,
+                            static_link,
+                            level,
+                        });
+                        continue 'outer;
+                    }
+                    Insn::Ret { has_value: _ } => {
+                        if proc.frames.len() > 1 {
+                            proc.frames.pop();
+                            continue 'outer;
+                        }
+                        proc.frames.last_mut().expect("frame").pc = pc;
+                        proc.status = ProcStatus::Halted;
+                        return Ok(());
+                    }
+                    Insn::Assert => {
+                        let severity = pop_int(proc)?;
+                        let report = pop(proc)?;
+                        let cond = pop_int(proc)? != 0;
+                        if !cond {
+                            let ev = ReportEvent {
+                                time: self.now,
+                                severity,
+                                text: report.as_string(),
+                            };
+                            self.reports.push(ev.clone());
+                            if severity >= 3 {
+                                proc.frames.last_mut().expect("frame").pc = pc;
+                                self.failed = Some(SimError::Failure(ev));
+                                proc.status = ProcStatus::Halted;
+                                return Ok(());
+                            }
+                        }
+                    }
+                    Insn::Pop => {
+                        pop(proc)?;
+                    }
+                    Insn::Dup => {
+                        let v = proc.stack.last().ok_or_else(underflow)?.clone();
+                        proc.stack.push(v);
+                    }
+                    Insn::Halt => {
+                        proc.frames.last_mut().expect("frame").pc = pc;
                         proc.status = ProcStatus::Halted;
                         return Ok(());
                     }
                 }
-                Insn::Assert => {
-                    let severity = pop_int(proc)?;
-                    let report = pop(proc)?;
-                    let cond = pop_int(proc)? != 0;
-                    if !cond {
-                        let ev = ReportEvent {
-                            time: self.now,
-                            severity,
-                            text: report.as_string(),
-                        };
-                        self.reports.push(ev.clone());
-                        if severity >= 3 {
-                            self.failed = Some(SimError::Failure(ev));
-                            proc.status = ProcStatus::Halted;
-                            return Ok(());
-                        }
-                    }
-                }
-                Insn::Pop => {
-                    pop(proc)?;
-                }
-                Insn::Dup => {
-                    let v = proc.stack.last().ok_or_else(underflow)?.clone();
-                    proc.stack.push(v);
-                }
-                Insn::Halt => {
-                    proc.status = ProcStatus::Halted;
-                    return Ok(());
-                }
-            }
-            if matches!(proc.status, ProcStatus::Halted) {
-                break 'outer;
             }
         }
-        Ok(())
     }
 
     fn schedule(
@@ -887,7 +1068,149 @@ impl<'a> Simulator<'a> {
             d.tx.clear();
         }
         d.tx.push_back((t, value));
+        // Calendar invariant: whenever a driver's queue is non-empty, an
+        // entry exists at exactly the front transaction's time. The push
+        // above changed the front iff the queue was (or became) empty
+        // first; otherwise the front's entry is still live. Entries for
+        // preempted transactions go stale and are lazily discarded.
+        if d.tx.len() == 1 {
+            self.calendar.push(
+                t,
+                CalKind::Driver {
+                    sig: sig.0,
+                    di: di as u32,
+                },
+            );
+        }
         Ok(())
+    }
+}
+
+/// The seed kernel's scan-based scheduler, retained as the reference
+/// stepper for the scheduler-equivalence property suite (`equiv` module):
+/// `ref_next_time` scans every driver and process, `ref_step_to` re-walks
+/// the whole signal and process arrays. A simulator driven exclusively
+/// through `ref_*` methods ignores the calendar and sensitivity index and
+/// must produce byte-identical observables to the event-driven path.
+#[cfg(test)]
+impl<'a> Simulator<'a> {
+    pub(crate) fn ref_next_time(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        for sig in &self.signals {
+            for d in &sig.drivers {
+                if let Some((t, _)) = d.tx.front() {
+                    next = Some(next.map_or(*t, |n| n.min(*t)));
+                }
+            }
+        }
+        for p in &self.procs {
+            if let ProcStatus::Suspended {
+                timeout: Some(t), ..
+            } = &p.status
+            {
+                next = Some(next.map_or(*t, |n| n.min(*t)));
+            }
+        }
+        next
+    }
+
+    pub(crate) fn ref_step_to(&mut self, next: Time) -> Result<(), SimError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        self.stats.cycles += 1;
+        if next.fs == self.now.fs && self.stats.cycles > 1 {
+            self.stats.delta_cycles += 1;
+        }
+        self.now = next;
+        // Clear the previous cycle's event/active flags.
+        for s in self.signals.iter_mut() {
+            s.event = false;
+            s.active = false;
+        }
+        // Mature transactions and compute new signal values.
+        for si in 0..self.signals.len() {
+            let mut any_active = false;
+            {
+                let sig = &mut self.signals[si];
+                for d in sig.drivers.iter_mut() {
+                    while d.tx.front().is_some_and(|(t, _)| *t <= self.now) {
+                        if let Some((_, v)) = d.tx.pop_front() {
+                            d.driving = v;
+                            any_active = true;
+                            self.stats.transactions += 1;
+                        }
+                    }
+                }
+            }
+            if !any_active {
+                continue;
+            }
+            let new_val = self.effective_value(si)?;
+            let sig = &mut self.signals[si];
+            sig.active = true;
+            if new_val != sig.current {
+                sig.last_value = sig.current.clone();
+                sig.current = new_val;
+                sig.last_event = Some(self.now);
+                sig.event = true;
+                sig.events += 1;
+                self.stats.events += 1;
+                let name = self.program.signals[si].name.clone();
+                let current = self.signals[si].current.clone();
+                for obs in self.observers.iter_mut() {
+                    obs(self.now, SigId(si as u32), &name, &current);
+                }
+            }
+        }
+        // Resume processes.
+        for pi in 0..self.procs.len() {
+            let resume = match &self.procs[pi].status {
+                ProcStatus::Suspended { sens, timeout } => {
+                    let timed_out = timeout.is_some_and(|t| t <= self.now);
+                    let evented = sens.iter().any(|s| self.signals[s.0 as usize].event);
+                    if timed_out || evented {
+                        Some(timed_out && !evented)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(timed_out) = resume {
+                self.procs[pi].status = ProcStatus::Ready;
+                self.procs[pi].stack.push(Val::Int(timed_out as i64));
+                self.procs[pi].resumptions += 1;
+                self.stats.resumptions += 1;
+            }
+        }
+        self.execute_ready()
+    }
+
+    pub(crate) fn ref_run_slice(
+        &mut self,
+        deadline: Time,
+        max_cycles: u64,
+    ) -> Result<RunOutcome, SimError> {
+        let mut cycles: u64 = 0;
+        if self.stats.cycles == 0 {
+            self.execute_ready()?;
+            self.stats.cycles += 1;
+            cycles += 1;
+        }
+        loop {
+            let Some(next) = self.ref_next_time() else {
+                return Ok(RunOutcome::Quiescent);
+            };
+            if next.fs > deadline.fs {
+                return Ok(RunOutcome::DeadlineReached);
+            }
+            if cycles >= max_cycles {
+                return Ok(RunOutcome::CycleBudget);
+            }
+            self.ref_step_to(next)?;
+            cycles += 1;
+        }
     }
 }
 

@@ -3,7 +3,9 @@
 
 use std::rc::Rc;
 
-use sim_kernel::{FnDecl, Insn, Op, Program, SigAttr, SimError, Simulator, Time, Val, VarAddr};
+use sim_kernel::{
+    FnDecl, Insn, Op, Program, RunOutcome, SigAttr, SimError, Simulator, Time, Val, VarAddr,
+};
 
 fn addr(slot: u16) -> VarAddr {
     VarAddr { depth: 0, slot }
@@ -490,4 +492,127 @@ fn runaway_process_detected() {
     let mut sim = Simulator::new(p);
     let err = sim.run_until(Time::fs(1)).unwrap_err();
     assert!(matches!(err, SimError::FuelExhausted(_)));
+}
+
+/// Quiescence: a process suspended with no timeout and nothing scheduled
+/// must yield `Quiescent` — not a hang, busy loop, or `DeadlineReached`.
+#[test]
+fn quiescent_without_timeout_no_hang() {
+    let mut p = Program::default();
+    let s = p.add_signal("top.s", Val::Int(0));
+    p.add_process(
+        "top.p",
+        0,
+        vec![
+            Insn::Wait {
+                sens: Rc::new(vec![s]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+            Insn::Jump(0),
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    let out = sim
+        .run_slice(Time::fs(1_000), u64::MAX, &mut || false)
+        .unwrap();
+    assert_eq!(out, RunOutcome::Quiescent);
+    assert_eq!(sim.stats().cycles, 1); // just the initial cycle
+    assert_eq!(sim.now(), Time::ZERO);
+}
+
+/// A preempted-then-empty driver (transport tx at 10 fs wiped by an
+/// inertial assignment at 2 fs) must not leave a stale pending entry that
+/// produces a spurious cycle at 10 fs or stalls quiescence.
+#[test]
+fn preempted_empty_driver_reaches_quiescence() {
+    let mut p = Program::default();
+    let s = p.add_signal("top.s", Val::Int(0));
+    p.add_process(
+        "top.p",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(10),
+            Insn::Sched {
+                sig: s,
+                transport: true,
+            },
+            Insn::PushInt(2),
+            Insn::PushInt(2),
+            Insn::Sched {
+                sig: s,
+                transport: false, // inertial: preempts the 10 fs tx
+            },
+            Insn::Wait {
+                sens: Rc::new(vec![]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+            Insn::Jump(0),
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    let out = sim
+        .run_slice(Time::fs(100), u64::MAX, &mut || false)
+        .unwrap();
+    assert_eq!(out, RunOutcome::Quiescent);
+    assert_eq!(sim.now(), Time::fs(2)); // never visited the preempted 10 fs
+    assert_eq!(sim.stats().cycles, 2);
+    assert_eq!(sim.signal_value(s), &Val::Int(2));
+    assert_eq!(sim.stats().events, 1);
+}
+
+/// Stale calendar entries must not mask `DeadlineReached`: with real work
+/// pending past the deadline, a slice stops there — at the right time.
+#[test]
+fn stale_entries_do_not_stall_deadline() {
+    let mut p = Program::default();
+    let s = p.add_signal("top.s", Val::Int(0));
+    let far = p.add_signal("top.far", Val::Int(0));
+    p.add_process(
+        "top.preempt",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(50),
+            Insn::Sched {
+                sig: s,
+                transport: true,
+            },
+            Insn::PushInt(2),
+            Insn::PushInt(2),
+            Insn::Sched {
+                sig: s,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    p.add_process(
+        "top.later",
+        0,
+        vec![
+            Insn::PushInt(1),
+            Insn::PushInt(1_000),
+            Insn::Sched {
+                sig: far,
+                transport: false,
+            },
+            Insn::Halt,
+        ],
+    );
+    let mut sim = Simulator::new(p);
+    let out = sim
+        .run_slice(Time::fs(100), u64::MAX, &mut || false)
+        .unwrap();
+    assert_eq!(out, RunOutcome::DeadlineReached);
+    assert_eq!(sim.now(), Time::fs(2)); // stale 50 fs entry never fired
+                                        // A later slice picks the pending work up.
+    let out = sim
+        .run_slice(Time::fs(2_000), u64::MAX, &mut || false)
+        .unwrap();
+    assert_eq!(out, RunOutcome::Quiescent);
+    assert_eq!(sim.now(), Time::fs(1_000));
+    assert_eq!(sim.signal_value(far), &Val::Int(1));
 }

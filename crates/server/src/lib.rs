@@ -366,6 +366,19 @@ fn stats_json(shared: &Shared, session: &Session, sid: u64) -> Json {
                         .map(|t| Json::str(format!("{t}")))
                         .unwrap_or(Json::Null),
                 ),
+                (
+                    "scheduler",
+                    session
+                        .sim_stats()
+                        .map(|st| {
+                            obj([
+                                ("calendar_ops", Json::u64(st.calendar_ops)),
+                                ("woken_procs", Json::u64(st.woken_procs)),
+                                ("scanned_signals", Json::u64(st.scanned_signals)),
+                            ])
+                        })
+                        .unwrap_or(Json::Null),
+                ),
             ]),
         ),
     ];

@@ -286,6 +286,9 @@ impl Session {
                     ("events", Json::u64(st.events)),
                     ("transactions", Json::u64(st.transactions)),
                     ("resumptions", Json::u64(st.resumptions)),
+                    ("calendar_ops", Json::u64(st.calendar_ops)),
+                    ("woken_procs", Json::u64(st.woken_procs)),
+                    ("scanned_signals", Json::u64(st.scanned_signals)),
                 ]),
             ),
         ]))
@@ -321,6 +324,19 @@ impl Session {
                     "resumptions".to_string(),
                     Json::u64(sim.process_resumptions(p)),
                 ));
+                // The static sensitivity set the scheduler indexes this
+                // process under, rendered as canonical paths.
+                let sens: Vec<Json> = sim
+                    .process_sensitivity(p)
+                    .iter()
+                    .map(|&sig| {
+                        sim.names()
+                            .find(NsObject::Signal(sig))
+                            .map(|e| Json::str(e.path))
+                            .unwrap_or(Json::Null)
+                    })
+                    .collect();
+                fields.push(("sensitivity".to_string(), Json::Arr(sens)));
             }
             NsObject::Region => {}
         }
@@ -376,6 +392,11 @@ impl Session {
     /// Current simulation time, if a design is elaborated (for `stats`).
     pub fn sim_time(&self) -> Option<Time> {
         self.sim.as_ref().map(Simulator::now)
+    }
+
+    /// Kernel statistics, if a design is elaborated (for `stats`).
+    pub fn sim_stats(&self) -> Option<sim_kernel::SimStats> {
+        self.sim.as_ref().map(Simulator::stats)
     }
 
     /// Unit count in the session's work library (for `stats`).

@@ -18,6 +18,20 @@ cargo test -q --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> scheduler equivalence suite (event-driven kernel vs reference stepper)"
+# The kernel's property suite replays randomized designs through both the
+# event-driven scheduler and the retained full-scan reference stepper and
+# demands byte-identical VCD output, stats, and Name-Server counters.
+cargo test -q -p sim-kernel --lib equiv
+
+echo "==> exp_kernel smoke (low iters, scratch output dir)"
+# A quick pass over the kernel benchmarks proves they still run end to end;
+# AG_BENCH_OUT keeps the committed full-iteration results/ untouched.
+SMOKE_OUT="$(mktemp -d)"
+AG_BENCH_ITERS=2 AG_BENCH_OUT="$SMOKE_OUT" \
+    cargo bench -q -p ag-bench --bench exp_kernel
+rm -rf "$SMOKE_OUT"
+
 echo "==> batch mode on the end-to-end fixture (--jobs 4, then warm --incremental)"
 # The full-adder example is a 10-unit design; compile it through the batch
 # scheduler on 4 workers into a throwaway work library, then rerun warm
