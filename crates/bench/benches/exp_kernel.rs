@@ -11,7 +11,9 @@ use ag_harness::bench::{fmt_ns, Runner};
 use std::hint::black_box;
 use std::rc::Rc;
 
-use sim_kernel::{FnDecl, Insn, Op, Program, Simulator, Time, Val, VarAddr};
+use sim_kernel::{
+    Backend, FnDecl, FnId, Insn, Op, Program, SimStats, Simulator, Time, Val, VarAddr,
+};
 
 /// A free-running oscillator program.
 fn oscillator() -> Program {
@@ -37,6 +39,89 @@ fn oscillator() -> Program {
         ],
     );
     p
+}
+
+/// Installs `lcg(x)` — `reps` chained rounds of `((x*1103515245 +
+/// 12345) mod 2^31 * 75 + 74) mod 2^31` as one long pure-integer
+/// expression — as a shared function. This is the compute-bearing body
+/// the backend comparison runs on: the interpreter executes every
+/// instruction through the fetch loop, the compiled backend folds the
+/// chain into one integer-specialized tape. It is a *function* so that
+/// every process in a bench shares one hot code body, the way
+/// elaborated designs share subprograms (500 private copies would
+/// benchmark cache misses, not dispatch).
+fn add_lcg_fn(p: &mut Program, reps: usize) -> FnId {
+    let x = VarAddr { depth: 0, slot: 0 };
+    let mut code = vec![Insn::LoadVar(x)];
+    for _ in 0..reps {
+        for (op, k) in [
+            (Op::Mul, 1_103_515_245),
+            (Op::Add, 12_345),
+            (Op::Mod, 1 << 31),
+            (Op::Mul, 75),
+            (Op::Add, 74),
+            (Op::Mod, 1 << 31),
+        ] {
+            code.push(Insn::PushInt(k));
+            code.push(Insn::Binop(op));
+        }
+    }
+    code.push(Insn::Ret { has_value: true });
+    p.add_function(FnDecl {
+        name: "lcg".into(),
+        n_params: 1,
+        n_locals: 1,
+        code: Rc::new(code),
+        level: 1,
+    })
+}
+
+/// Appends `x := lcg(x)`.
+fn push_lcg_call(code: &mut Vec<Insn>, x: VarAddr, f: FnId) {
+    code.push(Insn::LoadVar(x));
+    code.push(Insn::Call(f));
+    code.push(Insn::StoreVar(x));
+}
+
+/// Rounds of the LCG chain per activation in the backend-comparison
+/// benches: enough arithmetic that per-instruction dispatch cost, not
+/// fixed per-cycle kernel cost, dominates both backends.
+const LCG_REPS: usize = 50;
+
+/// The oscillator with a compute-bearing body: every activation toggles
+/// the clock and grinds `LCG_REPS` rounds of integer arithmetic.
+fn compute_oscillator() -> Program {
+    let mut p = Program::default();
+    let clk = p.add_signal("clk", Val::Int(0));
+    let lcg = add_lcg_fn(&mut p, LCG_REPS);
+    let mut code = vec![
+        Insn::LoadSig(clk),
+        Insn::Unop(Op::Not),
+        Insn::PushInt(1_000),
+        Insn::Sched {
+            sig: clk,
+            transport: false,
+        },
+    ];
+    push_lcg_call(&mut code, VarAddr { depth: 0, slot: 0 }, lcg);
+    code.extend([
+        Insn::Wait {
+            sens: Rc::new(vec![clk]),
+            with_timeout: false,
+        },
+        Insn::Pop,
+        Insn::Jump(0),
+    ]);
+    p.add_process("osc", 1, code);
+    p
+}
+
+/// Runs `p` to `deadline` on the given backend and returns the stats.
+fn run_backend(p: &Program, deadline: u64, backend: Backend) -> SimStats {
+    let mut sim = Simulator::new(p.clone());
+    sim.set_backend(backend);
+    sim.run_until(Time::fs(deadline)).expect("runs");
+    sim.stats()
 }
 
 /// A chain of `n` delta-coupled repeaters driven by an oscillator.
@@ -164,25 +249,25 @@ fn sparse_activity(active: usize, total: usize) -> Program {
     p
 }
 
-/// Many processes sleeping on staggered `wait for` timeouts and nothing
-/// else — pure calendar traffic, no signals.
+/// Many processes sleeping on staggered `wait for` timeouts — calendar
+/// traffic plus a compute-bearing body: each wakeup grinds the LCG
+/// chain before sleeping again.
 fn timeout_storm(n_procs: usize) -> Program {
     let mut p = Program::default();
+    let lcg = add_lcg_fn(&mut p, LCG_REPS);
     for i in 0..n_procs {
         let period = ((i % 13) as i64 + 1) * 100;
-        p.add_process(
-            format!("t{i}"),
-            0,
-            vec![
-                Insn::PushInt(period),
-                Insn::Wait {
-                    sens: Rc::new(vec![]),
-                    with_timeout: true,
-                },
-                Insn::Pop,
-                Insn::Jump(0),
-            ],
-        );
+        let mut code = vec![
+            Insn::PushInt(period),
+            Insn::Wait {
+                sens: Rc::new(vec![]),
+                with_timeout: true,
+            },
+            Insn::Pop,
+        ];
+        push_lcg_call(&mut code, VarAddr { depth: 0, slot: 0 }, lcg);
+        code.push(Insn::Jump(0));
+        p.add_process(format!("t{i}"), 1, code);
     }
     p
 }
@@ -194,23 +279,47 @@ fn main() {
         .iters(10)
         .out_dir(ag_bench::out_dir());
 
-    let s = r.measure("oscillator_100k_events", || {
-        let mut sim = Simulator::new(oscillator());
-        sim.run_until(Time::fs(100_000 * 1_000)).expect("runs");
-        assert!(sim.stats().events >= 100_000);
-        black_box(sim.stats())
+    // Interp vs compiled on the same compute-bearing designs. The two
+    // backends must agree on every kernel counter before the clock runs.
+    let osc = compute_oscillator();
+    let osc_deadline = 100_000 * 1_000;
+    {
+        let a = run_backend(&osc, osc_deadline, Backend::Interp);
+        let b = run_backend(&osc, osc_deadline, Backend::Compiled);
+        assert_eq!(
+            (a.cycles, a.events, a.transactions, a.insns),
+            (b.cycles, b.events, b.transactions, b.insns),
+            "backends disagree on oscillator"
+        );
+        assert_eq!(b.fallback_procs, 0, "oscillator must compile in full");
+        assert!(b.compiled_blocks > 0);
+    }
+    let s_i = r.measure("oscillator_100k_events/interp", || {
+        let st = run_backend(&osc, osc_deadline, Backend::Interp);
+        assert!(st.events >= 100_000);
+        black_box(st)
     });
     println!(
-        "oscillator, 100k events:       median {}",
-        fmt_ns(s.median_ns)
+        "oscillator, 100k events, interp:    median {}",
+        fmt_ns(s_i.median_ns)
     );
+    let s_c = r.measure("oscillator_100k_events/compiled", || {
+        let st = run_backend(&osc, osc_deadline, Backend::Compiled);
+        assert!(st.events >= 100_000);
+        black_box(st)
+    });
+    println!(
+        "oscillator, 100k events, compiled:  median {}",
+        fmt_ns(s_c.median_ns)
+    );
+    let osc_speedup = s_i.median_ns as f64 / s_c.median_ns as f64;
+    println!("oscillator speedup:                 {osc_speedup:.2}x");
+    r.metric("oscillator_speedup_compiled", osc_speedup, "x");
     {
-        let mut sim = Simulator::new(oscillator());
-        sim.run_until(Time::fs(100_000 * 1_000)).expect("runs");
-        let st = sim.stats();
+        let st = run_backend(&osc, osc_deadline, Backend::Interp);
         r.metric(
             "oscillator_events_per_sec",
-            st.events as f64 / s.median_secs(),
+            st.events as f64 / s_i.median_secs(),
             "events/s",
         );
     }
@@ -253,15 +362,34 @@ fn main() {
     }
 
     let p = timeout_storm(500);
-    let s = r.measure("timeout_storm", || {
-        let mut sim = Simulator::new(p.clone());
-        sim.run_until(Time::fs(100 * 1_000)).expect("runs");
-        black_box(sim.stats())
+    let storm_deadline = 100 * 1_000;
+    {
+        let a = run_backend(&p, storm_deadline, Backend::Interp);
+        let b = run_backend(&p, storm_deadline, Backend::Compiled);
+        assert_eq!(
+            (a.cycles, a.resumptions, a.insns),
+            (b.cycles, b.resumptions, b.insns),
+            "backends disagree on timeout storm"
+        );
+        assert_eq!(b.fallback_procs, 0, "storm must compile in full");
+    }
+    let s_i = r.measure("timeout_storm/interp", || {
+        black_box(run_backend(&p, storm_deadline, Backend::Interp))
     });
     println!(
-        "timeout storm, 500 procs:      median {}",
-        fmt_ns(s.median_ns)
+        "timeout storm, 500 procs, interp:   median {}",
+        fmt_ns(s_i.median_ns)
     );
+    let s_c = r.measure("timeout_storm/compiled", || {
+        black_box(run_backend(&p, storm_deadline, Backend::Compiled))
+    });
+    println!(
+        "timeout storm, 500 procs, compiled: median {}",
+        fmt_ns(s_c.median_ns)
+    );
+    let storm_speedup = s_i.median_ns as f64 / s_c.median_ns as f64;
+    println!("timeout storm speedup:              {storm_speedup:.2}x");
+    r.metric("timeout_storm_speedup_compiled", storm_speedup, "x");
 
     r.finish();
 }

@@ -3,8 +3,8 @@
 //! ```text
 //! vhdlc [--work DIR] [--jobs N] [--incremental]
 //!       [--elab ENTITY[:ARCH]] [--config NAME]
-//!       [--run TIME] [--vcd FILE] [--emit-c FILE] [--stats]
-//!       [--trace-phases] FILE...
+//!       [--run TIME] [--backend interp|compiled] [--vcd FILE]
+//!       [--emit-c FILE] [--stats] [--trace-phases] FILE...
 //! ```
 //!
 //! Compiles each file into the work library (in order), optionally
@@ -13,13 +13,17 @@
 //! across N worker threads (`--jobs 0` = one per CPU), with identical
 //! output for every N. `--incremental` skips units whose source and
 //! dependency VIF are unchanged since the last compile into the same
-//! `--work` library. `--trace-phases` prints a per-phase
+//! `--work` library. `--backend compiled` runs the simulation on the
+//! kernel's block-compiled backend instead of the instruction
+//! interpreter (identical observable behavior, reported by the
+//! `compiled_blocks`/`fallback_procs` counters under `--stats`).
+//! `--trace-phases` prints a per-phase
 //! time/allocation table of the Fig. 1 pipeline (lex → principal AG →
 //! exprEval cascade → VIF → elaboration/codegen → kernel) after the run.
 
 use std::process::ExitCode;
 
-use sim_kernel::{io::Vcd, Time};
+use sim_kernel::{io::Vcd, Backend, Time};
 use vhdl_driver::Compiler;
 
 /// Counting allocator so `--trace-phases` can attribute heap traffic to
@@ -35,6 +39,7 @@ struct Args {
     elab: Option<(String, Option<String>)>,
     config: Option<String>,
     run_until: Option<Time>,
+    backend: Backend,
     vcd: Option<String>,
     emit_c: Option<String>,
     stats: bool,
@@ -50,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         elab: None,
         config: None,
         run_until: None,
+        backend: Backend::default(),
         vcd: None,
         emit_c: None,
         stats: false,
@@ -87,6 +93,11 @@ fn parse_args() -> Result<Args, String> {
                 out.run_until =
                     Some(Time::parse(&grab("--run")?).map_err(|e| format!("--run: {e}"))?)
             }
+            "--backend" => {
+                out.backend = grab("--backend")?
+                    .parse()
+                    .map_err(|e: String| format!("--backend: {e}"))?
+            }
             "--vcd" => out.vcd = Some(grab("--vcd")?),
             "--emit-c" => out.emit_c = Some(grab("--emit-c")?),
             "--stats" => out.stats = true,
@@ -94,7 +105,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: vhdlc [--work DIR] [--jobs N] [--incremental] \
-                     [--elab ENTITY[:ARCH]] [--config NAME] [--run TIME] [--vcd FILE] \
+                     [--elab ENTITY[:ARCH]] [--config NAME] [--run TIME] \
+                     [--backend interp|compiled] [--vcd FILE] \
                      [--emit-c FILE] [--stats] [--trace-phases] FILE..."
                 );
                 std::process::exit(0);
@@ -249,9 +261,16 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        if args.trace_phases {
+            let cfg = vhdl_codegen::cfg_stats(&program);
+            ag_harness::trace::counter("codegen-cfg-blocks", cfg.blocks as u64);
+            ag_harness::trace::counter("codegen-cfg-insns", cfg.insns as u64);
+            ag_harness::trace::counter("codegen-cfg-max-block", cfg.max_block_len as u64);
+        }
         if let Some(deadline) = args.run_until {
             let vcd = std::cell::RefCell::new(Vcd::new("1fs"));
             let mut sim = sim_kernel::Simulator::new(program);
+            sim.set_backend(args.backend);
             if args.vcd.is_some() {
                 let vcd_ref = &vcd;
                 sim.observe(Box::new(move |t, sig, name, v| {
@@ -275,6 +294,12 @@ fn main() -> ExitCode {
                             "sched: {} calendar ops, {} procs woken, {} signals scanned",
                             st.calendar_ops, st.woken_procs, st.scanned_signals
                         );
+                        eprintln!(
+                            "backend: {}, {} compiled_blocks, {} fallback_procs",
+                            sim.backend(),
+                            st.compiled_blocks,
+                            st.fallback_procs
+                        );
                     }
                 }
                 Err(e) => {
@@ -287,6 +312,8 @@ fn main() -> ExitCode {
                 ag_harness::trace::counter("sched-calendar-ops", st.calendar_ops);
                 ag_harness::trace::counter("sched-woken-procs", st.woken_procs);
                 ag_harness::trace::counter("sched-scanned-signals", st.scanned_signals);
+                ag_harness::trace::counter("backend-compiled-blocks", st.compiled_blocks);
+                ag_harness::trace::counter("backend-fallback-procs", st.fallback_procs);
             }
             if let Some(path) = &args.vcd {
                 let text = vcd.borrow().finish();

@@ -1,4 +1,4 @@
-//! Scheduler-equivalence property suite.
+//! Scheduler- and backend-equivalence property suite.
 //!
 //! The event-driven scheduler (calendar + sensitivity index + worklists)
 //! must be observably indistinguishable from the seed kernel's full-scan
@@ -6,10 +6,18 @@
 //! Randomly generated programs — mixed waits (sensitivity subsets,
 //! timeouts including the zero-delay backward-time case), preempting
 //! drivers (inertial and transport), resolved multi-driver signals,
-//! nested resolution calls — run through both steppers, optionally with
+//! nested resolution calls, data-dependent branches, failing division,
+//! assertion reports — run through both steppers, optionally with
 //! the event-driven run split into incremental slices, and every
 //! observable must match byte for byte: VCD output, statistics,
-//! per-object Name-Server counters, final values, and the run outcome.
+//! per-object Name-Server counters, final values, reports, and the run
+//! outcome.
+//!
+//! The same randomized designs are also the oracle for the compiled
+//! process backend ([`crate::compile`]): every case additionally runs
+//! under [`Backend::Compiled`] and must reproduce the interpreter's
+//! snapshot byte for byte — including instruction counts, error
+//! messages, and the fuel-exhaustion boundary.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -19,7 +27,7 @@ use ag_harness::{check_eq, forall, Config, Source};
 use crate::io::Vcd;
 use crate::isa::{ArrAttrKind, FnDecl, Insn, Program, SigId, VarAddr};
 use crate::rts::Op;
-use crate::sim::{RunOutcome, SimError, Simulator};
+use crate::sim::{Backend, RunOutcome, SimError, Simulator};
 use crate::value::{Time, Val};
 
 fn slot(n: u16) -> VarAddr {
@@ -121,6 +129,48 @@ fn gen_program(s: &mut Source) -> Program {
                 transport: s.bool(),
             });
         }
+        // Optional data-dependent branch: an extra assignment taken only
+        // on odd counters (basic-block boundaries with a consistent join
+        // for the compiled backend).
+        if s.bool() {
+            code.push(Insn::LoadVar(slot(0)));
+            code.push(Insn::PushInt(2));
+            code.push(Insn::Binop(Op::Mod));
+            let jif_at = code.len();
+            code.push(Insn::JumpIfFalse(0)); // patched below
+            let sig = *s.pick(&targets);
+            code.push(Insn::LoadVar(slot(0)));
+            code.push(Insn::PushInt(5));
+            code.push(Insn::Binop(Op::Mod));
+            code.push(Insn::PushInt(*s.pick(&[-1i64, 1, 4])));
+            code.push(Insn::Sched {
+                sig,
+                transport: s.bool(),
+            });
+            code[jif_at] = Insn::JumpIfFalse(code.len() as u32);
+        }
+        // Occasional failing arithmetic: dividing by `counter mod k`
+        // eventually divides by zero, so both steppers and both backends
+        // must fail at the same instruction with the same message.
+        if s.usize_in(0, 3) == 0 {
+            let k = *s.pick(&[3i64, 5, 7]);
+            code.push(Insn::PushInt(97));
+            code.push(Insn::LoadVar(slot(0)));
+            code.push(Insn::PushInt(k));
+            code.push(Insn::Binop(Op::Mod));
+            code.push(Insn::Binop(Op::Div));
+            code.push(Insn::StoreVar(slot(1)));
+        }
+        // Optional periodic report (assert severity warning): exercises
+        // the report stream and the compiled Assert step.
+        if s.bool() {
+            code.push(Insn::LoadVar(slot(0)));
+            code.push(Insn::PushInt(3));
+            code.push(Insn::Binop(Op::Mod));
+            code.push(Insn::PushInt(7));
+            code.push(Insn::PushInt(1));
+            code.push(Insn::Assert);
+        }
         let mut sens: Vec<SigId> = s.vec(0, 3, |s| *s.pick(&all));
         sens.sort_unstable();
         sens.dedup();
@@ -136,7 +186,7 @@ fn gen_program(s: &mut Source) -> Program {
         });
         code.push(Insn::Pop);
         code.push(Insn::Jump(0));
-        prog.add_process(format!("top.p{pi}"), 1, code);
+        prog.add_process(format!("top.p{pi}"), 2, code);
     }
     // Exercise both sensitivity sources: elaborator metadata and the
     // kernel's fallback code walk.
@@ -159,6 +209,7 @@ struct Snapshot {
     sig_events: Vec<u64>,
     sig_last: Vec<Option<Time>>,
     proc_res: Vec<u64>,
+    reports: Vec<(Time, i64, String)>,
 }
 
 fn snapshot(
@@ -196,16 +247,23 @@ fn snapshot(
         proc_res: (0..n_procs)
             .map(|i| sim.process_resumptions(i as u32))
             .collect(),
+        reports: sim
+            .reports()
+            .iter()
+            .map(|r| (r.time, r.severity, r.text.clone()))
+            .collect(),
     }
 }
 
-/// Runs the event-driven path, optionally split into slices (incremental
-/// stepping must land on the same state as one uninterrupted run).
-fn run_new(prog: &Program, deadline: Time, budgets: &[u64]) -> Snapshot {
+/// Runs the event-driven path on the given process backend, optionally
+/// split into slices (incremental stepping must land on the same state as
+/// one uninterrupted run).
+fn run_new(prog: &Program, deadline: Time, budgets: &[u64], backend: Backend) -> Snapshot {
     let (n_sigs, n_procs) = (prog.signals.len(), prog.processes.len());
     let vcd = RefCell::new(Vcd::new("1fs"));
     let vcd_ref = &vcd;
     let mut sim = Simulator::new(prog.clone());
+    sim.set_backend(backend);
     sim.observe(Box::new(move |t, sig, name, v| {
         vcd_ref.borrow_mut().change(t, sig, name, v);
     }));
@@ -252,7 +310,7 @@ fn scheduler_equivalent_to_reference() {
             } else {
                 vec![total]
             };
-            let new = run_new(&prog, deadline, &budgets);
+            let new = run_new(&prog, deadline, &budgets, Backend::Interp);
             let reference = run_ref(&prog, deadline, total);
             check_eq!(new.outcome, reference.outcome);
             check_eq!(new.vcd, reference.vcd);
@@ -266,6 +324,24 @@ fn scheduler_equivalent_to_reference() {
             check_eq!(new.sig_events, reference.sig_events);
             check_eq!(new.sig_last, reference.sig_last);
             check_eq!(new.proc_res, reference.proc_res);
+            check_eq!(new.reports, reference.reports);
+            // The compiled backend is the third leg of the oracle: the
+            // generated shapes must never fall back, and the snapshot must
+            // match the interpreter's byte for byte.
+            check_eq!(
+                crate::compile::compile(&prog).n_fallback,
+                0,
+                "generated design must compile in full"
+            );
+            let compiled = run_new(&prog, deadline, &budgets, Backend::Compiled);
+            check_eq!(compiled.outcome, new.outcome, "compiled vs interp");
+            check_eq!(compiled.vcd, new.vcd, "compiled vs interp");
+            check_eq!(
+                compiled.stats,
+                new.stats,
+                "compiled vs interp cycles/deltas/events/txs/resumptions/insns"
+            );
+            check_eq!(compiled, new, "compiled vs interp full snapshot");
         }
     );
 }
@@ -319,7 +395,161 @@ fn scheduler_equivalent_fixed_case() {
         );
     }
     prog.finalize_sensitivity();
-    let new = run_new(&prog, Time::fs(40), &[17, 500]);
+    let new = run_new(&prog, Time::fs(40), &[17, 500], Backend::Interp);
     let reference = run_ref(&prog, Time::fs(40), 517);
     assert_eq!(new, reference);
+    let compiled = run_new(&prog, Time::fs(40), &[17, 500], Backend::Compiled);
+    assert_eq!(compiled, new);
+    // Guard against the oracle going vacuous: the compiled run must have
+    // actually executed threaded blocks, with no process falling back.
+    let mut sim = Simulator::new(prog);
+    sim.set_backend(Backend::Compiled);
+    sim.run_until(Time::fs(40)).unwrap();
+    assert!(sim.stats().compiled_blocks > 0, "no compiled blocks ran");
+    assert_eq!(sim.stats().fallback_procs, 0);
+}
+
+/// Both backends must exhaust their fuel budget on exactly the same
+/// instruction: the budget is charged per instruction *before* execution,
+/// and the compiled backend's bulk-charged integer tapes may not smear
+/// that boundary.
+#[test]
+fn fuel_exhaustion_boundary_identical_across_backends() {
+    let mut prog = Program::default();
+    // A runaway counter loop that never suspends: 5 instructions per
+    // iteration, so a 1000-instruction budget dies mid-iteration.
+    prog.add_process(
+        "top.spin",
+        1,
+        vec![
+            Insn::LoadVar(slot(0)),
+            Insn::PushInt(1),
+            Insn::Binop(Op::Add),
+            Insn::StoreVar(slot(0)),
+            Insn::Jump(0),
+        ],
+    );
+    let snap = |backend: Backend| {
+        let mut sim = Simulator::new(prog.clone());
+        sim.set_backend(backend);
+        sim.set_fuel_budget(1000);
+        let outcome = sim.run_slice(Time::fs(10), u64::MAX, &mut || false);
+        let st = sim.stats();
+        (
+            match outcome {
+                Ok(o) => format!("{o:?}"),
+                Err(e) => format!("err: {e}"),
+            },
+            st.insns,
+            st.cycles,
+        )
+    };
+    let interp = snap(Backend::Interp);
+    let compiled = snap(Backend::Compiled);
+    assert_eq!(interp.0, "err: process top.spin looped without suspending");
+    assert_eq!(interp.1, 1000, "the exhausting instruction is charged");
+    assert_eq!(compiled, interp);
+}
+
+/// A run that dies of arithmetic overflow must fail at the same
+/// instruction with the same message and instruction count under both
+/// backends (the integer fast path charges partial tapes exactly).
+#[test]
+fn runtime_error_boundary_identical_across_backends() {
+    let mut prog = Program::default();
+    let clk = prog.add_signal("top.clk", Val::Int(0));
+    // x := x * 2 + 1 every delta cycle: overflows i64 after 62 rounds.
+    prog.add_process(
+        "top.grow",
+        1,
+        vec![
+            Insn::LoadVar(slot(0)),
+            Insn::PushInt(2),
+            Insn::Binop(Op::Mul),
+            Insn::PushInt(1),
+            Insn::Binop(Op::Add),
+            Insn::StoreVar(slot(0)),
+            Insn::LoadSig(clk),
+            Insn::Unop(Op::Not),
+            Insn::PushInt(1),
+            Insn::Sched {
+                sig: clk,
+                transport: false,
+            },
+            Insn::Wait {
+                sens: Rc::new(vec![clk]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+            Insn::Jump(0),
+        ],
+    );
+    prog.finalize_sensitivity();
+    let deadline = Time::fs(10_000);
+    let interp = run_new(&prog, deadline, &[u64::MAX], Backend::Interp);
+    let compiled = run_new(&prog, deadline, &[u64::MAX], Backend::Compiled);
+    assert_eq!(
+        interp.outcome,
+        "err: runtime error in top.grow: arithmetic overflow"
+    );
+    assert_eq!(compiled, interp);
+}
+
+/// The compiled backend strength-reduces `x mod 2^n` (positive `n`th
+/// power, immediate operand) to a bit mask. VHDL `mod` is the euclidean
+/// remainder, so the reduction must hold for negative `x` too — where
+/// truncated `%` would give a different (negative) answer.
+#[test]
+fn mod_by_power_of_two_matches_interp_for_negative_operands() {
+    let mut prog = Program::default();
+    let clk = prog.add_signal("top.clk", Val::Int(0));
+    let rem = prog.add_signal("top.rem", Val::Int(0));
+    // x := x - 7; rem <= x mod 8 (delta): x dives negative on the first
+    // activation and stays there.
+    prog.add_process(
+        "top.neg",
+        1,
+        vec![
+            Insn::LoadVar(slot(0)),
+            Insn::PushInt(7),
+            Insn::Binop(Op::Sub),
+            Insn::StoreVar(slot(0)),
+            Insn::LoadVar(slot(0)),
+            Insn::PushInt(8),
+            Insn::Binop(Op::Mod),
+            Insn::PushInt(-1),
+            Insn::Sched {
+                sig: rem,
+                transport: false,
+            },
+            Insn::LoadSig(clk),
+            Insn::Unop(Op::Not),
+            Insn::PushInt(1),
+            Insn::Sched {
+                sig: clk,
+                transport: false,
+            },
+            Insn::Wait {
+                sens: Rc::new(vec![clk]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+            Insn::Jump(0),
+        ],
+    );
+    prog.finalize_sensitivity();
+    let deadline = Time::fs(100);
+    let interp = run_new(&prog, deadline, &[u64::MAX], Backend::Interp);
+    let compiled = run_new(&prog, deadline, &[u64::MAX], Backend::Compiled);
+    assert_eq!(compiled, interp);
+    let mut sim = Simulator::new(prog);
+    sim.set_backend(Backend::Compiled);
+    sim.run_until(deadline).unwrap();
+    assert_eq!(sim.stats().fallback_procs, 0);
+    // Euclidean, not truncated: -7k mod 8 is always in 0..8, and for
+    // x = -7 specifically it is 1 (truncated % would say -7).
+    match sim.signal_value(rem) {
+        Val::Int(v) => assert!((0..8).contains(v), "euclidean remainder, got {v}"),
+        other => panic!("integer remainder expected, got {other:?}"),
+    }
 }

@@ -15,6 +15,7 @@
 //! - [`isa`] / [`value`] — the instruction set and runtime values the
 //!   code generator targets.
 
+mod compile;
 pub mod io;
 pub mod isa;
 pub mod names;
@@ -29,5 +30,5 @@ mod equiv;
 pub use isa::{ArrAttrKind, FnDecl, FnId, Insn, Program, SigAttr, SigId, VarAddr};
 pub use names::{NameError, NameServer, NsEntry, NsObject};
 pub use rts::{Op, RtError};
-pub use sim::{ReportEvent, RunOutcome, SimError, SimStats, Simulator};
+pub use sim::{Backend, ReportEvent, RunOutcome, SimError, SimStats, Simulator};
 pub use value::{ArrVal, Time, VDir, Val};

@@ -256,7 +256,7 @@ pub fn binop(op: Op, a: &Val, b: &Val) -> Result<Val, RtError> {
     })
 }
 
-fn logical(op: Op, x: i64, y: i64) -> i64 {
+pub(crate) fn logical(op: Op, x: i64, y: i64) -> i64 {
     let (x, y) = (x != 0, y != 0);
     let r = match op {
         Op::And => x && y,

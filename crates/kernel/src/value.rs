@@ -98,14 +98,26 @@ impl Time {
                     return Err(format!("bad magnitude `{mag}` in `{text}`"));
                 }
                 // Fractional part, truncated to the femtosecond grid.
-                let mut num: u128 = 0;
-                let mut den: u128 = 1;
+                // Trailing zeros carry no information; after stripping
+                // them, 18 digits bound `num` below 10^18, so
+                // `num * fs_per` stays well inside u128 and `f` below
+                // `fs_per` — every step here is overflow-free by
+                // construction rather than by unchecked luck.
+                let frac = frac.trim_end_matches('0');
+                if frac.len() > 18 {
+                    return Err(format!(
+                        "time literal `{text}` has too many fractional digits \
+                         (max 18 significant)"
+                    ));
+                }
+                let mut num: u64 = 0;
+                let mut den: u64 = 1;
                 for c in frac.chars() {
-                    num = num * 10 + (c as u8 - b'0') as u128;
+                    num = num * 10 + (c as u8 - b'0') as u64;
                     den *= 10;
                 }
                 whole.checked_mul(fs_per).and_then(|w| {
-                    let f = (num * fs_per as u128 / den) as u64;
+                    let f = (num as u128 * fs_per as u128 / den as u128) as u64;
                     w.checked_add(f)
                 })
             }

@@ -148,6 +148,93 @@ fn transport_preserves_waveform() {
     });
 }
 
+/// `Time::parse` against a u128 reference model: a generated
+/// `whole.frac unit` literal parses to exactly `whole*fs_per +
+/// floor(frac*fs_per/10^digits)` femtoseconds, errors (never panics)
+/// when the product overflows u64 or the fraction carries more than 18
+/// significant digits, and is total over hostile magnitudes.
+#[test]
+fn time_parse_matches_u128_model() {
+    const UNITS: [(&str, u64); 9] = [
+        ("fs", 1),
+        ("ps", 1_000),
+        ("ns", 1_000_000),
+        ("us", 1_000_000_000),
+        ("ms", 1_000_000_000_000),
+        ("sec", 1_000_000_000_000_000),
+        ("min", 60_000_000_000_000_000),
+        ("hr", 3_600_000_000_000_000_000),
+        ("", 1_000_000),
+    ];
+    forall!(
+        Config::new("time_parse_matches_u128_model").cases(256),
+        |s| {
+            let &(unit, fs_per) = s.pick(&UNITS);
+            // Bias toward the overflow boundary: small magnitudes exercise
+            // the fraction grid, huge ones the checked multiply.
+            let whole: u64 = if s.bool() {
+                s.u64_in(0, 9_999)
+            } else {
+                s.u64_in(0, u64::MAX / 1_000)
+            };
+            let frac = s.string_of("0123456789", 24);
+            let text = if frac.is_empty() {
+                format!("{whole}{unit}")
+            } else {
+                format!("{whole}.{frac} {unit}")
+            };
+            let got = Time::parse(&text);
+            let sig = frac.trim_end_matches('0');
+            if sig.len() > 18 {
+                let e = got.expect_err("oversized fraction must be rejected");
+                check!(
+                    e.contains("fractional digits"),
+                    "diagnostic should name the fraction: {e}"
+                );
+                return Ok(());
+            }
+            let num: u128 = sig.parse().unwrap_or(0);
+            let den: u128 = 10u128.pow(sig.len() as u32);
+            let model = (whole as u128)
+                .checked_mul(fs_per as u128)
+                .and_then(|w| w.checked_add(num * fs_per as u128 / den))
+                .filter(|&fs| fs <= u64::MAX as u128);
+            match (got, model) {
+                (Ok(t), Some(fs)) => check_eq!(t.fs as u128, fs, "`{text}`"),
+                (Err(e), None) => check!(
+                    e.contains("overflows"),
+                    "diagnostic should say overflow: {e}"
+                ),
+                (got, model) => check!(false, "`{text}`: got {got:?}, model {model:?}"),
+            }
+        }
+    );
+}
+
+/// `Time::parse` is total and rejects malformed magnitudes — multi-dot
+/// (`1.2.3`), bare dots, stray underscores mixed with junk — without
+/// ever panicking, no matter what the magnitude region contains.
+#[test]
+fn time_parse_rejects_malformed() {
+    forall!(
+        Config::new("time_parse_rejects_malformed").cases(256),
+        |s| {
+            let mag = s.string_of("0123456789._", 12);
+            let unit = s.pick(&["", "fs", "ns", "hr", "parsec"]).to_string();
+            let text = format!("{mag}{unit}");
+            // Totality: any outcome is fine, panicking is not.
+            let _ = Time::parse(&text);
+            // Multi-dot magnitudes must be rejected outright.
+            if mag.matches('.').count() >= 2 {
+                check!(
+                    Time::parse(&format!("{mag}ns")).is_err(),
+                    "multi-dot `{mag}ns` should not parse"
+                );
+            }
+        }
+    );
+}
+
 /// Runtime binary operations agree with checked i64 arithmetic.
 #[test]
 fn rts_matches_i64() {

@@ -202,10 +202,17 @@ impl Session {
                 .map_err(|e| e.to_string())?
                 .0
         };
+        let backend = match params.get("backend").and_then(Json::as_str) {
+            Some(s) => s
+                .parse::<sim_kernel::Backend>()
+                .map_err(|e| format!("elaborate: {e}"))?,
+            None => sim_kernel::Backend::default(),
+        };
         let signals = program.signals.len();
         let processes = program.processes.len();
         let regions = program.regions.len();
         let mut sim = Simulator::new(program);
+        sim.set_backend(backend);
         // The observer filters through the glob-selected probe set; an
         // empty set records nothing, `trace` fills it.
         let vcd = Rc::new(RefCell::new(Vcd::new("1fs")));
@@ -227,6 +234,7 @@ impl Session {
             ("processes", Json::u64(processes as u64)),
             ("regions", Json::u64(regions as u64)),
             ("objects", Json::u64(objects as u64)),
+            ("backend", Json::str(format!("{backend}"))),
         ]))
     }
 
@@ -289,6 +297,8 @@ impl Session {
                     ("calendar_ops", Json::u64(st.calendar_ops)),
                     ("woken_procs", Json::u64(st.woken_procs)),
                     ("scanned_signals", Json::u64(st.scanned_signals)),
+                    ("compiled_blocks", Json::u64(st.compiled_blocks)),
+                    ("fallback_procs", Json::u64(st.fallback_procs)),
                 ]),
             ),
         ]))

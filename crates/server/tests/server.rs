@@ -360,3 +360,61 @@ fn bad_requests_get_error_responses_not_disconnects() {
     c.ok("shutdown", vec![]);
     join.join().expect("serve thread").expect("serve result");
 }
+
+#[test]
+fn compiled_backend_session_matches_interp() {
+    let (addr, handle, join) = start(quiet_cfg(4, 1));
+
+    let mut run_on = |backend: &str| {
+        let mut c = Client::connect(&addr);
+        c.ok("analyze", analyze_fields());
+        c.ok(
+            "elaborate",
+            vec![("entity", Json::str("tb")), ("backend", Json::str(backend))],
+        );
+        c.ok("trace", vec![("glob", Json::str("*"))]);
+        let run = c.ok("run", vec![("until", Json::str("40ns"))]);
+        let vcd = c.ok("vcd", vec![]);
+        (run, vcd.to_text())
+    };
+    let (run_i, vcd_i) = run_on("interp");
+    let (run_c, vcd_c) = run_on("compiled");
+
+    // Same waveform bytes and same kernel counters; only the
+    // backend-attribution counters may differ.
+    assert_eq!(vcd_i, vcd_c, "VCD must be byte-identical across backends");
+    let st_i = run_i.get("stats").expect("stats");
+    let st_c = run_c.get("stats").expect("stats");
+    for key in [
+        "cycles",
+        "delta_cycles",
+        "events",
+        "transactions",
+        "resumptions",
+    ] {
+        assert_eq!(
+            st_i.get(key).and_then(Json::as_u64),
+            st_c.get(key).and_then(Json::as_u64),
+            "{key} diverged across backends"
+        );
+    }
+    assert_eq!(st_i.get("compiled_blocks").and_then(Json::as_u64), Some(0));
+    assert!(
+        st_c.get("compiled_blocks").and_then(Json::as_u64) > Some(0),
+        "compiled session executed no compiled blocks: {}",
+        run_c.to_text()
+    );
+
+    // Unknown backend is a request error, not a dead session.
+    let mut c = Client::connect(&addr);
+    c.ok("analyze", analyze_fields());
+    let resp = c.req(
+        "elaborate",
+        vec![("entity", Json::str("tb")), ("backend", Json::str("jit"))],
+    );
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+    handle.shutdown();
+    drop(Client::connect(&addr));
+    let _ = join.join();
+}

@@ -18,18 +18,26 @@ cargo test -q --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> scheduler equivalence suite (event-driven kernel vs reference stepper)"
-# The kernel's property suite replays randomized designs through both the
-# event-driven scheduler and the retained full-scan reference stepper and
-# demands byte-identical VCD output, stats, and Name-Server counters.
+echo "==> dual-backend equivalence suite (scheduler oracle + compiled backend)"
+# The kernel's property suite replays randomized designs through the
+# event-driven scheduler, the retained full-scan reference stepper, AND
+# the block-compiled process backend, demanding byte-identical VCD
+# output, stats (including instruction counts and fuel boundaries), and
+# Name-Server counters across all of them.
 cargo test -q -p sim-kernel --lib equiv
+cargo test -q -p sim-kernel --test alloc_budget
 
-echo "==> exp_kernel smoke (low iters, scratch output dir)"
-# A quick pass over the kernel benchmarks proves they still run end to end;
-# AG_BENCH_OUT keeps the committed full-iteration results/ untouched.
+echo "==> exp_kernel smoke incl. compiled backend (low iters, scratch output dir)"
+# A quick pass over the kernel benchmarks proves they still run end to end
+# — including the interp-vs-compiled comparison series, whose preamble
+# asserts counter-identical dual-backend runs and full compilation (no
+# fallback processes); AG_BENCH_OUT keeps the committed full-iteration
+# results/ untouched.
 SMOKE_OUT="$(mktemp -d)"
 AG_BENCH_ITERS=2 AG_BENCH_OUT="$SMOKE_OUT" \
     cargo bench -q -p ag-bench --bench exp_kernel
+grep -q '"oscillator_speedup_compiled"' "$SMOKE_OUT/exp_kernel.json" \
+    || { echo "verify: exp_kernel did not emit backend speedup metrics" >&2; exit 1; }
 rm -rf "$SMOKE_OUT"
 
 echo "==> batch mode on the end-to-end fixture (--jobs 4, then warm --incremental)"
