@@ -5,10 +5,15 @@
 //! real server over loopback TCP and records, per request type:
 //!
 //! - **requests/sec** measured at the client (send → response received);
-//! - **p50/p95 round-trip latency** in microseconds;
+//! - **p50/p95/p99 round-trip latency** in microseconds;
 //! - aggregate throughput with 4 concurrent sessions hammering `ping`
 //!   (the protocol floor) and `inspect` (a Name Server resolution against
-//!   a live simulation).
+//!   a live simulation);
+//! - a **120-client soak** against the pooled serving core (fixed worker
+//!   threads, explicit overload bounds), reporting aggregate tail
+//!   latency;
+//! - **checkpoint/restore round trips** of the session runtime — the
+//!   fleet operation that migrates a running simulation.
 //!
 //! The server runs with a pre-compiled base library, so the measured
 //! `analyze` is the warm, all-cache-hits path a long-lived session sees.
@@ -72,13 +77,14 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     sorted_us[((sorted_us.len() - 1) as f64 * q).round() as usize]
 }
 
-/// Drives `n` round trips of one op, returning `(req/s, p50 µs, p95 µs)`.
+/// Drives `n` round trips of one op, returning
+/// `(req/s, p50 µs, p95 µs, p99 µs)`.
 fn drive(
     c: &mut Client,
     op: &str,
     fields: impl Fn() -> Vec<(&'static str, Json)>,
     n: usize,
-) -> (f64, u64, u64) {
+) -> (f64, u64, u64, u64) {
     let mut lat = Vec::with_capacity(n);
     let t0 = Instant::now();
     for _ in 0..n {
@@ -92,6 +98,7 @@ fn drive(
         n as f64 / total,
         percentile(&lat, 0.50),
         percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
     )
 }
 
@@ -120,7 +127,7 @@ fn main() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr").to_string();
     let cfg = ServerConfig {
-        max_clients: 16,
+        max_clients: 128,
         jobs: 2,
         quiet: true,
         ..ServerConfig::default()
@@ -159,7 +166,7 @@ fn main() {
         ("inspect", 2000),
         ("stats", 500),
     ] {
-        let (rps, p50, p95) = match op {
+        let (rps, p50, p95, p99) = match op {
             "analyze" => drive(&mut c, op, &analyze_fields, n),
             "inspect" => drive(&mut c, op, || vec![("path", Json::str(":tb:dut:ab"))], n),
             _ => drive(&mut c, op, Vec::new, n),
@@ -167,7 +174,46 @@ fn main() {
         r.metric(format!("{op}/req_per_sec"), rps, "req/s");
         r.metric(format!("{op}/p50_us"), p50 as f64, "us");
         r.metric(format!("{op}/p95_us"), p95 as f64, "us");
-        println!("{op:<8} n={n:<5} {rps:>9.0} req/s   p50 {p50:>5} µs   p95 {p95:>5} µs");
+        r.metric(format!("{op}/p99_us"), p99 as f64, "us");
+        println!(
+            "{op:<8} n={n:<5} {rps:>9.0} req/s   p50 {p50:>5} µs   p95 {p95:>5} µs   p99 {p99:>5} µs"
+        );
+    }
+
+    // Session runtime checkpoint/restore round trips: `checkpoint`
+    // serializes the live simulation (kernel state + VCD + probes) into
+    // one sealed blob; `restore` re-elaborates and re-attaches it.
+    c.req("trace", vec![("glob", Json::str("*"))]);
+    let cp = c.req("checkpoint", vec![]);
+    let snap = cp
+        .get("result")
+        .and_then(|v| v.get("snapshot"))
+        .and_then(Json::as_str)
+        .expect("checkpoint snapshot")
+        .to_string();
+    let snap_bytes = cp
+        .get("result")
+        .and_then(|v| v.get("bytes"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    r.metric("checkpoint/snapshot_bytes", snap_bytes as f64, "B");
+    for (op, n) in [("checkpoint", 300usize), ("restore", 300)] {
+        let (rps, p50, p95, p99) = match op {
+            "restore" => drive(
+                &mut c,
+                op,
+                || vec![("snapshot", Json::str(snap.clone()))],
+                n,
+            ),
+            _ => drive(&mut c, op, Vec::new, n),
+        };
+        r.metric(format!("{op}/req_per_sec"), rps, "req/s");
+        r.metric(format!("{op}/p50_us"), p50 as f64, "us");
+        r.metric(format!("{op}/p95_us"), p95 as f64, "us");
+        r.metric(format!("{op}/p99_us"), p99 as f64, "us");
+        println!(
+            "{op:<10} n={n:<4} {rps:>9.0} req/s   p50 {p50:>5} µs   p95 {p95:>5} µs   p99 {p99:>5} µs  ({snap_bytes} B blob)"
+        );
     }
 
     // Aggregate throughput: 4 concurrent sessions, each with its own
@@ -199,6 +245,55 @@ fn main() {
     let agg = (CONC_CLIENTS * CONC_REQS) as f64 / total;
     r.metric("concurrent4/req_per_sec", agg, "req/s");
     println!("concurrent: {CONC_CLIENTS} sessions x {CONC_REQS} reqs  {agg:>9.0} req/s aggregate");
+
+    // Soak: 120 concurrent sessions (inside the 128-client bound) pinned
+    // across the fixed worker pool, each pinging in a tight loop. The
+    // interesting number is the tail — a sweep stalled behind a slow
+    // shard-mate shows up at p99. One untimed warm-up ping per client
+    // plus a start barrier keeps session setup (120 library forks) out
+    // of the steady-state series.
+    const SOAK_CLIENTS: usize = 120;
+    const SOAK_REQS: usize = 50;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(SOAK_CLIENTS + 1));
+    let threads: Vec<_> = (0..SOAK_CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr);
+                c.req("ping", vec![]);
+                barrier.wait();
+                let mut lat = Vec::with_capacity(SOAK_REQS);
+                for _ in 0..SOAK_REQS {
+                    let t = Instant::now();
+                    c.req("ping", vec![]);
+                    lat.push(t.elapsed().as_micros() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut lat: Vec<u64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("soak client"))
+        .collect();
+    let total = t0.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let rps = lat.len() as f64 / total;
+    let (p50, p95, p99) = (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+    );
+    r.metric("soak120/req_per_sec", rps, "req/s");
+    r.metric("soak120/p50_us", p50 as f64, "us");
+    r.metric("soak120/p95_us", p95 as f64, "us");
+    r.metric("soak120/p99_us", p99 as f64, "us");
+    println!(
+        "soak: {SOAK_CLIENTS} sessions x {SOAK_REQS} reqs  {rps:>9.0} req/s   p50 {p50:>5} µs   p95 {p95:>5} µs   p99 {p99:>5} µs"
+    );
 
     // Server-side view: the skip counter proves every measured analyze
     // was a cache hit.

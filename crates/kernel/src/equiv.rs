@@ -78,7 +78,7 @@ fn sum_mod4() -> FnDecl {
 /// (delta or timed, inertial or transport, counter-derived or constant
 /// values), then wait on a random sensitivity subset with an optional
 /// timeout.
-fn gen_program(s: &mut Source) -> Program {
+pub(crate) fn gen_program(s: &mut Source) -> Program {
     let mut prog = Program::default();
     let n_procs = s.usize_in(1, 3);
     let mut own: Vec<Vec<SigId>> = Vec::new();
@@ -198,7 +198,7 @@ fn gen_program(s: &mut Source) -> Program {
 
 /// Everything observable about a finished run.
 #[derive(Debug, PartialEq)]
-struct Snapshot {
+pub(crate) struct Snapshot {
     outcome: String,
     vcd: String,
     now: Time,
@@ -212,7 +212,7 @@ struct Snapshot {
     reports: Vec<(Time, i64, String)>,
 }
 
-fn snapshot(
+pub(crate) fn snapshot(
     sim: &Simulator<'_>,
     outcome: &Result<RunOutcome, SimError>,
     vcd: String,
@@ -258,7 +258,12 @@ fn snapshot(
 /// Runs the event-driven path on the given process backend, optionally
 /// split into slices (incremental stepping must land on the same state as
 /// one uninterrupted run).
-fn run_new(prog: &Program, deadline: Time, budgets: &[u64], backend: Backend) -> Snapshot {
+pub(crate) fn run_new(
+    prog: &Program,
+    deadline: Time,
+    budgets: &[u64],
+    backend: Backend,
+) -> Snapshot {
     let (n_sigs, n_procs) = (prog.signals.len(), prog.processes.len());
     let vcd = RefCell::new(Vcd::new("1fs"));
     let vcd_ref = &vcd;

@@ -76,6 +76,68 @@ impl Vcd {
         }
     }
 
+    /// Serializes the writer's full state (codes, body, time cursor) into
+    /// a snapshot encoder, so a checkpointed session's waveform continues
+    /// byte-identically after restore.
+    pub fn encode(&self, e: &mut crate::snapshot::Enc) {
+        e.str(&self.timescale);
+        let mut ids: Vec<(SigId, &(char, String))> =
+            self.ids.iter().map(|(s, v)| (*s, v)).collect();
+        ids.sort_by_key(|(s, _)| *s);
+        e.len(ids.len());
+        for (sig, (code, name)) in ids {
+            e.u32(sig.0);
+            e.u8(*code as u8);
+            e.str(name);
+        }
+        e.u8(self.next_code);
+        e.str(&self.body);
+        match self.last_time {
+            None => e.u8(0),
+            Some(t) => {
+                e.u8(1);
+                e.u64(t.fs);
+                e.u32(t.delta);
+            }
+        }
+    }
+
+    /// Rebuilds a writer from [`Vcd::encode`]'s output.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::snapshot::SnapshotError`]; hostile bytes never panic.
+    pub fn decode(d: &mut crate::snapshot::Dec<'_>) -> Result<Vcd, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let timescale = d.str()?;
+        let n = d.len(6)?;
+        let mut ids = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let sig = SigId(d.u32()?);
+            let code = d.u8()? as char;
+            let name = d.str()?;
+            ids.insert(sig, (code, name));
+        }
+        let next_code = d.u8()?;
+        let body = d.str()?;
+        let last_time = match d.u8()? {
+            0 => None,
+            1 => {
+                let fs = d.u64()?;
+                let delta = d.u32()?;
+                Some(Time { fs, delta })
+            }
+            t => return Err(SnapshotError::Corrupt(format!("bad last-time tag {t}"))),
+        };
+        Ok(Vcd {
+            timescale,
+            ids,
+            next_code,
+            body,
+            last_time,
+        })
+    }
+
     /// Renders the complete VCD file.
     pub fn finish(&self) -> String {
         let mut out = String::new();

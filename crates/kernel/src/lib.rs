@@ -13,7 +13,10 @@
 //!   (`:tb:dut:sum`), case-insensitive per VHDL rules, with glob
 //!   resolution for probe selection and inspection;
 //! - [`isa`] / [`value`] — the instruction set and runtime values the
-//!   code generator targets.
+//!   code generator targets;
+//! - [`snapshot`] — versioned binary checkpoints of live simulation
+//!   state, so a session can suspend mid-run and resume byte-identically
+//!   elsewhere.
 
 mod compile;
 pub mod io;
@@ -22,6 +25,7 @@ pub mod names;
 pub mod rts;
 pub mod sched;
 pub mod sim;
+pub mod snapshot;
 pub mod value;
 
 #[cfg(test)]
@@ -31,4 +35,5 @@ pub use isa::{ArrAttrKind, FnDecl, FnId, Insn, Program, SigAttr, SigId, VarAddr}
 pub use names::{NameError, NameServer, NsEntry, NsObject};
 pub use rts::{Op, RtError};
 pub use sim::{Backend, ReportEvent, RunOutcome, SimError, SimStats, Simulator};
+pub use snapshot::{Dec, Enc, SnapshotError};
 pub use value::{ArrVal, Time, VDir, Val};

@@ -124,6 +124,31 @@ impl Calendar {
         best
     }
 
+    /// Snapshot view for [`crate::snapshot`]: the near-bucket femtosecond,
+    /// the near entries (order is not observable: due entries are sorted
+    /// and deduplicated downstream), and the far entries extracted in
+    /// ascending time order. Entries are serialized verbatim — including
+    /// stale far entries buried under valid ones — because normalizing
+    /// them out would change when their lazy-invalidation `ops` are
+    /// counted versus an uninterrupted run.
+    pub fn parts(&self) -> (u64, &[CalEntry], Vec<CalEntry>) {
+        let mut far: Vec<CalEntry> = self.far.iter().map(|Reverse(e)| *e).collect();
+        far.sort_unstable();
+        (self.near_fs, &self.near, far)
+    }
+
+    /// Rebuilds a calendar from snapshot parts. Equal entries are
+    /// bit-identical (`CalEntry` is `Copy` + totally ordered), so heap
+    /// pop order among ties is observationally the same as the original.
+    pub fn from_parts(near_fs: u64, near: Vec<CalEntry>, far: Vec<CalEntry>, ops: u64) -> Calendar {
+        Calendar {
+            near,
+            near_fs,
+            far: far.into_iter().map(Reverse).collect(),
+            ops,
+        }
+    }
+
     /// Removes every entry due at or before `now`, splitting them into
     /// driver maturations and timeout candidates. Stale entries among them
     /// are harmless: the kernel re-checks both kinds against live state.

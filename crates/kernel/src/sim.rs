@@ -148,40 +148,40 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-struct Driver {
-    proc: usize,
+pub(crate) struct Driver {
+    pub(crate) proc: usize,
     /// Projected output waveform, time-ordered.
-    tx: VecDeque<(Time, Val)>,
+    pub(crate) tx: VecDeque<(Time, Val)>,
     /// Current driving value.
-    driving: Val,
+    pub(crate) driving: Val,
 }
 
-struct SigState {
-    current: Val,
-    last_value: Val,
-    last_event: Option<Time>,
-    event: bool,
-    active: bool,
+pub(crate) struct SigState {
+    pub(crate) current: Val,
+    pub(crate) last_value: Val,
+    pub(crate) last_event: Option<Time>,
+    pub(crate) event: bool,
+    pub(crate) active: bool,
     /// Cumulative events on this signal (the Name Server's per-object
     /// counter).
-    events: u64,
-    drivers: Vec<Driver>,
+    pub(crate) events: u64,
+    pub(crate) drivers: Vec<Driver>,
 }
 
-struct Frame {
-    code: Rc<Vec<Insn>>,
-    pc: usize,
-    locals: Vec<Val>,
-    static_link: Option<usize>,
-    level: u16,
+pub(crate) struct Frame {
+    pub(crate) code: Rc<Vec<Insn>>,
+    pub(crate) pc: usize,
+    pub(crate) locals: Vec<Val>,
+    pub(crate) static_link: Option<usize>,
+    pub(crate) level: u16,
     /// Compiled-unit index of this frame's code (process index, or
     /// `n_procs + fn` for subprograms; `u32::MAX` for resolution scratch
     /// frames, which never run compiled). Kept current by both backends
     /// so they can take over from each other at any suspension point.
-    unit: u32,
+    pub(crate) unit: u32,
 }
 
-enum ProcStatus {
+pub(crate) enum ProcStatus {
     Ready,
     Suspended {
         sens: Rc<Vec<SigId>>,
@@ -190,13 +190,13 @@ enum ProcStatus {
     Halted,
 }
 
-struct ProcState {
-    name: String,
-    status: ProcStatus,
-    frames: Vec<Frame>,
-    stack: Vec<Val>,
+pub(crate) struct ProcState {
+    pub(crate) name: String,
+    pub(crate) status: ProcStatus,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) stack: Vec<Val>,
     /// Cumulative resumptions of this process (per-object counter).
-    resumptions: u64,
+    pub(crate) resumptions: u64,
 }
 
 impl ProcState {
@@ -229,22 +229,22 @@ pub enum RunOutcome {
 
 /// The simulator: program + live state.
 pub struct Simulator<'a> {
-    program: Program,
+    pub(crate) program: Program,
     names: NameServer,
-    signals: Vec<SigState>,
-    procs: Vec<ProcState>,
-    now: Time,
-    reports: Vec<ReportEvent>,
-    stats: SimStats,
+    pub(crate) signals: Vec<SigState>,
+    pub(crate) procs: Vec<ProcState>,
+    pub(crate) now: Time,
+    pub(crate) reports: Vec<ReportEvent>,
+    pub(crate) stats: SimStats,
     observers: Vec<Observer<'a>>,
-    failed: Option<SimError>,
+    pub(crate) failed: Option<SimError>,
     /// Pending-event calendar: transaction maturations and wait timeouts.
-    calendar: Calendar,
+    pub(crate) calendar: Calendar,
     /// Static sensitivity index (signal → processes).
     sens: SensIndex,
     /// Signals whose `event`/`active` flags are set, to clear next cycle
     /// (replaces the full per-cycle flag sweep).
-    active_clear: Vec<u32>,
+    pub(crate) active_clear: Vec<u32>,
     // Per-cycle scratch worklists, reused so the hot loop allocates only
     // on capacity growth.
     due_drivers: Vec<(u32, u32)>,
@@ -257,7 +257,7 @@ pub struct Simulator<'a> {
     fn_state: ProcState,
     fn_locals: Vec<Val>,
     /// Active process backend.
-    backend: Backend,
+    pub(crate) backend: Backend,
     /// The program translated to basic-block threaded code (built lazily
     /// on the first switch to [`Backend::Compiled`]).
     compiled: Option<Rc<CompiledProgram>>,
@@ -266,7 +266,7 @@ pub struct Simulator<'a> {
     tape_ints: Vec<i64>,
     /// Per-activation instruction budget ([`FUEL`]; overridable in tests
     /// to pin the exhaustion boundary without 50M-instruction runs).
-    fuel_budget: u64,
+    pub(crate) fuel_budget: u64,
 }
 
 /// Why a compiled activation stopped early (internal control flow of the
@@ -587,7 +587,7 @@ impl<'a> Simulator<'a> {
     /// processes' current timeouts) so preempted transactions and
     /// already-resumed waits never stall or invent a cycle; stale entries
     /// found along the way are discarded.
-    fn next_time(&mut self) -> Option<Time> {
+    pub(crate) fn next_time(&mut self) -> Option<Time> {
         let Simulator {
             calendar,
             signals,

@@ -1,0 +1,109 @@
+//! Standard base64 (RFC 4648, with padding), hand-rolled: session
+//! snapshots are binary, the protocol frames are JSON text, and the
+//! workspace is hermetic — no external codec crates.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `bytes` as padded base64 text.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes padded base64 text.
+///
+/// # Errors
+///
+/// A diagnostic string for any malformed input (bad length, characters
+/// outside the alphabet, padding in the wrong place); never panics.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(format!(
+            "base64 length {} is not a multiple of 4",
+            bytes.len()
+        ));
+    }
+    fn val(c: u8) -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("invalid base64 byte 0x{c:02x}")),
+        }
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = if last {
+            chunk.iter().rev().take_while(|&&c| c == b'=').count()
+        } else {
+            0
+        };
+        if pad > 2 {
+            return Err("too much base64 padding".to_string());
+        }
+        if chunk[..4 - pad].iter().any(|&c| c == b'=') {
+            return Err("base64 padding inside data".to_string());
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | val(c)?;
+        }
+        n <<= 6 * pad as u32;
+        let full = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&full[..3 - pad]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let text = encode(&data);
+            assert_eq!(decode(&text).unwrap(), data, "len {len}");
+            assert_eq!(text.len() % 4, 0);
+        }
+        assert_eq!(
+            encode(b"any carnal pleasure."),
+            "YW55IGNhcm5hbCBwbGVhc3VyZS4="
+        );
+        assert_eq!(decode("TWFu").unwrap(), b"Man");
+    }
+
+    #[test]
+    fn malformed_inputs_are_diagnostics() {
+        assert!(decode("abc").is_err(), "bad length");
+        assert!(decode("ab=c").is_err(), "padding inside data");
+        assert!(decode("a\nbc").is_err(), "character outside alphabet");
+        assert!(decode("====").is_err(), "all padding");
+        assert!(decode("").unwrap().is_empty());
+    }
+}

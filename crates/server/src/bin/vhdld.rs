@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vhdld [--listen ADDR] [--max-clients N] [--deadline-ms MS] [--jobs N]
+//!       [--workers N] [--acceptors N] [--tenant-quota N]
 //!       [--base FILE...] [--quiet]
 //! vhdld --stdio
 //! vhdld --connect ADDR
@@ -68,11 +69,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--jobs needs a worker count".to_string())?
             }
+            "--workers" => {
+                out.cfg.workers = grab("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a thread count".to_string())?
+            }
+            "--acceptors" => {
+                out.cfg.acceptors = grab("--acceptors")?
+                    .parse()
+                    .map_err(|_| "--acceptors needs a thread count".to_string())?
+            }
+            "--tenant-quota" => {
+                out.cfg.tenant_max_sessions = grab("--tenant-quota")?
+                    .parse()
+                    .map_err(|_| "--tenant-quota needs a session count".to_string())?
+            }
             "--quiet" => out.cfg.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "usage: vhdld [--listen ADDR] [--max-clients N] [--deadline-ms MS] \
-                     [--jobs N] [--base FILE...] [--quiet] | --stdio | --connect ADDR"
+                     [--jobs N] [--workers N] [--acceptors N] [--tenant-quota N] \
+                     [--base FILE...] [--quiet] | --stdio | --connect ADDR"
                 );
                 std::process::exit(0);
             }

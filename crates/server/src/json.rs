@@ -164,6 +164,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -174,9 +175,16 @@ pub fn parse(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive-descent, so unbounded nesting is unbounded native stack —
+/// a hostile `[[[[…` frame must come back as a diagnostic, not a stack
+/// overflow. 128 levels is far beyond any legitimate request shape.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -221,12 +229,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.eat(b'[')?;
+        self.enter()?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(out));
         }
         loop {
@@ -237,6 +258,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(out));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -246,10 +268,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.eat(b'{')?;
+        self.enter()?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(out));
         }
         loop {
@@ -265,6 +289,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(out));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -380,6 +405,32 @@ mod tests {
     fn unicode_and_escapes() {
         assert_eq!(parse(r#""\u0041µ""#).unwrap(), Json::Str("Aµ".to_string()));
         assert_eq!(Json::str("x\u{1}y").to_text(), r#""x\u0001y""#);
+    }
+
+    /// Hostile input: deeply nested frames must be rejected with a
+    /// diagnostic, not a native stack overflow (the parser is recursive).
+    #[test]
+    fn hostile_nesting_is_a_diagnostic_not_a_stack_overflow() {
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            // Well past the limit: would blow the stack unguarded.
+            let deep = format!("{}1{}", open.repeat(100_000), close.repeat(100_000));
+            let err = parse(&deep).expect_err("hostile nesting must not parse");
+            assert!(err.contains("nesting deeper than"), "{err}");
+            // Unclosed variant (truncated attack frame) is also an error.
+            assert!(parse(&open.repeat(100_000)).is_err());
+        }
+        // At the limit parses; one past does not.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok(), "nesting at MAX_DEPTH must parse");
+        let bad = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&bad).is_err(), "nesting past MAX_DEPTH must fail");
+        // Siblings do not accumulate: depth is nesting, not total containers.
+        let wide = format!("[{}]", vec!["[1]"; 10_000].join(","));
+        assert!(parse(&wide).is_ok(), "wide-but-shallow input must parse");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-request-type counters of the server: request and error counts,
 //! byte traffic, and a bounded latency reservoir per operation from which
-//! `stats` reports p50/p95.
+//! `stats` reports p50/p95/p99.
 
 use std::collections::HashMap;
 
@@ -35,15 +35,17 @@ impl OpStats {
         }
     }
 
-    /// `(p50, p95)` microseconds over the reservoir (zeros when empty).
-    pub fn percentiles(&self) -> (u64, u64) {
+    /// `(p50, p95, p99)` microseconds over the reservoir (zeros when
+    /// empty). The tail matters most under pooled serving — a worker
+    /// stalled behind a slow tenant shows up at p99 long before p95.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
         if self.lat_us.is_empty() {
-            return (0, 0);
+            return (0, 0, 0);
         }
         let mut sorted = self.lat_us.clone();
         sorted.sort_unstable();
         let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-        (at(0.50), at(0.95))
+        (at(0.50), at(0.95), at(0.99))
     }
 }
 
@@ -59,6 +61,8 @@ pub struct Metrics {
     pub analyze_skipped: u64,
     /// Analyze requests' units actually (re)analyzed.
     pub analyze_analyzed: u64,
+    /// Connections refused because their tenant was at its session quota.
+    pub tenant_rejected: u64,
 }
 
 impl Metrics {
@@ -86,7 +90,7 @@ impl Metrics {
         let ops = Json::Obj(
             ops.into_iter()
                 .map(|(k, s)| {
-                    let (p50, p95) = s.percentiles();
+                    let (p50, p95, p99) = s.percentiles();
                     (
                         k.clone(),
                         obj([
@@ -96,6 +100,7 @@ impl Metrics {
                             ("bytes_out", Json::u64(s.bytes_out)),
                             ("p50_us", Json::u64(p50)),
                             ("p95_us", Json::u64(p95)),
+                            ("p99_us", Json::u64(p99)),
                         ]),
                     )
                 })
@@ -106,6 +111,7 @@ impl Metrics {
             ("overloaded", Json::u64(self.overloaded)),
             ("analyze_skipped", Json::u64(self.analyze_skipped)),
             ("analyze_analyzed", Json::u64(self.analyze_analyzed)),
+            ("tenant_rejected", Json::u64(self.tenant_rejected)),
             ("ops", ops),
         ])
     }
@@ -125,20 +131,17 @@ mod tests {
         let s = m.op("run").unwrap();
         assert_eq!(s.count, 101);
         assert_eq!(s.errors, 1);
-        let (p50, p95) = s.percentiles();
+        let (p50, p95, p99) = s.percentiles();
         assert!((45..=55).contains(&p50), "p50 {p50}");
         assert!(p95 >= 90, "p95 {p95}");
+        assert!(p99 >= p95, "p99 {p99} below p95 {p95}");
+        // 101 samples: rank round(100 * .99) = 99, the second-largest —
+        // one straggler away from the 1000 µs outlier.
+        assert_eq!(p99, 100);
         let j = m.to_json();
-        assert_eq!(
-            j.get("ops")
-                .unwrap()
-                .get("run")
-                .unwrap()
-                .get("count")
-                .unwrap()
-                .as_u64(),
-            Some(101)
-        );
+        let run = j.get("ops").unwrap().get("run").unwrap();
+        assert_eq!(run.get("count").unwrap().as_u64(), Some(101));
+        assert_eq!(run.get("p99_us").unwrap().as_u64(), Some(100));
     }
 
     #[test]

@@ -17,11 +17,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sim_kernel::io::Vcd;
+use sim_kernel::snapshot::{Dec, Enc, SnapshotError};
 use sim_kernel::{NsObject, RunOutcome, SigId, Simulator, Time};
 use vhdl_driver::batch::{BatchOptions, WorkerPool};
 use vhdl_driver::Compiler;
 use vhdl_vif::{Library, LibrarySet, LibrarySnapshot};
 
+use crate::b64;
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 
@@ -36,7 +38,8 @@ pub struct RequestCtl<'a> {
 }
 
 /// A session's state. Not `Send` by design — it is confined to the
-/// connection's thread.
+/// connection's thread (or, under the pooled serving core, to the one
+/// worker thread that owns the connection).
 pub struct Session {
     compiler: Compiler,
     pool: Option<WorkerPool>,
@@ -46,7 +49,31 @@ pub struct Session {
     probes: Rc<RefCell<HashSet<SigId>>>,
     /// Reports already delivered by earlier `run` responses.
     reported: usize,
+    /// How the current simulator was elaborated; `checkpoint` embeds it so
+    /// `restore` can rebuild the same program from the session's library.
+    elab: Option<ElabSpec>,
 }
+
+/// The elaboration a snapshot must replay before kernel state can be
+/// re-attached. A snapshot carries the *spec*, not the program: the
+/// design's units already live in the (shared, content-addressed) library,
+/// and the kernel snapshot's program fingerprint guards against the
+/// library having drifted in between.
+#[derive(Clone)]
+enum ElabSpec {
+    Config(String),
+    Entity {
+        entity: String,
+        arch: Option<String>,
+    },
+}
+
+/// Magic of the session-snapshot wrapper (around the kernel's `VSNP`).
+const SESSION_MAGIC: [u8; 4] = *b"VSES";
+/// Wrapper version. Any change to the wrapper layout bumps this; old
+/// versions are rejected, not migrated (the snapshot's lifetime is a
+/// checkpoint/resume hop, not an archive format).
+const SESSION_VERSION: u32 = 1;
 
 /// Truthy `incremental` default: a server session's whole point is the
 /// warm cache.
@@ -83,6 +110,7 @@ impl Session {
             vcd: Rc::new(RefCell::new(Vcd::new("1fs"))),
             probes: Rc::new(RefCell::new(HashSet::new())),
             reported: 0,
+            elab: None,
         }
     }
 
@@ -99,6 +127,8 @@ impl Session {
             "trace" => self.trace(params),
             "vcd" => self.vcd_text(),
             "dump" => self.dump(),
+            "checkpoint" => self.checkpoint(),
+            "restore" => self.restore(params),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -185,23 +215,55 @@ impl Session {
         ]))
     }
 
-    fn elaborate(&mut self, params: &Json) -> Result<Json, String> {
-        let program = if let Some(cfg) = params.get("config").and_then(Json::as_str) {
-            self.compiler
+    /// Runs the elaborator for `spec` against the session's library.
+    fn build_program(&mut self, spec: &ElabSpec) -> Result<sim_kernel::Program, String> {
+        match spec {
+            ElabSpec::Config(cfg) => Ok(self
+                .compiler
                 .elaborate_config(cfg)
                 .map_err(|e| e.to_string())?
-                .0
+                .0),
+            ElabSpec::Entity { entity, arch } => Ok(self
+                .compiler
+                .elaborate(entity, arch.as_deref(), None)
+                .map_err(|e| e.to_string())?
+                .0),
+        }
+    }
+
+    /// Wires `sim`'s observer to record probe-selected changes into this
+    /// session's VCD, then installs it as the current simulator.
+    fn install_sim(&mut self, mut sim: Simulator<'static>, spec: ElabSpec) {
+        // The observer filters through the glob-selected probe set; an
+        // empty set records nothing, `trace` fills it.
+        let vcd_w = Rc::clone(&self.vcd);
+        let probes_r = Rc::clone(&self.probes);
+        sim.observe(Box::new(move |t, sig, name, v| {
+            if probes_r.borrow().contains(&sig) {
+                vcd_w.borrow_mut().change(t, sig, name, v);
+            }
+        }));
+        self.sim = Some(sim);
+        self.elab = Some(spec);
+    }
+
+    fn elaborate(&mut self, params: &Json) -> Result<Json, String> {
+        let spec = if let Some(cfg) = params.get("config").and_then(Json::as_str) {
+            ElabSpec::Config(cfg.to_string())
         } else {
             let entity = params
                 .get("entity")
                 .and_then(Json::as_str)
                 .ok_or("elaborate: needs `entity` (or `config`)")?;
-            let arch = params.get("arch").and_then(Json::as_str);
-            self.compiler
-                .elaborate(entity, arch, None)
-                .map_err(|e| e.to_string())?
-                .0
+            ElabSpec::Entity {
+                entity: entity.to_string(),
+                arch: params
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+            }
         };
+        let program = self.build_program(&spec)?;
         let backend = match params.get("backend").and_then(Json::as_str) {
             Some(s) => s
                 .parse::<sim_kernel::Backend>()
@@ -213,28 +275,161 @@ impl Session {
         let regions = program.regions.len();
         let mut sim = Simulator::new(program);
         sim.set_backend(backend);
-        // The observer filters through the glob-selected probe set; an
-        // empty set records nothing, `trace` fills it.
-        let vcd = Rc::new(RefCell::new(Vcd::new("1fs")));
-        let probes = Rc::new(RefCell::new(HashSet::new()));
-        let vcd_w = Rc::clone(&vcd);
-        let probes_r = Rc::clone(&probes);
-        sim.observe(Box::new(move |t, sig, name, v| {
-            if probes_r.borrow().contains(&sig) {
-                vcd_w.borrow_mut().change(t, sig, name, v);
-            }
-        }));
         let objects = sim.names().len();
-        self.vcd = vcd;
-        self.probes = probes;
+        self.vcd = Rc::new(RefCell::new(Vcd::new("1fs")));
+        self.probes = Rc::new(RefCell::new(HashSet::new()));
         self.reported = 0;
-        self.sim = Some(sim);
+        self.install_sim(sim, spec);
         Ok(obj([
             ("signals", Json::u64(signals as u64)),
             ("processes", Json::u64(processes as u64)),
             ("regions", Json::u64(regions as u64)),
             ("objects", Json::u64(objects as u64)),
             ("backend", Json::str(format!("{backend}"))),
+        ]))
+    }
+
+    /// Serializes the whole session runtime — kernel snapshot, VCD text
+    /// accumulated so far, probe set, and delivered-report cursor — as one
+    /// sealed, base64-encoded blob. A fresh session (on this server or
+    /// another holding the same library units) restores it and continues
+    /// with byte-identical VCD, stats, and counters.
+    fn checkpoint(&mut self) -> Result<Json, String> {
+        let spec = self
+            .elab
+            .clone()
+            .ok_or("checkpoint: nothing elaborated yet")?;
+        let sim = self
+            .sim
+            .as_mut()
+            .ok_or("checkpoint: nothing elaborated yet")?;
+        let kernel = sim.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+        let mut e = Enc::new();
+        for b in SESSION_MAGIC {
+            e.u8(b);
+        }
+        e.u32(SESSION_VERSION);
+        match &spec {
+            ElabSpec::Entity { entity, arch } => {
+                e.u8(0);
+                e.str(entity);
+                match arch {
+                    Some(a) => {
+                        e.u8(1);
+                        e.str(a);
+                    }
+                    None => e.u8(0),
+                }
+            }
+            ElabSpec::Config(cfg) => {
+                e.u8(1);
+                e.str(cfg);
+            }
+        }
+        e.blob(&kernel);
+        self.vcd.borrow().encode(&mut e);
+        let mut probes: Vec<SigId> = self.probes.borrow().iter().copied().collect();
+        probes.sort_unstable();
+        e.len(probes.len());
+        for sig in probes {
+            e.u32(sig.0);
+        }
+        e.u64(self.reported as u64);
+        let bytes = e.seal();
+        let n = bytes.len();
+        Ok(obj([
+            ("snapshot", Json::str(b64::encode(&bytes))),
+            ("bytes", Json::u64(n as u64)),
+        ]))
+    }
+
+    /// Rebuilds a session runtime from a `checkpoint` blob: re-elaborates
+    /// the recorded design from this session's library, re-attaches the
+    /// kernel state (refusing a fingerprint mismatch), and restores the
+    /// VCD/probe/report cursors so the continuation is byte-identical to
+    /// an uninterrupted run. An optional `backend` param overrides the
+    /// snapshot's backend at the activation boundary (attribution counters
+    /// such as `compiled_blocks` then diverge from an uninterrupted run,
+    /// as documented in DESIGN.md).
+    fn restore(&mut self, params: &Json) -> Result<Json, String> {
+        let text = params
+            .get("snapshot")
+            .and_then(Json::as_str)
+            .ok_or("restore: needs `snapshot` (base64 text)")?;
+        let bytes = b64::decode(text).map_err(|e| format!("restore: {e}"))?;
+        let snap_err = |e: SnapshotError| format!("restore: {e}");
+        Dec::verify_checksum(&bytes).map_err(snap_err)?;
+        let mut d = Dec::new(&bytes[..bytes.len() - 8]);
+        let mut magic = [0u8; 4];
+        for m in &mut magic {
+            *m = d.u8().map_err(snap_err)?;
+        }
+        if magic != SESSION_MAGIC {
+            return Err("restore: not a session snapshot (bad magic)".to_string());
+        }
+        let version = d.u32().map_err(snap_err)?;
+        if version != SESSION_VERSION {
+            return Err(format!(
+                "restore: session snapshot version {version} is not {SESSION_VERSION}"
+            ));
+        }
+        let spec = match d.u8().map_err(snap_err)? {
+            0 => {
+                let entity = d.str().map_err(snap_err)?;
+                let arch = match d.u8().map_err(snap_err)? {
+                    0 => None,
+                    1 => Some(d.str().map_err(snap_err)?),
+                    t => return Err(format!("restore: bad arch tag {t}")),
+                };
+                ElabSpec::Entity { entity, arch }
+            }
+            1 => ElabSpec::Config(d.str().map_err(snap_err)?),
+            t => return Err(format!("restore: bad elaboration tag {t}")),
+        };
+        let kernel = d.blob().map_err(snap_err)?;
+        let vcd = Vcd::decode(&mut d).map_err(snap_err)?;
+        let n_probes = d.len(4).map_err(snap_err)?;
+        let mut probes = HashSet::with_capacity(n_probes);
+        for _ in 0..n_probes {
+            probes.insert(SigId(d.u32().map_err(snap_err)?));
+        }
+        let reported = d.u64().map_err(snap_err)? as usize;
+        if d.remaining() != 0 {
+            return Err("restore: trailing bytes after session snapshot".to_string());
+        }
+        let program = self.build_program(&spec)?;
+        let mut sim = Simulator::restore(program, &kernel).map_err(snap_err)?;
+        if reported > sim.reports().len() {
+            return Err(format!(
+                "restore: report cursor {reported} beyond the {} restored reports",
+                sim.reports().len()
+            ));
+        }
+        let backend = match params.get("backend").and_then(Json::as_str) {
+            Some(s) => {
+                let b = s
+                    .parse::<sim_kernel::Backend>()
+                    .map_err(|e| format!("restore: {e}"))?;
+                sim.set_backend(b);
+                b
+            }
+            None => sim.backend(),
+        };
+        let signals = sim.program().signals.len();
+        let processes = sim.program().processes.len();
+        let objects = sim.names().len();
+        let now = sim.now();
+        self.vcd = Rc::new(RefCell::new(vcd));
+        self.probes = Rc::new(RefCell::new(probes));
+        self.reported = reported;
+        self.install_sim(sim, spec);
+        Ok(obj([
+            ("restored", Json::Bool(true)),
+            ("signals", Json::u64(signals as u64)),
+            ("processes", Json::u64(processes as u64)),
+            ("objects", Json::u64(objects as u64)),
+            ("backend", Json::str(format!("{backend}"))),
+            ("now", time_json(now)),
         ]))
     }
 

@@ -1,11 +1,14 @@
 //! End-to-end protocol tests over loopback TCP: concurrent sessions are
 //! deterministic (byte-identical library text and simulation results
 //! against a serial in-process baseline), the incremental cache is
-//! visible in `stats`, overload is an explicit rejection, and `shutdown`
-//! drains the accept loop.
+//! visible in `stats`, overload and tenant quotas are explicit
+//! rejections, a checkpointed session restores byte-identically in a
+//! fresh session, and `shutdown` drains the worker pool — answering
+//! in-flight `run`s with a `draining` outcome.
 
 use std::net::{TcpListener, TcpStream};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use vhdl_driver::Compiler;
 use vhdl_server::json::{self, obj, Json};
@@ -365,7 +368,7 @@ fn bad_requests_get_error_responses_not_disconnects() {
 fn compiled_backend_session_matches_interp() {
     let (addr, handle, join) = start(quiet_cfg(4, 1));
 
-    let mut run_on = |backend: &str| {
+    let run_on = |backend: &str| {
         let mut c = Client::connect(&addr);
         c.ok("analyze", analyze_fields());
         c.ok(
@@ -417,4 +420,326 @@ fn compiled_backend_session_matches_interp() {
     handle.shutdown();
     drop(Client::connect(&addr));
     let _ = join.join();
+}
+
+/// A free-running design that never quiesces: drain and soak tests need
+/// a `run` that only ends when something cancels it.
+const OSCILLATOR: &str = "entity osc is end;\n\
+    architecture a of osc is\n  signal clk : bit := '0';\n\
+    begin\n  clk <= not clk after 1 ns;\nend a;\n";
+
+fn oscillator_fields() -> Vec<(&'static str, Json)> {
+    vec![(
+        "files",
+        Json::Arr(vec![obj([
+            ("name", Json::str("osc.vhd")),
+            ("text", Json::str(OSCILLATOR)),
+        ])]),
+    )]
+}
+
+#[test]
+fn restored_session_continues_byte_identical() {
+    let (addr, _handle, join) = start(quiet_cfg(8, 1));
+
+    // Uninterrupted oracle: one session runs 0 → 40 ns in one go.
+    let mut a = Client::connect(&addr);
+    a.ok("analyze", analyze_fields());
+    a.ok("elaborate", vec![("entity", Json::str("tb"))]);
+    a.ok("trace", vec![("glob", Json::str("*"))]);
+    let run_a = a.ok("run", vec![("until", Json::str("40ns"))]);
+    let vcd_a = a.ok("vcd", vec![]).to_text();
+
+    // The same design, stopped between events and checkpointed.
+    let mut b = Client::connect(&addr);
+    b.ok("analyze", analyze_fields());
+    b.ok("elaborate", vec![("entity", Json::str("tb"))]);
+    b.ok("trace", vec![("glob", Json::str("*"))]);
+    let run_b = b.ok("run", vec![("until", Json::str("17ns"))]);
+    let cp = b.ok("checkpoint", vec![]);
+    let snap = cp
+        .get("snapshot")
+        .and_then(Json::as_str)
+        .expect("checkpoint returns a snapshot")
+        .to_string();
+    assert!(cp.get("bytes").and_then(Json::as_u64) > Some(0));
+    drop(b);
+
+    // A fresh connection — fresh session, same units — restores it and
+    // finishes the run.
+    let mut c = Client::connect(&addr);
+    c.ok("analyze", analyze_fields());
+    let restored = c.ok("restore", vec![("snapshot", Json::str(&snap))]);
+    assert_eq!(restored.get("restored").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        restored.get("now").map(Json::to_text),
+        run_b.get("now").map(Json::to_text),
+        "restore resumes at the checkpointed time"
+    );
+    let run_c = c.ok("run", vec![("until", Json::str("40ns"))]);
+    let vcd_c = c.ok("vcd", vec![]).to_text();
+
+    assert_eq!(vcd_c, vcd_a, "VCD after restore must be byte-identical");
+    assert_eq!(
+        run_c.get("stats").expect("stats").to_text(),
+        run_a.get("stats").expect("stats").to_text(),
+        "kernel counters after restore must match the uninterrupted run"
+    );
+    assert_eq!(
+        run_c.get("now").expect("now").to_text(),
+        run_a.get("now").expect("now").to_text()
+    );
+    assert_eq!(
+        run_c.get("outcome").and_then(Json::as_str),
+        run_a.get("outcome").and_then(Json::as_str)
+    );
+
+    // A corrupted snapshot is a request error, not a dead session.
+    let mid = snap.len() / 2;
+    let flip = if snap.as_bytes()[mid] == b'A' {
+        "B"
+    } else {
+        "A"
+    };
+    let mut bad = snap.clone();
+    bad.replace_range(mid..=mid, flip);
+    let resp = c.req("restore", vec![("snapshot", Json::str(&bad))]);
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "corrupted snapshot must be refused: {}",
+        resp.to_text()
+    );
+    // Truncation (still valid base64) is refused too.
+    let cut = snap.len() / 2 - (snap.len() / 2) % 4;
+    let resp = c.req("restore", vec![("snapshot", Json::str(&snap[..cut]))]);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    c.ok("ping", vec![]);
+
+    c.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn restore_works_across_backends_and_refuses_other_programs() {
+    let (addr, _handle, join) = start(quiet_cfg(8, 1));
+
+    // Checkpoint under the interpreter, restore onto the compiled
+    // backend: observables must not change.
+    let mut a = Client::connect(&addr);
+    a.ok("analyze", analyze_fields());
+    a.ok(
+        "elaborate",
+        vec![
+            ("entity", Json::str("tb")),
+            ("backend", Json::str("interp")),
+        ],
+    );
+    a.ok("trace", vec![("glob", Json::str("*"))]);
+    let run_oracle = a.ok("run", vec![("until", Json::str("40ns"))]);
+    let vcd_oracle = a.ok("vcd", vec![]).to_text();
+
+    let mut b = Client::connect(&addr);
+    b.ok("analyze", analyze_fields());
+    b.ok(
+        "elaborate",
+        vec![
+            ("entity", Json::str("tb")),
+            ("backend", Json::str("interp")),
+        ],
+    );
+    b.ok("trace", vec![("glob", Json::str("*"))]);
+    b.ok("run", vec![("until", Json::str("17ns"))]);
+    let cp = b.ok("checkpoint", vec![]);
+    let snap = cp
+        .get("snapshot")
+        .and_then(Json::as_str)
+        .expect("snapshot")
+        .to_string();
+
+    let mut c = Client::connect(&addr);
+    c.ok("analyze", analyze_fields());
+    let restored = c.ok(
+        "restore",
+        vec![
+            ("snapshot", Json::str(&snap)),
+            ("backend", Json::str("compiled")),
+        ],
+    );
+    assert_eq!(
+        restored.get("backend").and_then(Json::as_str),
+        Some("compiled")
+    );
+    let run_c = c.ok("run", vec![("until", Json::str("40ns"))]);
+    assert_eq!(
+        c.ok("vcd", vec![]).to_text(),
+        vcd_oracle,
+        "backend swap at restore must not change the waveform"
+    );
+    for key in ["cycles", "delta_cycles", "events", "transactions"] {
+        assert_eq!(
+            run_c
+                .get("stats")
+                .and_then(|s| s.get(key))
+                .map(Json::to_text),
+            run_oracle
+                .get("stats")
+                .and_then(|s| s.get(key))
+                .map(Json::to_text),
+            "{key} diverged after a backend swap at restore"
+        );
+    }
+
+    // A session whose library holds a different design refuses the
+    // snapshot (program fingerprint mismatch at the kernel layer, or a
+    // failed re-elaboration before that).
+    let mut d = Client::connect(&addr);
+    d.ok("analyze", oscillator_fields());
+    let resp = d.req("restore", vec![("snapshot", Json::str(&snap))]);
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "restore into a mismatched library must be refused: {}",
+        resp.to_text()
+    );
+
+    d.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn tenant_quota_is_an_explicit_rejection() {
+    let cfg = ServerConfig {
+        tenant_max_sessions: 1,
+        ..quiet_cfg(8, 1)
+    };
+    let (addr, handle, join) = start(cfg);
+
+    let mut a = Client::connect(&addr);
+    let resp = a.req("ping", vec![("tenant", Json::str("acme"))]);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    // A second session binding the same tenant is rejected with an
+    // explicit frame, then closed.
+    let mut b = Client::connect(&addr);
+    let resp = b.req("ping", vec![("tenant", Json::str("acme"))]);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    let err = resp.get("error").and_then(Json::as_str).expect("error");
+    assert!(err.contains("tenant-quota"), "error was `{err}`");
+    assert!(
+        matches!(read_frame(&mut b.reader), Ok(FrameRead::Eof) | Err(_)),
+        "a quota-rejected connection must be closed"
+    );
+
+    // Another tenant is unaffected, and the counter is in stats.
+    let mut c = Client::connect(&addr);
+    let stats = c.ok("stats", vec![("tenant", Json::str("beta"))]);
+    assert_eq!(stats.get("tenant_rejected").and_then(Json::as_u64), Some(1));
+
+    // A connection cannot change its claimed tenant mid-stream.
+    let resp = c.req("ping", vec![("tenant", Json::str("gamma"))]);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn drain_answers_in_flight_runs_with_a_draining_outcome() {
+    let (addr, handle, join) = start(quiet_cfg(4, 1));
+
+    let runner = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr);
+            c.ok("analyze", oscillator_fields());
+            c.ok("elaborate", vec![("entity", Json::str("osc"))]);
+            // Far horizon: only the drain flag can end this run.
+            c.ok("run", vec![("until", Json::str("1000s"))])
+        })
+    };
+    // Let the run get going, then pull the drain from outside.
+    std::thread::sleep(Duration::from_millis(300));
+    handle.shutdown();
+
+    let run = runner.join().expect("runner thread");
+    assert_eq!(
+        run.get("outcome").and_then(Json::as_str),
+        Some("draining"),
+        "an in-flight run must be answered during drain: {}",
+        run.to_text()
+    );
+    join.join().expect("serve thread").expect("serve result");
+}
+
+#[test]
+fn soak_every_connection_is_served_or_explicitly_rejected() {
+    let cfg = ServerConfig {
+        workers: 2,
+        acceptors: 2,
+        ..quiet_cfg(8, 1)
+    };
+    let (addr, handle, join) = start(cfg);
+
+    // Twice as many clients as the server admits. Every one must get
+    // either full service or an explicit overload frame — never a silent
+    // drop, never an unanswered request.
+    let clients: Vec<_> = (0..16)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(&addr).expect("connect");
+                // A rejection frame arrives unprompted at accept time;
+                // admitted connections stay silent. Probe with a short
+                // read timeout before speaking.
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(300)))
+                    .expect("timeout");
+                let mut reader = stream.try_clone().expect("clone");
+                let mut writer = stream;
+                match read_frame(&mut reader).expect("probe read") {
+                    FrameRead::Frame(t) => {
+                        let r = json::parse(&t).expect("rejection parses");
+                        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+                        let err = r.get("error").and_then(Json::as_str).expect("error");
+                        assert!(err.contains("overloaded"), "error was `{err}`");
+                        return false;
+                    }
+                    FrameRead::Idle => {}
+                    FrameRead::Eof => panic!("silent drop at accept"),
+                }
+                for i in 1..=20u64 {
+                    write_frame(&mut writer, &format!("{{\"id\":{i},\"op\":\"ping\"}}"))
+                        .expect("send");
+                    loop {
+                        match read_frame(&mut reader).expect("every request is answered") {
+                            FrameRead::Frame(t) => {
+                                let r = json::parse(&t).expect("response parses");
+                                assert_eq!(
+                                    r.get("ok").and_then(Json::as_bool),
+                                    Some(true),
+                                    "ping {i} failed: {t}"
+                                );
+                                break;
+                            }
+                            FrameRead::Idle => continue,
+                            FrameRead::Eof => panic!("mid-session drop"),
+                        }
+                    }
+                }
+                true
+            })
+        })
+        .collect();
+    let outcomes: Vec<bool> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    let served = outcomes.iter().filter(|&&s| s).count();
+    let rejected = outcomes.len() - served;
+    assert!(served >= 1, "nobody was served");
+    assert!(rejected >= 1, "16 clients vs max 8 must overload someone");
+
+    handle.shutdown();
+    join.join().expect("serve thread").expect("serve result");
 }

@@ -27,6 +27,18 @@ echo "==> dual-backend equivalence suite (scheduler oracle + compiled backend)"
 cargo test -q -p sim-kernel --lib equiv
 cargo test -q -p sim-kernel --test alloc_budget
 
+echo "==> checkpoint/resume round-trip suite (kernel snapshot + server sessions)"
+# The snapshot property suite checkpoints randomized designs mid-run,
+# restores them fresh, and demands the resumed run's VCD, stats, and
+# counters be byte-identical to an uninterrupted oracle — under both
+# backends — plus rejection of corrupted/truncated/stale-version blobs.
+# The server e2e tests cover the same contract end to end over TCP
+# (`restored_session_continues_byte_identical`) alongside the pooled
+# core's soak (every connection served or explicitly rejected) and a
+# drain with a session mid-run returning a `draining` outcome.
+cargo test -q -p sim-kernel --lib snapshot
+cargo test -q -p vhdl-server --test server
+
 echo "==> exp_kernel smoke incl. compiled backend (low iters, scratch output dir)"
 # A quick pass over the kernel benchmarks proves they still run end to end
 # — including the interp-vs-compiled comparison series, whose preamble
@@ -55,11 +67,14 @@ cat "$BATCH_WORK/warm.log"
 grep -q "miss 0 cold 0" "$BATCH_WORK/warm.log" \
     || { echo "verify: warm --incremental rerun re-analyzed units" >&2; exit 1; }
 
-echo "==> vhdld loopback session (analyze -> elaborate -> run -> inspect -> shutdown)"
-# Start the server on an ephemeral loopback port, script one full session
-# through the built-in client, and assert a clean drain: every response ok,
-# the simulation quiescent, and the server process exiting by itself.
-./target/release/vhdld --listen 127.0.0.1:0 --quiet >"$BATCH_WORK/vhdld.out" &
+echo "==> vhdld loopback session (analyze -> elaborate -> run -> checkpoint -> inspect -> shutdown)"
+# Start the pooled server (explicit worker/acceptor counts so the sharded
+# core — not a fallback path — serves this) on an ephemeral loopback port,
+# script one full session through the built-in client, and assert a clean
+# drain: every response ok, the simulation quiescent, a checkpoint blob
+# produced, and the server process exiting by itself.
+./target/release/vhdld --listen 127.0.0.1:0 --quiet \
+    --workers 2 --acceptors 1 --tenant-quota 4 >"$BATCH_WORK/vhdld.out" &
 VHDLD_PID=$!
 ADDR=""
 for _ in $(seq 1 100); do
@@ -72,6 +87,7 @@ done
 {"op":"analyze","paths":["examples/full_adder.vhd"]}
 {"op":"elaborate","entity":"tb"}
 {"op":"run","until":"40ns"}
+{"op":"checkpoint"}
 {"op":"inspect","path":":tb:sum"}
 {"op":"shutdown"}
 EOF
@@ -84,6 +100,8 @@ grep -q '"outcome":"quiescent"' "$BATCH_WORK/session.log" \
     || { echo "verify: vhdld run did not reach quiescence" >&2; exit 1; }
 grep -q '"kind":"signal"' "$BATCH_WORK/session.log" \
     || { echo "verify: vhdld inspect did not resolve :tb:sum" >&2; exit 1; }
+grep -q '"snapshot":"' "$BATCH_WORK/session.log" \
+    || { echo "verify: vhdld checkpoint did not return a snapshot blob" >&2; exit 1; }
 grep -q '"draining":true' "$BATCH_WORK/session.log" \
     || { echo "verify: vhdld shutdown was not acknowledged" >&2; exit 1; }
 for _ in $(seq 1 100); do
