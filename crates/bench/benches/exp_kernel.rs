@@ -9,7 +9,7 @@
 
 use ag_harness::bench::{fmt_ns, Runner};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sim_kernel::{
     Backend, FnDecl, FnId, Insn, Op, Program, SimStats, Simulator, Time, Val, VarAddr,
@@ -31,7 +31,7 @@ fn oscillator() -> Program {
                 transport: false,
             },
             Insn::Wait {
-                sens: Rc::new(vec![clk]),
+                sens: Arc::new(vec![clk]),
                 with_timeout: false,
             },
             Insn::Pop,
@@ -71,7 +71,7 @@ fn add_lcg_fn(p: &mut Program, reps: usize) -> FnId {
         name: "lcg".into(),
         n_params: 1,
         n_locals: 1,
-        code: Rc::new(code),
+        code: Arc::new(code),
         level: 1,
     })
 }
@@ -106,7 +106,7 @@ fn compute_oscillator() -> Program {
     push_lcg_call(&mut code, VarAddr { depth: 0, slot: 0 }, lcg);
     code.extend([
         Insn::Wait {
-            sens: Rc::new(vec![clk]),
+            sens: Arc::new(vec![clk]),
             with_timeout: false,
         },
         Insn::Pop,
@@ -141,7 +141,7 @@ fn delta_chain(n: usize) -> Program {
                     transport: false,
                 },
                 Insn::Wait {
-                    sens: Rc::new(vec![prev]),
+                    sens: Arc::new(vec![prev]),
                     with_timeout: false,
                 },
                 Insn::Pop,
@@ -160,7 +160,7 @@ fn resolved_bus() -> Program {
         name: "wired_or".into(),
         n_params: 1,
         n_locals: 1,
-        code: Rc::new(vec![
+        code: Arc::new(vec![
             // or of exactly two drivers
             Insn::LoadVar(VarAddr { depth: 0, slot: 0 }),
             Insn::PushInt(0),
@@ -192,7 +192,7 @@ fn resolved_bus() -> Program {
                 },
                 Insn::PushInt(phase),
                 Insn::Wait {
-                    sens: Rc::new(vec![]),
+                    sens: Arc::new(vec![]),
                     with_timeout: true,
                 },
                 Insn::Pop,
@@ -217,7 +217,7 @@ fn sparse_activity(active: usize, total: usize) -> Program {
             0,
             vec![
                 Insn::Wait {
-                    sens: Rc::new(vec![s]),
+                    sens: Arc::new(vec![s]),
                     with_timeout: false,
                 },
                 Insn::Pop,
@@ -238,7 +238,7 @@ fn sparse_activity(active: usize, total: usize) -> Program {
                     transport: false,
                 },
                 Insn::Wait {
-                    sens: Rc::new(vec![s]),
+                    sens: Arc::new(vec![s]),
                     with_timeout: false,
                 },
                 Insn::Pop,
@@ -247,6 +247,69 @@ fn sparse_activity(active: usize, total: usize) -> Program {
         );
     }
     p
+}
+
+/// The sparse design with compute-bearing watchers: as
+/// [`sparse_activity`], but every watcher grinds the LCG chain on each
+/// wake. A cycle's ready set is `2*active` processes with real work —
+/// the shape the parallel process phase exists for.
+fn sparse_activity_compute(active: usize, total: usize) -> Program {
+    let mut p = Program::default();
+    let lcg = add_lcg_fn(&mut p, LCG_REPS);
+    let sigs: Vec<sim_kernel::SigId> = (0..total)
+        .map(|i| p.add_signal(format!("s{i}"), Val::Int(0)))
+        .collect();
+    for (i, &s) in sigs.iter().enumerate() {
+        let mut code = vec![
+            Insn::Wait {
+                sens: Arc::new(vec![s]),
+                with_timeout: false,
+            },
+            Insn::Pop,
+        ];
+        push_lcg_call(&mut code, VarAddr { depth: 0, slot: 0 }, lcg);
+        code.push(Insn::Jump(0));
+        p.add_process(format!("w{i}"), 1, code);
+    }
+    for (i, &s) in sigs.iter().take(active).enumerate() {
+        p.add_process(
+            format!("drv{i}"),
+            0,
+            vec![
+                Insn::LoadSig(s),
+                Insn::Unop(Op::Not),
+                Insn::PushInt(1_000),
+                Insn::Sched {
+                    sig: s,
+                    transport: false,
+                },
+                Insn::Wait {
+                    sens: Arc::new(vec![s]),
+                    with_timeout: false,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    p
+}
+
+/// Runs `p` to `deadline` at the given worker count and backend with a
+/// VCD observer attached, returning the full waveform text.
+fn vcd_run(p: &Program, deadline: u64, backend: Backend, jobs: usize) -> String {
+    let vcd = std::cell::RefCell::new(sim_kernel::io::Vcd::new("1fs"));
+    let vcd_ref = &vcd;
+    let mut sim = Simulator::new(p.clone());
+    sim.set_backend(backend);
+    sim.set_jobs(jobs);
+    sim.observe(Box::new(move |t, sig, name, v| {
+        vcd_ref.borrow_mut().change(t, sig, name, v);
+    }));
+    sim.run_until(Time::fs(deadline)).expect("runs");
+    let out = vcd.borrow().finish();
+    drop(sim);
+    out
 }
 
 /// Many processes sleeping on staggered `wait for` timeouts — calendar
@@ -260,7 +323,7 @@ fn timeout_storm(n_procs: usize) -> Program {
         let mut code = vec![
             Insn::PushInt(period),
             Insn::Wait {
-                sens: Rc::new(vec![]),
+                sens: Arc::new(vec![]),
                 with_timeout: true,
             },
             Insn::Pop,
@@ -360,6 +423,78 @@ fn main() {
             fmt_ns(s.median_ns)
         );
     }
+
+    // --- E13: parallel delta-cycle execution over a wide design.
+    // Compute-bearing sparse activity: 100 of 1000 signals driven, every
+    // woken watcher grinding the LCG chain, so each cycle's ready set is
+    // ~200 processes with real per-activation work.
+    let p = sparse_activity_compute(100, 1_000);
+    let par_deadline = 200 * 1_000;
+    {
+        // Byte-identity gate before the clock runs: jobs=4 must produce
+        // the same VCD as jobs=1 under both backends.
+        let seq = vcd_run(&p, par_deadline, Backend::Interp, 1);
+        assert!(!seq.is_empty());
+        for backend in [Backend::Interp, Backend::Compiled] {
+            let par = vcd_run(&p, par_deadline, backend, 4);
+            assert_eq!(
+                par, seq,
+                "jobs=4 VCD must be byte-identical to jobs=1 under {backend}"
+            );
+        }
+    }
+    let mut wall = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let s = r.measure(format!("sparse_activity/100-of-1000/jobs{jobs}"), || {
+            let mut sim = Simulator::new(p.clone());
+            sim.set_jobs(jobs);
+            sim.run_until(Time::fs(par_deadline)).expect("runs");
+            assert!(sim.stats().events >= 200 * 100);
+            black_box(sim.stats())
+        });
+        println!(
+            "sparse compute 100/1000, jobs={jobs}: median {}",
+            fmt_ns(s.median_ns)
+        );
+        wall.push(s.median_ns);
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    r.metric("host_cores", host_cores as f64, "cores");
+    r.metric(
+        "sparse_par_wall_speedup_2w",
+        wall[0] as f64 / wall[1] as f64,
+        "x",
+    );
+    r.metric(
+        "sparse_par_wall_speedup_4w",
+        wall[0] as f64 / wall[2] as f64,
+        "x",
+    );
+    // Critical-path model: the same run with partitioning and per-worker
+    // buffering live but chunks serialized and timed individually. The
+    // ratio Σ chunk-ns / Σ per-cycle max-chunk-ns is the process-phase
+    // speedup 4 genuinely concurrent workers would deliver — the honest
+    // number to report from a host whose core count caps the wall-clock
+    // figures above (see EXPERIMENTS.md E13).
+    let (par_total, par_critical) = {
+        let mut sim = Simulator::new(p.clone());
+        sim.set_jobs(4);
+        sim.set_par_profile(true);
+        sim.run_until(Time::fs(par_deadline)).expect("runs");
+        sim.par_profile_ns()
+    };
+    assert!(par_total > 0 && par_critical > 0, "profile engaged");
+    let cp_speedup = par_total as f64 / par_critical as f64;
+    println!(
+        "sparse compute 100/1000, 4 workers: wall {:.2}x on {host_cores} core(s), \
+         critical-path {cp_speedup:.2}x",
+        wall[0] as f64 / wall[2] as f64
+    );
+    r.metric("sparse_par_speedup_4w_critical_path", cp_speedup, "x");
+    assert!(
+        cp_speedup >= 2.0,
+        "4-worker critical-path speedup must clear 2x, got {cp_speedup:.2}x"
+    );
 
     let p = timeout_storm(500);
     let storm_deadline = 100 * 1_000;

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use sim_kernel::{Insn, Program, SigId, Val};
 use vhdl_sem::analyze::UnitLoader;
@@ -564,7 +565,7 @@ impl<'a> Elab<'a> {
             transport: false,
         });
         fl.code.push(Insn::Wait {
-            sens: Rc::new(sens),
+            sens: Arc::new(sens),
             with_timeout: false,
         });
         fl.code.push(Insn::Pop);

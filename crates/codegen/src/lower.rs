@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use sim_kernel::{FnDecl, FnId, Insn, Op, Program, SigAttr, SigId, Val, VarAddr};
 use vhdl_sem::types::{self, Dir};
@@ -108,7 +109,7 @@ pub fn default_value(ty: &types::Ty) -> Val {
                 Val::Arr(sim_kernel::ArrVal {
                     left: l,
                     dir: vdir(dir),
-                    data: Rc::new(vec![elem; n]),
+                    data: Arc::new(vec![elem; n]),
                 })
             }
             None => Val::arr(0, sim_kernel::VDir::To, vec![]),
@@ -124,7 +125,7 @@ pub fn default_value(ty: &types::Ty) -> Val {
                         .unwrap_or(Val::Int(0))
                 })
                 .collect();
-            Val::Rec(Rc::new(fields))
+            Val::Rec(Arc::new(fields))
         }
         _ => Val::Int(0),
     }
@@ -160,7 +161,7 @@ pub fn static_value(ctx: &LowerCtx, ir: &Rc<VifNode>) -> Result<Val, CgError> {
             Ok(Val::Arr(sim_kernel::ArrVal {
                 left,
                 dir,
-                data: Rc::new(data),
+                data: Arc::new(data),
             }))
         }
         "e.ref" => {
@@ -219,7 +220,7 @@ fn expand_aggregate_static(
             .filter_map(|v| v.as_node())
             .map(|e| static_value(ctx, e))
             .collect::<Result<Vec<_>, _>>()?;
-        return Ok(Val::Rec(Rc::new(fields)));
+        return Ok(Val::Rec(Arc::new(fields)));
     }
     let (l, r, dir) = types::array_bounds(ty)
         .ok_or_else(|| CgError::NotStatic("aggregate for unconstrained array".into()))?;
@@ -263,7 +264,7 @@ fn expand_aggregate_static(
     Ok(Val::Arr(sim_kernel::ArrVal {
         left: l,
         dir: vdir(dir),
-        data: Rc::new(data),
+        data: Arc::new(data),
     }))
 }
 
@@ -574,7 +575,7 @@ impl<'c> FnLower<'c> {
             name: node.name().unwrap_or("?").to_string(),
             n_params: 0,
             n_locals: 0,
-            code: Rc::new(Vec::new()),
+            code: Arc::new(Vec::new()),
             level: node.int_field("level").unwrap_or(1) as u16,
         });
         self.ctx.compiled.insert(uid.to_string(), placeholder);
@@ -603,7 +604,7 @@ impl<'c> FnLower<'c> {
         }
         let (code, n_locals) = (sub.code, sub.next_slot);
         let decl = &mut self.program.functions[placeholder.0 as usize];
-        decl.code = Rc::new(code);
+        decl.code = Arc::new(code);
         decl.n_params = params.len() as u16;
         decl.n_locals = n_locals;
         Ok(placeholder)
@@ -1031,14 +1032,14 @@ impl<'c> FnLower<'c> {
         }
         sens.sort();
         sens.dedup();
-        let sens = Rc::new(sens);
+        let sens = Arc::new(sens);
         let timeout = s.node_field("timeout").cloned();
         let start = self.here();
         if let Some(t) = &timeout {
             self.expr(t)?;
         }
         self.emit(Insn::Wait {
-            sens: Rc::clone(&sens),
+            sens: Arc::clone(&sens),
             with_timeout: timeout.is_some(),
         });
         match cond {
@@ -1197,7 +1198,7 @@ mod cfg_tests {
                     transport: false,
                 },
                 Insn::Wait {
-                    sens: Rc::new(vec![s]),
+                    sens: Arc::new(vec![s]),
                     with_timeout: false,
                 },
                 Insn::Pop,

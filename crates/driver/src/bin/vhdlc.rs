@@ -3,7 +3,7 @@
 //! ```text
 //! vhdlc [--work DIR] [--jobs N] [--incremental]
 //!       [--elab ENTITY[:ARCH]] [--config NAME]
-//!       [--run TIME] [--backend interp|compiled] [--vcd FILE]
+//!       [--run TIME] [--backend interp|compiled] [--sim-jobs N] [--vcd FILE]
 //!       [--emit-c FILE] [--stats] [--trace-phases] FILE...
 //! ```
 //!
@@ -17,6 +17,9 @@
 //! kernel's block-compiled backend instead of the instruction
 //! interpreter (identical observable behavior, reported by the
 //! `compiled_blocks`/`fallback_procs` counters under `--stats`).
+//! `--sim-jobs N` executes each delta cycle's woken processes across N
+//! kernel worker threads (`--sim-jobs 0` = one per CPU); VCD, stats,
+//! and Name-Server counters are byte-identical at every count.
 //! `--trace-phases` prints a per-phase
 //! time/allocation table of the Fig. 1 pipeline (lex → principal AG →
 //! exprEval cascade → VIF → elaboration/codegen → kernel) after the run.
@@ -40,6 +43,7 @@ struct Args {
     config: Option<String>,
     run_until: Option<Time>,
     backend: Backend,
+    sim_jobs: usize,
     vcd: Option<String>,
     emit_c: Option<String>,
     stats: bool,
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         run_until: None,
         backend: Backend::default(),
+        sim_jobs: 1,
         vcd: None,
         emit_c: None,
         stats: false,
@@ -98,6 +103,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e: String| format!("--backend: {e}"))?
             }
+            "--sim-jobs" => {
+                let n: usize = grab("--sim-jobs")?
+                    .parse()
+                    .map_err(|_| "--sim-jobs needs a worker count".to_string())?;
+                // 0 = one per CPU, like --jobs. Output is byte-identical
+                // at any count; this only changes who executes a cycle.
+                out.sim_jobs = if n == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    n
+                };
+            }
             "--vcd" => out.vcd = Some(grab("--vcd")?),
             "--emit-c" => out.emit_c = Some(grab("--emit-c")?),
             "--stats" => out.stats = true,
@@ -106,7 +123,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: vhdlc [--work DIR] [--jobs N] [--incremental] \
                      [--elab ENTITY[:ARCH]] [--config NAME] [--run TIME] \
-                     [--backend interp|compiled] [--vcd FILE] \
+                     [--backend interp|compiled] [--sim-jobs N] [--vcd FILE] \
                      [--emit-c FILE] [--stats] [--trace-phases] FILE..."
                 );
                 std::process::exit(0);
@@ -271,6 +288,7 @@ fn main() -> ExitCode {
             let vcd = std::cell::RefCell::new(Vcd::new("1fs"));
             let mut sim = sim_kernel::Simulator::new(program);
             sim.set_backend(args.backend);
+            sim.set_jobs(args.sim_jobs);
             if args.vcd.is_some() {
                 let vcd_ref = &vcd;
                 sim.observe(Box::new(move |t, sig, name, v| {

@@ -29,7 +29,7 @@
 //! stack base) make the whole process fall back to the interpreter rather
 //! than risk divergence; `fallback_procs` in the statistics counts them.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::isa::{ArrAttrKind, FnId, Insn, Program, SigAttr, SigId, VarAddr};
 use crate::rts::Op;
@@ -390,7 +390,7 @@ pub(crate) enum Term {
     /// `Wait`: suspend; execution resumes at `resume_pc` / `resume_block`.
     Wait {
         /// Sensitivity set.
-        sens: Rc<Vec<SigId>>,
+        sens: Arc<Vec<SigId>>,
         /// Timeout operand, when present.
         timeout: Option<Arg>,
         /// Instruction index stored into `Frame::pc` at suspension — the
@@ -560,7 +560,7 @@ impl Compiler<'_> {
             FnState::InProgress => None, // recursion: depth unknowable
             FnState::NotStarted => {
                 self.fn_done[i] = FnState::InProgress;
-                let code = Rc::clone(&self.prog.functions[i].code);
+                let code = Arc::clone(&self.prog.functions[i].code);
                 let built = self.build_unit(&code, true).ok();
                 let net = built.as_ref().and_then(|u| u.net);
                 self.fn_units[i] = built;
@@ -947,7 +947,7 @@ impl Compiler<'_> {
                         Block {
                             steps,
                             term: Term::Wait {
-                                sens: Rc::clone(sens),
+                                sens: Arc::clone(sens),
                                 timeout,
                                 resume_pc: next_pc as u32,
                             },
@@ -1073,7 +1073,7 @@ mod tests {
                     transport: false,
                 },
                 Insn::Wait {
-                    sens: Rc::new(vec![clk]),
+                    sens: Arc::new(vec![clk]),
                     with_timeout: false,
                 },
                 Insn::Pop,
@@ -1166,7 +1166,7 @@ mod tests {
             name: "rec".into(),
             n_params: 1,
             n_locals: 1,
-            code: Rc::new(vec![
+            code: Arc::new(vec![
                 Insn::LoadVar(slot(0)),
                 Insn::Call(FnId(0)),
                 Insn::Ret { has_value: true },

@@ -20,7 +20,7 @@
 //! messages, and the fuel-exhaustion boundary.
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ag_harness::{check_eq, forall, Config, Source};
 
@@ -67,7 +67,7 @@ fn sum_mod4() -> FnDecl {
         name: "sum_mod4".into(),
         n_params: 1,
         n_locals: 3,
-        code: Rc::new(code),
+        code: Arc::new(code),
         level: 1,
     }
 }
@@ -181,7 +181,7 @@ pub(crate) fn gen_program(s: &mut Source) -> Program {
             code.push(Insn::PushInt(fs));
         }
         code.push(Insn::Wait {
-            sens: Rc::new(sens),
+            sens: Arc::new(sens),
             with_timeout: timeout.is_some(),
         });
         code.push(Insn::Pop);
@@ -391,7 +391,7 @@ fn scheduler_equivalent_fixed_case() {
                 // wait on the other signal, 3 fs timeout.
                 Insn::PushInt(3),
                 Insn::Wait {
-                    sens: Rc::new(vec![if pi == 0 { b } else { a }]),
+                    sens: Arc::new(vec![if pi == 0 { b } else { a }]),
                     with_timeout: true,
                 },
                 Insn::Pop,
@@ -482,7 +482,7 @@ fn runtime_error_boundary_identical_across_backends() {
                 transport: false,
             },
             Insn::Wait {
-                sens: Rc::new(vec![clk]),
+                sens: Arc::new(vec![clk]),
                 with_timeout: false,
             },
             Insn::Pop,
@@ -535,7 +535,7 @@ fn mod_by_power_of_two_matches_interp_for_negative_operands() {
                 transport: false,
             },
             Insn::Wait {
-                sens: Rc::new(vec![clk]),
+                sens: Arc::new(vec![clk]),
                 with_timeout: false,
             },
             Insn::Pop,

@@ -5,7 +5,7 @@
 //! instruction sequences executed by the kernel — "a virtual machine that
 //! is configurable and programmable" (§2.1).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::rts::Op;
 use crate::value::{VDir, Val};
@@ -104,7 +104,7 @@ pub enum Insn {
     /// resume, pushes 1 if resumed by timeout, else 0.
     Wait {
         /// Sensitivity set.
-        sens: Rc<Vec<SigId>>,
+        sens: Arc<Vec<SigId>>,
         /// Whether a timeout is popped.
         with_timeout: bool,
     },
@@ -169,7 +169,7 @@ pub struct ProcessDecl {
     /// Hierarchical name.
     pub name: String,
     /// Code; execution starts at 0 and loops via an explicit `Jump`.
-    pub code: Rc<Vec<Insn>>,
+    pub code: Arc<Vec<Insn>>,
     /// Number of local slots.
     pub n_locals: u16,
     /// Elaboration-time static sensitivity: every signal a `wait`
@@ -177,7 +177,7 @@ pub struct ProcessDecl {
     /// subprograms) can name, sorted ascending. Filled by
     /// [`Program::finalize_sensitivity`]; the kernel falls back to its
     /// own code walk when absent (hand-built programs).
-    pub static_sens: Option<Rc<Vec<SigId>>>,
+    pub static_sens: Option<Arc<Vec<SigId>>>,
 }
 
 /// A compiled subprogram.
@@ -190,7 +190,7 @@ pub struct FnDecl {
     /// Total local slots (params + locals).
     pub n_locals: u16,
     /// Code.
-    pub code: Rc<Vec<Insn>>,
+    pub code: Arc<Vec<Insn>>,
     /// Lexical nesting level (1 = outermost subprogram).
     pub level: u16,
 }
@@ -225,7 +225,7 @@ impl Program {
     pub fn add_process(&mut self, name: impl Into<String>, n_locals: u16, code: Vec<Insn>) {
         self.processes.push(ProcessDecl {
             name: name.into(),
-            code: Rc::new(code),
+            code: Arc::new(code),
             n_locals,
             static_sens: None,
         });
@@ -252,7 +252,7 @@ mod tests {
             name: "f".into(),
             n_params: 1,
             n_locals: 2,
-            code: Rc::new(vec![Insn::Ret { has_value: true }]),
+            code: Arc::new(vec![Insn::Ret { has_value: true }]),
             level: 1,
         });
         assert_eq!(f, FnId(0));

@@ -22,6 +22,7 @@ mod compile;
 pub mod io;
 pub mod isa;
 pub mod names;
+mod par;
 pub mod rts;
 pub mod sched;
 pub mod sim;

@@ -1,7 +1,7 @@
 //! Runtime support: "the runtime support functions perform all the
 //! predefined VHDL operations" (§2.1).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::value::{ArrVal, Val};
 
@@ -216,7 +216,7 @@ pub fn binop(op: Op, a: &Val, b: &Val) -> Result<Val, RtError> {
             Val::Arr(ArrVal {
                 left: x.left,
                 dir: x.dir,
-                data: Rc::new(data),
+                data: Arc::new(data),
             })
         }
         // Concatenation (result bounds per VHDL-87: left of the left
@@ -227,7 +227,7 @@ pub fn binop(op: Op, a: &Val, b: &Val) -> Result<Val, RtError> {
             Val::Arr(ArrVal {
                 left: x.left,
                 dir: x.dir,
-                data: Rc::new(data),
+                data: Arc::new(data),
             })
         }
         (ConcatRe, Val::Arr(x), e) => {
@@ -236,7 +236,7 @@ pub fn binop(op: Op, a: &Val, b: &Val) -> Result<Val, RtError> {
             Val::Arr(ArrVal {
                 left: x.left,
                 dir: x.dir,
-                data: Rc::new(data),
+                data: Arc::new(data),
             })
         }
         (ConcatLe, e, Val::Arr(y)) => {
@@ -245,7 +245,7 @@ pub fn binop(op: Op, a: &Val, b: &Val) -> Result<Val, RtError> {
             Val::Arr(ArrVal {
                 left: y.left,
                 dir: y.dir,
-                data: Rc::new(data),
+                data: Arc::new(data),
             })
         }
         (op, a, b) => {
@@ -290,7 +290,7 @@ pub fn unop(op: Op, a: &Val) -> Result<Val, RtError> {
             Val::Arr(ArrVal {
                 left: x.left,
                 dir: x.dir,
-                data: Rc::new(data),
+                data: Arc::new(data),
             })
         }
         (Op::ToReal, Val::Int(x)) => Val::Real(*x as f64),

@@ -20,13 +20,15 @@
 //! and anchors the scheduler-equivalence property suite.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::compile::{self, Arg, CompiledProgram, EOp, IntOp, Step, Term};
 use crate::isa::{FnId, Insn, Program, SigAttr, SigId};
 use crate::names::{NameError, NameServer, NsEntry, NsObject};
+use crate::par;
 use crate::rts::{self, Op, RtError};
-use crate::sched::{CalKind, Calendar, SensIndex};
+use crate::sched::{CalKind, Calendar, Partitioner, SensIndex};
 use crate::value::{ArrVal, Time, VDir, Val};
 
 /// Per-resumption instruction budget (runaway-loop guard).
@@ -169,7 +171,7 @@ pub(crate) struct SigState {
 }
 
 pub(crate) struct Frame {
-    pub(crate) code: Rc<Vec<Insn>>,
+    pub(crate) code: Arc<Vec<Insn>>,
     pub(crate) pc: usize,
     pub(crate) locals: Vec<Val>,
     pub(crate) static_link: Option<usize>,
@@ -184,7 +186,7 @@ pub(crate) struct Frame {
 pub(crate) enum ProcStatus {
     Ready,
     Suspended {
-        sens: Rc<Vec<SigId>>,
+        sens: Arc<Vec<SigId>>,
         timeout: Option<Time>,
     },
     Halted,
@@ -211,6 +213,139 @@ impl ProcState {
     }
 }
 
+/// One buffered signal assignment. The value is fully computed at
+/// execution time (subtype conversion and element stores applied); the
+/// commit half only manipulates the driver queue and the calendar.
+pub(crate) struct SchedOp {
+    sig: u32,
+    t: Time,
+    value: Val,
+    transport: bool,
+}
+
+impl Default for SchedOp {
+    fn default() -> SchedOp {
+        SchedOp {
+            sig: 0,
+            t: Time::ZERO,
+            value: Val::Int(0),
+            transport: false,
+        }
+    }
+}
+
+/// The effect spans of one process activation: end positions into the
+/// owning [`Effects`] buffers (each activation's span starts where the
+/// previous one ended), plus its statistics and outcome.
+pub(crate) struct ActRecord {
+    /// Process index (`u32::MAX` for resolution-function calls).
+    pid: u32,
+    sched_end: u32,
+    timeout_end: u32,
+    report_end: u32,
+    /// Instructions executed (fuel spent), flushed to `stats.insns` at
+    /// commit.
+    insns: u64,
+    /// Compiled basic blocks executed.
+    blocks: u64,
+    /// The activation's failure, if any: a runtime error, fuel
+    /// exhaustion, or an `assert … severity failure`. Surfaced by the
+    /// coordinator at commit, after the effects are applied — exactly
+    /// when the unbuffered kernel surfaced it.
+    failed: Option<SimError>,
+}
+
+/// Buffered side effects of one or more process activations. Workers
+/// (and the sequential path) record here instead of touching shared
+/// kernel state; the coordinator replays the records at the cycle
+/// barrier in seed scan order.
+#[derive(Default)]
+pub(crate) struct Effects {
+    scheds: Vec<SchedOp>,
+    /// Wait-timeout instants, committed as calendar entries. A `wait`
+    /// is always the last effect of its activation, so committing
+    /// schedules before timeouts preserves the unbuffered push order.
+    timeouts: Vec<Time>,
+    reports: Vec<ReportEvent>,
+    acts: Vec<ActRecord>,
+    /// The in-flight activation's pending failure (fuel exhaustion,
+    /// assertion failure), folded into its [`ActRecord`] when it ends.
+    cur_failed: Option<SimError>,
+    /// The in-flight activation's compiled-block count.
+    cur_blocks: u64,
+}
+
+impl Effects {
+    fn fail(&mut self, e: SimError) {
+        self.cur_failed = Some(e);
+    }
+
+    /// Resets for reuse, keeping buffer capacity.
+    fn clear(&mut self) {
+        self.scheds.clear();
+        self.timeouts.clear();
+        self.reports.clear();
+        self.acts.clear();
+        self.cur_failed = None;
+        self.cur_blocks = 0;
+    }
+}
+
+/// Reusable tape-evaluation stacks. One per execution context: the
+/// coordinator's sequential path and each pool worker own their own, so
+/// no scratch is shared across threads.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    tape_vals: Vec<Val>,
+    tape_ints: Vec<i64>,
+}
+
+/// Commit cursors into an [`Effects`] buffer: consumption positions the
+/// coordinator advances monotonically as it commits that buffer's
+/// activations in ready order.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct EffCursor {
+    act: usize,
+    sched: usize,
+    timeout: usize,
+    report: usize,
+}
+
+/// One worker's reusable chunk: the processes it runs this cycle, its
+/// private effects buffer and tape scratch, and the coordinator's commit
+/// cursors. The buffers keep their capacity across cycles and travel to
+/// the worker thread and back by move, so the parallel steady state
+/// allocates nothing per cycle.
+#[derive(Default)]
+pub(crate) struct JobBuf {
+    pub(crate) procs: Vec<(u32, ProcState)>,
+    pub(crate) eff: Effects,
+    pub(crate) scratch: Scratch,
+    pub(crate) cur: EffCursor,
+}
+
+/// An activation-execution context: immutable simulation state plus a
+/// private effects buffer and scratch. This is the only engine either
+/// path runs — the sequential kernel wraps one around its own buffers
+/// and commits after every activation (bit-exact legacy semantics), and
+/// each pool worker wraps one around its [`JobBuf`]. It never touches
+/// shared mutable kernel state, so a cycle's ready set can execute on
+/// any thread in any order while the buffered effects replay in seed
+/// scan order at the cycle barrier.
+pub(crate) struct Exec<'e> {
+    program: &'e Program,
+    signals: &'e [SigState],
+    compiled: Option<&'e CompiledProgram>,
+    now: Time,
+    fuel_budget: u64,
+    eff: &'e mut Effects,
+    scratch: &'e mut Scratch,
+    /// First index in `eff.scheds` belonging to the current activation:
+    /// element stores must see this activation's earlier buffered writes
+    /// (and nothing from other processes).
+    act_scheds: usize,
+}
+
 /// A value-change observer (VCD writers, test probes).
 pub type Observer<'a> = Box<dyn FnMut(Time, SigId, &str, &Val) + 'a>;
 
@@ -228,10 +363,15 @@ pub enum RunOutcome {
 }
 
 /// The simulator: program + live state.
+///
+/// The program and the signal states live behind `Arc` so a parallel
+/// cycle can hand shared read-only views to the worker pool; between
+/// dispatches the coordinator holds the only clones and mutates through
+/// [`Simulator::sigs_mut`].
 pub struct Simulator<'a> {
-    pub(crate) program: Program,
+    pub(crate) program: Arc<Program>,
     names: NameServer,
-    pub(crate) signals: Vec<SigState>,
+    pub(crate) signals: Arc<Vec<SigState>>,
     pub(crate) procs: Vec<ProcState>,
     pub(crate) now: Time,
     pub(crate) reports: Vec<ReportEvent>,
@@ -260,17 +400,37 @@ pub struct Simulator<'a> {
     pub(crate) backend: Backend,
     /// The program translated to basic-block threaded code (built lazily
     /// on the first switch to [`Backend::Compiled`]).
-    compiled: Option<Rc<CompiledProgram>>,
-    /// Reused scratch stacks for compiled-tape evaluation.
-    tape_vals: Vec<Val>,
-    tape_ints: Vec<i64>,
+    compiled: Option<Arc<CompiledProgram>>,
+    /// The sequential path's effects buffer (one activation at a time;
+    /// resolution calls).
+    eff: Effects,
+    /// The sequential path's tape scratch.
+    exec_scratch: Scratch,
     /// Per-activation instruction budget ([`FUEL`]; overridable in tests
     /// to pin the exhaustion boundary without 50M-instruction runs).
     pub(crate) fuel_budget: u64,
+    /// Worker count for the process-execution phase (1 = sequential).
+    jobs: usize,
+    /// Fixed worker pool, spawned on the first parallel cycle.
+    pool: Option<par::Pool>,
+    /// Per-worker chunk buffers, reused across cycles.
+    worker_buf: Vec<JobBuf>,
+    /// Ready-set partitioner (scratch reused across cycles).
+    partitioner: Partitioner,
+    /// Worker assignment per ready position.
+    assign: Vec<u32>,
+    /// Critical-path profiling: parallel cycles run their chunks
+    /// serialized on the calling thread, each timed (see
+    /// [`Simulator::set_par_profile`]).
+    par_profile: bool,
+    /// Summed chunk-execution nanoseconds (profiling mode).
+    par_total_ns: u64,
+    /// Summed per-cycle maximum chunk nanoseconds (profiling mode).
+    par_critical_ns: u64,
 }
 
 /// Why a compiled activation stopped early (internal control flow of the
-/// compiled engine; never escapes [`Simulator::exec_compiled`]).
+/// compiled engine; never escapes [`Exec::run_activation`]).
 enum CErr {
     /// A runtime-support error to surface as [`SimError::Runtime`].
     Rt(RtError),
@@ -302,19 +462,21 @@ impl<'a> Simulator<'a> {
     pub fn new(program: Program) -> Simulator<'a> {
         let names = NameServer::from_program(&program);
         let sens = SensIndex::build(&program);
-        let signals = program
-            .signals
-            .iter()
-            .map(|s| SigState {
-                current: s.init.clone(),
-                last_value: s.init.clone(),
-                last_event: None,
-                event: false,
-                active: false,
-                events: 0,
-                drivers: Vec::new(),
-            })
-            .collect();
+        let signals = Arc::new(
+            program
+                .signals
+                .iter()
+                .map(|s| SigState {
+                    current: s.init.clone(),
+                    last_value: s.init.clone(),
+                    last_event: None,
+                    event: false,
+                    active: false,
+                    events: 0,
+                    drivers: Vec::new(),
+                })
+                .collect::<Vec<_>>(),
+        );
         let procs = program
             .processes
             .iter()
@@ -323,7 +485,7 @@ impl<'a> Simulator<'a> {
                 name: p.name.clone(),
                 status: ProcStatus::Ready,
                 frames: vec![Frame {
-                    code: Rc::clone(&p.code),
+                    code: Arc::clone(&p.code),
                     pc: 0,
                     locals: vec![Val::Int(0); p.n_locals as usize],
                     static_link: None,
@@ -335,7 +497,7 @@ impl<'a> Simulator<'a> {
             })
             .collect();
         Simulator {
-            program,
+            program: Arc::new(program),
             names,
             signals,
             procs,
@@ -356,10 +518,26 @@ impl<'a> Simulator<'a> {
             fn_locals: Vec::new(),
             backend: Backend::Interp,
             compiled: None,
-            tape_vals: Vec::new(),
-            tape_ints: Vec::new(),
+            eff: Effects::default(),
+            exec_scratch: Scratch::default(),
             fuel_budget: FUEL,
+            jobs: 1,
+            pool: None,
+            worker_buf: Vec::new(),
+            partitioner: Partitioner::new(),
+            assign: Vec::new(),
+            par_profile: false,
+            par_total_ns: 0,
+            par_critical_ns: 0,
         }
+    }
+
+    /// Mutable view of the signal states. Only the coordinator between
+    /// pool dispatches (or the sequential path) can take it; the pool
+    /// protocol drops every worker's handle before the barrier commit,
+    /// so a failure here is a kernel bug, not a race.
+    pub(crate) fn sigs_mut(&mut self) -> &mut Vec<SigState> {
+        Arc::get_mut(&mut self.signals).expect("signal state shared outside the process phase")
     }
 
     /// Overrides the per-activation instruction budget (equivalence tests
@@ -379,13 +557,52 @@ impl<'a> Simulator<'a> {
         if backend == Backend::Compiled && self.compiled.is_none() {
             let cp = compile::compile(&self.program);
             self.stats.fallback_procs = cp.n_fallback;
-            self.compiled = Some(Rc::new(cp));
+            self.compiled = Some(Arc::new(cp));
         }
     }
 
     /// The active process-execution backend.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Sets the worker count for the process-execution phase. `1` (the
+    /// default) runs every ready process sequentially on the calling
+    /// thread. With `n > 1`, any cycle whose ready set holds at least
+    /// two processes partitions it by static signal footprint and runs
+    /// the chunks on a fixed pool of `n` workers; every side effect is
+    /// buffered per worker and committed at the cycle barrier in seed
+    /// scan order, so VCD output, statistics, and Name-Server counters
+    /// are byte-identical at any worker count. Safe to change between
+    /// cycles (the old pool, if any, is torn down). Clamped to 1..=64.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        let jobs = jobs.clamp(1, 64);
+        if jobs != self.jobs {
+            self.jobs = jobs;
+            self.pool = None;
+            self.worker_buf.clear();
+        }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Critical-path profiling for parallel cycles: chunks execute
+    /// serialized on the calling thread, each timed, instead of on the
+    /// pool. [`Simulator::par_profile_ns`] then reports `(Σ chunk ns,
+    /// Σ per-cycle max-chunk ns)` — the second term models the process
+    /// phase's span under true concurrency, which is the honest speedup
+    /// probe on hosts with fewer cores than workers.
+    pub fn set_par_profile(&mut self, on: bool) {
+        self.par_profile = on;
+    }
+
+    /// Accumulated `(total, critical-path)` chunk nanoseconds from
+    /// profiled parallel cycles.
+    pub fn par_profile_ns(&self) -> (u64, u64) {
+        (self.par_total_ns, self.par_critical_ns)
     }
 
     /// Total basic blocks in the compiled translation (0 until
@@ -624,10 +841,19 @@ impl<'a> Simulator<'a> {
         self.now = next;
         // Clear the previous cycle's event/active flags (clear-list: only
         // signals that had them set).
-        for i in 0..self.active_clear.len() {
-            let s = &mut self.signals[self.active_clear[i] as usize];
-            s.event = false;
-            s.active = false;
+        {
+            let Simulator {
+                signals,
+                active_clear,
+                ..
+            } = &mut *self;
+            let sigs =
+                Arc::get_mut(signals).expect("signal state shared outside the process phase");
+            for &si in active_clear.iter() {
+                let s = &mut sigs[si as usize];
+                s.event = false;
+                s.active = false;
+            }
         }
         self.active_clear.clear();
         // Pull everything due at `next` out of the calendar.
@@ -645,23 +871,34 @@ impl<'a> Simulator<'a> {
         // Mature the due drivers' transactions. Duplicate or stale entries
         // mature nothing and drop out here.
         self.fired.clear();
-        for i in 0..self.due_drivers.len() {
-            let (si, di) = self.due_drivers[i];
-            let Some(d) = self.signals[si as usize].drivers.get_mut(di as usize) else {
-                continue;
-            };
-            let mut matured = false;
-            while d.tx.front().is_some_and(|(t, _)| *t <= next) {
-                let (_, v) = d.tx.pop_front().expect("front checked");
-                d.driving = v;
-                matured = true;
-                self.stats.transactions += 1;
-            }
-            if matured {
-                self.fired.push(si);
-                if let Some((t, _)) = d.tx.front() {
-                    let t = *t;
-                    self.calendar.push(t, CalKind::Driver { sig: si, di });
+        {
+            let Simulator {
+                signals,
+                calendar,
+                stats,
+                due_drivers,
+                fired,
+                ..
+            } = &mut *self;
+            let sigs =
+                Arc::get_mut(signals).expect("signal state shared outside the process phase");
+            for &(si, di) in due_drivers.iter() {
+                let Some(d) = sigs[si as usize].drivers.get_mut(di as usize) else {
+                    continue;
+                };
+                let mut matured = false;
+                while d.tx.front().is_some_and(|(t, _)| *t <= next) {
+                    let (_, v) = d.tx.pop_front().expect("front checked");
+                    d.driving = v;
+                    matured = true;
+                    stats.transactions += 1;
+                }
+                if matured {
+                    fired.push(si);
+                    if let Some((t, _)) = d.tx.front() {
+                        let t = *t;
+                        calendar.push(t, CalKind::Driver { sig: si, di });
+                    }
                 }
             }
         }
@@ -674,7 +911,7 @@ impl<'a> Simulator<'a> {
             let si = self.fired[i] as usize;
             self.active_clear.push(si as u32);
             let new_val = self.effective_value(si)?;
-            let sig = &mut self.signals[si];
+            let sig = &mut self.sigs_mut()[si];
             sig.active = true;
             let changed = new_val != sig.current;
             if changed {
@@ -731,8 +968,12 @@ impl<'a> Simulator<'a> {
                 self.ready.push(pi as u32);
             }
         }
-        for i in 0..self.ready.len() {
-            self.run_process(self.ready[i] as usize)?;
+        if self.jobs > 1 && self.ready.len() >= 2 {
+            self.run_ready_parallel()?;
+        } else {
+            for i in 0..self.ready.len() {
+                self.run_process(self.ready[i] as usize)?;
+            }
         }
         if let Some(e) = self.failed.take() {
             return Err(e);
@@ -757,17 +998,25 @@ impl<'a> Simulator<'a> {
                 let mut vals = std::mem::take(&mut self.res_scratch);
                 vals.clear();
                 vals.extend(self.signals[si].drivers.iter().map(|d| d.driving.clone()));
-                let data = Rc::new(vals);
+                let data = Arc::new(vals);
                 let arg = Val::Arr(ArrVal {
                     left: 0,
                     dir: VDir::To,
-                    data: Rc::clone(&data),
+                    data: Arc::clone(&data),
                 });
                 let out = self.call_function(f, arg);
-                if let Ok(mut v) = Rc::try_unwrap(data) {
+                if let Ok(mut v) = Arc::try_unwrap(data) {
                     v.clear();
                     self.res_scratch = v;
                 }
+                // Commit the call's buffered effects (counted
+                // instructions, reports, a possible assertion failure)
+                // exactly where the unbuffered kernel applied them —
+                // inside the update phase, before this signal's value
+                // changes. An assertion failure lands in `self.failed`
+                // and surfaces at the seed kernel's check points, not
+                // here, matching the legacy control flow.
+                let _ = self.commit_pending();
                 out.map_err(|e| SimError::Runtime {
                     process: format!("resolution of {}", self.program.signals[si].name),
                     error: e,
@@ -805,14 +1054,35 @@ impl<'a> Simulator<'a> {
         locals.resize(decl.n_locals as usize, Val::Int(0));
         locals[0] = arg;
         scratch.frames.push(Frame {
-            code: Rc::clone(&decl.code),
+            code: Arc::clone(&decl.code),
             pc: 0,
             locals,
             static_link: None,
             level: decl.level,
             unit: u32::MAX,
         });
-        let run = self.exec_frames(&mut scratch, true, usize::MAX);
+        let run = {
+            let Simulator {
+                program,
+                signals,
+                now,
+                fuel_budget,
+                eff,
+                exec_scratch,
+                ..
+            } = &mut *self;
+            let mut ex = Exec {
+                program: &**program,
+                signals: &**signals,
+                compiled: None,
+                now: *now,
+                fuel_budget: *fuel_budget,
+                eff,
+                scratch: exec_scratch,
+                act_scheds: 0,
+            };
+            ex.run_pure(&mut scratch)
+        };
         let out = match run {
             Ok(()) => scratch
                 .stack
@@ -827,47 +1097,358 @@ impl<'a> Simulator<'a> {
         out
     }
 
+    /// Runs one ready process sequentially: execute on [`Exec`] (same
+    /// engine the pool workers run), then commit the single buffered
+    /// activation immediately — which replays the legacy unbuffered
+    /// semantics bit-exactly.
     fn run_process(&mut self, pi: usize) -> Result<(), SimError> {
         let mut proc = std::mem::replace(&mut self.procs[pi], ProcState::empty());
         // The backend dispatch seam: processes the translator declined
         // stay on the interpreter, per process, forever.
         let use_compiled = self.backend == Backend::Compiled
             && self.compiled.as_ref().is_some_and(|cp| cp.proc_ok[pi]);
-        let result = if use_compiled {
-            self.exec_compiled(&mut proc, pi)
-        } else {
-            self.exec_frames(&mut proc, false, pi)
-        };
-        // Clone the name only on the error path: this runs once per
-        // resumption, and a per-call clone is exactly the hot-loop
-        // allocation the scheduler rewrite removed.
-        let out = result.map_err(|error| {
-            let e = SimError::Runtime {
-                process: proc.name.clone(),
-                error,
+        {
+            let Simulator {
+                program,
+                signals,
+                compiled,
+                now,
+                fuel_budget,
+                eff,
+                exec_scratch,
+                ..
+            } = &mut *self;
+            let mut ex = Exec {
+                program: &**program,
+                signals: &**signals,
+                compiled: compiled.as_deref(),
+                now: *now,
+                fuel_budget: *fuel_budget,
+                eff,
+                scratch: exec_scratch,
+                act_scheds: 0,
             };
-            self.failed = Some(e.clone());
-            e
-        });
+            ex.run_activation(&mut proc, pi, use_compiled);
+        }
         self.procs[pi] = proc;
-        out?;
+        self.commit_pending()?;
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
         Ok(())
     }
 
-    /// The instruction interpreter. `pure` forbids waits (resolution
-    /// functions).
-    ///
-    /// Thin wrapper around [`Self::exec_inner`]: the instruction count is
-    /// derived from the fuel spent and flushed into `stats.insns` once per
-    /// activation instead of once per instruction.
-    fn exec_frames(&mut self, proc: &mut ProcState, pure: bool, pid: usize) -> Result<(), RtError> {
+    /// Executes the cycle's ready set on the worker pool: partition by
+    /// static signal footprint, run the chunks concurrently against
+    /// shared read-only state, then commit every buffered effect at the
+    /// barrier in seed scan order (ascending process id — the order the
+    /// sequential kernel used). Observables are byte-identical at any
+    /// worker count.
+    fn run_ready_parallel(&mut self) -> Result<(), SimError> {
+        let n = self.ready.len();
+        let jobs = self.jobs;
+        while self.worker_buf.len() < jobs {
+            self.worker_buf.push(JobBuf::default());
+        }
+        {
+            let Simulator {
+                partitioner,
+                sens,
+                ready,
+                assign,
+                ..
+            } = &mut *self;
+            partitioner.assign(ready, sens, jobs, assign);
+        }
+        for buf in self.worker_buf.iter_mut() {
+            buf.procs.clear();
+            buf.cur = EffCursor::default();
+        }
+        // Fill the chunks in ready order, so each worker's chunk is in
+        // ascending process order and its activation records line up
+        // with the commit loop below.
+        for pos in 0..n {
+            let pid = self.ready[pos];
+            let proc = std::mem::replace(&mut self.procs[pid as usize], ProcState::empty());
+            self.worker_buf[self.assign[pos] as usize]
+                .procs
+                .push((pid, proc));
+        }
+        let ctx = par::Ctx {
+            program: Arc::clone(&self.program),
+            signals: Arc::clone(&self.signals),
+            compiled: self.compiled.clone(),
+            now: self.now,
+            fuel_budget: self.fuel_budget,
+            compiled_backend: self.backend == Backend::Compiled,
+        };
+        if self.par_profile {
+            // Critical-path probe: run the chunks serialized on this
+            // thread, timing each. `total` accumulates Σ chunk-ns and
+            // `critical` Σ per-cycle max-chunk-ns — the span the phase
+            // would have under true concurrency.
+            let (mut total, mut critical) = (0u64, 0u64);
+            for buf in self.worker_buf.iter_mut() {
+                if buf.procs.is_empty() {
+                    continue;
+                }
+                let t0 = Instant::now();
+                run_chunk(&ctx, buf);
+                let ns = t0.elapsed().as_nanos() as u64;
+                total += ns;
+                critical = critical.max(ns);
+            }
+            self.par_total_ns += total;
+            self.par_critical_ns += critical;
+        } else {
+            if self.pool.is_none() {
+                self.pool = Some(par::Pool::new(jobs));
+            }
+            let pool = self.pool.as_ref().expect("pool just ensured");
+            pool.run(&ctx, &mut self.worker_buf);
+        }
+        drop(ctx);
+        // Give the processes back before committing.
+        let mut bufs = std::mem::take(&mut self.worker_buf);
+        for buf in bufs.iter_mut() {
+            for (pid, proc) in buf.procs.drain(..) {
+                self.procs[pid as usize] = proc;
+            }
+        }
+        // Barrier commit: one activation per ready position, in seed
+        // scan order, consuming each worker's buffers front to back.
+        // The first failure (in that order) wins; later activations'
+        // effects are discarded, as if their processes had never run —
+        // the sequential kernel never ran them at all, and post-error
+        // state is unobservable through the public API either way.
+        let mut out = Ok(());
+        for pos in 0..n {
+            let w = self.assign[pos] as usize;
+            let ai = bufs[w].cur.act;
+            bufs[w].cur.act += 1;
+            debug_assert_eq!(bufs[w].eff.acts[ai].pid, self.ready[pos]);
+            let r = {
+                let JobBuf { eff, cur, .. } = &mut bufs[w];
+                self.commit_act(eff, ai, cur)
+            };
+            if let Err(e) = r {
+                out = Err(e);
+                break;
+            }
+            if let Some(e) = &self.failed {
+                // A failure recorded before the process phase (a
+                // resolution call's assertion) surfaces after the first
+                // committed activation, exactly as run_process does.
+                out = Err(e.clone());
+                break;
+            }
+        }
+        for buf in bufs.iter_mut() {
+            buf.eff.clear();
+            buf.cur = EffCursor::default();
+        }
+        self.worker_buf = bufs;
+        out
+    }
+
+    /// Applies one activation record's buffered effects in recorded
+    /// order — driver transactions, wait timeouts, reports, statistics —
+    /// then surfaces the activation's failure, if any. Statistics land
+    /// before the failure check, matching the unbuffered kernel's
+    /// once-per-activation flush.
+    fn commit_act(
+        &mut self,
+        eff: &mut Effects,
+        ai: usize,
+        cur: &mut EffCursor,
+    ) -> Result<(), SimError> {
+        let (pid, s_end, t_end, r_end, insns, blocks, failed) = {
+            let a = &mut eff.acts[ai];
+            (
+                a.pid,
+                a.sched_end as usize,
+                a.timeout_end as usize,
+                a.report_end as usize,
+                a.insns,
+                a.blocks,
+                a.failed.take(),
+            )
+        };
+        let dpid = if pid == u32::MAX {
+            usize::MAX
+        } else {
+            pid as usize
+        };
+        for i in cur.sched..s_end {
+            let op = std::mem::take(&mut eff.scheds[i]);
+            self.commit_sched(dpid, op);
+        }
+        cur.sched = s_end;
+        for i in cur.timeout..t_end {
+            self.calendar
+                .push(eff.timeouts[i], CalKind::Timeout { proc: pid });
+        }
+        cur.timeout = t_end;
+        for i in cur.report..r_end {
+            let ev = std::mem::replace(
+                &mut eff.reports[i],
+                ReportEvent {
+                    time: Time::ZERO,
+                    severity: 0,
+                    text: String::new(),
+                },
+            );
+            self.reports.push(ev);
+        }
+        cur.report = r_end;
+        self.stats.insns += insns;
+        self.stats.compiled_blocks += blocks;
+        if let Some(e) = failed {
+            self.failed = Some(e.clone());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Commits every buffered activation of the coordinator's own
+    /// effects buffer (sequential execution, resolution calls) in
+    /// recorded order, stopping at — but after fully applying — the
+    /// first failed one.
+    fn commit_pending(&mut self) -> Result<(), SimError> {
+        let mut eff = std::mem::take(&mut self.eff);
+        let mut cur = EffCursor::default();
+        let mut out = Ok(());
+        for ai in 0..eff.acts.len() {
+            if let Err(e) = self.commit_act(&mut eff, ai, &mut cur) {
+                out = Err(e);
+                break;
+            }
+        }
+        eff.clear();
+        self.eff = eff;
+        out
+    }
+
+    /// The commit half of a signal assignment: find or create the
+    /// process's driver, apply preemption, append the transaction, keep
+    /// the calendar invariant. The value was computed at execution time;
+    /// driver queues are untouched during the process phase, so
+    /// replaying the buffered operations in seed scan order lands every
+    /// queue in exactly the state the unbuffered kernel produced.
+    fn commit_sched(&mut self, pid: usize, op: SchedOp) {
+        let SchedOp {
+            sig,
+            t,
+            value,
+            transport,
+        } = op;
+        let Simulator {
+            signals, calendar, ..
+        } = &mut *self;
+        let sig_state = &mut Arc::get_mut(signals)
+            .expect("signal state shared outside the process phase")[sig as usize];
+        // Find or create this process's driver. Creation happens here —
+        // in commit order — so driver indices are identical to the
+        // sequential kernel's no matter which worker ran the process.
+        let di = match sig_state.drivers.iter().position(|d| d.proc == pid) {
+            Some(i) => i,
+            None => {
+                sig_state.drivers.push(Driver {
+                    proc: pid,
+                    tx: VecDeque::new(),
+                    driving: sig_state.current.clone(),
+                });
+                sig_state.drivers.len() - 1
+            }
+        };
+        let d = &mut sig_state.drivers[di];
+        if transport {
+            // Transport: drop transactions at or after t, append.
+            while d.tx.back().is_some_and(|(bt, _)| *bt >= t) {
+                d.tx.pop_back();
+            }
+        } else {
+            // Inertial (simplified VHDL-87 preemption): the new
+            // transaction supersedes every pending one.
+            d.tx.clear();
+        }
+        d.tx.push_back((t, value));
+        // Calendar invariant: whenever a driver's queue is non-empty, an
+        // entry exists at exactly the front transaction's time (see
+        // [`Exec::sched`]).
+        if d.tx.len() == 1 {
+            calendar.push(t, CalKind::Driver { sig, di: di as u32 });
+        }
+    }
+}
+
+impl<'e> Exec<'e> {
+    /// Runs one process activation to suspension or halt, recording its
+    /// side effects as one activation record. Errors do not escape: a
+    /// runtime error or pending failure rides in the record and is
+    /// surfaced by the coordinator at commit, in seed scan order.
+    pub(crate) fn run_activation(&mut self, proc: &mut ProcState, pid: usize, use_compiled: bool) {
+        self.act_scheds = self.eff.scheds.len();
         let budget = self.fuel_budget;
         let mut fuel = budget;
-        let out = self.exec_inner(proc, pure, pid, &mut fuel);
-        self.stats.insns += budget - fuel;
+        let result = if use_compiled {
+            let cp = self.compiled.expect("compiled backend selected");
+            match self.exec_blocks(cp, proc, pid, &mut fuel) {
+                Ok(()) | Err(CErr::Halt) => Ok(()),
+                Err(CErr::Fuel) => {
+                    self.eff.fail(SimError::FuelExhausted(proc.name.clone()));
+                    proc.status = ProcStatus::Halted;
+                    Ok(())
+                }
+                Err(CErr::Rt(e)) => Err(e),
+            }
+        } else {
+            self.exec_inner(proc, false, pid, &mut fuel)
+        };
+        // Clone the name only on the error path: this runs once per
+        // resumption, and a per-call clone is exactly the hot-loop
+        // allocation the scheduler rewrite removed.
+        let failed = match result {
+            Ok(()) => self.eff.cur_failed.take(),
+            Err(error) => {
+                self.eff.cur_failed = None;
+                Some(SimError::Runtime {
+                    process: proc.name.clone(),
+                    error,
+                })
+            }
+        };
+        self.eff.acts.push(ActRecord {
+            pid: pid as u32,
+            sched_end: self.eff.scheds.len() as u32,
+            timeout_end: self.eff.timeouts.len() as u32,
+            report_end: self.eff.reports.len() as u32,
+            insns: budget - fuel,
+            blocks: std::mem::take(&mut self.eff.cur_blocks),
+            failed,
+        });
+    }
+
+    /// Runs a pure function call (resolution) to completion, recording
+    /// its effects as one activation record with the `u32::MAX` pid
+    /// sentinel. The runtime error (if any) is returned to the caller —
+    /// the unbuffered kernel propagated it without recording a process
+    /// failure — while a pending assertion failure rides in the record.
+    fn run_pure(&mut self, proc: &mut ProcState) -> Result<(), RtError> {
+        self.act_scheds = self.eff.scheds.len();
+        let budget = self.fuel_budget;
+        let mut fuel = budget;
+        let out = self.exec_inner(proc, true, usize::MAX, &mut fuel);
+        let failed = self.eff.cur_failed.take();
+        self.eff.acts.push(ActRecord {
+            pid: u32::MAX,
+            sched_end: self.eff.scheds.len() as u32,
+            timeout_end: self.eff.timeouts.len() as u32,
+            report_end: self.eff.reports.len() as u32,
+            insns: budget - fuel,
+            blocks: std::mem::take(&mut self.eff.cur_blocks),
+            failed,
+        });
         out
     }
 
@@ -888,7 +1469,7 @@ impl<'a> Simulator<'a> {
             // are matched by reference out of the owned `code` handle (no
             // per-instruction clone), and `pc` only touches the frame at
             // suspension points and frame switches.
-            let code = Rc::clone(&top.code);
+            let code = Arc::clone(&top.code);
             let mut pc = top.pc;
             loop {
                 let Some(insn) = code.get(pc) else {
@@ -905,7 +1486,7 @@ impl<'a> Simulator<'a> {
                 *fuel -= 1;
                 if *fuel == 0 {
                     proc.frames.last_mut().expect("frame").pc = pc;
-                    self.failed = Some(SimError::FuelExhausted(proc.name.clone()));
+                    self.eff.fail(SimError::FuelExhausted(proc.name.clone()));
                     proc.status = ProcStatus::Halted;
                     return Ok(());
                 }
@@ -921,7 +1502,7 @@ impl<'a> Simulator<'a> {
                     Insn::MakeRec { n } => {
                         let at = proc.stack.len() - *n as usize;
                         let data = proc.stack.split_off(at);
-                        proc.stack.push(Val::Rec(Rc::new(data)));
+                        proc.stack.push(Val::Rec(Arc::new(data)));
                     }
                     Insn::LoadVar(a) => {
                         let v = var_frame(proc, a.depth)?.locals[a.slot as usize].clone();
@@ -945,7 +1526,7 @@ impl<'a> Simulator<'a> {
                         if let Val::Rec(fields) = slot {
                             let mut fs = (**fields).clone();
                             fs[*field as usize] = v;
-                            *slot = Val::Rec(Rc::new(fs));
+                            *slot = Val::Rec(Arc::new(fs));
                         } else {
                             return Err(RtError::Internal("field store on non-record".into()));
                         }
@@ -1034,13 +1615,13 @@ impl<'a> Simulator<'a> {
                     Insn::Sched { sig, transport } => {
                         let delay = pop_int(proc)?;
                         let value = pop(proc)?;
-                        self.schedule(pid, *sig, value, delay, *transport, None)?;
+                        self.sched(pid, *sig, value, delay, *transport, None)?;
                     }
                     Insn::SchedIndex { sig, transport } => {
                         let delay = pop_int(proc)?;
                         let value = pop(proc)?;
                         let index = pop_int(proc)?;
-                        self.schedule(pid, *sig, value, delay, *transport, Some(index))?;
+                        self.sched(pid, *sig, value, delay, *transport, Some(index))?;
                     }
                     Insn::Wait { sens, with_timeout } => {
                         if pure {
@@ -1049,14 +1630,14 @@ impl<'a> Simulator<'a> {
                         let timeout = if *with_timeout {
                             let fs = pop_int(proc)?;
                             let t = self.now.plus_fs(fs.max(0) as u64);
-                            self.calendar.push(t, CalKind::Timeout { proc: pid as u32 });
+                            self.eff.timeouts.push(t);
                             Some(t)
                         } else {
                             None
                         };
                         proc.frames.last_mut().expect("frame").pc = pc;
                         proc.status = ProcStatus::Suspended {
-                            sens: Rc::clone(sens),
+                            sens: Arc::clone(sens),
                             timeout,
                         };
                         return Ok(());
@@ -1065,7 +1646,7 @@ impl<'a> Simulator<'a> {
                         let decl = &self.program.functions[f.0 as usize];
                         let (n_params, n_locals, level) =
                             (decl.n_params, decl.n_locals, decl.level);
-                        let callee = Rc::clone(&decl.code);
+                        let callee = Arc::clone(&decl.code);
                         let at = proc.stack.len() - n_params as usize;
                         let args = proc.stack.split_off(at);
                         let mut locals = vec![Val::Int(0); n_locals as usize];
@@ -1105,10 +1686,10 @@ impl<'a> Simulator<'a> {
                                 severity,
                                 text: report.as_string(),
                             };
-                            self.reports.push(ev.clone());
+                            self.eff.reports.push(ev.clone());
                             if severity >= 3 {
                                 proc.frames.last_mut().expect("frame").pc = pc;
-                                self.failed = Some(SimError::Failure(ev));
+                                self.eff.fail(SimError::Failure(ev));
                                 proc.status = ProcStatus::Halted;
                                 return Ok(());
                             }
@@ -1131,29 +1712,12 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// The compiled backend's activation entry point: runs threaded
-    /// basic blocks until the process suspends, halts, or fails. Mirrors
-    /// [`Self::exec_frames`]'s fuel accounting exactly — every executed
-    /// tape operation, step, and charging terminator costs one unit, in
-    /// original program order, so `stats.insns` and the fuel-exhaustion
-    /// point are byte-identical to the interpreter's.
-    fn exec_compiled(&mut self, proc: &mut ProcState, pid: usize) -> Result<(), RtError> {
-        let cp = Rc::clone(self.compiled.as_ref().expect("compiled backend selected"));
-        let budget = self.fuel_budget;
-        let mut fuel = budget;
-        let out = self.exec_blocks(&cp, proc, pid, &mut fuel);
-        self.stats.insns += budget - fuel;
-        match out {
-            Ok(()) | Err(CErr::Halt) => Ok(()),
-            Err(CErr::Fuel) => {
-                self.failed = Some(SimError::FuelExhausted(proc.name.clone()));
-                proc.status = ProcStatus::Halted;
-                Ok(())
-            }
-            Err(CErr::Rt(e)) => Err(e),
-        }
-    }
-
+    /// The compiled backend's engine: runs threaded basic blocks until
+    /// the process suspends, halts, or fails. Mirrors the interpreter's
+    /// fuel accounting exactly — every executed tape operation, step,
+    /// and charging terminator costs one unit, in original program
+    /// order, so `stats.insns` and the fuel-exhaustion point are
+    /// byte-identical to the interpreter's.
     fn exec_blocks(
         &mut self,
         cp: &CompiledProgram,
@@ -1188,7 +1752,7 @@ impl<'a> Simulator<'a> {
                 as usize;
             loop {
                 let block = &unit.blocks[bi];
-                self.stats.compiled_blocks += 1;
+                self.eff.cur_blocks += 1;
                 for step in &block.steps {
                     self.run_cstep(proc, pid, step, fuel)?;
                 }
@@ -1223,7 +1787,7 @@ impl<'a> Simulator<'a> {
                                 charge(fuel)?;
                                 let fs = take_int(proc, pre)?;
                                 let t = self.now.plus_fs(fs.max(0) as u64);
-                                self.calendar.push(t, CalKind::Timeout { proc: pid as u32 });
+                                self.eff.timeouts.push(t);
                                 Some(t)
                             }
                             None => {
@@ -1233,7 +1797,7 @@ impl<'a> Simulator<'a> {
                         };
                         proc.frames.last_mut().expect("frame").pc = *resume_pc as usize;
                         proc.status = ProcStatus::Suspended {
-                            sens: Rc::clone(sens),
+                            sens: Arc::clone(sens),
                             timeout,
                         };
                         return Ok(());
@@ -1243,7 +1807,7 @@ impl<'a> Simulator<'a> {
                         let decl = &self.program.functions[f.0 as usize];
                         let (n_params, n_locals, level) =
                             (decl.n_params, decl.n_locals, decl.level);
-                        let callee = Rc::clone(&decl.code);
+                        let callee = Arc::clone(&decl.code);
                         let at = proc.stack.len() - n_params as usize;
                         let args = proc.stack.split_off(at);
                         let mut locals = vec![Val::Int(0); n_locals as usize];
@@ -1361,7 +1925,7 @@ impl<'a> Simulator<'a> {
                 if let Val::Rec(fields) = slot {
                     let mut fs = (**fields).clone();
                     fs[*field as usize] = v;
-                    *slot = Val::Rec(Rc::new(fs));
+                    *slot = Val::Rec(Arc::new(fs));
                 } else {
                     return Err(CErr::Rt(RtError::Internal(
                         "field store on non-record".into(),
@@ -1379,7 +1943,7 @@ impl<'a> Simulator<'a> {
                 charge(fuel)?;
                 let d = take_int(proc, d_pre)?;
                 let v = take(proc, v_pre)?;
-                self.schedule(pid, *sig, v, d, *transport, None)?;
+                self.sched(pid, *sig, v, d, *transport, None)?;
             }
             Step::SchedIndex {
                 sig,
@@ -1395,7 +1959,7 @@ impl<'a> Simulator<'a> {
                 let d = take_int(proc, d_pre)?;
                 let v = take(proc, v_pre)?;
                 let i = take_int(proc, i_pre)?;
-                self.schedule(pid, *sig, v, d, *transport, Some(i))?;
+                self.sched(pid, *sig, v, d, *transport, Some(i))?;
             }
             Step::Assert {
                 cond,
@@ -1416,10 +1980,10 @@ impl<'a> Simulator<'a> {
                         severity,
                         text: report.as_string(),
                     };
-                    self.reports.push(ev.clone());
+                    self.eff.reports.push(ev.clone());
                     if severity >= 3 {
                         proc.frames.last_mut().expect("frame").pc = *pc_after as usize;
-                        self.failed = Some(SimError::Failure(ev));
+                        self.eff.fail(SimError::Failure(ev));
                         proc.status = ProcStatus::Halted;
                         return Err(CErr::Halt);
                     }
@@ -1442,7 +2006,7 @@ impl<'a> Simulator<'a> {
             Insn::MakeRec { n } => {
                 let at = proc.stack.len() - *n as usize;
                 let data = proc.stack.split_off(at);
-                proc.stack.push(Val::Rec(Rc::new(data)));
+                proc.stack.push(Val::Rec(Arc::new(data)));
             }
             Insn::Index => {
                 let idx = pop_int(proc)?;
@@ -1543,20 +2107,20 @@ impl<'a> Simulator<'a> {
     ) -> Result<Val, CErr> {
         if let Some(it) = &tape.int_tape {
             if *fuel > it.cost {
-                let mut st = std::mem::take(&mut self.tape_ints);
+                let mut st = std::mem::take(&mut self.scratch.tape_ints);
                 st.clear();
                 let out = self.tape_int_inner(proc, it, fuel, &mut st);
-                self.tape_ints = st;
+                self.scratch.tape_ints = st;
                 match out? {
                     IntRun::Done(v) => return Ok(Val::Int(v)),
                     IntRun::Bail => {}
                 }
             }
         }
-        let mut st = std::mem::take(&mut self.tape_vals);
+        let mut st = std::mem::take(&mut self.scratch.tape_vals);
         st.clear();
         let out = self.tape_val_inner(proc, &tape.ops, fuel, &mut st);
-        self.tape_vals = st;
+        self.scratch.tape_vals = st;
         out
     }
 
@@ -1712,7 +2276,7 @@ impl<'a> Simulator<'a> {
                 EOp::MakeRec { n } => {
                     let at = st.len() - *n as usize;
                     let data = st.split_off(at);
-                    st.push(Val::Rec(Rc::new(data)));
+                    st.push(Val::Rec(Arc::new(data)));
                 }
                 EOp::Index => {
                     let idx = spop_int(st)?;
@@ -1779,7 +2343,13 @@ impl<'a> Simulator<'a> {
         spop(st).map_err(CErr::Rt)
     }
 
-    fn schedule(
+    /// The execution half of a signal assignment: validate the delay,
+    /// compute the transaction time and final value (subtype conversion,
+    /// element update), and buffer a [`SchedOp`]. Driver queues are
+    /// untouched here — [`Simulator::commit_sched`] replays the buffered
+    /// operations at the barrier, in seed scan order, so the queues land
+    /// in exactly the state the unbuffered kernel produced.
+    fn sched(
         &mut self,
         pid: usize,
         sig: SigId,
@@ -1800,19 +2370,7 @@ impl<'a> Simulator<'a> {
         } else {
             self.now.plus_fs(delay_fs as u64)
         };
-        let sig_state = &mut self.signals[sig.0 as usize];
-        // Find or create this process's driver.
-        let di = match sig_state.drivers.iter().position(|d| d.proc == pid) {
-            Some(i) => i,
-            None => {
-                sig_state.drivers.push(Driver {
-                    proc: pid,
-                    tx: VecDeque::new(),
-                    driving: sig_state.current.clone(),
-                });
-                sig_state.drivers.len() - 1
-            }
-        };
+        let sig_state = &self.signals[sig.0 as usize];
         // Array assignment implies a subtype conversion: the value takes
         // the target's bounds (same length required).
         let value = match (&value, &sig_state.current) {
@@ -1822,50 +2380,71 @@ impl<'a> Simulator<'a> {
                 Val::Arr(crate::value::ArrVal {
                     left: t.left,
                     dir: t.dir,
-                    data: Rc::clone(&v.data),
+                    data: Arc::clone(&v.data),
                 })
             }
             _ => value,
         };
-        let d = &mut sig_state.drivers[di];
         // Element assignment: apply to the latest scheduled (or driving)
-        // whole value.
+        // whole value. The latest pending value may still be in this
+        // activation's effects buffer (the queue half of an earlier op
+        // hasn't run yet); otherwise fall back to the live driver's tail,
+        // then its driving value, then the signal's current value — the
+        // driving value a driver created at commit would start with.
         let value = match index {
             None => value,
             Some(i) => {
-                let base =
-                    d.tx.back()
-                        .map(|(_, v)| v.clone())
-                        .unwrap_or_else(|| d.driving.clone());
+                let base = self.eff.scheds[self.act_scheds..]
+                    .iter()
+                    .rev()
+                    .find(|op| op.sig == sig.0)
+                    .map(|op| op.value.clone())
+                    .or_else(|| {
+                        sig_state.drivers.iter().find(|d| d.proc == pid).map(|d| {
+                            d.tx.back()
+                                .map(|(_, v)| v.clone())
+                                .unwrap_or_else(|| d.driving.clone())
+                        })
+                    })
+                    .unwrap_or_else(|| sig_state.current.clone());
                 store_elem(&base, i, value)?
             }
         };
-        if transport {
-            // Transport: drop transactions at or after t, append.
-            while d.tx.back().is_some_and(|(bt, _)| *bt >= t) {
-                d.tx.pop_back();
-            }
-        } else {
-            // Inertial (simplified VHDL-87 preemption): the new transaction
-            // supersedes every pending one.
-            d.tx.clear();
-        }
-        d.tx.push_back((t, value));
-        // Calendar invariant: whenever a driver's queue is non-empty, an
-        // entry exists at exactly the front transaction's time. The push
-        // above changed the front iff the queue was (or became) empty
-        // first; otherwise the front's entry is still live. Entries for
-        // preempted transactions go stale and are lazily discarded.
-        if d.tx.len() == 1 {
-            self.calendar.push(
-                t,
-                CalKind::Driver {
-                    sig: sig.0,
-                    di: di as u32,
-                },
-            );
-        }
+        self.eff.scheds.push(SchedOp {
+            sig: sig.0,
+            t,
+            value,
+            transport,
+        });
         Ok(())
+    }
+}
+
+/// Executes one worker's chunk of the cycle's ready set against the
+/// shared read-only context, buffering every side effect in `buf`. Runs
+/// on pool workers and (for the critical-path profile and jobs=1) on the
+/// coordinator thread — identical code either way.
+pub(crate) fn run_chunk(ctx: &par::Ctx, buf: &mut JobBuf) {
+    let JobBuf {
+        procs,
+        eff,
+        scratch,
+        ..
+    } = buf;
+    let mut ex = Exec {
+        program: &ctx.program,
+        signals: &ctx.signals,
+        compiled: ctx.compiled.as_deref(),
+        now: ctx.now,
+        fuel_budget: ctx.fuel_budget,
+        eff,
+        scratch,
+        act_scheds: 0,
+    };
+    for (pid, proc) in procs.iter_mut() {
+        let pi = *pid as usize;
+        let use_compiled = ctx.compiled_backend && ex.compiled.is_some_and(|cp| cp.proc_ok[pi]);
+        ex.run_activation(proc, pi, use_compiled);
     }
 }
 
@@ -1879,7 +2458,7 @@ impl<'a> Simulator<'a> {
 impl<'a> Simulator<'a> {
     pub(crate) fn ref_next_time(&self) -> Option<Time> {
         let mut next: Option<Time> = None;
-        for sig in &self.signals {
+        for sig in self.signals.iter() {
             for d in &sig.drivers {
                 if let Some((t, _)) = d.tx.front() {
                     next = Some(next.map_or(*t, |n| n.min(*t)));
@@ -1907,7 +2486,7 @@ impl<'a> Simulator<'a> {
         }
         self.now = next;
         // Clear the previous cycle's event/active flags.
-        for s in self.signals.iter_mut() {
+        for s in self.sigs_mut().iter_mut() {
             s.event = false;
             s.active = false;
         }
@@ -1915,13 +2494,20 @@ impl<'a> Simulator<'a> {
         for si in 0..self.signals.len() {
             let mut any_active = false;
             {
-                let sig = &mut self.signals[si];
+                let Simulator {
+                    signals,
+                    stats,
+                    now,
+                    ..
+                } = &mut *self;
+                let sig = &mut Arc::get_mut(signals)
+                    .expect("signal state shared outside the process phase")[si];
                 for d in sig.drivers.iter_mut() {
-                    while d.tx.front().is_some_and(|(t, _)| *t <= self.now) {
+                    while d.tx.front().is_some_and(|(t, _)| *t <= *now) {
                         if let Some((_, v)) = d.tx.pop_front() {
                             d.driving = v;
                             any_active = true;
-                            self.stats.transactions += 1;
+                            stats.transactions += 1;
                         }
                     }
                 }
@@ -1930,19 +2516,20 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             let new_val = self.effective_value(si)?;
-            let sig = &mut self.signals[si];
+            let now = self.now;
+            let sig = &mut self.sigs_mut()[si];
             sig.active = true;
             if new_val != sig.current {
                 sig.last_value = sig.current.clone();
                 sig.current = new_val;
-                sig.last_event = Some(self.now);
+                sig.last_event = Some(now);
                 sig.event = true;
                 sig.events += 1;
                 self.stats.events += 1;
                 let name = self.program.signals[si].name.clone();
                 let current = self.signals[si].current.clone();
                 for obs in self.observers.iter_mut() {
-                    obs(self.now, SigId(si as u32), &name, &current);
+                    obs(now, SigId(si as u32), &name, &current);
                 }
             }
         }
@@ -2118,7 +2705,7 @@ fn store_elem(base: &Val, idx: i64, v: Val) -> Result<Val, RtError> {
             Ok(Val::Arr(crate::value::ArrVal {
                 left: a.left,
                 dir: a.dir,
-                data: Rc::new(data),
+                data: Arc::new(data),
             }))
         }
         _ => Err(RtError::Internal("element store on non-array".into())),

@@ -53,7 +53,7 @@
 //! have reached them, keeping `calendar_ops` byte-identical.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::isa::{Program, SigId};
 use crate::sched::{CalEntry, CalKind, Calendar};
@@ -367,7 +367,7 @@ impl<'b> Dec<'b> {
                 Ok(Val::Arr(ArrVal {
                     left,
                     dir,
-                    data: Rc::new(data),
+                    data: Arc::new(data),
                 }))
             }
             3 => {
@@ -376,7 +376,7 @@ impl<'b> Dec<'b> {
                 for _ in 0..n {
                     fs.push(self.val()?);
                 }
-                Ok(Val::Rec(Rc::new(fs)))
+                Ok(Val::Rec(Arc::new(fs)))
             }
             t => Err(SnapshotError::Corrupt(format!("bad Val tag {t}"))),
         }
@@ -525,7 +525,7 @@ impl<'a> Simulator<'a> {
         }
 
         e.len(self.signals.len());
-        for s in &self.signals {
+        for s in self.signals.iter() {
             e.val(&s.current);
             e.val(&s.last_value);
             e.opt_time(s.last_event);
@@ -695,7 +695,7 @@ impl<'a> Simulator<'a> {
                 }
                 drivers.push(Driver { proc, tx, driving });
             }
-            let s = &mut sim.signals[si];
+            let s = &mut sim.sigs_mut()[si];
             s.current = current;
             s.last_value = last_value;
             s.last_event = last_event;
@@ -725,7 +725,7 @@ impl<'a> Simulator<'a> {
                     }
                     let timeout = d.opt_time()?;
                     ProcStatus::Suspended {
-                        sens: Rc::new(sens),
+                        sens: Arc::new(sens),
                         timeout,
                     }
                 }
@@ -749,10 +749,10 @@ impl<'a> Simulator<'a> {
                 // cycle and its frames are drained before any boundary.
                 let (code, want_locals) = if (unit as usize) < n_procs {
                     let decl = &sim.program.processes[unit as usize];
-                    (Rc::clone(&decl.code), decl.n_locals as usize)
+                    (Arc::clone(&decl.code), decl.n_locals as usize)
                 } else if (unit as usize) < n_procs + n_fns {
                     let decl = &sim.program.functions[unit as usize - n_procs];
-                    (Rc::clone(&decl.code), decl.n_locals as usize)
+                    (Arc::clone(&decl.code), decl.n_locals as usize)
                 } else {
                     return Err(SnapshotError::Corrupt(format!(
                         "frame names unit {unit} of {}",
@@ -1017,7 +1017,7 @@ mod tests {
                     },
                     crate::isa::Insn::PushInt(3),
                     crate::isa::Insn::Wait {
-                        sens: Rc::new(vec![a]),
+                        sens: Arc::new(vec![a]),
                         with_timeout: true,
                     },
                     crate::isa::Insn::Pop,

@@ -5,7 +5,7 @@
 //! bounds so indexing, slicing, and attributes work on dynamic values.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Simulation time in femtoseconds plus a delta-cycle counter.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
@@ -156,7 +156,7 @@ pub struct ArrVal {
     /// Direction.
     pub dir: VDir,
     /// Elements, left-to-right as written.
-    pub data: Rc<Vec<Val>>,
+    pub data: Arc<Vec<Val>>,
 }
 
 impl ArrVal {
@@ -193,7 +193,7 @@ pub enum Val {
     /// Array with bounds.
     Arr(ArrVal),
     /// Record (fields in declaration order).
-    Rec(Rc<Vec<Val>>),
+    Rec(Arc<Vec<Val>>),
 }
 
 impl Val {
@@ -202,7 +202,7 @@ impl Val {
         Val::Arr(ArrVal {
             left,
             dir,
-            data: Rc::new(data),
+            data: Arc::new(data),
         })
     }
 

@@ -13,7 +13,7 @@
 //! and parallel test threads would bleed into each other's windows.
 
 use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sim_kernel::{Backend, FnDecl, Insn, Op, Program, SigId, Simulator, Time, Val, VarAddr};
 
@@ -41,7 +41,7 @@ fn oscillator(period_fs: i64) -> Program {
                 transport: false,
             },
             Insn::Wait {
-                sens: Rc::new(vec![clk]),
+                sens: Arc::new(vec![clk]),
                 with_timeout: false,
             },
             Insn::Pop,
@@ -59,7 +59,7 @@ fn resolved_bus(period_fs: i64) -> (Program, SigId) {
         name: "wired_or".into(),
         n_params: 1,
         n_locals: 3,
-        code: Rc::new(vec![
+        code: Arc::new(vec![
             Insn::PushInt(0),
             Insn::StoreVar(slot(1)),
             Insn::PushInt(0),
@@ -106,7 +106,7 @@ fn resolved_bus(period_fs: i64) -> (Program, SigId) {
                 },
                 Insn::PushInt(period_fs),
                 Insn::Wait {
-                    sens: Rc::new(vec![]),
+                    sens: Arc::new(vec![]),
                     with_timeout: true,
                 },
                 Insn::Pop,
@@ -147,7 +147,7 @@ fn steady_state_allocation_budget() {
     );
 
     // --- Resolved bus: every cycle calls the resolution function. The
-    // scratch reuse leaves one small Rc box per call (the Val::Arr
+    // scratch reuse leaves one small Arc box per call (the Val::Arr
     // argument is refcounted); the seed kernel also re-allocated the
     // argument vector, the function's locals, its frame stack, and a
     // formatted diagnostic name per call.
@@ -189,5 +189,51 @@ fn steady_state_allocation_budget() {
     assert!(
         allocs < events / 10,
         "compiled steady state allocates too much: {allocs} allocations for {events} events"
+    );
+
+    // --- Parallel steady state: eight concurrently-woken oscillators at
+    // jobs=4, so every cycle takes the worker-pool path (partition,
+    // dispatch, buffered execution on worker threads, barrier commit).
+    // After warm-up — pool threads spawned, per-worker effect buffers and
+    // chunk lists at steady capacity — the parallel cycle must be as
+    // allocation-free as the sequential one. The counting allocator is
+    // process-global, so worker-thread allocations are in the window too.
+    let mut p = Program::default();
+    for i in 0..8 {
+        let clk = p.add_signal(format!("top.clk{i}"), Val::Int(0));
+        p.add_process(
+            format!("top.osc{i}"),
+            0,
+            vec![
+                Insn::LoadSig(clk),
+                Insn::Unop(Op::Not),
+                Insn::PushInt(1_000),
+                Insn::Sched {
+                    sig: clk,
+                    transport: false,
+                },
+                Insn::Wait {
+                    sens: Arc::new(vec![clk]),
+                    with_timeout: false,
+                },
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        );
+    }
+    p.finalize_sensitivity();
+    let mut sim = Simulator::new(p);
+    sim.set_jobs(4);
+    sim.run_until(Time::fs(1_000_000)).unwrap(); // warm-up
+    let cycles0 = sim.stats().cycles;
+    let before = ag_harness::alloc::stats();
+    sim.run_until(Time::fs(2_000_000)).unwrap();
+    let after = ag_harness::alloc::stats();
+    let cycles = sim.stats().cycles - cycles0;
+    assert!(cycles >= 999, "window ran: {cycles} cycles");
+    let allocs = after.allocations - before.allocations;
+    assert!(
+        allocs < cycles / 10,
+        "parallel steady state allocates too much: {allocs} allocations for {cycles} cycles at jobs=4"
     );
 }

@@ -5,7 +5,7 @@
 //! Ported from proptest to the in-repo `ag-harness` framework; the input
 //! space and every invariant are unchanged.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ag_harness::{check, check_eq, forall, Config};
 use sim_kernel::{rts, Insn, Op, Program, SimStats, Simulator, Time, Val};
@@ -28,7 +28,7 @@ fn random_program(periods: &[u64]) -> Program {
                     transport: false,
                 },
                 Insn::Wait {
-                    sens: Rc::new(vec![s]),
+                    sens: Arc::new(vec![s]),
                     with_timeout: false,
                 },
                 Insn::Pop,

@@ -1,7 +1,7 @@
 //! Kernel integration tests: hand-assembled programs driving the full
 //! simulation cycle.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sim_kernel::{
     FnDecl, Insn, Op, Program, RunOutcome, SigAttr, SimError, Simulator, Time, Val, VarAddr,
@@ -26,7 +26,7 @@ fn oscillating_clock() {
             transport: false,
         },
         Insn::Wait {
-            sens: Rc::new(vec![clk]),
+            sens: Arc::new(vec![clk]),
             with_timeout: false,
         },
         Insn::Pop, // timed_out flag
@@ -77,7 +77,7 @@ fn delta_cycle_chain() {
                 transport: false,
             },
             Insn::Wait {
-                sens: Rc::new(vec![a]),
+                sens: Arc::new(vec![a]),
                 with_timeout: false,
             },
             Insn::Pop,
@@ -96,7 +96,7 @@ fn delta_cycle_chain() {
                 transport: false,
             },
             Insn::Wait {
-                sens: Rc::new(vec![b]),
+                sens: Arc::new(vec![b]),
                 with_timeout: false,
             },
             Insn::Pop,
@@ -147,7 +147,7 @@ fn resolved_signal_wired_or() {
         name: "wired_or".into(),
         n_params: 1,
         n_locals: 3,
-        code: Rc::new(res_code),
+        code: Arc::new(res_code),
         level: 1,
     });
     let s = p.add_signal("bus", Val::Int(0));
@@ -240,7 +240,7 @@ fn wait_timeout_and_event_attr() {
         vec![
             Insn::PushInt(10),
             Insn::Wait {
-                sens: Rc::new(vec![clk]),
+                sens: Arc::new(vec![clk]),
                 with_timeout: true,
             },
             Insn::Pop, // not timed out
@@ -252,7 +252,7 @@ fn wait_timeout_and_event_attr() {
             },
             Insn::PushInt(5),
             Insn::Wait {
-                sens: Rc::new(vec![]),
+                sens: Arc::new(vec![]),
                 with_timeout: true,
             },
             // timed-out flag on stack
@@ -341,7 +341,7 @@ fn static_links_uplevel_access() {
         name: "inner".into(),
         n_params: 0,
         n_locals: 0,
-        code: Rc::new(vec![
+        code: Arc::new(vec![
             Insn::LoadVar(VarAddr { depth: 1, slot: 0 }),
             Insn::PushInt(1),
             Insn::Binop(Op::Add),
@@ -354,7 +354,7 @@ fn static_links_uplevel_access() {
         name: "outer".into(),
         n_params: 0,
         n_locals: 1,
-        code: Rc::new(vec![
+        code: Arc::new(vec![
             Insn::PushInt(41),
             Insn::StoreVar(addr(0)),
             Insn::Call(inner),
@@ -505,7 +505,7 @@ fn quiescent_without_timeout_no_hang() {
         0,
         vec![
             Insn::Wait {
-                sens: Rc::new(vec![s]),
+                sens: Arc::new(vec![s]),
                 with_timeout: false,
             },
             Insn::Pop,
@@ -545,7 +545,7 @@ fn preempted_empty_driver_reaches_quiescence() {
                 transport: false, // inertial: preempts the 10 fs tx
             },
             Insn::Wait {
-                sens: Rc::new(vec![]),
+                sens: Arc::new(vec![]),
                 with_timeout: false,
             },
             Insn::Pop,

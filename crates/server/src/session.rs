@@ -452,6 +452,17 @@ impl Session {
             .get("max_cycles")
             .and_then(Json::as_u64)
             .unwrap_or(u64::MAX);
+        // Optional worker count for this run slice (observables are
+        // byte-identical at every count; 0 = one worker per CPU). The
+        // setting persists on the session's simulator until changed.
+        if let Some(jobs) = params.get("jobs").and_then(Json::as_u64) {
+            let jobs = if jobs == 0 {
+                std::thread::available_parallelism().map_or(1, |p| p.get())
+            } else {
+                jobs as usize
+            };
+            sim.set_jobs(jobs);
+        }
         let wall = ctl.wall_deadline;
         let shutting_down = ctl.shutting_down;
         let mut cancel = || Instant::now() >= wall || shutting_down.load(Ordering::Relaxed);

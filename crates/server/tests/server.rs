@@ -207,6 +207,42 @@ fn four_concurrent_sessions_match_the_serial_baseline() {
     join.join().expect("serve thread").expect("serve result");
 }
 
+/// The `run` op's `jobs` option executes each delta cycle on a kernel
+/// worker pool; the session's VCD text and every reported statistic must
+/// be byte-identical to a sequential session's.
+#[test]
+fn run_with_jobs_matches_sequential() {
+    let (addr, _handle, join) = start(quiet_cfg(4, 2));
+    let run_one = |jobs: Option<u64>| {
+        let mut c = Client::connect(&addr);
+        c.ok("analyze", analyze_fields());
+        c.ok("elaborate", vec![("entity", Json::str("tb"))]);
+        c.ok("trace", vec![("glob", Json::str("*"))]);
+        let mut fields = vec![("until", Json::str("40ns"))];
+        if let Some(j) = jobs {
+            fields.push(("jobs", Json::u64(j)));
+        }
+        let run = c.ok("run", fields);
+        let vcd = c.ok("vcd", vec![]);
+        (
+            run.to_text(),
+            vcd.get("text")
+                .and_then(Json::as_str)
+                .expect("vcd text")
+                .to_string(),
+        )
+    };
+    let seq = run_one(None);
+    for jobs in [2u64, 4] {
+        let par = run_one(Some(jobs));
+        assert_eq!(par.0, seq.0, "run result at jobs={jobs}");
+        assert_eq!(par.1, seq.1, "VCD text at jobs={jobs}");
+    }
+    let mut c = Client::connect(&addr);
+    c.ok("shutdown", vec![]);
+    join.join().expect("serve thread").expect("serve result");
+}
+
 #[test]
 fn warm_analyze_of_unchanged_units_is_a_cache_hit() {
     let (addr, _handle, join) = start(quiet_cfg(4, 2));

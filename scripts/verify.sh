@@ -39,17 +39,30 @@ echo "==> checkpoint/resume round-trip suite (kernel snapshot + server sessions)
 cargo test -q -p sim-kernel --lib snapshot
 cargo test -q -p vhdl-server --test server
 
-echo "==> exp_kernel smoke incl. compiled backend (low iters, scratch output dir)"
+echo "==> parallel delta-cycle byte-identity suite (jobs in {1,2,4,8}, both backends)"
+# The parallel property suite runs randomized wide designs (resolved
+# multi-writer buses, cross-partition drivers, delta storms, runtime
+# faults, compiled-fallback processes) at several worker counts and
+# demands VCD, full stats, reports, error identity, and checkpoint
+# blobs byte-identical to the sequential oracle — plus the 4-worker
+# steady state staying inside the sequential allocation budget.
+cargo test -q -p sim-kernel --test par
+
+echo "==> exp_kernel smoke incl. compiled backend + parallel series (low iters, scratch output dir)"
 # A quick pass over the kernel benchmarks proves they still run end to end
 # — including the interp-vs-compiled comparison series, whose preamble
 # asserts counter-identical dual-backend runs and full compilation (no
-# fallback processes); AG_BENCH_OUT keeps the committed full-iteration
+# fallback processes), and the E13 parallel series, whose preamble asserts
+# jobs=4 VCD byte-identity under both backends and whose critical-path
+# speedup must clear 2x; AG_BENCH_OUT keeps the committed full-iteration
 # results/ untouched.
 SMOKE_OUT="$(mktemp -d)"
 AG_BENCH_ITERS=2 AG_BENCH_OUT="$SMOKE_OUT" \
     cargo bench -q -p ag-bench --bench exp_kernel
 grep -q '"oscillator_speedup_compiled"' "$SMOKE_OUT/exp_kernel.json" \
     || { echo "verify: exp_kernel did not emit backend speedup metrics" >&2; exit 1; }
+grep -q '"sparse_par_speedup_4w_critical_path"' "$SMOKE_OUT/exp_kernel.json" \
+    || { echo "verify: exp_kernel did not emit the parallel speedup metric" >&2; exit 1; }
 rm -rf "$SMOKE_OUT"
 
 echo "==> batch mode on the end-to-end fixture (--jobs 4, then warm --incremental)"
@@ -86,7 +99,7 @@ done
 ./target/release/vhdld --connect "$ADDR" >"$BATCH_WORK/session.log" <<'EOF'
 {"op":"analyze","paths":["examples/full_adder.vhd"]}
 {"op":"elaborate","entity":"tb"}
-{"op":"run","until":"40ns"}
+{"op":"run","until":"40ns","jobs":2}
 {"op":"checkpoint"}
 {"op":"inspect","path":":tb:sum"}
 {"op":"shutdown"}
