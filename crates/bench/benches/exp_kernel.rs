@@ -496,6 +496,61 @@ fn main() {
         "4-worker critical-path speedup must clear 2x, got {cp_speedup:.2}x"
     );
 
+    // --- Realistic input: a vhdl-conform heavy design, elaborated
+    // through the full front end. Unlike the hand-built programs above,
+    // this exercises the kernel on compiler output: dozens of generated
+    // processes over a resolved-bus / sensitivity-web fabric, with
+    // recursion forcing partial interpreter fallback under the compiled
+    // backend. Cycle budgets (not deadlines) bound the run, since
+    // generated designs may contain zero-delay delta storms.
+    {
+        let design = vhdl_conform::gen_design(
+            &mut ag_harness::Source::from_seed(7),
+            vhdl_conform::Profile::Heavy,
+        );
+        let p = vhdl_conform::oracle::elaborate(&design).expect("heavy design elaborates");
+        let budget = 2_000u64;
+        let far = Time {
+            fs: u64::MAX / 4,
+            delta: 0,
+        };
+        let run = |backend: Backend| {
+            let mut sim = Simulator::new(p.clone());
+            sim.set_backend(backend);
+            sim.run_slice(far, budget, &mut || false).expect("runs");
+            sim.stats()
+        };
+        {
+            let a = run(Backend::Interp);
+            let b = run(Backend::Compiled);
+            assert_eq!(
+                (a.cycles, a.events, a.transactions, a.insns),
+                (b.cycles, b.events, b.transactions, b.insns),
+                "backends disagree on generated heavy design"
+            );
+        }
+        let s_i = r.measure("generated_heavy_2k_cycles/interp", || {
+            black_box(run(Backend::Interp))
+        });
+        println!(
+            "generated heavy, 2k cycles, interp:   median {}",
+            fmt_ns(s_i.median_ns)
+        );
+        let s_c = r.measure("generated_heavy_2k_cycles/compiled", || {
+            black_box(run(Backend::Compiled))
+        });
+        println!(
+            "generated heavy, 2k cycles, compiled: median {}",
+            fmt_ns(s_c.median_ns)
+        );
+        let st = run(Backend::Interp);
+        r.metric(
+            "generated_heavy_events_per_sec",
+            st.events as f64 / s_i.median_secs(),
+            "events/s",
+        );
+    }
+
     let p = timeout_storm(500);
     let storm_deadline = 100 * 1_000;
     {

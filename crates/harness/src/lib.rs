@@ -25,5 +25,7 @@ pub mod prop;
 pub mod rng;
 pub mod trace;
 
-pub use prop::{forall_impl, Config, Failed, Source, TestResult};
+pub use prop::{
+    forall_impl, parse_stream, render_stream, shrink_stream, Config, Failed, Source, TestResult,
+};
 pub use rng::Rng;

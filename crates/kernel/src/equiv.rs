@@ -500,6 +500,52 @@ fn runtime_error_boundary_identical_across_backends() {
     assert_eq!(compiled, interp);
 }
 
+/// The injected-fault knob the conformance oracle relies on must really
+/// change observable behavior: with `ResolutionFirstDriverOnly` armed, a
+/// two-writer resolved bus resolves to the first driver's value alone.
+#[test]
+fn test_fault_breaks_resolution_commit() {
+    use crate::sim::TestFault;
+    let build = || {
+        let mut prog = Program::default();
+        let f = prog.add_function(sum_mod4());
+        let bus = prog.add_signal("top.bus", Val::Int(0));
+        prog.signals[bus.0 as usize].resolution = Some(f);
+        // Two one-shot drivers: 1 and 2. Faithful resolution sums to 3;
+        // the faulted commit sees only the first driver's 1.
+        for (pi, v) in [1i64, 2].into_iter().enumerate() {
+            prog.add_process(
+                format!("top.p{pi}"),
+                0,
+                vec![
+                    Insn::PushInt(v),
+                    Insn::PushInt(1),
+                    Insn::Sched {
+                        sig: bus,
+                        transport: false,
+                    },
+                    Insn::Wait {
+                        sens: Arc::new(vec![]),
+                        with_timeout: false,
+                    },
+                    Insn::Pop,
+                    Insn::Halt,
+                ],
+            );
+        }
+        prog.finalize_sensitivity();
+        (prog, bus)
+    };
+    let (prog, bus) = build();
+    let mut honest = Simulator::new(prog.clone());
+    honest.run_until(Time::fs(5)).unwrap();
+    assert_eq!(honest.signal_value(bus), &Val::Int(3));
+    let mut faulted = Simulator::new(prog);
+    faulted.set_test_fault(Some(TestFault::ResolutionFirstDriverOnly));
+    faulted.run_until(Time::fs(5)).unwrap();
+    assert_eq!(faulted.signal_value(bus), &Val::Int(1));
+}
+
 /// The compiled backend strength-reduces `x mod 2^n` (positive `n`th
 /// power, immediate operand) to a bit mask. VHDL `mod` is the euclidean
 /// remainder, so the reduction must hold for negative `x` too — where

@@ -35,6 +35,6 @@ mod equiv;
 pub use isa::{ArrAttrKind, FnDecl, FnId, Insn, Program, SigAttr, SigId, VarAddr};
 pub use names::{NameError, NameServer, NsEntry, NsObject};
 pub use rts::{Op, RtError};
-pub use sim::{Backend, ReportEvent, RunOutcome, SimError, SimStats, Simulator};
+pub use sim::{Backend, ReportEvent, RunOutcome, SimError, SimStats, Simulator, TestFault};
 pub use snapshot::{Dec, Enc, SnapshotError};
 pub use value::{ArrVal, Time, VDir, Val};

@@ -362,6 +362,21 @@ pub enum RunOutcome {
     Cancelled,
 }
 
+/// A deliberately wrong kernel behavior, switchable at runtime, so the
+/// conformance subsystem's differential oracle can prove it detects and
+/// shrinks real semantic divergences (`vhdlconform run --inject-fault`).
+/// Never set outside tests and the conform harness; the default-off flag
+/// costs one branch on the resolution path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[doc(hidden)]
+#[non_exhaustive]
+pub enum TestFault {
+    /// Resolution commit sees only the first driver's contribution —
+    /// the classic lost-update bug a broken parallel commit would
+    /// produce on a multi-writer bus.
+    ResolutionFirstDriverOnly,
+}
+
 /// The simulator: program + live state.
 ///
 /// The program and the signal states live behind `Arc` so a parallel
@@ -427,6 +442,8 @@ pub struct Simulator<'a> {
     par_total_ns: u64,
     /// Summed per-cycle maximum chunk nanoseconds (profiling mode).
     par_critical_ns: u64,
+    /// Deliberate misbehavior for differential-oracle self-tests.
+    test_fault: Option<TestFault>,
 }
 
 /// Why a compiled activation stopped early (internal control flow of the
@@ -529,7 +546,17 @@ impl<'a> Simulator<'a> {
             par_profile: false,
             par_total_ns: 0,
             par_critical_ns: 0,
+            test_fault: None,
         }
+    }
+
+    /// Arms a deliberate kernel misbehavior (see [`TestFault`]). The
+    /// conformance oracle sets this on selected configuration cells to
+    /// prove divergence detection end to end; production paths never
+    /// call it.
+    #[doc(hidden)]
+    pub fn set_test_fault(&mut self, fault: Option<TestFault>) {
+        self.test_fault = fault;
     }
 
     /// Mutable view of the signal states. Only the coordinator between
@@ -997,7 +1024,17 @@ impl<'a> Simulator<'a> {
                 // the argument.
                 let mut vals = std::mem::take(&mut self.res_scratch);
                 vals.clear();
-                vals.extend(self.signals[si].drivers.iter().map(|d| d.driving.clone()));
+                let take = match self.test_fault {
+                    Some(TestFault::ResolutionFirstDriverOnly) => 1,
+                    None => n_drivers,
+                };
+                vals.extend(
+                    self.signals[si]
+                        .drivers
+                        .iter()
+                        .take(take)
+                        .map(|d| d.driving.clone()),
+                );
                 let data = Arc::new(vals);
                 let arg = Val::Arr(ArrVal {
                     left: 0,
@@ -1629,7 +1666,16 @@ impl<'e> Exec<'e> {
                         }
                         let timeout = if *with_timeout {
                             let fs = pop_int(proc)?;
-                            let t = self.now.plus_fs(fs.max(0) as u64);
+                            // A zero-duration wait resumes in the *next
+                            // delta cycle* (LRM 8.1); `plus_fs(0)` would
+                            // reset the delta and land in the past,
+                            // pinning time while this process's own
+                            // delta-delayed drivers starve unmatured.
+                            let t = if fs <= 0 {
+                                self.now.next_delta()
+                            } else {
+                                self.now.plus_fs(fs as u64)
+                            };
                             self.eff.timeouts.push(t);
                             Some(t)
                         } else {
@@ -1786,7 +1832,13 @@ impl<'e> Exec<'e> {
                                 let pre = self.eval_arg(proc, arg, fuel)?;
                                 charge(fuel)?;
                                 let fs = take_int(proc, pre)?;
-                                let t = self.now.plus_fs(fs.max(0) as u64);
+                                // Zero-duration wait: next delta, as in
+                                // the interpreter's `Insn::Wait` above.
+                                let t = if fs <= 0 {
+                                    self.now.next_delta()
+                                } else {
+                                    self.now.plus_fs(fs as u64)
+                                };
                                 self.eff.timeouts.push(t);
                                 Some(t)
                             }

@@ -65,6 +65,28 @@ grep -q '"sparse_par_speedup_4w_critical_path"' "$SMOKE_OUT/exp_kernel.json" \
     || { echo "verify: exp_kernel did not emit the parallel speedup metric" >&2; exit 1; }
 rm -rf "$SMOKE_OUT"
 
+echo "==> generative differential conformance (corpus replay + fresh fuzz + fault canary)"
+# Replay every checked-in corpus seed through the full eight-cell
+# configuration matrix ({interp,compiled} x {1,4 workers} x
+# {solid,checkpoint-restore}) demanding byte-identity and golden-digest
+# stability, then fuzz a bounded batch of fresh deterministic seeds.
+# Fully offline; seeds are fixed so the gate is reproducible.
+CONFORM_TMP="$(mktemp -d)"
+./target/release/vhdlconform run --seed-dir tests/corpus
+./target/release/vhdlconform run --fresh 32 --seed 0x5eed
+# Fault canary: a deliberately broken resolution commit (parallel cells
+# see only the first driver) must make the gate FAIL, and the failure
+# must come with a minimized reproducer — proving the oracle and the
+# shrinker actually have teeth, not just that the kernel is healthy.
+if ./target/release/vhdlconform run --fresh 32 --seed 1 --inject-fault \
+    >"$CONFORM_TMP/fault.log" 2>&1; then
+    echo "verify: injected resolution fault was NOT caught by the matrix" >&2
+    exit 1
+fi
+grep -q "minimized reproducer" "$CONFORM_TMP/fault.log" \
+    || { echo "verify: fault detection did not produce a minimized reproducer" >&2; exit 1; }
+rm -rf "$CONFORM_TMP"
+
 echo "==> batch mode on the end-to-end fixture (--jobs 4, then warm --incremental)"
 # The full-adder example is a 10-unit design; compile it through the batch
 # scheduler on 4 workers into a throwaway work library, then rerun warm
