@@ -269,6 +269,19 @@ fn main() -> ExitCode {
             phases.parse, phases.attr_eval, phases.vif_read, phases.vif_write, phases.codegen,
             phases.backend
         );
+        let vb = vhdl_vif::vifb_stats();
+        eprintln!(
+            "vifb: {} cache hits, {} misses, {} decodes, {} encodes, {} text parses",
+            vb.cache_hits, vb.cache_misses, vb.decodes, vb.encodes, vb.text_parses
+        );
+    }
+    if args.trace_phases {
+        let vb = vhdl_vif::vifb_stats();
+        ag_harness::trace::counter("vifb-cache-hit", vb.cache_hits);
+        ag_harness::trace::counter("vifb-cache-miss", vb.cache_misses);
+        ag_harness::trace::counter("vifb-decode", vb.decodes);
+        ag_harness::trace::counter("vifb-encode", vb.encodes);
+        ag_harness::trace::counter("vifb-text-parse", vb.text_parses);
     }
 
     if let Some((program, c_text)) = program {

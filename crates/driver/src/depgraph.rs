@@ -68,6 +68,20 @@ pub fn fnv1a_bytes(h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// Signature of a batch input set: file names and sources, separated and
+/// length-framed so adjacent entries can't alias. Keys the driver's batch
+/// plan cache — two calls with equal signatures parsed the same inputs.
+pub fn files_signature(files: &[(String, String)]) -> u64 {
+    let mut h = fnv1a_bytes(0, &(files.len() as u64).to_le_bytes());
+    for (name, src) in files {
+        h = fnv1a_bytes(h, &(name.len() as u64).to_le_bytes());
+        h = fnv1a_bytes(h, name.as_bytes());
+        h = fnv1a_bytes(h, &(src.len() as u64).to_le_bytes());
+        h = fnv1a_bytes(h, src.as_bytes());
+    }
+    h
+}
+
 /// Hash of a unit's token run: every token's kind name and spelling,
 /// separated so adjacent tokens can't alias.
 pub fn src_hash(toks: &[SrcTok]) -> u64 {

@@ -119,6 +119,10 @@ pub struct Compiler {
     pub analyzer: Analyzer,
     /// Work + reference libraries.
     pub libs: Rc<LibrarySet>,
+    /// Memoized batch front halves (parse trees + staged dep graphs); a
+    /// warm [`Compiler::compile_batch`] over unchanged files and libraries
+    /// skips parsing and graph staging entirely.
+    pub plans: RefCell<batch::PlanCache>,
 }
 
 impl Compiler {
@@ -127,6 +131,7 @@ impl Compiler {
         Compiler {
             analyzer: Analyzer::new(EnvKind::Tree),
             libs: Rc::new(LibrarySet::new(Rc::new(Library::in_memory("work")), vec![])),
+            plans: RefCell::new(batch::PlanCache::default()),
         }
     }
 
@@ -136,6 +141,7 @@ impl Compiler {
         Compiler {
             analyzer: Analyzer::new(kind),
             libs: Rc::new(LibrarySet::new(Rc::new(Library::in_memory("work")), vec![])),
+            plans: RefCell::new(batch::PlanCache::default()),
         }
     }
 
@@ -151,6 +157,7 @@ impl Compiler {
                 Rc::new(Library::on_disk("work", dir)?),
                 vec![],
             )),
+            plans: RefCell::new(batch::PlanCache::default()),
         })
     }
 

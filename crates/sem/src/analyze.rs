@@ -29,8 +29,23 @@ pub trait UnitLoader {
 }
 
 impl UnitLoader for LibrarySet {
+    /// A missing unit is an expected outcome (analysis reports the
+    /// undefined reference at the use site); any *other* load failure — a
+    /// malformed dependency VIF, an I/O error — is a library-integrity
+    /// problem that must not be silently conflated with "absent". Those
+    /// are counted under the `vif-load-corrupt` trace counter, and the
+    /// full attributed error ([`vhdl_vif::VifError::InUnit`] naming the
+    /// offending unit) is available to drivers that call
+    /// [`LibrarySet::load`] directly.
     fn load_unit(&self, lib: &str, key: &str) -> Option<Rc<VifNode>> {
-        self.load(&format!("{lib}.{key}")).ok()
+        match self.load(&format!("{lib}.{key}")) {
+            Ok(node) => Some(node),
+            Err(vhdl_vif::VifError::MissingUnit(_)) => None,
+            Err(_) => {
+                ag_harness::trace::counter("vif-load-corrupt", 1);
+                None
+            }
+        }
     }
 
     fn latest_architecture(&self, entity: &str) -> Option<String> {

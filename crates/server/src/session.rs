@@ -99,6 +99,7 @@ impl Session {
                     Rc::new(Library::from_snapshot(snap)),
                     vec![],
                 )),
+                plans: RefCell::new(Default::default()),
             },
             None => Compiler::in_memory(),
         };

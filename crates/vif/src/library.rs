@@ -7,19 +7,34 @@
 //! default-binding rules depend on "the latest compiled architecture for
 //! that entity" (§3.3), which makes configuration defaults dependent on
 //! library history.
+//!
+//! Alongside the canonical VIF *text* every unit may carry a **VIFB
+//! sidecar** (see [`crate::binary`]): the same tree in the flat binary
+//! encoding, stamped with the FNV-1a hash of the text it mirrors. Text
+//! remains the interchange format and the golden oracle; the sidecar is a
+//! pure accelerator. A sidecar whose embedded hash does not match the
+//! current text (stale file, torn write) is ignored and re-encoded from
+//! text on the next load, so a wrong sidecar can cost time but never
+//! correctness.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use crate::binary::{self, decode_vifb, encode_vifb, probe_vifb};
 use crate::node::VifNode;
-use crate::text::{read_vif, write_vif, VifError};
+use crate::text::{read_vif, read_vif_unresolved, scan_foreign_refs, write_vif, VifError};
 
 /// Key of a unit within a library: `"entity.<name>"`, `"arch.<entity>.<name>"`,
 /// `"pkg.<name>"`, `"pkgbody.<name>"`, or `"config.<name>"`.
 pub type UnitKey = String;
+
+/// Foreign-reference chains (and the content-hash recursion that mirrors
+/// them) deeper than this are reported as errors rather than followed —
+/// a hand-made cyclic library must not hang the loader.
+const MAX_LOAD_DEPTH: usize = 64;
 
 /// Cumulative VIF traffic statistics (for the phase-breakdown experiments).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,12 +54,24 @@ enum Backend {
     Disk(PathBuf),
 }
 
+/// Per-unit facts derived from the current text, memoized until the unit
+/// is recompiled: the text hash (which keys the sidecar validity check)
+/// and the foreign references in first-occurrence order (which feed the
+/// deep content hash).
+#[derive(Clone)]
+struct Fingerprint {
+    text_hash: u64,
+    foreigns: Rc<[Rc<str>]>,
+}
+
 /// A thread-transferable image of a library: unit texts plus the usage
 /// history, in history order. Unit texts are shared `Arc<str>` — taking a
 /// snapshot of an in-memory library copies no text, and cloning a snapshot
 /// (the batch compiler ships one per worker, each rebuilding a mirror with
 /// [`Library::from_snapshot`]; the server forks one per session workspace)
-/// only bumps reference counts.
+/// only bumps reference counts. VIFB sidecars travel the same way as
+/// shared `Arc<[u8]>` buffers, so worker mirrors decode binary instead of
+/// re-lexing text.
 #[derive(Clone, Debug)]
 pub struct LibrarySnapshot {
     /// Library logical name.
@@ -56,6 +83,8 @@ pub struct LibrarySnapshot {
     /// Incremental stamps at snapshot time, so a forked workspace's
     /// first analyze of unchanged text is a cache hit.
     pub stamps: Vec<(UnitKey, u64)>,
+    /// VIFB sidecars for the units that have one (shared buffers).
+    pub vifbs: Vec<(UnitKey, Arc<[u8]>)>,
 }
 
 /// One design library.
@@ -70,13 +99,24 @@ pub struct Library {
     cache: RefCell<HashMap<UnitKey, Rc<VifNode>>>,
     /// Caching toggle: the paper's compiler re-read foreign VIF per
     /// compilation; disabling the cache reproduces that cost model for the
-    /// performance experiments.
-    cache_enabled: std::cell::Cell<bool>,
+    /// performance experiments (and also bypasses the structural cache).
+    cache_enabled: Cell<bool>,
     /// Incremental-compilation stamps: content hash of the source tokens
     /// combined with the hashes of the dependency VIF texts at the time
     /// the unit was last analyzed. A unit whose recomputed stamp matches
     /// needs no re-analysis.
     stamps: RefCell<HashMap<UnitKey, u64>>,
+    /// In-memory VIFB sidecars (disk libraries keep them in `<unit>.vifb`
+    /// files instead).
+    vifbs: RefCell<HashMap<UnitKey, Arc<[u8]>>>,
+    /// Memoized per-unit fingerprints (cleared on recompile).
+    fingerprints: RefCell<HashMap<UnitKey, Fingerprint>>,
+    /// Memoized deep content hashes, tagged with the library-set
+    /// generation sum they were computed under (stale tags recompute).
+    content_hashes: RefCell<HashMap<UnitKey, (u64, u64)>>,
+    /// Bumped on every successful store; generation sums only grow, which
+    /// is what makes the content-hash memo tag sound.
+    generation: Cell<u64>,
 }
 
 impl Library {
@@ -88,8 +128,12 @@ impl Library {
             history: RefCell::new(Vec::new()),
             traffic: RefCell::new(VifTraffic::default()),
             cache: RefCell::new(HashMap::new()),
-            cache_enabled: std::cell::Cell::new(true),
+            cache_enabled: Cell::new(true),
             stamps: RefCell::new(HashMap::new()),
+            vifbs: RefCell::new(HashMap::new()),
+            fingerprints: RefCell::new(HashMap::new()),
+            content_hashes: RefCell::new(HashMap::new()),
+            generation: Cell::new(0),
         }
     }
 
@@ -108,6 +152,12 @@ impl Library {
         }
         *lib.history.borrow_mut() = snap.history.clone();
         *lib.stamps.borrow_mut() = snap.stamps.iter().cloned().collect();
+        *lib.vifbs.borrow_mut() = snap
+            .vifbs
+            .iter()
+            .map(|(k, b)| (k.clone(), Arc::clone(b)))
+            .collect();
+        lib.generation.set(snap.units.len() as u64);
         lib
     }
 
@@ -117,12 +167,16 @@ impl Library {
         let history = self.history.borrow().clone();
         let mut seen = std::collections::HashSet::new();
         let mut units = Vec::new();
+        let mut vifbs = Vec::new();
         for k in &history {
             if !seen.insert(k.clone()) {
                 continue;
             }
             if let Ok(text) = self.peek_shared(k) {
                 units.push((k.clone(), text));
+                if let Some(b) = self.peek_vifb(k) {
+                    vifbs.push((k.clone(), b));
+                }
             }
         }
         let mut stamps: Vec<(UnitKey, u64)> = self
@@ -137,6 +191,7 @@ impl Library {
             history,
             units,
             stamps,
+            vifbs,
         }
     }
 
@@ -174,14 +229,25 @@ impl Library {
             history: RefCell::new(history),
             traffic: RefCell::new(VifTraffic::default()),
             cache: RefCell::new(HashMap::new()),
-            cache_enabled: std::cell::Cell::new(true),
+            cache_enabled: Cell::new(true),
             stamps: RefCell::new(stamps),
+            vifbs: RefCell::new(HashMap::new()),
+            fingerprints: RefCell::new(HashMap::new()),
+            content_hashes: RefCell::new(HashMap::new()),
+            generation: Cell::new(0),
         })
     }
 
     /// The library's logical name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Monotonic store counter: bumped on every successful `put*`. The
+    /// [`LibrarySet`] sums these to tag content-hash memos; any change to
+    /// any library in the set strictly increases the sum.
+    pub fn generation(&self) -> u64 {
+        self.generation.get()
     }
 
     /// Stores a unit (replacing any previous version) and appends it to the
@@ -191,12 +257,22 @@ impl Library {
     ///
     /// I/O errors on disk-backed libraries.
     pub fn put(&self, key: &str, node: &Rc<VifNode>) -> Result<(), VifError> {
-        self.put_text(key, &write_vif(node))
+        let text = write_vif(node);
+        // Encoding straight from the tree matches encoding a reparse of
+        // the text (the canonicality property), so the sidecar is valid
+        // for the exact bytes being stored.
+        let vifb = crate::binary::encode_vifb(node, crate::binary::fnv1a(0, text.as_bytes()));
+        self.put_text_with_vifb(key, &text, &vifb)
     }
 
     /// Stores a unit from its already-serialized VIF text. This is the
     /// primitive `put` builds on; the batch compiler also uses it directly
     /// so the committed bytes are exactly the worker-produced bytes.
+    ///
+    /// Any existing VIFB sidecar for the unit is dropped (it mirrors text
+    /// that no longer exists); the next load re-encodes one. Use
+    /// [`Library::put_text_with_vifb`] to install text and sidecar
+    /// together.
     ///
     /// The store is atomic: on disk the text is written to a temp file and
     /// renamed over the unit file, and no in-memory state (cache, history,
@@ -207,6 +283,23 @@ impl Library {
     ///
     /// I/O errors on disk-backed libraries.
     pub fn put_text(&self, key: &str, text: &str) -> Result<(), VifError> {
+        self.store(key, text, None)
+    }
+
+    /// Stores a unit's VIF text together with its VIFB sidecar (produced
+    /// by the same worker that printed the text). The text store has the
+    /// same atomicity guarantees as [`Library::put_text`]; the sidecar
+    /// write is best-effort — a lost sidecar is re-encoded on next load,
+    /// and a wrong one is rejected by its embedded text hash.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors on disk-backed libraries (for the text store).
+    pub fn put_text_with_vifb(&self, key: &str, text: &str, vifb: &[u8]) -> Result<(), VifError> {
+        self.store(key, text, Some(vifb))
+    }
+
+    fn store(&self, key: &str, text: &str, vifb: Option<&[u8]>) -> Result<(), VifError> {
         match &self.backend {
             Backend::Memory(m) => {
                 m.borrow_mut().insert(key.to_string(), Arc::from(text));
@@ -224,12 +317,19 @@ impl Library {
                 }
             }
         }
+        match vifb {
+            Some(b) => self.store_vifb_sidecar(key, b),
+            None => self.drop_vifb(key),
+        }
         {
             let mut t = self.traffic.borrow_mut();
             t.bytes_written += text.len() as u64;
             t.units_written += 1;
         }
         self.cache.borrow_mut().remove(key);
+        self.fingerprints.borrow_mut().remove(key);
+        self.content_hashes.borrow_mut().remove(key);
+        self.generation.set(self.generation.get() + 1);
         // A recompile invalidates any stamp from the previous analysis;
         // the incremental driver re-stamps after a successful commit.
         self.stamps.borrow_mut().remove(key);
@@ -241,6 +341,56 @@ impl Library {
             }
         }
         Ok(())
+    }
+
+    /// Installs (or repairs) the VIFB sidecar for a unit. Best-effort:
+    /// disk write failures are swallowed — the sidecar is an accelerator,
+    /// never load-bearing.
+    fn store_vifb_sidecar(&self, key: &str, vifb: &[u8]) {
+        match &self.backend {
+            Backend::Memory(_) => {
+                self.vifbs
+                    .borrow_mut()
+                    .insert(key.to_string(), Arc::from(vifb));
+            }
+            Backend::Disk(dir) => {
+                let path = dir.join(format!("{}.vifb", sanitize(key)));
+                let tmp = dir.join(format!("{}.vifb.tmp", sanitize(key)));
+                if std::fs::write(&tmp, vifb).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+        }
+    }
+
+    fn drop_vifb(&self, key: &str) {
+        match &self.backend {
+            Backend::Memory(_) => {
+                self.vifbs.borrow_mut().remove(key);
+            }
+            Backend::Disk(dir) => {
+                let _ = std::fs::remove_file(dir.join(format!("{}.vifb", sanitize(key))));
+            }
+        }
+    }
+
+    /// The unit's VIFB sidecar bytes, if present (no traffic is counted;
+    /// no validity check — callers verify the embedded text hash).
+    pub fn peek_vifb(&self, key: &str) -> Option<Arc<[u8]>> {
+        match &self.backend {
+            Backend::Memory(_) => self.vifbs.borrow().get(key).cloned(),
+            Backend::Disk(dir) => {
+                if let Some(b) = self.vifbs.borrow().get(key) {
+                    return Some(Arc::clone(b));
+                }
+                let bytes = std::fs::read(dir.join(format!("{}.vifb", sanitize(key)))).ok()?;
+                let shared: Arc<[u8]> = Arc::from(bytes);
+                self.vifbs
+                    .borrow_mut()
+                    .insert(key.to_string(), Arc::clone(&shared));
+                Some(shared)
+            }
+        }
     }
 
     /// The unit's incremental stamp, if one was recorded.
@@ -303,13 +453,63 @@ impl Library {
         }
     }
 
+    /// FNV-1a hash of the unit's current VIF text (memoized until the
+    /// unit is recompiled). This is the hash a valid sidecar embeds, and
+    /// the per-dependency ingredient of incremental stamps — the batch
+    /// driver uses it instead of re-reading and re-hashing dep text.
+    ///
+    /// # Errors
+    ///
+    /// [`VifError::MissingUnit`] if absent; I/O errors on disk.
+    pub fn text_hash(&self, key: &str) -> Result<u64, VifError> {
+        Ok(self.fingerprint(key)?.text_hash)
+    }
+
+    fn fingerprint(&self, key: &str) -> Result<Fingerprint, VifError> {
+        if let Some(fp) = self.fingerprints.borrow().get(key) {
+            return Ok(fp.clone());
+        }
+        let text = self.peek_shared(key)?;
+        let fp = Fingerprint {
+            text_hash: binary::fnv1a(0, text.as_bytes()),
+            foreigns: scan_foreign_refs(&text).into(),
+        };
+        self.fingerprints
+            .borrow_mut()
+            .insert(key.to_string(), fp.clone());
+        Ok(fp)
+    }
+
+    fn content_hash_memo(&self, key: &str, gen_tag: u64) -> Option<u64> {
+        match self.content_hashes.borrow().get(key) {
+            Some(&(tag, h)) if tag == gen_tag => Some(h),
+            _ => None,
+        }
+    }
+
+    fn set_content_hash_memo(&self, key: &str, gen_tag: u64, h: u64) {
+        self.content_hashes
+            .borrow_mut()
+            .insert(key.to_string(), (gen_tag, h));
+    }
+
     /// Raw VIF text of a unit.
     ///
     /// # Errors
     ///
     /// [`VifError::MissingUnit`] if absent; I/O errors on disk.
     pub fn raw(&self, key: &str) -> Result<String, VifError> {
-        let text = self.peek_raw(key)?;
+        self.raw_shared(key).map(|t| t.to_string())
+    }
+
+    /// Like [`Library::raw`] but returns the shared text (traffic is
+    /// counted; in-memory libraries copy nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`VifError::MissingUnit`] if absent; I/O errors on disk.
+    pub fn raw_shared(&self, key: &str) -> Result<Arc<str>, VifError> {
+        let text = self.peek_shared(key)?;
         {
             let mut t = self.traffic.borrow_mut();
             t.bytes_read += text.len() as u64;
@@ -355,11 +555,17 @@ impl Library {
     }
 
     /// Enables/disables the unit cache (see the performance experiments).
+    /// Disabling also bypasses the shared structural cache and the VIFB
+    /// fast path, reproducing the paper's re-read-foreign-VIF cost model.
     pub fn set_cache_enabled(&self, on: bool) {
         self.cache_enabled.set(on);
         if !on {
             self.cache.borrow_mut().clear();
         }
+    }
+
+    fn cache_on(&self) -> bool {
+        self.cache_enabled.get()
     }
 
     fn cache_get(&self, key: &str) -> Option<Rc<VifNode>> {
@@ -429,15 +635,42 @@ impl LibrarySet {
         self.refs.iter().find(|l| l.name() == name)
     }
 
+    /// Sum of all member libraries' store generations. Strictly increases
+    /// on any `put` anywhere in the set, which makes it a sound staleness
+    /// tag for anything derived from library contents (content-hash
+    /// memos here, batch plans in the driver).
+    pub fn generation(&self) -> u64 {
+        let mut g = self.work.generation();
+        for l in &self.refs {
+            g += l.generation();
+        }
+        g
+    }
+
     /// Loads a unit by full reference `lib.unit_key`, resolving nested
     /// foreign references recursively (the §2.2 "fix-up" step). Results are
-    /// cached per library.
+    /// cached per library, and — when caching is enabled — shared across
+    /// libraries, sessions, and batch-worker mirrors on the same thread
+    /// through the structural [`NodeCache`](crate::binary), keyed by the
+    /// unit's deep content hash. Structural misses decode the VIFB
+    /// sidecar when a valid one exists and only fall back to text (then
+    /// re-encode the sidecar) when it doesn't.
     ///
     /// # Errors
     ///
     /// [`VifError::MissingUnit`]/[`VifError::Unresolved`] for dangling
-    /// references; syntax errors for corrupt files.
+    /// references; syntax errors for corrupt files, wrapped in
+    /// [`VifError::InUnit`] naming the offending unit.
     pub fn load(&self, full_ref: &str) -> Result<Rc<VifNode>, VifError> {
+        self.load_at(full_ref, 0)
+    }
+
+    fn load_at(&self, full_ref: &str, depth: usize) -> Result<Rc<VifNode>, VifError> {
+        if depth > MAX_LOAD_DEPTH {
+            return Err(VifError::Unresolved(format!(
+                "reference chain deeper than {MAX_LOAD_DEPTH} at `{full_ref}` (cycle?)"
+            )));
+        }
         let (lib_name, key) = full_ref
             .split_once('.')
             .ok_or_else(|| VifError::Unresolved(full_ref.to_string()))?;
@@ -447,10 +680,116 @@ impl LibrarySet {
         if let Some(hit) = lib.cache_get(key) {
             return Ok(hit);
         }
-        let text = lib.raw(key)?;
-        let node = read_vif(&text, &mut |nested| self.load(nested))?;
+        // Every load is VIF traffic, structural hit or not — the traffic
+        // counters measure interchange volume, not parse effort.
+        let text = lib.raw_shared(key)?;
+        let unit_name = || format!("{}.{key}", lib.name());
+
+        if !lib.cache_on() {
+            // Ablation mode: the paper's cost model — re-read and re-lex
+            // the text every time, no sharing of any kind.
+            binary::note_text_parse();
+            return read_vif(&text, &mut |nested| self.load_at(nested, depth + 1))
+                .map_err(|e| e.in_unit(unit_name()));
+        }
+
+        let chash = self.content_hash(lib, key, depth)?;
+        if let Some(node) = binary::cache_lookup(chash) {
+            lib.cache_put(key, Rc::clone(&node));
+            return Ok(node);
+        }
+
+        let node = match self.try_sidecar(lib, key, depth)? {
+            Some(node) => node,
+            None => self.parse_text_and_repair(lib, key, &text, depth)?,
+        };
+        binary::cache_insert(chash, &node);
         lib.cache_put(key, Rc::clone(&node));
         Ok(node)
+    }
+
+    /// Decodes the unit's VIFB sidecar if one exists and its embedded
+    /// text hash matches the current text. Returns `Ok(None)` when the
+    /// sidecar is absent, stale, or corrupt (the text fallback covers
+    /// those); propagates real errors from nested loads.
+    fn try_sidecar(
+        &self,
+        lib: &Rc<Library>,
+        key: &str,
+        depth: usize,
+    ) -> Result<Option<Rc<VifNode>>, VifError> {
+        let Some(vifb) = lib.peek_vifb(key) else {
+            return Ok(None);
+        };
+        let text_hash = lib.fingerprint(key)?.text_hash;
+        match probe_vifb(&vifb) {
+            Ok(header) if header.text_hash == text_hash => {}
+            // Stale (hash mismatch) or corrupt header: ignore the sidecar.
+            _ => return Ok(None),
+        }
+        match decode_vifb(&vifb, &mut |nested| self.load_at(nested, depth + 1)) {
+            Ok(node) => Ok(Some(node)),
+            // Corrupt body: fall back to text (which will re-encode).
+            Err(VifError::Binary(_)) => Ok(None),
+            // A nested load failed — that error is real either way.
+            Err(e) => Err(e.in_unit(format!("{}.{key}", lib.name()))),
+        }
+    }
+
+    /// The text path of a structural miss: lex the text (resolving nested
+    /// refs), then re-encode a fresh sidecar from the *unresolved* tree so
+    /// foreign references stay references in the binary form.
+    fn parse_text_and_repair(
+        &self,
+        lib: &Rc<Library>,
+        key: &str,
+        text: &str,
+        depth: usize,
+    ) -> Result<Rc<VifNode>, VifError> {
+        binary::note_text_parse();
+        let node = read_vif(text, &mut |nested| self.load_at(nested, depth + 1))
+            .map_err(|e| e.in_unit(format!("{}.{key}", lib.name())))?;
+        if let Ok(raw) = read_vif_unresolved(text) {
+            let text_hash = binary::fnv1a(0, text.as_bytes());
+            lib.store_vifb_sidecar(key, &encode_vifb(&raw, text_hash));
+        }
+        Ok(node)
+    }
+
+    /// Deep content hash of a unit: the FNV-1a hash of its text combined
+    /// with the (sorted) foreign references and their deep hashes. Two
+    /// units with equal content hashes load to structurally identical
+    /// trees, so this keys the shared structural cache. Memoized per
+    /// library under the current generation sum.
+    fn content_hash(&self, lib: &Rc<Library>, key: &str, depth: usize) -> Result<u64, VifError> {
+        if depth > MAX_LOAD_DEPTH {
+            return Err(VifError::Unresolved(format!(
+                "reference chain deeper than {MAX_LOAD_DEPTH} at `{}.{key}` (cycle?)",
+                lib.name()
+            )));
+        }
+        let gen_tag = self.generation();
+        if let Some(h) = lib.content_hash_memo(key, gen_tag) {
+            return Ok(h);
+        }
+        let fp = lib.fingerprint(key)?;
+        let mut h = fp.text_hash;
+        // Sorted so sidecar-order and text-order fingerprints agree.
+        let mut foreigns: Vec<&Rc<str>> = fp.foreigns.iter().collect();
+        foreigns.sort();
+        for f in foreigns {
+            let (dlib_name, dkey) = f
+                .split_once('.')
+                .ok_or_else(|| VifError::Unresolved(f.to_string()))?;
+            let dlib = self
+                .library(dlib_name)
+                .ok_or_else(|| VifError::Unresolved(format!("no library `{dlib_name}`")))?;
+            let dh = self.content_hash(dlib, dkey, depth + 1)?;
+            h = binary::fnv1a(h, f.as_bytes());
+            h = binary::fnv1a(h, &dh.to_le_bytes());
+        }
+        lib.set_content_hash_memo(key, gen_tag, h);
+        Ok(h)
     }
 
     /// Total VIF traffic across all libraries.
@@ -498,6 +837,8 @@ mod tests {
         lib.put("arch.e.rtl", &unit("rtl")).unwrap();
         assert_eq!(lib.latest_architecture("e"), Some("rtl".to_string()));
         assert_eq!(lib.latest_architecture("other"), None);
+        // Each put bumps the generation.
+        assert_eq!(lib.generation(), 4);
     }
 
     #[test]
@@ -573,6 +914,7 @@ mod tests {
         let old_text = lib.raw("entity.e").unwrap();
         let history_before = lib.history();
         let traffic_before = lib.traffic();
+        let generation_before = lib.generation();
 
         // Force the unit-file rename to fail deterministically (works even
         // as root, where a read-only dir would not): occupy the target
@@ -584,10 +926,11 @@ mod tests {
 
         let err = lib.put("entity.e", &unit("v2"));
         assert!(err.is_err(), "rename onto a non-empty dir must fail");
-        // No stale in-memory copy: history, traffic, and stamp unchanged;
-        // no temp file left behind.
+        // No stale in-memory copy: history, traffic, generation, and stamp
+        // unchanged; no temp file left behind.
         assert_eq!(lib.history(), history_before);
         assert_eq!(lib.traffic(), traffic_before);
+        assert_eq!(lib.generation(), generation_before);
         assert_eq!(lib.stamp("entity.e"), Some(0xabcd));
         assert!(!dir.join("entity.e.vif.tmp").exists());
 
@@ -685,5 +1028,217 @@ mod tests {
         assert!(lib.traffic().bytes_written > 0);
         lib.reset_traffic();
         assert_eq!(lib.traffic(), VifTraffic::default());
+    }
+
+    /// Builds the VIFB sidecar for a text the way the batch workers do:
+    /// encode the unresolved tree, stamped with the text's hash.
+    fn sidecar_for(text: &str) -> Vec<u8> {
+        let raw = read_vif_unresolved(text).unwrap();
+        encode_vifb(&raw, binary::fnv1a(0, text.as_bytes()))
+    }
+
+    #[test]
+    fn load_repairs_missing_sidecar_on_disk() {
+        let dir = std::env::temp_dir().join(format!("vif-side-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lib = Rc::new(Library::on_disk("work", &dir).unwrap());
+        // `put` installs text + sidecar together; storing bare text (the
+        // primitive every sidecar-less writer bottoms out in) drops it.
+        lib.put("entity.e", &unit("e")).unwrap();
+        assert!(dir.join("entity.e.vifb").exists(), "put installs a sidecar");
+        let text = lib.peek_raw("entity.e").unwrap();
+        lib.put_text("entity.e", &text).unwrap();
+        assert!(
+            !dir.join("entity.e.vifb").exists(),
+            "bare put_text stores no sidecar"
+        );
+        let set = LibrarySet::new(Rc::clone(&lib), vec![]);
+        let loaded = set.load("work.entity.e").unwrap();
+        assert_eq!(loaded.name(), Some("e"));
+        // The text-path load repaired the sidecar...
+        assert!(dir.join("entity.e.vifb").exists());
+        // ...and it is valid: embedded hash matches the text, and a fresh
+        // library decodes it to the same tree.
+        let text = lib.peek_raw("entity.e").unwrap();
+        let lib2 = Rc::new(Library::on_disk("work", &dir).unwrap());
+        let vifb = lib2.peek_vifb("entity.e").unwrap();
+        let header = probe_vifb(&vifb).unwrap();
+        assert_eq!(header.text_hash, binary::fnv1a(0, text.as_bytes()));
+        let set2 = LibrarySet::new(lib2, vec![]);
+        assert_eq!(set2.load("work.entity.e").unwrap(), loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_or_corrupt_sidecar_falls_back_to_text() {
+        let lib = Rc::new(Library::in_memory("work"));
+        let text_a = write_vif(&unit("a"));
+        let text_b = write_vif(&unit("b"));
+        // Stale: sidecar mirrors text A but the unit stores text B.
+        lib.put_text_with_vifb("entity.e", &text_b, &sidecar_for(&text_a))
+            .unwrap();
+        let set = LibrarySet::new(Rc::clone(&lib), vec![]);
+        assert_eq!(
+            set.load("work.entity.e").unwrap().name(),
+            Some("b"),
+            "hash-mismatched sidecar must be ignored"
+        );
+        // The fallback repaired the sidecar in place.
+        let repaired = lib.peek_vifb("entity.e").unwrap();
+        assert_eq!(
+            probe_vifb(&repaired).unwrap().text_hash,
+            binary::fnv1a(0, text_b.as_bytes())
+        );
+
+        // Corrupt: garbage bytes as a sidecar are equally harmless.
+        let lib2 = Rc::new(Library::in_memory("work"));
+        lib2.put_text_with_vifb("entity.e", &text_a, b"VIFBgarbage")
+            .unwrap();
+        let set2 = LibrarySet::new(Rc::clone(&lib2), vec![]);
+        assert_eq!(set2.load("work.entity.e").unwrap().name(), Some("a"));
+
+        // put_text drops a previously-installed sidecar.
+        lib2.put_text("entity.e", &text_b).unwrap();
+        assert!(lib2.peek_vifb("entity.e").is_none());
+    }
+
+    #[test]
+    fn snapshot_carries_sidecars_shared() {
+        let lib = Library::in_memory("work");
+        let text = write_vif(&unit("e"));
+        lib.put_text_with_vifb("entity.e", &text, &sidecar_for(&text))
+            .unwrap();
+        let snap = lib.snapshot();
+        assert_eq!(snap.vifbs.len(), 1);
+        let mirror = Library::from_snapshot(&snap);
+        let a = lib.peek_vifb("entity.e").unwrap();
+        let b = mirror.peek_vifb("entity.e").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "sidecar buffers must be shared");
+    }
+
+    #[test]
+    fn malformed_dep_names_the_offending_unit() {
+        let work = Rc::new(Library::in_memory("work"));
+        // mid's VIF text is malformed; top references it.
+        work.put_text("pkg.mid", "VIF1\n#0 (package \"mid\" (broken")
+            .unwrap();
+        let top = VifNode::build("entity")
+            .name("top")
+            .field("uses", VifValue::Foreign("work.pkg.mid".into()))
+            .done();
+        work.put("entity.top", &top).unwrap();
+        let set = LibrarySet::new(Rc::clone(&work), vec![]);
+        let err = set.load("work.entity.top").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("work.pkg.mid"),
+            "error must name the offending unit, got: {msg}"
+        );
+        match err {
+            VifError::InUnit { unit, .. } => assert_eq!(unit, "work.pkg.mid"),
+            e => panic!("expected InUnit, got {e}"),
+        }
+        // Same attribution when the top-level unit itself is malformed.
+        work.put_text("pkg.bad", "VIF1\n#0 (oops").unwrap();
+        let msg = set.load("work.pkg.bad").unwrap_err().to_string();
+        assert!(msg.contains("work.pkg.bad"), "{msg}");
+    }
+
+    #[test]
+    fn structural_cache_shares_across_library_forks() {
+        let lib = Rc::new(Library::in_memory("work"));
+        // A tree unique to this test so the thread-local structural cache
+        // cannot have seen it before.
+        let node = VifNode::build("entity")
+            .name("fork_share_probe")
+            .str_field("tag", "structural_cache_shares_across_library_forks")
+            .done();
+        lib.put("entity.probe", &node).unwrap();
+        let set = LibrarySet::new(Rc::clone(&lib), vec![]);
+        let first = set.load("work.entity.probe").unwrap();
+
+        // Fork the library (as the server forks session workspaces) and
+        // load the same unit: same thread → pointer-shared tree, and the
+        // per-key cache was empty so this went through the content hash.
+        let fork = Rc::new(Library::from_snapshot(&lib.snapshot()));
+        let set2 = LibrarySet::new(Rc::clone(&fork), vec![]);
+        let second = set2.load("work.entity.probe").unwrap();
+        assert!(
+            Rc::ptr_eq(&first, &second),
+            "forked load must share the decoded tree"
+        );
+        // Traffic still counted on the structural hit.
+        assert_eq!(fork.traffic().units_read, 1);
+    }
+
+    #[test]
+    fn disabled_cache_reverts_to_reread_cost_model() {
+        let lib = Rc::new(Library::in_memory("work"));
+        lib.put("entity.e", &unit("e")).unwrap();
+        lib.set_cache_enabled(false);
+        let set = LibrarySet::new(Rc::clone(&lib), vec![]);
+        set.load("work.entity.e").unwrap();
+        set.load("work.entity.e").unwrap();
+        // No per-key cache, no structural sharing: every load re-reads.
+        assert_eq!(set.traffic().units_read, 2);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_dep_state() {
+        // Same top text, different dep contents → different content hash,
+        // so the structural cache cannot confuse the two states. Observe
+        // it indirectly: after recompiling the dep, a fresh load of top
+        // must see the new dep, even though top's text is unchanged.
+        let work = Rc::new(Library::in_memory("work"));
+        work.put("pkg.dep", &unit("old")).unwrap();
+        let top = VifNode::build("entity")
+            .name("chash_probe_top")
+            .field("uses", VifValue::Foreign("work.pkg.dep".into()))
+            .done();
+        work.put("entity.top", &top).unwrap();
+        let set = LibrarySet::new(Rc::clone(&work), vec![]);
+        let first = set.load("work.entity.top").unwrap();
+        assert_eq!(first.node_field("uses").unwrap().name(), Some("old"));
+
+        work.put("pkg.dep", &unit("new")).unwrap();
+        // The per-key cache still holds the old tree (driver invalidation
+        // handles that); a *fork* has no per-key cache and must not get
+        // the stale structural entry either.
+        let fork = Rc::new(Library::from_snapshot(&work.snapshot()));
+        let set2 = LibrarySet::new(Rc::clone(&fork), vec![]);
+        let second = set2.load("work.entity.top").unwrap();
+        assert_eq!(second.node_field("uses").unwrap().name(), Some("new"));
+        assert!(!Rc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn cyclic_foreign_refs_error_instead_of_hanging() {
+        let work = Rc::new(Library::in_memory("work"));
+        work.put_text(
+            "pkg.a",
+            "VIF1\n#0 (package \"a\" (uses @\"work.pkg.b\"))\nroot #0\n",
+        )
+        .unwrap();
+        work.put_text(
+            "pkg.b",
+            "VIF1\n#0 (package \"b\" (uses @\"work.pkg.a\"))\nroot #0\n",
+        )
+        .unwrap();
+        let set = LibrarySet::new(Rc::clone(&work), vec![]);
+        let err = set.load("work.pkg.a").unwrap_err();
+        assert!(err.to_string().contains("deeper than"), "{err}");
+    }
+
+    #[test]
+    fn text_hash_matches_binary_fnv_and_memoizes() {
+        let lib = Library::in_memory("work");
+        lib.put("entity.e", &unit("e")).unwrap();
+        let text = lib.peek_raw("entity.e").unwrap();
+        let h = lib.text_hash("entity.e").unwrap();
+        assert_eq!(h, binary::fnv1a(0, text.as_bytes()));
+        // Recompile changes the hash.
+        lib.put("entity.e", &unit("changed")).unwrap();
+        assert_ne!(lib.text_hash("entity.e").unwrap(), h);
+        assert!(lib.text_hash("entity.missing").is_err());
     }
 }

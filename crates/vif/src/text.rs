@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use crate::node::{VifNode, VifValue};
 
-/// Errors while reading VIF text.
+/// Errors while reading VIF text or binary (VIFB) buffers.
 #[derive(Debug)]
 pub enum VifError {
     /// Malformed input.
@@ -38,6 +38,33 @@ pub enum VifError {
     Io(std::io::Error),
     /// A requested unit does not exist.
     MissingUnit(String),
+    /// A binary (VIFB) buffer was rejected.
+    Binary(crate::binary::VifbError),
+    /// An error attributed to the library unit whose bytes were being
+    /// read — so a malformed dependency names the offending unit, not
+    /// just a byte offset into anonymous text.
+    InUnit {
+        /// Full unit reference, `lib.unit_key`.
+        unit: String,
+        /// The underlying problem.
+        source: Box<VifError>,
+    },
+}
+
+impl VifError {
+    /// Wraps syntax/binary errors — errors about *this unit's bytes* —
+    /// with the unit they occurred in. Errors that already name their
+    /// subject (missing units, unresolved references, nested `InUnit`)
+    /// pass through unchanged.
+    pub fn in_unit(self, unit: impl Into<String>) -> VifError {
+        match self {
+            e @ (VifError::Syntax { .. } | VifError::Binary(_)) => VifError::InUnit {
+                unit: unit.into(),
+                source: Box::new(e),
+            },
+            e => e,
+        }
+    }
 }
 
 impl fmt::Display for VifError {
@@ -47,11 +74,21 @@ impl fmt::Display for VifError {
             VifError::Unresolved(r) => write!(f, "unresolved foreign reference `{r}`"),
             VifError::Io(e) => write!(f, "vif i/o error: {e}"),
             VifError::MissingUnit(u) => write!(f, "no such unit `{u}` in library"),
+            VifError::Binary(e) => write!(f, "{e}"),
+            VifError::InUnit { unit, source } => write!(f, "in unit `{unit}`: {source}"),
         }
     }
 }
 
-impl std::error::Error for VifError {}
+impl std::error::Error for VifError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VifError::Io(e) => Some(e),
+            VifError::InUnit { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for VifError {
     fn from(e: std::io::Error) -> Self {
@@ -170,6 +207,26 @@ pub type Resolver<'a> = dyn FnMut(&str) -> Result<Rc<VifNode>, VifError> + 'a;
 /// [`VifError::Syntax`] on malformed text, or whatever `resolve` returns
 /// for an unknown reference.
 pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, VifError> {
+    read_vif_impl(src, Some(resolve))
+}
+
+/// Like [`read_vif`], but foreign references stay [`VifValue::Foreign`]
+/// instead of being resolved — the form needed to re-encode a unit's text
+/// as a standalone VIFB sidecar without inlining its dependencies.
+/// Round-trip law: `write_vif(read_vif_unresolved(t)) == t` for every
+/// well-formed `t`, foreign references included.
+///
+/// # Errors
+///
+/// [`VifError::Syntax`] on malformed text.
+pub fn read_vif_unresolved(src: &str) -> Result<Rc<VifNode>, VifError> {
+    read_vif_impl(src, None)
+}
+
+fn read_vif_impl(
+    src: &str,
+    mut resolve: Option<&mut Resolver<'_>>,
+) -> Result<Rc<VifNode>, VifError> {
     let _t = ag_harness::trace::span("vif-read");
     ag_harness::trace::counter("vif-bytes-read", src.len() as u64);
     let mut p = P {
@@ -183,6 +240,9 @@ pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, Vi
         kind: String,
         name: Option<String>,
         fields: Vec<(String, Raw)>,
+        /// Byte offset of the node's `#id` table entry, so second-pass
+        /// diagnostics can still point into the text.
+        at: usize,
     }
     enum Raw {
         Val(VifValue),
@@ -195,6 +255,7 @@ pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, Vi
         if p.looking_at("root") {
             break;
         }
+        let entry_at = p.i;
         p.expect(b'#')?;
         let id = p.number()? as usize;
         if id != raw.len() {
@@ -217,7 +278,7 @@ pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, Vi
             }
             p.expect(b'(')?;
             let fname = p.word()?;
-            fn value(p: &mut P, resolve: &mut Resolver<'_>) -> Result<Raw, VifError> {
+            fn value(p: &mut P, resolve: &mut Option<&mut Resolver<'_>>) -> Result<Raw, VifError> {
                 p.skip_ws();
                 match p.peek() {
                     Some(b'#') => {
@@ -241,10 +302,12 @@ pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, Vi
                     Some(b'@') => {
                         p.i += 1;
                         let r = p.string()?;
-                        // Resolve eagerly: nested foreign references load
-                        // their units right here.
-                        let node = resolve(&r)?;
-                        Ok(Raw::Val(VifValue::Node(node)))
+                        match resolve {
+                            // Resolve eagerly: nested foreign references
+                            // load their units right here.
+                            Some(res) => Ok(Raw::Val(VifValue::Node(res(&r)?))),
+                            None => Ok(Raw::Val(VifValue::Foreign(r.into()))),
+                        }
                     }
                     Some(b'r') => {
                         p.i += 1;
@@ -265,15 +328,21 @@ pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, Vi
                     }
                 }
             }
-            let v = value(&mut p, resolve)?;
+            let v = value(&mut p, &mut resolve)?;
             p.skip_ws();
             p.expect(b')')?;
             fields.push((fname, v));
         }
-        raw.push(RawNode { kind, name, fields });
+        raw.push(RawNode {
+            kind,
+            name,
+            fields,
+            at: entry_at,
+        });
     }
     p.expect_word("root")?;
     p.skip_ws();
+    let root_at = p.i;
     p.expect(b'#')?;
     let root_id = p.number()? as usize;
 
@@ -292,7 +361,7 @@ pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, Vi
         }
         if depth > raw.len() {
             return Err(VifError::Syntax {
-                at: 0,
+                at: raw[id].at,
                 msg: "cyclic node table".into(),
             });
         }
@@ -327,11 +396,47 @@ pub fn read_vif(src: &str, resolve: &mut Resolver<'_>) -> Result<Rc<VifNode>, Vi
     }
     if root_id >= raw.len() {
         return Err(VifError::Syntax {
-            at: 0,
+            at: root_at,
             msg: "root id out of range".into(),
         });
     }
     build(root_id, &raw, &mut built, 0)
+}
+
+/// Foreign references (`@"lib.unit"`) appearing in VIF text, deduplicated
+/// in first-occurrence order, without building nodes. String values are
+/// skipped as wholes, so an `@` *inside* a string can't be mistaken for a
+/// reference. Used to fingerprint units whose binary sidecar is absent.
+pub fn scan_foreign_refs(src: &str) -> Vec<Rc<str>> {
+    let mut p = P {
+        src: src.as_bytes(),
+        i: 0,
+    };
+    let mut out: Vec<Rc<str>> = Vec::new();
+    while let Some(c) = p.peek() {
+        match c {
+            b'"' => {
+                // Skip a whole string value (unterminated: `string`
+                // consumes to the end, terminating the loop).
+                let _ = p.string();
+            }
+            b'@' => {
+                p.i += 1;
+                if p.peek() == Some(b'"') {
+                    match p.string() {
+                        Ok(s) => {
+                            if !out.iter().any(|r| **r == *s) {
+                                out.push(Rc::from(s.as_str()));
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            _ => p.i += 1,
+        }
+    }
+    out
 }
 
 struct P<'a> {
@@ -540,6 +645,76 @@ mod tests {
         assert!(read_vif("VIF1\nroot #5", &mut no_foreign).is_err());
         let e = read_vif("VIF1\n#1 (k)\nroot #1", &mut no_foreign).unwrap_err();
         assert!(e.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn unresolved_read_round_trips_foreign_refs() {
+        let root = VifNode::build("arch")
+            .name("rtl")
+            .field("entity", VifValue::Foreign("work.entity.e".into()))
+            .str_field("note", "an @\"impostor\" in a string")
+            .done();
+        let text = write_vif(&root);
+        let back = read_vif_unresolved(&text).unwrap();
+        assert_eq!(back, root, "foreign refs survive unresolved reading");
+        assert_eq!(write_vif(&back), text, "byte-identical re-print");
+    }
+
+    #[test]
+    fn scan_foreign_refs_precise_and_deduplicated() {
+        let root = VifNode::build("arch")
+            .field("a", VifValue::Foreign("work.entity.e".into()))
+            .str_field("trap", "not a ref: @\"lib.fake\" inside a string")
+            .field("b", VifValue::Foreign("ieee.pkg.base".into()))
+            .field("c", VifValue::Foreign("work.entity.e".into()))
+            .done();
+        let text = write_vif(&root);
+        let refs: Vec<String> = scan_foreign_refs(&text)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert_eq!(refs, ["work.entity.e", "ieee.pkg.base"]);
+        assert!(scan_foreign_refs("").is_empty());
+        assert!(scan_foreign_refs("VIF1\n#0 (k)\nroot #0\n").is_empty());
+    }
+
+    #[test]
+    fn second_pass_errors_carry_positions() {
+        // Out-of-range root: the offset points at the `#` of `root #5`.
+        let text = "VIF1\n#0 (k)\nroot #5";
+        match read_vif(text, &mut no_foreign).unwrap_err() {
+            VifError::Syntax { at, .. } => assert_eq!(&text[at..at + 2], "#5"),
+            e => panic!("expected syntax error, got {e}"),
+        }
+        // Hand-made cyclic table: the offset points at a node entry.
+        let text = "VIF1\n#0 (a (x #1))\n#1 (b (y #0))\nroot #0";
+        match read_vif(text, &mut no_foreign).unwrap_err() {
+            VifError::Syntax { at, msg } => {
+                assert!(msg.contains("cyclic"));
+                assert_eq!(&text[at..at + 1], "#");
+            }
+            e => panic!("expected syntax error, got {e}"),
+        }
+    }
+
+    #[test]
+    fn in_unit_wrapping_names_the_unit() {
+        let inner = VifError::Syntax {
+            at: 7,
+            msg: "expected word".into(),
+        };
+        let wrapped = inner.in_unit("work.pkg.mid");
+        let text = wrapped.to_string();
+        assert!(text.contains("work.pkg.mid"), "{text}");
+        assert!(text.contains("byte 7"), "{text}");
+        // Already-attributed errors pass through unchanged.
+        let missing = VifError::MissingUnit("work.entity.e".into()).in_unit("work.arch.e.rtl");
+        assert!(matches!(missing, VifError::MissingUnit(_)));
+        let nested = wrapped.in_unit("work.other");
+        match nested {
+            VifError::InUnit { unit, .. } => assert_eq!(unit, "work.pkg.mid"),
+            e => panic!("double wrap: {e}"),
+        }
     }
 
     #[test]

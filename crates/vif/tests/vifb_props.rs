@@ -1,0 +1,197 @@
+//! Property tests for the VIFB binary encoding: `decode ∘ encode`
+//! re-prints byte-identically to `write_vif` on arbitrary node graphs
+//! (text is the golden oracle), sharing survives, foreign references
+//! resolve exactly as the text path resolves them, and corrupted,
+//! truncated, or version-bumped buffers are rejected as errors — never
+//! panics — under shrinking.
+
+use std::rc::Rc;
+
+use ag_harness::{check, check_eq, forall, Config, Source};
+use vhdl_vif::{
+    decode_vifb, encode_vifb, probe_vifb, read_vif, read_vif_unresolved, write_vif, VifError,
+    VifNode, VifValue,
+};
+
+/// Random leaf-or-composite values (the same input space as the text
+/// round-trip suite in `prop.rs`).
+fn value(s: &mut Source, depth: u32) -> VifValue {
+    let max_choice = if depth == 0 { 4 } else { 6 };
+    match s.usize_in(0, max_choice) {
+        0 => VifValue::Nil,
+        1 => VifValue::Bool(s.bool()),
+        2 => VifValue::Int(s.i64_in(i64::MIN, i64::MAX)),
+        3 => VifValue::Real(s.f64_in(-1e9, 1e9)),
+        4 => VifValue::str(s.string_of("abcxyz019 .\"\\", 12)),
+        5 => VifValue::Node(node(s, depth - 1)),
+        _ => VifValue::list(s.vec(0, 3, |s| value(s, depth - 1))),
+    }
+}
+
+fn node(s: &mut Source, depth: u32) -> Rc<VifNode> {
+    let kind = s.string_from("abkxyz", "abkxyz.", 8);
+    let name = s.option(|s| s.string_from("abcnpq", "abcnpq019_", 8));
+    let fields = s.vec(0, 4, |s| {
+        let f = s.string_from("fghuvw", "fghuvw019_", 6);
+        let v = value(s, depth);
+        (f, v)
+    });
+    let mut b = VifNode::build(kind.as_str());
+    if let Some(n) = name {
+        b = b.name(n.as_str());
+    }
+    for (f, v) in fields {
+        b = b.field(f.as_str(), v);
+    }
+    b.done()
+}
+
+fn no_foreign(r: &str) -> Result<Rc<VifNode>, VifError> {
+    Err(VifError::Unresolved(r.to_string()))
+}
+
+fn text_hash(text: &str) -> u64 {
+    vhdl_vif::binary::fnv1a(0, text.as_bytes())
+}
+
+/// decode ∘ encode re-prints byte-identically to the original text —
+/// the text-as-oracle invariant.
+#[test]
+fn vifb_round_trip_reprints_byte_identical() {
+    forall!(
+        Config::new("vifb_round_trip_reprints_byte_identical").cases(128),
+        |s| {
+            let n = node(s, 3);
+            let text = write_vif(&n);
+            let vifb = encode_vifb(&n, text_hash(&text));
+            let back = decode_vifb(&vifb, &mut no_foreign).unwrap();
+            check_eq!(back, n);
+            check_eq!(write_vif(&back), text, "re-print must be byte-identical");
+            check_eq!(probe_vifb(&vifb).unwrap().text_hash, text_hash(&text));
+        }
+    );
+}
+
+/// Encoding the tree the library would re-parse from its own text yields
+/// the same bytes as encoding the original tree — the sidecar is a pure
+/// function of the text.
+#[test]
+fn vifb_encoding_is_canonical_over_text() {
+    forall!(
+        Config::new("vifb_encoding_is_canonical_over_text").cases(96),
+        |s| {
+            let n = node(s, 3);
+            let text = write_vif(&n);
+            let direct = encode_vifb(&n, text_hash(&text));
+            let reparsed = encode_vifb(&read_vif_unresolved(&text).unwrap(), text_hash(&text));
+            check_eq!(direct, reparsed);
+        }
+    );
+}
+
+/// Sharing survives the binary round trip: a diamond stays one allocation.
+#[test]
+fn vifb_preserves_sharing() {
+    forall!(Config::new("vifb_preserves_sharing").cases(96), |s| {
+        let shared = node(s, 1);
+        let a = VifNode::build("a")
+            .node_field("t", Rc::clone(&shared))
+            .done();
+        let b = VifNode::build("b")
+            .node_field("t", Rc::clone(&shared))
+            .done();
+        let root = VifNode::build("root")
+            .node_field("l", a)
+            .node_field("r", b)
+            .done();
+        let vifb = encode_vifb(&root, 0);
+        let back = decode_vifb(&vifb, &mut no_foreign).unwrap();
+        check_eq!(back.reachable_size(), root.reachable_size());
+        let l = back.node_field("l").unwrap().node_field("t").unwrap();
+        let r = back.node_field("r").unwrap().node_field("t").unwrap();
+        check!(Rc::ptr_eq(l, r), "diamond collapsed to one allocation");
+    });
+}
+
+/// Foreign references resolve through the callback exactly as the text
+/// path resolves them.
+#[test]
+fn vifb_foreigns_match_text_path() {
+    forall!(
+        Config::new("vifb_foreigns_match_text_path").cases(96),
+        |s| {
+            let dep = node(s, 1);
+            let refs = s.vec(1, 3, |s| {
+                format!("work.pkg.{}", s.string_from("mn", "mn01", 4))
+            });
+            let mut b = VifNode::build("arch").name("rtl");
+            for (i, r) in refs.iter().enumerate() {
+                b = b.field(
+                    format!("u{i}").as_str(),
+                    VifValue::Foreign(r.as_str().into()),
+                );
+            }
+            let root = b.done();
+            let text = write_vif(&root);
+            let vifb = encode_vifb(&root, text_hash(&text));
+
+            let mut resolve_a = |_: &str| Ok(Rc::clone(&dep));
+            let via_text = read_vif(&text, &mut resolve_a).unwrap();
+            let mut resolve_b = |_: &str| Ok(Rc::clone(&dep));
+            let via_vifb = decode_vifb(&vifb, &mut resolve_b).unwrap();
+            check_eq!(via_vifb, via_text);
+        }
+    );
+}
+
+/// Hostile bytes — random single-byte flips, truncations, and version
+/// bumps of valid buffers — are rejected with errors, never panics.
+#[test]
+fn vifb_corruption_is_rejected_not_panicking() {
+    forall!(
+        Config::new("vifb_corruption_is_rejected_not_panicking").cases(160),
+        |s| {
+            let n = node(s, 2);
+            let text = write_vif(&n);
+            let good = encode_vifb(&n, text_hash(&text));
+            check!(decode_vifb(&good, &mut no_foreign).is_ok());
+
+            match s.usize_in(0, 2) {
+                0 => {
+                    // Flip one byte anywhere: the checksum (or magic)
+                    // must catch it.
+                    let mut bad = good.clone();
+                    let i = s.usize_in(0, bad.len() - 1);
+                    bad[i] ^= s.u64_in(1, 255) as u8;
+                    check!(
+                        decode_vifb(&bad, &mut no_foreign).is_err(),
+                        "flipped byte at {i} must be rejected"
+                    );
+                }
+                1 => {
+                    // Truncate at a random point.
+                    let keep = s.usize_in(0, good.len() - 1);
+                    check!(
+                        decode_vifb(&good[..keep], &mut no_foreign).is_err(),
+                        "truncation to {keep} bytes must be rejected"
+                    );
+                }
+                _ => {
+                    // Bump the version and re-seal the checksum so only
+                    // the version check can reject it.
+                    let mut bad = good.clone();
+                    bad[4] = bad[4].wrapping_add(s.u64_in(1, 200) as u8);
+                    let body = bad.len() - 8;
+                    let seal = vhdl_vif::binary::fnv1a(0, &bad[..body]);
+                    let tail = body;
+                    bad[tail..].copy_from_slice(&seal.to_le_bytes());
+                    let e = decode_vifb(&bad, &mut no_foreign).unwrap_err();
+                    check!(
+                        matches!(e, VifError::Binary(vhdl_vif::VifbError::BadVersion(_))),
+                        "wrong version must be BadVersion, got {e}"
+                    );
+                }
+            }
+        }
+    );
+}

@@ -65,6 +65,21 @@ grep -q '"sparse_par_speedup_4w_critical_path"' "$SMOKE_OUT/exp_kernel.json" \
     || { echo "verify: exp_kernel did not emit the parallel speedup metric" >&2; exit 1; }
 rm -rf "$SMOKE_OUT"
 
+echo "==> VIFB binary equivalence + structural cache suites"
+# The binary-VIF property suite (DESIGN.md §16): decode∘encode must
+# re-print byte-identically to the canonical VIF text on arbitrary node
+# graphs (text is the oracle), sharing and foreign resolution must
+# match the text path, and corrupted/truncated/version-bumped buffers
+# must be rejected with typed errors — never panics — under shrinking.
+# The library suite covers sidecar repair, stale-sidecar fallback to
+# text, snapshot/fork sharing, deep content-hash invalidation, and the
+# malformed-dep-names-the-unit error contract; the driver suite pins
+# the warm plan cache (no parse, no re-print) and that every parallel
+# commit carries a hash-valid sidecar.
+cargo test -q -p vhdl-vif --test vifb_props
+cargo test -q -p vhdl-vif --lib
+cargo test -q -p vhdl-driver --lib batch
+
 echo "==> generative differential conformance (corpus replay + fresh fuzz + fault canary)"
 # Replay every checked-in corpus seed through the full eight-cell
 # configuration matrix ({interp,compiled} x {1,4 workers} x
@@ -101,6 +116,13 @@ trap 'rm -rf "$BATCH_WORK"' EXIT
 cat "$BATCH_WORK/warm.log"
 grep -q "miss 0 cold 0" "$BATCH_WORK/warm.log" \
     || { echo "verify: warm --incremental rerun re-analyzed units" >&2; exit 1; }
+# The warm run's dependency loads must be zero-copy: served from VIFB
+# sidecars written by the cold run (nonzero decodes), with the text
+# parser never invoked (`vifb:` counter line from --stats).
+grep -q "vifb: .* 0 text parses" "$BATCH_WORK/warm.log" \
+    || { echo "verify: warm rerun fell back to VIF text parsing" >&2; exit 1; }
+grep -Eq "vifb: .* [1-9][0-9]* decodes" "$BATCH_WORK/warm.log" \
+    || { echo "verify: warm rerun did not decode VIFB sidecars" >&2; exit 1; }
 
 echo "==> vhdld loopback session (analyze -> elaborate -> run -> checkpoint -> inspect -> shutdown)"
 # Start the pooled server (explicit worker/acceptor counts so the sharded
@@ -149,5 +171,43 @@ if kill -0 "$VHDLD_PID" 2>/dev/null; then
     exit 1
 fi
 wait "$VHDLD_PID" || { echo "verify: vhdld exited nonzero" >&2; exit 1; }
+
+echo "==> vhdld structural-cache reuse across session forks (repeated analyze -> nonzero vifb hits)"
+# Single serving worker, inline analysis (--jobs 1), two sequential
+# sessions analyzing the same design: the first decodes the units into
+# the worker thread's structural cache; the second — a fresh library
+# fork — must serve its dependency loads from that cache by deep
+# content hash. The process-wide `vifb` counters in the `stats`
+# response prove it (nonzero cache_hits), and `text_parses` staying at
+# zero proves neither session ever fell back to the text parser.
+./target/release/vhdld --listen 127.0.0.1:0 --quiet \
+    --jobs 1 --workers 1 --acceptors 1 >"$BATCH_WORK/vhdld2.out" &
+VHDLD2_PID=$!
+ADDR2=""
+for _ in $(seq 1 100); do
+    ADDR2="$(sed -n 's/^vhdld listening on //p' "$BATCH_WORK/vhdld2.out")"
+    [ -n "$ADDR2" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR2" ] || { echo "verify: second vhdld never started listening" >&2; exit 1; }
+./target/release/vhdld --connect "$ADDR2" >"$BATCH_WORK/cache1.log" <<'EOF'
+{"op":"analyze","paths":["examples/full_adder.vhd"]}
+{"op":"stats"}
+EOF
+./target/release/vhdld --connect "$ADDR2" >"$BATCH_WORK/cache2.log" <<'EOF'
+{"op":"analyze","paths":["examples/full_adder.vhd"]}
+{"op":"stats"}
+EOF
+cat "$BATCH_WORK/cache2.log"
+if grep -q '"ok":false' "$BATCH_WORK/cache1.log" "$BATCH_WORK/cache2.log"; then
+    echo "verify: structural-cache session had a failing request" >&2
+    exit 1
+fi
+grep -Eq '"vifb":\{"cache_hits":[1-9]' "$BATCH_WORK/cache2.log" \
+    || { echo "verify: repeated analyze produced no structural-cache hits" >&2; exit 1; }
+grep -q '"text_parses":0' "$BATCH_WORK/cache2.log" \
+    || { echo "verify: session analyze fell back to VIF text parsing" >&2; exit 1; }
+kill "$VHDLD2_PID" 2>/dev/null || true
+wait "$VHDLD2_PID" 2>/dev/null || true
 
 echo "verify: OK"
